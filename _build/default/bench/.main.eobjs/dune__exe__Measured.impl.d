@@ -1,0 +1,1 @@
+bench/measured.ml: Build Engine_api List Oqmc_containers Oqmc_core Oqmc_particle Oqmc_rng Report Timers Variant Xoshiro

@@ -1,0 +1,33 @@
+(* Benchmark and reproduction harness.
+
+   With no arguments, regenerates every table and figure of the paper's
+   evaluation (DESIGN.md experiment index) and then runs the Bechamel
+   kernel microbenchmarks.
+
+     dune exec bench/main.exe                    # everything
+     dune exec bench/main.exe -- --exp fig8      # one experiment
+     dune exec bench/main.exe -- --bechamel      # microbenchmarks only
+     OQMC_BENCH_REDUCTION=4 dune exec bench/main.exe   # bigger measured runs
+*)
+
+let usage () =
+  print_endline
+    "usage: main.exe [--exp \
+     table1|fig1|fig2|fig3|fig7|fig8|fig9|fig10|table2|kernels|smt|ddr|delayed|all] \
+     [--bechamel]";
+  exit 1
+
+let () =
+  let args = Array.to_list Sys.argv in
+  match args with
+  | [ _ ] ->
+      Experiments.all ();
+      Microbench.run ()
+  | [ _; "--bechamel" ] -> Microbench.run ()
+  | [ _; "--exp"; name ] -> (
+      match Experiments.by_name name with
+      | f -> f ()
+      | exception Invalid_argument msg ->
+          prerr_endline msg;
+          usage ())
+  | _ -> usage ()

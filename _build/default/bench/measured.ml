@@ -1,0 +1,63 @@
+open Oqmc_containers
+open Oqmc_core
+open Oqmc_rng
+
+(* Measured-run helpers: build an engine for a variant, run instrumented
+   sweeps, and report throughput plus the per-kernel timer profile. *)
+
+type run = {
+  variant : Variant.t;
+  throughput : float; (* sweeps (MC steps × walkers) per second *)
+  step_time : float; (* seconds per walker step *)
+  profile : (string * float) list;
+  timers : Timers.t;
+  acceptance : float;
+  memory_bytes : int;
+  walker_bytes : int; (* serialized walker size (buffer + positions) *)
+}
+
+(* One timed iteration mirrors a DMC generation for one walker: restore
+   the wavefunction state from the buffer, sweep, measure, serialize the
+   state back — so the Ref policy pays for its 5N² buffer traffic exactly
+   where production runs do. *)
+let run_variant ?(sweeps = 30) ?(measure_every = 5) ~variant ~seed sys =
+  let timers = Timers.create () in
+  let engine = Build.engine ~timers ~variant ~seed sys in
+  let rng = Xoshiro.create (seed + 17) in
+  let w = Oqmc_particle.Walker.create engine.Engine_api.n_electrons in
+  engine.Engine_api.register_walker w;
+  (* Equilibrate a little and warm the caches before timing. *)
+  for _ = 1 to 5 do
+    ignore (engine.Engine_api.sweep rng ~tau:0.05)
+  done;
+  engine.Engine_api.save_walker w;
+  Timers.reset timers;
+  let accepted = ref 0 and proposed = ref 0 in
+  let t0 = Timers.now () in
+  for s = 1 to sweeps do
+    engine.Engine_api.restore_walker w;
+    let r = engine.Engine_api.sweep rng ~tau:0.05 in
+    accepted := !accepted + r.Engine_api.accepted;
+    proposed := !proposed + r.Engine_api.proposed;
+    if s mod measure_every = 0 then ignore (engine.Engine_api.measure ());
+    engine.Engine_api.save_walker w
+  done;
+  let wall = Timers.now () -. t0 in
+  {
+    variant;
+    throughput = float_of_int sweeps /. wall;
+    step_time = wall /. float_of_int sweeps;
+    profile = Timers.profile timers;
+    timers;
+    acceptance = float_of_int !accepted /. float_of_int (max 1 !proposed);
+    memory_bytes = engine.Engine_api.memory_bytes ();
+    walker_bytes = Oqmc_particle.Walker.message_bytes w;
+  }
+
+(* Per-kernel time ratio between two runs (speedup of [b] over [a]). *)
+let kernel_speedups a b =
+  List.filter_map
+    (fun key ->
+      let ta = Timers.total a.timers key and tb = Timers.total b.timers key in
+      if ta > 0. && tb > 0. then Some (key, ta /. tb) else None)
+    Report.kernel_order

@@ -1,0 +1,37 @@
+(* Plain-text report helpers: every experiment prints a titled block with
+   the paper's reference numbers next to the reproduced ones, so the
+   bench output reads as a side-by-side reproduction log. *)
+
+let line = String.make 78 '-'
+
+let section title =
+  Printf.printf "\n%s\n== %s\n%s\n" line title line
+
+let subsection title = Printf.printf "\n-- %s --\n" title
+
+let kv fmt = Printf.printf fmt
+
+let row4 a b c d = Printf.printf "%-14s %14s %14s %14s\n" a b c d
+
+let fl f = Printf.sprintf "%.3g" f
+
+(* A fixed kernel order so profiles from different sources align. *)
+let kernel_order =
+  [ "DistTable"; "J2"; "J1"; "Bspline-v"; "Bspline-vgh"; "SPO-vgl";
+    "DetUpdate"; "Other" ]
+
+let print_profile ~label profile =
+  Printf.printf "%-22s" label;
+  List.iter
+    (fun k ->
+      let v = try List.assoc k profile with Not_found -> 0. in
+      Printf.printf " %s=%4.1f%%" k (100. *. v))
+    kernel_order;
+  print_newline ()
+
+let print_profile_header () =
+  Printf.printf "%-22s  (fraction of instrumented kernel time)\n" "profile"
+
+let bar width frac =
+  let n = int_of_float (frac *. float_of_int width) in
+  String.make (max 0 (min width n)) '#'

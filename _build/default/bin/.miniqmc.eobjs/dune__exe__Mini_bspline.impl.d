@@ -1,0 +1,1 @@
+bin/mini_bspline.ml: Arg Array Cmd Cmdliner List Oqmc_containers Oqmc_rng Oqmc_spline Precision Printf Term Timers Xoshiro

@@ -1,0 +1,1 @@
+bin/mini_disttable.ml: Arg Cmd Cmdliner Dt_aa_forward Dt_aa_ref Dt_aa_soa Lattice List Oqmc_containers Oqmc_particle Oqmc_rng Particle_set Precision Printf Term Timers Vec3 Xoshiro

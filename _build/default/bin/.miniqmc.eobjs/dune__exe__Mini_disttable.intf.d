@@ -1,0 +1,1 @@
+bin/mini_disttable.mli:

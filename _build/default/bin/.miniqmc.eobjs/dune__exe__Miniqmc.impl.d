@@ -1,0 +1,1 @@
+bin/miniqmc.ml: Arg Build Builder Cmd Cmdliner Engine_api Format Oqmc_containers Oqmc_core Oqmc_particle Oqmc_rng Oqmc_workloads Printf Spec Term Timers Variant Wbuffer Xoshiro

@@ -1,0 +1,1 @@
+bin/oqmc_run.ml: Arg Build Builder Checkpoint Cmd Cmdliner Dmc Input List Oqmc_core Oqmc_workloads Printf Spec String System Term Validation Variant Vmc

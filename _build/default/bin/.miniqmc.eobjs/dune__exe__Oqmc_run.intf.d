@@ -1,0 +1,1 @@
+bin/oqmc_run.mli:

@@ -1,0 +1,130 @@
+open Oqmc_containers
+open Oqmc_particle
+open Oqmc_rng
+
+(* DistTable miniapp (Sec. 7.1): times one particle move against the
+   electron-electron table for a sweep of N, in every storage/layout
+   combination — the isolated view of the paper's top hot spot. *)
+
+module type TABLE_BENCH = sig
+  val name : string
+  val bench : n:int -> moves:int -> seed:int -> float
+  (* seconds per move *)
+end
+
+module Bench_ref (R : Precision.REAL) : TABLE_BENCH = struct
+  module Ps = Particle_set.Make (R)
+  module Dt = Dt_aa_ref.Make (R)
+
+  let name = "ref-" ^ R.name
+
+  let bench ~n ~moves ~seed =
+    let ps =
+      Ps.create ~lattice:(Lattice.cubic 10.)
+        [ { Particle_set.name = "e"; charge = -1.; count = n } ]
+    in
+    let rng = Xoshiro.create seed in
+    Ps.randomize ps (fun () -> Xoshiro.uniform rng);
+    let t = Dt.create ps in
+    Dt.evaluate t ps;
+    let t0 = Timers.now () in
+    for i = 1 to moves do
+      let k = i mod n in
+      Dt.move t ps k (Vec3.make 5. 5. 5.);
+      if i land 1 = 0 then Dt.update t k
+    done;
+    (Timers.now () -. t0) /. float_of_int moves
+end
+
+module Bench_forward (R : Precision.REAL) : TABLE_BENCH = struct
+  module Ps = Particle_set.Make (R)
+  module Dt = Dt_aa_forward.Make (R)
+
+  let name = "fwd-" ^ R.name
+
+  let bench ~n ~moves ~seed =
+    let ps =
+      Ps.create ~lattice:(Lattice.cubic 10.)
+        [ { Particle_set.name = "e"; charge = -1.; count = n } ]
+    in
+    let rng = Xoshiro.create seed in
+    Ps.randomize ps (fun () -> Xoshiro.uniform rng);
+    let t = Dt.create ps in
+    Dt.evaluate t ps;
+    let t0 = Timers.now () in
+    for i = 1 to moves do
+      let k = i mod n in
+      Dt.move t ps k (Vec3.make 5. 5. 5.);
+      if i land 1 = 0 then Dt.update t k
+    done;
+    (Timers.now () -. t0) /. float_of_int moves
+end
+
+module Bench_soa (R : Precision.REAL) : TABLE_BENCH = struct
+  module Ps = Particle_set.Make (R)
+  module Dt = Dt_aa_soa.Make (R)
+
+  let name = "soa-" ^ R.name
+
+  let bench ~n ~moves ~seed =
+    let ps =
+      Ps.create ~lattice:(Lattice.cubic 10.)
+        [ { Particle_set.name = "e"; charge = -1.; count = n } ]
+    in
+    let rng = Xoshiro.create seed in
+    Ps.randomize ps (fun () -> Xoshiro.uniform rng);
+    let t = Dt.create ps in
+    Dt.evaluate t ps;
+    let t0 = Timers.now () in
+    for i = 1 to moves do
+      let k = i mod n in
+      Dt.prepare t ps k;
+      Dt.move t ps k (Vec3.make 5. 5. 5.);
+      if i land 1 = 0 then Dt.accept t k
+    done;
+    (Timers.now () -. t0) /. float_of_int moves
+end
+
+let benches : (module TABLE_BENCH) list =
+  [
+    (module Bench_ref (Precision.F64));
+    (module Bench_ref (Precision.F32));
+    (module Bench_forward (Precision.F64));
+    (module Bench_forward (Precision.F32));
+    (module Bench_soa (Precision.F64));
+    (module Bench_soa (Precision.F32));
+  ]
+
+let run sizes moves seed =
+  Printf.printf "%-8s" "N";
+  List.iter
+    (fun (module B : TABLE_BENCH) -> Printf.printf " %14s" B.name)
+    benches;
+  Printf.printf "   (ns per move)\n";
+  List.iter
+    (fun n ->
+      Printf.printf "%-8d" n;
+      List.iter
+        (fun (module B : TABLE_BENCH) ->
+          Printf.printf " %14.0f" (1e9 *. B.bench ~n ~moves ~seed))
+        benches;
+      print_newline ())
+    sizes
+
+open Cmdliner
+
+let sizes =
+  Arg.(
+    value
+    & opt (list int) [ 64; 128; 256; 512; 1024 ]
+    & info [ "n" ] ~doc:"Comma-separated electron counts.")
+
+let moves = Arg.(value & opt int 2000 & info [ "moves" ] ~doc:"Moves timed.")
+let seed = Arg.(value & opt int 7 & info [ "seed" ] ~doc:"RNG seed.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "mini_disttable" ~doc:"Distance-table kernel miniapp")
+    Term.(const run $ sizes $ moves $ seed)
+
+let () = exit (Cmd.eval cmd)

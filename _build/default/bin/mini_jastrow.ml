@@ -1,0 +1,145 @@
+open Oqmc_containers
+open Oqmc_particle
+open Oqmc_rng
+open Oqmc_workloads
+
+(* Jastrow miniapp (Sec. 7.1): the J2 ratio/accept cycle per move in the
+   Ref (5N² stored matrices) and Current (compute-on-the-fly, 5N state)
+   implementations, at both storage precisions. *)
+
+module type J_BENCH = sig
+  val name : string
+  val bench : n:int -> moves:int -> seed:int -> float
+end
+
+module Bench (R : Precision.REAL) = struct
+  module Ps = Particle_set.Make (R)
+  module AAref = Dt_aa_ref.Make (R)
+  module AAsoa = Dt_aa_soa.Make (R)
+  module J2 = Oqmc_wavefunction.Jastrow_two.Make (R)
+
+  let setup n seed =
+    let lattice = Lattice.cubic 10. in
+    let ps =
+      Ps.create ~lattice
+        [
+          { Particle_set.name = "u"; charge = -1.; count = n / 2 };
+          { Particle_set.name = "d"; charge = -1.; count = n - (n / 2) };
+        ]
+    in
+    let rng = Xoshiro.create seed in
+    Ps.randomize ps (fun () -> Xoshiro.uniform rng);
+    let functors = Jastrow_sets.ee_set ~cutoff:(Lattice.wigner_seitz_radius lattice) in
+    (ps, functors, rng)
+
+  module Ref_impl : J_BENCH = struct
+    let name = "ref-" ^ R.name
+
+    let bench ~n ~moves ~seed =
+      let ps, functors, rng = setup n seed in
+      let table = AAref.create ps in
+      AAref.evaluate table ps;
+      let j2 = J2.create_ref ~table ~functors ps in
+      ignore (j2.J2.W.evaluate_log ps);
+      let t0 = Timers.now () in
+      for i = 1 to moves do
+        let k = i mod n in
+        let pos =
+          Vec3.add (Ps.get ps k)
+            (Vec3.make (Xoshiro.gaussian rng *. 0.1) 0. 0.)
+        in
+        Ps.propose ps k pos;
+        AAref.move table ps k pos;
+        let r = j2.J2.W.ratio ps k in
+        if r > 0.5 then begin
+          j2.J2.W.accept ps k;
+          AAref.update table k;
+          Ps.accept ps
+        end
+        else begin
+          j2.J2.W.reject ps k;
+          Ps.reject ps
+        end
+      done;
+      (Timers.now () -. t0) /. float_of_int moves
+  end
+
+  module Opt_impl : J_BENCH = struct
+    let name = "otf-" ^ R.name
+
+    let bench ~n ~moves ~seed =
+      let ps, functors, rng = setup n seed in
+      let table = AAsoa.create ps in
+      AAsoa.evaluate table ps;
+      let j2 = J2.create_opt ~table ~functors ps in
+      ignore (j2.J2.W.evaluate_log ps);
+      let t0 = Timers.now () in
+      for i = 1 to moves do
+        let k = i mod n in
+        let pos =
+          Vec3.add (Ps.get ps k)
+            (Vec3.make (Xoshiro.gaussian rng *. 0.1) 0. 0.)
+        in
+        AAsoa.prepare table ps k;
+        Ps.propose ps k pos;
+        AAsoa.move table ps k pos;
+        let r = j2.J2.W.ratio ps k in
+        if r > 0.5 then begin
+          j2.J2.W.accept ps k;
+          AAsoa.accept table k;
+          Ps.accept ps
+        end
+        else begin
+          j2.J2.W.reject ps k;
+          Ps.reject ps
+        end
+      done;
+      (Timers.now () -. t0) /. float_of_int moves
+  end
+end
+
+module B64 = Bench (Precision.F64)
+module B32 = Bench (Precision.F32)
+
+let benches : (module J_BENCH) list =
+  [
+    (module B64.Ref_impl);
+    (module B32.Ref_impl);
+    (module B64.Opt_impl);
+    (module B32.Opt_impl);
+  ]
+
+let run sizes moves seed =
+  Printf.printf "%-8s" "N";
+  List.iter (fun (module B : J_BENCH) -> Printf.printf " %12s" B.name) benches;
+  Printf.printf "   (ns per move)\n";
+  List.iter
+    (fun n ->
+      Printf.printf "%-8d" n;
+      List.iter
+        (fun (module B : J_BENCH) ->
+          Printf.printf " %12.0f" (1e9 *. B.bench ~n ~moves ~seed))
+        benches;
+      print_newline ())
+    sizes;
+  Printf.printf
+    "\nmemory per walker: ref keeps 5N^2 scalars, otf keeps 5N (paper \
+     Sec. 7.5).\n"
+
+open Cmdliner
+
+let sizes =
+  Arg.(
+    value
+    & opt (list int) [ 64; 128; 256; 512 ]
+    & info [ "n" ] ~doc:"Comma-separated electron counts.")
+
+let moves = Arg.(value & opt int 2000 & info [ "moves" ] ~doc:"Moves timed.")
+let seed = Arg.(value & opt int 11 & info [ "seed" ] ~doc:"RNG seed.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "mini_jastrow" ~doc:"Two-body Jastrow kernel miniapp")
+    Term.(const run $ sizes $ moves $ seed)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,99 @@
+open Oqmc_containers
+open Oqmc_core
+open Oqmc_workloads
+open Oqmc_rng
+
+(* miniQMC: the full-path miniapp (Sec. 7.1).  Runs the drift-and-diffusion
+   sweep plus measurement of one workload in one build variant with the
+   kernel timers on, and prints throughput, the hot-spot profile and the
+   memory footprint — the numbers the paper's miniapps were built to
+   expose.  Command-line options change the problem for fast prototyping,
+   exactly as the paper describes. *)
+
+let run workload variant reduction sweeps walkers tau with_nlpp seed =
+  let spec = Spec.find workload in
+  let variant = Variant.of_string variant in
+  let sys = Builder.make ~seed ~with_nlpp ~reduction spec in
+  let timers = Timers.create () in
+  let engine = Build.engine ~timers ~variant ~seed sys in
+  let rng = Xoshiro.create (seed + 1) in
+  Printf.printf "miniqmc: %s  variant=%s  N=%d  reduction=%d  nlpp=%b\n"
+    spec.Spec.wname
+    (Variant.to_string variant)
+    engine.Engine_api.n_electrons reduction with_nlpp;
+  (* warmup *)
+  for _ = 1 to 3 do
+    ignore (engine.Engine_api.sweep rng ~tau)
+  done;
+  Timers.reset timers;
+  let w = Oqmc_particle.Walker.create engine.Engine_api.n_electrons in
+  engine.Engine_api.register_walker w;
+  let accepted = ref 0 in
+  let t0 = Timers.now () in
+  for wi = 1 to walkers do
+    engine.Engine_api.restore_walker w;
+    for _ = 1 to sweeps do
+      let r = engine.Engine_api.sweep rng ~tau in
+      accepted := !accepted + r.Engine_api.accepted
+    done;
+    let el = engine.Engine_api.measure () in
+    engine.Engine_api.save_walker w;
+    if wi = 1 then Printf.printf "E_L (first walker) = %.6f\n" el
+  done;
+  let wall = Timers.now () -. t0 in
+  let steps = walkers * sweeps in
+  Printf.printf "throughput: %.1f steps/s  (%d steps in %.3f s)\n"
+    (float_of_int steps /. wall)
+    steps wall;
+  Printf.printf "acceptance: %.3f\n"
+    (float_of_int !accepted
+    /. float_of_int (steps * engine.Engine_api.n_electrons));
+  Printf.printf "engine memory: %.2f MB   walker buffer: %.1f kB\n"
+    (float_of_int (engine.Engine_api.memory_bytes ()) /. 1e6)
+    (float_of_int (Wbuffer.bytes w.Oqmc_particle.Walker.buffer) /. 1024.);
+  Format.printf "@[<v>kernel timers:@,%a@]@." Timers.pp timers
+
+open Cmdliner
+
+let workload =
+  Arg.(
+    value & opt string "NiO-32"
+    & info [ "w"; "workload" ] ~docv:"NAME"
+        ~doc:"Workload: Graphite, Be-64, NiO-32 or NiO-64.")
+
+let variant =
+  Arg.(
+    value & opt string "Current"
+    & info [ "v"; "variant" ] ~docv:"VARIANT"
+        ~doc:"Build variant: Ref, Ref+MP, Current or Current(f64).")
+
+let reduction =
+  Arg.(
+    value & opt int 8
+    & info [ "r"; "reduction" ] ~docv:"R"
+        ~doc:"Uniform problem-size reduction factor.")
+
+let sweeps =
+  Arg.(value & opt int 20 & info [ "s"; "sweeps" ] ~doc:"Sweeps per walker.")
+
+let walkers =
+  Arg.(value & opt int 4 & info [ "n"; "walkers" ] ~doc:"Number of walkers.")
+
+let tau = Arg.(value & opt float 0.05 & info [ "t"; "tau" ] ~doc:"Time step.")
+
+let nlpp =
+  Arg.(
+    value & flag
+    & info [ "nlpp" ] ~doc:"Enable the non-local pseudopotential.")
+
+let seed = Arg.(value & opt int 20170101 & info [ "seed" ] ~doc:"RNG seed.")
+
+let cmd =
+  let doc = "miniQMC: the full-path QMC miniapp with kernel timers" in
+  Cmd.v
+    (Cmd.info "miniqmc" ~doc)
+    Term.(
+      const run $ workload $ variant $ reduction $ sweeps $ walkers $ tau
+      $ nlpp $ seed)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,189 @@
+open Oqmc_core
+open Oqmc_workloads
+
+(* Full production-style driver: VMC or DMC on a Table 1 workload or a
+   validation system, in any build variant, with walker parallelism over
+   domains — the "qmcpack" binary of this repository. *)
+
+let make_system name reduction with_nlpp seed =
+  match String.lowercase_ascii name with
+  | "harmonic" -> Validation.harmonic ~n:6 ~omega:1.0
+  | "hydrogen" -> Validation.hydrogen ()
+  | "heg" -> Validation.electron_gas ~n_up:8 ~n_down:8 ~box:6.0 ()
+  | _ -> Builder.make ~seed ~with_nlpp ~reduction (Spec.find name)
+
+let run input method_ workload variant reduction walkers blocks steps tau
+    domains with_nlpp seed checkpoint restore =
+  (* An input deck, when given, takes precedence over the flags. *)
+  let cfg =
+    match input with
+    | Some path -> Input.parse_file path
+    | None ->
+        {
+          Input.method_ = String.lowercase_ascii method_;
+          workload;
+          variant = Variant.of_string variant;
+          reduction;
+          walkers;
+          blocks;
+          steps;
+          tau;
+          domains;
+          nlpp = with_nlpp;
+          seed;
+          checkpoint;
+          restore;
+        }
+  in
+  let method_ = cfg.Input.method_ in
+  let workload = cfg.Input.workload in
+  let variant = cfg.Input.variant in
+  let reduction = cfg.Input.reduction in
+  let walkers = cfg.Input.walkers in
+  let blocks = cfg.Input.blocks in
+  let steps = cfg.Input.steps in
+  let tau = cfg.Input.tau in
+  let domains = cfg.Input.domains in
+  let with_nlpp = cfg.Input.nlpp in
+  let seed = cfg.Input.seed in
+  let checkpoint = cfg.Input.checkpoint in
+  let restore = cfg.Input.restore in
+  let sys = make_system workload reduction with_nlpp seed in
+  let factory = Build.factory ~variant ~seed sys in
+  Printf.printf "oqmc_run: %s  %s  variant=%s  electrons=%d  domains=%d\n"
+    method_ workload
+    (Variant.to_string variant)
+    (System.n_electrons sys) domains;
+  match method_ with
+  | "vmc" ->
+      let res =
+        Vmc.run ~factory
+          {
+            Vmc.n_walkers = walkers;
+            warmup = steps;
+            blocks;
+            steps_per_block = steps;
+            tau;
+            seed = seed + 1;
+            n_domains = domains;
+          }
+      in
+      Printf.printf "VMC energy    : %.6f +/- %.6f\n" res.Vmc.energy
+        res.Vmc.energy_error;
+      Printf.printf "variance      : %.6f\n" res.Vmc.variance;
+      Printf.printf "acceptance    : %.3f\n" res.Vmc.acceptance;
+      Printf.printf "tau_corr      : %.2f\n" res.Vmc.tau_corr;
+      Printf.printf "throughput    : %.1f samples/s  (%.2f s)\n"
+        res.Vmc.throughput res.Vmc.wall_time
+  | "dmc" ->
+      let initial =
+        match restore with
+        | Some path ->
+            let e_trial, ws = Checkpoint.load ~path in
+            Printf.printf "restored %d walkers from %s (E_T = %.6f)\n"
+              (List.length ws) path e_trial;
+            Some (e_trial, ws)
+        | None -> None
+      in
+      let res =
+        Dmc.run ?initial ~factory
+          {
+            Dmc.target_walkers = walkers;
+            warmup = steps;
+            generations = blocks * steps;
+            tau;
+            seed = seed + 1;
+            n_domains = domains;
+            ranks = 4;
+          }
+      in
+      Printf.printf "DMC energy    : %.6f +/- %.6f\n" res.Dmc.energy
+        res.Dmc.energy_error;
+      Printf.printf "variance      : %.6f   tau_corr %.2f   kappa %.3g\n"
+        res.Dmc.variance res.Dmc.tau_corr res.Dmc.efficiency;
+      Printf.printf "population    : %.1f (target %d)\n"
+        res.Dmc.mean_population walkers;
+      Printf.printf "acceptance    : %.3f\n" res.Dmc.acceptance;
+      Printf.printf "throughput    : %.1f samples/s  (%.2f s)\n"
+        res.Dmc.throughput res.Dmc.wall_time;
+      Printf.printf "load balance  : %d walker messages, %.2f MB total\n"
+        res.Dmc.comm_messages
+        (float_of_int res.Dmc.comm_bytes /. 1e6);
+      (match checkpoint with
+      | Some path ->
+          Checkpoint.save ~path ~e_trial:res.Dmc.final_e_trial
+            res.Dmc.final_walkers;
+          Printf.printf "checkpointed %d walkers to %s\n"
+            (List.length res.Dmc.final_walkers)
+            path
+      | None -> ())
+  | m -> Printf.eprintf "unknown method %S (vmc|dmc)\n" m
+
+open Cmdliner
+
+let input =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "i"; "input" ] ~docv:"DECK"
+        ~doc:"Read all settings from an input deck (overrides the flags).")
+
+let method_ =
+  Arg.(
+    value & opt string "vmc"
+    & info [ "m"; "method" ] ~doc:"QMC method: vmc or dmc.")
+
+let workload =
+  Arg.(
+    value & opt string "heg"
+    & info [ "w"; "workload" ]
+        ~doc:
+          "System: a Table 1 workload (Graphite, Be-64, NiO-32, NiO-64) or \
+           a validation system (harmonic, hydrogen, heg).")
+
+let variant =
+  Arg.(
+    value & opt string "Current"
+    & info [ "v"; "variant" ] ~doc:"Ref, Ref+MP, Current or Current(f64).")
+
+let reduction =
+  Arg.(value & opt int 8 & info [ "r"; "reduction" ] ~doc:"Size reduction.")
+
+let walkers =
+  Arg.(value & opt int 8 & info [ "n"; "walkers" ] ~doc:"Walkers / target.")
+
+let blocks = Arg.(value & opt int 5 & info [ "b"; "blocks" ] ~doc:"Blocks.")
+
+let steps =
+  Arg.(value & opt int 10 & info [ "s"; "steps" ] ~doc:"Steps per block.")
+
+let tau = Arg.(value & opt float 0.1 & info [ "t"; "tau" ] ~doc:"Time step.")
+
+let domains =
+  Arg.(value & opt int 1 & info [ "d"; "domains" ] ~doc:"Worker domains.")
+
+let nlpp = Arg.(value & flag & info [ "nlpp" ] ~doc:"Enable NLPP.")
+let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"RNG seed.")
+
+let checkpoint =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "checkpoint" ] ~docv:"PATH"
+        ~doc:"Write the final DMC walker ensemble to $(docv).")
+
+let restore =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "restore" ] ~docv:"PATH"
+        ~doc:"Resume DMC from a checkpoint written by --checkpoint.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "oqmc_run" ~doc:"VMC/DMC driver on workloads")
+    Term.(
+      const run $ input $ method_ $ workload $ variant $ reduction $ walkers
+      $ blocks $ steps $ tau $ domains $ nlpp $ seed $ checkpoint $ restore)
+
+let () = exit (Cmd.eval cmd)

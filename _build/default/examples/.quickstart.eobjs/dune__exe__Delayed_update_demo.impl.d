@@ -1,0 +1,1 @@
+examples/delayed_update_demo.ml: Build List Oqmc_containers Oqmc_core Oqmc_workloads Printf System Validation Variant Vmc

@@ -1,0 +1,1 @@
+examples/delayed_update_demo.mli:

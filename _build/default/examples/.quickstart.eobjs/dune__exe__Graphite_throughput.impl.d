@@ -1,0 +1,1 @@
+examples/graphite_throughput.ml: Build Builder List Oqmc_core Oqmc_workloads Printf Spec System Variant Vmc

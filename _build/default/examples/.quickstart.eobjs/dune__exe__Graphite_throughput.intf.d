@@ -1,0 +1,1 @@
+examples/graphite_throughput.mli:

@@ -1,0 +1,1 @@
+examples/jastrow_optimization.mli:

@@ -1,0 +1,1 @@
+examples/nio_dmc.ml: Build Builder Dmc Oqmc_core Oqmc_particle Oqmc_workloads Printf Spec Variant

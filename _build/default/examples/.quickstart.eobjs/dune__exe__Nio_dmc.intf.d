@@ -1,0 +1,1 @@
+examples/nio_dmc.mli:

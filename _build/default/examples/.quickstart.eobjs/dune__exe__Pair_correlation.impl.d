@@ -1,0 +1,1 @@
+examples/pair_correlation.ml: Array Build Lattice Observables Oqmc_core Oqmc_particle Oqmc_wavefunction Oqmc_workloads Printf System Validation Variant Vmc

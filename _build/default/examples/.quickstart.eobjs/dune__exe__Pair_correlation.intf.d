@@ -1,0 +1,1 @@
+examples/pair_correlation.mli:

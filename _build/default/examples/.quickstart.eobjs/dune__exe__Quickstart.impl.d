@@ -1,0 +1,1 @@
+examples/quickstart.ml: Build Oqmc_core Oqmc_workloads Printf System Validation Variant Vmc

@@ -1,0 +1,1 @@
+examples/timestep_study.ml: Build Dmc List Oqmc_core Oqmc_particle Oqmc_wavefunction Oqmc_workloads Printf System Validation Variant Vmc

@@ -1,0 +1,1 @@
+examples/timestep_study.mli:

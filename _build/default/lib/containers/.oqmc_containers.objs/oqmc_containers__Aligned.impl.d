@@ -1,0 +1,1 @@
+lib/containers/aligned.ml: Array Bigarray Precision

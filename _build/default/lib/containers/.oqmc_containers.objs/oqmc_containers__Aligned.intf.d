@@ -1,0 +1,1 @@
+lib/containers/aligned.mli: Bigarray Precision

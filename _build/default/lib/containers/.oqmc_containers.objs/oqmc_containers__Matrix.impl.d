@@ -1,0 +1,1 @@
+lib/containers/matrix.ml: Aligned Array Float Format Precision

@@ -1,0 +1,1 @@
+lib/containers/matrix.mli: Aligned Format Precision

@@ -1,0 +1,1 @@
+lib/containers/pos_aos.ml: Aligned Array Precision Vec3

@@ -1,0 +1,1 @@
+lib/containers/pos_aos.mli: Aligned Precision Vec3

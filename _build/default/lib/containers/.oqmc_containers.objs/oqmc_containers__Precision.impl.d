@@ -1,0 +1,1 @@
+lib/containers/precision.ml: Bigarray Int32

@@ -1,0 +1,1 @@
+lib/containers/timers.ml: Format Hashtbl List Unix

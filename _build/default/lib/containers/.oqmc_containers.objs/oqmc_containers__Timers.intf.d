@@ -1,0 +1,1 @@
+lib/containers/timers.mli: Format

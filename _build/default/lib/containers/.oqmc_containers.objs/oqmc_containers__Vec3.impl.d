@@ -1,0 +1,1 @@
+lib/containers/vec3.ml: Format Printf

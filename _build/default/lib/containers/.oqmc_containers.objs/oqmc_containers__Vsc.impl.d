@@ -1,0 +1,1 @@
+lib/containers/vsc.ml: Aligned Array Pos_aos Precision Vec3

@@ -1,0 +1,1 @@
+lib/containers/vsc.mli: Aligned Pos_aos Precision Vec3

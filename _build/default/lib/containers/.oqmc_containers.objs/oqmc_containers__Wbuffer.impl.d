@@ -1,0 +1,1 @@
+lib/containers/wbuffer.ml: Array Vec3

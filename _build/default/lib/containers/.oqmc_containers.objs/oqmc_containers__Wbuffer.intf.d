@@ -1,0 +1,1 @@
+lib/containers/wbuffer.mli: Vec3

@@ -1,0 +1,45 @@
+(** Contiguous, unboxed, padded arrays of reals backing every
+    storage-heavy kernel.  The functor fixes the storage precision; values
+    are plain C-layout bigarrays so kernels written against a concrete
+    precision get monomorphic (fast) element access. *)
+
+val round_up : int -> int -> int
+(** [round_up n m] is the smallest multiple of [m] that is [>= n] ([m] for
+    [n <= 0]).  @raise Invalid_argument if [m <= 0]. *)
+
+module Make (R : Precision.REAL) : sig
+  type t = (float, R.elt, Bigarray.c_layout) Bigarray.Array1.t
+
+  val create : int -> t
+  (** Zero-initialized array of [n] elements. *)
+
+  val padded_len : int -> int
+  (** Logical length rounded up to a whole number of SIMD vectors at this
+      precision, matching the paper's cache-aligned row stride [Nᵖ]. *)
+
+  val create_padded : int -> t
+  val length : t -> int
+
+  val get : t -> int -> float
+  val set : t -> int -> float -> unit
+  (** [set] rounds through the storage precision. *)
+
+  val unsafe_get : t -> int -> float
+  val unsafe_set : t -> int -> float -> unit
+  (** Unchecked access for inner loops.  [unsafe_set] relies on the bigarray
+      write itself to narrow to storage precision. *)
+
+  val fill : t -> float -> unit
+  val blit : src:t -> dst:t -> unit
+  val sub : t -> pos:int -> len:int -> t
+  (** Shared-storage slice. *)
+
+  val copy : t -> t
+  val of_array : float array -> t
+  val to_array : t -> float array
+  val iteri : (int -> float -> unit) -> t -> unit
+  val fold : ('a -> float -> 'a) -> 'a -> t -> 'a
+
+  val bytes : t -> int
+  (** Allocated storage in bytes; feeds the memory-footprint accounting. *)
+end

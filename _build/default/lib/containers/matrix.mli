@@ -1,0 +1,49 @@
+(** Dense row-major matrices at a fixed storage precision, with optional
+    SIMD row padding (leading dimension).  Backs the distance tables,
+    inverse Slater matrices and B-spline coefficient planes. *)
+
+module Make (R : Precision.REAL) : sig
+  module A : module type of Aligned.Make (R)
+
+  type t
+
+  val create : ?padded:bool -> int -> int -> t
+  (** [create rows cols], zero-filled.  With [~padded:true] the leading
+      dimension is rounded up to the SIMD width. *)
+
+  val rows : t -> int
+  val cols : t -> int
+
+  val ld : t -> int
+  (** Leading dimension (row stride in elements, [>= cols]). *)
+
+  val data : t -> A.t
+
+  val get : t -> int -> int -> float
+  val set : t -> int -> int -> float -> unit
+  val unsafe_get : t -> int -> int -> float
+  val unsafe_set : t -> int -> int -> float -> unit
+
+  val row : t -> int -> A.t
+  (** Shared-storage view of row [i] (length {!ld}). *)
+
+  val fill : t -> float -> unit
+  val copy : t -> t
+
+  val blit : src:t -> dst:t -> unit
+  (** @raise Invalid_argument on shape mismatch. *)
+
+  val init : ?padded:bool -> int -> int -> (int -> int -> float) -> t
+  val of_arrays : float array array -> t
+  val to_arrays : t -> float array array
+  val transpose : t -> t
+  val identity : int -> t
+
+  val map2_inplace : (float -> float -> float) -> src:t -> dst:t -> unit
+  (** [map2_inplace f ~src ~dst] sets [dst.(i,j) <- f dst.(i,j) src.(i,j)]. *)
+
+  val max_abs_diff : t -> t -> float
+
+  val bytes : t -> int
+  val pp : Format.formatter -> t -> unit
+end

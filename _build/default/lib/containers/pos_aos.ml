@@ -1,0 +1,54 @@
+(* Array-of-structures particle positions: the paper's R[N][3].
+
+   Coordinates are interleaved [x0 y0 z0 x1 y1 z1 ...] exactly like a C++
+   std::vector<TinyVector<T,3>>.  Reading particle [i] therefore touches a
+   3-element strided group — the access pattern whose poor vectorizability
+   motivates the whole paper.  The Ref kernels iterate over this layout. *)
+
+module Make (R : Precision.REAL) = struct
+  module A = Aligned.Make (R)
+
+  type t = { data : A.t; n : int }
+
+  let dim = 3
+
+  let create n =
+    if n < 0 then invalid_arg "Pos_aos.create: negative size";
+    { data = A.create (dim * n); n }
+
+  let length t = t.n
+  let data t = t.data
+
+  let get t i =
+    let base = dim * i in
+    Vec3.make (A.get t.data base)
+      (A.get t.data (base + 1))
+      (A.get t.data (base + 2))
+
+  let set t i (v : Vec3.t) =
+    let base = dim * i in
+    A.set t.data base v.Vec3.x;
+    A.set t.data (base + 1) v.Vec3.y;
+    A.set t.data (base + 2) v.Vec3.z
+
+  let unsafe_x t i = A.unsafe_get t.data (dim * i)
+  let unsafe_y t i = A.unsafe_get t.data ((dim * i) + 1)
+  let unsafe_z t i = A.unsafe_get t.data ((dim * i) + 2)
+
+  let copy t = { data = A.copy t.data; n = t.n }
+  let blit ~src ~dst = A.blit ~src:src.data ~dst:dst.data
+
+  let of_vec3s vs =
+    let t = create (Array.length vs) in
+    Array.iteri (fun i v -> set t i v) vs;
+    t
+
+  let to_vec3s t = Array.init t.n (get t)
+
+  let iteri f t =
+    for i = 0 to t.n - 1 do
+      f i (get t i)
+    done
+
+  let bytes t = A.bytes t.data
+end

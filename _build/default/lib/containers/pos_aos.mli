@@ -1,0 +1,40 @@
+(** Array-of-structures particle positions — QMCPACK's
+    [Vector<TinyVector<T,3>>], i.e. interleaved [x y z] triples.  This is
+    the layout used by the reference (Ref) kernels; it is retained alongside
+    {!Vsc} in the optimized code exactly as the paper keeps [R] next to
+    [Rsoa]. *)
+
+module Make (R : Precision.REAL) : sig
+  module A : module type of Aligned.Make (R)
+
+  type t
+
+  val dim : int
+  (** Spatial dimension; fixed at 3. *)
+
+  val create : int -> t
+  (** Zero-initialized positions for [n] particles. *)
+
+  val length : t -> int
+
+  val data : t -> A.t
+  (** The raw interleaved backing array, for layout-aware kernels and
+      AoS-to-SoA assignment. *)
+
+  val get : t -> int -> Vec3.t
+  val set : t -> int -> Vec3.t -> unit
+
+  val unsafe_x : t -> int -> float
+  val unsafe_y : t -> int -> float
+  val unsafe_z : t -> int -> float
+  (** Unchecked single-coordinate reads for inner loops over the strided
+      layout. *)
+
+  val copy : t -> t
+  val blit : src:t -> dst:t -> unit
+  val of_vec3s : Vec3.t array -> t
+  val to_vec3s : t -> Vec3.t array
+  val iteri : (int -> Vec3.t -> unit) -> t -> unit
+
+  val bytes : t -> int
+end

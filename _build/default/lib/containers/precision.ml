@@ -1,0 +1,84 @@
+(* Precision selection for kernel storage.
+
+   The paper's mixed-precision scheme stores bulk per-walker state (distance
+   tables, Jastrow values, inverse matrices, B-spline coefficients) in single
+   precision while keeping per-walker and ensemble accumulators in double
+   precision.  We model that by functorizing storage-heavy kernels over a
+   [REAL] module: [F64] for the reference build, [F32] for the
+   mixed-precision builds.  Computations always happen in OCaml [float]
+   (IEEE double); [F32] rounds through 32-bit storage on every write, which
+   reproduces both the memory-footprint/bandwidth savings (bigarray storage
+   is genuinely 4 bytes wide) and the rounding behaviour of the paper. *)
+
+type f64_elt = Bigarray.float64_elt
+type f32_elt = Bigarray.float32_elt
+
+module type REAL = sig
+  (** Element kind of the backing bigarrays. *)
+  type elt
+
+  val kind : (float, elt) Bigarray.kind
+
+  val name : string
+  (** ["f64"] or ["f32"]; used in reports and benchmark labels. *)
+
+  val bytes : int
+  (** Storage width in bytes (8 or 4). *)
+
+  val simd_lanes : int
+  (** Number of elements per 512-bit SIMD vector at this width; used for
+      padding so that each row of a SoA container starts on a vector
+      boundary, as the paper's cache-aligned allocators guarantee. *)
+
+  val eps : float
+  (** Machine epsilon of the storage format. *)
+
+  val round : float -> float
+  (** Round a double to this storage precision ([Fun.id] for f64). *)
+
+  val get :
+    (float, elt, Bigarray.c_layout) Bigarray.Array1.t -> int -> float
+
+  val set :
+    (float, elt, Bigarray.c_layout) Bigarray.Array1.t -> int -> float -> unit
+  (** Unchecked element access, defined where the bigarray kind is
+      statically known so the compiler emits direct loads/stores.  Going
+      through [Bigarray.Array1.unsafe_get] inside a functor body (where
+      the kind is abstract) falls back to the generic C path and is an
+      order of magnitude slower — these accessors are the difference
+      between abstraction and abstraction penalty in the hot loops. *)
+end
+
+module F64 : REAL with type elt = f64_elt = struct
+  type elt = f64_elt
+
+  let kind = Bigarray.float64
+  let name = "f64"
+  let bytes = 8
+  let simd_lanes = 8
+  let eps = epsilon_float
+  let round x = x
+
+  let get (a : (float, elt, Bigarray.c_layout) Bigarray.Array1.t) i =
+    Bigarray.Array1.unsafe_get a i
+
+  let set (a : (float, elt, Bigarray.c_layout) Bigarray.Array1.t) i v =
+    Bigarray.Array1.unsafe_set a i v
+end
+
+module F32 : REAL with type elt = f32_elt = struct
+  type elt = f32_elt
+
+  let kind = Bigarray.float32
+  let name = "f32"
+  let bytes = 4
+  let simd_lanes = 16
+  let eps = 1.1920928955078125e-07
+  let round x = Int32.float_of_bits (Int32.bits_of_float x)
+
+  let get (a : (float, elt, Bigarray.c_layout) Bigarray.Array1.t) i =
+    Bigarray.Array1.unsafe_get a i
+
+  let set (a : (float, elt, Bigarray.c_layout) Bigarray.Array1.t) i v =
+    Bigarray.Array1.unsafe_set a i v
+end

@@ -1,0 +1,80 @@
+(* Per-kernel wall-clock accumulators: the instrumentation standing in for
+   VTune in the hot-spot profiles (Figs. 2 and 7).  Keys follow the
+   paper's kernel names (DistTable, J1, J2, Bspline-v, Bspline-vgh,
+   SPO-vgl, DetUpdate, Other).  A timer set is owned by one domain; sets
+   are merged after a parallel region. *)
+
+type entry = { mutable sum : float; mutable count : int }
+
+type t = { table : (string, entry) Hashtbl.t; enabled : bool }
+
+let create () = { table = Hashtbl.create 16; enabled = true }
+
+let null = { table = Hashtbl.create 1; enabled = false }
+
+let now = Unix.gettimeofday
+
+let entry t key =
+  match Hashtbl.find_opt t.table key with
+  | Some e -> e
+  | None ->
+      let e = { sum = 0.; count = 0 } in
+      Hashtbl.add t.table key e;
+      e
+
+let add t key dt =
+  if t.enabled then begin
+    let e = entry t key in
+    e.sum <- e.sum +. dt;
+    e.count <- e.count + 1
+  end
+
+let time t key f =
+  if t.enabled then begin
+    let t0 = now () in
+    let r = f () in
+    add t key (now () -. t0);
+    r
+  end
+  else f ()
+
+let total t key =
+  match Hashtbl.find_opt t.table key with Some e -> e.sum | None -> 0.
+
+let count t key =
+  match Hashtbl.find_opt t.table key with Some e -> e.count | None -> 0
+
+let keys t =
+  Hashtbl.fold (fun k _ acc -> k :: acc) t.table []
+  |> List.sort compare
+
+let merge ~into src =
+  Hashtbl.iter
+    (fun k (e : entry) ->
+      let d = entry into k in
+      d.sum <- d.sum +. e.sum;
+      d.count <- d.count + e.count)
+    src.table
+
+let reset t = Hashtbl.reset t.table
+
+let grand_total t = Hashtbl.fold (fun _ e acc -> acc +. e.sum) t.table 0.
+
+(* Normalized profile: fraction of the summed kernel time per key. *)
+let profile t =
+  let tot = grand_total t in
+  if tot <= 0. then []
+  else
+    keys t
+    |> List.map (fun k -> (k, total t k /. tot))
+
+let pp ppf t =
+  let tot = grand_total t in
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun k ->
+      Format.fprintf ppf "%-12s %10.4fs %9d calls %5.1f%%@,"
+        k (total t k) (count t k)
+        (if tot > 0. then 100. *. total t k /. tot else 0.))
+    (keys t);
+  Format.fprintf ppf "@]"

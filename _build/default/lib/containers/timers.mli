@@ -1,0 +1,27 @@
+(** Per-kernel wall-clock accumulators — the instrumentation behind the
+    hot-spot profiles.  One timer set per domain; merge after parallel
+    regions. *)
+
+type t
+
+val create : unit -> t
+
+val null : t
+(** Disabled set: {!time} runs the thunk with no measurement. *)
+
+val now : unit -> float
+
+val add : t -> string -> float -> unit
+val time : t -> string -> (unit -> 'a) -> 'a
+
+val total : t -> string -> float
+val count : t -> string -> int
+val keys : t -> string list
+val merge : into:t -> t -> unit
+val reset : t -> unit
+val grand_total : t -> float
+
+val profile : t -> (string * float) list
+(** Normalized (key, fraction-of-total) pairs. *)
+
+val pp : Format.formatter -> t -> unit

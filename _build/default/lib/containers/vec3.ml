@@ -1,0 +1,48 @@
+(* Fixed 3-D vector, the OCaml analogue of the paper's TinyVector<T,3>.
+
+   Values are immutable records of unboxed floats; the compiler keeps them
+   flat.  Hot kernels never traffic in [Vec3.t] — they read raw coordinates
+   out of AoS/SoA containers — but the high-level physics (moves, drift
+   vectors, quadrature points) is expressed with this type, mirroring how
+   QMCPACK keeps TinyVector at the abstraction level. *)
+
+type t = { x : float; y : float; z : float }
+
+let make x y z = { x; y; z }
+let zero = { x = 0.; y = 0.; z = 0. }
+let add a b = { x = a.x +. b.x; y = a.y +. b.y; z = a.z +. b.z }
+let sub a b = { x = a.x -. b.x; y = a.y -. b.y; z = a.z -. b.z }
+let scale s a = { x = s *. a.x; y = s *. a.y; z = s *. a.z }
+let neg a = { x = -.a.x; y = -.a.y; z = -.a.z }
+let dot a b = (a.x *. b.x) +. (a.y *. b.y) +. (a.z *. b.z)
+let cross a b =
+  { x = (a.y *. b.z) -. (a.z *. b.y);
+    y = (a.z *. b.x) -. (a.x *. b.z);
+    z = (a.x *. b.y) -. (a.y *. b.x) }
+
+let norm2 a = dot a a
+let norm a = sqrt (norm2 a)
+let dist2 a b = norm2 (sub a b)
+let dist a b = sqrt (dist2 a b)
+
+let normalize a =
+  let n = norm a in
+  if n = 0. then zero else scale (1. /. n) a
+
+let map f a = { x = f a.x; y = f a.y; z = f a.z }
+
+let fold f acc a = f (f (f acc a.x) a.y) a.z
+
+let get a = function
+  | 0 -> a.x
+  | 1 -> a.y
+  | 2 -> a.z
+  | d -> invalid_arg (Printf.sprintf "Vec3.get: dimension %d" d)
+
+let equal ?(tol = 0.) a b =
+  abs_float (a.x -. b.x) <= tol
+  && abs_float (a.y -. b.y) <= tol
+  && abs_float (a.z -. b.z) <= tol
+
+let pp ppf a = Format.fprintf ppf "(%g, %g, %g)" a.x a.y a.z
+let to_string a = Format.asprintf "%a" pp a

@@ -1,0 +1,38 @@
+(** Fixed 3-D vector of doubles, the analogue of QMCPACK's
+    [TinyVector<T,3>].  Used at the physics-abstraction level (particle
+    moves, gradients, quadrature directions); hot kernels operate on the
+    raw coordinates held by {!Pos_aos} and {!Vsc} containers instead. *)
+
+type t = { x : float; y : float; z : float }
+
+val make : float -> float -> float -> t
+val zero : t
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val scale : float -> t -> t
+val neg : t -> t
+val dot : t -> t -> float
+val cross : t -> t -> t
+
+val norm2 : t -> float
+(** Squared Euclidean norm. *)
+
+val norm : t -> float
+val dist2 : t -> t -> float
+val dist : t -> t -> float
+
+val normalize : t -> t
+(** Unit vector in the same direction; {!zero} stays {!zero}. *)
+
+val map : (float -> float) -> t -> t
+val fold : ('a -> float -> 'a) -> 'a -> t -> 'a
+
+val get : t -> int -> float
+(** Component by index 0..2.  @raise Invalid_argument otherwise. *)
+
+val equal : ?tol:float -> t -> t -> bool
+(** Component-wise comparison within [tol] (default exact). *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

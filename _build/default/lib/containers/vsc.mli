@@ -1,0 +1,47 @@
+(** [VectorSoaContainer<T,3>] — the paper's generic SoA container.  Holds
+    particle coordinates as three contiguous padded component rows
+    ([Rsoa[3][Nᵖ]]) so distance and Jastrow kernels stream memory with unit
+    stride.  Lives alongside its AoS counterpart ({!Pos_aos}); the only
+    extra costs are the AoS-to-SoA assignment in [loadWalker] and a 6-scalar
+    update on each accepted move, exactly as in the paper. *)
+
+module Make (R : Precision.REAL) : sig
+  module A : module type of Aligned.Make (R)
+  module Aos : module type of Pos_aos.Make (R)
+
+  type t
+
+  val create : int -> t
+  (** Container for [n] particles; rows are padded to {!stride}. *)
+
+  val length : t -> int
+
+  val stride : t -> int
+  (** Padded row length Nᵖ (a multiple of the SIMD width). *)
+
+  val data : t -> A.t
+
+  val xs : t -> A.t
+  val ys : t -> A.t
+  val zs : t -> A.t
+  (** Unit-stride component rows (shared storage, length {!stride};
+      entries at indices [>= length t] are padding). *)
+
+  val get : t -> int -> Vec3.t
+  val set : t -> int -> Vec3.t -> unit
+
+  val unsafe_x : t -> int -> float
+  val unsafe_y : t -> int -> float
+  val unsafe_z : t -> int -> float
+
+  val assign_from_aos : t -> Aos.t -> unit
+  (** In-place AoS-to-SoA transposition ([Rsoa = awalker.R]).
+      @raise Invalid_argument on size mismatch. *)
+
+  val to_aos : t -> Aos.t
+  val copy : t -> t
+  val of_vec3s : Vec3.t array -> t
+  val iteri : (int -> Vec3.t -> unit) -> t -> unit
+
+  val bytes : t -> int
+end

@@ -1,0 +1,1 @@
+lib/hamiltonian/coulomb.mli: Hamiltonian

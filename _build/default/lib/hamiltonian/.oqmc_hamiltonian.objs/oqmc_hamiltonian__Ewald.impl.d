@@ -1,0 +1,1 @@
+lib/hamiltonian/ewald.ml: Array Float Hamiltonian Lattice Oqmc_containers Oqmc_particle Vec3

@@ -1,0 +1,1 @@
+lib/hamiltonian/ewald.mli: Hamiltonian Lattice Oqmc_containers Oqmc_particle Vec3

@@ -1,0 +1,1 @@
+lib/hamiltonian/external_potential.mli: Hamiltonian Oqmc_containers Vec3

@@ -1,0 +1,1 @@
+lib/hamiltonian/hamiltonian.ml: Array

@@ -1,0 +1,1 @@
+lib/hamiltonian/nlpp.ml: Array Hamiltonian List Oqmc_containers Quadrature Vec3

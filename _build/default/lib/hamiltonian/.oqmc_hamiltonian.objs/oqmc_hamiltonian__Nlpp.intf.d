@@ -1,0 +1,1 @@
+lib/hamiltonian/nlpp.mli: Hamiltonian Oqmc_containers Quadrature Vec3

@@ -1,0 +1,1 @@
+lib/hamiltonian/quadrature.ml: Array Oqmc_containers Vec3

@@ -1,0 +1,1 @@
+lib/hamiltonian/quadrature.mli: Oqmc_containers Vec3

@@ -1,0 +1,58 @@
+(* Coulomb interactions under the minimum-image convention.
+
+   Substitution note (see DESIGN.md): production QMCPACK uses Ewald /
+   optimized-breakup summation for periodic Coulomb.  The electrostatics
+   here is the spherically-truncated minimum-image sum, which exercises
+   the same distance-table access pattern and keeps Ref/Current physics
+   identical; absolute energies of periodic systems therefore carry a
+   truncation offset that cancels in every comparison this repository
+   makes. *)
+
+type dist_fn = int -> int -> float
+
+(* Electron-electron repulsion Σ_{i<j} 1/r_ij. *)
+let ee ~n ~(dist : dist_fn) : Hamiltonian.term =
+  {
+    Hamiltonian.name = "Coulomb-ee";
+    evaluate =
+      (fun () ->
+        let acc = ref 0. in
+        for i = 0 to n - 1 do
+          for j = i + 1 to n - 1 do
+            let d = dist i j in
+            if d > 0. then acc := !acc +. (1. /. d)
+          done
+        done;
+        !acc);
+  }
+
+(* Electron-ion attraction Σ_{k,I} −Z_I / r_kI. *)
+let ei ~n ~n_ion ~(charge : int -> float) ~(dist : dist_fn) :
+    Hamiltonian.term =
+  {
+    Hamiltonian.name = "Coulomb-eI";
+    evaluate =
+      (fun () ->
+        let acc = ref 0. in
+        for k = 0 to n - 1 do
+          for i = 0 to n_ion - 1 do
+            let d = dist k i in
+            if d > 0. then acc := !acc -. (charge i /. d)
+          done
+        done;
+        !acc);
+  }
+
+(* Fixed ion-ion repulsion: a constant, computed once. *)
+let ii ~n_ion ~(charge : int -> float) ~(dist : dist_fn) : Hamiltonian.term =
+  let v =
+    let acc = ref 0. in
+    for i = 0 to n_ion - 1 do
+      for j = i + 1 to n_ion - 1 do
+        let d = dist i j in
+        if d > 0. then acc := !acc +. (charge i *. charge j /. d)
+      done
+    done;
+    !acc
+  in
+  { Hamiltonian.name = "Coulomb-II"; evaluate = (fun () -> v) }

@@ -1,0 +1,17 @@
+(** Coulomb interactions under the minimum-image convention (the
+    spherically truncated substitution documented in DESIGN.md; see
+    {!Ewald} for full periodic electrostatics). *)
+
+type dist_fn = int -> int -> float
+
+val ee : n:int -> dist:dist_fn -> Hamiltonian.term
+(** Electron-electron repulsion Σ_{i<j} 1/r_ij. *)
+
+val ei :
+  n:int -> n_ion:int -> charge:(int -> float) -> dist:dist_fn ->
+  Hamiltonian.term
+(** Electron-ion attraction −Σ Z_I/r_kI. *)
+
+val ii :
+  n_ion:int -> charge:(int -> float) -> dist:dist_fn -> Hamiltonian.term
+(** Fixed ion-ion repulsion, evaluated once. *)

@@ -1,0 +1,34 @@
+open Oqmc_containers
+open Oqmc_particle
+
+(** Classic Ewald summation for periodic point charges — the full
+    periodic-electrostatics substrate that replaces the minimum-image
+    shortcut where absolute energies matter (production QMCPACK uses an
+    optimized-breakup equivalent). *)
+
+val erfc : float -> float
+(** Complementary error function (Abramowitz & Stegun 7.1.26,
+    |error| < 1.5e-7). *)
+
+type t
+
+val create : ?tol:float -> lattice:Lattice.t -> charges:float array -> unit -> t
+(** Precompute the splitting parameter, reciprocal sum and constant terms
+    for a fixed charge set.  Default tolerance 1e-8.
+    @raise Invalid_argument for an open-boundary cell. *)
+
+val default_tol : float
+val n_gvectors : t -> int
+val alpha : t -> float
+
+val energy : t -> position:(int -> Vec3.t) -> float
+(** Total electrostatic energy of the configuration (real + reciprocal +
+    self + charged-background terms). *)
+
+val term :
+  ?tol:float ->
+  lattice:Lattice.t ->
+  charges:float array ->
+  position:(int -> Vec3.t) ->
+  unit ->
+  Hamiltonian.term

@@ -1,0 +1,30 @@
+open Oqmc_containers
+
+(* External one-body potentials, used by the analytic validation systems. *)
+
+(* Isotropic harmonic trap ½ ω² Σ_k |r_k|². *)
+let harmonic ~omega ~n ~(position : int -> Vec3.t) : Hamiltonian.term =
+  {
+    Hamiltonian.name = "Harmonic";
+    evaluate =
+      (fun () ->
+        let acc = ref 0. in
+        for k = 0 to n - 1 do
+          acc := !acc +. Vec3.norm2 (position k)
+        done;
+        0.5 *. omega *. omega *. !acc);
+  }
+
+(* Arbitrary local one-body potential. *)
+let local_v ~name ~n ~(position : int -> Vec3.t) ~(v : Vec3.t -> float) :
+    Hamiltonian.term =
+  {
+    Hamiltonian.name = name;
+    evaluate =
+      (fun () ->
+        let acc = ref 0. in
+        for k = 0 to n - 1 do
+          acc := !acc +. v (position k)
+        done;
+        !acc);
+  }

@@ -1,0 +1,14 @@
+open Oqmc_containers
+
+(** External one-body potentials for the analytic validation systems. *)
+
+val harmonic :
+  omega:float -> n:int -> position:(int -> Vec3.t) -> Hamiltonian.term
+(** ½ ω² Σ_k |r_k|². *)
+
+val local_v :
+  name:string ->
+  n:int ->
+  position:(int -> Vec3.t) ->
+  v:(Vec3.t -> float) ->
+  Hamiltonian.term

@@ -1,0 +1,19 @@
+(* Composite Hamiltonian: the local energy is the kinetic part (from the
+   trial wavefunction's gradient/laplacian sweep) plus a sum of potential
+   terms.  Terms are closures over whatever state they need (usually the
+   shared distance tables, which must be fresh when a measurement is
+   taken), mirroring how QMCPACK Hamiltonian objects consume the tables. *)
+
+type term = { name : string; evaluate : unit -> float }
+
+type t = { terms : term array }
+
+let create terms = { terms = Array.of_list terms }
+
+let potential_energy t =
+  Array.fold_left (fun acc term -> acc +. term.evaluate ()) 0. t.terms
+
+let local_energy t ~kinetic = kinetic +. potential_energy t
+
+let term_energies t =
+  Array.to_list (Array.map (fun term -> (term.name, term.evaluate ())) t.terms)

@@ -1,0 +1,13 @@
+(** Composite Hamiltonian: local energy = kinetic (from the trial
+    wavefunction's gradient/laplacian sweep) + a sum of potential terms.
+    Terms are closures over the shared distance tables, which must be
+    fresh when a measurement is taken. *)
+
+type term = { name : string; evaluate : unit -> float }
+
+type t
+
+val create : term list -> t
+val potential_energy : t -> float
+val local_energy : t -> kinetic:float -> float
+val term_energies : t -> (string * float) list

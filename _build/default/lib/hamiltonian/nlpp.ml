@@ -1,0 +1,62 @@
+open Oqmc_containers
+
+(* Non-local pseudopotential via spherical quadrature (Eq. 7 of the paper,
+   last term).  For every electron k within the cutoff of an ion I, the
+   angular projector is approximated on a quadrature shell of radius
+   r = |r_k − r_I|:
+
+     V_NL Ψ/Ψ ≈ Σ_{k,I} v_l(r) (2l+1) Σ_q w_q P_l(r̂_kI·r̂_q) Ψ(r→r_q)/Ψ(R)
+
+   The Ψ ratios are the same PbyP machinery as the drift-and-diffusion
+   stage, exercised at N_q extra positions per (k, I) pair — this is what
+   makes pseudopotential workloads (all of Table 1 except Be) stress the
+   ratio kernels.  The engine supplies a [ratio] closure that stages the
+   temporary move through the shared tables and trial wavefunction and
+   rejects it afterwards. *)
+
+type channel = { l : int; v : float -> float; cutoff : float }
+
+type ion_species = { channels : channel list }
+
+let create ~(quadrature : Quadrature.t) ~(species : ion_species array)
+    ~n_electrons ~(ion_species_of : int -> int) ~n_ions
+    ~(ion_position : int -> Vec3.t) ~(elec_position : int -> Vec3.t)
+    ~(dist : int -> int -> float) ~(ratio : int -> Vec3.t -> float) :
+    Hamiltonian.term =
+  let nq = Quadrature.n_points quadrature in
+  let evaluate () =
+    let acc = ref 0. in
+    for k = 0 to n_electrons - 1 do
+      for i = 0 to n_ions - 1 do
+        let sp = species.(ion_species_of i) in
+        List.iter
+          (fun { l; v; cutoff } ->
+            let d = dist k i in
+            if d > 1e-12 && d < cutoff then begin
+              let vr = v d in
+              if vr <> 0. then begin
+                let ri = ion_position i in
+                let rk = elec_position k in
+                (* Unit vector from ion to electron. *)
+                let u = Vec3.scale (1. /. d) (Vec3.sub rk ri) in
+                let proj = ref 0. in
+                for q = 0 to nq - 1 do
+                  let dir = quadrature.Quadrature.points.(q) in
+                  let newpos = Vec3.add ri (Vec3.scale d dir) in
+                  let cost = Vec3.dot u dir in
+                  let pl = Quadrature.legendre l cost in
+                  proj :=
+                    !proj
+                    +. (quadrature.Quadrature.weights.(q) *. pl
+                       *. ratio k newpos)
+                done;
+                acc :=
+                  !acc +. (vr *. float_of_int ((2 * l) + 1) *. !proj)
+              end
+            end)
+          sp.channels
+      done
+    done;
+    !acc
+  in
+  { Hamiltonian.name = "NonLocalPP"; evaluate }

@@ -1,0 +1,25 @@
+open Oqmc_containers
+
+(** Non-local pseudopotential via spherical quadrature (Eq. 7 of the
+    paper): for each electron inside an ion's cutoff, the angular
+    projector is evaluated on a quadrature shell using trial-wavefunction
+    ratios supplied by the engine. *)
+
+type channel = { l : int; v : float -> float; cutoff : float }
+
+type ion_species = { channels : channel list }
+
+val create :
+  quadrature:Quadrature.t ->
+  species:ion_species array ->
+  n_electrons:int ->
+  ion_species_of:(int -> int) ->
+  n_ions:int ->
+  ion_position:(int -> Vec3.t) ->
+  elec_position:(int -> Vec3.t) ->
+  dist:(int -> int -> float) ->
+  ratio:(int -> Vec3.t -> float) ->
+  Hamiltonian.term
+(** [ratio k pos] must stage the temporary move of electron [k] to [pos]
+    through the shared tables and wavefunction, return Ψ(R')/Ψ(R), and
+    reject it. *)

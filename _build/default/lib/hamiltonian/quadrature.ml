@@ -1,0 +1,58 @@
+open Oqmc_containers
+
+(* Spherical quadrature rules for the non-local pseudopotential angular
+   integral (Fahy, Wang & Louie 1990).  Each rule integrates spherical
+   harmonics exactly up to some l with uniform or near-uniform weights. *)
+
+type t = { points : Vec3.t array; weights : float array }
+
+let n_points t = Array.length t.points
+
+(* Octahedron vertices: exact through l = 2. *)
+let octahedron =
+  let p = [|
+    Vec3.make 1. 0. 0.; Vec3.make (-1.) 0. 0.;
+    Vec3.make 0. 1. 0.; Vec3.make 0. (-1.) 0.;
+    Vec3.make 0. 0. 1.; Vec3.make 0. 0. (-1.);
+  |] in
+  { points = p; weights = Array.make 6 (1. /. 6.) }
+
+(* Icosahedron vertices: 12 points, exact through l = 5 — the common
+   QMCPACK default for transition-metal pseudopotentials. *)
+let icosahedron =
+  let phi = (1. +. sqrt 5.) /. 2. in
+  let raw =
+    [|
+      Vec3.make 0. 1. phi; Vec3.make 0. (-1.) phi;
+      Vec3.make 0. 1. (-.phi); Vec3.make 0. (-1.) (-.phi);
+      Vec3.make 1. phi 0.; Vec3.make (-1.) phi 0.;
+      Vec3.make 1. (-.phi) 0.; Vec3.make (-1.) (-.phi) 0.;
+      Vec3.make phi 0. 1.; Vec3.make (-.phi) 0. 1.;
+      Vec3.make phi 0. (-1.); Vec3.make (-.phi) 0. (-1.);
+    |]
+  in
+  {
+    points = Array.map Vec3.normalize raw;
+    weights = Array.make 12 (1. /. 12.);
+  }
+
+(* Legendre polynomials for the angular projector. *)
+let legendre l x =
+  match l with
+  | 0 -> 1.
+  | 1 -> x
+  | 2 -> ((3. *. x *. x) -. 1.) /. 2.
+  | 3 -> (((5. *. x *. x) -. 3.) *. x) /. 2.
+  | _ ->
+      (* Upward recurrence for higher orders. *)
+      let rec go k pkm1 pk =
+        if k = l then pk
+        else
+          let next =
+            (((2. *. float_of_int k) +. 1.) *. x *. pk
+            -. (float_of_int k *. pkm1))
+            /. float_of_int (k + 1)
+          in
+          go (k + 1) pk next
+      in
+      go 1 1. x

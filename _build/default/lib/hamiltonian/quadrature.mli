@@ -1,0 +1,17 @@
+open Oqmc_containers
+
+(** Spherical quadrature rules for the non-local pseudopotential angular
+    integral, plus Legendre polynomials for the projectors. *)
+
+type t = { points : Vec3.t array; weights : float array }
+
+val n_points : t -> int
+
+val octahedron : t
+(** 6 points, exact through l = 2. *)
+
+val icosahedron : t
+(** 12 points, exact through l = 5 — the usual default. *)
+
+val legendre : int -> float -> float
+(** P_l(x) by recurrence. *)

@@ -1,0 +1,1 @@
+lib/linalg/blas.ml: Aligned Matrix Oqmc_containers Precision

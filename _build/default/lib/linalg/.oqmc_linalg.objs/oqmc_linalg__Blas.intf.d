@@ -1,0 +1,1 @@
+lib/linalg/blas.mli: Aligned Matrix Oqmc_containers Precision

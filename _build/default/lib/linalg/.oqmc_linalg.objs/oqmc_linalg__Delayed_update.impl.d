@@ -1,0 +1,1 @@
+lib/linalg/delayed_update.ml: Aligned Array Blas Matrix Oqmc_containers Precision

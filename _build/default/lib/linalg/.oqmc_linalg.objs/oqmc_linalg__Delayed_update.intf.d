@@ -1,0 +1,1 @@
+lib/linalg/delayed_update.mli: Aligned Matrix Oqmc_containers Precision

@@ -1,0 +1,1 @@
+lib/linalg/sherman_morrison.ml: Aligned Blas Matrix Oqmc_containers Precision

@@ -1,0 +1,1 @@
+lib/linalg/sherman_morrison.mli: Aligned Matrix Oqmc_containers Precision

@@ -1,0 +1,114 @@
+open Oqmc_containers
+
+(* Hand-rolled BLAS-1/2/3 kernels over precision-fixed aligned storage.
+
+   These are the building blocks of DetUpdate (BLAS2 Sherman–Morrison) and
+   of the delayed-update scheme (BLAS3 flush).  Accumulation is always in
+   double; only loads/stores happen at the storage precision, matching the
+   paper's mixed-precision policy. *)
+
+module Make (R : Precision.REAL) = struct
+  module A = Aligned.Make (R)
+  module M = Matrix.Make (R)
+
+  let dot (x : A.t) (y : A.t) n =
+    let acc = ref 0. in
+    for i = 0 to n - 1 do
+      acc := !acc +. (A.unsafe_get x i *. A.unsafe_get y i)
+    done;
+    !acc
+
+  let scal alpha (x : A.t) n =
+    for i = 0 to n - 1 do
+      A.unsafe_set x i (alpha *. A.unsafe_get x i)
+    done
+
+  let axpy alpha (x : A.t) (y : A.t) n =
+    for i = 0 to n - 1 do
+      A.unsafe_set y i (A.unsafe_get y i +. (alpha *. A.unsafe_get x i))
+    done
+
+  let copy (x : A.t) (y : A.t) n =
+    for i = 0 to n - 1 do
+      A.unsafe_set y i (A.unsafe_get x i)
+    done
+
+  let asum (x : A.t) n =
+    let acc = ref 0. in
+    for i = 0 to n - 1 do
+      acc := !acc +. abs_float (A.unsafe_get x i)
+    done;
+    !acc
+
+  let nrm2 (x : A.t) n = sqrt (dot x x n)
+
+  (* y := A x, A is rows×cols (row-major, leading dimension honored). *)
+  let gemv (a : M.t) (x : A.t) (y : A.t) =
+    let rows = M.rows a and cols = M.cols a and ld = M.ld a in
+    let data = M.data a in
+    for i = 0 to rows - 1 do
+      let base = i * ld in
+      let acc = ref 0. in
+      for j = 0 to cols - 1 do
+        acc := !acc +. (A.unsafe_get data (base + j) *. A.unsafe_get x j)
+      done;
+      A.unsafe_set y i !acc
+    done
+
+  (* y := Aᵀ x. *)
+  let gemv_t (a : M.t) (x : A.t) (y : A.t) =
+    let rows = M.rows a and cols = M.cols a and ld = M.ld a in
+    let data = M.data a in
+    for j = 0 to cols - 1 do
+      A.unsafe_set y j 0.
+    done;
+    for i = 0 to rows - 1 do
+      let base = i * ld in
+      let xi = A.unsafe_get x i in
+      for j = 0 to cols - 1 do
+        A.unsafe_set y j (A.unsafe_get y j +. (xi *. A.unsafe_get data (base + j)))
+      done
+    done
+
+  (* A := A + alpha · x yᵀ (rank-1 update). *)
+  let ger alpha (x : A.t) (y : A.t) (a : M.t) =
+    let rows = M.rows a and cols = M.cols a and ld = M.ld a in
+    let data = M.data a in
+    for i = 0 to rows - 1 do
+      let base = i * ld in
+      let axi = alpha *. A.unsafe_get x i in
+      for j = 0 to cols - 1 do
+        A.unsafe_set data (base + j)
+          (A.unsafe_get data (base + j) +. (axi *. A.unsafe_get y j))
+      done
+    done
+
+  (* C := alpha · A B + beta · C. *)
+  let gemm ?(alpha = 1.) ?(beta = 0.) (a : M.t) (b : M.t) (c : M.t) =
+    if M.cols a <> M.rows b || M.rows a <> M.rows c || M.cols b <> M.cols c
+    then invalid_arg "Blas.gemm: shape mismatch";
+    let n = M.rows a and k = M.cols a and m = M.cols b in
+    for i = 0 to n - 1 do
+      for j = 0 to m - 1 do
+        M.unsafe_set c i j (beta *. M.unsafe_get c i j)
+      done;
+      for p = 0 to k - 1 do
+        let aip = alpha *. M.unsafe_get a i p in
+        if aip <> 0. then
+          for j = 0 to m - 1 do
+            M.unsafe_set c i j
+              (M.unsafe_get c i j +. (aip *. M.unsafe_get b p j))
+          done
+      done
+    done
+
+  let row_dot (a : M.t) i (x : A.t) =
+    let ld = M.ld a and cols = M.cols a in
+    let data = M.data a in
+    let base = i * ld in
+    let acc = ref 0. in
+    for j = 0 to cols - 1 do
+      acc := !acc +. (A.unsafe_get data (base + j) *. A.unsafe_get x j)
+    done;
+    !acc
+end

@@ -1,0 +1,35 @@
+open Oqmc_containers
+
+(** Hand-rolled BLAS-1/2/3 kernels at a fixed storage precision with
+    double-precision accumulation — the substrate of the determinant update
+    (Sherman–Morrison, BLAS2) and the delayed-update flush (BLAS3). *)
+
+module Make (R : Precision.REAL) : sig
+  module A : module type of Aligned.Make (R)
+  module M : module type of Matrix.Make (R)
+
+  val dot : A.t -> A.t -> int -> float
+  val scal : float -> A.t -> int -> unit
+  val axpy : float -> A.t -> A.t -> int -> unit
+  (** [axpy alpha x y n] : [y := y + alpha x] over the first [n] entries. *)
+
+  val copy : A.t -> A.t -> int -> unit
+  val asum : A.t -> int -> float
+  val nrm2 : A.t -> int -> float
+
+  val gemv : M.t -> A.t -> A.t -> unit
+  (** [gemv a x y] : [y := A x]. *)
+
+  val gemv_t : M.t -> A.t -> A.t -> unit
+  (** [gemv_t a x y] : [y := Aᵀ x]. *)
+
+  val ger : float -> A.t -> A.t -> M.t -> unit
+  (** [ger alpha x y a] : [A := A + alpha x yᵀ]. *)
+
+  val gemm : ?alpha:float -> ?beta:float -> M.t -> M.t -> M.t -> unit
+  (** [gemm a b c] : [C := alpha A B + beta C].
+      @raise Invalid_argument on shape mismatch. *)
+
+  val row_dot : M.t -> int -> A.t -> float
+  (** Dot of matrix row [i] with a vector — the determinant-ratio kernel. *)
+end

@@ -1,0 +1,209 @@
+open Oqmc_containers
+
+(* Delayed determinant updates (Woodbury identity), the paper's proposed
+   future-work DetUpdate scheme (Sec. 8.4, McDaniel et al. 2016).
+
+   Instead of applying an O(N²) Sherman–Morrison update on every accepted
+   move, accepted rows are queued; ratios against the implicit, partially
+   updated inverse cost O(kN) via a k×k Schur system, and every [delay]
+   acceptances the queue is flushed into the stored inverse with BLAS3-like
+   O(kN²) work.  With distinct replaced rows (guaranteed by the ordered
+   PbyP sweep; enforced here by flushing on a repeat) the correction reads
+
+     ρ(r, v) = B₀[r]·v − p S⁻¹ q
+     p_j = B₀[r_j]·v        q_i = (B₀ v_i)[r] − δ_{r_i r}
+     S(i,j) = B₀[r_j]·v_i
+
+   where B₀ = M⁻ᵀ is the last flushed inverse, r_i the queued rows and v_i
+   the queued orbital vectors.  S⁻¹ is maintained incrementally by bordered
+   (Schur-complement) extension, O(k²) per acceptance. *)
+
+module Make (R : Precision.REAL) = struct
+  module A = Aligned.Make (R)
+  module M = Matrix.Make (R)
+  module B = Blas.Make (R)
+
+  (* Flat row-row dot avoiding the bigarray-proxy allocation of M.row in
+     the hot loops. *)
+  let row_row_dot (x : M.t) i (y : M.t) j n =
+    let xd = M.data x and yd = M.data y in
+    let xb = i * M.ld x and yb = j * M.ld y in
+    let acc = ref 0. in
+    for p = 0 to n - 1 do
+      acc := !acc +. (A.unsafe_get xd (xb + p) *. A.unsafe_get yd (yb + p))
+    done;
+    !acc
+
+  type t = {
+    binv : M.t; (* B₀ = M⁻ᵀ, updated only at flush *)
+    n : int;
+    delay : int;
+    vs : M.t; (* queued orbital vectors, row i = v_i *)
+    brows : M.t; (* row i = B₀[r_i] captured at acceptance *)
+    rows : int array; (* queued replaced-row indices *)
+    sinv : float array array; (* inverse of the k×k Schur matrix S *)
+    mutable k : int;
+    (* scratch *)
+    p : float array;
+    q : float array;
+    sq : float array;
+    col : float array;
+    tmat : M.t; (* k_max × n scratch for the flush *)
+    ymat : M.t; (* n × k_max scratch for the flush *)
+  }
+
+  let create ?(delay = 16) (binv : M.t) =
+    let n = M.rows binv in
+    if M.cols binv <> n then invalid_arg "Delayed_update.create: not square";
+    if delay < 1 then invalid_arg "Delayed_update.create: delay < 1";
+    let delay = min delay n in
+    {
+      binv;
+      n;
+      delay;
+      vs = M.create delay n;
+      brows = M.create delay n;
+      rows = Array.make delay (-1);
+      sinv = Array.make_matrix delay delay 0.;
+      k = 0;
+      p = Array.make delay 0.;
+      q = Array.make delay 0.;
+      sq = Array.make delay 0.;
+      col = Array.make delay 0.;
+      tmat = M.create delay n;
+      ymat = M.create n delay;
+    }
+
+  let binv t = t.binv
+  let pending t = t.k
+  let delay t = t.delay
+
+  (* ρ(r,v) against the implicit inverse. *)
+  let ratio t r (v : A.t) =
+    let base = B.row_dot t.binv r v in
+    if t.k = 0 then base
+    else begin
+      let k = t.k in
+      for j = 0 to k - 1 do
+        t.p.(j) <- B.row_dot t.brows j v
+      done;
+      for i = 0 to k - 1 do
+        let qi = row_row_dot t.vs i t.binv r t.n in
+        t.q.(i) <- (if t.rows.(i) = r then qi -. 1. else qi)
+      done;
+      let corr = ref 0. in
+      for j = 0 to k - 1 do
+        let acc = ref 0. in
+        for i = 0 to k - 1 do
+          acc := !acc +. (t.sinv.(j).(i) *. t.q.(i))
+        done;
+        corr := !corr +. (t.p.(j) *. !acc)
+      done;
+      base -. !corr
+    end
+
+  (* Flush the queue: B₀ ← B₀ − Y S⁻ᵀ W with Y = B₀Vᵀ − E and W = brows. *)
+  let flush t =
+    if t.k > 0 then begin
+      let k = t.k and n = t.n in
+      (* T := S⁻ᵀ W, i.e. T(i,:) = Σ_j S⁻¹(j,i) · brows(j,:). *)
+      for i = 0 to k - 1 do
+        for b = 0 to n - 1 do
+          M.unsafe_set t.tmat i b 0.
+        done;
+        for j = 0 to k - 1 do
+          let c = t.sinv.(j).(i) in
+          if c <> 0. then
+            for b = 0 to n - 1 do
+              M.unsafe_set t.tmat i b
+                (M.unsafe_get t.tmat i b +. (c *. M.unsafe_get t.brows j b))
+            done
+        done
+      done;
+      (* Y(a,i) = B₀[a]·v_i − δ_{a,r_i}  (the BLAS3-flavoured block); row a
+         of B₀ stays cache-resident across the k columns. *)
+      for a = 0 to n - 1 do
+        for i = 0 to k - 1 do
+          M.unsafe_set t.ymat a i (row_row_dot t.binv a t.vs i n)
+        done
+      done;
+      for i = 0 to k - 1 do
+        M.unsafe_set t.ymat t.rows.(i) i (M.unsafe_get t.ymat t.rows.(i) i -. 1.)
+      done;
+      (* B₀ −= Y T *)
+      for a = 0 to n - 1 do
+        for i = 0 to k - 1 do
+          let y = M.unsafe_get t.ymat a i in
+          if y <> 0. then
+            for b = 0 to n - 1 do
+              M.unsafe_set t.binv a b
+                (M.unsafe_get t.binv a b -. (y *. M.unsafe_get t.tmat i b))
+            done
+        done
+      done;
+      t.k <- 0
+    end
+
+  (* Extend S⁻¹ by one bordered row/column via the Schur complement. *)
+  let extend_sinv t =
+    let k = t.k in
+    (* New S entries: column b_i = S(i,k) = brows[k]·v_i,
+       row c_j = S(k,j) = brows[j]·v_k, corner d = brows[k]·v_k. *)
+    let b = Array.make k 0. and c = Array.make k 0. in
+    for i = 0 to k - 1 do
+      b.(i) <- row_row_dot t.brows k t.vs i t.n;
+      c.(i) <- row_row_dot t.brows i t.vs k t.n
+    done;
+    let d = row_row_dot t.brows k t.vs k t.n in
+    (* sb = S⁻¹ b, cs = c S⁻¹, schur = d − c S⁻¹ b *)
+    let sb = Array.make k 0. and cs = Array.make k 0. in
+    for i = 0 to k - 1 do
+      let acc = ref 0. in
+      for j = 0 to k - 1 do
+        acc := !acc +. (t.sinv.(i).(j) *. b.(j))
+      done;
+      sb.(i) <- !acc
+    done;
+    for j = 0 to k - 1 do
+      let acc = ref 0. in
+      for i = 0 to k - 1 do
+        acc := !acc +. (c.(i) *. t.sinv.(i).(j))
+      done;
+      cs.(j) <- !acc
+    done;
+    let schur = ref d in
+    for i = 0 to k - 1 do
+      schur := !schur -. (c.(i) *. sb.(i))
+    done;
+    if abs_float !schur < 1e-300 then
+      invalid_arg "Delayed_update: singular Schur complement";
+    let inv_s = 1. /. !schur in
+    for i = 0 to k - 1 do
+      for j = 0 to k - 1 do
+        t.sinv.(i).(j) <- t.sinv.(i).(j) +. (sb.(i) *. cs.(j) *. inv_s)
+      done
+    done;
+    for i = 0 to k - 1 do
+      t.sinv.(i).(k) <- -.sb.(i) *. inv_s;
+      t.sinv.(k).(i) <- -.cs.(i) *. inv_s
+    done;
+    t.sinv.(k).(k) <- inv_s
+
+  let accept t r (v : A.t) =
+    (* A repeat of a pending row would break the distinct-rows invariant;
+       flush first (the ordered PbyP sweep never triggers this). *)
+    let repeat = ref false in
+    for i = 0 to t.k - 1 do
+      if t.rows.(i) = r then repeat := true
+    done;
+    if !repeat then flush t;
+    let k = t.k in
+    t.rows.(k) <- r;
+    for j = 0 to t.n - 1 do
+      M.unsafe_set t.vs k j (A.unsafe_get v j);
+      M.unsafe_set t.brows k j (M.unsafe_get t.binv r j)
+    done;
+    extend_sinv t;
+    t.k <- k + 1;
+    if t.k = t.delay then flush t
+end

@@ -1,0 +1,39 @@
+open Oqmc_containers
+
+(** Delayed determinant updates via the Woodbury identity — the paper's
+    future-work DetUpdate scheme.  Acceptances are queued and applied to
+    the stored inverse in blocks of [delay], trading the per-move O(N²)
+    Sherman–Morrison update for O(kN) ratios plus an O(kN²) BLAS3-style
+    flush. *)
+
+module Make (R : Precision.REAL) : sig
+  module A : module type of Aligned.Make (R)
+  module M : module type of Matrix.Make (R)
+
+  type t
+
+  val create : ?delay:int -> M.t -> t
+  (** Wrap an inverse-transpose matrix [B = M⁻ᵀ].  The matrix is owned by
+      the wrapper: it must only be mutated through {!accept}/{!flush}.
+      [delay] (default 16, clamped to [n]) is the queue capacity.
+      @raise Invalid_argument if the matrix is not square or [delay < 1]. *)
+
+  val binv : t -> M.t
+  (** The stored inverse.  Only current after {!flush}. *)
+
+  val pending : t -> int
+  (** Number of queued (unapplied) acceptances. *)
+
+  val delay : t -> int
+
+  val ratio : t -> int -> A.t -> float
+  (** [ratio t r v] — determinant ratio for replacing row [r] with orbital
+      values [v], correct with respect to all queued acceptances. *)
+
+  val accept : t -> int -> A.t -> unit
+  (** Queue an accepted replacement; flushes automatically when the queue
+      is full or when [r] repeats a queued row. *)
+
+  val flush : t -> unit
+  (** Apply all queued acceptances to {!binv}. *)
+end

@@ -1,0 +1,151 @@
+open Oqmc_containers
+
+(* LU decomposition with partial pivoting, in double precision.
+
+   Used at walker initialization and for the periodic recompute-from-scratch
+   step that keeps the mixed-precision inverse accurate (the paper's
+   accuracy-preserving measure, Sec. 2).  Work happens on plain double
+   arrays regardless of storage precision; results are rounded on store. *)
+
+exception Singular
+
+type decomp = {
+  lu : float array array;
+  pivots : int array;
+  sign : float;
+  n : int;
+}
+
+let decompose_arrays a n =
+  let lu = Array.init n (fun i -> Array.copy a.(i)) in
+  let pivots = Array.init n (fun i -> i) in
+  let sign = ref 1. in
+  for k = 0 to n - 1 do
+    (* Partial pivot: largest magnitude in column k at/below row k. *)
+    let pmax = ref (abs_float lu.(k).(k)) and prow = ref k in
+    for i = k + 1 to n - 1 do
+      let v = abs_float lu.(i).(k) in
+      if v > !pmax then begin
+        pmax := v;
+        prow := i
+      end
+    done;
+    if !pmax = 0. then raise Singular;
+    if !prow <> k then begin
+      let tmp = lu.(k) in
+      lu.(k) <- lu.(!prow);
+      lu.(!prow) <- tmp;
+      let tp = pivots.(k) in
+      pivots.(k) <- pivots.(!prow);
+      pivots.(!prow) <- tp;
+      sign := -. !sign
+    end;
+    let pivot = lu.(k).(k) in
+    for i = k + 1 to n - 1 do
+      let f = lu.(i).(k) /. pivot in
+      lu.(i).(k) <- f;
+      if f <> 0. then begin
+        let row_i = lu.(i) and row_k = lu.(k) in
+        for j = k + 1 to n - 1 do
+          row_i.(j) <- row_i.(j) -. (f *. row_k.(j))
+        done
+      end
+    done
+  done;
+  { lu; pivots; sign = !sign; n }
+
+let log_abs_det d =
+  let acc = ref 0. in
+  for k = 0 to d.n - 1 do
+    acc := !acc +. log (abs_float d.lu.(k).(k))
+  done;
+  !acc
+
+let det_sign d =
+  let s = ref d.sign in
+  for k = 0 to d.n - 1 do
+    if d.lu.(k).(k) < 0. then s := -. !s
+  done;
+  !s
+
+let det d = det_sign d *. exp (log_abs_det d)
+
+(* Solve LU x = P b in place on [x] initialized from the permuted rhs. *)
+let solve_vec d b =
+  let n = d.n in
+  let x = Array.init n (fun i -> b.(d.pivots.(i))) in
+  for i = 1 to n - 1 do
+    let acc = ref x.(i) in
+    for j = 0 to i - 1 do
+      acc := !acc -. (d.lu.(i).(j) *. x.(j))
+    done;
+    x.(i) <- !acc
+  done;
+  for i = n - 1 downto 0 do
+    let acc = ref x.(i) in
+    for j = i + 1 to n - 1 do
+      acc := !acc -. (d.lu.(i).(j) *. x.(j))
+    done;
+    x.(i) <- !acc /. d.lu.(i).(i)
+  done;
+  x
+
+let inverse_of_decomp d =
+  let n = d.n in
+  let inv = Array.make_matrix n n 0. in
+  let e = Array.make n 0. in
+  for col = 0 to n - 1 do
+    e.(col) <- 1.;
+    let x = solve_vec d e in
+    e.(col) <- 0.;
+    for row = 0 to n - 1 do
+      inv.(row).(col) <- x.(row)
+    done
+  done;
+  inv
+
+let inverse_arrays a n = inverse_of_decomp (decompose_arrays a n)
+
+module Make (R : Precision.REAL) = struct
+  module M = Matrix.Make (R)
+
+  let to_arrays (m : M.t) =
+    Array.init (M.rows m) (fun i ->
+        Array.init (M.cols m) (fun j -> M.get m i j))
+
+  let log_det (m : M.t) =
+    if M.rows m <> M.cols m then invalid_arg "Lu.log_det: not square";
+    let d = decompose_arrays (to_arrays m) (M.rows m) in
+    (det_sign d, log_abs_det d)
+
+  let det (m : M.t) =
+    let sign, logd = log_det m in
+    sign *. exp logd
+
+  (* dst := (src)⁻¹ᵀ — the inverse-transpose layout used by the Slater
+     determinant so the ratio for electron k is a contiguous row dot. *)
+  let invert_transpose ~(src : M.t) ~(dst : M.t) =
+    let n = M.rows src in
+    if M.cols src <> n then invalid_arg "Lu.invert_transpose: not square";
+    if M.rows dst <> n || M.cols dst <> n then
+      invalid_arg "Lu.invert_transpose: bad destination shape";
+    let d = decompose_arrays (to_arrays src) n in
+    let inv = inverse_of_decomp d in
+    let sign = det_sign d and logd = log_abs_det d in
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        M.set dst i j inv.(j).(i)
+      done
+    done;
+    (sign, logd)
+
+  let invert ~(src : M.t) ~(dst : M.t) =
+    let n = M.rows src in
+    if M.cols src <> n then invalid_arg "Lu.invert: not square";
+    let inv = inverse_arrays (to_arrays src) n in
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        M.set dst i j inv.(i).(j)
+      done
+    done
+end

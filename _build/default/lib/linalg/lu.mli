@@ -1,0 +1,38 @@
+open Oqmc_containers
+
+(** LU decomposition with partial pivoting (double-precision work arrays).
+    Provides determinants and the inverse-transpose initialization /
+    periodic recompute of the Slater-determinant engine. *)
+
+exception Singular
+(** Raised when a pivot is exactly zero. *)
+
+type decomp
+
+val decompose_arrays : float array array -> int -> decomp
+(** Decompose the leading [n × n] block of a row array-of-arrays.
+    @raise Singular on a zero pivot. *)
+
+val log_abs_det : decomp -> float
+val det_sign : decomp -> float
+val det : decomp -> float
+val solve_vec : decomp -> float array -> float array
+(** Solve [A x = b] using the decomposition. *)
+
+val inverse_arrays : float array array -> int -> float array array
+
+module Make (R : Precision.REAL) : sig
+  module M : module type of Matrix.Make (R)
+
+  val log_det : M.t -> float * float
+  (** [(sign, log|det|)] of a square matrix.
+      @raise Invalid_argument if not square.  @raise Singular. *)
+
+  val det : M.t -> float
+
+  val invert_transpose : src:M.t -> dst:M.t -> float * float
+  (** [dst := src⁻¹ᵀ]; returns [(sign, log|det|)] of [src].  The transposed
+      layout makes the PbyP determinant ratio a contiguous row dot. *)
+
+  val invert : src:M.t -> dst:M.t -> unit
+end

@@ -1,0 +1,51 @@
+open Oqmc_containers
+
+(* Rank-1 Slater-determinant update (DetUpdate).
+
+   The engine stores B = M⁻ᵀ, the transposed inverse of the Slater matrix
+   M(i,j) = φⱼ(rᵢ).  Moving electron k replaces row k of M by the orbital
+   vector v, so by the matrix-determinant lemma the acceptance ratio is the
+   contiguous row dot  ρ = B[k]·v,  and on acceptance B is refreshed with a
+   Sherman–Morrison rank-1 update:
+
+     y  = B v − e_k            (gemv)
+     B ← B − (1/ρ) y ⊗ B[k]    (ger)
+
+   which is the BLAS2 O(N²) DetUpdate kernel of the paper. *)
+
+module Make (R : Precision.REAL) = struct
+  module A = Aligned.Make (R)
+  module M = Matrix.Make (R)
+  module B = Blas.Make (R)
+
+  type workspace = { y : A.t; rk : A.t }
+
+  let make_workspace n = { y = A.create n; rk = A.create n }
+
+  let ratio (binv : M.t) k (v : A.t) = B.row_dot binv k v
+
+  let update_row (binv : M.t) k (v : A.t) ~ratio ~(ws : workspace) =
+    let n = M.rows binv in
+    if abs_float ratio < 1e-300 then
+      invalid_arg "Sherman_morrison.update_row: zero ratio";
+    (* y := B v − e_k *)
+    B.gemv binv v ws.y;
+    A.unsafe_set ws.y k (A.unsafe_get ws.y k -. 1.);
+    (* Save the pre-update row k, then apply the rank-1 correction. *)
+    let data = M.data binv and ld = M.ld binv in
+    let base_k = k * ld in
+    for j = 0 to n - 1 do
+      A.unsafe_set ws.rk j (A.unsafe_get data (base_k + j))
+    done;
+    let c = -1. /. ratio in
+    for i = 0 to n - 1 do
+      let f = c *. A.unsafe_get ws.y i in
+      if f <> 0. then begin
+        let base = i * ld in
+        for j = 0 to n - 1 do
+          A.unsafe_set data (base + j)
+            (A.unsafe_get data (base + j) +. (f *. A.unsafe_get ws.rk j))
+        done
+      end
+    done
+end

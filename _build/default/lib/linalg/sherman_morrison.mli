@@ -1,0 +1,24 @@
+open Oqmc_containers
+
+(** Sherman–Morrison rank-1 determinant update — the paper's BLAS2
+    [DetUpdate] kernel.  Operates on the transposed inverse [B = M⁻ᵀ] so
+    that both the acceptance ratio and the update stream contiguous rows. *)
+
+module Make (R : Precision.REAL) : sig
+  module A : module type of Aligned.Make (R)
+  module M : module type of Matrix.Make (R)
+
+  type workspace
+
+  val make_workspace : int -> workspace
+  (** Scratch vectors for an [n × n] problem; reusable across updates. *)
+
+  val ratio : M.t -> int -> A.t -> float
+  (** [ratio binv k v] is [det M' / det M] when row [k] of the Slater matrix
+      is replaced by the orbital values [v]. *)
+
+  val update_row : M.t -> int -> A.t -> ratio:float -> ws:workspace -> unit
+  (** Apply the accepted replacement to [binv] in place.  [ratio] must be
+      the value returned by {!ratio} for the same [(k, v)].
+      @raise Invalid_argument if [ratio] is (numerically) zero. *)
+end

@@ -1,0 +1,1 @@
+lib/particle/dt_aa_forward.ml: Aligned Dt_kernels Lattice Matrix Oqmc_containers Particle_set Precision Vec3

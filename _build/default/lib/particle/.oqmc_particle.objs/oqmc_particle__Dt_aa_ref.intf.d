@@ -1,0 +1,1 @@
+lib/particle/dt_aa_ref.mli: Aligned Oqmc_containers Particle_set Precision Vec3

@@ -1,0 +1,1 @@
+lib/particle/dt_ab_ref.ml: Aligned Dt_kernels Lattice Oqmc_containers Particle_set Precision Vec3

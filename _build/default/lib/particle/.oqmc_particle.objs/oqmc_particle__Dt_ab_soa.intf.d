@@ -1,0 +1,1 @@
+lib/particle/dt_ab_soa.mli: Aligned Matrix Oqmc_containers Particle_set Precision Vec3

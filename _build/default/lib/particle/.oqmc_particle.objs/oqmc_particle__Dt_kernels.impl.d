@@ -1,0 +1,1 @@
+lib/particle/dt_kernels.ml: Aligned Lattice Oqmc_containers Precision Vec3

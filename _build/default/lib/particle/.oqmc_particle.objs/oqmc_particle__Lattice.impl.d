@@ -1,0 +1,1 @@
+lib/particle/lattice.ml: Array Float Format Oqmc_containers Vec3

@@ -1,0 +1,1 @@
+lib/particle/lattice.mli: Format Oqmc_containers Vec3

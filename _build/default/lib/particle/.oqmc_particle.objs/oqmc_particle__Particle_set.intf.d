@@ -1,0 +1,1 @@
+lib/particle/particle_set.mli: Lattice Oqmc_containers Pos_aos Precision Vec3 Vsc Walker

@@ -1,0 +1,1 @@
+lib/particle/walker.ml: Oqmc_containers Pos_aos Precision Wbuffer

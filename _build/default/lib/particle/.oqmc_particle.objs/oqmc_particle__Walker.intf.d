@@ -1,0 +1,1 @@
+lib/particle/walker.mli: Oqmc_containers Pos_aos Precision Wbuffer

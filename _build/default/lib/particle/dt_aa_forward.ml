@@ -1,0 +1,118 @@
+open Oqmc_containers
+
+(* Electron-electron (AA) distance table, forward-update design — the
+   intermediate scheme of Fig. 6(b) BEFORE the column updates were removed
+   by compute-on-the-fly (Sec. 7.4).
+
+   Full padded N × Nᵖ rows as in the Current table, but maintained
+   incrementally: accepting the move of electron k copies the temporary
+   row into row k (contiguous) and updates column k of the LATER rows
+   only (k' > k, strided by Nᵖ) — "leaving the number of copy operations
+   unchanged" relative to the packed Ref update while making every read
+   unit-stride.
+
+   Invariant: within an ordered particle-by-particle sweep, the pair
+   (i, j) is current when read from the row of the LARGER index, which is
+   exactly how the sweep (row k reads j < k freshly column-updated) and
+   the measurement stage (upper-triangle reads) consume it.  Entries
+   (k, j > k) of row k may be one sweep stale — the paper notes "leaving
+   U untouched or partially updated as the upper triangle is not used".
+   Consumers that need globally fresh rows call [evaluate]. *)
+
+module Make (R : Precision.REAL) = struct
+  module A = Aligned.Make (R)
+  module M = Matrix.Make (R)
+  module Ps = Particle_set.Make (R)
+  module K = Dt_kernels.Make (R)
+
+  type t = {
+    n : int;
+    lattice : Lattice.t;
+    d : M.t;
+    dx : M.t;
+    dy : M.t;
+    dz : M.t;
+    temp_d : A.t;
+    temp_dx : A.t;
+    temp_dy : A.t;
+    temp_dz : A.t;
+  }
+
+  let create (ps : Ps.t) =
+    let n = Ps.n ps in
+    let mk () = M.create ~padded:true n n in
+    let np = M.ld (mk ()) in
+    {
+      n;
+      lattice = Ps.lattice ps;
+      d = mk ();
+      dx = mk ();
+      dy = mk ();
+      dz = mk ();
+      temp_d = A.create np;
+      temp_dx = A.create np;
+      temp_dy = A.create np;
+      temp_dz = A.create np;
+    }
+
+  let n t = t.n
+
+  let fill_row t ps px py pz ~d ~dx ~dy ~dz =
+    let soa = Ps.soa ps in
+    K.soa_row ~lattice:t.lattice ~xs:(Ps.Vs.xs soa) ~ys:(Ps.Vs.ys soa)
+      ~zs:(Ps.Vs.zs soa) ~n:t.n ~px ~py ~pz ~d ~dx ~dy ~dz
+
+  let evaluate t ps =
+    for k = 0 to t.n - 1 do
+      let p = Ps.get ps k in
+      fill_row t ps p.Vec3.x p.Vec3.y p.Vec3.z ~d:(M.row t.d k)
+        ~dx:(M.row t.dx k) ~dy:(M.row t.dy k) ~dz:(M.row t.dz k);
+      M.set t.d k k 0.;
+      M.set t.dx k k 0.;
+      M.set t.dy k k 0.;
+      M.set t.dz k k 0.
+    done
+
+  let move t ps k (newpos : Vec3.t) =
+    fill_row t ps newpos.Vec3.x newpos.Vec3.y newpos.Vec3.z ~d:t.temp_d
+      ~dx:t.temp_dx ~dy:t.temp_dy ~dz:t.temp_dz;
+    A.set t.temp_d k 0.;
+    A.set t.temp_dx k 0.;
+    A.set t.temp_dy k 0.;
+    A.set t.temp_dz k 0.
+
+  (* Forward update: contiguous row copy + strided column writes for the
+     later rows only. *)
+  let update t k =
+    A.blit ~src:t.temp_d ~dst:(M.row t.d k);
+    A.blit ~src:t.temp_dx ~dst:(M.row t.dx k);
+    A.blit ~src:t.temp_dy ~dst:(M.row t.dy k);
+    A.blit ~src:t.temp_dz ~dst:(M.row t.dz k);
+    for i = k + 1 to t.n - 1 do
+      (* dr(i,k) = −dr(k,i). *)
+      M.unsafe_set t.d i k (A.unsafe_get t.temp_d i);
+      M.unsafe_set t.dx i k (-.A.unsafe_get t.temp_dx i);
+      M.unsafe_set t.dy i k (-.A.unsafe_get t.temp_dy i);
+      M.unsafe_set t.dz i k (-.A.unsafe_get t.temp_dz i)
+    done
+
+  (* Pair read from the larger row — the invariant-safe accessor. *)
+  let dist t i j = if i >= j then M.get t.d i j else M.get t.d j i
+
+  (* dr(i→j) = r_j − r_i, read from the larger (current) row: row i entry
+     j stores r_j − r_i directly; row j entry i stores the negation. *)
+  let displ t i j =
+    if i = j then Vec3.zero
+    else if i > j then
+      Vec3.make (M.get t.dx i j) (M.get t.dy i j) (M.get t.dz i j)
+    else
+      Vec3.neg (Vec3.make (M.get t.dx j i) (M.get t.dy j i) (M.get t.dz j i))
+
+  let row_dist t k = M.row t.d k
+  let temp_dist t = t.temp_d
+
+  let bytes t =
+    M.bytes t.d + M.bytes t.dx + M.bytes t.dy + M.bytes t.dz
+    + A.bytes t.temp_d + A.bytes t.temp_dx + A.bytes t.temp_dy
+    + A.bytes t.temp_dz
+end

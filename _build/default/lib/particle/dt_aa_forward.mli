@@ -1,0 +1,32 @@
+open Oqmc_containers
+
+(** Electron-electron distance table with the forward-update scheme of
+    Fig. 6(b) — the paper's intermediate between the packed Ref triangle
+    and the compute-on-the-fly table.  Full padded rows; acceptance does a
+    contiguous row copy plus strided column writes for the later rows
+    (k' > k) only.  Invariant: the pair (i, j) is current when read from
+    the row of the larger index, which is how both the ordered sweep and
+    the measurement consume it ({!Make.dist}/{!Make.displ} do this
+    automatically). *)
+
+module Make (R : Precision.REAL) : sig
+  module A : module type of Aligned.Make (R)
+  module M : module type of Matrix.Make (R)
+  module Ps : module type of Particle_set.Make (R)
+
+  type t
+
+  val create : Ps.t -> t
+  val n : t -> int
+  val evaluate : t -> Ps.t -> unit
+  val move : t -> Ps.t -> int -> Vec3.t -> unit
+
+  val update : t -> int -> unit
+  (** Row copy + k' > k column updates. *)
+
+  val dist : t -> int -> int -> float
+  val displ : t -> int -> int -> Vec3.t
+  val row_dist : t -> int -> A.t
+  val temp_dist : t -> A.t
+  val bytes : t -> int
+end

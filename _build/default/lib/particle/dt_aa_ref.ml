@@ -1,0 +1,115 @@
+open Oqmc_containers
+
+(* Electron-electron (AA) distance table, reference (Ref) design.
+
+   Packed upper-triangle storage (Fig. 6a): N(N−1)/2 scalars for the
+   distances and an interleaved AoS block for the displacements.  A move
+   computes a temporary row against the AoS positions; acceptance copies
+   the N−1 entries back into the triangle — scattered, sign-flipping
+   writes whose unaligned access pattern is exactly what the paper
+   replaces.  Entry (i, j) with i < j stores d(i,j) and
+   dr(i,j) = r_j − r_i at packed index j(j−1)/2 + i. *)
+
+module Make (R : Precision.REAL) = struct
+  module A = Aligned.Make (R)
+  module Ps = Particle_set.Make (R)
+  module K = Dt_kernels.Make (R)
+
+  type t = {
+    n : int;
+    lattice : Lattice.t;
+    d : A.t; (* packed triangle *)
+    dr : A.t; (* packed triangle, interleaved xyz *)
+    temp_d : A.t; (* dr(k, i) = r_i − r_k' for the active move *)
+    temp_dr : A.t;
+  }
+
+  let tri_len n = n * (n - 1) / 2
+
+  let idx i j = (j * (j - 1) / 2) + i (* requires i < j *)
+
+  let create (ps : Ps.t) =
+    let n = Ps.n ps in
+    {
+      n;
+      lattice = Ps.lattice ps;
+      d = A.create (tri_len n);
+      dr = A.create (3 * tri_len n);
+      temp_d = A.create n;
+      temp_dr = A.create (3 * n);
+    }
+
+  let n t = t.n
+
+  let evaluate t ps =
+    let src = Ps.Aos.data (Ps.aos ps) in
+    (* Row-by-row over the triangle using the strided AoS loads. *)
+    for j = 1 to t.n - 1 do
+      let pj = Ps.get ps j in
+      for i = 0 to j - 1 do
+        let base = 3 * i in
+        let ddx = pj.Vec3.x -. A.unsafe_get src base in
+        let ddy = pj.Vec3.y -. A.unsafe_get src (base + 1) in
+        let ddz = pj.Vec3.z -. A.unsafe_get src (base + 2) in
+        let dd =
+          Lattice.min_image_disp t.lattice (Vec3.make ddx ddy ddz)
+        in
+        let p = idx i j in
+        A.unsafe_set t.d p (Vec3.norm dd);
+        A.unsafe_set t.dr (3 * p) dd.Vec3.x;
+        A.unsafe_set t.dr ((3 * p) + 1) dd.Vec3.y;
+        A.unsafe_set t.dr ((3 * p) + 2) dd.Vec3.z
+      done
+    done
+
+  let move t ps _k (newpos : Vec3.t) =
+    let src = Ps.Aos.data (Ps.aos ps) in
+    K.aos_row ~lattice:t.lattice ~src ~n:t.n ~px:newpos.Vec3.x
+      ~py:newpos.Vec3.y ~pz:newpos.Vec3.z ~d:t.temp_d ~dr:t.temp_dr
+
+  (* Accept: scatter the temporary row back into the packed triangle
+     (N − 1 strided copies with a sign flip below the diagonal). *)
+  let update t k =
+    for i = 0 to k - 1 do
+      let p = idx i k in
+      (* entry (i,k) holds r_k' − r_i = −temp(i). *)
+      A.unsafe_set t.d p (A.unsafe_get t.temp_d i);
+      A.unsafe_set t.dr (3 * p) (-.A.unsafe_get t.temp_dr (3 * i));
+      A.unsafe_set t.dr ((3 * p) + 1) (-.A.unsafe_get t.temp_dr ((3 * i) + 1));
+      A.unsafe_set t.dr ((3 * p) + 2) (-.A.unsafe_get t.temp_dr ((3 * i) + 2))
+    done;
+    for j = k + 1 to t.n - 1 do
+      let p = idx k j in
+      A.unsafe_set t.d p (A.unsafe_get t.temp_d j);
+      A.unsafe_set t.dr (3 * p) (A.unsafe_get t.temp_dr (3 * j));
+      A.unsafe_set t.dr ((3 * p) + 1) (A.unsafe_get t.temp_dr ((3 * j) + 1));
+      A.unsafe_set t.dr ((3 * p) + 2) (A.unsafe_get t.temp_dr ((3 * j) + 2))
+    done
+
+  let dist t i j =
+    if i = j then 0.
+    else if i < j then A.get t.d (idx i j)
+    else A.get t.d (idx j i)
+
+  (* dr(i→j) = r_j − r_i. *)
+  let displ t i j =
+    if i = j then Vec3.zero
+    else if i < j then begin
+      let p = 3 * idx i j in
+      Vec3.make (A.get t.dr p) (A.get t.dr (p + 1)) (A.get t.dr (p + 2))
+    end
+    else begin
+      let p = 3 * idx j i in
+      Vec3.make (-.A.get t.dr p) (-.A.get t.dr (p + 1)) (-.A.get t.dr (p + 2))
+    end
+
+  let temp_dist t = t.temp_d
+
+  let temp_displ t i =
+    Vec3.make (A.get t.temp_dr (3 * i))
+      (A.get t.temp_dr ((3 * i) + 1))
+      (A.get t.temp_dr ((3 * i) + 2))
+
+  let bytes t =
+    A.bytes t.d + A.bytes t.dr + A.bytes t.temp_d + A.bytes t.temp_dr
+end

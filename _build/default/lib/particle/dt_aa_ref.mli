@@ -1,0 +1,37 @@
+open Oqmc_containers
+
+(** Electron-electron (AA) distance table, reference (Ref) design: packed
+    upper-triangle storage with interleaved AoS displacements (Fig. 6a).
+    A move computes a temporary row against the AoS positions;
+    {!Make.update} scatters it back into the triangle with sign flips
+    below the diagonal — the unaligned access pattern the paper
+    replaces. *)
+
+module Make (R : Precision.REAL) : sig
+  module A : module type of Aligned.Make (R)
+  module Ps : module type of Particle_set.Make (R)
+
+  type t
+
+  val create : Ps.t -> t
+  val n : t -> int
+
+  val evaluate : t -> Ps.t -> unit
+  (** Fill the full triangle from the AoS positions. *)
+
+  val move : t -> Ps.t -> int -> Vec3.t -> unit
+  (** Temporary row: dr(k,i) = r_i − r_k' for all i. *)
+
+  val update : t -> int -> unit
+  (** Commit the temporary row into the triangle (N−1 strided copies). *)
+
+  val dist : t -> int -> int -> float
+
+  val displ : t -> int -> int -> Vec3.t
+  (** dr(i→j) = r_j − r_i, any order of arguments. *)
+
+  val temp_dist : t -> A.t
+  val temp_displ : t -> int -> Vec3.t
+
+  val bytes : t -> int
+end

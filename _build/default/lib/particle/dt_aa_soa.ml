@@ -1,0 +1,115 @@
+open Oqmc_containers
+
+(* Electron-electron (AA) distance table, optimized (Current) design.
+
+   Full N × Nᵖ row storage (Fig. 6b): each padded row k holds d(k,i) and
+   dr(k,i) = r_i − r_k with unit stride and SIMD alignment, roughly
+   doubling memory versus the packed triangle but enabling contiguous
+   streaming in every kernel.
+
+   Compute-on-the-fly update policy (Sec. 7.5): before electron k moves,
+   [move] recomputes row k from the current positions — eliminating the
+   strided column updates of the forward-update intermediate — and fills
+   the temporary row v for the proposed position.  [accept] is a single
+   contiguous row copy.  Rows of electrons that have not yet moved in the
+   current sweep may be stale in between; [evaluate] refreshes the whole
+   table before measurements (it is reused by the Hamiltonian, so the
+   O(N²) storage is retained). *)
+
+module Make (R : Precision.REAL) = struct
+  module A = Aligned.Make (R)
+  module M = Matrix.Make (R)
+  module Ps = Particle_set.Make (R)
+  module K = Dt_kernels.Make (R)
+
+  type t = {
+    n : int;
+    lattice : Lattice.t;
+    d : M.t;
+    dx : M.t;
+    dy : M.t;
+    dz : M.t;
+    temp_d : A.t;
+    temp_dx : A.t;
+    temp_dy : A.t;
+    temp_dz : A.t;
+  }
+
+  let create (ps : Ps.t) =
+    let n = Ps.n ps in
+    let mk () = M.create ~padded:true n n in
+    let np = M.ld (mk ()) in
+    {
+      n;
+      lattice = Ps.lattice ps;
+      d = mk ();
+      dx = mk ();
+      dy = mk ();
+      dz = mk ();
+      temp_d = A.create np;
+      temp_dx = A.create np;
+      temp_dy = A.create np;
+      temp_dz = A.create np;
+    }
+
+  let n t = t.n
+
+  let fill_row t ps px py pz ~d ~dx ~dy ~dz =
+    let soa = Ps.soa ps in
+    K.soa_row ~lattice:t.lattice ~xs:(Ps.Vs.xs soa) ~ys:(Ps.Vs.ys soa)
+      ~zs:(Ps.Vs.zs soa) ~n:t.n ~px ~py ~pz ~d ~dx ~dy ~dz
+
+  let refresh_row t ps k =
+    let p = Ps.get ps k in
+    fill_row t ps p.Vec3.x p.Vec3.y p.Vec3.z ~d:(M.row t.d k)
+      ~dx:(M.row t.dx k) ~dy:(M.row t.dy k) ~dz:(M.row t.dz k);
+    (* Self entry: exact zeros so consumers can guard on i = k cheaply. *)
+    A.set (M.row t.d k) k 0.;
+    A.set (M.row t.dx k) k 0.;
+    A.set (M.row t.dy k) k 0.;
+    A.set (M.row t.dz k) k 0.
+
+  let evaluate t ps =
+    for k = 0 to t.n - 1 do
+      refresh_row t ps k
+    done
+
+  (* Compute-on-the-fly step 1: refresh row k at the current position
+     (called before gradients/ratios of electron k are needed, replacing
+     the column updates of the forward-update scheme). *)
+  let prepare t ps k = refresh_row t ps k
+
+  (* Step 2: fill the temporary row against the proposed position. *)
+  let move t ps k (newpos : Vec3.t) =
+    fill_row t ps newpos.Vec3.x newpos.Vec3.y newpos.Vec3.z ~d:t.temp_d
+      ~dx:t.temp_dx ~dy:t.temp_dy ~dz:t.temp_dz;
+    A.set t.temp_d k 0.;
+    A.set t.temp_dx k 0.;
+    A.set t.temp_dy k 0.;
+    A.set t.temp_dz k 0.
+
+  let accept t k =
+    A.blit ~src:t.temp_d ~dst:(M.row t.d k);
+    A.blit ~src:t.temp_dx ~dst:(M.row t.dx k);
+    A.blit ~src:t.temp_dy ~dst:(M.row t.dy k);
+    A.blit ~src:t.temp_dz ~dst:(M.row t.dz k)
+
+  let dist t k i = M.get t.d k i
+
+  let displ t k i = Vec3.make (M.get t.dx k i) (M.get t.dy k i) (M.get t.dz k i)
+
+  let row_dist t k = M.row t.d k
+  let row_dx t k = M.row t.dx k
+  let row_dy t k = M.row t.dy k
+  let row_dz t k = M.row t.dz k
+
+  let temp_dist t = t.temp_d
+  let temp_dx t = t.temp_dx
+  let temp_dy t = t.temp_dy
+  let temp_dz t = t.temp_dz
+
+  let bytes t =
+    M.bytes t.d + M.bytes t.dx + M.bytes t.dy + M.bytes t.dz
+    + A.bytes t.temp_d + A.bytes t.temp_dx + A.bytes t.temp_dy
+    + A.bytes t.temp_dz
+end

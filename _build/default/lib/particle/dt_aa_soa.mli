@@ -1,0 +1,53 @@
+open Oqmc_containers
+
+(** Electron-electron (AA) distance table, optimized (Current) design:
+    full padded N × Nᵖ row storage with compute-on-the-fly updates
+    (Fig. 6b of the paper, after removal of the column updates).  The
+    protocol per move of electron [k] is {!Make.prepare} (refresh row [k]
+    at the current position), {!Make.move} (fill the temporary row at the
+    proposed position), then {!Make.accept} (contiguous row copy) or
+    nothing on rejection.  {!Make.evaluate} rebuilds the whole table for
+    measurements. *)
+
+module Make (R : Precision.REAL) : sig
+  module A : module type of Aligned.Make (R)
+  module M : module type of Matrix.Make (R)
+  module Ps : module type of Particle_set.Make (R)
+
+  type t
+
+  val create : Ps.t -> t
+  val n : t -> int
+
+  val evaluate : t -> Ps.t -> unit
+  (** Recompute every row (used at load and before measurements). *)
+
+  val prepare : t -> Ps.t -> int -> unit
+  (** Refresh row [k] from the current positions — the compute-on-the-fly
+      replacement for forward column updates. *)
+
+  val move : t -> Ps.t -> int -> Vec3.t -> unit
+  (** Fill the temporary row with distances from the proposed position. *)
+
+  val accept : t -> int -> unit
+  (** Copy the temporary row into row [k] (contiguous, SIMD-aligned). *)
+
+  val dist : t -> int -> int -> float
+  (** d(k,i); the self entry is 0. *)
+
+  val displ : t -> int -> int -> Vec3.t
+  (** dr(k,i) = r_i − r_k under minimum image. *)
+
+  val row_dist : t -> int -> A.t
+  val row_dx : t -> int -> A.t
+  val row_dy : t -> int -> A.t
+  val row_dz : t -> int -> A.t
+  (** Unit-stride row views (shared storage, padded length). *)
+
+  val temp_dist : t -> A.t
+  val temp_dx : t -> A.t
+  val temp_dy : t -> A.t
+  val temp_dz : t -> A.t
+
+  val bytes : t -> int
+end

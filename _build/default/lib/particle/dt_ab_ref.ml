@@ -1,0 +1,78 @@
+open Oqmc_containers
+
+(* Electron-ion (AB) distance table, reference (Ref) design.
+
+   A dense N × N_ion block with the displacements interleaved AoS-style,
+   filled by walking the ions' interleaved positions — the
+   strided-access baseline the SoA table replaces. *)
+
+module Make (R : Precision.REAL) = struct
+  module A = Aligned.Make (R)
+  module Ps = Particle_set.Make (R)
+  module K = Dt_kernels.Make (R)
+
+  type t = {
+    n : int;
+    n_src : int;
+    lattice : Lattice.t;
+    sources : Ps.t;
+    d : A.t; (* n × n_src row-major *)
+    dr : A.t; (* interleaved xyz per entry *)
+    temp_d : A.t;
+    temp_dr : A.t;
+  }
+
+  let create ~(sources : Ps.t) (targets : Ps.t) =
+    let n = Ps.n targets and n_src = Ps.n sources in
+    {
+      n;
+      n_src;
+      lattice = Ps.lattice targets;
+      sources;
+      d = A.create (n * n_src);
+      dr = A.create (3 * n * n_src);
+      temp_d = A.create n_src;
+      temp_dr = A.create (3 * n_src);
+    }
+
+  let n t = t.n
+  let n_sources t = t.n_src
+
+  let fill_row t px py pz ~(d : A.t) ~(dr : A.t) =
+    let src = Ps.Aos.data (Ps.aos t.sources) in
+    K.aos_row ~lattice:t.lattice ~src ~n:t.n_src ~px ~py ~pz ~d ~dr
+
+  let evaluate t ps =
+    for k = 0 to t.n - 1 do
+      let p = Ps.get ps k in
+      let d = A.sub t.d ~pos:(k * t.n_src) ~len:t.n_src in
+      let dr = A.sub t.dr ~pos:(3 * k * t.n_src) ~len:(3 * t.n_src) in
+      fill_row t p.Vec3.x p.Vec3.y p.Vec3.z ~d ~dr
+    done
+
+  let move t (newpos : Vec3.t) =
+    fill_row t newpos.Vec3.x newpos.Vec3.y newpos.Vec3.z ~d:t.temp_d
+      ~dr:t.temp_dr
+
+  let update t k =
+    let d = A.sub t.d ~pos:(k * t.n_src) ~len:t.n_src in
+    let dr = A.sub t.dr ~pos:(3 * k * t.n_src) ~len:(3 * t.n_src) in
+    A.blit ~src:t.temp_d ~dst:d;
+    A.blit ~src:t.temp_dr ~dst:dr
+
+  let dist t k i = A.get t.d ((k * t.n_src) + i)
+
+  let displ t k i =
+    let p = 3 * ((k * t.n_src) + i) in
+    Vec3.make (A.get t.dr p) (A.get t.dr (p + 1)) (A.get t.dr (p + 2))
+
+  let temp_dist t = t.temp_d
+
+  let temp_displ t i =
+    Vec3.make (A.get t.temp_dr (3 * i))
+      (A.get t.temp_dr ((3 * i) + 1))
+      (A.get t.temp_dr ((3 * i) + 2))
+
+  let bytes t =
+    A.bytes t.d + A.bytes t.dr + A.bytes t.temp_d + A.bytes t.temp_dr
+end

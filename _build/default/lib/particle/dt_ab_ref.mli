@@ -1,0 +1,30 @@
+open Oqmc_containers
+
+(** Electron-ion (AB) distance table, reference design: a dense
+    N × N_ion block with interleaved AoS displacements, filled by walking
+    the ions' interleaved positions. *)
+
+module Make (R : Precision.REAL) : sig
+  module A : module type of Aligned.Make (R)
+  module Ps : module type of Particle_set.Make (R)
+
+  type t
+
+  val create : sources:Ps.t -> Ps.t -> t
+  val n : t -> int
+  val n_sources : t -> int
+
+  val evaluate : t -> Ps.t -> unit
+  val move : t -> Vec3.t -> unit
+
+  val update : t -> int -> unit
+  (** Commit the temporary row for electron [k]. *)
+
+  val dist : t -> int -> int -> float
+  val displ : t -> int -> int -> Vec3.t
+
+  val temp_dist : t -> A.t
+  val temp_displ : t -> int -> Vec3.t
+
+  val bytes : t -> int
+end

@@ -1,0 +1,98 @@
+open Oqmc_containers
+
+(* Electron-ion (AB) distance table, optimized (Current) design.
+
+   One padded, SIMD-aligned row of ion distances and displacement
+   components per electron, computed by streaming the fixed ions' SoA
+   container.  Ions never move, so rows depend only on their own electron:
+   a move fills the temporary row and acceptance is one contiguous row
+   copy — no column updates exist for AB tables. *)
+
+module Make (R : Precision.REAL) = struct
+  module A = Aligned.Make (R)
+  module M = Matrix.Make (R)
+  module Ps = Particle_set.Make (R)
+  module K = Dt_kernels.Make (R)
+
+  type t = {
+    n : int; (* electrons (targets, rows) *)
+    n_src : int; (* ions (sources, columns) *)
+    lattice : Lattice.t;
+    sources : Ps.t;
+    d : M.t;
+    dx : M.t;
+    dy : M.t;
+    dz : M.t;
+    temp_d : A.t;
+    temp_dx : A.t;
+    temp_dy : A.t;
+    temp_dz : A.t;
+  }
+
+  let create ~(sources : Ps.t) (targets : Ps.t) =
+    let n = Ps.n targets and n_src = Ps.n sources in
+    let mk () = M.create ~padded:true n n_src in
+    let np = M.ld (mk ()) in
+    {
+      n;
+      n_src;
+      lattice = Ps.lattice targets;
+      sources;
+      d = mk ();
+      dx = mk ();
+      dy = mk ();
+      dz = mk ();
+      temp_d = A.create np;
+      temp_dx = A.create np;
+      temp_dy = A.create np;
+      temp_dz = A.create np;
+    }
+
+  let n t = t.n
+  let n_sources t = t.n_src
+
+  let fill_row t px py pz ~d ~dx ~dy ~dz =
+    let soa = Ps.soa t.sources in
+    K.soa_row ~lattice:t.lattice ~xs:(Ps.Vs.xs soa) ~ys:(Ps.Vs.ys soa)
+      ~zs:(Ps.Vs.zs soa) ~n:t.n_src ~px ~py ~pz ~d ~dx ~dy ~dz
+
+  let refresh_row t ps k =
+    let p = Ps.get ps k in
+    fill_row t p.Vec3.x p.Vec3.y p.Vec3.z ~d:(M.row t.d k) ~dx:(M.row t.dx k)
+      ~dy:(M.row t.dy k) ~dz:(M.row t.dz k)
+
+  let evaluate t ps =
+    for k = 0 to t.n - 1 do
+      refresh_row t ps k
+    done
+
+  let move t (newpos : Vec3.t) =
+    fill_row t newpos.Vec3.x newpos.Vec3.y newpos.Vec3.z ~d:t.temp_d
+      ~dx:t.temp_dx ~dy:t.temp_dy ~dz:t.temp_dz
+
+  let accept t k =
+    A.blit ~src:t.temp_d ~dst:(M.row t.d k);
+    A.blit ~src:t.temp_dx ~dst:(M.row t.dx k);
+    A.blit ~src:t.temp_dy ~dst:(M.row t.dy k);
+    A.blit ~src:t.temp_dz ~dst:(M.row t.dz k)
+
+  let dist t k i = M.get t.d k i
+
+  let displ t k i =
+    Vec3.make (M.get t.dx k i) (M.get t.dy k i) (M.get t.dz k i)
+
+  let row_dist t k = M.row t.d k
+  let row_dx t k = M.row t.dx k
+  let row_dy t k = M.row t.dy k
+  let row_dz t k = M.row t.dz k
+
+  let temp_dist t = t.temp_d
+  let temp_dx t = t.temp_dx
+  let temp_dy t = t.temp_dy
+  let temp_dz t = t.temp_dz
+
+  let bytes t =
+    M.bytes t.d + M.bytes t.dx + M.bytes t.dy + M.bytes t.dz
+    + A.bytes t.temp_d + A.bytes t.temp_dx + A.bytes t.temp_dy
+    + A.bytes t.temp_dz
+end

@@ -1,0 +1,39 @@
+open Oqmc_containers
+
+(** Electron-ion (AB) distance table, optimized design: one padded
+    SIMD-aligned row of ion distances per electron, streamed from the
+    fixed ions' SoA container.  Ions never move, so there are no column
+    updates and no staleness: acceptance is a single row copy. *)
+
+module Make (R : Precision.REAL) : sig
+  module A : module type of Aligned.Make (R)
+  module M : module type of Matrix.Make (R)
+  module Ps : module type of Particle_set.Make (R)
+
+  type t
+
+  val create : sources:Ps.t -> Ps.t -> t
+  (** [create ~sources targets]: [sources] are the fixed ions. *)
+
+  val n : t -> int
+  val n_sources : t -> int
+
+  val evaluate : t -> Ps.t -> unit
+  val move : t -> Vec3.t -> unit
+  val accept : t -> int -> unit
+
+  val dist : t -> int -> int -> float
+  val displ : t -> int -> int -> Vec3.t
+
+  val row_dist : t -> int -> A.t
+  val row_dx : t -> int -> A.t
+  val row_dy : t -> int -> A.t
+  val row_dz : t -> int -> A.t
+
+  val temp_dist : t -> A.t
+  val temp_dx : t -> A.t
+  val temp_dy : t -> A.t
+  val temp_dz : t -> A.t
+
+  val bytes : t -> int
+end

@@ -1,0 +1,155 @@
+open Oqmc_containers
+
+(* Simulation cell: lattice vectors, Cartesian/fractional conversion and
+   minimum-image displacements.
+
+   Rows of [a] are the lattice vectors, so a Cartesian position is
+   r = s₁a₁ + s₂a₂ + s₃a₃ for fractional s.  Orthorhombic cells get a
+   branch-free minimum-image fast path used inside the distance-table
+   kernels; general (e.g. hexagonal graphite) cells wrap fractionally and
+   then refine over the 26 neighbour images, which is exact for any cell
+   whose Wigner–Seitz cell is contained in the first shell. *)
+
+type kind = Open | Ortho of float * float * float | General
+
+type t = {
+  a : Vec3.t array; (* lattice vectors (rows) *)
+  g : Vec3.t array; (* columns of A⁻¹: s_i = g_i · r *)
+  kind : kind;
+  volume : float;
+}
+
+let det3 a =
+  Vec3.dot a.(0) (Vec3.cross a.(1) a.(2))
+
+let inverse_rows a =
+  (* Rows of A⁻ᵀ, i.e. reciprocal vectors / volume: gᵢ·aⱼ = δᵢⱼ. *)
+  let v = det3 a in
+  if abs_float v < 1e-12 then invalid_arg "Lattice: singular cell";
+  [|
+    Vec3.scale (1. /. v) (Vec3.cross a.(1) a.(2));
+    Vec3.scale (1. /. v) (Vec3.cross a.(2) a.(0));
+    Vec3.scale (1. /. v) (Vec3.cross a.(0) a.(1));
+  |]
+
+let open_cell =
+  let a =
+    [| Vec3.make 1. 0. 0.; Vec3.make 0. 1. 0.; Vec3.make 0. 0. 1. |]
+  in
+  { a; g = inverse_rows a; kind = Open; volume = 1. }
+
+let orthorhombic lx ly lz =
+  if lx <= 0. || ly <= 0. || lz <= 0. then
+    invalid_arg "Lattice.orthorhombic: non-positive extent";
+  let a =
+    [| Vec3.make lx 0. 0.; Vec3.make 0. ly 0.; Vec3.make 0. 0. lz |]
+  in
+  { a; g = inverse_rows a; kind = Ortho (lx, ly, lz); volume = lx *. ly *. lz }
+
+let cubic l = orthorhombic l l l
+
+let general vectors =
+  if Array.length vectors <> 3 then
+    invalid_arg "Lattice.general: need exactly 3 vectors";
+  let a = Array.map (fun v -> v) vectors in
+  let volume = det3 a in
+  if volume <= 0. then
+    invalid_arg "Lattice.general: vectors must be right-handed (volume > 0)";
+  { a; g = inverse_rows a; kind = General; volume }
+
+let kind t = t.kind
+let frac_rows t = Array.map (fun v -> v) t.g
+let volume t = match t.kind with Open -> infinity | _ -> t.volume
+let vectors t = Array.map (fun v -> v) t.a
+
+let ortho_dims t = match t.kind with Ortho (x, y, z) -> Some (x, y, z) | _ -> None
+let is_periodic t = t.kind <> Open
+
+let to_frac t (r : Vec3.t) =
+  Vec3.make (Vec3.dot t.g.(0) r) (Vec3.dot t.g.(1) r) (Vec3.dot t.g.(2) r)
+
+let to_cart t (s : Vec3.t) =
+  Vec3.add
+    (Vec3.scale s.Vec3.x t.a.(0))
+    (Vec3.add (Vec3.scale s.Vec3.y t.a.(1)) (Vec3.scale s.Vec3.z t.a.(2)))
+
+let frac_wrap s = s -. Float.round s (* into [-0.5, 0.5] *)
+
+let pbc_wrap01 x = x -. Float.of_int (int_of_float (Float.floor x))
+
+let wrap_position t r =
+  match t.kind with
+  | Open -> r
+  | Ortho _ | General ->
+      let s = to_frac t r in
+      to_cart t
+        (Vec3.make (pbc_wrap01 s.Vec3.x) (pbc_wrap01 s.Vec3.y)
+           (pbc_wrap01 s.Vec3.z))
+
+(* Minimum-image displacement for dr = r_b − r_a. *)
+let min_image_disp t (dr : Vec3.t) =
+  match t.kind with
+  | Open -> dr
+  | Ortho (lx, ly, lz) ->
+      Vec3.make
+        (dr.Vec3.x -. (lx *. Float.round (dr.Vec3.x /. lx)))
+        (dr.Vec3.y -. (ly *. Float.round (dr.Vec3.y /. ly)))
+        (dr.Vec3.z -. (lz *. Float.round (dr.Vec3.z /. lz)))
+  | General ->
+      let s = to_frac t dr in
+      let s0 =
+        Vec3.make (frac_wrap s.Vec3.x) (frac_wrap s.Vec3.y)
+          (frac_wrap s.Vec3.z)
+      in
+      let best = ref (to_cart t s0) in
+      let best2 = ref (Vec3.norm2 !best) in
+      for i = -1 to 1 do
+        for j = -1 to 1 do
+          for k = -1 to 1 do
+            if i <> 0 || j <> 0 || k <> 0 then begin
+              let cand =
+                to_cart t
+                  (Vec3.make
+                     (s0.Vec3.x +. float_of_int i)
+                     (s0.Vec3.y +. float_of_int j)
+                     (s0.Vec3.z +. float_of_int k))
+              in
+              let n2 = Vec3.norm2 cand in
+              if n2 < !best2 then begin
+                best := cand;
+                best2 := n2
+              end
+            end
+          done
+        done
+      done;
+      !best
+
+let min_image_dist t a b = Vec3.norm (min_image_disp t (Vec3.sub b a))
+
+(* Radius of the inscribed sphere of the Wigner–Seitz cell: the largest
+   safe cutoff for short-ranged functors under minimum image. *)
+let wigner_seitz_radius t =
+  match t.kind with
+  | Open -> infinity
+  | Ortho (lx, ly, lz) -> 0.5 *. Float.min lx (Float.min ly lz)
+  | General ->
+      let r = ref infinity in
+      let plane i j =
+        (* Half distance between lattice planes normal to aᵢ×aⱼ. *)
+        let n = Vec3.normalize (Vec3.cross t.a.(i) t.a.(j)) in
+        let k = 3 - i - j in
+        abs_float (Vec3.dot n t.a.(k)) /. 2.
+      in
+      r := Float.min !r (plane 0 1);
+      r := Float.min !r (plane 1 2);
+      r := Float.min !r (plane 2 0);
+      !r
+
+let pp ppf t =
+  match t.kind with
+  | Open -> Format.fprintf ppf "open boundary"
+  | Ortho (x, y, z) -> Format.fprintf ppf "orthorhombic %g x %g x %g" x y z
+  | General ->
+      Format.fprintf ppf "general cell a1=%a a2=%a a3=%a" Vec3.pp t.a.(0)
+        Vec3.pp t.a.(1) Vec3.pp t.a.(2)

@@ -1,0 +1,48 @@
+open Oqmc_containers
+
+(** Simulation cell: lattice vectors, fractional coordinates, and
+    minimum-image displacements.  Orthorhombic cells have a branch-free
+    fast path used by the distance-table kernels; general cells refine the
+    fractional wrap over the 26 neighbour images. *)
+
+type kind = Open | Ortho of float * float * float | General
+
+type t
+
+val open_cell : t
+(** No periodicity; displacements are plain differences. *)
+
+val orthorhombic : float -> float -> float -> t
+val cubic : float -> t
+
+val general : Vec3.t array -> t
+(** Cell from 3 right-handed lattice vectors.
+    @raise Invalid_argument otherwise. *)
+
+val kind : t -> kind
+
+(** Rows g_b of the inverse cell: s_b = g_b · r, with g_b · a_c = δ_bc. *)
+val frac_rows : t -> Vec3.t array
+val volume : t -> float
+val vectors : t -> Vec3.t array
+
+val ortho_dims : t -> (float * float * float) option
+(** Extents when orthorhombic — enables the fast kernel path. *)
+
+val is_periodic : t -> bool
+
+val to_frac : t -> Vec3.t -> Vec3.t
+val to_cart : t -> Vec3.t -> Vec3.t
+
+val wrap_position : t -> Vec3.t -> Vec3.t
+(** Map into the home cell (no-op for open boundaries). *)
+
+val min_image_disp : t -> Vec3.t -> Vec3.t
+(** Minimum-image image of a displacement vector. *)
+
+val min_image_dist : t -> Vec3.t -> Vec3.t -> float
+
+val wigner_seitz_radius : t -> float
+(** Largest safe cutoff radius for short-ranged functors. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,56 @@
+open Oqmc_containers
+
+(* A Monte Carlo walker: one electron configuration plus the bookkeeping
+   needed by the DMC population (weight, multiplicity, age) and the
+   anonymous buffer into which wavefunction components serialize their
+   internal state.  Walkers are always stored in double precision — they
+   are the units serialized for load balancing — while the compute engines
+   (ParticleSet, TrialWaveFunction) hold precision-dependent copies. *)
+
+module Aos = Pos_aos.Make (Precision.F64)
+
+type t = {
+  r : Aos.t;
+  mutable weight : float;
+  mutable multiplicity : int;
+  mutable age : int;
+  mutable log_psi : float;
+  mutable e_local : float;
+  buffer : Wbuffer.t;
+  id : int;
+}
+
+let counter = ref 0
+
+let create n =
+  incr counter;
+  {
+    r = Aos.create n;
+    weight = 1.;
+    multiplicity = 1;
+    age = 0;
+    log_psi = 0.;
+    e_local = 0.;
+    buffer = Wbuffer.create ();
+    id = !counter;
+  }
+
+let n_particles t = Aos.length t.r
+
+let copy t =
+  incr counter;
+  {
+    r = Aos.copy t.r;
+    weight = t.weight;
+    multiplicity = t.multiplicity;
+    age = t.age;
+    log_psi = t.log_psi;
+    e_local = t.e_local;
+    buffer = Wbuffer.copy t.buffer;
+    id = !counter;
+  }
+
+(* Size of the serialized walker (positions + scalars + buffer): the
+   load-balancing message the paper's Jastrow memory optimization shrinks
+   by 22.5 MB for NiO-64. *)
+let message_bytes t = Aos.bytes t.r + (8 * 4) + Wbuffer.bytes t.buffer

@@ -1,0 +1,29 @@
+open Oqmc_containers
+
+(** A Monte Carlo walker: an electron configuration plus DMC bookkeeping
+    and the anonymous state buffer.  Always double precision — walkers are
+    what gets serialized between ranks. *)
+
+module Aos : module type of Pos_aos.Make (Precision.F64)
+
+type t = {
+  r : Aos.t;
+  mutable weight : float;
+  mutable multiplicity : int;
+  mutable age : int;
+  mutable log_psi : float;
+  mutable e_local : float;
+  buffer : Wbuffer.t;
+  id : int;
+}
+
+val create : int -> t
+(** Fresh walker for [n] particles, unit weight, empty buffer. *)
+
+val n_particles : t -> int
+
+val copy : t -> t
+(** Deep copy with a fresh id (used by DMC branching). *)
+
+val message_bytes : t -> int
+(** Serialized size: positions, scalar properties and state buffer. *)

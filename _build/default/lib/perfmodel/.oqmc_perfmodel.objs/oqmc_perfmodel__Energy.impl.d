@@ -1,0 +1,1 @@
+lib/perfmodel/energy.ml: Float List Machine

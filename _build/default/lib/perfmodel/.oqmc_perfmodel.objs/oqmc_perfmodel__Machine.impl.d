@@ -1,0 +1,1 @@
+lib/perfmodel/machine.ml: List Printf String

@@ -1,0 +1,1 @@
+lib/perfmodel/memory_model.ml:

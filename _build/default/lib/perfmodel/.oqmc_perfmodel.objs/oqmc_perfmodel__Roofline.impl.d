@@ -1,0 +1,1 @@
+lib/perfmodel/roofline.ml: Float List Machine Opcount

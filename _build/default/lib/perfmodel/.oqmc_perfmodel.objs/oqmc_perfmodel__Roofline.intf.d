@@ -1,0 +1,1 @@
+lib/perfmodel/roofline.mli: Machine Opcount

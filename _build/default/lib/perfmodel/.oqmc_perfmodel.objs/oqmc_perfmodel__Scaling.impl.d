@@ -1,0 +1,1 @@
+lib/perfmodel/scaling.ml: Float List

@@ -1,0 +1,27 @@
+(** Energy model for Fig. 10: package+DRAM power is flat during the DMC
+    phase (the paper's turbostat observation), so energy tracks run time
+    and the energy reduction equals the speedup. *)
+
+type sample = { t_s : float; watts : float }
+
+type profile = {
+  label : string;
+  samples : sample list;
+  total_joules : float;
+  dmc_seconds : float;
+}
+
+val dmc_power : Machine.t -> float
+val init_power : Machine.t -> float
+
+val profile :
+  ?interval:float ->
+  label:string ->
+  machine:Machine.t ->
+  init_time:float ->
+  dmc_time:float ->
+  unit ->
+  profile
+(** turbostat-like sampled power trace (default 5 s interval). *)
+
+val energy_ratio : ref_profile:profile -> cur_profile:profile -> float

@@ -1,0 +1,129 @@
+(* Machine descriptors for the paper's three platforms.
+
+   These are published constants (core counts, frequencies, SIMD widths,
+   STREAM-class bandwidths, TDP) for the exact SKUs of Sec. 5.  They are
+   the "hardware we do not have": the analytic models project kernel
+   op/byte counts onto them to regenerate the machine-dependent figures.
+   Bandwidths in GB/s, frequencies in GHz, power in watts. *)
+
+type memory_level = { level : string; bandwidth : float; capacity_gb : float }
+
+type t = {
+  mname : string;
+  cores : int;
+  threads_per_core : int; (* threads the benchmarks actually run *)
+  freq_ghz : float;
+  simd_bits : int;
+  fma_units : int; (* per-core FMA pipes *)
+  levels : memory_level list; (* fastest first *)
+  package_watts : float; (* CPU + on-package memory during DMC *)
+  dram_watts : float;
+  (* Latency-hiding benefit of the second hardware thread for the
+     memory-latency-bound B-spline gathers (the paper's SMT study). *)
+  smt_uplift : float;
+  (* Issue-rate factor applied to non-vectorized kernels, relative to one
+     lane of a vector pipe.  < 1 on KNL (narrow cores suffer on scalar
+     code); > 1 on BG/Q, where the baseline QMCPACK already used QPX
+     intrinsics for its key kernels (Sec. 1), so "scalar" kernels were
+     not actually scalar there. *)
+  scalar_factor : float;
+  (* Fraction of the quoted STREAM bandwidth irregular QMC kernels
+     sustain; < 1 on KNL, whose MCDRAM needs more concurrency than these
+     kernels expose. *)
+  stream_factor : float;
+  (* Whether single precision doubles the vector width (true on x86;
+     false on BG/Q, whose QPX is 4-wide double only). *)
+  sp_vector : bool;
+}
+
+let flops_per_cycle_sp m =
+  if m.sp_vector then float_of_int (m.simd_bits / 32 * 2 * m.fma_units)
+  else float_of_int (m.simd_bits / 64 * 2 * m.fma_units)
+let flops_per_cycle_dp m = float_of_int (m.simd_bits / 64 * 2 * m.fma_units)
+
+let peak_gflops m ~single =
+  (if single then flops_per_cycle_sp m else flops_per_cycle_dp m)
+  *. m.freq_ghz *. float_of_int m.cores
+
+let sp_lanes m = if m.sp_vector then m.simd_bits / 32 else m.simd_bits / 64
+let dp_lanes m = m.simd_bits / 64
+
+let bandwidth ?(level = 0) m = (List.nth m.levels level).bandwidth
+
+let find_level m name =
+  match List.find_opt (fun l -> l.level = name) m.levels with
+  | Some l -> l
+  | None -> invalid_arg (Printf.sprintf "Machine: no memory level %S" name)
+
+(* Intel Xeon Phi 7250P (KNL), quad/flat: 68 cores, 64 used (Sec. 5). *)
+let knl =
+  {
+    mname = "KNL";
+    cores = 64;
+    threads_per_core = 2;
+    freq_ghz = 1.4;
+    simd_bits = 512;
+    fma_units = 2;
+    levels =
+      [
+        { level = "MCDRAM"; bandwidth = 450.; capacity_gb = 16. };
+        { level = "DDR"; bandwidth = 85.; capacity_gb = 96. };
+      ];
+    package_watts = 195.;
+    dram_watts = 18.;
+    smt_uplift = 1.085;
+    scalar_factor = 0.9;
+    stream_factor = 0.40;
+    sp_vector = true;
+  }
+
+(* Single-socket Xeon E5-2698 v4 (BDW), 20 cores, AVX2. *)
+let bdw =
+  {
+    mname = "BDW";
+    cores = 20;
+    threads_per_core = 2;
+    freq_ghz = 2.2;
+    simd_bits = 256;
+    fma_units = 2;
+    levels =
+      [
+        { level = "L3"; bandwidth = 300.; capacity_gb = 0.05 };
+        { level = "DDR"; bandwidth = 68.; capacity_gb = 128. };
+      ];
+    package_watts = 120.;
+    dram_watts = 15.;
+    smt_uplift = 1.10;
+    scalar_factor = 1.0;
+    stream_factor = 1.0;
+    sp_vector = true;
+  }
+
+(* IBM Blue Gene/Q node: 16 user cores, QPX 4-wide double. *)
+let bgq =
+  {
+    mname = "BG/Q";
+    cores = 16;
+    threads_per_core = 4;
+    freq_ghz = 1.6;
+    simd_bits = 256;
+    fma_units = 1;
+    levels = [ { level = "DDR"; bandwidth = 28.; capacity_gb = 16. } ];
+    package_watts = 55.;
+    dram_watts = 10.;
+    smt_uplift = 1.15;
+    scalar_factor = 4.0;
+    stream_factor = 1.0;
+    sp_vector = false;
+  }
+
+let all = [ knl; bdw; bgq ]
+
+let find name =
+  match
+    List.find_opt
+      (fun m -> String.lowercase_ascii m.mname = String.lowercase_ascii name)
+      all
+  with
+  | Some m -> m
+  | None -> invalid_arg (Printf.sprintf "Machine.find: %S" name)

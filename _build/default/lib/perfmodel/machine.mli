@@ -1,0 +1,49 @@
+(** Machine descriptors for the paper's three platforms (published SKU
+    constants), used by the analytic models to regenerate the
+    machine-dependent figures — the substitution for hardware this
+    repository cannot run on. *)
+
+type memory_level = { level : string; bandwidth : float; capacity_gb : float }
+
+type t = {
+  mname : string;
+  cores : int;
+  threads_per_core : int;
+  freq_ghz : float;
+  simd_bits : int;
+  fma_units : int;
+  levels : memory_level list;  (** fastest first *)
+  package_watts : float;
+  dram_watts : float;
+  smt_uplift : float;  (** 2-threads/core throughput gain (Sec. 8.2) *)
+  scalar_factor : float;
+      (** issue-rate factor for non-vectorized kernels; > 1 on BG/Q
+          because the baseline used QPX intrinsics there *)
+  stream_factor : float;
+      (** fraction of quoted STREAM bandwidth irregular kernels sustain *)
+  sp_vector : bool;  (** single precision doubles the vector width *)
+}
+
+val flops_per_cycle_sp : t -> float
+val flops_per_cycle_dp : t -> float
+val peak_gflops : t -> single:bool -> float
+val sp_lanes : t -> int
+val dp_lanes : t -> int
+val bandwidth : ?level:int -> t -> float
+
+val find_level : t -> string -> memory_level
+(** @raise Invalid_argument on an unknown level name. *)
+
+val knl : t
+(** Intel Xeon Phi 7250P, 64 cores used, MCDRAM + DDR. *)
+
+val bdw : t
+(** Single-socket Xeon E5-2698 v4, 20 cores, L3 + DDR. *)
+
+val bgq : t
+(** IBM Blue Gene/Q node, 16 cores, QPX (4-wide double only). *)
+
+val all : t list
+
+val find : string -> t
+(** Case-insensitive lookup.  @raise Invalid_argument otherwise. *)

@@ -1,0 +1,84 @@
+(* Analytic memory-footprint model (Figs. 8 and 9).
+
+   The paper's footprint formula is γ(N_th + N_w)N² plus the shared
+   read-only B-spline table.  Rather than quoting γ, this model sums the
+   exact allocation formulas of the data structures in this repository —
+   distance tables, Jastrow state, determinant inverses, walker buffers —
+   per variant, so footprint reductions follow from the same design
+   choices that produce them in the code. *)
+
+type breakdown = {
+  label : string;
+  bspline_gb : float; (* shared, read-only *)
+  per_thread_gb : float; (* compute engines: tables + wavefunction state *)
+  per_walker_gb : float; (* walker buffers (serialized state) *)
+  total_gb : float;
+}
+
+type variant_kind = [ `Ref | `Ref_mp | `Current ]
+
+let elt_bytes = function `Ref -> 8 | `Ref_mp | `Current -> 4
+
+(* Bytes of one compute engine for an N-electron, I-ion, M-orbital
+   problem. *)
+let engine_bytes kind ~n ~n_ion ~n_spo =
+  let s = elt_bytes kind in
+  let nf = n and io = n_ion and m = n_spo in
+  let positions = (3 * nf * 8) + (3 * nf * s) in
+  match kind with
+  | `Ref | `Ref_mp ->
+      (* packed AA triangle (dist + 3 displacement), dense AB block,
+         5N² Jastrow matrices, 5N·I J1 matrices, two (N/2)² inverses *)
+      let aa = 4 * (nf * (nf - 1) / 2) * s in
+      let ab = 4 * nf * io * s in
+      let j2 = 5 * nf * nf * s in
+      let j1 = 5 * nf * io * s in
+      let dets = 2 * 2 * (m * m) * s in
+      positions + aa + ab + j2 + j1 + dets
+  | `Current ->
+      (* full padded AA rows (4 matrices), padded AB rows, 5N Jastrow
+         accumulators, two (N/2)² inverses *)
+      let aa = 4 * nf * nf * s in
+      let ab = 4 * nf * io * s in
+      let j2 = 5 * nf * 8 in
+      let j1 = 5 * nf * 8 in
+      let dets = 2 * 2 * (m * m) * s in
+      positions + aa + ab + j2 + j1 + dets
+
+(* Bytes of one walker: positions + serialized component state.  QMCPACK's
+   mixed-precision builds serialize the anonymous buffer in single
+   precision, halving walker memory and message sizes (Sec. 7.2). *)
+let walker_bytes kind ~n ~n_ion ~n_spo =
+  let s = elt_bytes kind in
+  let positions = 3 * n * 8 in
+  let dets = 2 * ((n_spo * n_spo) + 1) * s in
+  match kind with
+  | `Ref | `Ref_mp ->
+      positions + (5 * n * n * s) + (5 * n * n_ion * s) + dets
+  | `Current -> positions + (5 * n * s) + (5 * n * s) + dets
+
+let footprint ~label kind ~n ~n_ion ~n_spo_total ~bspline_bytes ~threads
+    ~walkers =
+  (* per-spin determinant size *)
+  let m = n / 2 in
+  ignore n_spo_total;
+  let per_thread = engine_bytes kind ~n ~n_ion ~n_spo:m in
+  let per_walker = walker_bytes kind ~n ~n_ion ~n_spo:m in
+  let bspline =
+    match kind with
+    | `Ref -> float_of_int bspline_bytes
+    | `Ref_mp | `Current -> float_of_int bspline_bytes /. 2.
+  in
+  let gb x = x /. 1e9 in
+  let total =
+    bspline
+    +. (float_of_int threads *. float_of_int per_thread)
+    +. (float_of_int walkers *. float_of_int per_walker)
+  in
+  {
+    label;
+    bspline_gb = gb bspline;
+    per_thread_gb = gb (float_of_int per_thread);
+    per_walker_gb = gb (float_of_int per_walker);
+    total_gb = gb total;
+  }

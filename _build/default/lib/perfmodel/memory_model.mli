@@ -1,0 +1,34 @@
+(** Analytic memory-footprint model (Figs. 8 and 9), summing the exact
+    allocation formulas of this repository's data structures per build
+    variant — the γ(N_th + N_w)N² structure of the paper, derived rather
+    than quoted. *)
+
+type breakdown = {
+  label : string;
+  bspline_gb : float;
+  per_thread_gb : float;
+  per_walker_gb : float;
+  total_gb : float;
+}
+
+type variant_kind = [ `Ref | `Ref_mp | `Current ]
+
+val elt_bytes : variant_kind -> int
+
+val engine_bytes : variant_kind -> n:int -> n_ion:int -> n_spo:int -> int
+(** One compute engine (per thread): tables, Jastrow state, inverses. *)
+
+val walker_bytes : variant_kind -> n:int -> n_ion:int -> n_spo:int -> int
+(** One serialized walker (positions + anonymous buffer); also the
+    load-balancing message size. *)
+
+val footprint :
+  label:string ->
+  variant_kind ->
+  n:int ->
+  n_ion:int ->
+  n_spo_total:int ->
+  bspline_bytes:int ->
+  threads:int ->
+  walkers:int ->
+  breakdown

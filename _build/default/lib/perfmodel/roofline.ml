@@ -1,0 +1,75 @@
+(* Cache-aware roofline model (Williams et al. 2009; Ilic et al. 2014).
+
+   A kernel of arithmetic intensity AI achieves
+   min(compute_rate, stream × AI × BW(level)), where compute_rate is a
+   fraction of the vector peak for vectorized kernels and of the
+   scalar-issue peak otherwise, and the bounding memory level follows the
+   kernel\'s working set: compact Current state lives in cache, the Ref
+   stored state and the shared B-spline table stream from main memory.
+   Ref kernels therefore sit far below the roofs while Current kernels
+   climb toward the bandwidth lines — the structure of Fig. 7. *)
+
+type point = {
+  kernel : string;
+  ai : float; (* flops / byte *)
+  gflops : float; (* achieved *)
+  attainable : float; (* roof at this AI *)
+  time_s : float; (* projected kernel time for the counted work *)
+}
+
+let compute_rate (m : Machine.t) (c : Opcount.kernel_cost) =
+  let peak = Machine.peak_gflops m ~single:c.Opcount.single in
+  if c.Opcount.vectorized then peak *. c.Opcount.eff
+  else
+    (* Scalar issue: [eff] is the sustained scalar flops/cycle/core of
+       the abstraction-heavy AoS loops (dependency chains, sqrt, strided
+       loads), further scaled by the machine's scalar factor. *)
+    float_of_int m.Machine.cores *. m.Machine.freq_ghz
+    *. m.Machine.scalar_factor *. c.Opcount.eff
+
+
+(* Memory level index for a hint: Cache = the first level; Dram = the
+   first level that is not an on-die cache (capacity >= 1 GB). *)
+let level_index (m : Machine.t) = function
+  | Opcount.Cache -> 0
+  | Opcount.Dram ->
+      let rec go i = function
+        | [] -> 0
+        | l :: rest ->
+            if l.Machine.capacity_gb >= 1. then i else go (i + 1) rest
+      in
+      go 0 m.Machine.levels
+
+let project ?level (m : Machine.t) (c : Opcount.kernel_cost) =
+  let lvl =
+    match level with Some l -> l | None -> level_index m c.Opcount.level
+  in
+  let ai = Opcount.arithmetic_intensity c in
+  let bw = Machine.bandwidth ~level:lvl m *. m.Machine.stream_factor in
+  let peak = Machine.peak_gflops m ~single:c.Opcount.single in
+  let attainable = Float.min peak (ai *. bw) in
+  let compute = compute_rate m c in
+  let memory = ai *. bw *. c.Opcount.stream in
+  let achieved = Float.min compute memory in
+  let time_s =
+    if c.Opcount.flops <= 0. then 0. else c.Opcount.flops /. (achieved *. 1e9)
+  in
+  { kernel = c.Opcount.kernel; ai; gflops = achieved; attainable; time_s }
+
+let project_all ?level m costs = List.map (project ?level m) costs
+
+let total_time points = List.fold_left (fun a p -> a +. p.time_s) 0. points
+
+(* Projected speedup of one cost set over another on a machine (the
+   Table 2 model). *)
+let speedup ?level m ~ref_costs ~cur_costs =
+  let tr = total_time (project_all ?level m ref_costs) in
+  let tc = total_time (project_all ?level m cur_costs) in
+  tr /. tc
+
+(* Normalized per-kernel profile (the Fig. 2 shape). *)
+let profile points =
+  let tot = total_time points in
+  List.map
+    (fun p -> (p.kernel, if tot > 0. then p.time_s /. tot else 0.))
+    points

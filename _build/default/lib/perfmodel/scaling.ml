@@ -1,0 +1,74 @@
+(* Multi-node strong-scaling model for the Fig. 1 reproduction.
+
+   The paper's own analysis (Sec. 8) attributes the multi-node speedup
+   entirely to the single-node factor: communications are an allreduce of
+   scalar averages plus occasional serialized-walker exchanges, identical
+   in Ref and Current.  The model reproduces that structure: per-step
+   time = compute/node + allreduce(log₂ nodes) + walker-exchange, with a
+   fixed target population shrinking the per-node walker count as nodes
+   grow (the strong-scaling pressure). *)
+
+type network = {
+  net_name : string;
+  latency_us : float; (* per hop / software latency of a small message *)
+  bandwidth_gbs : float; (* per-NIC bandwidth *)
+}
+
+(* Cray Aries dragonfly (Trinity) and Intel Omni-Path (Serrano). *)
+let aries = { net_name = "Aries"; latency_us = 1.3; bandwidth_gbs = 10. }
+let omnipath = { net_name = "Omni-Path"; latency_us = 1.1; bandwidth_gbs = 12. }
+
+type point = {
+  nodes : int;
+  throughput : float; (* normalized samples / second *)
+  efficiency : float; (* vs ideal scaling from the smallest node count *)
+}
+
+(* [step_time_1walker] — measured single-node per-walker step time;
+   walkers per node follow from the fixed target population.
+   [threads_per_node] sets the granularity of the load-imbalance term:
+   with W walkers spread over T threads, Poisson population fluctuations
+   leave threads idle at a relative cost ~ c·T/W — the dominant loss at
+   1024 nodes, where KNL runs one walker per thread. *)
+let imbalance_coeff = 0.11
+
+let strong_scaling ?(threads_per_node = 1) ~net ~target_population
+    ~step_time_1walker ~walker_message_bytes ~node_counts () =
+  let comm_time nodes =
+    (* allreduce: log₂(nodes) latency hops plus a small payload; walker
+       exchange: ~2% of the local population moves each step. *)
+    let allreduce =
+      Float.log2 (float_of_int (max 2 nodes)) *. net.latency_us *. 1e-6
+    in
+    let walkers_per_node =
+      float_of_int target_population /. float_of_int nodes
+    in
+    let exchanged = 0.02 *. walkers_per_node in
+    let exchange =
+      exchanged *. float_of_int walker_message_bytes
+      /. (net.bandwidth_gbs *. 1e9)
+    in
+    allreduce +. exchange
+  in
+  List.map
+    (fun nodes ->
+      let walkers_per_node =
+        float_of_int target_population /. float_of_int nodes
+      in
+      let compute = walkers_per_node *. step_time_1walker in
+      let imbalance =
+        imbalance_coeff *. float_of_int threads_per_node /. walkers_per_node
+      in
+      let step = (compute *. (1. +. imbalance)) +. comm_time nodes in
+      let throughput = float_of_int target_population /. step in
+      (nodes, throughput))
+    node_counts
+  |> fun raw ->
+  match raw with
+  | [] -> []
+  | (n0, t0) :: _ ->
+      List.map
+        (fun (nodes, throughput) ->
+          let ideal = t0 *. float_of_int nodes /. float_of_int n0 in
+          { nodes; throughput; efficiency = throughput /. ideal })
+        raw

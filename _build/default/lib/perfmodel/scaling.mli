@@ -1,0 +1,30 @@
+(** Multi-node strong-scaling model for Fig. 1: per-step time is
+    compute (walkers/node × measured step time) inflated by a
+    walker-count load-imbalance term, plus allreduce latency and
+    serialized-walker exchange. *)
+
+type network = {
+  net_name : string;
+  latency_us : float;
+  bandwidth_gbs : float;
+}
+
+val aries : network  (** Cray Aries dragonfly (Trinity). *)
+
+val omnipath : network  (** Intel Omni-Path (Serrano). *)
+
+type point = { nodes : int; throughput : float; efficiency : float }
+
+val imbalance_coeff : float
+
+val strong_scaling :
+  ?threads_per_node:int ->
+  net:network ->
+  target_population:int ->
+  step_time_1walker:float ->
+  walker_message_bytes:int ->
+  node_counts:int list ->
+  unit ->
+  point list
+(** Throughputs in samples/second; efficiencies relative to ideal scaling
+    from the first node count. *)

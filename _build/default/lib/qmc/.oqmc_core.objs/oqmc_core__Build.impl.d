@@ -1,0 +1,1 @@
+lib/qmc/build.ml: Engine Engine_api Oqmc_containers Precision System Timers Variant

@@ -1,0 +1,1 @@
+lib/qmc/checkpoint.ml: Array Fun List Oqmc_containers Oqmc_particle Printf Scanf Vec3 Walker Wbuffer

@@ -1,0 +1,1 @@
+lib/qmc/checkpoint.mli: Oqmc_particle Walker

@@ -1,0 +1,1 @@
+lib/qmc/dmc.ml: Array Engine_api List Oqmc_containers Oqmc_particle Oqmc_rng Population Runner Stats Walker Xoshiro

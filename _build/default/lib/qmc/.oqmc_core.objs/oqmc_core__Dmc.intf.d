@@ -1,0 +1,1 @@
+lib/qmc/dmc.mli: Engine_api Oqmc_particle

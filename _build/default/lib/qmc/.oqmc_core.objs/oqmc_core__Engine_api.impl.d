@@ -1,0 +1,1 @@
+lib/qmc/engine_api.ml: Oqmc_containers Oqmc_particle Oqmc_rng Timers Walker

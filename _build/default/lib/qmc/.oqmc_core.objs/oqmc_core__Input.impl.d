@@ -1,0 +1,1 @@
+lib/qmc/input.ml: Fun List Printf String Variant

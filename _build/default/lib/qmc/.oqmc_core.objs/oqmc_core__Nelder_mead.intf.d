@@ -1,0 +1,1 @@
+lib/qmc/nelder_mead.mli:

@@ -1,0 +1,1 @@
+lib/qmc/observables.ml: Array Float Lattice Oqmc_containers Oqmc_particle Vec3 Walker

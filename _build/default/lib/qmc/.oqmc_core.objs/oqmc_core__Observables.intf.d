@@ -1,0 +1,1 @@
+lib/qmc/observables.mli: Lattice Oqmc_containers Oqmc_particle Vec3 Walker

@@ -1,0 +1,1 @@
+lib/qmc/optimizer.ml: Array Build List Nelder_mead System Variant Vmc

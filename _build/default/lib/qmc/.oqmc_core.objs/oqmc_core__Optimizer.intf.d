@@ -1,0 +1,1 @@
+lib/qmc/optimizer.mli: Nelder_mead System Variant Vmc

@@ -1,0 +1,1 @@
+lib/qmc/population.ml: Array Float List Oqmc_particle Oqmc_rng Walker Xoshiro

@@ -1,0 +1,1 @@
+lib/qmc/population.mli: Oqmc_particle Oqmc_rng Walker

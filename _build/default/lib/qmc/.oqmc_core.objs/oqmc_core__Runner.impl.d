@@ -1,0 +1,1 @@
+lib/qmc/runner.ml: Array Domain Engine_api Oqmc_containers Timers

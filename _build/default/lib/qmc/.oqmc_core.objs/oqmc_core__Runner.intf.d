@@ -1,0 +1,1 @@
+lib/qmc/runner.mli: Engine_api Oqmc_containers

@@ -1,0 +1,1 @@
+lib/qmc/stats.ml: Array Float

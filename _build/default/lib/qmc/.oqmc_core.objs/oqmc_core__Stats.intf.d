@@ -1,0 +1,1 @@
+lib/qmc/stats.mli:

@@ -1,0 +1,1 @@
+lib/qmc/system.ml: Array Cubic_spline_1d Lattice List Nlpp Oqmc_containers Oqmc_hamiltonian Oqmc_particle Oqmc_spline Oqmc_wavefunction Spo Vec3

@@ -1,0 +1,1 @@
+lib/qmc/system.mli: Cubic_spline_1d Lattice Nlpp Oqmc_containers Oqmc_hamiltonian Oqmc_particle Oqmc_spline Oqmc_wavefunction Spo Vec3

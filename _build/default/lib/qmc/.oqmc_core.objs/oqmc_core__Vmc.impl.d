@@ -1,0 +1,1 @@
+lib/qmc/vmc.ml: Array Engine_api Oqmc_containers Oqmc_particle Oqmc_rng Runner Stats Walker Xoshiro

@@ -1,0 +1,1 @@
+lib/qmc/vmc.mli: Engine_api Oqmc_particle

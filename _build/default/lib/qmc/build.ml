@@ -1,0 +1,33 @@
+open Oqmc_containers
+
+(* Variant factory: instantiates the engine functor at the precision and
+   update policy of a build variant.  The returned closure is a per-domain
+   engine factory for the drivers ([Runner.create]). *)
+
+module E64 = Engine.Make (Precision.F64)
+module E32 = Engine.Make (Precision.F32)
+
+let engine ?timers ?delay ~variant ~seed (sys : System.t) : Engine_api.t =
+  let layout = Variant.layout variant in
+  match variant with
+  | Variant.Ref | Variant.Current_f64 ->
+      let det_scheme =
+        match delay with
+        | None -> E64.Det.Sherman_morrison
+        | Some d -> E64.Det.Delayed d
+      in
+      E64.create ?timers ~det_scheme ~layout ~seed sys
+  | Variant.Ref_mp | Variant.Current ->
+      let det_scheme =
+        match delay with
+        | None -> E32.Det.Sherman_morrison
+        | Some d -> E32.Det.Delayed d
+      in
+      E32.create ?timers ~det_scheme ~layout ~seed sys
+
+(* Per-domain factory: every domain gets its own timer set and a distinct
+   seed so its engine starts from an independent configuration. *)
+let factory ?delay ~variant ~seed (sys : System.t) : int -> Engine_api.t =
+ fun domain ->
+  let timers = Timers.create () in
+  engine ~timers ?delay ~variant ~seed:(seed + (1000 * domain)) sys

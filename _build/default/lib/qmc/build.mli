@@ -1,0 +1,23 @@
+open Oqmc_containers
+
+(** Variant factory: instantiates the engine functor at the storage
+    precision and update policy of a build variant. *)
+
+module E64 : module type of Engine.Make (Precision.F64)
+module E32 : module type of Engine.Make (Precision.F32)
+
+val engine :
+  ?timers:Timers.t ->
+  ?delay:int ->
+  variant:Variant.t ->
+  seed:int ->
+  System.t ->
+  Engine_api.t
+(** One compute engine.  [delay] switches the determinant update to the
+    delayed (Woodbury) scheme with the given block size. *)
+
+val factory :
+  ?delay:int -> variant:Variant.t -> seed:int -> System.t -> int ->
+  Engine_api.t
+(** Per-domain factory with fresh timers and domain-offset seeds, for
+    {!Runner.create}. *)

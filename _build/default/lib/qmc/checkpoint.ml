@@ -1,0 +1,89 @@
+open Oqmc_particle
+open Oqmc_containers
+
+(* Checkpoint/restart for walker populations.
+
+   Production DMC runs over days checkpoint their walker ensemble (the
+   serialized Walker objects of the load-balancing path) so a job can
+   resume mid-propagation.  The format is a versioned plain-text stream:
+   portable, diffable, and the buffers are written in full precision via
+   the %h hex-float format so restart is bit-exact. *)
+
+let magic = "OQMC-CHECKPOINT-1"
+
+let write_walker oc (w : Walker.t) =
+  let n = Walker.n_particles w in
+  Printf.fprintf oc "walker %d %h %d %d %h %h\n" n w.Walker.weight
+    w.Walker.multiplicity w.Walker.age w.Walker.log_psi w.Walker.e_local;
+  for i = 0 to n - 1 do
+    let p = Walker.Aos.get w.Walker.r i in
+    Printf.fprintf oc "%h %h %h\n" p.Vec3.x p.Vec3.y p.Vec3.z
+  done;
+  let buf = Wbuffer.contents w.Walker.buffer in
+  Printf.fprintf oc "buffer %d\n" (Array.length buf);
+  Array.iter (fun v -> Printf.fprintf oc "%h\n" v) buf
+
+let save ~path ~e_trial walkers =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Printf.fprintf oc "%s\n" magic;
+      Printf.fprintf oc "e_trial %h\n" e_trial;
+      Printf.fprintf oc "walkers %d\n" (List.length walkers);
+      List.iter (write_walker oc) walkers)
+
+exception Corrupt of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Corrupt s)) fmt
+
+let read_line_exn ic what =
+  match input_line ic with
+  | line -> line
+  | exception End_of_file -> fail "unexpected end of file reading %s" what
+
+let scan_line ic what fmt f =
+  let line = read_line_exn ic what in
+  try Scanf.sscanf line fmt f
+  with Scanf.Scan_failure _ | Failure _ ->
+    fail "malformed %s line: %S" what line
+
+let read_walker ic =
+  let n, weight, multiplicity, age, log_psi, e_local =
+    scan_line ic "walker header" "walker %d %h %d %d %h %h"
+      (fun a b c d e f -> (a, b, c, d, e, f))
+  in
+  if n < 1 then fail "walker with %d particles" n;
+  let w = Walker.create n in
+  w.Walker.weight <- weight;
+  w.Walker.multiplicity <- multiplicity;
+  w.Walker.age <- age;
+  w.Walker.log_psi <- log_psi;
+  w.Walker.e_local <- e_local;
+  for i = 0 to n - 1 do
+    let x, y, z =
+      scan_line ic "position" "%h %h %h" (fun x y z -> (x, y, z))
+    in
+    Walker.Aos.set w.Walker.r i (Vec3.make x y z)
+  done;
+  let nbuf = scan_line ic "buffer header" "buffer %d" Fun.id in
+  Wbuffer.clear w.Walker.buffer;
+  for _ = 1 to nbuf do
+    let v = scan_line ic "buffer value" "%h" Fun.id in
+    Wbuffer.add w.Walker.buffer v
+  done;
+  Wbuffer.rewind w.Walker.buffer;
+  w
+
+let load ~path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let header = read_line_exn ic "magic" in
+      if header <> magic then fail "bad magic %S" header;
+      let e_trial = scan_line ic "e_trial" "e_trial %h" Fun.id in
+      let count = scan_line ic "walker count" "walkers %d" Fun.id in
+      if count < 0 then fail "negative walker count";
+      let walkers = List.init count (fun _ -> read_walker ic) in
+      (e_trial, walkers))

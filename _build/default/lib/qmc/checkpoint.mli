@@ -1,0 +1,17 @@
+open Oqmc_particle
+
+(** Checkpoint/restart of a walker ensemble: versioned plain-text format
+    with hex-float fields, so resumed runs are bit-exact. *)
+
+exception Corrupt of string
+(** Raised by {!load} on malformed or truncated files. *)
+
+val magic : string
+
+val save : path:string -> e_trial:float -> Walker.t list -> unit
+(** Serialize positions, DMC bookkeeping and the anonymous state buffer
+    of every walker. *)
+
+val load : path:string -> float * Walker.t list
+(** Returns the trial energy and the walkers, with buffers rewound ready
+    for [restore_walker]. *)

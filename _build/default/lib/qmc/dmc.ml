@@ -1,0 +1,170 @@
+open Oqmc_particle
+open Oqmc_rng
+
+(* Diffusion Monte Carlo driver (Alg. 1 of the paper).
+
+   Each generation: every walker runs one particle-by-particle
+   drift-and-diffusion sweep, measures its local energy, and is reweighted
+   against the trial energy; then the population branches, the trial
+   energy is updated by feedback, and a simulated load-balance step
+   accounts for the walker messages a multi-rank run would exchange. *)
+
+type params = {
+  target_walkers : int;
+  warmup : int; (* equilibration generations, not measured *)
+  generations : int;
+  tau : float;
+  seed : int;
+  n_domains : int;
+  ranks : int; (* simulated MPI ranks for the load-balance accounting *)
+}
+
+let default_params =
+  {
+    target_walkers = 16;
+    warmup = 20;
+    generations = 100;
+    tau = 0.01;
+    seed = 11;
+    n_domains = 1;
+    ranks = 1;
+  }
+
+type result = {
+  energy : float;
+  energy_error : float;
+  variance : float;
+  tau_corr : float;
+  efficiency : float; (* κ = 1/(σ² τ_corr T_MC) *)
+  acceptance : float;
+  throughput : float; (* MC samples per second *)
+  wall_time : float;
+  mean_population : float;
+  energy_series : float array; (* per-generation weighted estimate *)
+  population_series : int array;
+  comm_messages : int;
+  comm_bytes : int;
+  final_walkers : Walker.t list; (* for checkpointing *)
+  final_e_trial : float;
+}
+
+type wslot = { mutable walker : Walker.t; rng : Xoshiro.t }
+
+let run ?initial ?observe ~(factory : int -> Engine_api.t) (p : params) :
+    result =
+  if p.target_walkers < 1 then invalid_arg "Dmc.run: target_walkers < 1";
+  let runner = Runner.create ~n_domains:p.n_domains ~factory in
+  let e0 = Runner.engine runner 0 in
+  let n = e0.Engine_api.n_electrons in
+  let master_rng = Xoshiro.create p.seed in
+  let rng_pool = ref (Xoshiro.create (p.seed + 1)) in
+  let next_rng () = Xoshiro.split !rng_pool in
+  (* Initial population: restored from a checkpoint, or fresh walkers
+     with measured local energies. *)
+  let init_walkers, e_init =
+    match initial with
+    | Some (e_trial, walkers) when walkers <> [] -> (walkers, e_trial)
+    | _ ->
+        let ws =
+          List.init p.target_walkers (fun _ ->
+              let w = Walker.create n in
+              e0.Engine_api.randomize master_rng;
+              let el = e0.Engine_api.measure () in
+              w.Walker.e_local <- el;
+              e0.Engine_api.register_walker w;
+              w)
+        in
+        ( ws,
+          List.fold_left (fun a w -> a +. w.Walker.e_local) 0. ws
+          /. float_of_int p.target_walkers )
+  in
+  let pop =
+    Population.create ~target:p.target_walkers ~e_trial:e_init init_walkers
+  in
+  let acc_total = ref 0 and prop_total = ref 0 in
+  let comm_messages = ref 0 and comm_bytes = ref 0 in
+  let energy_series = Stats.make_series () in
+  let pop_series = ref [] in
+  let sample_count = ref 0 in
+  let step ~measure_stats =
+    let ws = Array.of_list (Population.walkers pop) in
+    let slots =
+      Array.map (fun w -> { walker = w; rng = next_rng () }) ws
+    in
+    let e_trial = Population.e_trial pop in
+    Runner.iter_walkers runner slots ~f:(fun e s ->
+        let w = s.walker in
+        e.Engine_api.restore_walker w;
+        let e_old = w.Walker.e_local in
+        let r = e.Engine_api.sweep s.rng ~tau:p.tau in
+        let e_new = e.Engine_api.measure () in
+        Population.dmc_weight ~tau:p.tau ~e_trial ~e_old ~e_new w;
+        w.Walker.e_local <- e_new;
+        w.Walker.age <-
+          (if r.Engine_api.accepted = 0 then w.Walker.age + 1 else 0);
+        e.Engine_api.save_walker w;
+        (* Per-slot accounting merged serially below via the walker. *)
+        w.Walker.multiplicity <- r.Engine_api.accepted);
+    Array.iter
+      (fun s ->
+        acc_total := !acc_total + s.walker.Walker.multiplicity;
+        prop_total := !prop_total + n;
+        s.walker.Walker.multiplicity <- 1)
+      slots;
+    (* Weighted mixed estimator for this generation. *)
+    let wsum = ref 0. and esum = ref 0. in
+    List.iter
+      (fun w ->
+        wsum := !wsum +. w.Walker.weight;
+        esum := !esum +. (w.Walker.weight *. w.Walker.e_local))
+      (Population.walkers pop);
+    let e_gen = if !wsum > 0. then !esum /. !wsum else e_trial in
+    if measure_stats then begin
+      Stats.append energy_series e_gen;
+      pop_series := Population.size pop :: !pop_series;
+      sample_count := !sample_count + Population.size pop;
+      match observe with
+      | Some f -> List.iter f (Population.walkers pop)
+      | None -> ()
+    end;
+    Population.branch pop master_rng;
+    Population.update_trial_energy pop ~tau:p.tau ~e_estimate:e_gen;
+    if p.ranks > 1 then begin
+      let report = Population.load_balance pop ~ranks:p.ranks in
+      comm_messages := !comm_messages + report.Population.messages;
+      comm_bytes := !comm_bytes + report.Population.bytes
+    end
+  in
+  for _ = 1 to p.warmup do
+    step ~measure_stats:false
+  done;
+  let t0 = Oqmc_containers.Timers.now () in
+  for _ = 1 to p.generations do
+    step ~measure_stats:true
+  done;
+  let wall_time = Oqmc_containers.Timers.now () -. t0 in
+  let energy = Stats.series_mean energy_series in
+  let variance = Stats.series_variance energy_series in
+  let tau_corr = Stats.autocorrelation_time energy_series in
+  let pops = Array.of_list (List.rev !pop_series) in
+  {
+    energy;
+    energy_error = Stats.series_error energy_series;
+    variance;
+    tau_corr;
+    efficiency = Stats.efficiency ~variance ~tau_corr ~t_mc:wall_time;
+    acceptance = float_of_int !acc_total /. float_of_int (max 1 !prop_total);
+    throughput = float_of_int !sample_count /. wall_time;
+    wall_time;
+    mean_population =
+      (if Array.length pops = 0 then 0.
+       else
+         float_of_int (Array.fold_left ( + ) 0 pops)
+         /. float_of_int (Array.length pops));
+    energy_series = Stats.to_array energy_series;
+    population_series = pops;
+    comm_messages = !comm_messages;
+    comm_bytes = !comm_bytes;
+    final_walkers = Population.walkers pop;
+    final_e_trial = Population.e_trial pop;
+  }

@@ -1,0 +1,43 @@
+(** Diffusion Monte Carlo driver (Alg. 1 of the paper): drift-and-diffusion
+    sweeps, reweighting against the trial energy, stochastic branching,
+    feedback population control and simulated-rank load balancing. *)
+
+type params = {
+  target_walkers : int;
+  warmup : int;  (** equilibration generations, not measured *)
+  generations : int;
+  tau : float;
+  seed : int;
+  n_domains : int;
+  ranks : int;  (** simulated MPI ranks for the exchange accounting *)
+}
+
+val default_params : params
+
+type result = {
+  energy : float;
+  energy_error : float;
+  variance : float;
+  tau_corr : float;
+  efficiency : float;  (** κ = 1/(σ² τ_corr T_MC) *)
+  acceptance : float;
+  throughput : float;
+  wall_time : float;
+  mean_population : float;
+  energy_series : float array;
+  population_series : int array;
+  comm_messages : int;
+  comm_bytes : int;  (** serialized-walker exchange volume *)
+  final_walkers : Oqmc_particle.Walker.t list;  (** for checkpointing *)
+  final_e_trial : float;
+}
+
+val run :
+  ?initial:float * Oqmc_particle.Walker.t list ->
+  ?observe:(Oqmc_particle.Walker.t -> unit) ->
+  factory:(int -> Engine_api.t) ->
+  params ->
+  result
+(** [initial] resumes from a checkpointed (e_trial, walkers) ensemble;
+    [observe] is called per walker per measured generation.
+    @raise Invalid_argument if [target_walkers < 1]. *)

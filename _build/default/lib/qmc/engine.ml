@@ -1,0 +1,350 @@
+open Oqmc_containers
+open Oqmc_particle
+open Oqmc_wavefunction
+open Oqmc_hamiltonian
+open Oqmc_rng
+
+(* The per-thread compute engine: ParticleSets, distance tables, trial
+   wavefunction and Hamiltonian wired together for one build variant, plus
+   the particle-by-particle drift-and-diffusion choreography of Alg. 1.
+
+   The functor parameter fixes the storage precision; the [layout]
+   argument picks between the Ref (store-over-compute, packed AoS tables)
+   and Current (SoA, compute-on-the-fly) kernel sets.  The accept
+   choreography is ordered so components read the pre-move rows:
+   wavefunction accepts, then table accepts, then the ParticleSet. *)
+
+module Make (R : Precision.REAL) = struct
+  module Ps = Particle_set.Make (R)
+  module W = Wfc.Make (R)
+  module Twf = Trial_wavefunction.Make (R)
+  module J1 = Jastrow_one.Make (R)
+  module J2 = Jastrow_two.Make (R)
+  module Det = Slater_det.Make (R)
+  module AAref = Dt_aa_ref.Make (R)
+  module AAsoa = Dt_aa_soa.Make (R)
+  module ABref = Dt_ab_ref.Make (R)
+  module ABsoa = Dt_ab_soa.Make (R)
+
+  type tables =
+    | Store_t of AAref.t * ABref.t option
+    | Otf_t of AAsoa.t * ABsoa.t option
+
+  let make_ions (sys : System.t) =
+    match sys.System.ions with
+    | [] -> None
+    | groups ->
+        let species =
+          List.map
+            (fun g ->
+              {
+                Particle_set.name = g.System.sname;
+                charge = g.System.charge;
+                count = List.length g.System.positions;
+              })
+            groups
+        in
+        let ions = Ps.create ~lattice:sys.System.lattice species in
+        let all = List.concat_map (fun g -> g.System.positions) groups in
+        Ps.set_all ions (Array.of_list all);
+        Some ions
+
+  let create ?(timers = Timers.null) ?(det_scheme = Det.Sherman_morrison)
+      ~layout ~seed (sys : System.t) : Engine_api.t =
+    let sys = System.validate sys in
+    let lattice = sys.System.lattice in
+    let n_up = sys.System.n_up and n_down = sys.System.n_down in
+    let n = n_up + n_down in
+    let especies =
+      { Particle_set.name = "u"; charge = -1.; count = n_up }
+      :: (if n_down > 0 then
+            [ { Particle_set.name = "d"; charge = -1.; count = n_down } ]
+          else [])
+    in
+    let ps = Ps.create ~lattice especies in
+    let ions = make_ions sys in
+    let tables =
+      match (layout, ions) with
+      | Variant.Store, io ->
+          Store_t
+            ( AAref.create ps,
+              Option.map (fun i -> ABref.create ~sources:i ps) io )
+      | Variant.Otf, io ->
+          Otf_t
+            ( AAsoa.create ps,
+              Option.map (fun i -> ABsoa.create ~sources:i ps) io )
+    in
+    (* --- wavefunction components --- *)
+    let dets =
+      Det.create ~timers ~scheme:det_scheme ~spo:sys.System.spo ~first:0
+        ~count:n_up ps
+      ::
+      (if n_down > 0 then
+         [
+           Det.create ~timers ~scheme:det_scheme ~spo:sys.System.spo
+             ~first:n_up ~count:n_down ps;
+         ]
+       else [])
+    in
+    let j2 =
+      match (sys.System.j2, tables) with
+      | None, _ -> []
+      | Some functors, Store_t (aa, _) ->
+          [ J2.create_ref ~table:aa ~functors ps ]
+      | Some functors, Otf_t (aa, _) ->
+          [ J2.create_opt ~table:aa ~functors ps ]
+    in
+    let j1 =
+      match (sys.System.j1, tables, ions) with
+      | None, _, _ -> []
+      | Some _, _, None -> invalid_arg "Engine: J1 requires ions"
+      | Some functors, Store_t (_, Some ab), Some io ->
+          [ J1.create_ref ~table:ab ~functors ~ions:io ps ]
+      | Some functors, Otf_t (_, Some ab), Some io ->
+          [ J1.create_opt ~table:ab ~functors ~ions:io ps ]
+      | Some _, _, _ -> assert false
+    in
+    let twf = Twf.create ~timers (dets @ j2 @ j1) in
+    let gl = W.make_gl n in
+    (* --- table choreography helpers --- *)
+    let tables_evaluate () =
+      Timers.time timers "DistTable" (fun () ->
+          match tables with
+          | Store_t (aa, ab) ->
+              AAref.evaluate aa ps;
+              Option.iter (fun t -> ABref.evaluate t ps) ab
+          | Otf_t (aa, ab) ->
+              AAsoa.evaluate aa ps;
+              Option.iter (fun t -> ABsoa.evaluate t ps) ab)
+    in
+    let tables_prepare k =
+      match tables with
+      | Store_t _ -> ()
+      | Otf_t (aa, _) ->
+          Timers.time timers "DistTable" (fun () -> AAsoa.prepare aa ps k)
+    in
+    let tables_move k pos =
+      Timers.time timers "DistTable" (fun () ->
+          match tables with
+          | Store_t (aa, ab) ->
+              AAref.move aa ps k pos;
+              Option.iter (fun t -> ABref.move t pos) ab
+          | Otf_t (aa, ab) ->
+              AAsoa.move aa ps k pos;
+              Option.iter (fun t -> ABsoa.move t pos) ab)
+    in
+    let tables_accept k =
+      Timers.time timers "DistTable" (fun () ->
+          match tables with
+          | Store_t (aa, ab) ->
+              AAref.update aa k;
+              Option.iter (fun t -> ABref.update t k) ab
+          | Otf_t (aa, ab) ->
+              AAsoa.accept aa k;
+              Option.iter (fun t -> ABsoa.accept t k) ab)
+    in
+    (* --- Hamiltonian --- *)
+    let dist_ee i j =
+      match tables with
+      | Store_t (aa, _) -> AAref.dist aa i j
+      | Otf_t (aa, _) -> AAsoa.dist aa i j
+    in
+    let dist_ei k i =
+      match tables with
+      | Store_t (_, Some ab) -> ABref.dist ab k i
+      | Otf_t (_, Some ab) -> ABsoa.dist ab k i
+      | _ -> invalid_arg "Engine: no electron-ion table"
+    in
+    let nlpp_ratio k pos =
+      Ps.propose ps k pos;
+      tables_move k pos;
+      let r = Twf.ratio twf ps k in
+      Twf.reject twf ps k;
+      Ps.reject ps;
+      r
+    in
+    let timed_term (term : Hamiltonian.term) =
+      {
+        term with
+        Hamiltonian.evaluate =
+          (fun () -> Timers.time timers "Other" term.Hamiltonian.evaluate);
+      }
+    in
+    let ham_terms =
+      let spec = sys.System.ham in
+      let coulomb_terms =
+        if not spec.System.coulomb then []
+        else if spec.System.ewald && Lattice.is_periodic lattice then begin
+          (* Full periodic electrostatics over the combined charge set:
+             electrons first, then the fixed ions. *)
+          let n_ion = match ions with None -> 0 | Some io -> Ps.n io in
+          let charges =
+            Array.init (n + n_ion) (fun i ->
+                if i < n then -1.
+                else Ps.charge (Option.get ions) (i - n))
+          in
+          let position i =
+            if i < n then Ps.get ps i else Ps.get (Option.get ions) (i - n)
+          in
+          [ timed_term (Ewald.term ~lattice ~charges ~position ()) ]
+        end
+        else begin
+          let ee = timed_term (Coulomb.ee ~n ~dist:dist_ee) in
+          match ions with
+          | None -> [ ee ]
+          | Some io ->
+              let ni = Ps.n io in
+              let charge i = Ps.charge io i in
+              let ei =
+                timed_term (Coulomb.ei ~n ~n_ion:ni ~charge ~dist:dist_ei)
+              in
+              let ii =
+                Coulomb.ii ~n_ion:ni ~charge ~dist:(fun i j ->
+                    Lattice.min_image_dist lattice (Ps.get io i) (Ps.get io j))
+              in
+              [ ee; ei; ii ]
+        end
+      in
+      let harmonic_terms =
+        match spec.System.harmonic with
+        | None -> []
+        | Some omega ->
+            [
+              timed_term
+                (External_potential.harmonic ~omega ~n ~position:(Ps.get ps));
+            ]
+      in
+      let nlpp_terms =
+        match (spec.System.nlpp, ions) with
+        | None, _ -> []
+        | Some _, None -> invalid_arg "Engine: NLPP requires ions"
+        | Some species, Some io ->
+            [
+              Nlpp.create ~quadrature:Quadrature.icosahedron ~species
+                ~n_electrons:n
+                ~ion_species_of:(fun i -> Ps.species_index io i)
+                ~n_ions:(Ps.n io)
+                ~ion_position:(Ps.get io)
+                ~elec_position:(Ps.get ps) ~dist:dist_ei ~ratio:nlpp_ratio;
+            ]
+      in
+      coulomb_terms @ harmonic_terms @ nlpp_terms
+    in
+    let ham = Hamiltonian.create ham_terms in
+    (* --- engine operations --- *)
+    let refresh () =
+      tables_evaluate ();
+      Twf.evaluate_log twf ps
+    in
+    let sweep rng ~tau =
+      let sqrt_tau = sqrt tau in
+      let accepted = ref 0 in
+      for k = 0 to n - 1 do
+        tables_prepare k;
+        let gold = Twf.grad twf ps k in
+        let cx, cy, cz = Xoshiro.gaussian_vec3 rng in
+        let chi =
+          Vec3.make (sqrt_tau *. cx) (sqrt_tau *. cy) (sqrt_tau *. cz)
+        in
+        let rk = Ps.get ps k in
+        let newpos = Vec3.add rk (Vec3.add (Vec3.scale tau gold) chi) in
+        Ps.propose ps k newpos;
+        tables_move k newpos;
+        let ratio, gnew = Twf.ratio_grad twf ps k in
+        (* Green's-function correction for the drifted Gaussian proposal. *)
+        let back =
+          Vec3.sub (Vec3.sub rk newpos) (Vec3.scale tau gnew)
+        in
+        let log_gf = -.Vec3.norm2 chi /. (2. *. tau) in
+        let log_gb = -.Vec3.norm2 back /. (2. *. tau) in
+        let p = ratio *. ratio *. exp (log_gb -. log_gf) in
+        if Xoshiro.uniform rng < p then begin
+          incr accepted;
+          Twf.accept twf ps k ~ratio;
+          tables_accept k;
+          Ps.accept ps
+        end
+        else begin
+          Twf.reject twf ps k;
+          Ps.reject ps
+        end
+      done;
+      { Engine_api.accepted = !accepted; proposed = n }
+    in
+    let measure () =
+      (* The compute-on-the-fly policy leaves AA rows of already-moved
+         electrons stale within a sweep; measurements rebuild the table
+         (the Ref policy maintains it incrementally). *)
+      (match tables with
+      | Otf_t (aa, _) ->
+          Timers.time timers "DistTable" (fun () -> AAsoa.evaluate aa ps)
+      | Store_t _ -> ());
+      Twf.evaluate_gl twf ps gl;
+      let kinetic = Twf.kinetic_energy gl in
+      Hamiltonian.local_energy ham ~kinetic
+    in
+    let load_walker w =
+      Ps.load_walker ps w;
+      ignore (refresh ())
+    in
+    let restore_walker w =
+      Ps.load_walker ps w;
+      tables_evaluate ();
+      Wbuffer.rewind w.Walker.buffer;
+      Twf.copy_from_buffer twf ps w.Walker.buffer;
+      Twf.set_log_psi twf w.Walker.log_psi
+    in
+    let save_walker w =
+      Ps.store_walker ps w;
+      w.Walker.log_psi <- Twf.log_psi twf;
+      Wbuffer.rewind w.Walker.buffer;
+      Twf.update_buffer twf ps w.Walker.buffer
+    in
+    let register_walker w =
+      Wbuffer.clear w.Walker.buffer;
+      Twf.register twf w.Walker.buffer;
+      Ps.store_walker ps w;
+      w.Walker.log_psi <- Twf.log_psi twf;
+      Wbuffer.rewind w.Walker.buffer;
+      Twf.update_buffer twf ps w.Walker.buffer
+    in
+    let randomize rng =
+      Ps.randomize ps (fun () -> Xoshiro.uniform rng);
+      ignore (refresh ())
+    in
+    let memory_bytes () =
+      let table_bytes =
+        match tables with
+        | Store_t (aa, ab) ->
+            AAref.bytes aa
+            + Option.fold ~none:0 ~some:(fun t -> ABref.bytes t) ab
+        | Otf_t (aa, ab) ->
+            AAsoa.bytes aa
+            + Option.fold ~none:0 ~some:(fun t -> ABsoa.bytes t) ab
+      in
+      Ps.bytes ps
+      + Option.fold ~none:0 ~some:(fun i -> Ps.bytes i) ions
+      + table_bytes + Twf.bytes twf
+    in
+    (* Seed the electron configuration deterministically. *)
+    let rng0 = Xoshiro.create seed in
+    Ps.randomize ps (fun () -> Xoshiro.uniform rng0);
+    ignore (refresh ());
+    {
+      Engine_api.label =
+        Printf.sprintf "%s/%s/%s" sys.System.name R.name
+          (match layout with Variant.Store -> "store" | Variant.Otf -> "otf");
+      n_electrons = n;
+      timers;
+      refresh;
+      sweep;
+      measure;
+      load_walker;
+      restore_walker;
+      save_walker;
+      register_walker;
+      log_psi = (fun () -> Twf.log_psi twf);
+      randomize;
+      memory_bytes;
+    }
+end

@@ -1,0 +1,43 @@
+open Oqmc_containers
+open Oqmc_particle
+
+(* Variant-erased compute engine.
+
+   Each build variant instantiates the engine functor at its storage
+   precision and update policy and exposes this uniform record, so the
+   VMC/DMC drivers, population control and benchmarks are written once.
+   An engine is the per-thread pair (E_th, Psi_th) of the paper's Fig. 4:
+   it owns mutable state and must never be shared between domains. *)
+
+type sweep_result = { accepted : int; proposed : int }
+
+type t = {
+  label : string;
+  n_electrons : int;
+  timers : Timers.t;
+  refresh : unit -> float;
+      (* Rebuild distance tables and all wavefunction state from current
+         positions (double-precision recompute); returns log Ψ. *)
+  sweep : Oqmc_rng.Xoshiro.t -> tau:float -> sweep_result;
+      (* One particle-by-particle drift-and-diffusion sweep (Alg. 1,
+         L4-L10). *)
+  measure : unit -> float;
+      (* Local energy at the current configuration (refreshes what the
+         update policy leaves stale). *)
+  load_walker : Walker.t -> unit;
+      (* Positions from the walker + full recompute (first touch). *)
+  restore_walker : Walker.t -> unit;
+      (* Positions + wavefunction state from the walker's buffer (the
+         store-over-compute fast path; tables are still rebuilt). *)
+  save_walker : Walker.t -> unit;
+      (* Positions, log Ψ and serialized state back into the walker. *)
+  register_walker : Walker.t -> unit;
+      (* Size and fill a fresh walker's buffer. *)
+  log_psi : unit -> float;
+  randomize : Oqmc_rng.Xoshiro.t -> unit;
+      (* Fresh uniform electron configuration + full recompute; used to
+         seed independent walkers. *)
+  memory_bytes : unit -> int;
+      (* Persistent per-engine + per-walker-state footprint (excludes the
+         shared read-only SPO table). *)
+}

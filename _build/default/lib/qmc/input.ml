@@ -1,0 +1,124 @@
+(* Input-deck parsing for the production driver.
+
+   Production QMC codes are driven by input files; this is a minimal
+   line-oriented deck:
+
+     # comment
+     method    = dmc
+     workload  = NiO-32
+     variant   = Current
+     reduction = 8
+     walkers   = 64
+     blocks    = 10
+     steps     = 20
+     tau       = 0.005
+     domains   = 4
+     nlpp      = true
+     seed      = 7
+
+   Keys are case-insensitive; later lines override earlier ones; unknown
+   keys are an error (catching typos beats silently ignoring them). *)
+
+type t = {
+  method_ : string;
+  workload : string;
+  variant : Variant.t;
+  reduction : int;
+  walkers : int;
+  blocks : int;
+  steps : int;
+  tau : float;
+  domains : int;
+  nlpp : bool;
+  seed : int;
+  checkpoint : string option;
+  restore : string option;
+}
+
+let default =
+  {
+    method_ = "vmc";
+    workload = "heg";
+    variant = Variant.Current;
+    reduction = 8;
+    walkers = 8;
+    blocks = 5;
+    steps = 10;
+    tau = 0.1;
+    domains = 1;
+    nlpp = false;
+    seed = 1;
+    checkpoint = None;
+    restore = None;
+  }
+
+exception Parse_error of string
+
+let fail line fmt =
+  Printf.ksprintf (fun s -> raise (Parse_error (Printf.sprintf "line %d: %s" line s))) fmt
+
+let parse_bool line v =
+  match String.lowercase_ascii v with
+  | "true" | "yes" | "1" -> true
+  | "false" | "no" | "0" -> false
+  | _ -> fail line "expected a boolean, got %S" v
+
+let parse_int line v =
+  try int_of_string (String.trim v)
+  with Failure _ -> fail line "expected an integer, got %S" v
+
+let parse_float line v =
+  try float_of_string (String.trim v)
+  with Failure _ -> fail line "expected a number, got %S" v
+
+let apply cfg ~line key value =
+  match String.lowercase_ascii key with
+  | "method" -> { cfg with method_ = String.lowercase_ascii value }
+  | "workload" -> { cfg with workload = value }
+  | "variant" -> (
+      try { cfg with variant = Variant.of_string value }
+      with Invalid_argument _ -> fail line "unknown variant %S" value)
+  | "reduction" -> { cfg with reduction = parse_int line value }
+  | "walkers" -> { cfg with walkers = parse_int line value }
+  | "blocks" -> { cfg with blocks = parse_int line value }
+  | "steps" -> { cfg with steps = parse_int line value }
+  | "tau" -> { cfg with tau = parse_float line value }
+  | "domains" -> { cfg with domains = parse_int line value }
+  | "nlpp" -> { cfg with nlpp = parse_bool line value }
+  | "seed" -> { cfg with seed = parse_int line value }
+  | "checkpoint" -> { cfg with checkpoint = Some value }
+  | "restore" -> { cfg with restore = Some value }
+  | other -> fail line "unknown key %S" other
+
+let parse_string contents =
+  let cfg = ref default in
+  String.split_on_char '\n' contents
+  |> List.iteri (fun i raw ->
+         let line = i + 1 in
+         let text =
+           match String.index_opt raw '#' with
+           | Some p -> String.sub raw 0 p
+           | None -> raw
+         in
+         let text = String.trim text in
+         if text <> "" then begin
+           match String.index_opt text '=' with
+           | None -> fail line "expected key = value, got %S" text
+           | Some p ->
+               let key = String.trim (String.sub text 0 p) in
+               let value =
+                 String.trim
+                   (String.sub text (p + 1) (String.length text - p - 1))
+               in
+               if key = "" then fail line "empty key";
+               cfg := apply !cfg ~line key value
+         end);
+  !cfg
+
+let parse_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let len = in_channel_length ic in
+      parse_string (really_input_string ic len))

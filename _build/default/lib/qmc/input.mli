@@ -1,0 +1,27 @@
+(** Minimal line-oriented input deck ([key = value], [#] comments) for the
+    production driver.  Unknown keys are rejected. *)
+
+type t = {
+  method_ : string;
+  workload : string;
+  variant : Variant.t;
+  reduction : int;
+  walkers : int;
+  blocks : int;
+  steps : int;
+  tau : float;
+  domains : int;
+  nlpp : bool;
+  seed : int;
+  checkpoint : string option;
+  restore : string option;
+}
+
+val default : t
+
+exception Parse_error of string
+
+val parse_string : string -> t
+(** @raise Parse_error on malformed input. *)
+
+val parse_file : string -> t

@@ -1,0 +1,115 @@
+(* Derivative-free Nelder–Mead simplex minimizer.
+
+   The wavefunction optimizer needs a robust minimizer of noisy,
+   non-differentiable objectives (VMC variance as a function of Jastrow
+   parameters); the classic simplex with standard coefficients
+   (reflection 1, expansion 2, contraction ½, shrink ½) is what QMCPACK's
+   legacy optimizers fall back to as well. *)
+
+type result = {
+  x : float array;
+  fx : float;
+  iterations : int;
+  evaluations : int;
+  converged : bool;
+}
+
+let default_tol = 1e-6
+
+let minimize ?(max_iter = 200) ?(tol = default_tol) ?(init_step = 0.5) ~f x0 =
+  let n = Array.length x0 in
+  if n = 0 then invalid_arg "Nelder_mead.minimize: empty parameter vector";
+  let evals = ref 0 in
+  let eval x =
+    incr evals;
+    f x
+  in
+  (* Initial simplex: x0 plus a step along each axis. *)
+  let simplex =
+    Array.init (n + 1) (fun i ->
+        let x = Array.copy x0 in
+        if i > 0 then x.(i - 1) <- x.(i - 1) +. init_step;
+        x)
+  in
+  let values = Array.map eval simplex in
+  let order () =
+    let idx = Array.init (n + 1) Fun.id in
+    Array.sort (fun a b -> compare values.(a) values.(b)) idx;
+    idx
+  in
+  let centroid exclude =
+    let c = Array.make n 0. in
+    Array.iteri
+      (fun i x ->
+        if i <> exclude then
+          Array.iteri (fun j v -> c.(j) <- c.(j) +. (v /. float_of_int n)) x)
+      simplex;
+    c
+  in
+  let blend a b alpha =
+    Array.init n (fun j -> a.(j) +. (alpha *. (b.(j) -. a.(j))))
+  in
+  let iter = ref 0 in
+  let converged = ref false in
+  while (not !converged) && !iter < max_iter do
+    incr iter;
+    let idx = order () in
+    let best = idx.(0) and worst = idx.(n) in
+    let second_worst = idx.(n - 1) in
+    (* Convergence: spread of function values. *)
+    if abs_float (values.(worst) -. values.(best)) < tol then
+      converged := true
+    else begin
+      let c = centroid worst in
+      (* Reflection. *)
+      let xr = blend c simplex.(worst) (-1.) in
+      let fr = eval xr in
+      if fr < values.(best) then begin
+        (* Expansion. *)
+        let xe = blend c simplex.(worst) (-2.) in
+        let fe = eval xe in
+        if fe < fr then begin
+          simplex.(worst) <- xe;
+          values.(worst) <- fe
+        end
+        else begin
+          simplex.(worst) <- xr;
+          values.(worst) <- fr
+        end
+      end
+      else if fr < values.(second_worst) then begin
+        simplex.(worst) <- xr;
+        values.(worst) <- fr
+      end
+      else begin
+        (* Contraction toward the better of worst/reflected. *)
+        let xc =
+          if fr < values.(worst) then blend c xr 0.5
+          else blend c simplex.(worst) 0.5
+        in
+        let fc = eval xc in
+        if fc < Float.min fr values.(worst) then begin
+          simplex.(worst) <- xc;
+          values.(worst) <- fc
+        end
+        else begin
+          (* Shrink toward the best vertex. *)
+          Array.iteri
+            (fun i x ->
+              if i <> best then begin
+                simplex.(i) <- blend simplex.(best) x 0.5;
+                values.(i) <- eval simplex.(i)
+              end)
+            simplex
+        end
+      end
+    end
+  done;
+  let idx = order () in
+  {
+    x = Array.copy simplex.(idx.(0));
+    fx = values.(idx.(0));
+    iterations = !iter;
+    evaluations = !evals;
+    converged = !converged;
+  }

@@ -1,0 +1,22 @@
+(** Derivative-free Nelder–Mead simplex minimizer, used by the
+    wavefunction optimizer on noisy VMC objectives. *)
+
+type result = {
+  x : float array;
+  fx : float;
+  iterations : int;
+  evaluations : int;
+  converged : bool;
+}
+
+val default_tol : float
+
+val minimize :
+  ?max_iter:int ->
+  ?tol:float ->
+  ?init_step:float ->
+  f:(float array -> float) ->
+  float array ->
+  result
+(** Minimize [f] from the start point [x0].
+    @raise Invalid_argument for an empty parameter vector. *)

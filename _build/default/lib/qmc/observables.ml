@@ -1,0 +1,131 @@
+open Oqmc_containers
+open Oqmc_particle
+
+(* Scalar-field observables accumulated over walker configurations.
+
+   Production QMC measures more than the energy; the classic pair of
+   estimators is the pair-correlation function g(r) (which shows the
+   exchange-correlation hole the Jastrow factor digs) and radial density
+   profiles for trapped systems.  Drivers call [accumulate] once per
+   measured configuration; normalization happens at readout. *)
+
+(* ---- pair correlation ---- *)
+
+module Gofr = struct
+  type t = {
+    lattice : Lattice.t;
+    r_max : float;
+    bins : int;
+    dr : float;
+    counts : float array;
+    mutable samples : int;
+    mutable n_particles : int;
+  }
+
+  let create ?(bins = 50) ~lattice () =
+    let r_max =
+      if Lattice.is_periodic lattice then Lattice.wigner_seitz_radius lattice
+      else invalid_arg "Gofr.create: open cell (use Density for traps)"
+    in
+    {
+      lattice;
+      r_max;
+      bins;
+      dr = r_max /. float_of_int bins;
+      counts = Array.make bins 0.;
+      samples = 0;
+      n_particles = 0;
+    }
+
+  let accumulate t (w : Walker.t) =
+    let n = Walker.n_particles w in
+    t.n_particles <- n;
+    t.samples <- t.samples + 1;
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        let d =
+          Lattice.min_image_dist t.lattice
+            (Walker.Aos.get w.Walker.r i)
+            (Walker.Aos.get w.Walker.r j)
+        in
+        if d < t.r_max then begin
+          let b = int_of_float (d /. t.dr) in
+          if b >= 0 && b < t.bins then t.counts.(b) <- t.counts.(b) +. 1.
+        end
+      done
+    done
+
+  (* g(r) normalized against the ideal-gas pair density, so an
+     uncorrelated system reads 1 in every bin. *)
+  let result t =
+    if t.samples = 0 then [||]
+    else begin
+      let n = float_of_int t.n_particles in
+      let volume = Lattice.volume t.lattice in
+      let rho_pairs = n *. (n -. 1.) /. 2. /. volume in
+      Array.init t.bins (fun b ->
+          let r_lo = float_of_int b *. t.dr in
+          let r_hi = r_lo +. t.dr in
+          let shell =
+            4. /. 3. *. Float.pi *. ((r_hi ** 3.) -. (r_lo ** 3.))
+          in
+          let expected = rho_pairs *. shell *. float_of_int t.samples in
+          let r_mid = r_lo +. (0.5 *. t.dr) in
+          (r_mid, if expected > 0. then t.counts.(b) /. expected else 0.))
+    end
+
+  let samples t = t.samples
+end
+
+(* ---- radial density around a center (trapped systems) ---- *)
+
+module Density = struct
+  type t = {
+    center : Vec3.t;
+    r_max : float;
+    bins : int;
+    dr : float;
+    counts : float array;
+    mutable samples : int;
+  }
+
+  let create ?(bins = 50) ?(center = Vec3.zero) ~r_max () =
+    if r_max <= 0. then invalid_arg "Density.create: r_max <= 0";
+    {
+      center;
+      r_max;
+      bins;
+      dr = r_max /. float_of_int bins;
+      counts = Array.make bins 0.;
+      samples = 0;
+    }
+
+  let accumulate t (w : Walker.t) =
+    t.samples <- t.samples + 1;
+    for i = 0 to Walker.n_particles w - 1 do
+      let d = Vec3.dist t.center (Walker.Aos.get w.Walker.r i) in
+      if d < t.r_max then begin
+        let b = int_of_float (d /. t.dr) in
+        if b >= 0 && b < t.bins then t.counts.(b) <- t.counts.(b) +. 1.
+      end
+    done
+
+  (* n(r): particles per unit volume in each radial shell. *)
+  let result t =
+    if t.samples = 0 then [||]
+    else
+      Array.init t.bins (fun b ->
+          let r_lo = float_of_int b *. t.dr in
+          let r_hi = r_lo +. t.dr in
+          let shell =
+            4. /. 3. *. Float.pi *. ((r_hi ** 3.) -. (r_lo ** 3.))
+          in
+          let r_mid = r_lo +. (0.5 *. t.dr) in
+          (r_mid, t.counts.(b) /. shell /. float_of_int t.samples))
+
+  let total t =
+    if t.samples = 0 then 0.
+    else Array.fold_left ( +. ) 0. t.counts /. float_of_int t.samples
+
+  let samples t = t.samples
+end

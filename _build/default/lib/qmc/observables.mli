@@ -1,0 +1,38 @@
+open Oqmc_containers
+open Oqmc_particle
+
+(** Configuration observables beyond the energy: the pair-correlation
+    function g(r) and radial density profiles.  Drivers feed walkers via
+    [accumulate]; normalization happens at readout. *)
+
+module Gofr : sig
+  type t
+
+  val create : ?bins:int -> lattice:Lattice.t -> unit -> t
+  (** Histogram out to the Wigner–Seitz radius.
+      @raise Invalid_argument for an open cell. *)
+
+  val accumulate : t -> Walker.t -> unit
+
+  val result : t -> (float * float) array
+  (** (r, g(r)) pairs; an uncorrelated system reads 1 everywhere. *)
+
+  val samples : t -> int
+end
+
+module Density : sig
+  type t
+
+  val create : ?bins:int -> ?center:Vec3.t -> r_max:float -> unit -> t
+  (** @raise Invalid_argument if [r_max <= 0]. *)
+
+  val accumulate : t -> Walker.t -> unit
+
+  val result : t -> (float * float) array
+  (** (r, n(r)) radial density. *)
+
+  val total : t -> float
+  (** Average number of particles inside [r_max] per sample. *)
+
+  val samples : t -> int
+end

@@ -1,0 +1,73 @@
+(* Trial-wavefunction optimization (the step that produces functors like
+   the paper's Fig. 3 before any production DMC run).
+
+   The objective is the standard mixed cost  E + w·σ²  estimated by a
+   short VMC run with a FIXED seed: the same random-number stream across
+   parameter sets makes the objective a deterministic function of the
+   parameters (a cheap stand-in for correlated sampling), so the simplex
+   minimizer sees a smooth landscape even at small sample counts.
+   For the exact ground state σ² = 0, so variance-dominated costs drive
+   the Jastrow toward the physically optimal functor. *)
+
+type objective = Variance | Energy | Mixed of float
+(* Mixed w: cost = E + w σ² *)
+
+type history_entry = { params : float array; energy : float; variance : float }
+
+type result = {
+  best : float array;
+  best_cost : float;
+  history : history_entry list;
+  vmc : Vmc.result; (* final evaluation at the optimum *)
+  nm : Nelder_mead.result;
+}
+
+let cost_of objective (r : Vmc.result) =
+  match objective with
+  | Variance -> r.Vmc.variance
+  | Energy -> r.Vmc.energy
+  | Mixed w -> r.Vmc.energy +. (w *. r.Vmc.variance)
+
+let default_params =
+  {
+    Vmc.n_walkers = 4;
+    warmup = 30;
+    blocks = 4;
+    steps_per_block = 10;
+    tau = 0.3;
+    seed = 2718;
+    n_domains = 1;
+  }
+
+(* Minimize [objective] over parameters, where [system_of] rebuilds the
+   trial wavefunction for a parameter vector. *)
+let optimize ?(objective = Mixed 1.0) ?(vmc_params = default_params)
+    ?(variant = Variant.Current_f64) ?(max_iter = 40) ?(tol = 1e-4)
+    ?(init_step = 0.3) ~(system_of : float array -> System.t) x0 =
+  let history = ref [] in
+  let evaluate params =
+    let sys = system_of params in
+    let factory = Build.factory ~variant ~seed:vmc_params.Vmc.seed sys in
+    let r = Vmc.run ~factory vmc_params in
+    history :=
+      {
+        params = Array.copy params;
+        energy = r.Vmc.energy;
+        variance = r.Vmc.variance;
+      }
+      :: !history;
+    (r, cost_of objective r)
+  in
+  let nm =
+    Nelder_mead.minimize ~max_iter ~tol ~init_step
+      ~f:(fun p -> snd (evaluate p))
+      x0
+  in
+  let final_vmc, best_cost = evaluate nm.Nelder_mead.x in
+  {
+    best = nm.Nelder_mead.x;
+    best_cost;
+    history = List.rev !history;
+    vmc = final_vmc;
+    nm;
+  }

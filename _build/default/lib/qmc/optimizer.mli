@@ -1,0 +1,32 @@
+(** Trial-wavefunction optimization: minimize the mixed cost E + w·σ²
+    over wavefunction parameters with fixed-seed VMC evaluations (the
+    step that produces optimized Jastrow functors like the paper's
+    Fig. 3). *)
+
+type objective = Variance | Energy | Mixed of float
+
+type history_entry = { params : float array; energy : float; variance : float }
+
+type result = {
+  best : float array;
+  best_cost : float;
+  history : history_entry list;
+  vmc : Vmc.result;
+  nm : Nelder_mead.result;
+}
+
+val default_params : Vmc.params
+
+val optimize :
+  ?objective:objective ->
+  ?vmc_params:Vmc.params ->
+  ?variant:Variant.t ->
+  ?max_iter:int ->
+  ?tol:float ->
+  ?init_step:float ->
+  system_of:(float array -> System.t) ->
+  float array ->
+  result
+(** [optimize ~system_of x0] minimizes the objective over parameter
+    vectors, rebuilding the system via [system_of] for each trial
+    point. *)

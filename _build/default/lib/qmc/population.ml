@@ -1,0 +1,102 @@
+open Oqmc_particle
+open Oqmc_rng
+
+(* DMC walker population: stochastic branching on walker weights, the
+   trial-energy feedback that holds the population at its target, and a
+   simulated-rank load-balance step that reports the communication volume
+   (walker messages) the paper's Fig.-1 runs incur. *)
+
+type t = {
+  mutable walkers : Walker.t list;
+  target : int;
+  mutable e_trial : float;
+  feedback : float; (* population-control feedback strength *)
+}
+
+let create ~target ~e_trial ?(feedback = 1.) walkers =
+  if target < 1 then invalid_arg "Population.create: target < 1";
+  { walkers; target; e_trial; feedback }
+
+let size t = List.length t.walkers
+let walkers t = t.walkers
+let e_trial t = t.e_trial
+
+let average_weight t =
+  match t.walkers with
+  | [] -> 0.
+  | ws ->
+      List.fold_left (fun acc w -> acc +. w.Walker.weight) 0. ws
+      /. float_of_int (List.length ws)
+
+(* Reweight one walker for a step from E_L to E_L' (Alg. 1 L13). *)
+let dmc_weight ~tau ~e_trial ~e_old ~e_new w =
+  let arg = tau *. (e_trial -. (0.5 *. (e_old +. e_new))) in
+  (* Clamp the branching factor to keep a bad configuration from
+     exploding the population. *)
+  let factor = exp (Float.max (-2.) (Float.min 2. arg)) in
+  w.Walker.weight <- w.Walker.weight *. factor
+
+(* Stochastic branching: each walker yields floor(weight + u) copies of
+   unit weight; walkers with zero copies die. *)
+let branch t rng =
+  let spawned =
+    List.concat_map
+      (fun w ->
+        let copies = int_of_float (w.Walker.weight +. Xoshiro.uniform rng) in
+        let copies = min copies 4 (* limit runaway multiplication *) in
+        w.Walker.multiplicity <- copies;
+        if copies = 0 then []
+        else begin
+          w.Walker.weight <- 1.;
+          w :: List.init (copies - 1) (fun _ -> Walker.copy w)
+        end)
+      t.walkers
+  in
+  (* Guard against extinction: keep at least one walker alive. *)
+  t.walkers <-
+    (match spawned with
+    | [] -> (
+        match t.walkers with [] -> [] | w :: _ -> [ Walker.copy w ])
+    | ws -> ws)
+
+(* Trial-energy feedback (Alg. 1 L14). *)
+let update_trial_energy t ~tau ~e_estimate =
+  let pop = float_of_int (max 1 (size t)) in
+  t.e_trial <-
+    e_estimate
+    -. (t.feedback /. tau *. log (pop /. float_of_int t.target))
+
+(* Simulated load balancing across [ranks]: walkers are re-spread evenly;
+   returns the number of walker messages and bytes a real MPI exchange
+   would send (the send/recv of serialized Walker objects in Sec. 8). *)
+type balance_report = { messages : int; bytes : int; imbalance : float }
+
+let load_balance t ~ranks =
+  if ranks < 1 then invalid_arg "Population.load_balance: ranks < 1";
+  let n = size t in
+  let per = n / ranks and extra = n mod ranks in
+  let ideal r = per + if r < extra then 1 else 0 in
+  (* Walkers are currently distributed round-robin by index; compute how
+     many must move to restore the ideal split after branching changed
+     counts. *)
+  let counts = Array.make ranks 0 in
+  List.iteri (fun i _ -> counts.(i mod ranks) <- counts.(i mod ranks) + 1)
+    t.walkers;
+  let moved = ref 0 in
+  let maxc = ref 0 and minc = ref max_int in
+  Array.iteri
+    (fun r c ->
+      maxc := max !maxc c;
+      minc := min !minc c;
+      if c > ideal r then moved := !moved + (c - ideal r))
+    counts;
+  let message_bytes =
+    match t.walkers with [] -> 0 | w :: _ -> Walker.message_bytes w
+  in
+  {
+    messages = !moved;
+    bytes = !moved * message_bytes;
+    imbalance =
+      (if n = 0 then 0.
+       else float_of_int (!maxc - !minc) /. float_of_int (max 1 per));
+  }

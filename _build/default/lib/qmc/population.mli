@@ -1,0 +1,34 @@
+open Oqmc_particle
+
+(** DMC walker population: branching, trial-energy feedback and a
+    simulated-rank load-balance accounting of walker messages (the MPI
+    exchange of Sec. 8). *)
+
+type t
+
+val create :
+  target:int -> e_trial:float -> ?feedback:float -> Walker.t list -> t
+(** @raise Invalid_argument if [target < 1]. *)
+
+val size : t -> int
+val walkers : t -> Walker.t list
+val e_trial : t -> float
+val average_weight : t -> float
+
+val dmc_weight :
+  tau:float -> e_trial:float -> e_old:float -> e_new:float -> Walker.t -> unit
+(** Multiply the walker weight by the (clamped) branching factor
+    exp(τ(E_T − ½(E_old + E_new))). *)
+
+val branch : t -> Oqmc_rng.Xoshiro.t -> unit
+(** Stochastic branching: floor(weight + u) unit-weight copies per
+    walker; never lets the population go extinct. *)
+
+val update_trial_energy : t -> tau:float -> e_estimate:float -> unit
+(** Feedback that pulls the population toward its target. *)
+
+type balance_report = { messages : int; bytes : int; imbalance : float }
+
+val load_balance : t -> ranks:int -> balance_report
+(** Walker messages an even re-spread across [ranks] would send.
+    @raise Invalid_argument if [ranks < 1]. *)

@@ -1,0 +1,50 @@
+open Oqmc_containers
+
+(* Walker-parallel execution over OCaml 5 domains — the stand-in for the
+   paper's OpenMP thread-level parallelism (Fig. 4).  Each domain owns one
+   compute engine (E_th / Psi_th) created once by the factory and reused
+   across steps; walkers are partitioned into contiguous chunks.  The
+   shared read-only SPO table lives happily on the shared heap. *)
+
+type t = {
+  engines : Engine_api.t array;
+  n_domains : int;
+}
+
+let create ~n_domains ~(factory : int -> Engine_api.t) =
+  if n_domains < 1 then invalid_arg "Runner.create: n_domains < 1";
+  { engines = Array.init n_domains factory; n_domains }
+
+let n_domains t = t.n_domains
+let engine t i = t.engines.(i)
+let engines t = t.engines
+
+(* Merge all per-domain kernel timers into one set. *)
+let merged_timers t =
+  let out = Timers.create () in
+  Array.iter (fun e -> Timers.merge ~into:out e.Engine_api.timers) t.engines;
+  out
+
+(* Apply [f engine walker] to every walker, chunked across domains.
+   Mutations of walker records are published by Domain.join. *)
+let iter_walkers t (walkers : 'w array) ~(f : Engine_api.t -> 'w -> unit) =
+  let n = Array.length walkers in
+  if n = 0 then ()
+  else if t.n_domains = 1 then
+    Array.iter (fun w -> f t.engines.(0) w) walkers
+  else begin
+    let chunk = (n + t.n_domains - 1) / t.n_domains in
+    let work d () =
+      let lo = d * chunk in
+      let hi = min n (lo + chunk) in
+      let e = t.engines.(d) in
+      for i = lo to hi - 1 do
+        f e walkers.(i)
+      done
+    in
+    let handles =
+      Array.init (t.n_domains - 1) (fun d -> Domain.spawn (work (d + 1)))
+    in
+    work 0 ();
+    Array.iter Domain.join handles
+  end

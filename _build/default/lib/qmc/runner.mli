@@ -1,0 +1,20 @@
+(** Walker-parallel execution over OCaml 5 domains — the stand-in for
+    OpenMP thread parallelism.  Each domain owns one engine (the paper's
+    per-thread E_th / Psi_th) created once and reused across steps. *)
+
+type t
+
+val create : n_domains:int -> factory:(int -> Engine_api.t) -> t
+(** One engine per domain, built by [factory domain_index].
+    @raise Invalid_argument if [n_domains < 1]. *)
+
+val n_domains : t -> int
+val engine : t -> int -> Engine_api.t
+val engines : t -> Engine_api.t array
+
+val merged_timers : t -> Oqmc_containers.Timers.t
+(** All per-domain kernel timers merged into one set. *)
+
+val iter_walkers : t -> 'w array -> f:(Engine_api.t -> 'w -> unit) -> unit
+(** Apply [f engine walker] to every element, chunked contiguously
+    across domains; mutations are published by [Domain.join]. *)

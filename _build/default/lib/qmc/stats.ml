@@ -1,0 +1,107 @@
+(* Monte Carlo statistics: running moments, a growable sample series, the
+   integrated autocorrelation time τ_corr of Sec. 3 and the DMC efficiency
+   κ = 1/(σ² τ_corr T_MC). *)
+
+type running = { mutable n : int; mutable mean : float; mutable m2 : float }
+
+let make_running () = { n = 0; mean = 0.; m2 = 0. }
+
+let push r x =
+  r.n <- r.n + 1;
+  let d = x -. r.mean in
+  r.mean <- r.mean +. (d /. float_of_int r.n);
+  r.m2 <- r.m2 +. (d *. (x -. r.mean))
+
+let count r = r.n
+let mean r = r.mean
+
+let variance r = if r.n < 2 then 0. else r.m2 /. float_of_int (r.n - 1)
+
+let std_error r =
+  if r.n < 2 then 0. else sqrt (variance r /. float_of_int r.n)
+
+(* ---- sample series ---- *)
+
+type series = { mutable data : float array; mutable len : int }
+
+let make_series () = { data = Array.make 1024 0.; len = 0 }
+
+let append s x =
+  if s.len = Array.length s.data then begin
+    let bigger = Array.make (2 * s.len) 0. in
+    Array.blit s.data 0 bigger 0 s.len;
+    s.data <- bigger
+  end;
+  s.data.(s.len) <- x;
+  s.len <- s.len + 1
+
+let length s = s.len
+let get s i = s.data.(i)
+let to_array s = Array.sub s.data 0 s.len
+
+let series_mean s =
+  if s.len = 0 then 0.
+  else begin
+    let acc = ref 0. in
+    for i = 0 to s.len - 1 do
+      acc := !acc +. s.data.(i)
+    done;
+    !acc /. float_of_int s.len
+  end
+
+let series_variance s =
+  if s.len < 2 then 0.
+  else begin
+    let m = series_mean s in
+    let acc = ref 0. in
+    for i = 0 to s.len - 1 do
+      let d = s.data.(i) -. m in
+      acc := !acc +. (d *. d)
+    done;
+    !acc /. float_of_int (s.len - 1)
+  end
+
+(* Normalized autocorrelation at lag [k]. *)
+let autocorrelation s k =
+  let n = s.len in
+  if k >= n || n < 2 then 0.
+  else begin
+    let m = series_mean s in
+    let num = ref 0. and den = ref 0. in
+    for i = 0 to n - 1 - k do
+      num := !num +. ((s.data.(i) -. m) *. (s.data.(i + k) -. m))
+    done;
+    for i = 0 to n - 1 do
+      let d = s.data.(i) -. m in
+      den := !den +. (d *. d)
+    done;
+    if !den = 0. then 0. else !num /. !den
+  end
+
+(* Integrated autocorrelation time with the standard self-consistent
+   window (Sokal): τ = 1 + 2 Σ ρ(k), summed while k < 5τ. *)
+let autocorrelation_time s =
+  if s.len < 8 then 1.
+  else begin
+    let tau = ref 1. in
+    let k = ref 1 in
+    let continue = ref true in
+    while !continue && !k < s.len / 2 do
+      let rho = autocorrelation s !k in
+      tau := !tau +. (2. *. rho);
+      if float_of_int !k >= 5. *. !tau then continue := false;
+      incr k
+    done;
+    Float.max 1. !tau
+  end
+
+(* Error bar corrected for autocorrelation. *)
+let series_error s =
+  if s.len < 2 then 0.
+  else
+    sqrt (series_variance s *. autocorrelation_time s /. float_of_int s.len)
+
+(* DMC efficiency κ = 1/(σ² τ_corr T_MC)  (Sec. 3). *)
+let efficiency ~variance ~tau_corr ~t_mc =
+  if variance <= 0. || tau_corr <= 0. || t_mc <= 0. then infinity
+  else 1. /. (variance *. tau_corr *. t_mc)

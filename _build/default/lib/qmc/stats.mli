@@ -1,0 +1,34 @@
+(** Monte Carlo statistics: running moments, sample series, integrated
+    autocorrelation time and the DMC efficiency κ of Sec. 3. *)
+
+type running
+
+val make_running : unit -> running
+val push : running -> float -> unit
+val count : running -> int
+val mean : running -> float
+val variance : running -> float
+val std_error : running -> float
+
+type series
+
+val make_series : unit -> series
+val append : series -> float -> unit
+val length : series -> int
+val get : series -> int -> float
+val to_array : series -> float array
+val series_mean : series -> float
+val series_variance : series -> float
+
+val autocorrelation : series -> int -> float
+(** Normalized autocorrelation at a given lag. *)
+
+val autocorrelation_time : series -> float
+(** Integrated autocorrelation time τ_corr with a self-consistent
+    window. *)
+
+val series_error : series -> float
+(** Error bar inflated by τ_corr. *)
+
+val efficiency : variance:float -> tau_corr:float -> t_mc:float -> float
+(** κ = 1/(σ² τ_corr T_MC); infinite for degenerate inputs. *)

@@ -1,0 +1,62 @@
+open Oqmc_containers
+open Oqmc_particle
+open Oqmc_spline
+open Oqmc_wavefunction
+open Oqmc_hamiltonian
+
+(* Physical system description, independent of build variant and storage
+   precision.  Workload definitions (Table 1 benchmarks, validation
+   systems) produce values of this type; the engine factory turns one into
+   a per-thread compute engine for a given variant. *)
+
+type ion_group = { sname : string; charge : float; positions : Vec3.t list }
+
+type ham_spec = {
+  coulomb : bool; (* e-e, e-I (if ions), I-I Coulomb terms *)
+  ewald : bool;
+  (* full Ewald electrostatics instead of the minimum-image shortcut
+     (only meaningful with [coulomb = true] and a periodic cell) *)
+  harmonic : float option; (* external ½ω²r² trap (validation systems) *)
+  nlpp : Nlpp.ion_species array option; (* per ion species *)
+}
+
+type t = {
+  name : string;
+  lattice : Lattice.t;
+  n_up : int;
+  n_down : int;
+  ions : ion_group list;
+  spo : Spo.t; (* shared by both spin determinants, as in the benchmarks *)
+  j1 : Cubic_spline_1d.t array option; (* functor per ion species *)
+  j2 : Cubic_spline_1d.t array array option; (* functor per spin pair *)
+  ham : ham_spec;
+}
+
+let n_electrons t = t.n_up + t.n_down
+
+let n_ions t =
+  List.fold_left (fun acc g -> acc + List.length g.positions) 0 t.ions
+
+let validate t =
+  if t.n_up < 1 then invalid_arg "System: n_up < 1";
+  if t.n_down < 0 then invalid_arg "System: n_down < 0";
+  let need = max t.n_up t.n_down in
+  if t.spo.Spo.n_orb < need then
+    invalid_arg "System: fewer orbitals than electrons of one spin";
+  (match t.j1 with
+  | Some fs ->
+      if List.length t.ions <> Array.length fs then
+        invalid_arg "System: J1 functor count mismatch"
+  | None -> ());
+  (match t.j2 with
+  | Some m ->
+      let ns = if t.n_down > 0 then 2 else 1 in
+      if Array.length m <> ns then
+        invalid_arg "System: J2 functor matrix mismatch"
+  | None -> ());
+  (match t.ham.nlpp with
+  | Some sp ->
+      if List.length t.ions <> Array.length sp then
+        invalid_arg "System: NLPP species mismatch"
+  | None -> ());
+  t

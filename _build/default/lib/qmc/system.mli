@@ -1,0 +1,39 @@
+open Oqmc_containers
+open Oqmc_particle
+open Oqmc_spline
+open Oqmc_wavefunction
+open Oqmc_hamiltonian
+
+(** Physical-system description, independent of build variant and storage
+    precision.  Workload definitions produce values of this type; the
+    engine factory ({!Build}) turns one into per-thread compute engines. *)
+
+type ion_group = { sname : string; charge : float; positions : Vec3.t list }
+
+type ham_spec = {
+  coulomb : bool;  (** e-e / e-I / I-I Coulomb terms *)
+  ewald : bool;
+      (** full Ewald electrostatics instead of minimum image (periodic
+          cells only) *)
+  harmonic : float option;  (** external ½ω²r² trap (validation) *)
+  nlpp : Nlpp.ion_species array option;  (** channels per ion species *)
+}
+
+type t = {
+  name : string;
+  lattice : Lattice.t;
+  n_up : int;
+  n_down : int;
+  ions : ion_group list;
+  spo : Spo.t;  (** shared by both spin determinants *)
+  j1 : Cubic_spline_1d.t array option;  (** functor per ion species *)
+  j2 : Cubic_spline_1d.t array array option;  (** per spin pair *)
+  ham : ham_spec;
+}
+
+val n_electrons : t -> int
+val n_ions : t -> int
+
+val validate : t -> t
+(** Sanity-check counts and cross-references; returns the input.
+    @raise Invalid_argument on inconsistencies. *)

@@ -1,0 +1,41 @@
+(* Build variants of the engine, matching the paper's measurement points:
+
+   - [Ref]        : AoS kernels, packed tables, store-over-compute, all
+                    double precision (QMC_MIXED_PRECISION=0 baseline).
+   - [Ref_mp]     : the same algorithms with single-precision storage for
+                    the key data structures (QMC_MIXED_PRECISION=1).
+   - [Current]    : SoA kernels, forward-update / compute-on-the-fly
+                    tables and Jastrows, mixed precision — all the
+                    optimizations of Sec. 7.
+   - [Current_f64]: the Current algorithms at double precision; an
+                    ablation that isolates layout/algorithm effects from
+                    precision effects. *)
+
+type t = Ref | Ref_mp | Current | Current_f64
+
+(* Update policy: [Store] keeps pair state and updates it on acceptance;
+   [Otf] recomputes rows on the fly. *)
+type layout = Store | Otf
+
+let layout = function Ref | Ref_mp -> Store | Current | Current_f64 -> Otf
+
+let precision_name = function
+  | Ref -> "f64"
+  | Ref_mp -> "f32"
+  | Current -> "f32"
+  | Current_f64 -> "f64"
+
+let to_string = function
+  | Ref -> "Ref"
+  | Ref_mp -> "Ref+MP"
+  | Current -> "Current"
+  | Current_f64 -> "Current(f64)"
+
+let of_string = function
+  | "ref" | "Ref" -> Ref
+  | "ref+mp" | "Ref+MP" | "mp" -> Ref_mp
+  | "current" | "Current" -> Current
+  | "current64" | "Current(f64)" -> Current_f64
+  | s -> invalid_arg (Printf.sprintf "Variant.of_string: %S" s)
+
+let all = [ Ref; Ref_mp; Current; Current_f64 ]

@@ -1,0 +1,21 @@
+(** Build variants of the engine — the paper's measurement points. *)
+
+type t =
+  | Ref  (** AoS, packed tables, store-over-compute, all double. *)
+  | Ref_mp  (** Ref algorithms with single-precision key storage. *)
+  | Current  (** SoA, compute-on-the-fly, mixed precision (Sec. 7). *)
+  | Current_f64
+      (** Current algorithms at double precision — the layout/algorithm
+          ablation. *)
+
+type layout = Store | Otf
+
+val layout : t -> layout
+val precision_name : t -> string
+val to_string : t -> string
+
+val of_string : string -> t
+(** Accepts the {!to_string} forms and common lowercase spellings.
+    @raise Invalid_argument otherwise. *)
+
+val all : t list

@@ -1,0 +1,138 @@
+open Oqmc_particle
+open Oqmc_rng
+
+(* Variational Monte Carlo driver with particle-by-particle updates.
+
+   Walkers are sampled from |Ψ_T|² by drifted-Gaussian Metropolis sweeps;
+   the local energy is measured every [steps_between_measure] sweeps.
+   Thread-level parallelism follows the paper's design: each domain's
+   engine loads a walker, restores its wavefunction state from the
+   anonymous buffer, runs its sweeps, and stores the state back. *)
+
+type params = {
+  n_walkers : int;
+  warmup : int; (* sweeps discarded before measuring *)
+  blocks : int;
+  steps_per_block : int;
+  tau : float;
+  seed : int;
+  n_domains : int;
+}
+
+let default_params =
+  {
+    n_walkers = 8;
+    warmup = 50;
+    blocks = 10;
+    steps_per_block = 20;
+    tau = 0.3;
+    seed = 7;
+    n_domains = 1;
+  }
+
+type result = {
+  energy : float;
+  energy_error : float;
+  variance : float;
+  acceptance : float;
+  throughput : float; (* MC samples (walker·steps) per second *)
+  wall_time : float;
+  tau_corr : float;
+  samples : int;
+  block_energies : float array;
+}
+
+type wstate = {
+  walker : Walker.t;
+  rng : Xoshiro.t;
+  mutable e_sum : float;
+  mutable e2_sum : float;
+  mutable n_meas : int;
+  mutable accepted : int;
+  mutable proposed : int;
+}
+
+let run ?observe ~(factory : int -> Engine_api.t) (p : params) : result =
+  if p.n_walkers < 1 then invalid_arg "Vmc.run: n_walkers < 1";
+  let runner = Runner.create ~n_domains:p.n_domains ~factory in
+  let e0 = Runner.engine runner 0 in
+  let n = e0.Engine_api.n_electrons in
+  let rngs = Xoshiro.streams ~seed:p.seed (p.n_walkers + 1) in
+  (* Independent starting configurations, registered buffers. *)
+  let states =
+    Array.init p.n_walkers (fun i ->
+        let w = Walker.create n in
+        e0.Engine_api.randomize rngs.(i);
+        e0.Engine_api.register_walker w;
+        {
+          walker = w;
+          rng = rngs.(i);
+          e_sum = 0.;
+          e2_sum = 0.;
+          n_meas = 0;
+          accepted = 0;
+          proposed = 0;
+        })
+  in
+  (* Warmup: equilibrate each walker. *)
+  Runner.iter_walkers runner states ~f:(fun e s ->
+      e.Engine_api.restore_walker s.walker;
+      for _ = 1 to p.warmup do
+        ignore (e.Engine_api.sweep s.rng ~tau:p.tau)
+      done;
+      (* Re-derive the wavefunction state from scratch after
+         equilibration to shed accumulated update error. *)
+      ignore (e.Engine_api.refresh ());
+      e.Engine_api.save_walker s.walker);
+  let block_energies = Array.make p.blocks 0. in
+  let t0 = Oqmc_containers.Timers.now () in
+  for b = 0 to p.blocks - 1 do
+    Runner.iter_walkers runner states ~f:(fun e s ->
+        e.Engine_api.restore_walker s.walker;
+        for _ = 1 to p.steps_per_block do
+          let r = e.Engine_api.sweep s.rng ~tau:p.tau in
+          s.accepted <- s.accepted + r.Engine_api.accepted;
+          s.proposed <- s.proposed + r.Engine_api.proposed;
+          let el = e.Engine_api.measure () in
+          s.walker.Walker.e_local <- el;
+          s.e_sum <- s.e_sum +. el;
+          s.e2_sum <- s.e2_sum +. (el *. el);
+          s.n_meas <- s.n_meas + 1
+        done;
+        (* Periodic recompute-from-scratch: the mixed-precision accuracy
+           safeguard of the paper. *)
+        ignore (e.Engine_api.refresh ());
+        e.Engine_api.save_walker s.walker);
+    (* Observables accumulate serially from the stored walkers. *)
+    (match observe with
+    | Some f -> Array.iter (fun s -> f s.walker) states
+    | None -> ());
+    let bsum =
+      Array.fold_left (fun acc s -> acc +. s.walker.Walker.e_local) 0. states
+    in
+    block_energies.(b) <- bsum /. float_of_int p.n_walkers
+  done;
+  let wall_time = Oqmc_containers.Timers.now () -. t0 in
+  let tot_meas = Array.fold_left (fun a s -> a + s.n_meas) 0 states in
+  let e_sum = Array.fold_left (fun a s -> a +. s.e_sum) 0. states in
+  let e2_sum = Array.fold_left (fun a s -> a +. s.e2_sum) 0. states in
+  let energy = e_sum /. float_of_int tot_meas in
+  let variance = (e2_sum /. float_of_int tot_meas) -. (energy *. energy) in
+  let acc = Array.fold_left (fun a s -> a + s.accepted) 0 states in
+  let prop = Array.fold_left (fun a s -> a + s.proposed) 0 states in
+  let bseries = Stats.make_series () in
+  Array.iter (fun e -> Stats.append bseries e) block_energies;
+  let tau_corr = Stats.autocorrelation_time bseries in
+  {
+    energy;
+    energy_error =
+      sqrt (Stats.series_variance bseries /. float_of_int p.blocks);
+    variance;
+    acceptance = float_of_int acc /. float_of_int (max 1 prop);
+    throughput =
+      float_of_int (p.n_walkers * p.blocks * p.steps_per_block) /. wall_time;
+    wall_time;
+    tau_corr;
+    samples = tot_meas;
+    block_energies;
+  }

@@ -1,0 +1,35 @@
+(** Variational Monte Carlo driver with particle-by-particle updates and
+    domain-parallel walkers. *)
+
+type params = {
+  n_walkers : int;
+  warmup : int;  (** equilibration sweeps per walker, not measured *)
+  blocks : int;
+  steps_per_block : int;
+  tau : float;
+  seed : int;
+  n_domains : int;
+}
+
+val default_params : params
+
+type result = {
+  energy : float;
+  energy_error : float;  (** block-based error bar *)
+  variance : float;  (** local-energy variance (Ψ_T quality, Sec. 3) *)
+  acceptance : float;
+  throughput : float;  (** MC samples per second — the figure of merit *)
+  wall_time : float;
+  tau_corr : float;
+  samples : int;
+  block_energies : float array;
+}
+
+val run :
+  ?observe:(Oqmc_particle.Walker.t -> unit) ->
+  factory:(int -> Engine_api.t) ->
+  params ->
+  result
+(** [observe] is called once per walker per block (serially, after the
+    parallel sweeps) for observable accumulation.
+    @raise Invalid_argument if [n_walkers < 1]. *)

@@ -1,0 +1,1 @@
+lib/rng/xoshiro.ml: Array Float Int64 Splitmix64

@@ -1,0 +1,18 @@
+(* SplitMix64 (Steele, Lea & Flood 2014): a tiny 64-bit generator used only
+   to expand one seed into the state words of {!Xoshiro}, as its authors
+   recommend.  Passing the raw seed directly would correlate nearby
+   streams. *)
+
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+let of_int64 seed = { state = seed }
+
+let next t =
+  t.state <- Int64.add t.state golden_gamma;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)

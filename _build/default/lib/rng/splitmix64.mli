@@ -1,0 +1,10 @@
+(** SplitMix64 seed expander.  Only used to initialize {!Xoshiro} state
+    words from a single integer seed. *)
+
+type t
+
+val create : int -> t
+val of_int64 : int64 -> t
+
+val next : t -> int64
+(** Next 64-bit output word (mutates the state). *)

@@ -1,0 +1,116 @@
+(* xoshiro256** 1.0 (Blackman & Vigna 2018).
+
+   QMC correctness rests on long, independent per-walker random streams; a
+   DMC run draws ~3N gaussians + N uniforms per walker per step for ~10⁶
+   steps.  xoshiro256** has a 2²⁵⁶−1 period and a cheap [jump] function
+   giving 2¹²⁸ non-overlapping subsequences, which we use to hand every
+   walker/thread its own stream — the role MPI-rank- and thread-offset
+   seeding plays in QMCPACK. *)
+
+type t = {
+  mutable s0 : int64;
+  mutable s1 : int64;
+  mutable s2 : int64;
+  mutable s3 : int64;
+  (* Box–Muller produces gaussians in pairs; the spare is cached here. *)
+  mutable cached_gaussian : float;
+  mutable has_cached : bool;
+}
+
+let rotl x k =
+  Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+let create seed =
+  let sm = Splitmix64.create seed in
+  let s0 = Splitmix64.next sm in
+  let s1 = Splitmix64.next sm in
+  let s2 = Splitmix64.next sm in
+  let s3 = Splitmix64.next sm in
+  { s0; s1; s2; s3; cached_gaussian = 0.; has_cached = false }
+
+let copy t = { t with s0 = t.s0 }
+
+let next_int64 t =
+  let result = Int64.mul (rotl (Int64.mul t.s1 5L) 7) 9L in
+  let tmp = Int64.shift_left t.s1 17 in
+  t.s2 <- Int64.logxor t.s2 t.s0;
+  t.s3 <- Int64.logxor t.s3 t.s1;
+  t.s1 <- Int64.logxor t.s1 t.s2;
+  t.s0 <- Int64.logxor t.s0 t.s3;
+  t.s2 <- Int64.logxor t.s2 tmp;
+  t.s3 <- rotl t.s3 45;
+  result
+
+(* Uniform in [0,1): top 53 bits scaled by 2⁻⁵³. *)
+let uniform t =
+  let bits = Int64.shift_right_logical (next_int64 t) 11 in
+  Int64.to_float bits *. 0x1.0p-53
+
+let uniform_range t ~lo ~hi = lo +. ((hi -. lo) *. uniform t)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Xoshiro.int: bound <= 0";
+  (* Rejection-free for our purposes: bias is < bound/2⁶⁴, negligible. *)
+  let u = Int64.shift_right_logical (next_int64 t) 1 in
+  Int64.to_int (Int64.rem u (Int64.of_int bound))
+
+let gaussian t =
+  if t.has_cached then begin
+    t.has_cached <- false;
+    t.cached_gaussian
+  end
+  else begin
+    (* Box–Muller; u1 is kept away from 0 so log is finite. *)
+    let rec draw () =
+      let u = uniform t in
+      if u > 1e-300 then u else draw ()
+    in
+    let u1 = draw () in
+    let u2 = uniform t in
+    let r = sqrt (-2. *. log u1) in
+    let theta = 2. *. Float.pi *. u2 in
+    t.cached_gaussian <- r *. sin theta;
+    t.has_cached <- true;
+    r *. cos theta
+  end
+
+let gaussian_vec3 t =
+  let x = gaussian t in
+  let y = gaussian t in
+  let z = gaussian t in
+  (x, y, z)
+
+(* Jump polynomial of xoshiro256**: advances the stream by 2¹²⁸ draws. *)
+let jump_table =
+  [| 0x180EC6D33CFD0ABAL; 0xD5A61266F0C9392CL; 0xA9582618E03FC9AAL;
+     0x39ABDC4529B1661CL |]
+
+let jump t =
+  let s0 = ref 0L and s1 = ref 0L and s2 = ref 0L and s3 = ref 0L in
+  Array.iter
+    (fun word ->
+      for b = 0 to 63 do
+        if Int64.logand word (Int64.shift_left 1L b) <> 0L then begin
+          s0 := Int64.logxor !s0 t.s0;
+          s1 := Int64.logxor !s1 t.s1;
+          s2 := Int64.logxor !s2 t.s2;
+          s3 := Int64.logxor !s3 t.s3
+        end;
+        ignore (next_int64 t)
+      done)
+    jump_table;
+  t.s0 <- !s0;
+  t.s1 <- !s1;
+  t.s2 <- !s2;
+  t.s3 <- !s3;
+  t.has_cached <- false
+
+let split t =
+  let child = copy t in
+  jump t;
+  child.has_cached <- false;
+  child
+
+let streams ~seed n =
+  let master = create seed in
+  Array.init n (fun _ -> split master)

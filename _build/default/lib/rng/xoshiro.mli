@@ -1,0 +1,36 @@
+(** xoshiro256** pseudo-random generator with jump-based stream splitting.
+    Every walker and every domain gets its own non-overlapping stream, the
+    role per-rank/per-thread seeding plays in QMCPACK. *)
+
+type t
+
+val create : int -> t
+(** Generator seeded via SplitMix64 expansion of [seed]. *)
+
+val copy : t -> t
+
+val next_int64 : t -> int64
+
+val uniform : t -> float
+(** Uniform in [\[0,1)] with full 53-bit mantissa resolution. *)
+
+val uniform_range : t -> lo:float -> hi:float -> float
+
+val int : t -> int -> int
+(** Uniform integer in [\[0, bound)].
+    @raise Invalid_argument if [bound <= 0]. *)
+
+val gaussian : t -> float
+(** Standard normal deviate (Box–Muller with pair caching). *)
+
+val gaussian_vec3 : t -> float * float * float
+
+val jump : t -> unit
+(** Advance by 2¹²⁸ draws; used to carve independent substreams. *)
+
+val split : t -> t
+(** Return a generator positioned at the current state and [jump] the
+    parent, so parent and child never overlap. *)
+
+val streams : seed:int -> int -> t array
+(** [n] mutually non-overlapping generators from one seed. *)

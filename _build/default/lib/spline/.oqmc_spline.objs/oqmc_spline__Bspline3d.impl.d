@@ -1,0 +1,1 @@
+lib/spline/bspline3d.ml: Aligned Array Bspline_basis Float List Oqmc_containers Precision Tridiag

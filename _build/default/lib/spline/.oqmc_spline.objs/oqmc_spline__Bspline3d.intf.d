@@ -1,0 +1,1 @@
+lib/spline/bspline3d.mli: Aligned Oqmc_containers Precision

@@ -1,0 +1,1 @@
+lib/spline/bspline3d_tiled.ml: Array Bspline3d Oqmc_containers Precision

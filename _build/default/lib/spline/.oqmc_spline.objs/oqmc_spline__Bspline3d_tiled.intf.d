@@ -1,0 +1,1 @@
+lib/spline/bspline3d_tiled.mli: Bspline3d Oqmc_containers Precision

@@ -1,0 +1,1 @@
+lib/spline/bspline_basis.mli:

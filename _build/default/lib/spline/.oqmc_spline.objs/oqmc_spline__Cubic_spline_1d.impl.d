@@ -1,0 +1,1 @@
+lib/spline/cubic_spline_1d.ml: Array Bspline_basis

@@ -1,0 +1,1 @@
+lib/spline/tridiag.ml: Array

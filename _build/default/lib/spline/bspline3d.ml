@@ -1,0 +1,269 @@
+open Oqmc_containers
+
+(* Periodic tricubic B-spline tables for single-particle orbitals.
+
+   This is the Bspline-SPO engine (Bspline-v / Bspline-vgh kernels of the
+   paper).  All orbitals share one coefficient grid with the orbital index
+   innermost, so the hot loops stream [n_orb] consecutive coefficients per
+   (i,j,k) stencil point — einspline's multi-spline layout.  Coefficients
+   are stored at the build's storage precision (single precision for every
+   variant since QMCPACK 3.0.0, per the paper); accumulation happens in
+   double-precision scratch buffers.
+
+   Positions are fractional supercell coordinates s ∈ [0,1)³; derivatives
+   are returned with respect to s.  The SPO wrapper applies the lattice
+   metric to produce Cartesian gradients and laplacians.
+
+   The wrap-around of the periodic grid is pre-baked: each dimension stores
+   n + 3 coefficient planes where the top three duplicate the first three,
+   so the stencil never needs a modulo. *)
+
+module Make (R : Precision.REAL) = struct
+  module A = Aligned.Make (R)
+
+  type t = {
+    coeffs : A.t;
+    nx : int;
+    ny : int;
+    nz : int;
+    n_orb : int;
+    orb_stride : int;
+    cy : int; (* ny + 3 *)
+    cz : int; (* nz + 3 *)
+  }
+
+  type vgh_buf = {
+    v : float array;
+    gx : float array;
+    gy : float array;
+    gz : float array;
+    hxx : float array;
+    hxy : float array;
+    hxz : float array;
+    hyy : float array;
+    hyz : float array;
+    hzz : float array;
+  }
+
+  let create ~nx ~ny ~nz ~n_orb =
+    if nx < 4 || ny < 4 || nz < 4 then
+      invalid_arg "Bspline3d.create: grid must be at least 4 per dimension";
+    if n_orb < 1 then invalid_arg "Bspline3d.create: n_orb < 1";
+    let orb_stride = A.padded_len n_orb in
+    let coeffs = A.create ((nx + 3) * (ny + 3) * (nz + 3) * orb_stride) in
+    { coeffs; nx; ny; nz; n_orb; orb_stride; cy = ny + 3; cz = nz + 3 }
+
+  let n_orb t = t.n_orb
+  let dims t = (t.nx, t.ny, t.nz)
+  let bytes t = A.bytes t.coeffs
+
+  let make_vgh_buf t =
+    let z () = Array.make t.n_orb 0. in
+    { v = z (); gx = z (); gy = z (); gz = z (); hxx = z (); hxy = z ();
+      hxz = z (); hyy = z (); hyz = z (); hzz = z () }
+
+  let index t i j k m = ((((i * t.cy) + j) * t.cz) + k) * t.orb_stride + m
+
+  (* Write a base coefficient (i < nx etc.) and its wrap duplicates. *)
+  let set_base t ~orb ~i ~j ~k value =
+    if i < 0 || i >= t.nx || j < 0 || j >= t.ny || k < 0 || k >= t.nz then
+      invalid_arg "Bspline3d.set_base: index out of base grid";
+    let is = if i < 3 then [ i; i + t.nx ] else [ i ] in
+    let js = if j < 3 then [ j; j + t.ny ] else [ j ] in
+    let ks = if k < 3 then [ k; k + t.nz ] else [ k ] in
+    List.iter
+      (fun ii ->
+        List.iter
+          (fun jj ->
+            List.iter
+              (fun kk -> A.set t.coeffs (index t ii jj kk orb) value)
+              ks)
+          js)
+      is
+
+  let get_base t ~orb ~i ~j ~k = A.get t.coeffs (index t i j k orb)
+
+  let fill t f =
+    for i = 0 to t.nx - 1 do
+      for j = 0 to t.ny - 1 do
+        for k = 0 to t.nz - 1 do
+          for orb = 0 to t.n_orb - 1 do
+            set_base t ~orb ~i ~j ~k (f ~orb ~i ~j ~k)
+          done
+        done
+      done
+    done
+
+  (* Separable periodic B-spline prefilter: solve the cyclic [1 4 1]/6
+     interpolation system along z, then y, then x, per orbital. *)
+  let fit_periodic t ~samples =
+    let nx = t.nx and ny = t.ny and nz = t.nz in
+    let work = Array.init nx (fun _ -> Array.make_matrix ny nz 0.) in
+    let solve_line line =
+      let n = Array.length line in
+      let rhs = Array.map (fun v -> 6. *. v) line in
+      let e = Tridiag.solve_cyclic ~diag:4. ~off:1. rhs in
+      (* c_j = e_{(j-1) mod n} restores the original index convention. *)
+      Array.init n (fun j -> e.((j - 1 + n) mod n))
+    in
+    for orb = 0 to t.n_orb - 1 do
+      for i = 0 to nx - 1 do
+        for j = 0 to ny - 1 do
+          for k = 0 to nz - 1 do
+            work.(i).(j).(k) <- samples ~orb ~ix:i ~iy:j ~iz:k
+          done;
+          let c = solve_line work.(i).(j) in
+          Array.blit c 0 work.(i).(j) 0 nz
+        done
+      done;
+      let line = Array.make ny 0. in
+      for i = 0 to nx - 1 do
+        for k = 0 to nz - 1 do
+          for j = 0 to ny - 1 do
+            line.(j) <- work.(i).(j).(k)
+          done;
+          let c = solve_line line in
+          for j = 0 to ny - 1 do
+            work.(i).(j).(k) <- c.(j)
+          done
+        done
+      done;
+      let linex = Array.make nx 0. in
+      for j = 0 to ny - 1 do
+        for k = 0 to nz - 1 do
+          for i = 0 to nx - 1 do
+            linex.(i) <- work.(i).(j).(k)
+          done;
+          let c = solve_line linex in
+          for i = 0 to nx - 1 do
+            work.(i).(j).(k) <- c.(i)
+          done
+        done
+      done;
+      for i = 0 to nx - 1 do
+        for j = 0 to ny - 1 do
+          for k = 0 to nz - 1 do
+            set_base t ~orb ~i ~j ~k work.(i).(j).(k)
+          done
+        done
+      done
+    done
+
+  let wrap s = s -. Float.of_int (int_of_float (Float.floor s))
+
+  let locate n s =
+    let x = wrap s *. float_of_int n in
+    let i = int_of_float x in
+    let i = if i >= n then n - 1 else if i < 0 then 0 else i in
+    (i, x -. float_of_int i)
+
+  let weights_of basis tx =
+    let w = basis tx in
+    [| w.Bspline_basis.w0; w.Bspline_basis.w1; w.Bspline_basis.w2;
+       w.Bspline_basis.w3 |]
+
+  (* Bspline-v: values of all orbitals at s = (u0,u1,u2). *)
+  let eval_v t ~u0 ~u1 ~u2 (out : float array) =
+    let ix, tx = locate t.nx u0 in
+    let iy, ty = locate t.ny u1 in
+    let iz, tz = locate t.nz u2 in
+    let wx = weights_of Bspline_basis.value tx in
+    let wy = weights_of Bspline_basis.value ty in
+    let wz = weights_of Bspline_basis.value tz in
+    let n = t.n_orb in
+    Array.fill out 0 n 0.;
+    let coeffs = t.coeffs in
+    for a = 0 to 3 do
+      for b = 0 to 3 do
+        let wab = wx.(a) *. wy.(b) in
+        let row = (((ix + a) * t.cy) + iy + b) * t.cz + iz in
+        for c = 0 to 3 do
+          let p = wab *. wz.(c) in
+          let base = (row + c) * t.orb_stride in
+          for m = 0 to n - 1 do
+            out.(m) <- out.(m) +. (p *. A.unsafe_get coeffs (base + m))
+          done
+        done
+      done
+    done
+
+  (* Bspline-vgh: values, fractional-coordinate gradients and hessians. *)
+  let eval_vgh t ~u0 ~u1 ~u2 (buf : vgh_buf) =
+    let ix, tx = locate t.nx u0 in
+    let iy, ty = locate t.ny u1 in
+    let iz, tz = locate t.nz u2 in
+    let wx = weights_of Bspline_basis.value tx in
+    let wy = weights_of Bspline_basis.value ty in
+    let wz = weights_of Bspline_basis.value tz in
+    let dx = weights_of Bspline_basis.first tx in
+    let dy = weights_of Bspline_basis.first ty in
+    let dz = weights_of Bspline_basis.first tz in
+    let sx = weights_of Bspline_basis.second tx in
+    let sy = weights_of Bspline_basis.second ty in
+    let sz = weights_of Bspline_basis.second tz in
+    let n = t.n_orb in
+    Array.fill buf.v 0 n 0.;
+    Array.fill buf.gx 0 n 0.;
+    Array.fill buf.gy 0 n 0.;
+    Array.fill buf.gz 0 n 0.;
+    Array.fill buf.hxx 0 n 0.;
+    Array.fill buf.hxy 0 n 0.;
+    Array.fill buf.hxz 0 n 0.;
+    Array.fill buf.hyy 0 n 0.;
+    Array.fill buf.hyz 0 n 0.;
+    Array.fill buf.hzz 0 n 0.;
+    let coeffs = t.coeffs in
+    for a = 0 to 3 do
+      for b = 0 to 3 do
+        let wxa = wx.(a) and dxa = dx.(a) and sxa = sx.(a) in
+        let wyb = wy.(b) and dyb = dy.(b) and syb = sy.(b) in
+        let row = (((ix + a) * t.cy) + iy + b) * t.cz + iz in
+        for c = 0 to 3 do
+          let wzc = wz.(c) and dzc = dz.(c) and szc = sz.(c) in
+          let p_v = wxa *. wyb *. wzc in
+          let p_gx = dxa *. wyb *. wzc in
+          let p_gy = wxa *. dyb *. wzc in
+          let p_gz = wxa *. wyb *. dzc in
+          let p_hxx = sxa *. wyb *. wzc in
+          let p_hxy = dxa *. dyb *. wzc in
+          let p_hxz = dxa *. wyb *. dzc in
+          let p_hyy = wxa *. syb *. wzc in
+          let p_hyz = wxa *. dyb *. dzc in
+          let p_hzz = wxa *. wyb *. szc in
+          let base = (row + c) * t.orb_stride in
+          for m = 0 to n - 1 do
+            let cf = A.unsafe_get coeffs (base + m) in
+            buf.v.(m) <- buf.v.(m) +. (p_v *. cf);
+            buf.gx.(m) <- buf.gx.(m) +. (p_gx *. cf);
+            buf.gy.(m) <- buf.gy.(m) +. (p_gy *. cf);
+            buf.gz.(m) <- buf.gz.(m) +. (p_gz *. cf);
+            buf.hxx.(m) <- buf.hxx.(m) +. (p_hxx *. cf);
+            buf.hxy.(m) <- buf.hxy.(m) +. (p_hxy *. cf);
+            buf.hxz.(m) <- buf.hxz.(m) +. (p_hxz *. cf);
+            buf.hyy.(m) <- buf.hyy.(m) +. (p_hyy *. cf);
+            buf.hyz.(m) <- buf.hyz.(m) +. (p_hyz *. cf);
+            buf.hzz.(m) <- buf.hzz.(m) +. (p_hzz *. cf)
+          done
+        done
+      done
+    done;
+    (* Convert t-space derivatives to fractional-coordinate derivatives. *)
+    let fx = float_of_int t.nx and fy = float_of_int t.ny in
+    let fz = float_of_int t.nz in
+    for m = 0 to n - 1 do
+      buf.gx.(m) <- buf.gx.(m) *. fx;
+      buf.gy.(m) <- buf.gy.(m) *. fy;
+      buf.gz.(m) <- buf.gz.(m) *. fz;
+      buf.hxx.(m) <- buf.hxx.(m) *. fx *. fx;
+      buf.hxy.(m) <- buf.hxy.(m) *. fx *. fy;
+      buf.hxz.(m) <- buf.hxz.(m) *. fx *. fz;
+      buf.hyy.(m) <- buf.hyy.(m) *. fy *. fy;
+      buf.hyz.(m) <- buf.hyz.(m) *. fy *. fz;
+      buf.hzz.(m) <- buf.hzz.(m) *. fz *. fz
+    done
+
+  (* Analytic size of a table in bytes for workloads too big to allocate
+     (the B-spline column of Table 1). *)
+  let table_bytes ~nx ~ny ~nz ~n_orb ~elt_bytes =
+    (nx + 3) * (ny + 3) * (nz + 3) * n_orb * elt_bytes
+end

@@ -1,0 +1,68 @@
+open Oqmc_containers
+
+(** Periodic tricubic B-spline tables holding all single-particle orbitals
+    on one shared grid with the orbital index innermost (einspline's
+    multi-spline layout) — the paper's Bspline-v / Bspline-vgh kernels.
+    Coefficients live at the build's storage precision; accumulation is in
+    double.  Positions are fractional supercell coordinates [s ∈ [0,1)³]
+    and derivatives are with respect to [s]; the SPO layer applies the
+    lattice metric. *)
+
+module Make (R : Precision.REAL) : sig
+  module A : module type of Aligned.Make (R)
+
+  type t
+
+  type vgh_buf = {
+    v : float array;
+    gx : float array;
+    gy : float array;
+    gz : float array;
+    hxx : float array;
+    hxy : float array;
+    hxz : float array;
+    hyy : float array;
+    hyz : float array;
+    hzz : float array;
+  }
+
+  val create : nx:int -> ny:int -> nz:int -> n_orb:int -> t
+  (** Zero table on an [nx × ny × nz] periodic grid.
+      @raise Invalid_argument if any dimension is below 4 or [n_orb < 1]. *)
+
+  val n_orb : t -> int
+  val dims : t -> int * int * int
+
+  val bytes : t -> int
+  (** Allocated coefficient storage. *)
+
+  val make_vgh_buf : t -> vgh_buf
+  (** Double-precision result buffers sized for this table. *)
+
+  val set_base : t -> orb:int -> i:int -> j:int -> k:int -> float -> unit
+  (** Write one base coefficient, maintaining the periodic wrap layers.
+      @raise Invalid_argument outside the base grid. *)
+
+  val get_base : t -> orb:int -> i:int -> j:int -> k:int -> float
+
+  val fill : t -> (orb:int -> i:int -> j:int -> k:int -> float) -> unit
+  (** Set every base coefficient directly (synthetic tables). *)
+
+  val fit_periodic :
+    t -> samples:(orb:int -> ix:int -> iy:int -> iz:int -> float) -> unit
+  (** Prefilter so the spline interpolates the given grid samples
+      (separable cyclic-tridiagonal solves per dimension). *)
+
+  val eval_v : t -> u0:float -> u1:float -> u2:float -> float array -> unit
+  (** Bspline-v: values of all orbitals into a caller array of length
+      [>= n_orb]. *)
+
+  val eval_vgh : t -> u0:float -> u1:float -> u2:float -> vgh_buf -> unit
+  (** Bspline-vgh: values, fractional-coordinate gradients and Hessian
+      components of all orbitals. *)
+
+  val table_bytes :
+    nx:int -> ny:int -> nz:int -> n_orb:int -> elt_bytes:int -> int
+  (** Analytic table size used by the memory-footprint accounting for
+      workloads too large to allocate. *)
+end

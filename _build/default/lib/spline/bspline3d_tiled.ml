@@ -1,0 +1,117 @@
+open Oqmc_containers
+
+(* Tiled (AoSoA) orbital table — the paper's future-work proposal
+   (Sec. 8.4, after Mathuriya et al. IPDPS'17): split the orbitals into
+   tiles of [tile] orbitals, each tile holding its own contiguous
+   grid-major coefficient block.  The outer structure is an array over
+   tiles (AoS), the inner layout is the SoA multi-spline of {!Bspline3d}
+   — an array-of-SoA.
+
+   Why it matters: one monolithic table walks a stride of
+   n_orb × elt_bytes between stencil points, so very large orbital counts
+   blow past the caches; tiles bound that stride and expose an outer loop
+   that parallelizes over threads.  Evaluation results are identical to
+   the untiled table by construction. *)
+
+module Make (R : Precision.REAL) = struct
+  module B = Bspline3d.Make (R)
+
+  type t = {
+    tiles : B.t array;
+    tile : int; (* orbitals per tile (last tile may be smaller) *)
+    n_orb : int;
+    scratch_v : float array array; (* per-tile value buffers *)
+    scratch_vgh : B.vgh_buf array;
+  }
+
+  let create ~nx ~ny ~nz ~n_orb ~tile =
+    if tile < 1 then invalid_arg "Bspline3d_tiled.create: tile < 1";
+    if n_orb < 1 then invalid_arg "Bspline3d_tiled.create: n_orb < 1";
+    let n_tiles = (n_orb + tile - 1) / tile in
+    let tiles =
+      Array.init n_tiles (fun t ->
+          let this = min tile (n_orb - (t * tile)) in
+          B.create ~nx ~ny ~nz ~n_orb:this)
+    in
+    {
+      tiles;
+      tile;
+      n_orb;
+      scratch_v = Array.map (fun b -> Array.make (B.n_orb b) 0.) tiles;
+      scratch_vgh = Array.map B.make_vgh_buf tiles;
+    }
+
+  let n_orb t = t.n_orb
+  let n_tiles t = Array.length t.tiles
+  let tile_size t = t.tile
+
+  let bytes t = Array.fold_left (fun acc b -> acc + B.bytes b) 0 t.tiles
+
+  let locate t orb =
+    if orb < 0 || orb >= t.n_orb then
+      invalid_arg "Bspline3d_tiled: orbital out of range";
+    (orb / t.tile, orb mod t.tile)
+
+  let set_base t ~orb ~i ~j ~k v =
+    let ti, o = locate t orb in
+    B.set_base t.tiles.(ti) ~orb:o ~i ~j ~k v
+
+  let get_base t ~orb ~i ~j ~k =
+    let ti, o = locate t orb in
+    B.get_base t.tiles.(ti) ~orb:o ~i ~j ~k
+
+  let fill t f =
+    Array.iteri
+      (fun ti b ->
+        B.fill b (fun ~orb ~i ~j ~k -> f ~orb:((ti * t.tile) + orb) ~i ~j ~k))
+      t.tiles
+
+  let fit_periodic t ~samples =
+    Array.iteri
+      (fun ti b ->
+        B.fit_periodic b ~samples:(fun ~orb ~ix ~iy ~iz ->
+            samples ~orb:((ti * t.tile) + orb) ~ix ~iy ~iz))
+      t.tiles
+
+  (* Values of all orbitals; the outer tile loop is the unit that a
+     task-parallel evaluation distributes over threads. *)
+  let eval_v t ~u0 ~u1 ~u2 (out : float array) =
+    Array.iteri
+      (fun ti b ->
+        let s = t.scratch_v.(ti) in
+        B.eval_v b ~u0 ~u1 ~u2 s;
+        Array.blit s 0 out (ti * t.tile) (B.n_orb b))
+      t.tiles
+
+  let eval_vgh t ~u0 ~u1 ~u2 (buf : B.vgh_buf) =
+    Array.iteri
+      (fun ti b ->
+        let s = t.scratch_vgh.(ti) in
+        B.eval_vgh b ~u0 ~u1 ~u2 s;
+        let n = B.n_orb b and off = ti * t.tile in
+        Array.blit s.B.v 0 buf.B.v off n;
+        Array.blit s.B.gx 0 buf.B.gx off n;
+        Array.blit s.B.gy 0 buf.B.gy off n;
+        Array.blit s.B.gz 0 buf.B.gz off n;
+        Array.blit s.B.hxx 0 buf.B.hxx off n;
+        Array.blit s.B.hxy 0 buf.B.hxy off n;
+        Array.blit s.B.hxz 0 buf.B.hxz off n;
+        Array.blit s.B.hyy 0 buf.B.hyy off n;
+        Array.blit s.B.hyz 0 buf.B.hyz off n;
+        Array.blit s.B.hzz 0 buf.B.hzz off n)
+      t.tiles
+
+  let make_vgh_buf t =
+    {
+      B.v = Array.make t.n_orb 0.;
+      gx = Array.make t.n_orb 0.;
+      gy = Array.make t.n_orb 0.;
+      gz = Array.make t.n_orb 0.;
+      hxx = Array.make t.n_orb 0.;
+      hxy = Array.make t.n_orb 0.;
+      hxz = Array.make t.n_orb 0.;
+      hyy = Array.make t.n_orb 0.;
+      hyz = Array.make t.n_orb 0.;
+      hzz = Array.make t.n_orb 0.;
+    }
+end

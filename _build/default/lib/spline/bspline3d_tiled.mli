@@ -1,0 +1,32 @@
+open Oqmc_containers
+
+(** Tiled (array-of-SoA) orbital table — the paper's future-work tiling
+    proposal.  Orbitals are split into fixed-size tiles, each with its own
+    contiguous multi-spline block, bounding the per-stencil stride and
+    exposing a thread-parallel outer loop.  Results are identical to
+    {!Bspline3d}. *)
+
+module Make (R : Precision.REAL) : sig
+  module B : module type of Bspline3d.Make (R)
+
+  type t
+
+  val create : nx:int -> ny:int -> nz:int -> n_orb:int -> tile:int -> t
+  (** @raise Invalid_argument for non-positive sizes. *)
+
+  val n_orb : t -> int
+  val n_tiles : t -> int
+  val tile_size : t -> int
+  val bytes : t -> int
+
+  val set_base : t -> orb:int -> i:int -> j:int -> k:int -> float -> unit
+  val get_base : t -> orb:int -> i:int -> j:int -> k:int -> float
+  val fill : t -> (orb:int -> i:int -> j:int -> k:int -> float) -> unit
+
+  val fit_periodic :
+    t -> samples:(orb:int -> ix:int -> iy:int -> iz:int -> float) -> unit
+
+  val eval_v : t -> u0:float -> u1:float -> u2:float -> float array -> unit
+  val eval_vgh : t -> u0:float -> u1:float -> u2:float -> B.vgh_buf -> unit
+  val make_vgh_buf : t -> B.vgh_buf
+end

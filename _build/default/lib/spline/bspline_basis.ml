@@ -1,0 +1,37 @@
+(* Uniform cubic B-spline basis weights.
+
+   For a point with fractional offset t ∈ [0,1) inside knot interval i, the
+   value is Σ_{j=0..3} c_{i+j} · w_j(t).  These weights and their t-derivatives
+   are shared by the 1-D Jastrow functors and the 3-D orbital tables (where
+   they appear as tensor products). *)
+
+type weights = { w0 : float; w1 : float; w2 : float; w3 : float }
+
+let value t =
+  let t2 = t *. t in
+  let t3 = t2 *. t in
+  let mt = 1. -. t in
+  {
+    w0 = mt *. mt *. mt /. 6.;
+    w1 = ((3. *. t3) -. (6. *. t2) +. 4.) /. 6.;
+    w2 = ((-3. *. t3) +. (3. *. t2) +. (3. *. t) +. 1.) /. 6.;
+    w3 = t3 /. 6.;
+  }
+
+let first t =
+  let t2 = t *. t in
+  let mt = 1. -. t in
+  {
+    w0 = -.(mt *. mt) /. 2.;
+    w1 = ((9. *. t2) -. (12. *. t)) /. 6.;
+    w2 = ((-9. *. t2) +. (6. *. t) +. 3.) /. 6.;
+    w3 = t2 /. 2.;
+  }
+
+let second t =
+  { w0 = 1. -. t; w1 = (3. *. t) -. 2.; w2 = 1. -. (3. *. t); w3 = t }
+
+let to_array { w0; w1; w2; w3 } = [| w0; w1; w2; w3 |]
+
+(* Partition of unity / derivative telescoping, used by tests. *)
+let sum { w0; w1; w2; w3 } = w0 +. w1 +. w2 +. w3

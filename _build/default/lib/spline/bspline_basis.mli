@@ -1,0 +1,16 @@
+(** Uniform cubic B-spline basis weights w₀..w₃ and their derivatives with
+    respect to the fractional knot offset t ∈ [0,1). *)
+
+type weights = { w0 : float; w1 : float; w2 : float; w3 : float }
+
+val value : float -> weights
+(** Basis values; they satisfy Σ wⱼ = 1 for any t. *)
+
+val first : float -> weights
+(** dw/dt; Σ = 0.  Divide by the knot spacing for d/dr. *)
+
+val second : float -> weights
+(** d²w/dt²; Σ = 0.  Divide by the squared knot spacing for d²/dr². *)
+
+val to_array : weights -> float array
+val sum : weights -> float

@@ -1,0 +1,63 @@
+(* Tridiagonal and cyclic-tridiagonal solvers for B-spline prefiltering.
+
+   Interpolating a cubic B-spline through samples on a uniform grid reduces
+   to the constant-stencil system [off, diag, off] per grid line; periodic
+   grids add wrap-around corners, removed with one Sherman–Morrison rank-1
+   correction (the standard cyclic-Thomas algorithm). *)
+
+let solve ~diag ~off rhs =
+  let n = Array.length rhs in
+  if n = 0 then [||]
+  else begin
+    let c' = Array.make n 0. and d' = Array.make n 0. in
+    c'.(0) <- off /. diag;
+    d'.(0) <- rhs.(0) /. diag;
+    for i = 1 to n - 1 do
+      let m = diag -. (off *. c'.(i - 1)) in
+      c'.(i) <- off /. m;
+      d'.(i) <- (rhs.(i) -. (off *. d'.(i - 1))) /. m
+    done;
+    let x = Array.make n 0. in
+    x.(n - 1) <- d'.(n - 1);
+    for i = n - 2 downto 0 do
+      x.(i) <- d'.(i) -. (c'.(i) *. x.(i + 1))
+    done;
+    x
+  end
+
+let solve_cyclic ~diag ~off rhs =
+  let n = Array.length rhs in
+  if n < 3 then invalid_arg "Tridiag.solve_cyclic: n < 3";
+  (* Condense the corners into a rank-1 update: A = T + gamma u vᵀ with
+     u = e0 + e_{n-1} and corner coefficient handling per cyclic Thomas. *)
+  let gamma = -.diag in
+  let diag0 = diag -. gamma in
+  let diagn = diag -. (off *. off /. gamma) in
+  let solve_mod b =
+    (* Thomas on the modified tridiagonal (first/last diagonal entries
+       adjusted). *)
+    let c' = Array.make n 0. and d' = Array.make n 0. in
+    let dii i = if i = 0 then diag0 else if i = n - 1 then diagn else diag in
+    c'.(0) <- off /. dii 0;
+    d'.(0) <- b.(0) /. dii 0;
+    for i = 1 to n - 1 do
+      let m = dii i -. (off *. c'.(i - 1)) in
+      c'.(i) <- off /. m;
+      d'.(i) <- (b.(i) -. (off *. d'.(i - 1))) /. m
+    done;
+    let x = Array.make n 0. in
+    x.(n - 1) <- d'.(n - 1);
+    for i = n - 2 downto 0 do
+      x.(i) <- d'.(i) -. (c'.(i) *. x.(i + 1))
+    done;
+    x
+  in
+  let y = solve_mod rhs in
+  let u = Array.make n 0. in
+  u.(0) <- gamma;
+  u.(n - 1) <- off;
+  let z = solve_mod u in
+  let vy = y.(0) +. (off /. gamma *. y.(n - 1)) in
+  let vz = z.(0) +. (off /. gamma *. z.(n - 1)) in
+  let factor = vy /. (1. +. vz) in
+  Array.init n (fun i -> y.(i) -. (factor *. z.(i)))

@@ -1,0 +1,10 @@
+(** Constant-stencil tridiagonal solvers used for B-spline prefiltering. *)
+
+val solve : diag:float -> off:float -> float array -> float array
+(** Solve [T x = rhs] where [T] has [diag] on the diagonal and [off] on
+    both off-diagonals. *)
+
+val solve_cyclic : diag:float -> off:float -> float array -> float array
+(** Same system with periodic wrap-around corners (cyclic Thomas via a
+    Sherman–Morrison correction).
+    @raise Invalid_argument for fewer than 3 unknowns. *)

@@ -1,0 +1,1 @@
+lib/wavefunction/jastrow_one.ml: Aligned Array Cubic_spline_1d Dt_ab_ref Dt_ab_soa Oqmc_containers Oqmc_particle Oqmc_spline Precision Vec3 Wbuffer Wfc

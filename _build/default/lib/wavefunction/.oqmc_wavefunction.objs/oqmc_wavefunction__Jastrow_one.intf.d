@@ -1,0 +1,1 @@
+lib/wavefunction/jastrow_one.mli: Aligned Cubic_spline_1d Dt_ab_ref Dt_ab_soa Oqmc_containers Oqmc_particle Oqmc_spline Precision Wfc

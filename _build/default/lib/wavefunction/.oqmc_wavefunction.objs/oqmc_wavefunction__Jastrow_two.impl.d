@@ -1,0 +1,1 @@
+lib/wavefunction/jastrow_two.ml: Aligned Array Cubic_spline_1d Dt_aa_ref Dt_aa_soa Oqmc_containers Oqmc_particle Oqmc_spline Precision Vec3 Wbuffer Wfc

@@ -1,0 +1,1 @@
+lib/wavefunction/jastrow_two.mli: Aligned Cubic_spline_1d Dt_aa_ref Dt_aa_soa Oqmc_containers Oqmc_particle Oqmc_spline Precision Wfc

@@ -1,0 +1,1 @@
+lib/wavefunction/slater_det.ml: Aligned Array Blas Delayed_update Lu Matrix Oqmc_containers Oqmc_linalg Precision Printf Sherman_morrison Spo Timers Vec3 Wbuffer Wfc

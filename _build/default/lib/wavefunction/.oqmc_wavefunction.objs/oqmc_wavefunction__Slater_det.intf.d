@@ -1,0 +1,1 @@
+lib/wavefunction/slater_det.mli: Oqmc_containers Precision Spo Timers Wfc

@@ -1,0 +1,1 @@
+lib/wavefunction/spo.ml: Array Oqmc_containers Vec3

@@ -1,0 +1,1 @@
+lib/wavefunction/spo.mli: Oqmc_containers Vec3

@@ -1,0 +1,1 @@
+lib/wavefunction/spo_analytic.ml: Array Float Lattice List Oqmc_containers Oqmc_particle Spo Vec3

@@ -1,0 +1,1 @@
+lib/wavefunction/spo_analytic.mli: Lattice Oqmc_containers Oqmc_particle Spo

@@ -1,0 +1,1 @@
+lib/wavefunction/spo_bspline.ml: Array Lattice Oqmc_containers Oqmc_particle Oqmc_spline Precision Printf Spo Vec3

@@ -1,0 +1,1 @@
+lib/wavefunction/spo_bspline.mli: Lattice Oqmc_containers Oqmc_particle Oqmc_spline Precision Spo

@@ -1,0 +1,1 @@
+lib/wavefunction/trial_wavefunction.ml: Array Oqmc_containers Precision String Timers Vec3 Wfc

@@ -1,0 +1,1 @@
+lib/wavefunction/trial_wavefunction.mli: Oqmc_containers Precision Timers Vec3 Wbuffer Wfc

@@ -1,0 +1,1 @@
+lib/wavefunction/wfc.ml: Array Oqmc_containers Oqmc_particle Particle_set Precision Vec3 Wbuffer

@@ -1,0 +1,299 @@
+open Oqmc_containers
+open Oqmc_particle
+open Oqmc_spline
+
+(* One-body Jastrow factor, log ψ = −Σ_k Σ_I u_{s(I)}(r_kI), with a radial
+   functor per ion species.  Because the ions never move, an accepted
+   electron move touches only that electron's state, in both designs:
+
+   [create_ref] stores the N × N_ion value/gradient/laplacian matrices
+   (the store-over-compute baseline) over the Ref AB distance table.
+
+   [create_opt] keeps 5N per-electron accumulators and recomputes rows
+   from the SoA AB table on the fly. *)
+
+module Make (R : Precision.REAL) = struct
+  module W = Wfc.Make (R)
+  module Ps = W.Ps
+  module A = Aligned.Make (R)
+  module Dref = Dt_ab_ref.Make (R)
+  module Dsoa = Dt_ab_soa.Make (R)
+
+  type functors = Cubic_spline_1d.t array
+  (* indexed by ion species *)
+
+  let eval_u (fn : Cubic_spline_1d.t) r =
+    if r <= 0. || r >= Cubic_spline_1d.cutoff fn then (0., 0., 0.)
+    else begin
+      let u, du, d2u = Cubic_spline_1d.evaluate_vgl fn r in
+      (u, du /. r, d2u +. (2. *. du /. r))
+    end
+
+  let ion_species (ions : Ps.t) (functors : functors) =
+    if Array.length functors <> Ps.n_species ions then
+      invalid_arg "Jastrow_one: functor array does not match ion species";
+    Array.init (Ps.n ions) (fun i -> Ps.species_index ions i)
+
+  (* ------------------------------------------------------------------ *)
+
+  let create_opt ~(table : Dsoa.t) ~(functors : functors) ~(ions : Ps.t)
+      (ps : Ps.t) : W.t =
+    let n = Ps.n ps in
+    let ni = Ps.n ions in
+    let ion_spec = ion_species ions functors in
+    let vat = Array.make n 0. in
+    let gx = Array.make n 0. and gy = Array.make n 0. in
+    let gz = Array.make n 0. in
+    let lap = Array.make n 0. in
+    let un = Array.make ni 0. and fn = Array.make ni 0. in
+    let ln = Array.make ni 0. in
+    let fill_row (dist : A.t) =
+      for i = 0 to ni - 1 do
+        let u, f, l = eval_u functors.(ion_spec.(i)) (A.unsafe_get dist i) in
+        un.(i) <- u;
+        fn.(i) <- f;
+        ln.(i) <- l
+      done
+    in
+    let sum a =
+      let acc = ref 0. in
+      for i = 0 to Array.length a - 1 do
+        acc := !acc +. a.(i)
+      done;
+      !acc
+    in
+    let store_k k ~dx ~dy ~dz =
+      let ax = ref 0. and ay = ref 0. and az = ref 0. in
+      for i = 0 to ni - 1 do
+        ax := !ax +. (fn.(i) *. A.unsafe_get dx i);
+        ay := !ay +. (fn.(i) *. A.unsafe_get dy i);
+        az := !az +. (fn.(i) *. A.unsafe_get dz i)
+      done;
+      vat.(k) <- sum un;
+      gx.(k) <- !ax;
+      gy.(k) <- !ay;
+      gz.(k) <- !az;
+      lap.(k) <- -.sum ln
+    in
+    let evaluate_log _ps =
+      for k = 0 to n - 1 do
+        fill_row (Dsoa.row_dist table k);
+        store_k k ~dx:(Dsoa.row_dx table k) ~dy:(Dsoa.row_dy table k)
+          ~dz:(Dsoa.row_dz table k)
+      done;
+      -.sum vat
+    in
+    let ratio _ps k =
+      fill_row (Dsoa.temp_dist table);
+      exp (vat.(k) -. sum un)
+    in
+    let ratio_grad _ps k =
+      fill_row (Dsoa.temp_dist table);
+      let ax = ref 0. and ay = ref 0. and az = ref 0. in
+      let tx = Dsoa.temp_dx table and ty = Dsoa.temp_dy table in
+      let tz = Dsoa.temp_dz table in
+      for i = 0 to ni - 1 do
+        ax := !ax +. (fn.(i) *. A.unsafe_get tx i);
+        ay := !ay +. (fn.(i) *. A.unsafe_get ty i);
+        az := !az +. (fn.(i) *. A.unsafe_get tz i)
+      done;
+      (exp (vat.(k) -. sum un), Vec3.make !ax !ay !az)
+    in
+    let grad _ps k = Vec3.make gx.(k) gy.(k) gz.(k) in
+    let accept _ps k =
+      (* Scratch still holds the proposed row from ratio/ratio_grad. *)
+      store_k k ~dx:(Dsoa.temp_dx table) ~dy:(Dsoa.temp_dy table)
+        ~dz:(Dsoa.temp_dz table)
+    in
+    let reject _ps _k = () in
+    let accumulate_gl _ps (g : W.gl) =
+      for k = 0 to n - 1 do
+        g.W.ggx.(k) <- g.W.ggx.(k) +. gx.(k);
+        g.W.ggy.(k) <- g.W.ggy.(k) +. gy.(k);
+        g.W.ggz.(k) <- g.W.ggz.(k) +. gz.(k);
+        g.W.glap.(k) <- g.W.glap.(k) +. lap.(k)
+      done
+    in
+    let register buf =
+      for _ = 1 to 5 * n do
+        Wbuffer.add buf 0.
+      done
+    in
+    let update_buffer _ps buf =
+      Wbuffer.put_array buf vat;
+      Wbuffer.put_array buf gx;
+      Wbuffer.put_array buf gy;
+      Wbuffer.put_array buf gz;
+      Wbuffer.put_array buf lap
+    in
+    let copy_from_buffer _ps buf =
+      let rd a =
+        for i = 0 to n - 1 do
+          a.(i) <- Wbuffer.get buf
+        done
+      in
+      rd vat;
+      rd gx;
+      rd gy;
+      rd gz;
+      rd lap
+    in
+    let bytes () = 5 * n * 8 in
+    {
+      W.name = "J1-opt";
+      evaluate_log;
+      ratio;
+      ratio_grad;
+      grad;
+      accept;
+      reject;
+      accumulate_gl;
+      register;
+      update_buffer;
+      copy_from_buffer;
+      bytes;
+    }
+
+  (* ------------------------------------------------------------------ *)
+
+  let create_ref ~(table : Dref.t) ~(functors : functors) ~(ions : Ps.t)
+      (ps : Ps.t) : W.t =
+    let n = Ps.n ps in
+    let ni = Ps.n ions in
+    let ion_spec = ion_species ions functors in
+    let umat = A.create (n * ni) in
+    let dumat = A.create (3 * n * ni) in
+    let d2umat = A.create (n * ni) in
+    let un = Array.make ni 0. and fn = Array.make ni 0. in
+    let ln = Array.make ni 0. in
+    let fill_new_row () =
+      let td = Dref.temp_dist table in
+      for i = 0 to ni - 1 do
+        let u, f, l = eval_u functors.(ion_spec.(i)) (A.get td i) in
+        un.(i) <- u;
+        fn.(i) <- f;
+        ln.(i) <- l
+      done
+    in
+    let evaluate_log _ps =
+      let logv = ref 0. in
+      for k = 0 to n - 1 do
+        for i = 0 to ni - 1 do
+          let d = Dref.dist table k i in
+          let u, f, l = eval_u functors.(ion_spec.(i)) d in
+          let dr = Dref.displ table k i in
+          let p = (k * ni) + i in
+          A.set umat p u;
+          A.set dumat (3 * p) (f *. dr.Vec3.x);
+          A.set dumat ((3 * p) + 1) (f *. dr.Vec3.y);
+          A.set dumat ((3 * p) + 2) (f *. dr.Vec3.z);
+          A.set d2umat p l;
+          logv := !logv -. u
+        done
+      done;
+      !logv
+    in
+    let delta k =
+      let acc = ref 0. in
+      for i = 0 to ni - 1 do
+        acc := !acc +. un.(i) -. A.get umat ((k * ni) + i)
+      done;
+      !acc
+    in
+    let ratio _ps k =
+      fill_new_row ();
+      exp (-.delta k)
+    in
+    let ratio_grad _ps k =
+      fill_new_row ();
+      let ax = ref 0. and ay = ref 0. and az = ref 0. in
+      for i = 0 to ni - 1 do
+        let dr = Dref.temp_displ table i in
+        ax := !ax +. (fn.(i) *. dr.Vec3.x);
+        ay := !ay +. (fn.(i) *. dr.Vec3.y);
+        az := !az +. (fn.(i) *. dr.Vec3.z)
+      done;
+      (exp (-.delta k), Vec3.make !ax !ay !az)
+    in
+    let grad _ps k =
+      let ax = ref 0. and ay = ref 0. and az = ref 0. in
+      for i = 0 to ni - 1 do
+        let p = 3 * ((k * ni) + i) in
+        ax := !ax +. A.get dumat p;
+        ay := !ay +. A.get dumat (p + 1);
+        az := !az +. A.get dumat (p + 2)
+      done;
+      Vec3.make !ax !ay !az
+    in
+    let accept _ps k =
+      for i = 0 to ni - 1 do
+        let dr = Dref.temp_displ table i in
+        let p = (k * ni) + i in
+        A.set umat p un.(i);
+        A.set dumat (3 * p) (fn.(i) *. dr.Vec3.x);
+        A.set dumat ((3 * p) + 1) (fn.(i) *. dr.Vec3.y);
+        A.set dumat ((3 * p) + 2) (fn.(i) *. dr.Vec3.z);
+        A.set d2umat p ln.(i)
+      done
+    in
+    let reject _ps _k = () in
+    let accumulate_gl _ps (g : W.gl) =
+      for k = 0 to n - 1 do
+        let ax = ref 0. and ay = ref 0. and az = ref 0. in
+        let al = ref 0. in
+        for i = 0 to ni - 1 do
+          let p = (k * ni) + i in
+          ax := !ax +. A.get dumat (3 * p);
+          ay := !ay +. A.get dumat ((3 * p) + 1);
+          az := !az +. A.get dumat ((3 * p) + 2);
+          al := !al +. A.get d2umat p
+        done;
+        g.W.ggx.(k) <- g.W.ggx.(k) +. !ax;
+        g.W.ggy.(k) <- g.W.ggy.(k) +. !ay;
+        g.W.ggz.(k) <- g.W.ggz.(k) +. !az;
+        g.W.glap.(k) <- g.W.glap.(k) -. !al
+      done
+    in
+    let register buf =
+      for _ = 1 to 5 * n * ni do
+        Wbuffer.add buf 0.
+      done
+    in
+    let update_buffer _ps buf =
+      for p = 0 to (n * ni) - 1 do
+        Wbuffer.put buf (A.get umat p)
+      done;
+      for p = 0 to (3 * n * ni) - 1 do
+        Wbuffer.put buf (A.get dumat p)
+      done;
+      for p = 0 to (n * ni) - 1 do
+        Wbuffer.put buf (A.get d2umat p)
+      done
+    in
+    let copy_from_buffer _ps buf =
+      for p = 0 to (n * ni) - 1 do
+        A.set umat p (Wbuffer.get buf)
+      done;
+      for p = 0 to (3 * n * ni) - 1 do
+        A.set dumat p (Wbuffer.get buf)
+      done;
+      for p = 0 to (n * ni) - 1 do
+        A.set d2umat p (Wbuffer.get buf)
+      done
+    in
+    let bytes () = A.bytes umat + A.bytes dumat + A.bytes d2umat in
+    {
+      W.name = "J1-ref";
+      evaluate_log;
+      ratio;
+      ratio_grad;
+      grad;
+      accept;
+      reject;
+      accumulate_gl;
+      register;
+      update_buffer;
+      copy_from_buffer;
+      bytes;
+    }
+end

@@ -1,0 +1,27 @@
+open Oqmc_containers
+open Oqmc_particle
+open Oqmc_spline
+
+(** One-body Jastrow factor, log ψ = −Σ_{k,I} u_{s(I)}(r_kI), with a
+    radial functor per ion species, in the Ref (stored N × N_ion
+    matrices) and Current (5N accumulators, compute-on-the-fly)
+    designs. *)
+
+module Make (R : Precision.REAL) : sig
+  module W : module type of Wfc.Make (R)
+  module Ps = W.Ps
+  module A : module type of Aligned.Make (R)
+  module Dref : module type of Dt_ab_ref.Make (R)
+  module Dsoa : module type of Dt_ab_soa.Make (R)
+
+  type functors = Cubic_spline_1d.t array
+  (** Indexed by ion species. *)
+
+  val create_opt :
+    table:Dsoa.t -> functors:functors -> ions:Ps.t -> Ps.t -> W.t
+  (** @raise Invalid_argument if the functor count does not match the ion
+      species. *)
+
+  val create_ref :
+    table:Dref.t -> functors:functors -> ions:Ps.t -> Ps.t -> W.t
+end

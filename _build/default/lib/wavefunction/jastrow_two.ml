@@ -1,0 +1,407 @@
+open Oqmc_containers
+open Oqmc_particle
+open Oqmc_spline
+
+(* Two-body Jastrow factor, log ψ = −Σ_{i<j} u_{σᵢσⱼ}(r_ij), with a radial
+   B-spline functor per spin pair.
+
+   Two complete implementations (the heart of the paper's J2 story):
+
+   [create_ref] — the store-over-compute baseline.  Keeps full N×N matrices
+   of pair values, gradients (interleaved AoS) and laplacian terms — the
+   5N² scalars per walker the paper calls out — reads old values back from
+   the matrices during ratios, and updates both the row and the column of
+   all three matrices on every accepted move.  Works off the packed
+   triangular Ref distance table and serializes the whole 5N² block into
+   the walker buffer.
+
+   [create_opt] — the compute-on-the-fly design.  Keeps only the 5N
+   per-electron accumulators U_k, ∇U_k, ∇²U_k; every ratio recomputes the
+   old and new pair rows from the SoA distance table with unit-stride
+   loops, and acceptance updates the accumulators incrementally.  The
+   walker buffer shrinks to 5N scalars. *)
+
+module Make (R : Precision.REAL) = struct
+  module W = Wfc.Make (R)
+  module Ps = W.Ps
+  module A = Aligned.Make (R)
+  module Dref = Dt_aa_ref.Make (R)
+  module Dsoa = Dt_aa_soa.Make (R)
+
+  type functors = Cubic_spline_1d.t array array
+  (* indexed by [species_i][species_j]; must be symmetric *)
+
+  let check_functors (ps : Ps.t) (f : functors) =
+    let ns = Ps.n_species ps in
+    if Array.length f <> ns then
+      invalid_arg "Jastrow_two: functor matrix does not match species";
+    Array.iter
+      (fun row ->
+        if Array.length row <> ns then
+          invalid_arg "Jastrow_two: functor matrix not square")
+      f
+
+  (* u, u'/r and the laplacian stencil u'' + 2u'/r at distance [r];
+     all zero at/beyond the cutoff (including r = 0 padding entries,
+     which consumers mask out). *)
+  let eval_u (fn : Cubic_spline_1d.t) r =
+    if r <= 0. || r >= Cubic_spline_1d.cutoff fn then (0., 0., 0.)
+    else begin
+      let u, du, d2u = Cubic_spline_1d.evaluate_vgl fn r in
+      (u, du /. r, d2u +. (2. *. du /. r))
+    end
+
+  (* ------------------------------------------------------------------ *)
+  (* Optimized implementation                                            *)
+  (* ------------------------------------------------------------------ *)
+
+  let create_opt ~(table : Dsoa.t) ~(functors : functors) (ps : Ps.t) : W.t =
+    check_functors ps functors;
+    let n = Ps.n ps in
+    (* Per-electron accumulators: U_k and the gradient/laplacian of log ψ. *)
+    let uat = Array.make n 0. in
+    let gx = Array.make n 0. and gy = Array.make n 0. in
+    let gz = Array.make n 0. in
+    let lap = Array.make n 0. in
+    (* Scratch rows for the old and proposed configurations. *)
+    let un = Array.make n 0. and fn = Array.make n 0. in
+    let ln = Array.make n 0. in
+    let uo = Array.make n 0. and fo = Array.make n 0. in
+    let lo = Array.make n 0. in
+    let spec = Array.init n (fun i -> Ps.species_index ps i) in
+    (* Fill u/f/l rows for electron k against a distance row. *)
+    let fill_row_from k (dist : A.t) ~u ~f ~l =
+      let fk = functors.(spec.(k)) in
+      for i = 0 to n - 1 do
+        if i = k then begin
+          u.(i) <- 0.;
+          f.(i) <- 0.;
+          l.(i) <- 0.
+        end
+        else begin
+          let ui, fi, li = eval_u fk.(spec.(i)) (A.unsafe_get dist i) in
+          u.(i) <- ui;
+          f.(i) <- fi;
+          l.(i) <- li
+        end
+      done
+    in
+    let sum arr =
+      let acc = ref 0. in
+      for i = 0 to n - 1 do
+        acc := !acc +. arr.(i)
+      done;
+      !acc
+    in
+    (* Recompute one electron's accumulators from its (fresh) table row. *)
+    let compute_one k =
+      Dsoa.prepare table ps k;
+      fill_row_from k (Dsoa.row_dist table k) ~u:un ~f:fn ~l:ln;
+      let ax = ref 0. and ay = ref 0. and az = ref 0. in
+      let al = ref 0. in
+      let dx = Dsoa.row_dx table k and dy = Dsoa.row_dy table k in
+      let dz = Dsoa.row_dz table k in
+      for i = 0 to n - 1 do
+        ax := !ax +. (fn.(i) *. A.unsafe_get dx i);
+        ay := !ay +. (fn.(i) *. A.unsafe_get dy i);
+        az := !az +. (fn.(i) *. A.unsafe_get dz i);
+        al := !al +. ln.(i)
+      done;
+      uat.(k) <- sum un;
+      gx.(k) <- !ax;
+      gy.(k) <- !ay;
+      gz.(k) <- !az;
+      lap.(k) <- -. !al
+    in
+    let evaluate_log _ps =
+      for k = 0 to n - 1 do
+        compute_one k
+      done;
+      -0.5 *. sum uat
+    in
+    let compute_rows k =
+      (* Old row from the table (refreshed by the engine's prepare), new
+         row from the temporary move row. *)
+      fill_row_from k (Dsoa.row_dist table k) ~u:uo ~f:fo ~l:lo;
+      fill_row_from k (Dsoa.temp_dist table) ~u:un ~f:fn ~l:ln
+    in
+    let ratio _ps k =
+      compute_rows k;
+      exp (sum uo -. sum un)
+    in
+    let ratio_grad _ps k =
+      compute_rows k;
+      let ax = ref 0. and ay = ref 0. and az = ref 0. in
+      let tx = Dsoa.temp_dx table and ty = Dsoa.temp_dy table in
+      let tz = Dsoa.temp_dz table in
+      for i = 0 to n - 1 do
+        ax := !ax +. (fn.(i) *. A.unsafe_get tx i);
+        ay := !ay +. (fn.(i) *. A.unsafe_get ty i);
+        az := !az +. (fn.(i) *. A.unsafe_get tz i)
+      done;
+      (exp (sum uo -. sum un), Vec3.make !ax !ay !az)
+    in
+    let grad _ps k = Vec3.make gx.(k) gy.(k) gz.(k) in
+    let accept _ps k =
+      (* Incremental update of every electron's accumulators using the
+         cached old/new rows; must run before the table accepts. *)
+      let tx = Dsoa.temp_dx table and ty = Dsoa.temp_dy table in
+      let tz = Dsoa.temp_dz table in
+      let ox = Dsoa.row_dx table k and oy = Dsoa.row_dy table k in
+      let oz = Dsoa.row_dz table k in
+      let ax = ref 0. and ay = ref 0. and az = ref 0. in
+      let al = ref 0. in
+      for i = 0 to n - 1 do
+        if i <> k then begin
+          uat.(i) <- uat.(i) +. un.(i) -. uo.(i);
+          (* Pair (i,k) contribution to ∇_i log ψ is −f · dr(k,i). *)
+          gx.(i) <-
+            gx.(i) -. (fn.(i) *. A.unsafe_get tx i)
+            +. (fo.(i) *. A.unsafe_get ox i);
+          gy.(i) <-
+            gy.(i) -. (fn.(i) *. A.unsafe_get ty i)
+            +. (fo.(i) *. A.unsafe_get oy i);
+          gz.(i) <-
+            gz.(i) -. (fn.(i) *. A.unsafe_get tz i)
+            +. (fo.(i) *. A.unsafe_get oz i);
+          lap.(i) <- lap.(i) -. ln.(i) +. lo.(i);
+          ax := !ax +. (fn.(i) *. A.unsafe_get tx i);
+          ay := !ay +. (fn.(i) *. A.unsafe_get ty i);
+          az := !az +. (fn.(i) *. A.unsafe_get tz i);
+          al := !al +. ln.(i)
+        end
+      done;
+      uat.(k) <- sum un;
+      gx.(k) <- !ax;
+      gy.(k) <- !ay;
+      gz.(k) <- !az;
+      lap.(k) <- -. !al
+    in
+    let reject _ps _k = () in
+    let accumulate_gl _ps (g : W.gl) =
+      for k = 0 to n - 1 do
+        g.W.ggx.(k) <- g.W.ggx.(k) +. gx.(k);
+        g.W.ggy.(k) <- g.W.ggy.(k) +. gy.(k);
+        g.W.ggz.(k) <- g.W.ggz.(k) +. gz.(k);
+        g.W.glap.(k) <- g.W.glap.(k) +. lap.(k)
+      done
+    in
+    let register buf =
+      for _ = 1 to 5 * n do
+        Wbuffer.add buf 0.
+      done
+    in
+    let update_buffer _ps buf =
+      Wbuffer.put_array buf uat;
+      Wbuffer.put_array buf gx;
+      Wbuffer.put_array buf gy;
+      Wbuffer.put_array buf gz;
+      Wbuffer.put_array buf lap
+    in
+    let copy_from_buffer _ps buf =
+      let rd a =
+        for i = 0 to n - 1 do
+          a.(i) <- Wbuffer.get buf
+        done
+      in
+      rd uat;
+      rd gx;
+      rd gy;
+      rd gz;
+      rd lap
+    in
+    let bytes () = 5 * n * 8 in
+    {
+      W.name = "J2-opt";
+      evaluate_log;
+      ratio;
+      ratio_grad;
+      grad;
+      accept;
+      reject;
+      accumulate_gl;
+      register;
+      update_buffer;
+      copy_from_buffer;
+      bytes;
+    }
+
+  (* ------------------------------------------------------------------ *)
+  (* Reference implementation                                            *)
+  (* ------------------------------------------------------------------ *)
+
+  let create_ref ~(table : Dref.t) ~(functors : functors) (ps : Ps.t) : W.t =
+    check_functors ps functors;
+    let n = Ps.n ps in
+    (* The 5N² stored scalars: values, AoS gradients, laplacian terms. *)
+    let umat = A.create (n * n) in
+    let dumat = A.create (3 * n * n) in
+    let d2umat = A.create (n * n) in
+    (* Scratch for the proposed row. *)
+    let un = Array.make n 0. and fn = Array.make n 0. in
+    let ln = Array.make n 0. in
+    let spec = Array.init n (fun i -> Ps.species_index ps i) in
+    let fill_new_row k =
+      let fk = functors.(spec.(k)) in
+      let td = Dref.temp_dist table in
+      for i = 0 to n - 1 do
+        if i = k then begin
+          un.(i) <- 0.;
+          fn.(i) <- 0.;
+          ln.(i) <- 0.
+        end
+        else begin
+          let ui, fi, li = eval_u fk.(spec.(i)) (A.get td i) in
+          un.(i) <- ui;
+          fn.(i) <- fi;
+          ln.(i) <- li
+        end
+      done
+    in
+    let evaluate_log _ps =
+      let logv = ref 0. in
+      for k = 0 to n - 1 do
+        let fk = functors.(spec.(k)) in
+        for i = 0 to n - 1 do
+          if i <> k then begin
+            let d = Dref.dist table k i in
+            let u, f, l = eval_u fk.(spec.(i)) d in
+            let dr = Dref.displ table k i in
+            (* displ k i = r_i − r_k = dr(k,i). *)
+            let p = (k * n) + i in
+            A.set umat p u;
+            A.set dumat (3 * p) (f *. dr.Vec3.x);
+            A.set dumat ((3 * p) + 1) (f *. dr.Vec3.y);
+            A.set dumat ((3 * p) + 2) (f *. dr.Vec3.z);
+            A.set d2umat p l;
+            if i > k then logv := !logv -. u
+          end
+          else begin
+            let p = (k * n) + i in
+            A.set umat p 0.;
+            A.set dumat (3 * p) 0.;
+            A.set dumat ((3 * p) + 1) 0.;
+            A.set dumat ((3 * p) + 2) 0.;
+            A.set d2umat p 0.
+          end
+        done
+      done;
+      !logv
+    in
+    let delta k =
+      (* Σ_i u(new) − u(stored): new from spline evals, old retrieved. *)
+      let acc = ref 0. in
+      for i = 0 to n - 1 do
+        if i <> k then acc := !acc +. un.(i) -. A.get umat ((k * n) + i)
+      done;
+      !acc
+    in
+    let ratio _ps k =
+      fill_new_row k;
+      exp (-.delta k)
+    in
+    let ratio_grad _ps k =
+      fill_new_row k;
+      let ax = ref 0. and ay = ref 0. and az = ref 0. in
+      for i = 0 to n - 1 do
+        if i <> k then begin
+          let dr = Dref.temp_displ table i in
+          ax := !ax +. (fn.(i) *. dr.Vec3.x);
+          ay := !ay +. (fn.(i) *. dr.Vec3.y);
+          az := !az +. (fn.(i) *. dr.Vec3.z)
+        end
+      done;
+      (exp (-.delta k), Vec3.make !ax !ay !az)
+    in
+    let grad _ps k =
+      let ax = ref 0. and ay = ref 0. and az = ref 0. in
+      for i = 0 to n - 1 do
+        let p = 3 * ((k * n) + i) in
+        ax := !ax +. A.get dumat p;
+        ay := !ay +. A.get dumat (p + 1);
+        az := !az +. A.get dumat (p + 2)
+      done;
+      Vec3.make !ax !ay !az
+    in
+    let accept _ps k =
+      (* Row and column updates of all three matrices (the Ref memory
+         traffic the paper eliminates). *)
+      for i = 0 to n - 1 do
+        if i <> k then begin
+          let dr = Dref.temp_displ table i in
+          let prow = (k * n) + i and pcol = (i * n) + k in
+          A.set umat prow un.(i);
+          A.set umat pcol un.(i);
+          A.set dumat (3 * prow) (fn.(i) *. dr.Vec3.x);
+          A.set dumat ((3 * prow) + 1) (fn.(i) *. dr.Vec3.y);
+          A.set dumat ((3 * prow) + 2) (fn.(i) *. dr.Vec3.z);
+          (* dr(i,k) = −dr(k,i). *)
+          A.set dumat (3 * pcol) (-.fn.(i) *. dr.Vec3.x);
+          A.set dumat ((3 * pcol) + 1) (-.fn.(i) *. dr.Vec3.y);
+          A.set dumat ((3 * pcol) + 2) (-.fn.(i) *. dr.Vec3.z);
+          A.set d2umat prow ln.(i);
+          A.set d2umat pcol ln.(i)
+        end
+      done
+    in
+    let reject _ps _k = () in
+    let accumulate_gl _ps (g : W.gl) =
+      for k = 0 to n - 1 do
+        let ax = ref 0. and ay = ref 0. and az = ref 0. in
+        let al = ref 0. in
+        for i = 0 to n - 1 do
+          let p = (k * n) + i in
+          ax := !ax +. A.get dumat (3 * p);
+          ay := !ay +. A.get dumat ((3 * p) + 1);
+          az := !az +. A.get dumat ((3 * p) + 2);
+          al := !al +. A.get d2umat p
+        done;
+        g.W.ggx.(k) <- g.W.ggx.(k) +. !ax;
+        g.W.ggy.(k) <- g.W.ggy.(k) +. !ay;
+        g.W.ggz.(k) <- g.W.ggz.(k) +. !az;
+        g.W.glap.(k) <- g.W.glap.(k) -. !al
+      done
+    in
+    let register buf =
+      for _ = 1 to 5 * n * n do
+        Wbuffer.add buf 0.
+      done
+    in
+    let update_buffer _ps buf =
+      for p = 0 to (n * n) - 1 do
+        Wbuffer.put buf (A.get umat p)
+      done;
+      for p = 0 to (3 * n * n) - 1 do
+        Wbuffer.put buf (A.get dumat p)
+      done;
+      for p = 0 to (n * n) - 1 do
+        Wbuffer.put buf (A.get d2umat p)
+      done
+    in
+    let copy_from_buffer _ps buf =
+      for p = 0 to (n * n) - 1 do
+        A.set umat p (Wbuffer.get buf)
+      done;
+      for p = 0 to (3 * n * n) - 1 do
+        A.set dumat p (Wbuffer.get buf)
+      done;
+      for p = 0 to (n * n) - 1 do
+        A.set d2umat p (Wbuffer.get buf)
+      done
+    in
+    let bytes () = A.bytes umat + A.bytes dumat + A.bytes d2umat in
+    {
+      W.name = "J2-ref";
+      evaluate_log;
+      ratio;
+      ratio_grad;
+      grad;
+      accept;
+      reject;
+      accumulate_gl;
+      register;
+      update_buffer;
+      copy_from_buffer;
+      bytes;
+    }
+end

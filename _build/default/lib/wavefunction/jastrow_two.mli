@@ -1,0 +1,30 @@
+open Oqmc_containers
+open Oqmc_particle
+open Oqmc_spline
+
+(** Two-body Jastrow factor, log ψ = −Σ_{i<j} u_{σᵢσⱼ}(r_ij), with a
+    radial B-spline functor per spin pair.  Two complete implementations:
+    the Ref store-over-compute design (5N² stored scalars, row+column
+    updates on acceptance) and the Current compute-on-the-fly design
+    (5N per-electron accumulators, rows recomputed from the SoA table). *)
+
+module Make (R : Precision.REAL) : sig
+  module W : module type of Wfc.Make (R)
+  module Ps = W.Ps
+  module A : module type of Aligned.Make (R)
+  module Dref : module type of Dt_aa_ref.Make (R)
+  module Dsoa : module type of Dt_aa_soa.Make (R)
+
+  type functors = Cubic_spline_1d.t array array
+  (** Indexed by [species_i][species_j]; must be symmetric and match the
+      electron species count. *)
+
+  val create_opt : table:Dsoa.t -> functors:functors -> Ps.t -> W.t
+  (** Compute-on-the-fly implementation over the shared SoA table.  The
+      engine must [prepare]/[move] the table around ratio calls and
+      accept the component BEFORE the table.
+      @raise Invalid_argument on a species/functor mismatch. *)
+
+  val create_ref : table:Dref.t -> functors:functors -> Ps.t -> W.t
+  (** Store-over-compute baseline over the packed Ref table. *)
+end

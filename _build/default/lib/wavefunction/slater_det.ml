@@ -1,0 +1,219 @@
+open Oqmc_containers
+open Oqmc_linalg
+
+(* Slater determinant component for one spin group.
+
+   The Slater matrix is M(i,j) = φⱼ(r_{first+i}); the engine stores the
+   transposed inverse B = M⁻ᵀ so that the determinant ratio for a move of
+   electron k is the contiguous row dot B[k]·v (Eq. 6 of the paper) and
+   the quantum-force gradient comes from the same row against ∇φ.
+
+   On acceptance B is refreshed either by the Sherman–Morrison BLAS2
+   update (the paper's DetUpdate) or by the delayed Woodbury scheme of
+   Sec. 8.4.  [evaluate_log] recomputes B from scratch in double
+   precision, which is also the periodic mixed-precision refresh.
+
+   Kernel timing keys: Bspline-v for value-only SPO evaluation inside
+   [ratio], Bspline-vgh for the SPO part of [ratio_grad], SPO-vgl for the
+   per-electron measurement sweep, DetUpdate for the inverse update. *)
+
+module Make (R : Precision.REAL) = struct
+  module W = Wfc.Make (R)
+  module Ps = W.Ps
+  module A = Aligned.Make (R)
+  module M = Matrix.Make (R)
+  module L = Lu.Make (R)
+  module B = Blas.Make (R)
+  module Sm = Sherman_morrison.Make (R)
+  module Du = Delayed_update.Make (R)
+
+  type scheme = Sherman_morrison | Delayed of int
+
+  let create ?(timers = Timers.null) ?(scheme = Sherman_morrison)
+      ~(spo : Spo.t) ~first ~count (ps : Ps.t) : W.t =
+    let n = count in
+    if n < 1 then invalid_arg "Slater_det.create: empty determinant";
+    if spo.Spo.n_orb < n then
+      invalid_arg "Slater_det.create: fewer orbitals than electrons";
+    if first < 0 || first + n > Ps.n ps then
+      invalid_arg "Slater_det.create: electron range out of bounds";
+    let binv = M.create n n in
+    let phim = M.create n n in
+    let vgl = Spo.make_vgl spo.Spo.n_orb in
+    let vbuf = Array.make spo.Spo.n_orb 0. in
+    let psiv = A.create n in
+    let ws = Sm.make_workspace n in
+    let du = match scheme with Delayed d -> Some (Du.create ~delay:d binv) | Sherman_morrison -> None in
+    let last_ratio = ref 1. in
+    let log_abs = ref 0. in
+    let in_group k = k >= first && k < first + n in
+    let flush () = match du with Some d -> Du.flush d | None -> () in
+    let evaluate_log ps =
+      flush ();
+      for i = 0 to n - 1 do
+        Timers.time timers "Bspline-v" (fun () ->
+            spo.Spo.eval_v (Ps.get ps (first + i)) vbuf);
+        for j = 0 to n - 1 do
+          M.set phim i j vbuf.(j)
+        done
+      done;
+      let _sign, logd =
+        Timers.time timers "DetUpdate" (fun () ->
+            L.invert_transpose ~src:phim ~dst:binv)
+      in
+      log_abs := logd;
+      logd
+    in
+    let load_psiv () =
+      for j = 0 to n - 1 do
+        A.unsafe_set psiv j vbuf.(j)
+      done
+    in
+    let det_ratio kl =
+      match du with
+      | Some d -> Du.ratio d kl psiv
+      | None -> Sm.ratio binv kl psiv
+    in
+    let ratio ps k =
+      if not (in_group k) then 1.
+      else begin
+        Timers.time timers "Bspline-v" (fun () ->
+            spo.Spo.eval_v (Ps.active_pos ps) vbuf);
+        load_psiv ();
+        let r = Timers.time timers "DetUpdate" (fun () -> det_ratio (k - first)) in
+        last_ratio := r;
+        r
+      end
+    in
+    (* Row dot of B[kl] against one gradient component, with the delayed
+       corrections when a queue is pending. *)
+    let corrected_dot kl (comp : float array) =
+      match du with
+      | Some d when Du.pending d > 0 ->
+          (* Route through the delayed ratio on a scratch copy: the
+             correction formula is identical for any replacement vector. *)
+          let tmp = A.create n in
+          for j = 0 to n - 1 do
+            A.unsafe_set tmp j comp.(j)
+          done;
+          Du.ratio d kl tmp
+      | _ ->
+          let acc = ref 0. in
+          for j = 0 to n - 1 do
+            acc := !acc +. (M.unsafe_get binv kl j *. comp.(j))
+          done;
+          !acc
+    in
+    let ratio_grad ps k =
+      if not (in_group k) then (1., Vec3.zero)
+      else begin
+        let kl = k - first in
+        Timers.time timers "Bspline-vgh" (fun () ->
+            spo.Spo.eval_vgl (Ps.active_pos ps) vgl);
+        Array.blit vgl.Spo.v 0 vbuf 0 n;
+        load_psiv ();
+        let r = Timers.time timers "DetUpdate" (fun () -> det_ratio kl) in
+        last_ratio := r;
+        if abs_float r < 1e-300 then (r, Vec3.zero)
+        else begin
+          let gx = corrected_dot kl vgl.Spo.gx /. r in
+          let gy = corrected_dot kl vgl.Spo.gy /. r in
+          let gz = corrected_dot kl vgl.Spo.gz /. r in
+          (r, Vec3.make gx gy gz)
+        end
+      end
+    in
+    let grad ps k =
+      if not (in_group k) then Vec3.zero
+      else begin
+        let kl = k - first in
+        Timers.time timers "Bspline-vgh" (fun () ->
+            spo.Spo.eval_vgl (Ps.get ps k) vgl);
+        (* The denominator is 1 in exact arithmetic (row kl of M is the
+           orbital vector at r_k); dividing by it stabilizes the mixed
+           precision path.  With pending delayed updates every dot routes
+           through the corrected form. *)
+        let dotc = corrected_dot kl in
+        let denom = dotc vgl.Spo.v in
+        Vec3.make
+          (dotc vgl.Spo.gx /. denom)
+          (dotc vgl.Spo.gy /. denom)
+          (dotc vgl.Spo.gz /. denom)
+      end
+    in
+    let accept _ps k =
+      if in_group k then begin
+        let kl = k - first in
+        Timers.time timers "DetUpdate" (fun () ->
+            match du with
+            | Some d -> Du.accept d kl psiv
+            | None -> Sm.update_row binv kl psiv ~ratio:!last_ratio ~ws);
+        log_abs := !log_abs +. log (abs_float !last_ratio)
+      end
+    in
+    let reject _ps _k = () in
+    let accumulate_gl ps (g : W.gl) =
+      flush ();
+      for i = 0 to n - 1 do
+        let k = first + i in
+        Timers.time timers "SPO-vgl" (fun () ->
+            spo.Spo.eval_vgl (Ps.get ps k) vgl);
+        let dot comp =
+          let acc = ref 0. in
+          for j = 0 to n - 1 do
+            acc := !acc +. (M.unsafe_get binv i j *. comp.(j))
+          done;
+          !acc
+        in
+        let denom = dot vgl.Spo.v in
+        let gx = dot vgl.Spo.gx /. denom in
+        let gy = dot vgl.Spo.gy /. denom in
+        let gz = dot vgl.Spo.gz /. denom in
+        let lap = dot vgl.Spo.lap /. denom in
+        g.W.ggx.(k) <- g.W.ggx.(k) +. gx;
+        g.W.ggy.(k) <- g.W.ggy.(k) +. gy;
+        g.W.ggz.(k) <- g.W.ggz.(k) +. gz;
+        (* ∇² log D = ∇²D/D − |∇D/D|². *)
+        g.W.glap.(k) <-
+          g.W.glap.(k) +. lap -. ((gx *. gx) +. (gy *. gy) +. (gz *. gz))
+      done
+    in
+    let register buf =
+      for _ = 1 to (n * n) + 1 do
+        Wbuffer.add buf 0.
+      done
+    in
+    let update_buffer _ps buf =
+      flush ();
+      for i = 0 to n - 1 do
+        for j = 0 to n - 1 do
+          Wbuffer.put buf (M.get binv i j)
+        done
+      done;
+      Wbuffer.put buf !log_abs
+    in
+    let copy_from_buffer _ps buf =
+      flush ();
+      for i = 0 to n - 1 do
+        for j = 0 to n - 1 do
+          M.set binv i j (Wbuffer.get buf)
+        done
+      done;
+      log_abs := Wbuffer.get buf
+    in
+    let bytes () = M.bytes binv + M.bytes phim in
+    {
+      W.name = Printf.sprintf "Det[%d..%d)" first (first + n);
+      evaluate_log;
+      ratio;
+      ratio_grad;
+      grad;
+      accept;
+      reject;
+      accumulate_gl;
+      register;
+      update_buffer;
+      copy_from_buffer;
+      bytes;
+    }
+end

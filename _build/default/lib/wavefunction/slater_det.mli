@@ -1,0 +1,30 @@
+open Oqmc_containers
+
+(** Slater determinant component for one spin group, storing the
+    transposed inverse B = M⁻ᵀ so the PbyP ratio is a contiguous row dot
+    (Eq. 6).  Acceptance uses the Sherman–Morrison BLAS2 update or the
+    delayed Woodbury scheme of Sec. 8.4; [evaluate_log] is the periodic
+    double-precision recompute that anchors mixed-precision accuracy. *)
+
+module Make (R : Precision.REAL) : sig
+  module W : module type of Wfc.Make (R)
+  module Ps = W.Ps
+
+  type scheme = Sherman_morrison | Delayed of int
+
+  val create :
+    ?timers:Timers.t ->
+    ?scheme:scheme ->
+    spo:Spo.t ->
+    first:int ->
+    count:int ->
+    Ps.t ->
+    W.t
+  (** Determinant over electrons [first, first + count); moves of
+      electrons outside the group have ratio 1.  Kernel timing keys:
+      Bspline-v (value-only SPO), Bspline-vgh (SPO with derivatives),
+      SPO-vgl (measurement sweep), DetUpdate (ratio dots and inverse
+      updates).
+      @raise Invalid_argument on an empty group, an out-of-range window,
+      or fewer orbitals than electrons. *)
+end

@@ -1,0 +1,37 @@
+open Oqmc_containers
+
+(* Single-particle-orbital engine interface (QMCPACK's SPOSet).
+
+   An SPO set evaluates all orbitals — values (the Bspline-v kernel) or
+   values, Cartesian gradients and laplacians (the SPO-vgl kernel) — at one
+   electron position.  Results land in caller-owned double-precision
+   buffers; the storage precision of the backing table is the engine's own
+   business.  Engines are runtime values (records of closures) exactly as
+   QMCPACK dispatches SPOSet virtually. *)
+
+type vgl = {
+  v : float array;
+  gx : float array;
+  gy : float array;
+  gz : float array;
+  lap : float array;
+}
+
+type t = {
+  n_orb : int;
+  label : string;
+  eval_v : Vec3.t -> float array -> unit;
+  eval_vgl : Vec3.t -> vgl -> unit;
+  bytes : int; (* backing-table storage, shared across walkers/threads *)
+}
+
+let make_vgl n =
+  {
+    v = Array.make n 0.;
+    gx = Array.make n 0.;
+    gy = Array.make n 0.;
+    gz = Array.make n 0.;
+    lap = Array.make n 0.;
+  }
+
+let grad_of vgl m = Vec3.make vgl.gx.(m) vgl.gy.(m) vgl.gz.(m)

@@ -1,0 +1,26 @@
+open Oqmc_containers
+
+(** Single-particle-orbital engine interface (QMCPACK's SPOSet): evaluates
+    all orbitals — values (Bspline-v) or values + Cartesian gradients +
+    laplacians (SPO-vgl) — at one electron position, into caller-owned
+    double-precision buffers.  Engines are records of closures, dispatched
+    at run time as QMCPACK dispatches SPOSet virtually. *)
+
+type vgl = {
+  v : float array;
+  gx : float array;
+  gy : float array;
+  gz : float array;
+  lap : float array;
+}
+
+type t = {
+  n_orb : int;
+  label : string;
+  eval_v : Vec3.t -> float array -> unit;
+  eval_vgl : Vec3.t -> vgl -> unit;
+  bytes : int;  (** backing-table storage, shared across walkers/threads *)
+}
+
+val make_vgl : int -> vgl
+val grad_of : vgl -> int -> Vec3.t

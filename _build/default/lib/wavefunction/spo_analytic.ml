@@ -1,0 +1,205 @@
+open Oqmc_containers
+open Oqmc_particle
+
+(* Analytic SPO engines used for validation.
+
+   [plane_waves] builds real combinations {1, cos G·r, sin G·r, ...} over
+   reciprocal-lattice shells — the exact orbitals of the homogeneous
+   electron gas, with closed-form derivatives, so the Slater-determinant
+   machinery can be checked against exact kinetic energies in a periodic
+   cell.  [harmonic] builds 3-D harmonic-oscillator eigenfunctions for
+   open-boundary tests where the total energy is known exactly. *)
+
+(* ---- plane waves ---- *)
+
+let gvectors lattice count =
+  (* Reciprocal vectors 2π (n₁g₁ + n₂g₂ + n₃g₃), sorted by |G|², excluding
+     G = 0 and keeping one of each ±G pair. *)
+  let g = Lattice.frac_rows lattice in
+  let lim = 6 in
+  let all = ref [] in
+  for i = -lim to lim do
+    for j = -lim to lim do
+      for k = -lim to lim do
+        if i <> 0 || j <> 0 || k <> 0 then begin
+          (* Keep the lexicographically positive representative. *)
+          if i > 0 || (i = 0 && (j > 0 || (j = 0 && k > 0))) then begin
+            let v =
+              Vec3.scale (2. *. Float.pi)
+                (Vec3.add
+                   (Vec3.scale (float_of_int i) g.(0))
+                   (Vec3.add
+                      (Vec3.scale (float_of_int j) g.(1))
+                      (Vec3.scale (float_of_int k) g.(2))))
+            in
+            all := v :: !all
+          end
+        end
+      done
+    done
+  done;
+  let sorted =
+    List.sort (fun a b -> compare (Vec3.norm2 a) (Vec3.norm2 b)) !all
+  in
+  let arr = Array.of_list sorted in
+  if Array.length arr < count then
+    invalid_arg "Spo_analytic.plane_waves: increase shell limit";
+  Array.sub arr 0 count
+
+let plane_waves ~lattice ~n_orb : Spo.t =
+  if n_orb < 1 then invalid_arg "Spo_analytic.plane_waves: n_orb < 1";
+  let gs = gvectors lattice ((n_orb / 2) + 1) in
+  (* Orbital m: m = 0 → constant; odd m → cos(G·r); even m → sin(G·r) with
+     G = gs.((m-1)/2). *)
+  let eval_v (r : Vec3.t) out =
+    out.(0) <- 1.;
+    for m = 1 to n_orb - 1 do
+      let gv = gs.((m - 1) / 2) in
+      let phase = Vec3.dot gv r in
+      out.(m) <- (if m land 1 = 1 then cos phase else sin phase)
+    done
+  in
+  let eval_vgl (r : Vec3.t) (out : Spo.vgl) =
+    out.Spo.v.(0) <- 1.;
+    out.Spo.gx.(0) <- 0.;
+    out.Spo.gy.(0) <- 0.;
+    out.Spo.gz.(0) <- 0.;
+    out.Spo.lap.(0) <- 0.;
+    for m = 1 to n_orb - 1 do
+      let gv = gs.((m - 1) / 2) in
+      let phase = Vec3.dot gv r in
+      let g2 = Vec3.norm2 gv in
+      let c = cos phase and s = sin phase in
+      if m land 1 = 1 then begin
+        out.Spo.v.(m) <- c;
+        out.Spo.gx.(m) <- -.gv.Vec3.x *. s;
+        out.Spo.gy.(m) <- -.gv.Vec3.y *. s;
+        out.Spo.gz.(m) <- -.gv.Vec3.z *. s;
+        out.Spo.lap.(m) <- -.g2 *. c
+      end
+      else begin
+        out.Spo.v.(m) <- s;
+        out.Spo.gx.(m) <- gv.Vec3.x *. c;
+        out.Spo.gy.(m) <- gv.Vec3.y *. c;
+        out.Spo.gz.(m) <- gv.Vec3.z *. c;
+        out.Spo.lap.(m) <- -.g2 *. s
+      end
+    done
+  in
+  { Spo.n_orb; label = "plane-waves"; eval_v; eval_vgl; bytes = 0 }
+
+(* ---- harmonic oscillator ---- *)
+
+(* Physicists' Hermite polynomials by recurrence: H₀=1, H₁=2ξ,
+   H_{n+1} = 2ξH_n − 2nH_{n−1}. *)
+let hermite n xi =
+  if n = 0 then 1.
+  else begin
+    let hm = ref 1. and h = ref (2. *. xi) in
+    for k = 1 to n - 1 do
+      let next = (2. *. xi *. !h) -. (2. *. float_of_int k *. !hm) in
+      hm := !h;
+      h := next
+    done;
+    !h
+  end
+
+(* 1-D HO eigenfunction (unnormalized) and its first two derivatives. *)
+let ho_1d n sqrt_omega x =
+  let xi = sqrt_omega *. x in
+  let h = hermite n xi in
+  let hd = if n = 0 then 0. else 2. *. float_of_int n *. hermite (n - 1) xi in
+  let hdd =
+    if n < 2 then 0.
+    else 4. *. float_of_int n *. float_of_int (n - 1) *. hermite (n - 2) xi
+  in
+  let e = exp (-0.5 *. xi *. xi) in
+  let v = h *. e in
+  let dv = sqrt_omega *. ((hd -. (xi *. h)) *. e) in
+  let d2v =
+    sqrt_omega *. sqrt_omega
+    *. ((hdd -. (2. *. xi *. hd) +. (((xi *. xi) -. 1.) *. h)) *. e)
+  in
+  (v, dv, d2v)
+
+(* Quantum numbers (nx,ny,nz) ordered by total excitation. *)
+let ho_states count =
+  let states = ref [] in
+  let shell = ref 0 in
+  while List.length !states < count do
+    for nx = !shell downto 0 do
+      for ny = !shell - nx downto 0 do
+        let nz = !shell - nx - ny in
+        states := (nx, ny, nz) :: !states
+      done
+    done;
+    incr shell
+  done;
+  let arr = Array.of_list (List.rev !states) in
+  Array.sub arr 0 count
+
+let harmonic ~omega ~n_orb : Spo.t =
+  if n_orb < 1 then invalid_arg "Spo_analytic.harmonic: n_orb < 1";
+  if omega <= 0. then invalid_arg "Spo_analytic.harmonic: omega <= 0";
+  let states = ho_states n_orb in
+  let sq = sqrt omega in
+  let eval_vgl (r : Vec3.t) (out : Spo.vgl) =
+    for m = 0 to n_orb - 1 do
+      let nx, ny, nz = states.(m) in
+      let vx, dx, d2x = ho_1d nx sq r.Vec3.x in
+      let vy, dy, d2y = ho_1d ny sq r.Vec3.y in
+      let vz, dz, d2z = ho_1d nz sq r.Vec3.z in
+      out.Spo.v.(m) <- vx *. vy *. vz;
+      out.Spo.gx.(m) <- dx *. vy *. vz;
+      out.Spo.gy.(m) <- vx *. dy *. vz;
+      out.Spo.gz.(m) <- vx *. vy *. dz;
+      out.Spo.lap.(m) <-
+        (d2x *. vy *. vz) +. (vx *. d2y *. vz) +. (vx *. vy *. d2z)
+    done
+  in
+  let scratch = Spo.make_vgl n_orb in
+  let eval_v (r : Vec3.t) out =
+    eval_vgl r scratch;
+    Array.blit scratch.Spo.v 0 out 0 n_orb
+  in
+  { Spo.n_orb; label = "harmonic"; eval_v; eval_vgl; bytes = 0 }
+
+(* ---- Slater-type 1s orbitals ---- *)
+
+(* One e^{-zeta |r - R_m|} orbital per center: the minimal atomic basis.
+   With zeta = Z this is the EXACT hydrogen-like ground state, giving the
+   integration tests a zero-variance anchor that exercises the
+   electron-ion Coulomb path (E_L = -zeta^2/2 + (zeta - Z)/r). *)
+let slater_1s ~centers ~zeta : Spo.t =
+  let n_orb = Array.length centers in
+  if n_orb < 1 then invalid_arg "Spo_analytic.slater_1s: no centers";
+  if zeta <= 0. then invalid_arg "Spo_analytic.slater_1s: zeta <= 0";
+  let eval_vgl (r : Vec3.t) (out : Spo.vgl) =
+    for m = 0 to n_orb - 1 do
+      let d = Vec3.sub r centers.(m) in
+      let rr = Float.max 1e-12 (Vec3.norm d) in
+      let v = exp (-.zeta *. rr) in
+      let f = -.zeta /. rr *. v in
+      out.Spo.v.(m) <- v;
+      out.Spo.gx.(m) <- f *. d.Vec3.x;
+      out.Spo.gy.(m) <- f *. d.Vec3.y;
+      out.Spo.gz.(m) <- f *. d.Vec3.z;
+      (* laplacian of e^{-zeta r}: (zeta^2 - 2 zeta / r) e^{-zeta r} *)
+      out.Spo.lap.(m) <- ((zeta *. zeta) -. (2. *. zeta /. rr)) *. v
+    done
+  in
+  let scratch = Spo.make_vgl n_orb in
+  let eval_v (r : Vec3.t) out =
+    eval_vgl r scratch;
+    Array.blit scratch.Spo.v 0 out 0 n_orb
+  in
+  { Spo.n_orb; label = "slater-1s"; eval_v; eval_vgl; bytes = 0 }
+
+(* Exact ground-state energy of [n] non-interacting fermions of one spin
+   filling the lowest HO orbitals (used by the integration tests). *)
+let harmonic_total_energy ~omega ~n =
+  let states = ho_states n in
+  Array.fold_left
+    (fun acc (nx, ny, nz) ->
+      acc +. (omega *. (float_of_int (nx + ny + nz) +. 1.5)))
+    0. states

@@ -1,0 +1,19 @@
+open Oqmc_particle
+
+(** Analytic SPO engines with closed-form derivatives, used as
+    zero-variance anchors by the validation systems. *)
+
+val plane_waves : lattice:Lattice.t -> n_orb:int -> Spo.t
+(** Real combinations {1, cos G·r, sin G·r, ...} over reciprocal-lattice
+    shells — exact orbitals of the homogeneous electron gas.
+    @raise Invalid_argument if [n_orb < 1]. *)
+
+val harmonic : omega:float -> n_orb:int -> Spo.t
+(** 3-D harmonic-oscillator eigenfunctions ordered by shell. *)
+
+val slater_1s : centers:Oqmc_containers.Vec3.t array -> zeta:float -> Spo.t
+(** One e^{−ζ|r−R|} orbital per center; exact hydrogen-like ground state
+    at ζ = Z. *)
+
+val harmonic_total_energy : omega:float -> n:int -> float
+(** Exact energy of [n] same-spin fermions filling the lowest orbitals. *)

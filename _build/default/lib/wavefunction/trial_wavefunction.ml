@@ -1,0 +1,120 @@
+open Oqmc_containers
+
+(* TrialWaveFunction: the product Ψ_T = Π_c ψ_c (Slater–Jastrow in this
+   work).  Log-domain composition: log Ψ = Σ log ψ_c, ratios multiply,
+   gradients of the log add.  Components whose names start with "J1"/"J2"
+   are timed under those kernel keys, reproducing the paper's profile
+   categories (determinant internals time themselves). *)
+
+module Make (R : Precision.REAL) = struct
+  module W = Wfc.Make (R)
+  module Ps = W.Ps
+
+  type t = {
+    components : W.t array;
+    timers : Timers.t;
+    mutable log_psi : float;
+  }
+
+  let timer_key (c : W.t) =
+    let name = c.W.name in
+    if String.length name >= 2 && String.sub name 0 2 = "J1" then Some "J1"
+    else if String.length name >= 2 && String.sub name 0 2 = "J2" then Some "J2"
+    else None (* determinants time their own kernels *)
+
+  let timed t c f =
+    match timer_key c with
+    | Some key -> Timers.time t.timers key f
+    | None -> f ()
+
+  let create ?(timers = Timers.null) components =
+    if components = [] then
+      invalid_arg "Trial_wavefunction.create: no components";
+    { components = Array.of_list components; timers; log_psi = 0. }
+
+  let components t = t.components
+  let log_psi t = t.log_psi
+
+  let set_log_psi t v = t.log_psi <- v
+  (* Used when restoring a walker whose log Ψ was serialized. *)
+
+  (* Recompute everything from scratch (distance tables must be fresh). *)
+  let evaluate_log t ps =
+    let acc = ref 0. in
+    Array.iter
+      (fun c -> acc := !acc +. timed t c (fun () -> c.W.evaluate_log ps))
+      t.components;
+    t.log_psi <- !acc;
+    !acc
+
+  let ratio t ps k =
+    let r = ref 1. in
+    Array.iter (fun c -> r := !r *. timed t c (fun () -> c.W.ratio ps k)) t.components;
+    !r
+
+  let ratio_grad t ps k =
+    let r = ref 1. in
+    let gx = ref 0. and gy = ref 0. and gz = ref 0. in
+    Array.iter
+      (fun c ->
+        let rc, gc = timed t c (fun () -> c.W.ratio_grad ps k) in
+        r := !r *. rc;
+        gx := !gx +. gc.Vec3.x;
+        gy := !gy +. gc.Vec3.y;
+        gz := !gz +. gc.Vec3.z)
+      t.components;
+    (!r, Vec3.make !gx !gy !gz)
+
+  let grad t ps k =
+    let gx = ref 0. and gy = ref 0. and gz = ref 0. in
+    Array.iter
+      (fun c ->
+        let gc = timed t c (fun () -> c.W.grad ps k) in
+        gx := !gx +. gc.Vec3.x;
+        gy := !gy +. gc.Vec3.y;
+        gz := !gz +. gc.Vec3.z)
+      t.components;
+    Vec3.make !gx !gy !gz
+
+  (* Commit an accepted move.  Components must accept before the shared
+     distance tables and the particle set do; the caller passes the
+     already-computed ratio so log Ψ stays current. *)
+  let accept t ps k ~ratio =
+    Array.iter (fun c -> timed t c (fun () -> c.W.accept ps k)) t.components;
+    t.log_psi <- t.log_psi +. log (abs_float ratio)
+
+  let reject t ps k =
+    Array.iter (fun c -> timed t c (fun () -> c.W.reject ps k)) t.components
+
+  (* Per-electron ∇ log Ψ and ∇² log Ψ; the kinetic local energy is
+     −½ Σ_k (∇²logΨ + |∇logΨ|²). *)
+  let evaluate_gl t ps (gl : W.gl) =
+    W.clear_gl gl;
+    Array.iter
+      (fun c -> timed t c (fun () -> c.W.accumulate_gl ps gl))
+      t.components
+
+  let kinetic_energy (gl : W.gl) =
+    let n = Array.length gl.W.glap in
+    let acc = ref 0. in
+    for k = 0 to n - 1 do
+      let g2 =
+        (gl.W.ggx.(k) *. gl.W.ggx.(k))
+        +. (gl.W.ggy.(k) *. gl.W.ggy.(k))
+        +. (gl.W.ggz.(k) *. gl.W.ggz.(k))
+      in
+      acc := !acc +. gl.W.glap.(k) +. g2
+    done;
+    -0.5 *. !acc
+
+  let register t buf = Array.iter (fun c -> c.W.register buf) t.components
+
+  let update_buffer t ps buf =
+    Array.iter (fun c -> c.W.update_buffer ps buf) t.components
+
+  let copy_from_buffer t ps buf =
+    Array.iter (fun c -> c.W.copy_from_buffer ps buf) t.components
+
+  let bytes t =
+    Array.fold_left (fun acc c -> acc + c.W.bytes ()) 0 t.components
+end

@@ -1,0 +1,49 @@
+open Oqmc_containers
+
+(** TrialWaveFunction: the product Ψ_T = Π ψ_c.  Logs add, ratios
+    multiply, gradients of the log add; Jastrow components are timed
+    under the J1/J2 kernel keys. *)
+
+module Make (R : Precision.REAL) : sig
+  module W : module type of Wfc.Make (R)
+  module Ps = W.Ps
+
+  type t
+
+  val create : ?timers:Timers.t -> W.t list -> t
+  (** @raise Invalid_argument on an empty component list. *)
+
+  val components : t -> W.t array
+
+  val log_psi : t -> float
+  (** Running log Ψ, maintained by {!evaluate_log} and {!accept}. *)
+
+  val set_log_psi : t -> float -> unit
+  (** Restore a serialized log Ψ (walker restore path). *)
+
+  val evaluate_log : t -> Ps.t -> float
+  (** Recompute every component from scratch; tables must be fresh. *)
+
+  val ratio : t -> Ps.t -> int -> float
+  val ratio_grad : t -> Ps.t -> int -> float * Vec3.t
+  val grad : t -> Ps.t -> int -> Vec3.t
+
+  val accept : t -> Ps.t -> int -> ratio:float -> unit
+  (** Commit the staged move in every component (before the shared tables
+      and particle set accept) and update the running log Ψ. *)
+
+  val reject : t -> Ps.t -> int -> unit
+
+  val evaluate_gl : t -> Ps.t -> W.gl -> unit
+  (** Per-electron ∇ log Ψ and ∇² log Ψ for the kinetic energy. *)
+
+  val kinetic_energy : W.gl -> float
+  (** −½ Σ_k (∇²logΨ + |∇logΨ|²). *)
+
+  val register : t -> Wbuffer.t -> unit
+  val update_buffer : t -> Ps.t -> Wbuffer.t -> unit
+  val copy_from_buffer : t -> Ps.t -> Wbuffer.t -> unit
+
+  val bytes : t -> int
+  (** Persistent per-walker state across all components. *)
+end

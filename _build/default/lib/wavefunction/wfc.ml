@@ -1,0 +1,62 @@
+open Oqmc_containers
+open Oqmc_particle
+
+(* Wavefunction-component interface (QMCPACK's WaveFunctionComponent).
+
+   Components are runtime records of closures over their mutable internal
+   state.  All take the electron ParticleSet; single-particle moves are
+   staged on it ([Particle_set.propose]) before [ratio]/[ratio_grad] are
+   called.  The engine choreographs distance-table [prepare]/[move]/
+   [accept] around these calls — components never move tables themselves,
+   because tables are shared (Jastrows and the Hamiltonian reuse them). *)
+
+module Make (R : Precision.REAL) = struct
+  module Ps = Particle_set.Make (R)
+
+  (* Per-electron gradient and laplacian of log Ψ, accumulated across
+     components for the kinetic energy. *)
+  type gl = {
+    ggx : float array;
+    ggy : float array;
+    ggz : float array;
+    glap : float array;
+  }
+
+  let make_gl n =
+    {
+      ggx = Array.make n 0.;
+      ggy = Array.make n 0.;
+      ggz = Array.make n 0.;
+      glap = Array.make n 0.;
+    }
+
+  let clear_gl g =
+    Array.fill g.ggx 0 (Array.length g.ggx) 0.;
+    Array.fill g.ggy 0 (Array.length g.ggy) 0.;
+    Array.fill g.ggz 0 (Array.length g.ggz) 0.;
+    Array.fill g.glap 0 (Array.length g.glap) 0.
+
+  type t = {
+    name : string;
+    evaluate_log : Ps.t -> float;
+        (* Recompute all internal state from scratch (tables must be
+           fresh); returns log |ψ_c|. *)
+    ratio : Ps.t -> int -> float;
+        (* ψ_c(R') / ψ_c(R) for the staged move of electron [k]. *)
+    ratio_grad : Ps.t -> int -> float * Vec3.t;
+        (* Ratio plus ∇_k log ψ_c at the proposed position. *)
+    grad : Ps.t -> int -> Vec3.t; (* ∇_k log ψ_c at the current position. *)
+    accept : Ps.t -> int -> unit;
+        (* Commit internal state for an accepted move.  Must be called
+           BEFORE the shared tables and the particle set accept. *)
+    reject : Ps.t -> int -> unit;
+    accumulate_gl : Ps.t -> gl -> unit;
+        (* Add this component's ∇ log ψ and ∇² log ψ per electron. *)
+    register : Wbuffer.t -> unit; (* size the walker buffer (adds zeros) *)
+    update_buffer : Ps.t -> Wbuffer.t -> unit;
+        (* Serialize internal state at the cursor. *)
+    copy_from_buffer : Ps.t -> Wbuffer.t -> unit;
+        (* Restore internal state from the cursor. *)
+    bytes : unit -> int; (* persistent per-walker state owned here *)
+  }
+end

@@ -1,0 +1,1 @@
+lib/workloads/builder.mli: Nlpp Oqmc_containers Oqmc_core Oqmc_hamiltonian Spec System Vec3

@@ -1,0 +1,1 @@
+lib/workloads/jastrow_sets.ml: Array Cubic_spline_1d List Oqmc_spline Spec

@@ -1,0 +1,1 @@
+lib/workloads/jastrow_sets.mli: Cubic_spline_1d Oqmc_spline Spec

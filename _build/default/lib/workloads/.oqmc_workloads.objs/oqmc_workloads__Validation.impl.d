@@ -1,0 +1,1 @@
+lib/workloads/validation.ml: Array Float Jastrow_sets Lattice List Oqmc_containers Oqmc_core Oqmc_particle Oqmc_wavefunction Printf Spo_analytic System Vec3

@@ -1,0 +1,1 @@
+lib/workloads/validation.mli: Oqmc_core System

@@ -1,0 +1,58 @@
+open Oqmc_spline
+
+(* Jastrow functor sets shaped like the optimized NiO functors of Fig. 3.
+
+   Two-body functors satisfy the electron-electron cusp conditions
+   (du/dr|₀ = −1/2 antiparallel, −1/4 parallel for the exp(−Σu)
+   convention) and decay smoothly to zero at the cutoff; one-body functors
+   are attractive wells around the ions, deeper for the heavier species.
+   The analytic target shapes are A·e^{−r/F}·(1 − (r/rc)²)² fitted by the
+   B-spline interpolator, which is how QMCPACK's optimizer-produced
+   coefficient tables look in practice. *)
+
+let smooth_cut r rc =
+  let x = r /. rc in
+  if x >= 1. then 0. else (1. -. (x *. x)) ** 2.
+
+(* Two-body functor with amplitude [a] at the origin and range [f]. *)
+let two_body ~cusp ~cutoff ?(intervals = 10) () =
+  let a = -.cusp *. 1.6 (* u(0): deeper well for stronger cusp *) in
+  let f = 1.1 in
+  let target r = a *. exp (-.r /. f) *. smooth_cut r cutoff in
+  Cubic_spline_1d.fit ~f:target ~deriv0:(Some cusp) ~deriv_cut:(Some 0.)
+    ~cutoff ~intervals ()
+
+(* One-body functor: attractive well of depth [depth] and range [f]. *)
+let one_body ~depth ~range ~cutoff ?(intervals = 10) () =
+  let target r = -.depth *. exp (-.r /. range) *. smooth_cut r cutoff in
+  Cubic_spline_1d.fit ~f:target ~deriv0:None ~deriv_cut:(Some 0.) ~cutoff
+    ~intervals ()
+
+(* Spin-pair functor matrix [uu ud; du dd] with the standard cusps. *)
+let ee_set ~cutoff =
+  let uu = two_body ~cusp:(-0.25) ~cutoff () in
+  let ud = two_body ~cusp:(-0.5) ~cutoff () in
+  [| [| uu; ud |]; [| ud; uu |] |]
+
+(* Single-species (all-parallel or spin-restricted) variant. *)
+let ee_set_single ~cutoff = [| [| two_body ~cusp:(-0.5) ~cutoff () |] |]
+
+(* One-body functors per ion species, keyed by effective charge: heavier
+   species bind a deeper, shorter-ranged well (the Ni vs O contrast of
+   Fig. 3). *)
+let ion_set ~cutoff (species : Spec.species list) =
+  Array.of_list
+    (List.map
+       (fun (s : Spec.species) ->
+         let depth = 0.12 +. (0.02 *. s.Spec.z_eff) in
+         let range = 1.8 /. sqrt s.Spec.z_eff in
+         one_body ~depth ~range ~cutoff ())
+       species)
+
+(* Tabulate u(r) for the Fig. 3 regeneration. *)
+let tabulate fn ~points =
+  Array.init points (fun i ->
+      let r =
+        Cubic_spline_1d.cutoff fn *. float_of_int i /. float_of_int points
+      in
+      (r, Cubic_spline_1d.evaluate fn r))

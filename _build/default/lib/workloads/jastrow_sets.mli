@@ -1,0 +1,32 @@
+open Oqmc_spline
+
+(** Jastrow functor sets shaped like the optimized NiO functors of
+    Fig. 3: two-body functors with the electron-electron cusp conditions
+    and smooth cutoff, and attractive one-body wells per ion species
+    (deeper and shorter-ranged for heavier species). *)
+
+val smooth_cut : float -> float -> float
+(** (1 − (r/rc)²)² cutoff envelope. *)
+
+val two_body :
+  cusp:float -> cutoff:float -> ?intervals:int -> unit -> Cubic_spline_1d.t
+(** Radial functor with du/dr(0) = [cusp] (−1/2 antiparallel, −1/4
+    parallel for the exp(−Σu) convention). *)
+
+val one_body :
+  depth:float ->
+  range:float ->
+  cutoff:float ->
+  ?intervals:int ->
+  unit ->
+  Cubic_spline_1d.t
+
+val ee_set : cutoff:float -> Cubic_spline_1d.t array array
+(** Spin-pair matrix [uu ud; ud uu]. *)
+
+val ee_set_single : cutoff:float -> Cubic_spline_1d.t array array
+
+val ion_set : cutoff:float -> Spec.species list -> Cubic_spline_1d.t array
+
+val tabulate : Cubic_spline_1d.t -> points:int -> (float * float) array
+(** (r, u(r)) samples for the Fig. 3 regeneration. *)

@@ -1,0 +1,112 @@
+(* The four benchmark workloads of Table 1, with their exact paper
+   parameters.  These drive both the Table 1 reproduction (all values
+   computed analytically, no allocation) and the runnable scaled systems
+   built by {!Builder}. *)
+
+type species = {
+  sp_name : string;
+  z_eff : float; (* effective valence charge Z* *)
+  pseudopotential : bool;
+}
+
+type t = {
+  wname : string;
+  n : int; (* electrons *)
+  n_ion : int;
+  ions_per_cell : int;
+  n_cells : int;
+  species : species list; (* with per-ion multiplicity n_ion/len *)
+  n_spos : int; (* unique single-particle orbitals *)
+  fft_grid : int * int * int;
+  box : float * float * float; (* orthorhombic supercell extents (bohr) *)
+}
+
+let graphite =
+  {
+    wname = "Graphite";
+    n = 256;
+    n_ion = 64;
+    ions_per_cell = 4;
+    n_cells = 16;
+    species = [ { sp_name = "C"; z_eff = 4.; pseudopotential = true } ];
+    n_spos = 80;
+    fft_grid = (28, 28, 80);
+    (* 2x2x2 orthorhombic graphite cells, a = 4.65, c = 12.68 bohr *)
+    box = (9.3, 16.11, 25.36);
+  }
+
+let be64 =
+  {
+    wname = "Be-64";
+    n = 256;
+    n_ion = 64;
+    ions_per_cell = 2;
+    n_cells = 32;
+    species = [ { sp_name = "Be"; z_eff = 4.; pseudopotential = false } ];
+    n_spos = 81;
+    fft_grid = (84, 84, 144);
+    (* hcp Be, a = 4.33, c = 6.78 bohr, orthorhombic representation *)
+    box = (8.66, 15.0, 27.12);
+  }
+
+let nio32 =
+  {
+    wname = "NiO-32";
+    n = 384;
+    n_ion = 32;
+    ions_per_cell = 4;
+    n_cells = 8;
+    species =
+      [
+        { sp_name = "Ni"; z_eff = 18.; pseudopotential = true };
+        { sp_name = "O"; z_eff = 6.; pseudopotential = true };
+      ];
+    n_spos = 144;
+    fft_grid = (80, 80, 80);
+    (* rock salt, conventional cube a0 = 7.88 bohr, 2x2x1 cells *)
+    box = (15.76, 15.76, 7.88);
+  }
+
+let nio64 =
+  {
+    wname = "NiO-64";
+    n = 768;
+    n_ion = 64;
+    ions_per_cell = 4;
+    n_cells = 16;
+    species =
+      [
+        { sp_name = "Ni"; z_eff = 18.; pseudopotential = true };
+        { sp_name = "O"; z_eff = 6.; pseudopotential = true };
+      ];
+    n_spos = 240;
+    fft_grid = (80, 80, 80);
+    box = (15.76, 15.76, 15.76);
+  }
+
+let all = [ graphite; be64; nio32; nio64 ]
+
+let find name =
+  match
+    List.find_opt
+      (fun s -> String.lowercase_ascii s.wname = String.lowercase_ascii name)
+      all
+  with
+  | Some s -> s
+  | None -> invalid_arg (Printf.sprintf "Spec.find: unknown workload %S" name)
+
+(* B-spline table size in GB as reported in Table 1 (the stored orbital
+   coefficients are complex doubles: 16 bytes per grid point per SPO). *)
+let bspline_gb t =
+  let nx, ny, nz = t.fft_grid in
+  float_of_int ((nx + 3) * (ny + 3) * (nz + 3) * t.n_spos * 16) /. 1e9
+
+let pp_row ppf t =
+  let nx, ny, nz = t.fft_grid in
+  Format.fprintf ppf "%-9s %5d %5d %8d %8d  %-12s %6d  %dx%dx%d  %6.1f"
+    t.wname t.n t.n_ion t.ions_per_cell t.n_cells
+    (String.concat ","
+       (List.map
+          (fun s -> Printf.sprintf "%s(%g)" s.sp_name s.z_eff)
+          t.species))
+    t.n_spos nx ny nz (bspline_gb t)

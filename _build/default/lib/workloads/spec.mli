@@ -1,0 +1,32 @@
+(** The four benchmark workloads of Table 1 with their exact paper
+    parameters, driving both the Table 1 reproduction and the runnable
+    scaled systems. *)
+
+type species = { sp_name : string; z_eff : float; pseudopotential : bool }
+
+type t = {
+  wname : string;
+  n : int;
+  n_ion : int;
+  ions_per_cell : int;
+  n_cells : int;
+  species : species list;
+  n_spos : int;
+  fft_grid : int * int * int;
+  box : float * float * float;  (** orthorhombic supercell extents, bohr *)
+}
+
+val graphite : t
+val be64 : t
+val nio32 : t
+val nio64 : t
+val all : t list
+
+val find : string -> t
+(** Case-insensitive.  @raise Invalid_argument otherwise. *)
+
+val bspline_gb : t -> float
+(** Table 1's B-spline column: complex double coefficients, 16 bytes per
+    grid point per SPO. *)
+
+val pp_row : Format.formatter -> t -> unit

@@ -1,0 +1,123 @@
+open Oqmc_containers
+open Oqmc_particle
+open Oqmc_wavefunction
+open Oqmc_core
+
+(* Analytically solvable systems used by the integration tests.
+
+   [harmonic]: N non-interacting same-spin fermions in an isotropic trap
+   with the exact eigenfunction determinant — the local energy is then the
+   exact eigenvalue at EVERY configuration (zero variance), which checks
+   the whole PbyP + kinetic-energy machinery end to end.
+
+   [free_fermions]: plane-wave determinant in a periodic box; the kinetic
+   energy is exact and known in closed form. *)
+
+let harmonic ~n ~omega : System.t =
+  System.validate
+    {
+      System.name = Printf.sprintf "ho-%d" n;
+      lattice = Lattice.open_cell;
+      n_up = n;
+      n_down = 0;
+      ions = [];
+      spo = Spo_analytic.harmonic ~omega ~n_orb:n;
+      j1 = None;
+      j2 = None;
+      ham = { System.coulomb = false; ewald = false; harmonic = Some omega; nlpp = None };
+    }
+
+let harmonic_exact_energy ~n ~omega =
+  Spo_analytic.harmonic_total_energy ~omega ~n
+
+let free_fermions ~n ~box : System.t =
+  let lattice = Lattice.cubic box in
+  System.validate
+    {
+      System.name = Printf.sprintf "heg-%d" n;
+      lattice;
+      n_up = n;
+      n_down = 0;
+      ions = [];
+      spo = Spo_analytic.plane_waves ~lattice ~n_orb:n;
+      j1 = None;
+      j2 = None;
+      ham = { System.coulomb = false; ewald = false; harmonic = None; nlpp = None };
+    }
+
+(* Exact kinetic energy of the plane-wave determinant: Σ |G|²/2 over the
+   occupied orbitals in the same shell ordering as the SPO engine. *)
+let free_fermions_exact_energy ~n ~box =
+  let lattice = Lattice.cubic box in
+  ignore lattice;
+  (* Re-derive the shell ordering: orbital 0 is constant; orbitals 2m−1
+     and 2m share |G| of the m-th vector. *)
+  let gs =
+    let g = 2. *. Float.pi /. box in
+    let lim = 6 in
+    let all = ref [] in
+    for i = -lim to lim do
+      for j = -lim to lim do
+        for k = -lim to lim do
+          if
+            (i <> 0 || j <> 0 || k <> 0)
+            && (i > 0 || (i = 0 && (j > 0 || (j = 0 && k > 0))))
+          then
+            all :=
+              (g *. g
+              *. float_of_int ((i * i) + (j * j) + (k * k)))
+              :: !all
+        done
+      done
+    done;
+    Array.of_list (List.sort compare !all)
+  in
+  let acc = ref 0. in
+  for m = 1 to n - 1 do
+    acc := !acc +. (0.5 *. gs.((m - 1) / 2))
+  done;
+  !acc
+
+(* Hydrogen-like atom with a Slater 1s trial orbital: at zeta = Z the
+   trial function is exact, so E_L = -Z^2/2 at every configuration — the
+   zero-variance anchor that exercises the electron-ion Coulomb term. *)
+let hydrogen ?(zeta = 1.0) ?(z = 1.0) () : System.t =
+  System.validate
+    {
+      System.name = Printf.sprintf "hydrogen-z%.2f" zeta;
+      lattice = Lattice.open_cell;
+      n_up = 1;
+      n_down = 0;
+      ions = [ { System.sname = "H"; charge = z; positions = [ Vec3.zero ] } ];
+      spo = Spo_analytic.slater_1s ~centers:[| Vec3.zero |] ~zeta;
+      j1 = None;
+      j2 = None;
+      ham = { System.coulomb = true; ewald = false; harmonic = None; nlpp = None };
+    }
+
+(* <H> of the Slater 1s trial function for nuclear charge Z:
+   E(zeta) = zeta^2/2 - Z zeta. *)
+let hydrogen_variational_energy ~zeta ~z = (zeta *. zeta /. 2.) -. (z *. zeta)
+
+(* Interacting electron gas with a J2 factor: not exactly solvable, but
+   Ref and Current variants must agree — used by the cross-variant
+   consistency tests and the quickstart example. *)
+let electron_gas ?(ewald = false) ~n_up ~n_down ~box () : System.t =
+  let lattice = Lattice.cubic box in
+  let cutoff = Lattice.wigner_seitz_radius lattice in
+  let j2 =
+    if n_down > 0 then Jastrow_sets.ee_set ~cutoff
+    else Jastrow_sets.ee_set_single ~cutoff
+  in
+  System.validate
+    {
+      System.name = Printf.sprintf "heg-j2-%d" (n_up + n_down);
+      lattice;
+      n_up;
+      n_down;
+      ions = [];
+      spo = Spo_analytic.plane_waves ~lattice ~n_orb:(max n_up n_down);
+      j1 = None;
+      j2 = Some j2;
+      ham = { System.coulomb = true; ewald; harmonic = None; nlpp = None };
+    }

@@ -1,0 +1,29 @@
+open Oqmc_core
+
+(** Analytically solvable systems for the integration tests: exact
+    eigenfunction determinants give constant local energy (zero
+    variance), checking the whole PbyP machinery end to end. *)
+
+val harmonic : n:int -> omega:float -> System.t
+(** [n] same-spin fermions in an isotropic trap with the exact
+    eigenfunction determinant. *)
+
+val harmonic_exact_energy : n:int -> omega:float -> float
+
+val free_fermions : n:int -> box:float -> System.t
+(** Plane-wave determinant in a periodic cube, no interaction. *)
+
+val free_fermions_exact_energy : n:int -> box:float -> float
+
+val hydrogen : ?zeta:float -> ?z:float -> unit -> System.t
+(** Hydrogen-like atom with a Slater 1s trial orbital; exact (zero
+    variance) at [zeta = z]. *)
+
+val hydrogen_variational_energy : zeta:float -> z:float -> float
+(** ⟨H⟩ = ζ²/2 − Zζ for the 1s trial function. *)
+
+val electron_gas :
+  ?ewald:bool -> n_up:int -> n_down:int -> box:float -> unit -> System.t
+(** Interacting electron gas with a two-body Jastrow — not exactly
+    solvable, but every build variant must agree on it.  [ewald] swaps
+    the minimum-image Coulomb for the full Ewald sum. *)

@@ -1,0 +1,1 @@
+test/test_containers.ml: Alcotest Aligned Array List Matrix Oqmc_containers Pos_aos Precision QCheck QCheck_alcotest Timers Vec3 Vsc Wbuffer

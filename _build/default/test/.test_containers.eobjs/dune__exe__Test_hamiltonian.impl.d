@@ -1,0 +1,1 @@
+test/test_hamiltonian.ml: Alcotest Array Coulomb Ewald External_potential Float Hamiltonian List Nlpp Oqmc_containers Oqmc_hamiltonian Oqmc_particle Quadrature Vec3

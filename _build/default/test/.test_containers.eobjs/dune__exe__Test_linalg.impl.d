@@ -1,0 +1,1 @@
+test/test_linalg.ml: Alcotest Aligned Array Blas Delayed_update List Lu Matrix Oqmc_containers Oqmc_linalg Oqmc_rng Precision Printf QCheck QCheck_alcotest Sherman_morrison Xoshiro

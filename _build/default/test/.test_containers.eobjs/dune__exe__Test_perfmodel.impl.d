@@ -1,0 +1,1 @@
+test/test_perfmodel.ml: Alcotest Energy List Machine Memory_model Opcount Oqmc_perfmodel Roofline Scaling

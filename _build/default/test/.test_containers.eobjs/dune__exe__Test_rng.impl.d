@@ -1,0 +1,1 @@
+test/test_rng.ml: Alcotest Array Oqmc_rng QCheck QCheck_alcotest Xoshiro

@@ -1,0 +1,1 @@
+test/test_spline.ml: Alcotest Array Bspline3d Bspline3d_tiled Bspline_basis Cubic_spline_1d Float List Oqmc_containers Oqmc_rng Oqmc_spline Precision QCheck QCheck_alcotest Tridiag

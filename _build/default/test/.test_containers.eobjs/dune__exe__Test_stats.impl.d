@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Float List Nelder_mead Optimizer Oqmc_core Oqmc_particle Oqmc_rng Oqmc_wavefunction Population Stats Variant Vmc Walker Xoshiro

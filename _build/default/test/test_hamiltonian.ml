@@ -1,0 +1,308 @@
+open Oqmc_containers
+open Oqmc_hamiltonian
+
+let checkf tol = Alcotest.(check (float tol))
+let check_bool = Alcotest.(check bool)
+
+(* ---------- quadrature ---------- *)
+
+let test_quadrature_weights () =
+  List.iter
+    (fun (q : Quadrature.t) ->
+      let s = Array.fold_left ( +. ) 0. q.Quadrature.weights in
+      checkf 1e-12 "weights sum to 1" 1. s;
+      Array.iter
+        (fun p -> checkf 1e-9 "unit points" 1. (Vec3.norm p))
+        q.Quadrature.points)
+    [ Quadrature.octahedron; Quadrature.icosahedron ]
+
+(* A quadrature exact through order L integrates P_l(û·q̂) to zero for
+   1 <= l <= L and any axis û. *)
+let projector_residual q l axis =
+  let acc = ref 0. in
+  Array.iteri
+    (fun i p ->
+      acc :=
+        !acc
+        +. (q.Quadrature.weights.(i)
+           *. Quadrature.legendre l (Vec3.dot axis p)))
+    q.Quadrature.points;
+  !acc
+
+let test_quadrature_exactness () =
+  let axes =
+    [
+      Vec3.make 1. 0. 0.;
+      Vec3.normalize (Vec3.make 1. 1. 1.);
+      Vec3.normalize (Vec3.make 0.3 (-0.7) 0.2);
+    ]
+  in
+  List.iter
+    (fun axis ->
+      for l = 1 to 2 do
+        checkf 1e-10 "octahedron exactness" 0.
+          (projector_residual Quadrature.octahedron l axis)
+      done;
+      for l = 1 to 5 do
+        checkf 1e-10 "icosahedron exactness" 0.
+          (projector_residual Quadrature.icosahedron l axis)
+      done)
+    axes
+
+let test_legendre () =
+  checkf 1e-12 "P0" 1. (Quadrature.legendre 0 0.3);
+  checkf 1e-12 "P1" 0.3 (Quadrature.legendre 1 0.3);
+  checkf 1e-12 "P2" (((3. *. 0.09) -. 1.) /. 2.) (Quadrature.legendre 2 0.3);
+  (* recurrence branch against the closed forms *)
+  checkf 1e-12 "P3 recurrence" (Quadrature.legendre 3 0.7)
+    ((((5. *. 0.7 *. 0.7) -. 3.) *. 0.7) /. 2.);
+  (* P_l(1) = 1 for all l *)
+  for l = 0 to 8 do
+    checkf 1e-12 "P_l(1)=1" 1. (Quadrature.legendre l 1.)
+  done
+
+(* ---------- Coulomb terms ---------- *)
+
+let test_coulomb_ee () =
+  (* two electrons at distance 2 -> 1/2 *)
+  let dist i j = if i <> j then 2. else 0. in
+  let term = Coulomb.ee ~n:2 ~dist in
+  checkf 1e-12 "pair energy" 0.5 (term.Hamiltonian.evaluate ());
+  let term3 = Coulomb.ee ~n:3 ~dist in
+  checkf 1e-12 "three pairs" 1.5 (term3.Hamiltonian.evaluate ())
+
+let test_coulomb_ei () =
+  let dist _ _ = 4. in
+  let charge _ = 6. in
+  let term = Coulomb.ei ~n:2 ~n_ion:3 ~charge ~dist in
+  checkf 1e-12 "attraction" (-.(2. *. 3. *. 6. /. 4.))
+    (term.Hamiltonian.evaluate ())
+
+let test_coulomb_ii_constant () =
+  let calls = ref 0 in
+  let dist i j =
+    incr calls;
+    float_of_int (i + j + 1)
+  in
+  let term = Coulomb.ii ~n_ion:3 ~charge:(fun _ -> 2.) ~dist in
+  let first = term.Hamiltonian.evaluate () in
+  let again = term.Hamiltonian.evaluate () in
+  checkf 1e-12 "same value" first again;
+  Alcotest.(check int) "computed once" 3 !calls;
+  (* pairs (0,1) d=2, (0,2) d=3, (1,2) d=4, q=2: 4/2+4/3+4/4 *)
+  checkf 1e-12 "value" ((4. /. 2.) +. (4. /. 3.) +. 1.) first
+
+let test_harmonic_term () =
+  let pos = [| Vec3.make 1. 0. 0.; Vec3.make 0. 2. 0. |] in
+  let term =
+    External_potential.harmonic ~omega:3. ~n:2 ~position:(fun i -> pos.(i))
+  in
+  checkf 1e-12 "1/2 w^2 sum r^2" (0.5 *. 9. *. 5.)
+    (term.Hamiltonian.evaluate ())
+
+let test_hamiltonian_sum () =
+  let t v : Hamiltonian.term =
+    { Hamiltonian.name = "c"; evaluate = (fun () -> v) }
+  in
+  let h = Hamiltonian.create [ t 1.; t 2.; t 3.5 ] in
+  checkf 1e-12 "potential" 6.5 (Hamiltonian.potential_energy h);
+  checkf 1e-12 "local energy" 8.5 (Hamiltonian.local_energy h ~kinetic:2.);
+  Alcotest.(check int) "terms" 3 (List.length (Hamiltonian.term_energies h))
+
+(* ---------- NLPP ---------- *)
+
+let nlpp_term ~l ~ratio ~v =
+  let ion_pos = Vec3.make 0. 0. 0. in
+  let elec_pos = Vec3.make 1.5 0. 0. in
+  Nlpp.create ~quadrature:Quadrature.icosahedron
+    ~species:[| { Nlpp.channels = [ { Nlpp.l; v; cutoff = 2.0 } ] } |]
+    ~n_electrons:1
+    ~ion_species_of:(fun _ -> 0)
+    ~n_ions:1
+    ~ion_position:(fun _ -> ion_pos)
+    ~elec_position:(fun _ -> elec_pos)
+    ~dist:(fun _ _ -> 1.5)
+    ~ratio
+
+let test_nlpp_unit_ratio_l0 () =
+  (* With Ψ ratios = 1, the l=0 projector integrates to 1, so
+     V_NL = v(r)·(2l+1)·1 = v(r). *)
+  let term = nlpp_term ~l:0 ~ratio:(fun _ _ -> 1.) ~v:(fun r -> 2. /. r) in
+  checkf 1e-10 "l=0 unit ratio" (2. /. 1.5) (term.Hamiltonian.evaluate ())
+
+let test_nlpp_unit_ratio_l2 () =
+  (* For l >= 1 the projector of a constant is zero (orthogonality). *)
+  let term = nlpp_term ~l:2 ~ratio:(fun _ _ -> 1.) ~v:(fun _ -> 3.) in
+  checkf 1e-10 "l=2 unit ratio" 0. (term.Hamiltonian.evaluate ())
+
+let test_nlpp_outside_cutoff () =
+  let called = ref false in
+  let term =
+    Nlpp.create ~quadrature:Quadrature.octahedron
+      ~species:[| { Nlpp.channels = [ { Nlpp.l = 1; v = (fun _ -> 1.); cutoff = 1.0 } ] } |]
+      ~n_electrons:1
+      ~ion_species_of:(fun _ -> 0)
+      ~n_ions:1
+      ~ion_position:(fun _ -> Vec3.zero)
+      ~elec_position:(fun _ -> Vec3.make 5. 0. 0.)
+      ~dist:(fun _ _ -> 5.)
+      ~ratio:(fun _ _ ->
+        called := true;
+        1.)
+  in
+  checkf 1e-12 "no contribution" 0. (term.Hamiltonian.evaluate ());
+  check_bool "no ratio calls" false !called
+
+let test_nlpp_quadrature_positions () =
+  (* Quadrature points must sit on the shell of radius r around the ion. *)
+  let seen = ref [] in
+  let term =
+    nlpp_term ~l:1
+      ~ratio:(fun _ pos ->
+        seen := pos :: !seen;
+        1.)
+      ~v:(fun _ -> 1.)
+  in
+  ignore (term.Hamiltonian.evaluate ());
+  Alcotest.(check int) "12 points" 12 (List.length !seen);
+  List.iter
+    (fun p -> checkf 1e-9 "on shell" 1.5 (Vec3.norm p))
+    !seen
+
+(* ---------- Ewald ---------- *)
+
+let test_erfc () =
+  (* reference values *)
+  checkf 2e-7 "erfc(0)" 1. (Ewald.erfc 0.);
+  checkf 2e-7 "erfc(1)" 0.15729921 (Ewald.erfc 1.);
+  checkf 2e-7 "erfc(2)" 0.00467773 (Ewald.erfc 2.);
+  checkf 2e-7 "erfc(-1)" (2. -. 0.15729921) (Ewald.erfc (-1.));
+  check_bool "erfc(5) tiny" true (Ewald.erfc 5. < 2e-7)
+
+let rock_salt_madelung a =
+  (* 2x2x2 conventional rock-salt cells of unit charges: the energy per
+     ion pair is −M/d with d = a/2 and M = 1.747565 (NaCl Madelung). *)
+  let lattice = Oqmc_particle.Lattice.cubic (2. *. a) in
+  let positions = ref [] and charges = ref [] in
+  for cx = 0 to 1 do
+    for cy = 0 to 1 do
+      for cz = 0 to 1 do
+        let base = Vec3.make (a *. float_of_int cx) (a *. float_of_int cy) (a *. float_of_int cz) in
+        List.iter
+          (fun (f, q) ->
+            positions := Vec3.add base (Vec3.scale a f) :: !positions;
+            charges := q :: !charges)
+          [
+            (Vec3.make 0. 0. 0., 1.); (Vec3.make 0.5 0.5 0., 1.);
+            (Vec3.make 0.5 0. 0.5, 1.); (Vec3.make 0. 0.5 0.5, 1.);
+            (Vec3.make 0.5 0. 0., -1.); (Vec3.make 0. 0.5 0., -1.);
+            (Vec3.make 0. 0. 0.5, -1.); (Vec3.make 0.5 0.5 0.5, -1.);
+          ]
+      done
+    done
+  done;
+  let pos = Array.of_list !positions in
+  let charges = Array.of_list !charges in
+  let t = Ewald.create ~lattice ~charges () in
+  let e = Ewald.energy t ~position:(fun i -> pos.(i)) in
+  (* 32 ion pairs in the supercell; Madelung constant referenced to the
+     nearest-neighbour distance d = a/2. *)
+  let pairs = float_of_int (Array.length pos / 2) in
+  -.e /. pairs *. (a /. 2.)
+
+let test_madelung_nacl () =
+  checkf 2e-4 "NaCl Madelung constant" 1.747565 (rock_salt_madelung 2.0);
+  (* scale invariance: same constant at a different lattice parameter *)
+  checkf 2e-4 "scale invariance" 1.747565 (rock_salt_madelung 3.7)
+
+let test_ewald_alpha_independence () =
+  (* The total must not depend on the (tolerance-driven) splitting: vary
+     the tolerance and compare. *)
+  let lattice = Oqmc_particle.Lattice.cubic 5. in
+  let charges = [| 1.; -1.; 1.; -1. |] in
+  let pos =
+    [| Vec3.make 0.3 0.3 0.3; Vec3.make 2.6 0.4 0.4; Vec3.make 0.5 2.4 0.6;
+       Vec3.make 2.2 2.3 2.9 |]
+  in
+  let e tol =
+    let t = Ewald.create ~tol ~lattice ~charges () in
+    Ewald.energy t ~position:(fun i -> pos.(i))
+  in
+  checkf 1e-5 "tolerance independence" (e 1e-8) (e 1e-10)
+
+let test_ewald_neutral_background () =
+  (* A charged cell gets a compensating background; the term must make
+     the energy finite and α-stable. *)
+  let lattice = Oqmc_particle.Lattice.cubic 4. in
+  let charges = [| 1.; 1. |] in
+  let pos = [| Vec3.make 0.1 0.1 0.1; Vec3.make 2.1 2.1 2.1 |] in
+  let e tol =
+    let t = Ewald.create ~tol ~lattice ~charges () in
+    Ewald.energy t ~position:(fun i -> pos.(i))
+  in
+  check_bool "finite" true (Float.is_finite (e 1e-8));
+  checkf 1e-5 "alpha stable" (e 1e-8) (e 1e-10)
+
+let test_ewald_translation_invariance () =
+  (* Rigidly translating every charge leaves the periodic energy fixed. *)
+  let lattice = Oqmc_particle.Lattice.cubic 6. in
+  let charges = [| 1.; -1.; 2.; -2. |] in
+  let pos =
+    [| Vec3.make 0.5 1.1 2.2; Vec3.make 3.3 0.2 4.4; Vec3.make 1.7 5.1 0.9;
+       Vec3.make 4.8 2.6 3.1 |]
+  in
+  let t = Ewald.create ~lattice ~charges () in
+  let e0 = Ewald.energy t ~position:(fun i -> pos.(i)) in
+  List.iter
+    (fun shift ->
+      let e =
+        Ewald.energy t ~position:(fun i -> Vec3.add pos.(i) shift)
+      in
+      checkf 1e-6 "translated" e0 e)
+    [ Vec3.make 1.2 0. 0.; Vec3.make (-3.) 2.5 17.2; Vec3.make 0.01 0.01 0.01 ]
+
+let test_ewald_open_cell_rejected () =
+  Alcotest.check_raises "open cell"
+    (Invalid_argument "Ewald.create: open-boundary cell") (fun () ->
+      ignore
+        (Ewald.create ~lattice:Oqmc_particle.Lattice.open_cell
+           ~charges:[| 1. |] ()))
+
+let () =
+  Alcotest.run "hamiltonian"
+    [
+      ( "quadrature",
+        [
+          Alcotest.test_case "weights" `Quick test_quadrature_weights;
+          Alcotest.test_case "exactness" `Quick test_quadrature_exactness;
+          Alcotest.test_case "legendre" `Quick test_legendre;
+        ] );
+      ( "coulomb",
+        [
+          Alcotest.test_case "ee" `Quick test_coulomb_ee;
+          Alcotest.test_case "ei" `Quick test_coulomb_ei;
+          Alcotest.test_case "ii constant" `Quick test_coulomb_ii_constant;
+          Alcotest.test_case "harmonic" `Quick test_harmonic_term;
+          Alcotest.test_case "sum" `Quick test_hamiltonian_sum;
+        ] );
+      ( "nlpp",
+        [
+          Alcotest.test_case "l=0 unit ratio" `Quick test_nlpp_unit_ratio_l0;
+          Alcotest.test_case "l=2 unit ratio" `Quick test_nlpp_unit_ratio_l2;
+          Alcotest.test_case "outside cutoff" `Quick test_nlpp_outside_cutoff;
+          Alcotest.test_case "quadrature shell" `Quick
+            test_nlpp_quadrature_positions;
+        ] );
+      ( "ewald",
+        [
+          Alcotest.test_case "erfc" `Quick test_erfc;
+          Alcotest.test_case "NaCl Madelung" `Quick test_madelung_nacl;
+          Alcotest.test_case "alpha independence" `Quick
+            test_ewald_alpha_independence;
+          Alcotest.test_case "charged background" `Quick
+            test_ewald_neutral_background;
+          Alcotest.test_case "translation invariance" `Quick
+            test_ewald_translation_invariance;
+          Alcotest.test_case "open cell" `Quick test_ewald_open_cell_rejected;
+        ] );
+    ]

@@ -1,0 +1,316 @@
+open Oqmc_containers
+open Oqmc_linalg
+open Oqmc_rng
+
+module M = Matrix.Make (Precision.F64)
+module A = Aligned.Make (Precision.F64)
+module B = Blas.Make (Precision.F64)
+module L = Lu.Make (Precision.F64)
+module Sm = Sherman_morrison.Make (Precision.F64)
+module Du = Delayed_update.Make (Precision.F64)
+
+let check_bool = Alcotest.(check bool)
+let checkf tol = Alcotest.(check (float tol))
+
+let random_matrix rng n =
+  (* Diagonally dominated so tests never hit a near-singular matrix. *)
+  M.init n n (fun i j ->
+      Xoshiro.uniform_range rng ~lo:(-1.) ~hi:1.
+      +. if i = j then 4. else 0.)
+
+let random_vec rng n =
+  A.of_array (Array.init n (fun _ -> Xoshiro.uniform_range rng ~lo:(-1.) ~hi:1.))
+
+(* ---------- BLAS ---------- *)
+
+let test_dot_axpy () =
+  let x = A.of_array [| 1.; 2.; 3. |] and y = A.of_array [| 4.; 5.; 6. |] in
+  checkf 1e-12 "dot" 32. (B.dot x y 3);
+  B.axpy 2. x y 3;
+  checkf 1e-12 "axpy" 6. (A.get y 0);
+  checkf 1e-12 "nrm2" (sqrt 14.) (B.nrm2 x 3);
+  checkf 1e-12 "asum" 6. (B.asum x 3)
+
+let test_gemv () =
+  let a = M.of_arrays [| [| 1.; 2. |]; [| 3.; 4. |]; [| 5.; 6. |] |] in
+  let x = A.of_array [| 1.; -1. |] in
+  let y = A.create 3 in
+  B.gemv a x y;
+  checkf 1e-12 "y0" (-1.) (A.get y 0);
+  checkf 1e-12 "y1" (-1.) (A.get y 1);
+  checkf 1e-12 "y2" (-1.) (A.get y 2);
+  let z = A.create 2 in
+  let w = A.of_array [| 1.; 1.; 1. |] in
+  B.gemv_t a w z;
+  checkf 1e-12 "z0" 9. (A.get z 0);
+  checkf 1e-12 "z1" 12. (A.get z 1)
+
+let test_ger () =
+  let a = M.create 2 2 in
+  let x = A.of_array [| 1.; 2. |] and y = A.of_array [| 3.; 4. |] in
+  B.ger 2. x y a;
+  checkf 1e-12 "a00" 6. (M.get a 0 0);
+  checkf 1e-12 "a11" 16. (M.get a 1 1)
+
+let test_gemm_identity () =
+  let rng = Xoshiro.create 1 in
+  let a = random_matrix rng 5 in
+  let i5 = M.identity 5 in
+  let c = M.create 5 5 in
+  B.gemm a i5 c;
+  check_bool "A·I = A" true (M.max_abs_diff a c < 1e-12)
+
+let test_gemm_assoc () =
+  let rng = Xoshiro.create 2 in
+  let a = random_matrix rng 4 and b = random_matrix rng 4 in
+  let c = random_matrix rng 4 in
+  let ab = M.create 4 4 and bc = M.create 4 4 in
+  let abc1 = M.create 4 4 and abc2 = M.create 4 4 in
+  B.gemm a b ab;
+  B.gemm ab c abc1;
+  B.gemm b c bc;
+  B.gemm a bc abc2;
+  check_bool "(AB)C = A(BC)" true (M.max_abs_diff abc1 abc2 < 1e-10)
+
+(* ---------- LU ---------- *)
+
+let test_lu_det_2x2 () =
+  let m = M.of_arrays [| [| 3.; 1. |]; [| 2.; 5. |] |] in
+  checkf 1e-10 "det" 13. (L.det m)
+
+let test_lu_det_permutation () =
+  (* Permutation matrix determinant is the permutation sign. *)
+  let m = M.of_arrays [| [| 0.; 1.; 0. |]; [| 0.; 0.; 1. |]; [| 1.; 0.; 0. |] |] in
+  checkf 1e-12 "cyclic perm det" 1. (L.det m);
+  let m2 = M.of_arrays [| [| 0.; 1. |]; [| 1.; 0. |] |] in
+  checkf 1e-12 "swap det" (-1.) (L.det m2)
+
+let test_lu_singular () =
+  let m = M.of_arrays [| [| 1.; 2. |]; [| 2.; 4. |] |] in
+  Alcotest.check_raises "singular" Lu.Singular (fun () -> ignore (L.det m))
+
+let test_invert_transpose () =
+  let rng = Xoshiro.create 3 in
+  let n = 16 in
+  let m = random_matrix rng n in
+  let binv = M.create n n in
+  let _sign, _logd = L.invert_transpose ~src:m ~dst:binv in
+  (* binv = m⁻ᵀ, so m ᵀ· binvᵀ should be... check directly: binvᵀ · m = I. *)
+  let prod = M.create n n in
+  B.gemm (M.transpose binv) m prod;
+  check_bool "B^T M = I" true (M.max_abs_diff prod (M.identity n) < 1e-9)
+
+let test_solve_vec () =
+  let a = [| [| 2.; 1. |]; [| 1.; 3. |] |] in
+  let d = Lu.decompose_arrays a 2 in
+  let x = Lu.solve_vec d [| 5.; 10. |] in
+  checkf 1e-12 "x0" 1. x.(0);
+  checkf 1e-12 "x1" 3. x.(1)
+
+(* ---------- Sherman-Morrison ---------- *)
+
+let test_sm_ratio_matches_det () =
+  let rng = Xoshiro.create 4 in
+  let n = 12 in
+  let m = random_matrix rng n in
+  let binv = M.create n n in
+  ignore (L.invert_transpose ~src:m ~dst:binv);
+  let k = 5 in
+  let v = random_vec rng n in
+  (* Build the row-replaced matrix directly and compare determinants. *)
+  let m' = M.copy m in
+  for j = 0 to n - 1 do
+    M.set m' k j (A.get v j)
+  done;
+  let expected = L.det m' /. L.det m in
+  let ratio = Sm.ratio binv k v in
+  checkf 1e-8 "ratio = det ratio" expected ratio
+
+let test_sm_update_consistency () =
+  let rng = Xoshiro.create 5 in
+  let n = 10 in
+  let m = random_matrix rng n in
+  let binv = M.create n n in
+  ignore (L.invert_transpose ~src:m ~dst:binv);
+  let ws = Sm.make_workspace n in
+  (* Accept several row replacements; binv must track m⁻ᵀ throughout. *)
+  let m_cur = M.copy m in
+  List.iter
+    (fun k ->
+      let v = random_vec rng n in
+      let ratio = Sm.ratio binv k v in
+      Sm.update_row binv k v ~ratio ~ws;
+      for j = 0 to n - 1 do
+        M.set m_cur k j (A.get v j)
+      done)
+    [ 0; 3; 7; 3; 9 ];
+  let fresh = M.create n n in
+  ignore (L.invert_transpose ~src:m_cur ~dst:fresh);
+  check_bool "binv tracks inverse" true (M.max_abs_diff binv fresh < 1e-7)
+
+let test_sm_zero_ratio_rejected () =
+  let binv = M.identity 3 in
+  let v = A.of_array [| 0.; 0.; 0. |] in
+  let ws = Sm.make_workspace 3 in
+  Alcotest.check_raises "zero ratio"
+    (Invalid_argument "Sherman_morrison.update_row: zero ratio") (fun () ->
+      Sm.update_row binv 0 v ~ratio:0. ~ws)
+
+(* ---------- Delayed update ---------- *)
+
+let test_delayed_matches_sm_ratios () =
+  let rng = Xoshiro.create 6 in
+  let n = 14 in
+  let m = random_matrix rng n in
+  let binv_sm = M.create n n and binv_du = M.create n n in
+  ignore (L.invert_transpose ~src:m ~dst:binv_sm);
+  M.blit ~src:binv_sm ~dst:binv_du;
+  let du = Du.create ~delay:4 binv_du in
+  let ws = Sm.make_workspace n in
+  (* Ordered sweep over all electrons; every proposed ratio must agree. *)
+  for k = 0 to n - 1 do
+    let v = random_vec rng n in
+    let r_sm = Sm.ratio binv_sm k v in
+    let r_du = Du.ratio du k v in
+    checkf 1e-7 (Printf.sprintf "ratio k=%d" k) r_sm r_du;
+    if abs_float r_sm > 0.3 then begin
+      Sm.update_row binv_sm k v ~ratio:r_sm ~ws;
+      Du.accept du k v
+    end
+  done;
+  Du.flush du;
+  check_bool "inverses agree after flush" true
+    (M.max_abs_diff binv_sm (Du.binv du) < 1e-6)
+
+let test_delayed_autoflush () =
+  let rng = Xoshiro.create 7 in
+  let n = 8 in
+  let m = random_matrix rng n in
+  let binv = M.create n n in
+  ignore (L.invert_transpose ~src:m ~dst:binv);
+  let du = Du.create ~delay:2 binv in
+  let v1 = random_vec rng n and v2 = random_vec rng n in
+  Du.accept du 0 v1;
+  Alcotest.(check int) "one pending" 1 (Du.pending du);
+  Du.accept du 1 v2;
+  Alcotest.(check int) "auto flush at delay" 0 (Du.pending du)
+
+let test_delayed_repeat_row_flushes () =
+  let rng = Xoshiro.create 8 in
+  let n = 8 in
+  let m = random_matrix rng n in
+  let binv = M.create n n in
+  ignore (L.invert_transpose ~src:m ~dst:binv);
+  let du = Du.create ~delay:8 binv in
+  let v1 = random_vec rng n and v2 = random_vec rng n in
+  Du.accept du 3 v1;
+  Du.accept du 3 v2;
+  Alcotest.(check int) "flushed on repeat" 1 (Du.pending du)
+
+let test_delayed_invalid () =
+  let m = M.create 3 4 in
+  Alcotest.check_raises "not square"
+    (Invalid_argument "Delayed_update.create: not square") (fun () ->
+      ignore (Du.create m))
+
+(* ---------- properties ---------- *)
+
+let prop_det_product =
+  QCheck.Test.make ~name:"det(AB) = det(A)det(B)" ~count:50
+    QCheck.(int_range 1 1000)
+    (fun seed ->
+      let rng = Xoshiro.create seed in
+      let a = random_matrix rng 6 and b = random_matrix rng 6 in
+      let ab = M.create 6 6 in
+      B.gemm a b ab;
+      let da = L.det a and db = L.det b and dab = L.det ab in
+      abs_float (dab -. (da *. db)) <= 1e-6 *. abs_float dab +. 1e-9)
+
+let prop_sm_sequence =
+  QCheck.Test.make ~name:"SM inverse tracks over random sweeps" ~count:20
+    QCheck.(int_range 1 1000)
+    (fun seed ->
+      let rng = Xoshiro.create seed in
+      let n = 8 in
+      let m = random_matrix rng n in
+      let binv = M.create n n in
+      ignore (L.invert_transpose ~src:m ~dst:binv);
+      let ws = Sm.make_workspace n in
+      let m_cur = M.copy m in
+      for _ = 1 to 12 do
+        let k = Xoshiro.int rng n in
+        let v = random_vec rng n in
+        let r = Sm.ratio binv k v in
+        if abs_float r > 0.3 then begin
+          Sm.update_row binv k v ~ratio:r ~ws;
+          for j = 0 to n - 1 do
+            M.set m_cur k j (A.get v j)
+          done
+        end
+      done;
+      let fresh = M.create n n in
+      ignore (L.invert_transpose ~src:m_cur ~dst:fresh);
+      M.max_abs_diff binv fresh < 1e-6)
+
+let prop_delayed_equals_direct =
+  QCheck.Test.make ~name:"delayed update equals direct inverse" ~count:20
+    QCheck.(pair (int_range 1 1000) (int_range 1 6))
+    (fun (seed, delay) ->
+      let rng = Xoshiro.create seed in
+      let n = 10 in
+      let m = random_matrix rng n in
+      let binv = M.create n n in
+      ignore (L.invert_transpose ~src:m ~dst:binv);
+      let du = Du.create ~delay binv in
+      let m_cur = M.copy m in
+      for k = 0 to n - 1 do
+        let v = random_vec rng n in
+        let r = Du.ratio du k v in
+        if abs_float r > 0.3 then begin
+          Du.accept du k v;
+          for j = 0 to n - 1 do
+            M.set m_cur k j (A.get v j)
+          done
+        end
+      done;
+      Du.flush du;
+      let fresh = M.create n n in
+      ignore (L.invert_transpose ~src:m_cur ~dst:fresh);
+      M.max_abs_diff (Du.binv du) fresh < 1e-6)
+
+let () =
+  let qt = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "linalg"
+    [
+      ( "blas",
+        [
+          Alcotest.test_case "dot/axpy" `Quick test_dot_axpy;
+          Alcotest.test_case "gemv" `Quick test_gemv;
+          Alcotest.test_case "ger" `Quick test_ger;
+          Alcotest.test_case "gemm identity" `Quick test_gemm_identity;
+          Alcotest.test_case "gemm assoc" `Quick test_gemm_assoc;
+        ] );
+      ( "lu",
+        [
+          Alcotest.test_case "det 2x2" `Quick test_lu_det_2x2;
+          Alcotest.test_case "det permutation" `Quick test_lu_det_permutation;
+          Alcotest.test_case "singular" `Quick test_lu_singular;
+          Alcotest.test_case "invert transpose" `Quick test_invert_transpose;
+          Alcotest.test_case "solve" `Quick test_solve_vec;
+        ] );
+      ( "sherman_morrison",
+        [
+          Alcotest.test_case "ratio = det ratio" `Quick test_sm_ratio_matches_det;
+          Alcotest.test_case "update consistency" `Quick test_sm_update_consistency;
+          Alcotest.test_case "zero ratio" `Quick test_sm_zero_ratio_rejected;
+        ] );
+      ( "delayed_update",
+        [
+          Alcotest.test_case "matches SM" `Quick test_delayed_matches_sm_ratios;
+          Alcotest.test_case "autoflush" `Quick test_delayed_autoflush;
+          Alcotest.test_case "repeat row" `Quick test_delayed_repeat_row_flushes;
+          Alcotest.test_case "invalid" `Quick test_delayed_invalid;
+        ] );
+      ( "properties",
+        qt [ prop_det_product; prop_sm_sequence; prop_delayed_equals_direct ] );
+    ]

@@ -1,0 +1,502 @@
+open Oqmc_containers
+open Oqmc_particle
+open Oqmc_rng
+
+module Ps = Particle_set.Make (Precision.F64)
+module AAref = Dt_aa_ref.Make (Precision.F64)
+module AAfwd = Dt_aa_forward.Make (Precision.F64)
+module AAsoa = Dt_aa_soa.Make (Precision.F64)
+module ABref = Dt_ab_ref.Make (Precision.F64)
+module ABsoa = Dt_ab_soa.Make (Precision.F64)
+
+let check_bool = Alcotest.(check bool)
+let checkf tol = Alcotest.(check (float tol))
+
+let electrons ~lattice n = Ps.create ~lattice [ { Particle_set.name = "e"; charge = -1.; count = n } ]
+
+let random_ps ~lattice ~seed n =
+  let ps = electrons ~lattice n in
+  let rng = Xoshiro.create seed in
+  Ps.randomize ps (fun () -> Xoshiro.uniform rng);
+  (ps, rng)
+
+(* ---------- lattice ---------- *)
+
+let test_lattice_frac_roundtrip () =
+  let l = Lattice.orthorhombic 3. 4. 5. in
+  let r = Vec3.make 1.2 (-0.7) 9.9 in
+  let s = Lattice.to_frac l r in
+  check_bool "roundtrip" true (Vec3.equal ~tol:1e-12 r (Lattice.to_cart l s))
+
+let test_lattice_general_roundtrip () =
+  (* Hexagonal (graphite-like) cell. *)
+  let a = 2.46 and c = 6.7 in
+  let l =
+    Lattice.general
+      [|
+        Vec3.make a 0. 0.;
+        Vec3.make (-.a /. 2.) (a *. sqrt 3. /. 2.) 0.;
+        Vec3.make 0. 0. c;
+      |]
+  in
+  let r = Vec3.make 0.3 1.1 2.2 in
+  let s = Lattice.to_frac l r in
+  check_bool "roundtrip" true (Vec3.equal ~tol:1e-12 r (Lattice.to_cart l s));
+  checkf 1e-10 "volume" (a *. (a *. sqrt 3. /. 2.) *. c) (Lattice.volume l)
+
+let test_min_image_ortho () =
+  let l = Lattice.cubic 10. in
+  let d = Lattice.min_image_disp l (Vec3.make 9. 0. 0.) in
+  checkf 1e-12 "wraps" (-1.) d.Vec3.x;
+  let d2 = Lattice.min_image_disp l (Vec3.make 4.9 (-5.1) 20.) in
+  checkf 1e-12 "x stays" 4.9 d2.Vec3.x;
+  checkf 1e-12 "y wraps" 4.9 d2.Vec3.y;
+  checkf 1e-12 "z multi-cell" 0. d2.Vec3.z
+
+let test_min_image_general_matches_ortho () =
+  (* A cube expressed as a general cell must agree with the fast path. *)
+  let lo = Lattice.cubic 7. in
+  let lg =
+    Lattice.general
+      [| Vec3.make 7. 0. 0.; Vec3.make 0. 7. 0.; Vec3.make 0. 0. 7. |]
+  in
+  let rng = Xoshiro.create 1 in
+  for _ = 1 to 200 do
+    let dr =
+      Vec3.make
+        (Xoshiro.uniform_range rng ~lo:(-20.) ~hi:20.)
+        (Xoshiro.uniform_range rng ~lo:(-20.) ~hi:20.)
+        (Xoshiro.uniform_range rng ~lo:(-20.) ~hi:20.)
+    in
+    let a = Lattice.min_image_disp lo dr and b = Lattice.min_image_disp lg dr in
+    checkf 1e-9 "same norm" (Vec3.norm a) (Vec3.norm b)
+  done
+
+let test_min_image_shortest () =
+  (* The minimum-image displacement is never longer than any image. *)
+  let l =
+    Lattice.general
+      [|
+        Vec3.make 3. 0. 0.; Vec3.make 1. 3. 0.; Vec3.make 0.5 0.4 3.;
+      |]
+  in
+  let rng = Xoshiro.create 2 in
+  let vs = Lattice.vectors l in
+  for _ = 1 to 100 do
+    let dr =
+      Vec3.make
+        (Xoshiro.uniform_range rng ~lo:(-5.) ~hi:5.)
+        (Xoshiro.uniform_range rng ~lo:(-5.) ~hi:5.)
+        (Xoshiro.uniform_range rng ~lo:(-5.) ~hi:5.)
+    in
+    let m = Lattice.min_image_disp l dr in
+    for i = -1 to 1 do
+      for j = -1 to 1 do
+        for k = -1 to 1 do
+          let img =
+            Vec3.add dr
+              (Vec3.add
+                 (Vec3.scale (float_of_int i) vs.(0))
+                 (Vec3.add
+                    (Vec3.scale (float_of_int j) vs.(1))
+                    (Vec3.scale (float_of_int k) vs.(2))))
+          in
+          check_bool "min image shortest" true
+            (Vec3.norm m <= Vec3.norm img +. 1e-9)
+        done
+      done
+    done
+  done
+
+let test_wigner_seitz () =
+  checkf 1e-12 "cubic" 3.5 (Lattice.wigner_seitz_radius (Lattice.cubic 7.));
+  checkf 1e-12 "ortho" 1.5
+    (Lattice.wigner_seitz_radius (Lattice.orthorhombic 3. 8. 9.));
+  check_bool "open infinite" true
+    (Lattice.wigner_seitz_radius Lattice.open_cell = infinity)
+
+let test_wrap_position () =
+  let l = Lattice.cubic 4. in
+  let w = Lattice.wrap_position l (Vec3.make 5. (-1.) 8.5 ) in
+  checkf 1e-12 "x" 1. w.Vec3.x;
+  checkf 1e-12 "y" 3. w.Vec3.y;
+  checkf 1e-12 "z" 0.5 w.Vec3.z
+
+(* ---------- particle set ---------- *)
+
+let test_ps_species () =
+  let l = Lattice.cubic 5. in
+  let ps =
+    Ps.create ~lattice:l
+      [
+        { Particle_set.name = "u"; charge = -1.; count = 3 };
+        { Particle_set.name = "d"; charge = -1.; count = 2 };
+      ]
+  in
+  Alcotest.(check int) "n" 5 (Ps.n ps);
+  Alcotest.(check int) "species of 2" 0 (Ps.species_index ps 2);
+  Alcotest.(check int) "species of 3" 1 (Ps.species_index ps 3);
+  Alcotest.(check string) "name" "d" (Ps.species_of ps 4).Particle_set.name;
+  Alcotest.(check (option int)) "first d" (Some 3) (Ps.first_of_species ps 1)
+
+let test_ps_move_protocol () =
+  let ps, _ = random_ps ~lattice:(Lattice.cubic 5.) ~seed:3 4 in
+  let orig = Ps.get ps 2 in
+  let newpos = Vec3.make 1. 2. 3. in
+  Ps.propose ps 2 newpos;
+  check_bool "containers untouched" true (Vec3.equal orig (Ps.get ps 2));
+  Ps.reject ps;
+  Alcotest.(check int) "no active" (-1) (Ps.active ps);
+  Ps.propose ps 2 newpos;
+  Ps.accept ps;
+  check_bool "aos updated" true (Vec3.equal newpos (Ps.get ps 2));
+  check_bool "soa updated" true (Vec3.equal newpos (Ps.Vs.get (Ps.soa ps) 2))
+
+let test_ps_walker_roundtrip () =
+  let ps, _ = random_ps ~lattice:(Lattice.cubic 5.) ~seed:4 6 in
+  let w = Walker.create 6 in
+  Ps.store_walker ps w;
+  let ps2 = electrons ~lattice:(Lattice.cubic 5.) 6 in
+  Ps.load_walker ps2 w;
+  for i = 0 to 5 do
+    check_bool "positions transferred" true
+      (Vec3.equal (Ps.get ps i) (Ps.get ps2 i));
+    check_bool "soa synced" true
+      (Vec3.equal (Ps.get ps i) (Ps.Vs.get (Ps.soa ps2) i))
+  done
+
+let test_ps_accept_requires_active () =
+  let ps, _ = random_ps ~lattice:(Lattice.cubic 5.) ~seed:5 3 in
+  Alcotest.check_raises "no active"
+    (Invalid_argument "Particle_set.accept: no active move") (fun () ->
+      Ps.accept ps)
+
+(* ---------- walker ---------- *)
+
+let test_walker_copy () =
+  let w = Walker.create 3 in
+  w.Walker.weight <- 0.7;
+  Walker.Aos.set w.Walker.r 0 (Vec3.make 1. 1. 1.);
+  let c = Walker.copy w in
+  check_bool "distinct ids" true (c.Walker.id <> w.Walker.id);
+  Walker.Aos.set c.Walker.r 0 (Vec3.make 2. 2. 2.);
+  check_bool "deep copy" true
+    (Vec3.equal (Walker.Aos.get w.Walker.r 0) (Vec3.make 1. 1. 1.));
+  checkf 1e-12 "weight copied" 0.7 c.Walker.weight
+
+(* ---------- distance tables ---------- *)
+
+let brute_dist lattice ps i j =
+  Lattice.min_image_dist lattice (Ps.get ps i) (Ps.get ps j)
+
+let test_aa_tables_agree () =
+  let lattice = Lattice.cubic 6. in
+  let ps, _ = random_ps ~lattice ~seed:6 12 in
+  let tref = AAref.create ps and tsoa = AAsoa.create ps in
+  AAref.evaluate tref ps;
+  AAsoa.evaluate tsoa ps;
+  for i = 0 to 11 do
+    for j = 0 to 11 do
+      if i <> j then begin
+        let expect = brute_dist lattice ps i j in
+        checkf 1e-9 "ref dist" expect (AAref.dist tref i j);
+        checkf 1e-9 "soa dist" expect (AAsoa.dist tsoa i j);
+        (* Displacement conventions: ref displ i j = r_j − r_i;
+           soa row k entry i = r_i − r_k. *)
+        check_bool "displacements opposite" true
+          (Vec3.equal ~tol:1e-9 (AAref.displ tref i j) (AAsoa.displ tsoa i j))
+      end
+    done
+  done
+
+let test_aa_move_accept_cycle () =
+  let lattice = Lattice.cubic 6. in
+  let ps, rng = random_ps ~lattice ~seed:7 10 in
+  let tref = AAref.create ps and tsoa = AAsoa.create ps in
+  AAref.evaluate tref ps;
+  AAsoa.evaluate tsoa ps;
+  (* A PbyP sweep with mixed accepts and rejects. *)
+  for k = 0 to 9 do
+    let p = Ps.get ps k in
+    let newpos =
+      Vec3.add p
+        (Vec3.make (Xoshiro.gaussian rng) (Xoshiro.gaussian rng)
+           (Xoshiro.gaussian rng))
+    in
+    AAref.move tref ps k newpos;
+    AAsoa.move tsoa ps k newpos;
+    (* Temp rows agree between layouts. *)
+    for i = 0 to 9 do
+      if i <> k then
+        checkf 1e-9 "temp dist"
+          (Lattice.min_image_dist lattice newpos (Ps.get ps i))
+          (AAsoa.A.get (AAsoa.temp_dist tsoa) i)
+    done;
+    if k mod 2 = 0 then begin
+      Ps.propose ps k newpos;
+      Ps.accept ps;
+      AAref.update tref k;
+      AAsoa.accept tsoa k
+    end
+  done;
+  (* After the sweep the Ref table must match brute force everywhere. *)
+  for i = 0 to 9 do
+    for j = 0 to 9 do
+      if i <> j then
+        checkf 1e-9 "ref after sweep" (brute_dist lattice ps i j)
+          (AAref.dist tref i j)
+    done
+  done;
+  (* The SoA compute-on-the-fly table is only guaranteed per-row at move
+     time; a full evaluate restores global consistency for measurements. *)
+  AAsoa.evaluate tsoa ps;
+  for i = 0 to 9 do
+    for j = 0 to 9 do
+      if i <> j then
+        checkf 1e-9 "soa after evaluate" (brute_dist lattice ps i j)
+          (AAsoa.dist tsoa i j)
+    done
+  done
+
+let test_aa_soa_row_fresh_on_move () =
+  (* Row k must be correct at move time even if other electrons moved
+     since the last evaluate — the compute-on-the-fly guarantee. *)
+  let lattice = Lattice.cubic 6. in
+  let ps, _ = random_ps ~lattice ~seed:8 8 in
+  let t = AAsoa.create ps in
+  AAsoa.evaluate t ps;
+  (* Move electron 0 and accept without telling the table rows 1..7. *)
+  Ps.propose ps 0 (Vec3.make 0.5 0.5 0.5);
+  Ps.accept ps;
+  AAsoa.move t ps 0 (Vec3.make 1. 1. 1.);
+  AAsoa.accept t 0;
+  (* Now prepare electron 3: its refreshed row must see electron 0's new
+     position. *)
+  AAsoa.prepare t ps 3;
+  checkf 1e-9 "row sees current positions"
+    (brute_dist lattice ps 3 0)
+    (AAsoa.dist t 3 0)
+
+let ions ~lattice =
+  let ps =
+    Ps.create ~lattice [ { Particle_set.name = "ion"; charge = 4.; count = 4 } ]
+  in
+  Ps.set_all ps
+    [|
+      Vec3.make 0.5 0.5 0.5; Vec3.make 2. 2. 2.; Vec3.make 4. 1. 3.;
+      Vec3.make 1. 4. 2.;
+    |];
+  ps
+
+let test_ab_tables_agree () =
+  let lattice = Lattice.cubic 6. in
+  let ion_ps = ions ~lattice in
+  let ps, _ = random_ps ~lattice ~seed:9 7 in
+  let tref = ABref.create ~sources:ion_ps ps in
+  let tsoa = ABsoa.create ~sources:ion_ps ps in
+  ABref.evaluate tref ps;
+  ABsoa.evaluate tsoa ps;
+  for k = 0 to 6 do
+    for i = 0 to 3 do
+      let expect =
+        Lattice.min_image_dist lattice (Ps.get ps k) (Ps.get ion_ps i)
+      in
+      checkf 1e-9 "ref" expect (ABref.dist tref k i);
+      checkf 1e-9 "soa" expect (ABsoa.dist tsoa k i);
+      check_bool "displ agree" true
+        (Vec3.equal ~tol:1e-9 (ABref.displ tref k i) (ABsoa.displ tsoa k i))
+    done
+  done
+
+let test_ab_move_accept () =
+  let lattice = Lattice.cubic 6. in
+  let ion_ps = ions ~lattice in
+  let ps, _ = random_ps ~lattice ~seed:10 5 in
+  let t = ABsoa.create ~sources:ion_ps ps in
+  ABsoa.evaluate t ps;
+  let newpos = Vec3.make 3. 3. 3. in
+  ABsoa.move t newpos;
+  for i = 0 to 3 do
+    checkf 1e-9 "temp" (Lattice.min_image_dist lattice newpos (Ps.get ion_ps i))
+      (ABsoa.A.get (ABsoa.temp_dist t) i)
+  done;
+  Ps.propose ps 2 newpos;
+  Ps.accept ps;
+  ABsoa.accept t 2;
+  for i = 0 to 3 do
+    checkf 1e-9 "row updated"
+      (Lattice.min_image_dist lattice newpos (Ps.get ion_ps i))
+      (ABsoa.dist t 2 i)
+  done
+
+let test_tables_general_lattice () =
+  (* Hexagonal cell exercises the general minimum-image path. *)
+  let a = 4.6 in
+  let lattice =
+    Lattice.general
+      [|
+        Vec3.make a 0. 0.;
+        Vec3.make (-.a /. 2.) (a *. sqrt 3. /. 2.) 0.;
+        Vec3.make 0. 0. 6.7;
+      |]
+  in
+  let ps, _ = random_ps ~lattice ~seed:11 9 in
+  let tref = AAref.create ps and tsoa = AAsoa.create ps in
+  AAref.evaluate tref ps;
+  AAsoa.evaluate tsoa ps;
+  for i = 0 to 8 do
+    for j = 0 to 8 do
+      if i <> j then
+        checkf 1e-9 "hex layouts agree" (AAref.dist tref i j)
+          (AAsoa.dist tsoa i j)
+    done
+  done
+
+let test_aa_memory_scaling () =
+  let lattice = Lattice.cubic 6. in
+  let ps32, _ = random_ps ~lattice ~seed:12 32 in
+  let ps64, _ = random_ps ~lattice ~seed:12 64 in
+  let b32 = AAsoa.bytes (AAsoa.create ps32) in
+  let b64 = AAsoa.bytes (AAsoa.create ps64) in
+  (* Full-table storage grows ~4x when N doubles. *)
+  check_bool "O(N^2) growth" true
+    (float_of_int b64 /. float_of_int b32 > 3.4);
+  (* The packed Ref triangle is about half the SoA distance storage. *)
+  let ref64 = AAref.bytes (AAref.create ps64) in
+  check_bool "triangle smaller" true (ref64 < b64)
+
+let test_forward_table_sweep_invariant () =
+  (* Through a full ordered sweep with mixed accepts, the pair (i,j) read
+     from the larger row must always match brute force — the forward
+     update's correctness invariant (Fig. 6b). *)
+  let lattice = Lattice.cubic 6. in
+  let ps, rng = random_ps ~lattice ~seed:21 10 in
+  let t = AAfwd.create ps in
+  AAfwd.evaluate t ps;
+  for k = 0 to 9 do
+    let newpos =
+      Vec3.add (Ps.get ps k)
+        (Vec3.make (Xoshiro.gaussian rng) (Xoshiro.gaussian rng)
+           (Xoshiro.gaussian rng))
+    in
+    AAfwd.move t ps k newpos;
+    if k mod 2 = 0 then begin
+      Ps.propose ps k newpos;
+      Ps.accept ps;
+      AAfwd.update t k
+    end;
+    (* invariant check after every move: pairs (i,j) with max(i,j) <= k
+       moved already; all pairs must read correctly from the larger row *)
+    for i = 0 to 9 do
+      for j = 0 to 9 do
+        if i <> j then begin
+          checkf 1e-9 "pair from larger row" (brute_dist lattice ps i j)
+            (AAfwd.dist t i j);
+          check_bool "displacement consistent" true
+            (Vec3.equal ~tol:1e-9 (AAfwd.displ t i j)
+               (Lattice.min_image_disp lattice
+                  (Vec3.sub (Ps.get ps j) (Ps.get ps i))))
+        end
+      done
+    done
+  done
+
+let test_forward_matches_other_layouts () =
+  let lattice = Lattice.cubic 6. in
+  let ps, _ = random_ps ~lattice ~seed:22 8 in
+  let tf = AAfwd.create ps and ts = AAsoa.create ps in
+  AAfwd.evaluate tf ps;
+  AAsoa.evaluate ts ps;
+  for i = 0 to 7 do
+    for j = 0 to 7 do
+      if i <> j then
+        checkf 1e-9 "forward = soa" (AAsoa.dist ts i j) (AAfwd.dist tf i j)
+    done
+  done
+
+let prop_aa_symmetry =
+  QCheck.Test.make ~name:"AA distances symmetric" ~count:30
+    QCheck.(int_range 1 10000)
+    (fun seed ->
+      let lattice = Lattice.cubic 5. in
+      let ps, _ = random_ps ~lattice ~seed 8 in
+      let t = AAsoa.create ps in
+      AAsoa.evaluate t ps;
+      let ok = ref true in
+      for i = 0 to 7 do
+        for j = 0 to 7 do
+          if i <> j then begin
+            if abs_float (AAsoa.dist t i j -. AAsoa.dist t j i) > 1e-9 then
+              ok := false;
+            (* dr(i,j) = −dr(j,i) *)
+            if
+              not
+                (Vec3.equal ~tol:1e-9 (AAsoa.displ t i j)
+                   (Vec3.neg (AAsoa.displ t j i)))
+            then ok := false
+          end
+        done
+      done;
+      !ok)
+
+let prop_dist_below_ws_diameter =
+  QCheck.Test.make ~name:"min image dist bounded" ~count:50
+    QCheck.(int_range 1 10000)
+    (fun seed ->
+      let lattice = Lattice.cubic 5. in
+      let ps, _ = random_ps ~lattice ~seed 6 in
+      let t = AAsoa.create ps in
+      AAsoa.evaluate t ps;
+      let ok = ref true in
+      let dmax = 0.5 *. 5. *. sqrt 3. +. 1e-9 in
+      for i = 0 to 5 do
+        for j = 0 to 5 do
+          if i <> j && AAsoa.dist t i j > dmax then ok := false
+        done
+      done;
+      !ok)
+
+let () =
+  let qt = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "particle"
+    [
+      ( "lattice",
+        [
+          Alcotest.test_case "frac roundtrip" `Quick test_lattice_frac_roundtrip;
+          Alcotest.test_case "general roundtrip" `Quick
+            test_lattice_general_roundtrip;
+          Alcotest.test_case "min image ortho" `Quick test_min_image_ortho;
+          Alcotest.test_case "general matches ortho" `Quick
+            test_min_image_general_matches_ortho;
+          Alcotest.test_case "min image shortest" `Quick test_min_image_shortest;
+          Alcotest.test_case "wigner-seitz" `Quick test_wigner_seitz;
+          Alcotest.test_case "wrap position" `Quick test_wrap_position;
+        ] );
+      ( "particle_set",
+        [
+          Alcotest.test_case "species" `Quick test_ps_species;
+          Alcotest.test_case "move protocol" `Quick test_ps_move_protocol;
+          Alcotest.test_case "walker roundtrip" `Quick test_ps_walker_roundtrip;
+          Alcotest.test_case "accept requires active" `Quick
+            test_ps_accept_requires_active;
+        ] );
+      ("walker", [ Alcotest.test_case "copy" `Quick test_walker_copy ]);
+      ( "distance_tables",
+        [
+          Alcotest.test_case "AA layouts agree" `Quick test_aa_tables_agree;
+          Alcotest.test_case "AA move/accept cycle" `Quick
+            test_aa_move_accept_cycle;
+          Alcotest.test_case "AA row fresh on move" `Quick
+            test_aa_soa_row_fresh_on_move;
+          Alcotest.test_case "AB layouts agree" `Quick test_ab_tables_agree;
+          Alcotest.test_case "AB move/accept" `Quick test_ab_move_accept;
+          Alcotest.test_case "general lattice" `Quick
+            test_tables_general_lattice;
+          Alcotest.test_case "memory scaling" `Quick test_aa_memory_scaling;
+          Alcotest.test_case "forward sweep invariant" `Quick
+            test_forward_table_sweep_invariant;
+          Alcotest.test_case "forward matches soa" `Quick
+            test_forward_matches_other_layouts;
+        ] );
+      ("properties", qt [ prop_aa_symmetry; prop_dist_below_ws_diameter ]);
+    ]

@@ -1,0 +1,227 @@
+open Oqmc_perfmodel
+
+(* The performance model must stay inside the paper's measured bands:
+   these tests pin the calibration so future edits cannot silently drift
+   the reproduced figures. *)
+
+let checkf tol = Alcotest.(check (float tol))
+let check_bool = Alcotest.(check bool)
+
+let costs layout elt n ni ~has_pp =
+  Opcount.step_costs
+    {
+      Opcount.n;
+      n_ion = ni;
+      n_spo = n / 2;
+      elt_bytes = elt;
+      layout;
+      acceptance = 0.5;
+      nlpp_evals = Opcount.nlpp_evals_estimate ~n ~has_pp;
+    }
+
+let speedup machine (n, ni, has_pp) =
+  Roofline.speedup machine
+    ~ref_costs:(costs `Store 8 n ni ~has_pp)
+    ~cur_costs:(costs `Otf 4 n ni ~has_pp)
+
+let workloads =
+  [
+    ("Graphite", (256, 64, true));
+    ("Be-64", (256, 64, false));
+    ("NiO-32", (384, 32, true));
+    ("NiO-64", (768, 64, true));
+  ]
+
+(* ---------- machines ---------- *)
+
+let test_machine_peaks () =
+  (* KNL: 64 cores x 1.4 GHz x 64 SP flops/cycle ≈ 5.7 TF SP. *)
+  checkf 1. "KNL SP peak" 5734.4 (Machine.peak_gflops Machine.knl ~single:true);
+  checkf 1. "KNL DP peak" 2867.2 (Machine.peak_gflops Machine.knl ~single:false);
+  checkf 1. "BDW DP peak" 704. (Machine.peak_gflops Machine.bdw ~single:false);
+  (* BG/Q QPX: no SP speedup. *)
+  checkf 1e-9 "BGQ SP = DP"
+    (Machine.peak_gflops Machine.bgq ~single:false)
+    (Machine.peak_gflops Machine.bgq ~single:true)
+
+let test_machine_find () =
+  Alcotest.(check string) "find knl" "KNL" (Machine.find "knl").Machine.mname;
+  Alcotest.check_raises "unknown" (Invalid_argument "Machine.find: \"vax\"")
+    (fun () -> ignore (Machine.find "vax"))
+
+(* ---------- roofline ---------- *)
+
+let test_roofline_bounds () =
+  List.iter
+    (fun (_, w) ->
+      let n, ni, has_pp = w in
+      List.iter
+        (fun machine ->
+          List.iter
+            (fun c ->
+              let p = Roofline.project machine c in
+              check_bool "achieved <= roof" true
+                (p.Roofline.gflops <= p.Roofline.attainable +. 1e-9);
+              check_bool "positive time for positive flops" true
+                (c.Opcount.flops = 0. || p.Roofline.time_s > 0.))
+            (costs `Otf 4 n ni ~has_pp))
+        Machine.all)
+    workloads
+
+let test_speedup_bands () =
+  (* Paper Table 2 bands with slack: per-machine ranges over the four
+     workloads. *)
+  List.iter
+    (fun (_, w) ->
+      let bdw = speedup Machine.bdw w in
+      let knl = speedup Machine.knl w in
+      let bgq = speedup Machine.bgq w in
+      check_bool "BDW in [2.0, 3.5]" true (bdw >= 2.0 && bdw <= 3.5);
+      check_bool "KNL in [1.8, 3.0]" true (knl >= 1.8 && knl <= 3.0);
+      check_bool "BGQ in [1.2, 2.4]" true (bgq >= 1.2 && bgq <= 2.4);
+      check_bool "BGQ smallest" true (bgq < bdw && bgq < knl);
+      check_bool "BDW >= KNL (paper ordering)" true (bdw >= knl))
+    workloads
+
+let test_kernel_speedups_bdw () =
+  (* Sec. 8.1 anchors: Bspline-v ~1.3x, Bspline-vgh ~1.7x, DetUpdate ~2x,
+     DistTable and J2 large. *)
+  let n, ni, has_pp = (384, 32, true) in
+  let pr = Roofline.project_all Machine.bdw (costs `Store 8 n ni ~has_pp) in
+  let pc = Roofline.project_all Machine.bdw (costs `Otf 4 n ni ~has_pp) in
+  let ratio k =
+    let f l = (List.find (fun p -> p.Roofline.kernel = k) l).Roofline.time_s in
+    f pr /. f pc
+  in
+  check_bool "Bspline-v ~1.3" true (abs_float (ratio "Bspline-v" -. 1.3) < 0.25);
+  check_bool "Bspline-vgh ~1.7" true
+    (abs_float (ratio "Bspline-vgh" -. 1.7) < 0.35);
+  check_bool "DetUpdate ~2" true (abs_float (ratio "DetUpdate" -. 2.) < 0.4);
+  check_bool "DistTable large" true (ratio "DistTable" > 4.);
+  check_bool "J2 large" true (ratio "J2" > 4.)
+
+let test_mp_gains_knl () =
+  (* Fig. 8: Ref+MP gains on KNL ~1.16x (NiO-32) and ~1.3x (NiO-64). *)
+  let gain (n, ni, has_pp) =
+    Roofline.speedup Machine.knl
+      ~ref_costs:(costs `Store 8 n ni ~has_pp)
+      ~cur_costs:(costs `Store 4 n ni ~has_pp)
+  in
+  let g32 = gain (384, 32, true) and g64 = gain (768, 64, true) in
+  check_bool "NiO-32 MP gain small" true (g32 >= 1.0 && g32 <= 1.5);
+  check_bool "NiO-64 MP gain larger" true (g64 >= g32)
+
+(* ---------- scaling ---------- *)
+
+let test_scaling_efficiencies () =
+  let run threads net =
+    Scaling.strong_scaling ~threads_per_node:threads ~net
+      ~target_population:131072 ~step_time_1walker:0.08
+      ~walker_message_bytes:3_000_000
+      ~node_counts:[ 16; 64; 256; 1024 ] ()
+  in
+  let knl = run 128 Scaling.aries in
+  let last = List.nth knl (List.length knl - 1) in
+  check_bool "KNL 1024-node efficiency ~90%" true
+    (last.Scaling.efficiency > 0.85 && last.Scaling.efficiency < 0.95);
+  let bdw = run 36 Scaling.omnipath in
+  let lastb = List.nth bdw (List.length bdw - 1) in
+  check_bool "BDW 1024-socket efficiency ~97%" true
+    (lastb.Scaling.efficiency > 0.94);
+  (* throughput must increase with node count *)
+  let rec monotone = function
+    | a :: (b :: _ as rest) ->
+        check_bool "monotone" true
+          (b.Scaling.throughput > a.Scaling.throughput);
+        monotone rest
+    | _ -> ()
+  in
+  monotone knl
+
+(* ---------- energy ---------- *)
+
+let test_energy_ratio_equals_time_ratio () =
+  let p t = Energy.profile ~label:"x" ~machine:Machine.knl ~init_time:0. ~dmc_time:t () in
+  let r = Energy.energy_ratio ~ref_profile:(p 1000.) ~cur_profile:(p 400.) in
+  checkf 1e-9 "energy ratio" 2.5 r;
+  check_bool "KNL plateau 210-215 W" true
+    (Energy.dmc_power Machine.knl >= 208. && Energy.dmc_power Machine.knl <= 216.)
+
+let test_energy_profile_samples () =
+  let p =
+    Energy.profile ~interval:5. ~label:"x" ~machine:Machine.knl
+      ~init_time:20. ~dmc_time:80. ()
+  in
+  check_bool "sampled every 5s" true (List.length p.Energy.samples >= 20);
+  List.iter
+    (fun s ->
+      check_bool "power in a sane band" true
+        (s.Energy.watts > 80. && s.Energy.watts < 230.))
+    p.Energy.samples
+
+(* ---------- memory ---------- *)
+
+let bspline64 = int_of_float (2.2e9)
+
+let test_memory_nio64 () =
+  let f kind label =
+    Memory_model.footprint ~label kind ~n:768 ~n_ion:64 ~n_spo_total:240
+      ~bspline_bytes:bspline64 ~threads:128 ~walkers:1024
+  in
+  let r = f `Ref "Ref" and c = f `Current "Current" in
+  check_bool "Ref > 25 GB" true (r.Memory_model.total_gb > 25.);
+  check_bool "Current fits MCDRAM" true (c.Memory_model.total_gb < 16.);
+  let saved = r.Memory_model.total_gb -. c.Memory_model.total_gb in
+  check_bool "~36 GB saved (paper)" true (saved > 25. && saved < 45.)
+
+let test_memory_scaling_quadratic () =
+  let per_walker n =
+    Memory_model.walker_bytes `Ref ~n ~n_ion:64 ~n_spo:(n / 2)
+  in
+  let r = float_of_int (per_walker 768) /. float_of_int (per_walker 384) in
+  check_bool "Ref walker ~O(N^2)" true (r > 3.5 && r < 4.5);
+  let pc n = Memory_model.walker_bytes `Current ~n ~n_ion:64 ~n_spo:(n / 2) in
+  (* Current's only O(N²) walker state is the determinant inverse. *)
+  check_bool "Current walker much smaller" true (pc 768 * 2 < per_walker 768)
+
+let test_opcount_shapes () =
+  let ref_costs = costs `Store 8 384 32 ~has_pp:true in
+  let mp = costs `Store 4 384 32 ~has_pp:true in
+  check_bool "MP halves key bytes" true
+    (Opcount.total_bytes mp < 0.7 *. Opcount.total_bytes ref_costs);
+  List.iter
+    (fun c ->
+      check_bool "AI positive" true
+        (c.Opcount.flops = 0. || Opcount.arithmetic_intensity c > 0.))
+    ref_costs
+
+let () =
+  Alcotest.run "perfmodel"
+    [
+      ( "machine",
+        [
+          Alcotest.test_case "peaks" `Quick test_machine_peaks;
+          Alcotest.test_case "find" `Quick test_machine_find;
+        ] );
+      ( "roofline",
+        [
+          Alcotest.test_case "bounds" `Quick test_roofline_bounds;
+          Alcotest.test_case "table2 bands" `Quick test_speedup_bands;
+          Alcotest.test_case "kernel speedups" `Quick test_kernel_speedups_bdw;
+          Alcotest.test_case "MP gains" `Quick test_mp_gains_knl;
+        ] );
+      ( "scaling",
+        [ Alcotest.test_case "efficiencies" `Quick test_scaling_efficiencies ]
+      );
+      ( "energy",
+        [
+          Alcotest.test_case "ratio" `Quick test_energy_ratio_equals_time_ratio;
+          Alcotest.test_case "profile" `Quick test_energy_profile_samples;
+        ] );
+      ( "memory",
+        [
+          Alcotest.test_case "NiO-64" `Quick test_memory_nio64;
+          Alcotest.test_case "scaling" `Quick test_memory_scaling_quadratic;
+          Alcotest.test_case "opcount" `Quick test_opcount_shapes;
+        ] );
+    ]

@@ -1,0 +1,137 @@
+open Oqmc_rng
+
+let check_float = Alcotest.(check (float 1e-12))
+let check_bool = Alcotest.(check bool)
+
+let test_deterministic () =
+  let a = Xoshiro.create 42 and b = Xoshiro.create 42 in
+  for _ = 1 to 100 do
+    check_bool "same stream" true (Xoshiro.next_int64 a = Xoshiro.next_int64 b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Xoshiro.create 1 and b = Xoshiro.create 2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Xoshiro.next_int64 a = Xoshiro.next_int64 b then incr same
+  done;
+  check_bool "different seeds differ" true (!same = 0)
+
+let test_uniform_range () =
+  let r = Xoshiro.create 7 in
+  for _ = 1 to 10_000 do
+    let u = Xoshiro.uniform r in
+    check_bool "in [0,1)" true (u >= 0. && u < 1.)
+  done
+
+let test_uniform_moments () =
+  let r = Xoshiro.create 11 in
+  let n = 200_000 in
+  let sum = ref 0. and sum2 = ref 0. in
+  for _ = 1 to n do
+    let u = Xoshiro.uniform r in
+    sum := !sum +. u;
+    sum2 := !sum2 +. (u *. u)
+  done;
+  let mean = !sum /. float_of_int n in
+  let var = (!sum2 /. float_of_int n) -. (mean *. mean) in
+  check_bool "mean near 1/2" true (abs_float (mean -. 0.5) < 5e-3);
+  check_bool "variance near 1/12" true (abs_float (var -. (1. /. 12.)) < 5e-3)
+
+let test_gaussian_moments () =
+  let r = Xoshiro.create 13 in
+  let n = 200_000 in
+  let sum = ref 0. and sum2 = ref 0. and sum3 = ref 0. and sum4 = ref 0. in
+  for _ = 1 to n do
+    let g = Xoshiro.gaussian r in
+    sum := !sum +. g;
+    sum2 := !sum2 +. (g *. g);
+    sum3 := !sum3 +. (g *. g *. g);
+    sum4 := !sum4 +. (g *. g *. g *. g)
+  done;
+  let fn = float_of_int n in
+  check_bool "mean ~0" true (abs_float (!sum /. fn) < 0.01);
+  check_bool "variance ~1" true (abs_float ((!sum2 /. fn) -. 1.) < 0.02);
+  check_bool "skew ~0" true (abs_float (!sum3 /. fn) < 0.05);
+  check_bool "kurtosis ~3" true (abs_float ((!sum4 /. fn) -. 3.) < 0.1)
+
+let test_int_bounds () =
+  let r = Xoshiro.create 17 in
+  let counts = Array.make 7 0 in
+  for _ = 1 to 7_000 do
+    let k = Xoshiro.int r 7 in
+    check_bool "in bounds" true (k >= 0 && k < 7);
+    counts.(k) <- counts.(k) + 1
+  done;
+  Array.iter
+    (fun c -> check_bool "roughly uniform" true (c > 700 && c < 1300))
+    counts;
+  Alcotest.check_raises "bad bound" (Invalid_argument "Xoshiro.int: bound <= 0")
+    (fun () -> ignore (Xoshiro.int r 0))
+
+let test_jump_disjoint () =
+  (* After a jump the streams must not collide over a short window. *)
+  let a = Xoshiro.create 23 in
+  let b = Xoshiro.copy a in
+  Xoshiro.jump b;
+  let matches = ref 0 in
+  for _ = 1 to 1024 do
+    if Xoshiro.next_int64 a = Xoshiro.next_int64 b then incr matches
+  done;
+  check_bool "disjoint streams" true (!matches = 0)
+
+let test_split_streams () =
+  let streams = Xoshiro.streams ~seed:5 4 in
+  Alcotest.(check int) "count" 4 (Array.length streams);
+  let outs = Array.map Xoshiro.next_int64 streams in
+  for i = 0 to 3 do
+    for j = i + 1 to 3 do
+      check_bool "distinct first draws" true (outs.(i) <> outs.(j))
+    done
+  done
+
+let test_copy_independent () =
+  let a = Xoshiro.create 3 in
+  let b = Xoshiro.copy a in
+  let va = Xoshiro.uniform a in
+  let vb = Xoshiro.uniform b in
+  check_float "copies replay" va vb
+
+let test_gaussian_vec3 () =
+  (* The cached spare must not leak between vector draws. *)
+  let a = Xoshiro.create 29 and b = Xoshiro.create 29 in
+  let x1, y1, z1 = Xoshiro.gaussian_vec3 a in
+  let x2 = Xoshiro.gaussian b in
+  let y2 = Xoshiro.gaussian b in
+  let z2 = Xoshiro.gaussian b in
+  check_float "x" x2 x1;
+  check_float "y" y2 y1;
+  check_float "z" z2 z1
+
+let prop_uniform_range =
+  QCheck.Test.make ~name:"uniform_range stays in range" ~count:200
+    QCheck.(pair (float_range (-50.) 50.) (float_range 0.1 50.))
+    (fun (lo, w) ->
+      let r = Xoshiro.create 31 in
+      let hi = lo +. w in
+      let v = Xoshiro.uniform_range r ~lo ~hi in
+      v >= lo && v < hi)
+
+let () =
+  Alcotest.run "rng"
+    [
+      ( "xoshiro",
+        [
+          Alcotest.test_case "deterministic" `Quick test_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+          Alcotest.test_case "uniform range" `Quick test_uniform_range;
+          Alcotest.test_case "uniform moments" `Quick test_uniform_moments;
+          Alcotest.test_case "gaussian moments" `Quick test_gaussian_moments;
+          Alcotest.test_case "int bounds" `Quick test_int_bounds;
+          Alcotest.test_case "jump disjoint" `Quick test_jump_disjoint;
+          Alcotest.test_case "split streams" `Quick test_split_streams;
+          Alcotest.test_case "copy" `Quick test_copy_independent;
+          Alcotest.test_case "gaussian_vec3" `Quick test_gaussian_vec3;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_uniform_range ]);
+    ]

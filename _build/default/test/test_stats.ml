@@ -1,0 +1,262 @@
+open Oqmc_core
+open Oqmc_particle
+open Oqmc_rng
+
+let checkf tol = Alcotest.(check (float tol))
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ---------- running stats ---------- *)
+
+let test_running_moments () =
+  let r = Stats.make_running () in
+  List.iter (Stats.push r) [ 1.; 2.; 3.; 4.; 5. ];
+  check_int "count" 5 (Stats.count r);
+  checkf 1e-12 "mean" 3. (Stats.mean r);
+  checkf 1e-12 "variance" 2.5 (Stats.variance r);
+  checkf 1e-12 "stderr" (sqrt (2.5 /. 5.)) (Stats.std_error r)
+
+let test_series_basics () =
+  let s = Stats.make_series () in
+  for i = 1 to 2000 do
+    Stats.append s (float_of_int (i mod 4))
+  done;
+  check_int "length" 2000 (Stats.length s);
+  checkf 1e-9 "mean" 1.5 (Stats.series_mean s);
+  checkf 1e-9 "get" 1. (Stats.get s 0)
+
+let test_autocorrelation_white_noise () =
+  let s = Stats.make_series () in
+  let rng = Xoshiro.create 1 in
+  for _ = 1 to 5000 do
+    Stats.append s (Xoshiro.gaussian rng)
+  done;
+  let tau = Stats.autocorrelation_time s in
+  check_bool "white noise tau ~1" true (tau > 0.5 && tau < 1.6)
+
+let test_autocorrelation_correlated () =
+  (* AR(1) with rho = 0.9: integrated tau = (1+rho)/(1-rho) = 19. *)
+  let s = Stats.make_series () in
+  let rng = Xoshiro.create 2 in
+  let x = ref 0. in
+  for _ = 1 to 20000 do
+    x := (0.9 *. !x) +. Xoshiro.gaussian rng;
+    Stats.append s !x
+  done;
+  let tau = Stats.autocorrelation_time s in
+  check_bool "correlated tau >> 1" true (tau > 8.);
+  check_bool "error grows with tau" true
+    (Stats.series_error s > sqrt (Stats.series_variance s /. 20000.))
+
+let test_efficiency () =
+  checkf 1e-12 "kappa" (1. /. 24.)
+    (Stats.efficiency ~variance:2. ~tau_corr:3. ~t_mc:4.);
+  check_bool "degenerate -> infinity" true
+    (Stats.efficiency ~variance:0. ~tau_corr:1. ~t_mc:1. = infinity)
+
+(* ---------- population ---------- *)
+
+let mk_pop n =
+  let walkers = List.init n (fun _ -> Walker.create 4) in
+  Population.create ~target:n ~e_trial:(-1.) walkers
+
+let test_dmc_weight () =
+  let w = Walker.create 4 in
+  w.Walker.weight <- 1.;
+  Population.dmc_weight ~tau:0.01 ~e_trial:(-1.) ~e_old:(-1.) ~e_new:(-1.) w;
+  checkf 1e-12 "neutral weight" 1. w.Walker.weight;
+  Population.dmc_weight ~tau:0.01 ~e_trial:(-1.) ~e_old:(-2.) ~e_new:(-2.) w;
+  checkf 1e-9 "growth" (exp 0.01) w.Walker.weight
+
+let test_dmc_weight_clamped () =
+  let w = Walker.create 4 in
+  w.Walker.weight <- 1.;
+  (* A pathological local energy must not blow up the branching factor. *)
+  Population.dmc_weight ~tau:1.0 ~e_trial:0. ~e_old:(-1e6) ~e_new:(-1e6) w;
+  check_bool "clamped" true (w.Walker.weight <= exp 2. +. 1e-9)
+
+let test_branch_unit_weights () =
+  let pop = mk_pop 10 in
+  let rng = Xoshiro.create 3 in
+  Population.branch pop rng;
+  (* weight-1 walkers give either 1 or 2 copies under floor(w+u) with
+     w = 1: always exactly 1. *)
+  check_int "stable population" 10 (Population.size pop)
+
+let test_branch_kills_and_splits () =
+  let pop = mk_pop 8 in
+  let rng = Xoshiro.create 4 in
+  List.iteri
+    (fun i w ->
+      w.Walker.weight <- (if i < 4 then 0.001 else 2.5))
+    (Population.walkers pop);
+  Population.branch pop rng;
+  let n = Population.size pop in
+  (* 4 walkers nearly die, 4 walkers yield 2-3 copies each *)
+  check_bool "population adjusted" true (n >= 8 && n <= 14);
+  List.iter
+    (fun w -> checkf 1e-12 "reset weight" 1. w.Walker.weight)
+    (Population.walkers pop)
+
+let test_branch_never_extinct () =
+  let pop = mk_pop 4 in
+  let rng = Xoshiro.create 5 in
+  List.iter (fun w -> w.Walker.weight <- 0.) (Population.walkers pop);
+  Population.branch pop rng;
+  check_bool "at least one survivor" true (Population.size pop >= 1)
+
+let test_trial_energy_feedback () =
+  let pop = mk_pop 10 in
+  Population.update_trial_energy pop ~tau:0.01 ~e_estimate:(-2.) ;
+  (* population at target -> E_T = estimate *)
+  checkf 1e-9 "at target" (-2.) (Population.e_trial pop);
+  (* overpopulated -> E_T pushed below the estimate *)
+  let over =
+    Population.create ~target:5 ~e_trial:0.
+      (List.init 10 (fun _ -> Walker.create 4))
+  in
+  Population.update_trial_energy over ~tau:0.01 ~e_estimate:(-2.);
+  check_bool "pushes down" true (Population.e_trial over < -2.)
+
+let test_load_balance_report () =
+  let pop = mk_pop 10 in
+  let r = Population.load_balance pop ~ranks:4 in
+  check_bool "bytes consistent" true
+    (r.Population.messages = 0 || r.Population.bytes > 0);
+  Alcotest.check_raises "bad ranks"
+    (Invalid_argument "Population.load_balance: ranks < 1") (fun () ->
+      ignore (Population.load_balance pop ~ranks:0))
+
+let test_average_weight () =
+  let pop = mk_pop 4 in
+  List.iteri
+    (fun i w -> w.Walker.weight <- float_of_int (i + 1))
+    (Population.walkers pop);
+  checkf 1e-12 "average" 2.5 (Population.average_weight pop)
+
+(* ---------- nelder-mead ---------- *)
+
+let test_nm_quadratic () =
+  let f x = ((x.(0) -. 3.) ** 2.) +. ((x.(1) +. 1.) ** 2.) +. 5. in
+  let r = Nelder_mead.minimize ~max_iter:500 ~tol:1e-10 ~f [| 0.; 0. |] in
+  check_bool "converged" true r.Nelder_mead.converged;
+  checkf 1e-3 "x0" 3. r.Nelder_mead.x.(0);
+  checkf 1e-3 "x1" (-1.) r.Nelder_mead.x.(1);
+  checkf 1e-5 "fmin" 5. r.Nelder_mead.fx
+
+let test_nm_rosenbrock () =
+  let f x =
+    (100. *. ((x.(1) -. (x.(0) *. x.(0))) ** 2.)) +. ((1. -. x.(0)) ** 2.)
+  in
+  let r =
+    Nelder_mead.minimize ~max_iter:2000 ~tol:1e-12 ~init_step:0.2 ~f
+      [| -1.2; 1. |]
+  in
+  check_bool "near optimum" true
+    (abs_float (r.Nelder_mead.x.(0) -. 1.) < 0.05
+    && abs_float (r.Nelder_mead.x.(1) -. 1.) < 0.1)
+
+let test_nm_empty () =
+  Alcotest.check_raises "empty"
+    (Invalid_argument "Nelder_mead.minimize: empty parameter vector")
+    (fun () -> ignore (Nelder_mead.minimize ~f:(fun _ -> 0.) [||]))
+
+(* ---------- optimizer ---------- *)
+
+let test_optimizer_recovers_exact_trial () =
+  (* Trial determinant of HO orbitals with frequency w; Hamiltonian trap
+     frequency 1.  Variance vanishes only at w = 1, so the optimizer must
+     find it. *)
+  let system_of p =
+    let w = Float.max 0.2 p.(0) in
+    Oqmc_core.System.validate
+      {
+        Oqmc_core.System.name = "ho-opt";
+        lattice = Oqmc_particle.Lattice.open_cell;
+        n_up = 3;
+        n_down = 0;
+        ions = [];
+        spo = Oqmc_wavefunction.Spo_analytic.harmonic ~omega:w ~n_orb:3;
+        j1 = None;
+        j2 = None;
+        ham =
+          {
+            Oqmc_core.System.coulomb = false;
+            ewald = false;
+            harmonic = Some 1.0;
+            nlpp = None;
+          };
+      }
+  in
+  let r =
+    Optimizer.optimize ~objective:Optimizer.Variance
+      ~vmc_params:
+        {
+          Vmc.n_walkers = 3;
+          warmup = 20;
+          blocks = 4;
+          steps_per_block = 10;
+          tau = 0.3;
+          seed = 99;
+          n_domains = 1;
+        }
+      ~max_iter:60 ~tol:1e-10 ~init_step:0.2
+      ~system_of [| 1.35 |]
+  in
+  checkf 0.05 "recovered trap frequency" 1.0 r.Optimizer.best.(0);
+  check_bool "variance collapsed" true (r.Optimizer.vmc.Vmc.variance < 1e-3);
+  check_bool "history recorded" true (List.length r.Optimizer.history > 5)
+
+(* ---------- variant ---------- *)
+
+let test_variant_strings () =
+  List.iter
+    (fun v ->
+      Alcotest.(check string)
+        "roundtrip"
+        (Variant.to_string v)
+        (Variant.to_string (Variant.of_string (Variant.to_string v))))
+    Variant.all;
+  check_bool "layouts" true
+    (Variant.layout Variant.Ref = Variant.Store
+    && Variant.layout Variant.Current = Variant.Otf)
+
+let () =
+  Alcotest.run "stats_population"
+    [
+      ( "stats",
+        [
+          Alcotest.test_case "running" `Quick test_running_moments;
+          Alcotest.test_case "series" `Quick test_series_basics;
+          Alcotest.test_case "white noise" `Quick
+            test_autocorrelation_white_noise;
+          Alcotest.test_case "correlated" `Quick
+            test_autocorrelation_correlated;
+          Alcotest.test_case "efficiency" `Quick test_efficiency;
+        ] );
+      ( "population",
+        [
+          Alcotest.test_case "dmc weight" `Quick test_dmc_weight;
+          Alcotest.test_case "weight clamped" `Quick test_dmc_weight_clamped;
+          Alcotest.test_case "branch unit" `Quick test_branch_unit_weights;
+          Alcotest.test_case "branch kills/splits" `Quick
+            test_branch_kills_and_splits;
+          Alcotest.test_case "never extinct" `Quick test_branch_never_extinct;
+          Alcotest.test_case "trial feedback" `Quick
+            test_trial_energy_feedback;
+          Alcotest.test_case "load balance" `Quick test_load_balance_report;
+          Alcotest.test_case "average weight" `Quick test_average_weight;
+        ] );
+      ( "nelder_mead",
+        [
+          Alcotest.test_case "quadratic" `Quick test_nm_quadratic;
+          Alcotest.test_case "rosenbrock" `Quick test_nm_rosenbrock;
+          Alcotest.test_case "empty" `Quick test_nm_empty;
+        ] );
+      ( "optimizer",
+        [
+          Alcotest.test_case "recovers exact trial" `Slow
+            test_optimizer_recovers_exact_trial;
+        ] );
+      ("variant", [ Alcotest.test_case "strings" `Quick test_variant_strings ]);
+    ]

@@ -1,0 +1,501 @@
+open Oqmc_containers
+open Oqmc_particle
+open Oqmc_rng
+open Oqmc_wavefunction
+open Oqmc_workloads
+
+(* Component-level tests: each wavefunction piece is checked against
+   brute-force recomputation and finite differences, and the Ref/Current
+   implementations are checked against each other. *)
+
+module P = Precision.F64
+module Ps = Particle_set.Make (P)
+module W = Wfc.Make (P)
+module AAref = Dt_aa_ref.Make (P)
+module AAsoa = Dt_aa_soa.Make (P)
+module ABref = Dt_ab_ref.Make (P)
+module ABsoa = Dt_ab_soa.Make (P)
+module J2 = Jastrow_two.Make (P)
+module J1 = Jastrow_one.Make (P)
+module Det = Slater_det.Make (P)
+module Twf = Trial_wavefunction.Make (P)
+
+let checkf tol = Alcotest.(check (float tol))
+let check_bool = Alcotest.(check bool)
+
+let lattice = Lattice.cubic 6.
+
+let electrons ~seed n =
+  let ps =
+    Ps.create ~lattice
+      [
+        { Particle_set.name = "u"; charge = -1.; count = n / 2 };
+        { Particle_set.name = "d"; charge = -1.; count = n - (n / 2) };
+      ]
+  in
+  let rng = Xoshiro.create seed in
+  Ps.randomize ps (fun () -> Xoshiro.uniform rng);
+  (ps, rng)
+
+let ions () =
+  let io =
+    Ps.create ~lattice
+      [
+        { Particle_set.name = "A"; charge = 4.; count = 2 };
+        { Particle_set.name = "B"; charge = 6.; count = 2 };
+      ]
+  in
+  Ps.set_all io
+    [|
+      Vec3.make 1. 1. 1.; Vec3.make 4. 4. 1.; Vec3.make 1. 4. 4.;
+      Vec3.make 4. 1. 4.;
+    |];
+  io
+
+let functors2 = Jastrow_sets.ee_set ~cutoff:2.9
+let functors1 = [| Jastrow_sets.one_body ~depth:0.4 ~range:0.9 ~cutoff:2.9 ();
+                   Jastrow_sets.one_body ~depth:0.6 ~range:0.7 ~cutoff:2.9 () |]
+
+(* Build matching Ref and Current J2 components over the same electrons. *)
+let j2_pair ps =
+  let tref = AAref.create ps and tsoa = AAsoa.create ps in
+  AAref.evaluate tref ps;
+  AAsoa.evaluate tsoa ps;
+  let jref = J2.create_ref ~table:tref ~functors:functors2 ps in
+  let jopt = J2.create_opt ~table:tsoa ~functors:functors2 ps in
+  ignore (jref.W.evaluate_log ps);
+  ignore (jopt.W.evaluate_log ps);
+  (tref, tsoa, jref, jopt)
+
+let test_j2_log_agreement () =
+  let ps, _ = electrons ~seed:1 10 in
+  let _, _, jref, jopt = j2_pair ps in
+  checkf 1e-10 "log psi agree" (jref.W.evaluate_log ps) (jopt.W.evaluate_log ps)
+
+let test_j2_ratio_agreement () =
+  let ps, rng = electrons ~seed:2 10 in
+  let tref, tsoa, jref, jopt = j2_pair ps in
+  for k = 0 to 9 do
+    let pos =
+      Vec3.add (Ps.get ps k)
+        (Vec3.make (Xoshiro.gaussian rng *. 0.3) (Xoshiro.gaussian rng *. 0.3)
+           (Xoshiro.gaussian rng *. 0.3))
+    in
+    AAsoa.prepare tsoa ps k;
+    Ps.propose ps k pos;
+    AAref.move tref ps k pos;
+    AAsoa.move tsoa ps k pos;
+    let r1 = jref.W.ratio ps k and r2 = jopt.W.ratio ps k in
+    checkf 1e-10 "ratio" r1 r2;
+    let r1g, g1 = jref.W.ratio_grad ps k in
+    let r2g, g2 = jopt.W.ratio_grad ps k in
+    checkf 1e-10 "ratio_grad r" r1g r2g;
+    check_bool "ratio_grad g" true (Vec3.equal ~tol:1e-9 g1 g2);
+    Ps.reject ps
+  done
+
+let test_j2_ratio_matches_log_difference () =
+  (* ratio must equal exp(logψ(R') − logψ(R)) via brute recompute. *)
+  let ps, _ = electrons ~seed:3 8 in
+  let _, tsoa, _, jopt = j2_pair ps in
+  let k = 3 in
+  let oldpos = Ps.get ps k in
+  let newpos = Vec3.add oldpos (Vec3.make 0.4 (-0.2) 0.3) in
+  AAsoa.prepare tsoa ps k;
+  Ps.propose ps k newpos;
+  AAsoa.move tsoa ps k newpos;
+  let r = jopt.W.ratio ps k in
+  Ps.reject ps;
+  (* recompute logs from scratch at both configurations *)
+  let log_old = jopt.W.evaluate_log ps in
+  Ps.set ps k newpos;
+  AAsoa.evaluate tsoa ps;
+  let log_new = jopt.W.evaluate_log ps in
+  checkf 1e-9 "ratio = exp(dlog)" (exp (log_new -. log_old)) r
+
+let test_j2_accept_consistency () =
+  (* After a sequence of accepted moves the incremental state must match
+     a from-scratch evaluation. *)
+  let ps, rng = electrons ~seed:4 10 in
+  let tref, tsoa, jref, jopt = j2_pair ps in
+  for k = 0 to 9 do
+    let pos =
+      Vec3.add (Ps.get ps k)
+        (Vec3.make (Xoshiro.gaussian rng *. 0.2) (Xoshiro.gaussian rng *. 0.2)
+           (Xoshiro.gaussian rng *. 0.2))
+    in
+    AAsoa.prepare tsoa ps k;
+    Ps.propose ps k pos;
+    AAref.move tref ps k pos;
+    AAsoa.move tsoa ps k pos;
+    let r = jopt.W.ratio ps k in
+    ignore (jref.W.ratio ps k);
+    if r > 0.3 then begin
+      jref.W.accept ps k;
+      jopt.W.accept ps k;
+      AAref.update tref k;
+      AAsoa.accept tsoa k;
+      Ps.accept ps
+    end
+    else Ps.reject ps
+  done;
+  (* grads from the incrementally maintained opt state *)
+  let g_inc = jopt.W.grad ps 5 in
+  AAref.evaluate tref ps;
+  AAsoa.evaluate tsoa ps;
+  let lref = jref.W.evaluate_log ps in
+  let lopt = jopt.W.evaluate_log ps in
+  checkf 1e-9 "logs equal after sweep" lref lopt;
+  let g_fresh = jopt.W.grad ps 5 in
+  check_bool "incremental grad matches fresh" true
+    (Vec3.equal ~tol:1e-8 g_inc g_fresh)
+
+let test_j2_grad_finite_difference () =
+  let ps, _ = electrons ~seed:5 8 in
+  let _, tsoa, _, jopt = j2_pair ps in
+  let k = 2 in
+  let g = jopt.W.grad ps k in
+  let h = 1e-6 in
+  let log_at pos =
+    let saved = Ps.get ps k in
+    Ps.set ps k pos;
+    AAsoa.evaluate tsoa ps;
+    let l = jopt.W.evaluate_log ps in
+    Ps.set ps k saved;
+    l
+  in
+  let p = Ps.get ps k in
+  let fd d =
+    (log_at (Vec3.add p d) -. log_at (Vec3.sub p d)) /. (2. *. h)
+  in
+  checkf 1e-5 "gx" (fd (Vec3.make h 0. 0.)) g.Vec3.x;
+  checkf 1e-5 "gy" (fd (Vec3.make 0. h 0.)) g.Vec3.y;
+  checkf 1e-5 "gz" (fd (Vec3.make 0. 0. h)) g.Vec3.z;
+  (* restore table state *)
+  AAsoa.evaluate tsoa ps;
+  ignore (jopt.W.evaluate_log ps)
+
+let test_j2_gl_laplacian_fd () =
+  let ps, _ = electrons ~seed:6 6 in
+  let _, tsoa, _, jopt = j2_pair ps in
+  let gl = W.make_gl 6 in
+  W.clear_gl gl;
+  jopt.W.accumulate_gl ps gl;
+  let k = 1 in
+  let h = 1e-4 in
+  let log_at pos =
+    let saved = Ps.get ps k in
+    Ps.set ps k pos;
+    AAsoa.evaluate tsoa ps;
+    let l = jopt.W.evaluate_log ps in
+    Ps.set ps k saved;
+    l
+  in
+  let p = Ps.get ps k in
+  let l0 = log_at p in
+  let lap_fd =
+    (log_at (Vec3.add p (Vec3.make h 0. 0.))
+    +. log_at (Vec3.sub p (Vec3.make h 0. 0.))
+    +. log_at (Vec3.add p (Vec3.make 0. h 0.))
+    +. log_at (Vec3.sub p (Vec3.make 0. h 0.))
+    +. log_at (Vec3.add p (Vec3.make 0. 0. h))
+    +. log_at (Vec3.sub p (Vec3.make 0. 0. h))
+    -. (6. *. l0))
+    /. (h *. h)
+  in
+  checkf 1e-3 "laplacian of log" lap_fd gl.W.glap.(k);
+  AAsoa.evaluate tsoa ps;
+  ignore (jopt.W.evaluate_log ps)
+
+(* ---------- J1 ---------- *)
+
+let j1_pair ps io =
+  let tref = ABref.create ~sources:io ps in
+  let tsoa = ABsoa.create ~sources:io ps in
+  ABref.evaluate tref ps;
+  ABsoa.evaluate tsoa ps;
+  let jref = J1.create_ref ~table:tref ~functors:functors1 ~ions:io ps in
+  let jopt = J1.create_opt ~table:tsoa ~functors:functors1 ~ions:io ps in
+  ignore (jref.W.evaluate_log ps);
+  ignore (jopt.W.evaluate_log ps);
+  (tref, tsoa, jref, jopt)
+
+let test_j1_agreement () =
+  let ps, rng = electrons ~seed:7 8 in
+  let io = ions () in
+  let tref, tsoa, jref, jopt = j1_pair ps io in
+  checkf 1e-10 "log" (jref.W.evaluate_log ps) (jopt.W.evaluate_log ps);
+  for k = 0 to 7 do
+    let pos =
+      Vec3.add (Ps.get ps k) (Vec3.make (Xoshiro.gaussian rng *. 0.3) 0.1 0.)
+    in
+    Ps.propose ps k pos;
+    ABref.move tref pos;
+    ABsoa.move tsoa pos;
+    let r1 = jref.W.ratio ps k and r2 = jopt.W.ratio ps k in
+    checkf 1e-10 "ratio" r1 r2;
+    let _, g1 = jref.W.ratio_grad ps k in
+    let _, g2 = jopt.W.ratio_grad ps k in
+    check_bool "grad" true (Vec3.equal ~tol:1e-9 g1 g2);
+    Ps.reject ps
+  done
+
+let test_j1_grad_fd () =
+  let ps, _ = electrons ~seed:8 6 in
+  let io = ions () in
+  let _, tsoa, _, jopt = j1_pair ps io in
+  let k = 4 in
+  let g = jopt.W.grad ps k in
+  let h = 1e-6 in
+  let log_at pos =
+    let saved = Ps.get ps k in
+    Ps.set ps k pos;
+    ABsoa.evaluate tsoa ps;
+    let l = jopt.W.evaluate_log ps in
+    Ps.set ps k saved;
+    l
+  in
+  let p = Ps.get ps k in
+  let fd d = (log_at (Vec3.add p d) -. log_at (Vec3.sub p d)) /. (2. *. h) in
+  checkf 1e-5 "gx" (fd (Vec3.make h 0. 0.)) g.Vec3.x;
+  checkf 1e-5 "gz" (fd (Vec3.make 0. 0. h)) g.Vec3.z
+
+(* ---------- SPO engines ---------- *)
+
+let test_plane_wave_vgl_fd () =
+  let spo = Spo_analytic.plane_waves ~lattice ~n_orb:7 in
+  let vgl = Spo.make_vgl 7 in
+  let out1 = Array.make 7 0. and out2 = Array.make 7 0. in
+  let r = Vec3.make 1.1 2.7 0.4 in
+  spo.Spo.eval_vgl r vgl;
+  let h = 1e-6 in
+  for m = 0 to 6 do
+    spo.Spo.eval_v (Vec3.add r (Vec3.make h 0. 0.)) out1;
+    spo.Spo.eval_v (Vec3.sub r (Vec3.make h 0. 0.)) out2;
+    checkf 1e-5 "pw gx" ((out1.(m) -. out2.(m)) /. (2. *. h)) vgl.Spo.gx.(m)
+  done
+
+let test_harmonic_vgl_fd () =
+  let spo = Spo_analytic.harmonic ~omega:1.1 ~n_orb:6 in
+  let vgl = Spo.make_vgl 6 in
+  let out1 = Array.make 6 0. and out2 = Array.make 6 0. in
+  let r = Vec3.make 0.4 (-0.6) 0.2 in
+  spo.Spo.eval_vgl r vgl;
+  let h = 1e-5 in
+  for m = 0 to 5 do
+    spo.Spo.eval_v (Vec3.add r (Vec3.make 0. h 0.)) out1;
+    spo.Spo.eval_v (Vec3.sub r (Vec3.make 0. h 0.)) out2;
+    checkf 1e-4 "ho gy" ((out1.(m) -. out2.(m)) /. (2. *. h)) vgl.Spo.gy.(m)
+  done;
+  (* laplacian via eigenvalue: for HO eigenstates,
+     −½∇²φ = (E − ½ω²r²)φ. *)
+  let omega = 1.1 in
+  let states = [| (0, 0, 0); (1, 0, 0); (0, 1, 0); (0, 0, 1) |] in
+  Array.iteri
+    (fun m (nx, ny, nz) ->
+      let e = omega *. (float_of_int (nx + ny + nz) +. 1.5) in
+      let expected =
+        -2. *. (e -. (0.5 *. omega *. omega *. Vec3.norm2 r)) *. vgl.Spo.v.(m)
+      in
+      checkf 1e-8
+        (Printf.sprintf "ho laplacian eigen m=%d" m)
+        expected vgl.Spo.lap.(m))
+    states
+
+let test_bspline_spo_metric () =
+  (* Non-cubic cell: the Cartesian gradients from the metric transform
+     must match finite differences of the values. *)
+  let lat = Lattice.orthorhombic 3. 5. 7. in
+  let module B3 = Oqmc_spline.Bspline3d.Make (Precision.F64) in
+  let module SpoB = Spo_bspline.Make (Precision.F64) in
+  let table = B3.create ~nx:10 ~ny:10 ~nz:10 ~n_orb:2 in
+  let rng = Xoshiro.create 9 in
+  B3.fill table (fun ~orb:_ ~i:_ ~j:_ ~k:_ ->
+      Xoshiro.uniform_range rng ~lo:(-1.) ~hi:1.);
+  let spo = SpoB.create ~table ~lattice:lat in
+  let vgl = Spo.make_vgl 2 in
+  let o1 = Array.make 2 0. and o2 = Array.make 2 0. in
+  let r = Vec3.make 1.3 2.9 5.1 in
+  spo.Spo.eval_vgl r vgl;
+  let h = 1e-5 in
+  let fd m d =
+    spo.Spo.eval_v (Vec3.add r d) o1;
+    spo.Spo.eval_v (Vec3.sub r d) o2;
+    (o1.(m) -. o2.(m)) /. (2. *. h)
+  in
+  for m = 0 to 1 do
+    checkf 1e-4 "gx" (fd m (Vec3.make h 0. 0.)) vgl.Spo.gx.(m);
+    checkf 1e-4 "gy" (fd m (Vec3.make 0. h 0.)) vgl.Spo.gy.(m);
+    checkf 1e-4 "gz" (fd m (Vec3.make 0. 0. h)) vgl.Spo.gz.(m)
+  done;
+  (* laplacian via 6-point stencil *)
+  let m = 0 in
+  let v0 = vgl.Spo.v.(m) in
+  let at d = spo.Spo.eval_v (Vec3.add r d) o1; o1.(m) in
+  let lap_fd =
+    (at (Vec3.make h 0. 0.) +. at (Vec3.make (-.h) 0. 0.)
+    +. at (Vec3.make 0. h 0.) +. at (Vec3.make 0. (-.h) 0.)
+    +. at (Vec3.make 0. 0. h) +. at (Vec3.make 0. 0. (-.h))
+    -. (6. *. v0))
+    /. (h *. h)
+  in
+  checkf 2e-2 "laplacian" lap_fd vgl.Spo.lap.(m)
+
+(* ---------- Slater determinant ---------- *)
+
+let det_setup seed =
+  let ps, rng = electrons ~seed 8 in
+  let spo = Spo_analytic.plane_waves ~lattice ~n_orb:4 in
+  let d_up = Det.create ~spo ~first:0 ~count:4 ps in
+  let d_dn = Det.create ~spo ~first:4 ~count:4 ps in
+  ignore (d_up.W.evaluate_log ps);
+  ignore (d_dn.W.evaluate_log ps);
+  (ps, rng, d_up, d_dn)
+
+let test_det_ratio_vs_log () =
+  let ps, _, d_up, _ = det_setup 10 in
+  let k = 2 in
+  let oldpos = Ps.get ps k in
+  let newpos = Vec3.add oldpos (Vec3.make 0.5 0.2 (-0.3)) in
+  let log_old = d_up.W.evaluate_log ps in
+  Ps.propose ps k newpos;
+  let r = d_up.W.ratio ps k in
+  Ps.reject ps;
+  Ps.set ps k newpos;
+  let log_new = d_up.W.evaluate_log ps in
+  checkf 1e-8 "|ratio| = exp(dlog)" (exp (log_new -. log_old)) (abs_float r)
+
+let test_det_out_of_group () =
+  let ps, _, d_up, d_dn = det_setup 11 in
+  Ps.propose ps 6 (Vec3.make 1. 1. 1.);
+  checkf 1e-12 "up det ignores down move" 1. (d_up.W.ratio ps 6);
+  check_bool "down det responds" true (abs_float (d_dn.W.ratio ps 6) <> 1.);
+  Ps.reject ps
+
+let test_det_accept_tracks () =
+  let ps, rng, d_up, _ = det_setup 12 in
+  (* accept several moves, then compare against a fresh recompute *)
+  let log_running = ref (d_up.W.evaluate_log ps) in
+  for k = 0 to 3 do
+    let pos =
+      Vec3.add (Ps.get ps k) (Vec3.make (Xoshiro.gaussian rng *. 0.2) 0.1 0.)
+    in
+    Ps.propose ps k pos;
+    let r = d_up.W.ratio ps k in
+    if abs_float r > 0.3 then begin
+      d_up.W.accept ps k;
+      Ps.accept ps;
+      log_running := !log_running +. log (abs_float r)
+    end
+    else Ps.reject ps
+  done;
+  let fresh = d_up.W.evaluate_log ps in
+  checkf 1e-8 "incremental log tracks" fresh !log_running
+
+let test_det_grad_fd () =
+  let ps, _, d_up, _ = det_setup 13 in
+  let k = 1 in
+  let g = d_up.W.grad ps k in
+  let h = 1e-6 in
+  let log_at pos =
+    let saved = Ps.get ps k in
+    Ps.set ps k pos;
+    let l = d_up.W.evaluate_log ps in
+    Ps.set ps k saved;
+    l
+  in
+  let p = Ps.get ps k in
+  let fd d = (log_at (Vec3.add p d) -. log_at (Vec3.sub p d)) /. (2. *. h) in
+  checkf 1e-5 "gx" (fd (Vec3.make h 0. 0.)) g.Vec3.x;
+  checkf 1e-5 "gy" (fd (Vec3.make 0. h 0.)) g.Vec3.y;
+  ignore (d_up.W.evaluate_log ps)
+
+let test_det_delayed_same_physics () =
+  let ps, rng = electrons ~seed:14 8 in
+  let spo = Spo_analytic.plane_waves ~lattice ~n_orb:4 in
+  let d_sm = Det.create ~spo ~first:0 ~count:4 ps in
+  let d_delayed = Det.create ~scheme:(Det.Delayed 3) ~spo ~first:0 ~count:4 ps in
+  ignore (d_sm.W.evaluate_log ps);
+  ignore (d_delayed.W.evaluate_log ps);
+  for k = 0 to 3 do
+    let pos =
+      Vec3.add (Ps.get ps k) (Vec3.make (Xoshiro.gaussian rng *. 0.2) 0. 0.)
+    in
+    Ps.propose ps k pos;
+    let r1 = d_sm.W.ratio ps k in
+    let r2 = d_delayed.W.ratio ps k in
+    checkf 1e-8 "delayed ratio" r1 r2;
+    if abs_float r1 > 0.3 then begin
+      d_sm.W.accept ps k;
+      d_delayed.W.accept ps k;
+      Ps.accept ps
+    end
+    else Ps.reject ps
+  done;
+  checkf 1e-7 "final logs" (d_sm.W.evaluate_log ps)
+    (d_delayed.W.evaluate_log ps)
+
+(* ---------- TrialWaveFunction composition ---------- *)
+
+let test_twf_product () =
+  let ps, _ = electrons ~seed:15 8 in
+  let tsoa = AAsoa.create ps in
+  AAsoa.evaluate tsoa ps;
+  let spo = Spo_analytic.plane_waves ~lattice ~n_orb:4 in
+  let d_up = Det.create ~spo ~first:0 ~count:4 ps in
+  let d_dn = Det.create ~spo ~first:4 ~count:4 ps in
+  let j2 = J2.create_opt ~table:tsoa ~functors:functors2 ps in
+  let twf = Twf.create [ d_up; d_dn; j2 ] in
+  let log_total = Twf.evaluate_log twf ps in
+  let sum =
+    d_up.W.evaluate_log ps +. d_dn.W.evaluate_log ps
+    +. j2.W.evaluate_log ps
+  in
+  checkf 1e-10 "log is a sum" sum log_total;
+  let k = 5 in
+  AAsoa.prepare tsoa ps k;
+  Ps.propose ps k (Vec3.add (Ps.get ps k) (Vec3.make 0.2 0.1 0.));
+  AAsoa.move tsoa ps k (Ps.active_pos ps);
+  let r = Twf.ratio twf ps k in
+  let product =
+    d_up.W.ratio ps k *. d_dn.W.ratio ps k *. j2.W.ratio ps k
+  in
+  checkf 1e-10 "ratio is a product" product r;
+  Ps.reject ps
+
+let () =
+  Alcotest.run "wavefunction"
+    [
+      ( "jastrow2",
+        [
+          Alcotest.test_case "log agreement" `Quick test_j2_log_agreement;
+          Alcotest.test_case "ratio agreement" `Quick test_j2_ratio_agreement;
+          Alcotest.test_case "ratio = dlog" `Quick
+            test_j2_ratio_matches_log_difference;
+          Alcotest.test_case "accept consistency" `Quick
+            test_j2_accept_consistency;
+          Alcotest.test_case "grad fd" `Quick test_j2_grad_finite_difference;
+          Alcotest.test_case "laplacian fd" `Quick test_j2_gl_laplacian_fd;
+        ] );
+      ( "jastrow1",
+        [
+          Alcotest.test_case "agreement" `Quick test_j1_agreement;
+          Alcotest.test_case "grad fd" `Quick test_j1_grad_fd;
+        ] );
+      ( "spo",
+        [
+          Alcotest.test_case "plane wave fd" `Quick test_plane_wave_vgl_fd;
+          Alcotest.test_case "harmonic fd + eigen" `Quick test_harmonic_vgl_fd;
+          Alcotest.test_case "bspline metric" `Quick test_bspline_spo_metric;
+        ] );
+      ( "slater",
+        [
+          Alcotest.test_case "ratio vs log" `Quick test_det_ratio_vs_log;
+          Alcotest.test_case "out of group" `Quick test_det_out_of_group;
+          Alcotest.test_case "accept tracks" `Quick test_det_accept_tracks;
+          Alcotest.test_case "grad fd" `Quick test_det_grad_fd;
+          Alcotest.test_case "delayed same physics" `Quick
+            test_det_delayed_same_physics;
+        ] );
+      ("twf", [ Alcotest.test_case "product" `Quick test_twf_product ]);
+    ]

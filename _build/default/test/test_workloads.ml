@@ -1,0 +1,188 @@
+open Oqmc_containers
+open Oqmc_core
+open Oqmc_workloads
+open Oqmc_spline
+
+let checkf tol = Alcotest.(check (float tol))
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ---------- specs (Table 1) ---------- *)
+
+let test_spec_table1_numbers () =
+  check_int "graphite N" 256 Spec.graphite.Spec.n;
+  check_int "graphite ions" 64 Spec.graphite.Spec.n_ion;
+  check_int "graphite SPOs" 80 Spec.graphite.Spec.n_spos;
+  check_int "be N" 256 Spec.be64.Spec.n;
+  check_int "nio32 N" 384 Spec.nio32.Spec.n;
+  check_int "nio64 N" 768 Spec.nio64.Spec.n;
+  check_int "nio64 SPOs" 240 Spec.nio64.Spec.n_spos;
+  check_bool "nio electron count from Z*" true
+    (Spec.nio32.Spec.n = 16 * (18 + 6))
+
+let test_spec_bspline_sizes () =
+  let near expect got = abs_float (got -. expect) /. expect < 0.15 in
+  check_bool "graphite 0.1 GB" true (near 0.1 (Spec.bspline_gb Spec.graphite));
+  check_bool "be 1.4 GB" true (near 1.4 (Spec.bspline_gb Spec.be64));
+  check_bool "nio32 1.3 GB" true (near 1.3 (Spec.bspline_gb Spec.nio32));
+  check_bool "nio64 2.1 GB" true (near 2.1 (Spec.bspline_gb Spec.nio64))
+
+let test_spec_find () =
+  Alcotest.(check string) "case-insensitive" "NiO-64"
+    (Spec.find "nio-64").Spec.wname;
+  Alcotest.check_raises "unknown"
+    (Invalid_argument "Spec.find: unknown workload \"foo\"") (fun () ->
+      ignore (Spec.find "foo"))
+
+(* ---------- builder ---------- *)
+
+let test_scaled_counts () =
+  let s = Builder.scale Spec.nio32 ~reduction:8 in
+  check_int "electrons" 48 s.Builder.n_el;
+  check_bool "even" true (s.Builder.n_el mod 2 = 0);
+  check_bool "ions >= species" true (s.Builder.n_ion >= 2);
+  check_bool "spos cover electrons" true (s.Builder.n_spo >= s.Builder.n_el / 2);
+  let nx, ny, nz = s.Builder.grid in
+  check_bool "grid floors at 8" true (nx >= 8 && ny >= 8 && nz >= 8)
+
+let test_builder_systems_validate () =
+  List.iter
+    (fun spec ->
+      let sys = Builder.make ~reduction:12 spec in
+      check_bool "has electrons" true (System.n_electrons sys > 0);
+      check_bool "has ions" true (System.n_ions sys > 0);
+      check_bool "spin balanced" true (sys.System.n_up = sys.System.n_down))
+    Spec.all
+
+let test_ion_positions_inside_box () =
+  let box = (4., 6., 8.) in
+  let pos = Builder.ion_positions box 17 in
+  check_int "count" 17 (Array.length pos);
+  Array.iter
+    (fun p ->
+      check_bool "inside" true
+        (p.Vec3.x >= 0. && p.Vec3.x <= 4. && p.Vec3.y >= 0. && p.Vec3.y <= 6.
+        && p.Vec3.z >= 0. && p.Vec3.z <= 8.))
+    pos;
+  (* distinct positions *)
+  for i = 0 to 16 do
+    for j = i + 1 to 16 do
+      check_bool "distinct" true (Vec3.dist pos.(i) pos.(j) > 1e-6)
+    done
+  done
+
+let test_builder_deterministic () =
+  let s1 = Builder.make ~seed:5 ~reduction:12 Spec.graphite in
+  let s2 = Builder.make ~seed:5 ~reduction:12 Spec.graphite in
+  (* Same seed must produce identical orbital tables: compare an SPO
+     evaluation. *)
+  let out1 = Array.make s1.System.spo.Oqmc_wavefunction.Spo.n_orb 0. in
+  let out2 = Array.make s2.System.spo.Oqmc_wavefunction.Spo.n_orb 0. in
+  let r = Vec3.make 1. 2. 3. in
+  s1.System.spo.Oqmc_wavefunction.Spo.eval_v r out1;
+  s2.System.spo.Oqmc_wavefunction.Spo.eval_v r out2;
+  Alcotest.(check (array (float 0.))) "identical tables" out1 out2
+
+(* ---------- jastrow sets (Fig. 3) ---------- *)
+
+let test_ee_cusps () =
+  let cutoff = 4.0 in
+  let set = Jastrow_sets.ee_set ~cutoff in
+  let slope f =
+    let _, d, _ = Cubic_spline_1d.evaluate_vgl f 1e-9 in
+    d
+  in
+  checkf 1e-4 "uu cusp -1/4" (-0.25) (slope set.(0).(0));
+  checkf 1e-4 "ud cusp -1/2" (-0.5) (slope set.(0).(1));
+  check_bool "symmetric" true (set.(0).(1) == set.(1).(0));
+  (* deeper at contact for the stronger cusp *)
+  check_bool "ud above uu at 0" true
+    (Cubic_spline_1d.evaluate set.(0).(1) 1e-9
+    > Cubic_spline_1d.evaluate set.(0).(0) 1e-9)
+
+let test_functors_vanish_at_cutoff () =
+  let cutoff = 3.5 in
+  let fns =
+    Jastrow_sets.two_body ~cusp:(-0.5) ~cutoff ()
+    :: Array.to_list (Jastrow_sets.ion_set ~cutoff Spec.nio32.Spec.species)
+  in
+  List.iter
+    (fun f ->
+      checkf 1e-8 "zero at cutoff" 0. (Cubic_spline_1d.evaluate f cutoff);
+      checkf 1e-8 "zero beyond" 0. (Cubic_spline_1d.evaluate f (cutoff +. 1.)))
+    fns
+
+let test_ion_set_ordering () =
+  (* Ni (Z*=18) binds deeper and shorter-ranged than O (Z*=6). *)
+  let set = Jastrow_sets.ion_set ~cutoff:3.5 Spec.nio32.Spec.species in
+  let ni = set.(0) and o = set.(1) in
+  check_bool "Ni deeper at origin" true
+    (Cubic_spline_1d.evaluate ni 1e-9 < Cubic_spline_1d.evaluate o 1e-9);
+  check_bool "Ni shorter ranged" true
+    (abs_float (Cubic_spline_1d.evaluate ni 1.5)
+    < abs_float (Cubic_spline_1d.evaluate o 1.5) +. 1e-6)
+
+let test_tabulate () =
+  let f = Jastrow_sets.two_body ~cusp:(-0.5) ~cutoff:3.0 () in
+  let tab = Jastrow_sets.tabulate f ~points:10 in
+  check_int "points" 10 (Array.length tab);
+  Array.iter
+    (fun (r, u) ->
+      checkf 1e-12 "consistent" (Cubic_spline_1d.evaluate f r) u)
+    tab
+
+(* ---------- nlpp channels ---------- *)
+
+let test_nlpp_channels () =
+  let chans = Builder.nlpp_channels Spec.nio32.Spec.species in
+  check_int "two species" 2 (Array.length chans);
+  List.iter
+    (fun (c : Oqmc_hamiltonian.Nlpp.channel) ->
+      check_bool "positive cutoff" true (c.Oqmc_hamiltonian.Nlpp.cutoff > 0.);
+      check_bool "d channel for Ni" true (c.Oqmc_hamiltonian.Nlpp.l = 2))
+    chans.(0).Oqmc_hamiltonian.Nlpp.channels;
+  let be = Builder.nlpp_channels Spec.be64.Spec.species in
+  check_bool "no pp for Be" true
+    (be.(0).Oqmc_hamiltonian.Nlpp.channels = [])
+
+(* ---------- validation systems ---------- *)
+
+let test_validation_energies () =
+  checkf 1e-12 "3 HO fermions"
+    (1.5 +. 2.5 +. 2.5)
+    (Validation.harmonic_exact_energy ~n:3 ~omega:1.0);
+  let e1 = Validation.free_fermions_exact_energy ~n:3 ~box:5. in
+  (* orbitals 1 (k=0), cos, sin of the smallest G: E = 2 × G²/2. *)
+  let g = 2. *. Float.pi /. 5. in
+  checkf 1e-10 "3 plane waves" (g *. g) e1
+
+let () =
+  Alcotest.run "workloads"
+    [
+      ( "spec",
+        [
+          Alcotest.test_case "table1 numbers" `Quick test_spec_table1_numbers;
+          Alcotest.test_case "bspline sizes" `Quick test_spec_bspline_sizes;
+          Alcotest.test_case "find" `Quick test_spec_find;
+        ] );
+      ( "builder",
+        [
+          Alcotest.test_case "scaled counts" `Quick test_scaled_counts;
+          Alcotest.test_case "systems validate" `Quick
+            test_builder_systems_validate;
+          Alcotest.test_case "ion positions" `Quick
+            test_ion_positions_inside_box;
+          Alcotest.test_case "deterministic" `Quick test_builder_deterministic;
+        ] );
+      ( "jastrow_sets",
+        [
+          Alcotest.test_case "cusps" `Quick test_ee_cusps;
+          Alcotest.test_case "cutoff" `Quick test_functors_vanish_at_cutoff;
+          Alcotest.test_case "ion ordering" `Quick test_ion_set_ordering;
+          Alcotest.test_case "tabulate" `Quick test_tabulate;
+        ] );
+      ("nlpp", [ Alcotest.test_case "channels" `Quick test_nlpp_channels ]);
+      ( "validation",
+        [ Alcotest.test_case "exact energies" `Quick test_validation_energies ]
+      );
+    ]
