@@ -13,7 +13,8 @@ let make_system name reduction with_nlpp seed =
   | _ -> Builder.make ~seed ~with_nlpp ~reduction (Spec.find name)
 
 let run input method_ workload variant reduction walkers blocks steps tau
-    domains with_nlpp seed checkpoint restore =
+    domains with_nlpp seed checkpoint checkpoint_every checkpoint_keep
+    watchdog restore =
   (* An input deck, when given, takes precedence over the flags. *)
   let cfg =
     match input with
@@ -32,6 +33,9 @@ let run input method_ workload variant reduction walkers blocks steps tau
           nlpp = with_nlpp;
           seed;
           checkpoint;
+          checkpoint_every;
+          checkpoint_keep;
+          watchdog;
           restore;
         }
   in
@@ -47,6 +51,9 @@ let run input method_ workload variant reduction walkers blocks steps tau
   let with_nlpp = cfg.Input.nlpp in
   let seed = cfg.Input.seed in
   let checkpoint = cfg.Input.checkpoint in
+  let checkpoint_every = cfg.Input.checkpoint_every in
+  let checkpoint_keep = cfg.Input.checkpoint_keep in
+  let watchdog = cfg.Input.watchdog in
   let restore = cfg.Input.restore in
   let sys = make_system workload reduction with_nlpp seed in
   let factory = Build.factory ~variant ~seed sys in
@@ -79,14 +86,23 @@ let run input method_ workload variant reduction walkers blocks steps tau
       let initial =
         match restore with
         | Some path ->
-            let e_trial, ws = Checkpoint.load ~path in
-            Printf.printf "restored %d walkers from %s (E_T = %.6f)\n"
-              (List.length ws) path e_trial;
+            (* Resume from the newest *valid* checkpoint generation,
+               falling back past corrupt ones. *)
+            let gen, (e_trial, ws) = Checkpoint.load_latest ~path in
+            Printf.printf
+              "restored %d walkers from %s (generation %d, E_T = %.6f)\n"
+              (List.length ws) path gen e_trial;
             Some (e_trial, ws)
         | None -> None
       in
+      let watchdog_cfg =
+        if watchdog > 0 then
+          Some { Integrity.default_config with check_every = watchdog }
+        else None
+      in
       let res =
-        Dmc.run ?initial ~factory
+        Dmc.run ?initial ~checkpoint_every ~checkpoint_keep
+          ?checkpoint_path:checkpoint ?watchdog:watchdog_cfg ~factory
           {
             Dmc.target_walkers = walkers;
             warmup = steps;
@@ -109,6 +125,14 @@ let run input method_ workload variant reduction walkers blocks steps tau
       Printf.printf "load balance  : %d walker messages, %.2f MB total\n"
         res.Dmc.comm_messages
         (float_of_int res.Dmc.comm_bytes /. 1e6);
+      let it = res.Dmc.integrity in
+      if it.Integrity.scans > 0 || it.Integrity.checkpoints_written > 0 then
+        Printf.printf
+          "integrity     : %d scans, %d audits, %d quarantined, %d \
+           recovered, drift_max %.3g, %d checkpoints (%d failed)\n"
+          it.Integrity.scans it.Integrity.audits it.Integrity.quarantined
+          it.Integrity.recoveries it.Integrity.drift_max
+          it.Integrity.checkpoints_written it.Integrity.checkpoint_failures;
       (match checkpoint with
       | Some path ->
           Checkpoint.save ~path ~e_trial:res.Dmc.final_e_trial
@@ -170,20 +194,50 @@ let checkpoint =
     value
     & opt (some string) None
     & info [ "checkpoint" ] ~docv:"PATH"
-        ~doc:"Write the final DMC walker ensemble to $(docv).")
+        ~doc:
+          "Write the final DMC walker ensemble to $(docv); with \
+           --checkpoint-every, also write rotating $(docv).gen-N files \
+           during the run.")
+
+let checkpoint_every =
+  Arg.(
+    value & opt int 0
+    & info [ "checkpoint-every" ] ~docv:"N"
+        ~doc:
+          "Checkpoint the DMC ensemble every $(docv) generations (0 \
+           disables periodic checkpointing).")
+
+let checkpoint_keep =
+  Arg.(
+    value & opt int 3
+    & info [ "checkpoint-keep" ] ~docv:"K"
+        ~doc:"Keep the newest $(docv) checkpoint generations.")
+
+let watchdog =
+  Arg.(
+    value & opt int 0
+    & info [ "watchdog" ] ~docv:"G"
+        ~doc:
+          "Enable the walker watchdog: NaN/Inf scan every generation and \
+           a full-recompute drift audit every $(docv) generations (0 \
+           disables).")
 
 let restore =
   Arg.(
     value
     & opt (some string) None
     & info [ "restore" ] ~docv:"PATH"
-        ~doc:"Resume DMC from a checkpoint written by --checkpoint.")
+        ~doc:
+          "Resume DMC from a checkpoint written by --checkpoint, picking \
+           the newest valid $(docv).gen-N generation (or $(docv) itself) \
+           and skipping corrupt ones.")
 
 let cmd =
   Cmd.v
     (Cmd.info "oqmc_run" ~doc:"VMC/DMC driver on workloads")
     Term.(
       const run $ input $ method_ $ workload $ variant $ reduction $ walkers
-      $ blocks $ steps $ tau $ domains $ nlpp $ seed $ checkpoint $ restore)
+      $ blocks $ steps $ tau $ domains $ nlpp $ seed $ checkpoint
+      $ checkpoint_every $ checkpoint_keep $ watchdog $ restore)
 
 let () = exit (Cmd.eval cmd)

@@ -1,56 +1,125 @@
 open Oqmc_particle
 open Oqmc_containers
 
-(* Checkpoint/restart for walker populations.
+(* Crash-safe checkpoint/restart for walker populations (format v2).
 
-   Production DMC runs over days checkpoint their walker ensemble (the
-   serialized Walker objects of the load-balancing path) so a job can
-   resume mid-propagation.  The format is a versioned plain-text stream:
-   portable, diffable, and the buffers are written in full precision via
-   the %h hex-float format so restart is bit-exact. *)
+   Production DMC runs over days checkpoint their walker ensemble so a
+   job can resume mid-propagation; a crash *during* the checkpoint write
+   must never cost the run.  The v2 format keeps the versioned
+   plain-text stream of v1 (portable, diffable, hex-floats so restart is
+   bit-exact) and adds the integrity machinery:
 
-let magic = "OQMC-CHECKPOINT-1"
+   - the file is rendered in memory, written to [path.tmp] and published
+     by an atomic rename, so a reader never sees a half-written file;
+   - a CRC-32 trailer over the payload detects truncation and bit rot;
+   - transient IO errors are retried with exponential backoff;
+   - [save_generation] rotates [path.gen-N] files, keeping the last K,
+     and [load_latest] falls back to the newest *valid* generation when
+     the latest is corrupt.
 
-let write_walker oc (w : Walker.t) =
-  let n = Walker.n_particles w in
-  Printf.fprintf oc "walker %d %h %d %d %h %h\n" n w.Walker.weight
-    w.Walker.multiplicity w.Walker.age w.Walker.log_psi w.Walker.e_local;
-  for i = 0 to n - 1 do
-    let p = Walker.Aos.get w.Walker.r i in
-    Printf.fprintf oc "%h %h %h\n" p.Vec3.x p.Vec3.y p.Vec3.z
-  done;
-  let buf = Wbuffer.contents w.Walker.buffer in
-  Printf.fprintf oc "buffer %d\n" (Array.length buf);
-  Array.iter (fun v -> Printf.fprintf oc "%h\n" v) buf
+   v1 files (no CRC trailer) are still readable. *)
 
-let save ~path ~e_trial walkers =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
-      Printf.fprintf oc "%s\n" magic;
-      Printf.fprintf oc "e_trial %h\n" e_trial;
-      Printf.fprintf oc "walkers %d\n" (List.length walkers);
-      List.iter (write_walker oc) walkers)
+let magic = "OQMC-CHECKPOINT-2"
+let magic_v1 = "OQMC-CHECKPOINT-1"
 
 exception Corrupt of string
 
 let fail fmt = Printf.ksprintf (fun s -> raise (Corrupt s)) fmt
 
-let read_line_exn ic what =
-  match input_line ic with
-  | line -> line
-  | exception End_of_file -> fail "unexpected end of file reading %s" what
+(* ---------- CRC-32 (IEEE 802.3, reflected, poly 0xEDB88320) ---------- *)
 
-let scan_line ic what fmt f =
-  let line = read_line_exn ic what in
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let crc32 s =
+  let table = Lazy.force crc_table in
+  let crc = ref 0xFFFFFFFF in
+  String.iter
+    (fun ch -> crc := table.((!crc lxor Char.code ch) land 0xff) lxor (!crc lsr 8))
+    s;
+  !crc lxor 0xFFFFFFFF
+
+(* ---------- rendering ---------- *)
+
+let write_walker buf (w : Walker.t) =
+  let n = Walker.n_particles w in
+  Printf.bprintf buf "walker %d %h %d %d %h %h\n" n w.Walker.weight
+    w.Walker.multiplicity w.Walker.age w.Walker.log_psi w.Walker.e_local;
+  for i = 0 to n - 1 do
+    let p = Walker.Aos.get w.Walker.r i in
+    Printf.bprintf buf "%h %h %h\n" p.Vec3.x p.Vec3.y p.Vec3.z
+  done;
+  let b = Wbuffer.contents w.Walker.buffer in
+  Printf.bprintf buf "buffer %d\n" (Array.length b);
+  Array.iter (fun v -> Printf.bprintf buf "%h\n" v) b
+
+let render ~e_trial walkers =
+  let buf = Buffer.create 4096 in
+  Printf.bprintf buf "%s\n" magic;
+  Printf.bprintf buf "e_trial %h\n" e_trial;
+  Printf.bprintf buf "walkers %d\n" (List.length walkers);
+  List.iter (write_walker buf) walkers;
+  let payload = Buffer.contents buf in
+  payload ^ Printf.sprintf "crc %08x\n" (crc32 payload)
+
+(* ---------- atomic write with retry ---------- *)
+
+let write_atomic ~path data =
+  if Fault.should_fail_io Fault.Checkpoint_write then
+    raise (Sys_error (path ^ ": injected write failure"));
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  (try
+     output_string oc data;
+     close_out oc
+   with e ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  if Fault.should_fail_io Fault.Checkpoint_rename then begin
+    (try Sys.remove tmp with Sys_error _ -> ());
+    raise (Sys_error (path ^ ": injected rename failure"))
+  end;
+  Sys.rename tmp path
+
+let save ?(retries = 3) ?(backoff = 0.05) ~path ~e_trial walkers =
+  let data = render ~e_trial walkers in
+  let rec attempt k =
+    try write_atomic ~path data
+    with Sys_error _ when k < retries ->
+      Unix.sleepf (backoff *. float_of_int (1 lsl k));
+      attempt (k + 1)
+  in
+  attempt 0
+
+(* ---------- strict parsing ---------- *)
+
+type cursor = { lines : string array; mutable pos : int }
+
+let next c what =
+  if c.pos >= Array.length c.lines then
+    fail "unexpected end of file reading %s" what
+  else begin
+    let l = c.lines.(c.pos) in
+    c.pos <- c.pos + 1;
+    l
+  end
+
+let scan c what fmt f =
+  let line = next c what in
   try Scanf.sscanf line fmt f
-  with Scanf.Scan_failure _ | Failure _ ->
+  with Scanf.Scan_failure _ | Failure _ | End_of_file ->
     fail "malformed %s line: %S" what line
 
-let read_walker ic =
+let read_walker c =
   let n, weight, multiplicity, age, log_psi, e_local =
-    scan_line ic "walker header" "walker %d %h %d %d %h %h"
+    scan c "walker header" "walker %d %h %d %d %h %h%!"
       (fun a b c d e f -> (a, b, c, d, e, f))
   in
   if n < 1 then fail "walker with %d particles" n;
@@ -61,29 +130,125 @@ let read_walker ic =
   w.Walker.log_psi <- log_psi;
   w.Walker.e_local <- e_local;
   for i = 0 to n - 1 do
-    let x, y, z =
-      scan_line ic "position" "%h %h %h" (fun x y z -> (x, y, z))
-    in
+    let x, y, z = scan c "position" "%h %h %h%!" (fun x y z -> (x, y, z)) in
     Walker.Aos.set w.Walker.r i (Vec3.make x y z)
   done;
-  let nbuf = scan_line ic "buffer header" "buffer %d" Fun.id in
+  let nbuf = scan c "buffer header" "buffer %d%!" Fun.id in
+  if nbuf < 0 then fail "negative buffer length";
   Wbuffer.clear w.Walker.buffer;
   for _ = 1 to nbuf do
-    let v = scan_line ic "buffer value" "%h" Fun.id in
+    let v = scan c "buffer value" "%h%!" Fun.id in
     Wbuffer.add w.Walker.buffer v
   done;
   Wbuffer.rewind w.Walker.buffer;
   w
 
+(* Parse payload lines (everything after the magic); strict: the walker
+   count must agree with the stream and nothing may follow it. *)
+let parse_payload lines =
+  let c = { lines; pos = 0 } in
+  let e_trial = scan c "e_trial" "e_trial %h%!" Fun.id in
+  let count = scan c "walker count" "walkers %d%!" Fun.id in
+  if count < 0 then fail "negative walker count";
+  let walkers = ref [] in
+  for _ = 1 to count do
+    walkers := read_walker c :: !walkers
+  done;
+  if c.pos <> Array.length lines then
+    fail "trailing garbage: %d unconsumed line(s) after walker %d"
+      (Array.length lines - c.pos)
+      count;
+  (e_trial, List.rev !walkers)
+
+let load_string content =
+  let lines =
+    (* A well-formed file ends with a newline, so splitting leaves one
+       trailing "" to drop; anything else is parsed as-is and rejected. *)
+    match List.rev (String.split_on_char '\n' content) with
+    | "" :: rest -> List.rev rest
+    | _ -> String.split_on_char '\n' content
+  in
+  match lines with
+  | [] -> fail "empty checkpoint"
+  | first :: rest when first = magic_v1 ->
+      parse_payload (Array.of_list rest)
+  | first :: _ when first = magic -> (
+      match List.rev lines with
+      | crc_line :: rev_payload ->
+          let expected =
+            try Scanf.sscanf crc_line "crc %x%!" Fun.id
+            with Scanf.Scan_failure _ | Failure _ | End_of_file ->
+              fail "missing or malformed crc trailer: %S" crc_line
+          in
+          let payload_lines = List.rev rev_payload in
+          let payload =
+            String.concat "" (List.map (fun l -> l ^ "\n") payload_lines)
+          in
+          let actual = crc32 payload in
+          if actual <> expected then
+            fail "crc mismatch: stored %08x, computed %08x" expected actual;
+          parse_payload (Array.of_list (List.tl payload_lines))
+      | [] -> fail "empty checkpoint")
+  | first :: _ -> fail "bad magic %S" first
+
 let load ~path =
-  let ic = open_in path in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () ->
-      let header = read_line_exn ic "magic" in
-      if header <> magic then fail "bad magic %S" header;
-      let e_trial = scan_line ic "e_trial" "e_trial %h" Fun.id in
-      let count = scan_line ic "walker count" "walkers %d" Fun.id in
-      if count < 0 then fail "negative walker count";
-      let walkers = List.init count (fun _ -> read_walker ic) in
-      (e_trial, walkers))
+  let ic = open_in_bin path in
+  let content =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  load_string content
+
+(* ---------- generation rotation ---------- *)
+
+let generation_path ~path gen = Printf.sprintf "%s.gen-%d" path gen
+
+let list_generations ~path =
+  let dir = Filename.dirname path in
+  let prefix = Filename.basename path ^ ".gen-" in
+  let plen = String.length prefix in
+  match Sys.readdir dir with
+  | exception Sys_error _ -> []
+  | entries ->
+      Array.to_list entries
+      |> List.filter_map (fun name ->
+             if String.length name > plen && String.sub name 0 plen = prefix
+             then
+               match
+                 int_of_string_opt
+                   (String.sub name plen (String.length name - plen))
+               with
+               | Some g when g >= 0 -> Some (g, Filename.concat dir name)
+               | _ -> None
+             else None)
+      |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let save_generation ?retries ?backoff ?(keep = 3) ~path ~gen ~e_trial walkers
+    =
+  if keep < 1 then invalid_arg "Checkpoint.save_generation: keep < 1";
+  if gen < 0 then invalid_arg "Checkpoint.save_generation: gen < 0";
+  save ?retries ?backoff ~path:(generation_path ~path gen) ~e_trial walkers;
+  let gens = list_generations ~path in
+  let excess = List.length gens - keep in
+  if excess > 0 then
+    List.iteri
+      (fun i (_, p) ->
+        if i < excess then try Sys.remove p with Sys_error _ -> ())
+      gens
+
+let load_latest ~path =
+  let candidates =
+    List.rev (list_generations ~path)
+    @ (if Sys.file_exists path then [ (0, path) ] else [])
+  in
+  if candidates = [] then fail "no checkpoint found at %s" path;
+  let rec go = function
+    | [] -> fail "no valid checkpoint generation at %s" path
+    | (g, p) :: rest -> (
+        match load ~path:p with
+        | res -> (g, res)
+        | exception Corrupt _ -> go rest
+        | exception Sys_error _ -> go rest)
+  in
+  go candidates

@@ -1,17 +1,69 @@
 open Oqmc_particle
 
-(** Checkpoint/restart of a walker ensemble: versioned plain-text format
-    with hex-float fields, so resumed runs are bit-exact. *)
+(** Crash-safe checkpoint/restart of a walker ensemble (format v2):
+    versioned plain-text with hex-float fields (resumes are bit-exact),
+    written atomically (tmp + rename) with a CRC-32 trailer, retried
+    with backoff on transient IO errors, and rotated by generation so a
+    corrupt latest file falls back to the previous one.  The on-disk
+    format and recovery semantics are documented in
+    [docs/ROBUSTNESS.md].  v1 files (no CRC) are still readable. *)
 
 exception Corrupt of string
-(** Raised by {!load} on malformed or truncated files. *)
+(** Raised by the loaders on malformed, truncated or garbled files. *)
 
 val magic : string
+(** The v2 header line. *)
 
-val save : path:string -> e_trial:float -> Walker.t list -> unit
+val magic_v1 : string
+
+val crc32 : string -> int
+(** The trailer checksum: CRC-32 (IEEE 802.3) of the payload bytes. *)
+
+val save :
+  ?retries:int ->
+  ?backoff:float ->
+  path:string ->
+  e_trial:float ->
+  Walker.t list ->
+  unit
 (** Serialize positions, DMC bookkeeping and the anonymous state buffer
-    of every walker. *)
+    of every walker.  The file is written to [path ^ ".tmp"] and
+    published by an atomic rename; [Sys_error]s are retried up to
+    [retries] times (default 3) with exponential backoff starting at
+    [backoff] seconds (default 0.05), then re-raised. *)
 
 val load : path:string -> float * Walker.t list
 (** Returns the trial energy and the walkers, with buffers rewound ready
-    for [restore_walker]. *)
+    for [restore_walker].  Strict: the CRC must match (v2), the walker
+    count must agree with the stream, and trailing garbage is rejected.
+    @raise Corrupt on any violation. *)
+
+val load_string : string -> float * Walker.t list
+(** [load] on in-memory contents (exposed for tests). *)
+
+(** {1 Generation rotation} *)
+
+val generation_path : path:string -> int -> string
+(** [generation_path ~path g] is ["path.gen-<g>"]. *)
+
+val list_generations : path:string -> (int * string) list
+(** Existing generations of [path], sorted oldest first. *)
+
+val save_generation :
+  ?retries:int ->
+  ?backoff:float ->
+  ?keep:int ->
+  path:string ->
+  gen:int ->
+  e_trial:float ->
+  Walker.t list ->
+  unit
+(** Atomically write generation [gen] and delete all but the newest
+    [keep] (default 3) generations.
+    @raise Invalid_argument if [keep < 1] or [gen < 0]. *)
+
+val load_latest : path:string -> int * (float * Walker.t list)
+(** Newest generation of [path] that loads cleanly, falling back past
+    corrupt ones; a plain [path] file (no generation suffix) is the
+    final fallback and reports generation 0.
+    @raise Corrupt when nothing valid exists. *)

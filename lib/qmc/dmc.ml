@@ -46,12 +46,14 @@ type result = {
   comm_bytes : int;
   final_walkers : Walker.t list; (* for checkpointing *)
   final_e_trial : float;
+  integrity : Integrity.stats; (* watchdog + checkpoint counters *)
 }
 
 type wslot = { mutable walker : Walker.t; rng : Xoshiro.t }
 
-let run ?initial ?observe ~(factory : int -> Engine_api.t) (p : params) :
-    result =
+let run ?initial ?observe ?(checkpoint_every = 0) ?checkpoint_path
+    ?(checkpoint_keep = 3) ?watchdog ~(factory : int -> Engine_api.t)
+    (p : params) : result =
   if p.target_walkers < 1 then invalid_arg "Dmc.run: target_walkers < 1";
   let runner = Runner.create ~n_domains:p.n_domains ~factory in
   let e0 = Runner.engine runner 0 in
@@ -86,7 +88,11 @@ let run ?initial ?observe ~(factory : int -> Engine_api.t) (p : params) :
   let energy_series = Stats.make_series () in
   let pop_series = ref [] in
   let sample_count = ref 0 in
+  let integrity = Integrity.create_stats () in
+  let gen_index = ref 0 in (* absolute generation counter, warmup included *)
   let step ~measure_stats =
+    incr gen_index;
+    let gen = !gen_index in
     let ws = Array.of_list (Population.walkers pop) in
     let slots =
       Array.map (fun w -> { walker = w; rng = next_rng () }) ws
@@ -98,6 +104,7 @@ let run ?initial ?observe ~(factory : int -> Engine_api.t) (p : params) :
         let e_old = w.Walker.e_local in
         let r = e.Engine_api.sweep s.rng ~tau:p.tau in
         let e_new = e.Engine_api.measure () in
+        let e_new = Fault.tamper_energy ~gen ~walker_id:w.Walker.id e_new in
         Population.dmc_weight ~tau:p.tau ~e_trial ~e_old ~e_new w;
         w.Walker.e_local <- e_new;
         w.Walker.age <-
@@ -111,6 +118,12 @@ let run ?initial ?observe ~(factory : int -> Engine_api.t) (p : params) :
         prop_total := !prop_total + n;
         s.walker.Walker.multiplicity <- 1)
       slots;
+    (* Watchdog before the estimator: poisoned walkers must never feed
+       the mixed estimator or the trial-energy feedback. *)
+    (match watchdog with
+    | Some cfg ->
+        Integrity.watchdog cfg integrity ~gen ~rng:master_rng runner pop
+    | None -> ());
     (* Weighted mixed estimator for this generation. *)
     let wsum = ref 0. and esum = ref 0. in
     List.iter
@@ -133,7 +146,22 @@ let run ?initial ?observe ~(factory : int -> Engine_api.t) (p : params) :
       let report = Population.load_balance pop ~ranks:p.ranks in
       comm_messages := !comm_messages + report.Population.messages;
       comm_bytes := !comm_bytes + report.Population.bytes
-    end
+    end;
+    (* Periodic crash-safe checkpoint: a failed write must not kill the
+       run — it is counted and retried at the next interval. *)
+    match checkpoint_path with
+    | Some path when checkpoint_every > 0 && gen mod checkpoint_every = 0
+      -> (
+        try
+          Checkpoint.save_generation ~keep:checkpoint_keep ~path ~gen
+            ~e_trial:(Population.e_trial pop)
+            (Population.walkers pop);
+          integrity.Integrity.checkpoints_written <-
+            integrity.Integrity.checkpoints_written + 1
+        with Sys_error _ | Checkpoint.Corrupt _ ->
+          integrity.Integrity.checkpoint_failures <-
+            integrity.Integrity.checkpoint_failures + 1)
+    | _ -> ()
   in
   for _ = 1 to p.warmup do
     step ~measure_stats:false
@@ -147,14 +175,21 @@ let run ?initial ?observe ~(factory : int -> Engine_api.t) (p : params) :
   let variance = Stats.series_variance energy_series in
   let tau_corr = Stats.autocorrelation_time energy_series in
   let pops = Array.of_list (List.rev !pop_series) in
+  (* Tiny runs can finish between two clock ticks: guard every division
+     by [wall_time] so the result is NaN-free. *)
   {
     energy;
     energy_error = Stats.series_error energy_series;
     variance;
     tau_corr;
-    efficiency = Stats.efficiency ~variance ~tau_corr ~t_mc:wall_time;
+    efficiency =
+      (if wall_time > 0. then
+         Stats.efficiency ~variance ~tau_corr ~t_mc:wall_time
+       else 0.);
     acceptance = float_of_int !acc_total /. float_of_int (max 1 !prop_total);
-    throughput = float_of_int !sample_count /. wall_time;
+    throughput =
+      (if wall_time > 0. then float_of_int !sample_count /. wall_time
+       else 0.);
     wall_time;
     mean_population =
       (if Array.length pops = 0 then 0.
@@ -167,4 +202,5 @@ let run ?initial ?observe ~(factory : int -> Engine_api.t) (p : params) :
     comm_bytes = !comm_bytes;
     final_walkers = Population.walkers pop;
     final_e_trial = Population.e_trial pop;
+    integrity = Integrity.copy_stats integrity;
   }

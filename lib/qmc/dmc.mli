@@ -30,14 +30,32 @@ type result = {
   comm_bytes : int;  (** serialized-walker exchange volume *)
   final_walkers : Oqmc_particle.Walker.t list;  (** for checkpointing *)
   final_e_trial : float;
+  integrity : Integrity.stats;
+      (** watchdog quarantine/recovery/drift counters plus periodic
+          checkpoint successes and failures *)
 }
 
 val run :
   ?initial:float * Oqmc_particle.Walker.t list ->
   ?observe:(Oqmc_particle.Walker.t -> unit) ->
+  ?checkpoint_every:int ->
+  ?checkpoint_path:string ->
+  ?checkpoint_keep:int ->
+  ?watchdog:Integrity.config ->
   factory:(int -> Engine_api.t) ->
   params ->
   result
 (** [initial] resumes from a checkpointed (e_trial, walkers) ensemble;
     [observe] is called per walker per measured generation.
+
+    When [checkpoint_path] is given and [checkpoint_every > 0], the
+    ensemble is checkpointed every [checkpoint_every] generations
+    (warmup included) via {!Checkpoint.save_generation}, rotating the
+    newest [checkpoint_keep] (default 3) generations; a failed write is
+    counted in [integrity.checkpoint_failures] and the run continues.
+
+    [watchdog] enables the {!Integrity} walker watchdog: a NaN/Inf
+    poison scan every generation plus a sampled full-recompute audit
+    every [check_every] generations, run before the mixed estimator so
+    poisoned walkers never bias the energy or the trial-energy feedback.
     @raise Invalid_argument if [target_walkers < 1]. *)

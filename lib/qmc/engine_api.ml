@@ -41,3 +41,11 @@ type t = {
       (* Persistent per-engine + per-walker-state footprint (excludes the
          shared read-only SPO table). *)
 }
+
+(* Drift of the incrementally-maintained log Ψ against a full
+   double-precision recompute — the quantity the paper's periodic
+   refresh bounds.  Leaves the engine in the refreshed state. *)
+let drift (e : t) =
+  let incremental = e.log_psi () in
+  let fresh = e.refresh () in
+  Float.abs (incremental -. fresh)

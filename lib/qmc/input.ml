@@ -32,6 +32,9 @@ type t = {
   nlpp : bool;
   seed : int;
   checkpoint : string option;
+  checkpoint_every : int;
+  checkpoint_keep : int;
+  watchdog : int;
   restore : string option;
 }
 
@@ -49,6 +52,9 @@ let default =
     nlpp = false;
     seed = 1;
     checkpoint = None;
+    checkpoint_every = 0;
+    checkpoint_keep = 3;
+    watchdog = 0;
     restore = None;
   }
 
@@ -87,6 +93,9 @@ let apply cfg ~line key value =
   | "nlpp" -> { cfg with nlpp = parse_bool line value }
   | "seed" -> { cfg with seed = parse_int line value }
   | "checkpoint" -> { cfg with checkpoint = Some value }
+  | "checkpoint_every" -> { cfg with checkpoint_every = parse_int line value }
+  | "checkpoint_keep" -> { cfg with checkpoint_keep = parse_int line value }
+  | "watchdog" -> { cfg with watchdog = parse_int line value }
   | "restore" -> { cfg with restore = Some value }
   | other -> fail line "unknown key %S" other
 

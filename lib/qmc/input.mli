@@ -14,6 +14,12 @@ type t = {
   nlpp : bool;
   seed : int;
   checkpoint : string option;
+  checkpoint_every : int;
+      (** DMC: checkpoint every N generations (0 disables) *)
+  checkpoint_keep : int;  (** checkpoint generations retained *)
+  watchdog : int;
+      (** DMC: recompute-audit cadence of the walker watchdog
+          (0 disables the watchdog) *)
   restore : string option;
 }
 

@@ -21,6 +21,12 @@ let size t = List.length t.walkers
 let walkers t = t.walkers
 let e_trial t = t.e_trial
 
+(* Replace the ensemble wholesale — the quarantine/recovery path of the
+   integrity watchdog. *)
+let set_walkers t ws =
+  if ws = [] then invalid_arg "Population.set_walkers: empty population";
+  t.walkers <- ws
+
 let average_weight t =
   match t.walkers with
   | [] -> 0.

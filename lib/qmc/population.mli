@@ -13,6 +13,11 @@ val create :
 val size : t -> int
 val walkers : t -> Walker.t list
 val e_trial : t -> float
+
+val set_walkers : t -> Walker.t list -> unit
+(** Replace the ensemble (the watchdog's quarantine/recovery path).
+    @raise Invalid_argument on an empty list. *)
+
 val average_weight : t -> float
 
 val dmc_weight :

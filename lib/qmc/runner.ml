@@ -25,8 +25,13 @@ let merged_timers t =
   Array.iter (fun e -> Timers.merge ~into:out e.Engine_api.timers) t.engines;
   out
 
+exception Domain_failures of (int * exn) list
+
 (* Apply [f engine walker] to every walker, chunked across domains.
-   Mutations of walker records are published by Domain.join. *)
+   Mutations of walker records are published by Domain.join.  Every
+   domain is always joined, even when some raise: a lone failure is
+   re-raised as-is, several are aggregated into [Domain_failures] —
+   nothing is lost and no domain is leaked unjoined. *)
 let iter_walkers t (walkers : 'w array) ~(f : Engine_api.t -> 'w -> unit) =
   let n = Array.length walkers in
   if n = 0 then ()
@@ -45,6 +50,15 @@ let iter_walkers t (walkers : 'w array) ~(f : Engine_api.t -> 'w -> unit) =
     let handles =
       Array.init (t.n_domains - 1) (fun d -> Domain.spawn (work (d + 1)))
     in
-    work 0 ();
-    Array.iter Domain.join handles
+    let failures = ref [] in
+    (try work 0 () with e -> failures := (0, e) :: !failures);
+    Array.iteri
+      (fun i h ->
+        try Domain.join h
+        with e -> failures := (i + 1, e) :: !failures)
+      handles;
+    match List.rev !failures with
+    | [] -> ()
+    | [ (_, e) ] -> raise e
+    | fs -> raise (Domain_failures fs)
   end

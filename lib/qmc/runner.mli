@@ -15,6 +15,13 @@ val engines : t -> Engine_api.t array
 val merged_timers : t -> Oqmc_containers.Timers.t
 (** All per-domain kernel timers merged into one set. *)
 
+exception Domain_failures of (int * exn) list
+(** Raised by {!iter_walkers} when more than one domain fails:
+    [(domain_index, exn)] pairs in domain order.  A single failure is
+    re-raised unchanged. *)
+
 val iter_walkers : t -> 'w array -> f:(Engine_api.t -> 'w -> unit) -> unit
 (** Apply [f engine walker] to every element, chunked contiguously
-    across domains; mutations are published by [Domain.join]. *)
+    across domains; mutations are published by [Domain.join].  All
+    domains are joined even when some raise — failures are collected and
+    re-raised (aggregated as {!Domain_failures} when several). *)

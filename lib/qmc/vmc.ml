@@ -40,6 +40,10 @@ type result = {
   tau_corr : float;
   samples : int;
   block_energies : float array;
+  drift_max : float;
+      (* largest |incremental log Ψ − recompute| seen at the per-block
+         refresh: the mixed-precision drift the paper's periodic
+         recompute bounds *)
 }
 
 type wstate = {
@@ -50,6 +54,7 @@ type wstate = {
   mutable n_meas : int;
   mutable accepted : int;
   mutable proposed : int;
+  mutable drift : float;
 }
 
 let run ?observe ~(factory : int -> Engine_api.t) (p : params) : result =
@@ -72,6 +77,7 @@ let run ?observe ~(factory : int -> Engine_api.t) (p : params) : result =
           n_meas = 0;
           accepted = 0;
           proposed = 0;
+          drift = 0.;
         })
   in
   (* Warmup: equilibrate each walker. *)
@@ -100,8 +106,8 @@ let run ?observe ~(factory : int -> Engine_api.t) (p : params) : result =
           s.n_meas <- s.n_meas + 1
         done;
         (* Periodic recompute-from-scratch: the mixed-precision accuracy
-           safeguard of the paper. *)
-        ignore (e.Engine_api.refresh ());
+           safeguard of the paper — and the watchdog's drift metric. *)
+        s.drift <- Float.max s.drift (Engine_api.drift e);
         e.Engine_api.save_walker s.walker);
     (* Observables accumulate serially from the stored walkers. *)
     (match observe with
@@ -116,8 +122,13 @@ let run ?observe ~(factory : int -> Engine_api.t) (p : params) : result =
   let tot_meas = Array.fold_left (fun a s -> a + s.n_meas) 0 states in
   let e_sum = Array.fold_left (fun a s -> a +. s.e_sum) 0. states in
   let e2_sum = Array.fold_left (fun a s -> a +. s.e2_sum) 0. states in
-  let energy = e_sum /. float_of_int tot_meas in
-  let variance = (e2_sum /. float_of_int tot_meas) -. (energy *. energy) in
+  let energy =
+    if tot_meas = 0 then 0. else e_sum /. float_of_int tot_meas
+  in
+  let variance =
+    if tot_meas = 0 then 0.
+    else (e2_sum /. float_of_int tot_meas) -. (energy *. energy)
+  in
   let acc = Array.fold_left (fun a s -> a + s.accepted) 0 states in
   let prop = Array.fold_left (fun a s -> a + s.proposed) 0 states in
   let bseries = Stats.make_series () in
@@ -130,9 +141,13 @@ let run ?observe ~(factory : int -> Engine_api.t) (p : params) : result =
     variance;
     acceptance = float_of_int acc /. float_of_int (max 1 prop);
     throughput =
-      float_of_int (p.n_walkers * p.blocks * p.steps_per_block) /. wall_time;
+      (if wall_time > 0. then
+         float_of_int (p.n_walkers * p.blocks * p.steps_per_block)
+         /. wall_time
+       else 0.);
     wall_time;
     tau_corr;
     samples = tot_meas;
     block_energies;
+    drift_max = Array.fold_left (fun a s -> Float.max a s.drift) 0. states;
   }

@@ -23,6 +23,9 @@ type result = {
   tau_corr : float;
   samples : int;
   block_energies : float array;
+  drift_max : float;
+      (** largest |incremental log Ψ − full recompute| observed at the
+          per-block refresh (mixed-precision drift) *)
 }
 
 val run :
