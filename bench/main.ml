@@ -7,6 +7,8 @@
      dune exec bench/main.exe                    # everything
      dune exec bench/main.exe -- --exp fig8      # one experiment
      dune exec bench/main.exe -- --bechamel      # microbenchmarks only
+     dune exec bench/main.exe -- --pool          # pool/crowd benchmark
+     dune exec bench/main.exe -- --json BENCH_pool.json   # + JSON record
      OQMC_BENCH_REDUCTION=4 dune exec bench/main.exe   # bigger measured runs
 *)
 
@@ -14,7 +16,7 @@ let usage () =
   print_endline
     "usage: main.exe [--exp \
      table1|fig1|fig2|fig3|fig7|fig8|fig9|fig10|table2|kernels|smt|ddr|delayed|all] \
-     [--bechamel]";
+     [--bechamel] [--pool] [--json PATH]";
   exit 1
 
 let () =
@@ -24,6 +26,9 @@ let () =
       Experiments.all ();
       Microbench.run ()
   | [ _; "--bechamel" ] -> Microbench.run ()
+  | [ _; "--pool" ] -> Pool_bench.run ()
+  | [ _; "--json"; path ] | [ _; "--pool"; "--json"; path ] ->
+      Pool_bench.run ~json:path ()
   | [ _; "--exp"; name ] -> (
       match Experiments.by_name name with
       | f -> f ()

@@ -13,7 +13,7 @@ let make_system name reduction with_nlpp seed =
   | _ -> Builder.make ~seed ~with_nlpp ~reduction (Spec.find name)
 
 let run input method_ workload variant reduction walkers blocks steps tau
-    domains with_nlpp seed checkpoint checkpoint_every checkpoint_keep
+    domains crowd with_nlpp seed checkpoint checkpoint_every checkpoint_keep
     watchdog restore =
   (* An input deck, when given, takes precedence over the flags. *)
   let cfg =
@@ -30,6 +30,7 @@ let run input method_ workload variant reduction walkers blocks steps tau
           steps;
           tau;
           domains;
+          crowd;
           nlpp = with_nlpp;
           seed;
           checkpoint;
@@ -48,6 +49,7 @@ let run input method_ workload variant reduction walkers blocks steps tau
   let steps = cfg.Input.steps in
   let tau = cfg.Input.tau in
   let domains = cfg.Input.domains in
+  let crowd = cfg.Input.crowd in
   let with_nlpp = cfg.Input.nlpp in
   let seed = cfg.Input.seed in
   let checkpoint = cfg.Input.checkpoint in
@@ -57,14 +59,15 @@ let run input method_ workload variant reduction walkers blocks steps tau
   let restore = cfg.Input.restore in
   let sys = make_system workload reduction with_nlpp seed in
   let factory = Build.factory ~variant ~seed sys in
-  Printf.printf "oqmc_run: %s  %s  variant=%s  electrons=%d  domains=%d\n"
+  Printf.printf
+    "oqmc_run: %s  %s  variant=%s  electrons=%d  domains=%d  crowd=%d\n"
     method_ workload
     (Variant.to_string variant)
-    (System.n_electrons sys) domains;
+    (System.n_electrons sys) domains crowd;
   match method_ with
   | "vmc" ->
       let res =
-        Vmc.run ~factory
+        Vmc.run ~crowd ~factory
           {
             Vmc.n_walkers = walkers;
             warmup = steps;
@@ -102,7 +105,7 @@ let run input method_ workload variant reduction walkers blocks steps tau
       in
       let res =
         Dmc.run ?initial ~checkpoint_every ~checkpoint_keep
-          ?checkpoint_path:checkpoint ?watchdog:watchdog_cfg ~factory
+          ?checkpoint_path:checkpoint ?watchdog:watchdog_cfg ~crowd ~factory
           {
             Dmc.target_walkers = walkers;
             warmup = steps;
@@ -186,6 +189,14 @@ let tau = Arg.(value & opt float 0.1 & info [ "t"; "tau" ] ~doc:"Time step.")
 let domains =
   Arg.(value & opt int 1 & info [ "d"; "domains" ] ~doc:"Worker domains.")
 
+let crowd =
+  Arg.(
+    value & opt int 1
+    & info [ "crowd" ] ~docv:"C"
+        ~doc:
+          "Walkers advanced in lockstep per domain through batched SPO \
+           kernels (1 = scalar reference path).")
+
 let nlpp = Arg.(value & flag & info [ "nlpp" ] ~doc:"Enable NLPP.")
 let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"RNG seed.")
 
@@ -237,7 +248,7 @@ let cmd =
     (Cmd.info "oqmc_run" ~doc:"VMC/DMC driver on workloads")
     Term.(
       const run $ input $ method_ $ workload $ variant $ reduction $ walkers
-      $ blocks $ steps $ tau $ domains $ nlpp $ seed $ checkpoint
+      $ blocks $ steps $ tau $ domains $ crowd $ nlpp $ seed $ checkpoint
       $ checkpoint_every $ checkpoint_keep $ watchdog $ restore)
 
 let () = exit (Cmd.eval cmd)

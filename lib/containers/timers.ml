@@ -78,3 +78,9 @@ let pp ppf t =
         (if tot > 0. then 100. *. total t k /. tot else 0.))
     (keys t);
   Format.fprintf ppf "@]"
+
+(* Point-in-time copy of every accumulator, for monotonicity checks
+   across parallel regions (totals and counts must never decrease on a
+   live timer set). *)
+let snapshot t =
+  keys t |> List.map (fun k -> (k, total t k, count t k))

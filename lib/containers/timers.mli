@@ -25,3 +25,8 @@ val profile : t -> (string * float) list
 (** Normalized (key, fraction-of-total) pairs. *)
 
 val pp : Format.formatter -> t -> unit
+
+val snapshot : t -> (string * float * int) list
+(** [(key, total, count)] for every key, sorted by key — a
+    point-in-time copy for monotonicity assertions across parallel
+    regions. *)

@@ -1,0 +1,96 @@
+open Oqmc_containers
+open Oqmc_rng
+
+(* A crowd of walkers marching in lockstep through the PbP sweep — the
+   hierarchical-parallelism layer of Luo et al. 2022 on top of the
+   paper's walker-per-thread design.  One crowd lives inside one domain:
+   it owns [size] engines (one mutable engine state per resident walker)
+   and a single batched SPO context, and advances every walker through
+   electron k together so the two SPO evaluations of a move — gradient
+   at the current position, ratio+gradient at the proposed position —
+   each become ONE batched kernel call over the whole crowd.
+
+   Per walker the arithmetic and RNG draw order are identical to
+   [Engine_api.sweep] (gaussian at k, then uniform at k), so crowd
+   trajectories are bit-identical to the scalar reference on the
+   double-precision path. *)
+
+type t = {
+  engines : Engine_api.t array;
+  batch : Oqmc_wavefunction.Spo.vgl_batch;
+  pos : Vec3.t array; (* current positions of electron k, per slot *)
+  newpos : Vec3.t array;
+  chi : Vec3.t array; (* gaussian displacements, for the GF correction *)
+  accepted : int array;
+}
+
+let create ~(factory : int -> Engine_api.t) ~base ~size =
+  if size < 1 then invalid_arg "Crowd.create: size < 1";
+  let engines = Array.init size (fun s -> factory (base + s)) in
+  {
+    engines;
+    batch = engines.(0).Engine_api.make_vgl_batch size;
+    pos = Array.make size Vec3.zero;
+    newpos = Array.make size Vec3.zero;
+    chi = Array.make size Vec3.zero;
+    accepted = Array.make size 0;
+  }
+
+let size t = Array.length t.engines
+let engine t s = t.engines.(s)
+
+(* One sweep of all [active] resident walkers ([rng s] is walker s's
+   stream).  Returns per-slot sweep results; [accepted] scratch is
+   reused, so consume before the next call. *)
+let sweep t ~active ~(rng : int -> Xoshiro.t) ~tau =
+  if active < 1 || active > size t then invalid_arg "Crowd.sweep: active";
+  let n = t.engines.(0).Engine_api.n_electrons in
+  let sqrt_tau = sqrt tau in
+  let timers0 = t.engines.(0).Engine_api.timers in
+  Array.fill t.accepted 0 active 0;
+  for k = 0 to n - 1 do
+    (* Stage 1: batched SPO at the crowd's current electron-k positions,
+       then per-walker drift, diffusion draw and proposal. *)
+    for s = 0 to active - 1 do
+      let pb = t.engines.(s).Engine_api.pbp in
+      pb.Engine_api.prepare k;
+      t.pos.(s) <- pb.Engine_api.current_pos k
+    done;
+    Timers.time timers0 "Bspline-vgh" (fun () ->
+        t.batch.Oqmc_wavefunction.Spo.run t.pos active);
+    for s = 0 to active - 1 do
+      let pb = t.engines.(s).Engine_api.pbp in
+      pb.Engine_api.stage_vgl t.batch.Oqmc_wavefunction.Spo.slots.(s);
+      let gold = pb.Engine_api.grad k in
+      let cx, cy, cz = Xoshiro.gaussian_vec3 (rng s) in
+      let chi =
+        Vec3.make (sqrt_tau *. cx) (sqrt_tau *. cy) (sqrt_tau *. cz)
+      in
+      let rk = t.pos.(s) in
+      let newpos = Vec3.add rk (Vec3.add (Vec3.scale tau gold) chi) in
+      t.chi.(s) <- chi;
+      t.newpos.(s) <- newpos;
+      pb.Engine_api.propose k newpos
+    done;
+    (* Stage 2: batched SPO at the proposed positions, then per-walker
+       Metropolis decision with the drifted-Gaussian GF correction. *)
+    Timers.time timers0 "Bspline-vgh" (fun () ->
+        t.batch.Oqmc_wavefunction.Spo.run t.newpos active);
+    for s = 0 to active - 1 do
+      let pb = t.engines.(s).Engine_api.pbp in
+      pb.Engine_api.stage_vgl t.batch.Oqmc_wavefunction.Spo.slots.(s);
+      let ratio, gnew = pb.Engine_api.ratio_grad k in
+      let rk = t.pos.(s) and newpos = t.newpos.(s) and chi = t.chi.(s) in
+      let back = Vec3.sub (Vec3.sub rk newpos) (Vec3.scale tau gnew) in
+      let log_gf = -.Vec3.norm2 chi /. (2. *. tau) in
+      let log_gb = -.Vec3.norm2 back /. (2. *. tau) in
+      let p = ratio *. ratio *. exp (log_gb -. log_gf) in
+      if Xoshiro.uniform (rng s) < p then begin
+        t.accepted.(s) <- t.accepted.(s) + 1;
+        pb.Engine_api.accept k ~ratio
+      end
+      else pb.Engine_api.reject k
+    done
+  done;
+  Array.init active (fun s ->
+      { Engine_api.accepted = t.accepted.(s); proposed = n })

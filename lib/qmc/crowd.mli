@@ -1,0 +1,31 @@
+(** A crowd of walkers marching in lockstep through the PbP sweep (the
+    hierarchical-parallelism layer of QMCPACK's batched drivers): one
+    crowd per domain, [size] engines (one per resident walker) and one
+    batched SPO context, so each per-electron move costs two batched
+    kernel calls for the whole crowd instead of two scalar calls per
+    walker.  Per walker, arithmetic and RNG draw order are identical to
+    [Engine_api.sweep] — crowd trajectories are bit-identical to the
+    scalar reference on the double path. *)
+
+type t
+
+val create : factory:(int -> Engine_api.t) -> base:int -> size:int -> t
+(** Engines are built by [factory (base + s)] for slot [s < size] — give
+    each domain's crowd a distinct [base] so engine seeds stay unique.
+    @raise Invalid_argument if [size < 1]. *)
+
+val size : t -> int
+
+val engine : t -> int -> Engine_api.t
+(** The engine holding slot [s]'s walker state — use it to
+    restore/measure/save that walker exactly as in the scalar driver. *)
+
+val sweep :
+  t ->
+  active:int ->
+  rng:(int -> Oqmc_rng.Xoshiro.t) ->
+  tau:float ->
+  Engine_api.sweep_result array
+(** One drift-and-diffusion sweep of walkers [0..active-1] in lockstep;
+    [rng s] is slot [s]'s stream.
+    @raise Invalid_argument unless [1 <= active <= size]. *)

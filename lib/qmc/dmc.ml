@@ -52,10 +52,24 @@ type result = {
 type wslot = { mutable walker : Walker.t; rng : Xoshiro.t }
 
 let run ?initial ?observe ?(checkpoint_every = 0) ?checkpoint_path
-    ?(checkpoint_keep = 3) ?watchdog ~(factory : int -> Engine_api.t)
-    (p : params) : result =
+    ?(checkpoint_keep = 3) ?watchdog ?(crowd = 1)
+    ~(factory : int -> Engine_api.t) (p : params) : result =
   if p.target_walkers < 1 then invalid_arg "Dmc.run: target_walkers < 1";
-  let runner = Runner.create ~n_domains:p.n_domains ~factory in
+  if crowd < 1 then invalid_arg "Dmc.run: crowd < 1";
+  (* Crowd mode: each domain owns [crowd] lockstep engines; the runner's
+     per-domain engine is the crowd's slot 0, so watchdog audits and
+     engine-0 bookkeeping work unchanged. *)
+  let crowds =
+    if crowd > 1 then
+      Array.init p.n_domains (fun d ->
+          Crowd.create ~factory ~base:(d * crowd) ~size:crowd)
+    else [||]
+  in
+  let runner_factory =
+    if crowd > 1 then fun d -> Crowd.engine crowds.(d) 0 else factory
+  in
+  Runner.with_runner ~n_domains:p.n_domains ~factory:runner_factory
+  @@ fun runner ->
   let e0 = Runner.engine runner 0 in
   let n = e0.Engine_api.n_electrons in
   let master_rng = Xoshiro.create p.seed in
@@ -98,20 +112,48 @@ let run ?initial ?observe ?(checkpoint_every = 0) ?checkpoint_path
       Array.map (fun w -> { walker = w; rng = next_rng () }) ws
     in
     let e_trial = Population.e_trial pop in
-    Runner.iter_walkers runner slots ~f:(fun e s ->
-        let w = s.walker in
-        e.Engine_api.restore_walker w;
-        let e_old = w.Walker.e_local in
-        let r = e.Engine_api.sweep s.rng ~tau:p.tau in
-        let e_new = e.Engine_api.measure () in
-        let e_new = Fault.tamper_energy ~gen ~walker_id:w.Walker.id e_new in
-        Population.dmc_weight ~tau:p.tau ~e_trial ~e_old ~e_new w;
-        w.Walker.e_local <- e_new;
-        w.Walker.age <-
-          (if r.Engine_api.accepted = 0 then w.Walker.age + 1 else 0);
-        e.Engine_api.save_walker w;
-        (* Per-slot accounting merged serially below via the walker. *)
-        w.Walker.multiplicity <- r.Engine_api.accepted);
+    (* Everything after the sweep is per-walker and identical in both
+       modes; accounting is merged serially below via the walker. *)
+    let settle (e : Engine_api.t) (s : wslot) (r : Engine_api.sweep_result)
+        =
+      let w = s.walker in
+      let e_old = w.Walker.e_local in
+      let e_new = e.Engine_api.measure () in
+      let e_new = Fault.tamper_energy ~gen ~walker_id:w.Walker.id e_new in
+      Population.dmc_weight ~tau:p.tau ~e_trial ~e_old ~e_new w;
+      w.Walker.e_local <- e_new;
+      w.Walker.age <-
+        (if r.Engine_api.accepted = 0 then w.Walker.age + 1 else 0);
+      e.Engine_api.save_walker w;
+      w.Walker.multiplicity <- r.Engine_api.accepted
+    in
+    if crowd = 1 then
+      Runner.iter_walkers runner slots ~f:(fun e s ->
+          e.Engine_api.restore_walker s.walker;
+          let r = e.Engine_api.sweep s.rng ~tau:p.tau in
+          settle e s r)
+    else begin
+      (* Branching changes the population every generation, so groups
+         are re-formed each step; the last group may be partial. *)
+      let nw = Array.length slots in
+      let n_groups = (nw + crowd - 1) / crowd in
+      Runner.parallel_for runner ~n:n_groups ~f:(fun ~domain g ->
+          let cr = crowds.(domain) in
+          let lo = g * crowd in
+          let m = min crowd (nw - lo) in
+          for s = 0 to m - 1 do
+            (Crowd.engine cr s).Engine_api.restore_walker
+              slots.(lo + s).walker
+          done;
+          let rs =
+            Crowd.sweep cr ~active:m
+              ~rng:(fun s -> slots.(lo + s).rng)
+              ~tau:p.tau
+          in
+          for s = 0 to m - 1 do
+            settle (Crowd.engine cr s) slots.(lo + s) rs.(s)
+          done)
+    end;
     Array.iter
       (fun s ->
         acc_total := !acc_total + s.walker.Walker.multiplicity;

@@ -42,6 +42,7 @@ val run :
   ?checkpoint_path:string ->
   ?checkpoint_keep:int ->
   ?watchdog:Integrity.config ->
+  ?crowd:int ->
   factory:(int -> Engine_api.t) ->
   params ->
   result
@@ -58,4 +59,8 @@ val run :
     poison scan every generation plus a sampled full-recompute audit
     every [check_every] generations, run before the mixed estimator so
     poisoned walkers never bias the energy or the trial-energy feedback.
-    @raise Invalid_argument if [target_walkers < 1]. *)
+
+    [crowd] (default 1) sets the number of walkers each domain advances
+    in lockstep through batched SPO kernels; per-walker trajectories are
+    bit-identical to the scalar path.
+    @raise Invalid_argument if [target_walkers < 1] or [crowd < 1]. *)

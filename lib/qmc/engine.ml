@@ -75,14 +75,18 @@ module Make (R : Precision.REAL) = struct
               Option.map (fun i -> ABsoa.create ~sources:i ps) io )
     in
     (* --- wavefunction components --- *)
+    (* One staging slot shared by both spin determinants: exactly one of
+       them is in-group for any electron k, so a staged SPO result is
+       always consumed by the determinant the crowd driver aimed it at. *)
+    let staged = ref None in
     let dets =
-      Det.create ~timers ~scheme:det_scheme ~spo:sys.System.spo ~first:0
-        ~count:n_up ps
+      Det.create ~timers ~scheme:det_scheme ~staged ~spo:sys.System.spo
+        ~first:0 ~count:n_up ps
       ::
       (if n_down > 0 then
          [
-           Det.create ~timers ~scheme:det_scheme ~spo:sys.System.spo
-             ~first:n_up ~count:n_down ps;
+           Det.create ~timers ~scheme:det_scheme ~staged
+             ~spo:sys.System.spo ~first:n_up ~count:n_down ps;
          ]
        else [])
     in
@@ -326,6 +330,30 @@ module Make (R : Precision.REAL) = struct
       + Option.fold ~none:0 ~some:(fun i -> Ps.bytes i) ions
       + table_bytes + Twf.bytes twf
     in
+    (* Staged form of the sweep's per-electron move for crowd-lockstep
+       drivers; [sweep] above remains the reference composition. *)
+    let pbp =
+      {
+        Engine_api.prepare = tables_prepare;
+        current_pos = (fun k -> Ps.get ps k);
+        grad = (fun k -> Twf.grad twf ps k);
+        propose =
+          (fun k pos ->
+            Ps.propose ps k pos;
+            tables_move k pos);
+        ratio_grad = (fun k -> Twf.ratio_grad twf ps k);
+        accept =
+          (fun k ~ratio ->
+            Twf.accept twf ps k ~ratio;
+            tables_accept k;
+            Ps.accept ps);
+        reject =
+          (fun k ->
+            Twf.reject twf ps k;
+            Ps.reject ps);
+        stage_vgl = (fun v -> staged := Some v);
+      }
+    in
     (* Seed the electron configuration deterministically. *)
     let rng0 = Xoshiro.create seed in
     Ps.randomize ps (fun () -> Xoshiro.uniform rng0);
@@ -346,5 +374,7 @@ module Make (R : Precision.REAL) = struct
       log_psi = (fun () -> Twf.log_psi twf);
       randomize;
       memory_bytes;
+      pbp;
+      make_vgl_batch = sys.System.spo.Spo.make_vgl_batch;
     }
 end

@@ -11,6 +11,24 @@ open Oqmc_particle
 
 type sweep_result = { accepted : int; proposed : int }
 
+(* The individual stages of one particle-by-particle move, exposed so a
+   crowd driver can run many engines in lockstep over electron [k] and
+   batch the SPO evaluations across walkers.  [stage_vgl] hands the
+   engine a pre-computed SPO result for the position the next [grad] or
+   [ratio_grad] call would otherwise evaluate; it is consumed exactly
+   once.  The scalar [sweep] is the composition of these stages and
+   stays the reference oracle. *)
+type pbp = {
+  prepare : int -> unit; (* distance-table prepare for electron k *)
+  current_pos : int -> Vec3.t;
+  grad : int -> Vec3.t; (* ∇ log Ψ at the current position *)
+  propose : int -> Vec3.t -> unit; (* ParticleSet propose + table move *)
+  ratio_grad : int -> float * Vec3.t; (* at the proposed position *)
+  accept : int -> ratio:float -> unit;
+  reject : int -> unit;
+  stage_vgl : Oqmc_wavefunction.Spo.vgl -> unit;
+}
+
 type t = {
   label : string;
   n_electrons : int;
@@ -40,6 +58,11 @@ type t = {
   memory_bytes : unit -> int;
       (* Persistent per-engine + per-walker-state footprint (excludes the
          shared read-only SPO table). *)
+  pbp : pbp;
+      (* Staged form of one PbP move, for crowd-lockstep drivers. *)
+  make_vgl_batch : int -> Oqmc_wavefunction.Spo.vgl_batch;
+      (* Crowd-sized batch context over this engine's SPO set; scratch
+         is owned by the context, one per domain. *)
 }
 
 (* Drift of the incrementally-maintained log Ψ against a full

@@ -29,6 +29,7 @@ type t = {
   steps : int;
   tau : float;
   domains : int;
+  crowd : int; (* walkers advanced in lockstep per domain; 1 = scalar *)
   nlpp : bool;
   seed : int;
   checkpoint : string option;
@@ -49,6 +50,7 @@ let default =
     steps = 10;
     tau = 0.1;
     domains = 1;
+    crowd = 1;
     nlpp = false;
     seed = 1;
     checkpoint = None;
@@ -90,6 +92,7 @@ let apply cfg ~line key value =
   | "steps" -> { cfg with steps = parse_int line value }
   | "tau" -> { cfg with tau = parse_float line value }
   | "domains" -> { cfg with domains = parse_int line value }
+  | "crowd" -> { cfg with crowd = parse_int line value }
   | "nlpp" -> { cfg with nlpp = parse_bool line value }
   | "seed" -> { cfg with seed = parse_int line value }
   | "checkpoint" -> { cfg with checkpoint = Some value }

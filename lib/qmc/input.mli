@@ -11,6 +11,9 @@ type t = {
   steps : int;
   tau : float;
   domains : int;
+  crowd : int;
+      (** walkers advanced in lockstep per domain through batched SPO
+          kernels; 1 = scalar reference path *)
   nlpp : bool;
   seed : int;
   checkpoint : string option;

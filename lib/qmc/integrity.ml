@@ -74,13 +74,13 @@ let walker_finite (w : Walker.t) =
 (* Audit one walker against a full recompute from its positions.  On
    pass, the recomputed state is saved back into the walker (healing
    accumulated incremental error); on fail the walker is left as-is for
-   quarantine.  Returns true when the walker is trustworthy. *)
-let audit cfg (st : stats) (e : Engine_api.t) scratch (w : Walker.t) =
-  st.audits <- st.audits + 1;
+   quarantine.  Returns (trustworthy, observed drift); pure with respect
+   to the shared stats so audits can run in parallel, one per domain
+   engine. *)
+let audit cfg (e : Engine_api.t) scratch (w : Walker.t) =
   e.Engine_api.load_walker w;
   let fresh = e.Engine_api.log_psi () in
   let drift = Float.abs (w.Walker.log_psi -. fresh) in
-  if Float.is_finite drift then st.drift_max <- Float.max st.drift_max drift;
   (* Ground-truth serialization of the recomputed state, compared
      entry-wise against the walker's buffer: catches corruption the
      scalar comparison cannot see (flipped bits in stored matrices). *)
@@ -105,7 +105,7 @@ let audit cfg (st : stats) (e : Engine_api.t) scratch (w : Walker.t) =
     && deviation <= cfg.buffer_tol
   in
   if ok then e.Engine_api.save_walker w;
-  ok
+  (ok, drift)
 
 (* ---------- quarantine and recovery ---------- *)
 
@@ -147,19 +147,37 @@ let watchdog cfg (st : stats) ~gen ~rng (runner : Runner.t)
      let nh = Array.length arr in
      let sample = min cfg.sample nh in
      if sample > 0 then begin
-       let scratch = Walker.create e.Engine_api.n_electrons in
        let stride = max 1 (nh / sample) in
        (* Rotate the sampled subset between passes so every walker is
           eventually audited. *)
        let offset = if stride > 1 then gen / cfg.check_every mod stride else 0 in
+       let picked = ref [] in
        let checked = ref 0 in
        let i = ref offset in
        while !checked < sample && !i < nh do
-         let w = arr.(!i) in
-         if not (audit cfg st e scratch w) then drifted := w :: !drifted;
+         picked := arr.(!i) :: !picked;
          incr checked;
          i := !i + stride
-       done
+       done;
+       (* Recompute audits are the expensive part of the watchdog:
+          fan them out over the pool, one engine per domain, collecting
+          per-walker verdicts; stats reduce serially afterwards. *)
+       let audited =
+         Array.map
+           (fun w -> (w, ref (true, 0.)))
+           (Array.of_list (List.rev !picked))
+       in
+       Runner.iter_walkers runner audited ~f:(fun e (w, res) ->
+           let scratch = Walker.create e.Engine_api.n_electrons in
+           res := audit cfg e scratch w);
+       Array.iter
+         (fun (w, res) ->
+           let ok, drift = !res in
+           st.audits <- st.audits + 1;
+           if Float.is_finite drift then
+             st.drift_max <- Float.max st.drift_max drift;
+           if not ok then drifted := w :: !drifted)
+         audited
      end);
   let bad = poisoned @ !drifted in
   if bad <> [] then begin

@@ -42,13 +42,14 @@ val walker_finite : Walker.t -> bool
 (** False when the weight, local energy, log Ψ or any position is
     NaN/Inf. *)
 
-val audit :
-  config -> stats -> Engine_api.t -> Walker.t -> Walker.t -> bool
-(** [audit cfg st engine scratch w] recomputes [w]'s wavefunction state
+val audit : config -> Engine_api.t -> Walker.t -> Walker.t -> bool * float
+(** [audit cfg engine scratch w] recomputes [w]'s wavefunction state
     from its positions and compares the stored log Ψ scalar and state
     buffer against it; heals [w] on pass (recomputed state saved back).
     [scratch] is a walker of the same size used for the ground-truth
-    serialization.  Returns false when [w] should be quarantined. *)
+    serialization.  Returns [(trustworthy, drift)]; does not touch any
+    shared stats, so audits run in parallel across the pool (the
+    watchdog reduces the verdicts serially). *)
 
 val watchdog :
   config ->

@@ -2,18 +2,141 @@ open Oqmc_containers
 
 (* Walker-parallel execution over OCaml 5 domains — the stand-in for the
    paper's OpenMP thread-level parallelism (Fig. 4).  Each domain owns one
-   compute engine (E_th / Psi_th) created once by the factory and reused
-   across steps; walkers are partitioned into contiguous chunks.  The
-   shared read-only SPO table lives happily on the shared heap. *)
+   compute engine (E_th / Psi_th) created once by the factory; the shared
+   read-only SPO table lives happily on the shared heap.
+
+   Worker domains are a PERSISTENT POOL: spawned once at [create] and
+   reused for every parallel region (each VMC/DMC generation,
+   equilibration sweep and watchdog audit) instead of the former
+   spawn/join per call — O(generations × domains) spawn cost becomes
+   O(domains) per run.  Work is distributed dynamically: indices are
+   pulled from a shared [Atomic.t] counter in small grains
+   (work-stealing-lite), so uneven per-walker costs after branching no
+   longer serialize on the slowest static chunk, and an uneven
+   [n mod n_domains] can never hand a domain an empty chunk while
+   another does double work.
+
+   Parking protocol: workers sleep on a condition variable keyed by an
+   epoch counter; posting a region bumps the epoch under the mutex and
+   broadcasts.  Completion uses a join-free epoch handshake — each
+   worker decrements [active] under the mutex when its grains are
+   exhausted, and the caller waits for [active = 0].  The mutex
+   release/acquire pair establishes the happens-before edge that
+   [Domain.join] used to provide, so all worker writes (walker records,
+   timers) are published to the caller. *)
+
+(* Process-lifetime count of [Domain.spawn] calls issued by this module —
+   pinned by the pool tests: a run must spawn exactly [n_domains - 1]
+   domains total, not per generation. *)
+let spawns = Atomic.make 0
+let total_spawns () = Atomic.get spawns
+
+(* Grain of indices pulled per counter fetch.  Small enough that every
+   domain can get several grains (load balance), large enough to keep
+   counter contention negligible.  Pure — pinned by tests. *)
+let grain_for ~n ~n_domains =
+  if n <= 0 then 1 else max 1 (min 32 (n / (n_domains * 4)))
+
+type pool = {
+  mutex : Mutex.t;
+  work_ready : Condition.t; (* workers: a new epoch was posted *)
+  work_done : Condition.t; (* caller: all workers finished the epoch *)
+  mutable epoch : int;
+  mutable job : (int -> int -> unit) option; (* domain -> index -> unit *)
+  mutable total : int;
+  mutable grain : int;
+  next : int Atomic.t;
+  mutable active : int; (* workers still inside the current epoch *)
+  mutable failures : (int * exn) list;
+  mutable stop : bool;
+  mutable workers : unit Domain.t array;
+}
 
 type t = {
   engines : Engine_api.t array;
   n_domains : int;
+  pool : pool option; (* None iff n_domains = 1: plain sequential loop *)
+  mutable shut : bool;
 }
+
+exception Domain_failures of (int * exn) list
+
+(* Pull and run grains until the counter is exhausted; never raises. *)
+let run_grains ~job ~next ~total ~grain ~domain =
+  try
+    let continue_ = ref true in
+    while !continue_ do
+      let lo = Atomic.fetch_and_add next grain in
+      if lo >= total then continue_ := false
+      else
+        let hi = min total (lo + grain) in
+        for i = lo to hi - 1 do
+          job domain i
+        done
+    done;
+    None
+  with e -> Some e
+
+let worker pool d () =
+  let seen = ref 0 in
+  let running = ref true in
+  while !running do
+    Mutex.lock pool.mutex;
+    while (not pool.stop) && pool.epoch = !seen do
+      Condition.wait pool.work_ready pool.mutex
+    done;
+    if pool.stop then begin
+      Mutex.unlock pool.mutex;
+      running := false
+    end
+    else begin
+      seen := pool.epoch;
+      let job = Option.get pool.job in
+      let total = pool.total and grain = pool.grain in
+      Mutex.unlock pool.mutex;
+      let err =
+        run_grains ~job ~next:pool.next ~total ~grain ~domain:d
+      in
+      Mutex.lock pool.mutex;
+      (match err with
+      | Some e -> pool.failures <- (d, e) :: pool.failures
+      | None -> ());
+      pool.active <- pool.active - 1;
+      if pool.active = 0 then Condition.broadcast pool.work_done;
+      Mutex.unlock pool.mutex
+    end
+  done
 
 let create ~n_domains ~(factory : int -> Engine_api.t) =
   if n_domains < 1 then invalid_arg "Runner.create: n_domains < 1";
-  { engines = Array.init n_domains factory; n_domains }
+  let engines = Array.init n_domains factory in
+  let pool =
+    if n_domains = 1 then None
+    else begin
+      let p =
+        {
+          mutex = Mutex.create ();
+          work_ready = Condition.create ();
+          work_done = Condition.create ();
+          epoch = 0;
+          job = None;
+          total = 0;
+          grain = 1;
+          next = Atomic.make 0;
+          active = 0;
+          failures = [];
+          stop = false;
+          workers = [||];
+        }
+      in
+      p.workers <-
+        Array.init (n_domains - 1) (fun i ->
+            Atomic.incr spawns;
+            Domain.spawn (worker p (i + 1)));
+      Some p
+    end
+  in
+  { engines; n_domains; pool; shut = false }
 
 let n_domains t = t.n_domains
 let engine t i = t.engines.(i)
@@ -25,40 +148,78 @@ let merged_timers t =
   Array.iter (fun e -> Timers.merge ~into:out e.Engine_api.timers) t.engines;
   out
 
-exception Domain_failures of (int * exn) list
+(* Run [f ~domain i] for every [i < n] exactly once, the caller acting
+   as domain 0 and pool workers as domains 1..n_domains-1.  All workers
+   always return to the parked state, even when some indices raise: a
+   lone failure is re-raised as-is, several are aggregated into
+   [Domain_failures] in domain order — nothing is lost and no worker is
+   leaked, poisoned epochs leave the pool usable. *)
+let parallel_for t ~n ~(f : domain:int -> int -> unit) =
+  if t.shut then invalid_arg "Runner: pool is shut down";
+  if n > 0 then
+    match t.pool with
+    | None ->
+        for i = 0 to n - 1 do
+          f ~domain:0 i
+        done
+    | Some p ->
+        let job d i = f ~domain:d i in
+        Mutex.lock p.mutex;
+        p.job <- Some job;
+        p.total <- n;
+        p.grain <- grain_for ~n ~n_domains:t.n_domains;
+        Atomic.set p.next 0;
+        p.active <- t.n_domains - 1;
+        p.failures <- [];
+        p.epoch <- p.epoch + 1;
+        Condition.broadcast p.work_ready;
+        Mutex.unlock p.mutex;
+        let my_err =
+          run_grains ~job ~next:p.next ~total:n ~grain:p.grain ~domain:0
+        in
+        Mutex.lock p.mutex;
+        (match my_err with
+        | Some e -> p.failures <- (0, e) :: p.failures
+        | None -> ());
+        while p.active > 0 do
+          Condition.wait p.work_done p.mutex
+        done;
+        let fs = p.failures in
+        p.job <- None;
+        Mutex.unlock p.mutex;
+        let fs = List.sort (fun (a, _) (b, _) -> compare a b) fs in
+        (match fs with
+        | [] -> ()
+        | [ (_, e) ] -> raise e
+        | fs -> raise (Domain_failures fs))
 
-(* Apply [f engine walker] to every walker, chunked across domains.
-   Mutations of walker records are published by Domain.join.  Every
-   domain is always joined, even when some raise: a lone failure is
-   re-raised as-is, several are aggregated into [Domain_failures] —
-   nothing is lost and no domain is leaked unjoined. *)
+(* Apply [f engine walker] to every walker; each executing domain uses
+   its own engine regardless of which indices it pulls. *)
 let iter_walkers t (walkers : 'w array) ~(f : Engine_api.t -> 'w -> unit) =
-  let n = Array.length walkers in
-  if n = 0 then ()
-  else if t.n_domains = 1 then
-    Array.iter (fun w -> f t.engines.(0) w) walkers
-  else begin
-    let chunk = (n + t.n_domains - 1) / t.n_domains in
-    let work d () =
-      let lo = d * chunk in
-      let hi = min n (lo + chunk) in
-      let e = t.engines.(d) in
-      for i = lo to hi - 1 do
-        f e walkers.(i)
-      done
-    in
-    let handles =
-      Array.init (t.n_domains - 1) (fun d -> Domain.spawn (work (d + 1)))
-    in
-    let failures = ref [] in
-    (try work 0 () with e -> failures := (0, e) :: !failures);
-    Array.iteri
-      (fun i h ->
-        try Domain.join h
-        with e -> failures := (i + 1, e) :: !failures)
-      handles;
-    match List.rev !failures with
-    | [] -> ()
-    | [ (_, e) ] -> raise e
-    | fs -> raise (Domain_failures fs)
+  parallel_for t
+    ~n:(Array.length walkers)
+    ~f:(fun ~domain i -> f t.engines.(domain) walkers.(i))
+
+(* Park-to-join transition: wake every worker with the stop flag and
+   join them.  Idempotent; the runner only rejects further parallel
+   regions (single-domain use keeps working — there is nothing to
+   leak). *)
+let shutdown t =
+  if not t.shut then begin
+    t.shut <- true;
+    match t.pool with
+    | None -> ()
+    | Some p ->
+        Mutex.lock p.mutex;
+        p.stop <- true;
+        Condition.broadcast p.work_ready;
+        Mutex.unlock p.mutex;
+        Array.iter Domain.join p.workers;
+        p.workers <- [||]
   end
+
+(* Convenience wrapper: run [f runner] and always return the workers to
+   the OS, even on exceptions. *)
+let with_runner ~n_domains ~factory f =
+  let t = create ~n_domains ~factory in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

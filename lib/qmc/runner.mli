@@ -1,12 +1,24 @@
-(** Walker-parallel execution over OCaml 5 domains — the stand-in for
-    OpenMP thread parallelism.  Each domain owns one engine (the paper's
-    per-thread E_th / Psi_th) created once and reused across steps. *)
+(** Walker-parallel execution over a persistent pool of OCaml 5 domains —
+    the stand-in for OpenMP thread parallelism.  Each domain owns one
+    engine (the paper's per-thread E_th / Psi_th) created once and reused
+    across steps; worker domains are spawned once at {!create}, park on a
+    condition variable between parallel regions, and pull walker indices
+    from a shared atomic counter in small grains. *)
 
 type t
 
 val create : n_domains:int -> factory:(int -> Engine_api.t) -> t
-(** One engine per domain, built by [factory domain_index].
+(** One engine per domain, built by [factory domain_index], plus
+    [n_domains - 1] parked worker domains (none when [n_domains = 1]).
     @raise Invalid_argument if [n_domains < 1]. *)
+
+val shutdown : t -> unit
+(** Wake and join all pool workers.  Idempotent.  Further parallel
+    regions on this runner raise [Invalid_argument]. *)
+
+val with_runner :
+  n_domains:int -> factory:(int -> Engine_api.t) -> (t -> 'a) -> 'a
+(** [create] + run + guaranteed [shutdown] (also on exceptions). *)
 
 val n_domains : t -> int
 val engine : t -> int -> Engine_api.t
@@ -15,13 +27,29 @@ val engines : t -> Engine_api.t array
 val merged_timers : t -> Oqmc_containers.Timers.t
 (** All per-domain kernel timers merged into one set. *)
 
+val total_spawns : unit -> int
+(** Process-lifetime count of domains spawned by this module — a run
+    must account for exactly [n_domains - 1], independent of how many
+    parallel regions it executes. *)
+
+val grain_for : n:int -> n_domains:int -> int
+(** Indices pulled per atomic-counter fetch: [max 1 (min 32
+    (n / (n_domains * 4)))] — several grains per domain for balance,
+    bounded counter traffic. *)
+
 exception Domain_failures of (int * exn) list
-(** Raised by {!iter_walkers} when more than one domain fails:
-    [(domain_index, exn)] pairs in domain order.  A single failure is
-    re-raised unchanged. *)
+(** Raised by parallel regions when more than one domain fails:
+    [(domain_index, exn)] pairs sorted by domain.  A single failure is
+    re-raised unchanged.  The pool remains usable afterwards. *)
+
+val parallel_for : t -> n:int -> f:(domain:int -> int -> unit) -> unit
+(** Run [f ~domain i] for every [i < n] exactly once, dynamically
+    distributed: the caller participates as domain 0, parked workers as
+    domains [1..n_domains-1].  Worker writes are published to the caller
+    by the epoch handshake (mutex release/acquire), exactly as
+    [Domain.join] would.  All failures are collected — see
+    {!Domain_failures}. *)
 
 val iter_walkers : t -> 'w array -> f:(Engine_api.t -> 'w -> unit) -> unit
-(** Apply [f engine walker] to every element, chunked contiguously
-    across domains; mutations are published by [Domain.join].  All
-    domains are joined even when some raise — failures are collected and
-    re-raised (aggregated as {!Domain_failures} when several). *)
+(** [parallel_for] specialized to walker arrays: [f engine walkers.(i)]
+    where [engine] belongs to the executing domain. *)

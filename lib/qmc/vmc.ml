@@ -7,7 +7,13 @@ open Oqmc_rng
    the local energy is measured every [steps_between_measure] sweeps.
    Thread-level parallelism follows the paper's design: each domain's
    engine loads a walker, restores its wavefunction state from the
-   anonymous buffer, runs its sweeps, and stores the state back. *)
+   anonymous buffer, runs its sweeps, and stores the state back.
+
+   With [crowd > 1] each domain instead owns a crowd of engines and
+   advances [crowd] resident walkers in lockstep, so the SPO work of
+   every per-electron move is evaluated in one batched kernel call
+   (Crowd.sweep).  The per-walker arithmetic and RNG draw order are
+   unchanged, so results are bit-identical to [crowd = 1]. *)
 
 type params = {
   n_walkers : int;
@@ -57,9 +63,25 @@ type wstate = {
   mutable drift : float;
 }
 
-let run ?observe ~(factory : int -> Engine_api.t) (p : params) : result =
+let run ?observe ?(crowd = 1) ~(factory : int -> Engine_api.t) (p : params)
+    : result =
   if p.n_walkers < 1 then invalid_arg "Vmc.run: n_walkers < 1";
-  let runner = Runner.create ~n_domains:p.n_domains ~factory in
+  if crowd < 1 then invalid_arg "Vmc.run: crowd < 1";
+  let crowd = min crowd p.n_walkers in
+  (* Crowd mode: [crowd] engines per domain marching in lockstep; the
+     runner's per-domain engine is each crowd's slot-0 engine, so
+     engine-0 bookkeeping (registration, audits) works unchanged. *)
+  let crowds =
+    if crowd > 1 then
+      Array.init p.n_domains (fun d ->
+          Crowd.create ~factory ~base:(d * crowd) ~size:crowd)
+    else [||]
+  in
+  let runner_factory =
+    if crowd > 1 then fun d -> Crowd.engine crowds.(d) 0 else factory
+  in
+  Runner.with_runner ~n_domains:p.n_domains ~factory:runner_factory
+  @@ fun runner ->
   let e0 = Runner.engine runner 0 in
   let n = e0.Engine_api.n_electrons in
   let rngs = Xoshiro.streams ~seed:p.seed (p.n_walkers + 1) in
@@ -80,33 +102,73 @@ let run ?observe ~(factory : int -> Engine_api.t) (p : params) : result =
           drift = 0.;
         })
   in
-  (* Warmup: equilibrate each walker. *)
-  Runner.iter_walkers runner states ~f:(fun e s ->
-      e.Engine_api.restore_walker s.walker;
-      for _ = 1 to p.warmup do
-        ignore (e.Engine_api.sweep s.rng ~tau:p.tau)
-      done;
-      (* Re-derive the wavefunction state from scratch after
-         equilibration to shed accumulated update error. *)
+  (* A "pass" runs [steps] sweeps for every walker, calling [measure]
+     after each sweep when set, then [finish] once per walker.  The
+     scalar path iterates walkers over the pool; the crowd path iterates
+     walker GROUPS, each processed in lockstep by its domain's crowd. *)
+  let pass ~steps ~measuring ~finish =
+    let sweep_account (s : wstate) (r : Engine_api.sweep_result) =
+      s.accepted <- s.accepted + r.Engine_api.accepted;
+      s.proposed <- s.proposed + r.Engine_api.proposed
+    in
+    let measure_into (e : Engine_api.t) (s : wstate) =
+      let el = e.Engine_api.measure () in
+      s.walker.Walker.e_local <- el;
+      s.e_sum <- s.e_sum +. el;
+      s.e2_sum <- s.e2_sum +. (el *. el);
+      s.n_meas <- s.n_meas + 1
+    in
+    if crowd = 1 then
+      Runner.iter_walkers runner states ~f:(fun e s ->
+          e.Engine_api.restore_walker s.walker;
+          for _ = 1 to steps do
+            let r = e.Engine_api.sweep s.rng ~tau:p.tau in
+            if measuring then begin
+              sweep_account s r;
+              measure_into e s
+            end
+          done;
+          finish e s)
+    else begin
+      let n_groups = (p.n_walkers + crowd - 1) / crowd in
+      Runner.parallel_for runner ~n:n_groups ~f:(fun ~domain g ->
+          let cr = crowds.(domain) in
+          let lo = g * crowd in
+          let m = min crowd (p.n_walkers - lo) in
+          for s = 0 to m - 1 do
+            (Crowd.engine cr s).Engine_api.restore_walker
+              states.(lo + s).walker
+          done;
+          for _ = 1 to steps do
+            let rs =
+              Crowd.sweep cr ~active:m
+                ~rng:(fun s -> states.(lo + s).rng)
+                ~tau:p.tau
+            in
+            if measuring then
+              for s = 0 to m - 1 do
+                let st = states.(lo + s) in
+                sweep_account st rs.(s);
+                measure_into (Crowd.engine cr s) st
+              done
+          done;
+          for s = 0 to m - 1 do
+            finish (Crowd.engine cr s) states.(lo + s)
+          done)
+    end
+  in
+  (* Warmup: equilibrate each walker, then re-derive the wavefunction
+     state from scratch to shed accumulated update error. *)
+  pass ~steps:p.warmup ~measuring:false ~finish:(fun e s ->
       ignore (e.Engine_api.refresh ());
       e.Engine_api.save_walker s.walker);
   let block_energies = Array.make p.blocks 0. in
   let t0 = Oqmc_containers.Timers.now () in
   for b = 0 to p.blocks - 1 do
-    Runner.iter_walkers runner states ~f:(fun e s ->
-        e.Engine_api.restore_walker s.walker;
-        for _ = 1 to p.steps_per_block do
-          let r = e.Engine_api.sweep s.rng ~tau:p.tau in
-          s.accepted <- s.accepted + r.Engine_api.accepted;
-          s.proposed <- s.proposed + r.Engine_api.proposed;
-          let el = e.Engine_api.measure () in
-          s.walker.Walker.e_local <- el;
-          s.e_sum <- s.e_sum +. el;
-          s.e2_sum <- s.e2_sum +. (el *. el);
-          s.n_meas <- s.n_meas + 1
-        done;
-        (* Periodic recompute-from-scratch: the mixed-precision accuracy
-           safeguard of the paper — and the watchdog's drift metric. *)
+    (* Periodic recompute-from-scratch at block end: the mixed-precision
+       accuracy safeguard of the paper — and the watchdog's drift
+       metric. *)
+    pass ~steps:p.steps_per_block ~measuring:true ~finish:(fun e s ->
         s.drift <- Float.max s.drift (Engine_api.drift e);
         e.Engine_api.save_walker s.walker);
     (* Observables accumulate serially from the stored walkers. *)

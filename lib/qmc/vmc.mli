@@ -30,9 +30,14 @@ type result = {
 
 val run :
   ?observe:(Oqmc_particle.Walker.t -> unit) ->
+  ?crowd:int ->
   factory:(int -> Engine_api.t) ->
   params ->
   result
 (** [observe] is called once per walker per block (serially, after the
     parallel sweeps) for observable accumulation.
-    @raise Invalid_argument if [n_walkers < 1]. *)
+
+    [crowd] (default 1) sets the number of walkers each domain advances
+    in lockstep through batched SPO kernels; results are bit-identical
+    to the scalar path for any crowd size (clamped to [n_walkers]).
+    @raise Invalid_argument if [n_walkers < 1] or [crowd < 1]. *)

@@ -45,6 +45,41 @@ module Make (R : Precision.REAL) = struct
     hzz : float array;
   }
 
+  (* Crowd-sized scratch arena for the batched kernels: stencil origins
+     and 1-D basis weights for up to [cap] walkers (4 weights per axis and
+     derivative order, stored flat at offset 4·slot), plus one result
+     buffer per slot.  Allocated once per domain and reused across every
+     generation, so the batched hot loops never touch the allocator. *)
+  type vgh_batch = {
+    cap : int;
+    bix : int array;
+    biy : int array;
+    biz : int array;
+    bwx : float array;
+    bwy : float array;
+    bwz : float array;
+    bdx : float array;
+    bdy : float array;
+    bdz : float array;
+    bsx : float array;
+    bsy : float array;
+    bsz : float array;
+    bslab : float array;
+    outs : vgh_buf array;
+  }
+
+  type v_batch = {
+    vcap : int;
+    vix : int array;
+    viy : int array;
+    viz : int array;
+    vwx : float array;
+    vwy : float array;
+    vwz : float array;
+    vslab : float array;
+    vouts : float array array;
+  }
+
   let create ~nx ~ny ~nz ~n_orb =
     if nx < 4 || ny < 4 || nz < 4 then
       invalid_arg "Bspline3d.create: grid must be at least 4 per dimension";
@@ -260,6 +295,306 @@ module Make (R : Precision.REAL) = struct
       buf.hyy.(m) <- buf.hyy.(m) *. fy *. fy;
       buf.hyz.(m) <- buf.hyz.(m) *. fy *. fz;
       buf.hzz.(m) <- buf.hzz.(m) *. fz *. fz
+    done
+
+  (* ---------- crowd-batched kernels ----------
+
+     The batched entry points take [n] fractional positions (one per
+     walker of the crowd) and evaluate them through preallocated scratch:
+     phase 1 locates every walker's stencil and computes its 1-D basis
+     weights once into the flat arena; phase 2 streams the coefficient
+     cache blocks walker by walker with zero allocation.  Per walker the
+     arithmetic (expressions and accumulation order) is exactly that of
+     the scalar kernels, so the double path is bit-identical to [n]
+     scalar calls — the scalar kernel stays the reference oracle. *)
+
+  let make_vgh_batch t ~cap =
+    if cap < 1 then invalid_arg "Bspline3d.make_vgh_batch: cap < 1";
+    let fa () = Array.make (4 * cap) 0. in
+    let ia () = Array.make cap 0 in
+    {
+      cap;
+      bix = ia ();
+      biy = ia ();
+      biz = ia ();
+      bwx = fa ();
+      bwy = fa ();
+      bwz = fa ();
+      bdx = fa ();
+      bdy = fa ();
+      bdz = fa ();
+      bsx = fa ();
+      bsy = fa ();
+      bsz = fa ();
+      bslab = Array.make (64 * t.n_orb) 0.;
+      outs = Array.init cap (fun _ -> make_vgh_buf t);
+    }
+
+  let make_v_batch t ~cap =
+    if cap < 1 then invalid_arg "Bspline3d.make_v_batch: cap < 1";
+    let fa () = Array.make (4 * cap) 0. in
+    let ia () = Array.make cap 0 in
+    {
+      vcap = cap;
+      vix = ia ();
+      viy = ia ();
+      viz = ia ();
+      vwx = fa ();
+      vwy = fa ();
+      vwz = fa ();
+      vslab = Array.make (64 * t.n_orb) 0.;
+      vouts = Array.init cap (fun _ -> Array.make t.n_orb 0.);
+    }
+
+  (* Kind-specialized gather of the 4×4×4 stencil's coefficients into a
+     flat double slab (cell layout [((a·4+b)·4+c)·n_orb + m]).  Reading a
+     bigarray whose element kind is only known through the functor
+     argument goes through an indirect call that boxes every float it
+     returns — ~2·n_orb·64 words of garbage per evaluation.  Matching the
+     kind GADT once recovers the static kind, so these loops compile to
+     direct unboxed loads; the generic accumulation loops then run over
+     the plain-float slab, also allocation-free.  The loads produce the
+     same doubles [A.unsafe_get] would, so results stay bit-identical to
+     the scalar kernels. *)
+  let gather_f64
+      (coeffs : (float, Bigarray.float64_elt, Bigarray.c_layout)
+                  Bigarray.Array1.t) (slab : float array) ~ix ~iy ~iz ~cy ~cz
+      ~orb_stride ~norb =
+    let q = ref 0 in
+    for a = 0 to 3 do
+      for b = 0 to 3 do
+        let row = (((ix + a) * cy) + iy + b) * cz + iz in
+        for c = 0 to 3 do
+          let base = (row + c) * orb_stride in
+          for m = 0 to norb - 1 do
+            Array.unsafe_set slab !q
+              (Bigarray.Array1.unsafe_get coeffs (base + m));
+            incr q
+          done
+        done
+      done
+    done
+
+  let gather_f32
+      (coeffs : (float, Bigarray.float32_elt, Bigarray.c_layout)
+                  Bigarray.Array1.t) (slab : float array) ~ix ~iy ~iz ~cy ~cz
+      ~orb_stride ~norb =
+    let q = ref 0 in
+    for a = 0 to 3 do
+      for b = 0 to 3 do
+        let row = (((ix + a) * cy) + iy + b) * cz + iz in
+        for c = 0 to 3 do
+          let base = (row + c) * orb_stride in
+          for m = 0 to norb - 1 do
+            Array.unsafe_set slab !q
+              (Bigarray.Array1.unsafe_get coeffs (base + m));
+            incr q
+          done
+        done
+      done
+    done
+
+  let gather_coeffs :
+      A.t -> float array -> ix:int -> iy:int -> iz:int -> cy:int -> cz:int ->
+      orb_stride:int -> norb:int -> unit =
+    match R.kind with
+    | Bigarray.Float64 -> gather_f64
+    | Bigarray.Float32 -> gather_f32
+
+  (* Allocation-free weight fills; same formulas as Bspline_basis.  The
+     interpolation parameter is read from [w.(off)] (stashed there by the
+     caller) rather than passed as an argument: a float argument to a
+     non-inlined call gets boxed, and these run nine times per walker per
+     move. *)
+  let put_value (w : float array) off =
+    let t = Array.unsafe_get w off in
+    let t2 = t *. t in
+    let t3 = t2 *. t in
+    let mt = 1. -. t in
+    w.(off) <- mt *. mt *. mt /. 6.;
+    w.(off + 1) <- ((3. *. t3) -. (6. *. t2) +. 4.) /. 6.;
+    w.(off + 2) <- ((-3. *. t3) +. (3. *. t2) +. (3. *. t) +. 1.) /. 6.;
+    w.(off + 3) <- t3 /. 6.
+
+  let put_first (w : float array) off =
+    let t = Array.unsafe_get w off in
+    let t2 = t *. t in
+    let mt = 1. -. t in
+    w.(off) <- -.(mt *. mt) /. 2.;
+    w.(off + 1) <- ((9. *. t2) -. (12. *. t)) /. 6.;
+    w.(off + 2) <- ((-9. *. t2) +. (6. *. t) +. 3.) /. 6.;
+    w.(off + 3) <- t2 /. 2.
+
+  let put_second (w : float array) off =
+    let t = Array.unsafe_get w off in
+    w.(off) <- 1. -. t;
+    w.(off + 1) <- (3. *. t) -. 2.;
+    w.(off + 2) <- 1. -. (3. *. t);
+    w.(off + 3) <- t
+
+  let eval_v_batch t (b : v_batch) ~n ~(u0 : float array) ~(u1 : float array)
+      ~(u2 : float array) =
+    if n < 0 || n > b.vcap then invalid_arg "Bspline3d.eval_v_batch: bad n";
+    for s = 0 to n - 1 do
+      (* [locate], written out so no (int, float) tuple is allocated. *)
+      let x = wrap u0.(s) *. float_of_int t.nx in
+      let ix = int_of_float x in
+      let ix = if ix >= t.nx then t.nx - 1 else if ix < 0 then 0 else ix in
+      let tx = x -. float_of_int ix in
+      let y = wrap u1.(s) *. float_of_int t.ny in
+      let iy = int_of_float y in
+      let iy = if iy >= t.ny then t.ny - 1 else if iy < 0 then 0 else iy in
+      let ty = y -. float_of_int iy in
+      let z = wrap u2.(s) *. float_of_int t.nz in
+      let iz = int_of_float z in
+      let iz = if iz >= t.nz then t.nz - 1 else if iz < 0 then 0 else iz in
+      let tz = z -. float_of_int iz in
+      b.vix.(s) <- ix;
+      b.viy.(s) <- iy;
+      b.viz.(s) <- iz;
+      let off = 4 * s in
+      b.vwx.(off) <- tx;
+      b.vwy.(off) <- ty;
+      b.vwz.(off) <- tz;
+      put_value b.vwx off;
+      put_value b.vwy off;
+      put_value b.vwz off
+    done;
+    let norb = t.n_orb in
+    for s = 0 to n - 1 do
+      let out = b.vouts.(s) in
+      Array.fill out 0 norb 0.;
+      gather_coeffs t.coeffs b.vslab ~ix:b.vix.(s) ~iy:b.viy.(s)
+        ~iz:b.viz.(s) ~cy:t.cy ~cz:t.cz ~orb_stride:t.orb_stride ~norb;
+      let slab = b.vslab in
+      let off = 4 * s in
+      for a = 0 to 3 do
+        for bb = 0 to 3 do
+          let wab = b.vwx.(off + a) *. b.vwy.(off + bb) in
+          for c = 0 to 3 do
+            let p = wab *. b.vwz.(off + c) in
+            let cell = ((((a * 4) + bb) * 4) + c) * norb in
+            for m = 0 to norb - 1 do
+              out.(m) <-
+                out.(m) +. (p *. Array.unsafe_get slab (cell + m))
+            done
+          done
+        done
+      done
+    done
+
+  let eval_vgh_batch t (b : vgh_batch) ~n ~(u0 : float array)
+      ~(u1 : float array) ~(u2 : float array) =
+    if n < 0 || n > b.cap then invalid_arg "Bspline3d.eval_vgh_batch: bad n";
+    (* Phase 1: per-walker stencil origin + the nine weight vectors.
+       [locate] written out so no (int, float) tuples are allocated. *)
+    for s = 0 to n - 1 do
+      let x = wrap u0.(s) *. float_of_int t.nx in
+      let ix = int_of_float x in
+      let ix = if ix >= t.nx then t.nx - 1 else if ix < 0 then 0 else ix in
+      let tx = x -. float_of_int ix in
+      let y = wrap u1.(s) *. float_of_int t.ny in
+      let iy = int_of_float y in
+      let iy = if iy >= t.ny then t.ny - 1 else if iy < 0 then 0 else iy in
+      let ty = y -. float_of_int iy in
+      let z = wrap u2.(s) *. float_of_int t.nz in
+      let iz = int_of_float z in
+      let iz = if iz >= t.nz then t.nz - 1 else if iz < 0 then 0 else iz in
+      let tz = z -. float_of_int iz in
+      b.bix.(s) <- ix;
+      b.biy.(s) <- iy;
+      b.biz.(s) <- iz;
+      let off = 4 * s in
+      b.bwx.(off) <- tx;
+      b.bwy.(off) <- ty;
+      b.bwz.(off) <- tz;
+      b.bdx.(off) <- tx;
+      b.bdy.(off) <- ty;
+      b.bdz.(off) <- tz;
+      b.bsx.(off) <- tx;
+      b.bsy.(off) <- ty;
+      b.bsz.(off) <- tz;
+      put_value b.bwx off;
+      put_value b.bwy off;
+      put_value b.bwz off;
+      put_first b.bdx off;
+      put_first b.bdy off;
+      put_first b.bdz off;
+      put_second b.bsx off;
+      put_second b.bsy off;
+      put_second b.bsz off
+    done;
+    (* Phase 2: gather each walker's stencil block into the slab, then
+       accumulate into that walker's slot of the arena. *)
+    let norb = t.n_orb in
+    for s = 0 to n - 1 do
+      let buf = b.outs.(s) in
+      Array.fill buf.v 0 norb 0.;
+      Array.fill buf.gx 0 norb 0.;
+      Array.fill buf.gy 0 norb 0.;
+      Array.fill buf.gz 0 norb 0.;
+      Array.fill buf.hxx 0 norb 0.;
+      Array.fill buf.hxy 0 norb 0.;
+      Array.fill buf.hxz 0 norb 0.;
+      Array.fill buf.hyy 0 norb 0.;
+      Array.fill buf.hyz 0 norb 0.;
+      Array.fill buf.hzz 0 norb 0.;
+      gather_coeffs t.coeffs b.bslab ~ix:b.bix.(s) ~iy:b.biy.(s)
+        ~iz:b.biz.(s) ~cy:t.cy ~cz:t.cz ~orb_stride:t.orb_stride ~norb;
+      let slab = b.bslab in
+      let off = 4 * s in
+      for a = 0 to 3 do
+        let wxa = b.bwx.(off + a)
+        and dxa = b.bdx.(off + a)
+        and sxa = b.bsx.(off + a) in
+        for bb = 0 to 3 do
+          let wyb = b.bwy.(off + bb)
+          and dyb = b.bdy.(off + bb)
+          and syb = b.bsy.(off + bb) in
+          for c = 0 to 3 do
+            let wzc = b.bwz.(off + c)
+            and dzc = b.bdz.(off + c)
+            and szc = b.bsz.(off + c) in
+            let p_v = wxa *. wyb *. wzc in
+            let p_gx = dxa *. wyb *. wzc in
+            let p_gy = wxa *. dyb *. wzc in
+            let p_gz = wxa *. wyb *. dzc in
+            let p_hxx = sxa *. wyb *. wzc in
+            let p_hxy = dxa *. dyb *. wzc in
+            let p_hxz = dxa *. wyb *. dzc in
+            let p_hyy = wxa *. syb *. wzc in
+            let p_hyz = wxa *. dyb *. dzc in
+            let p_hzz = wxa *. wyb *. szc in
+            let cell = ((((a * 4) + bb) * 4) + c) * norb in
+            for m = 0 to norb - 1 do
+              let cf = Array.unsafe_get slab (cell + m) in
+              buf.v.(m) <- buf.v.(m) +. (p_v *. cf);
+              buf.gx.(m) <- buf.gx.(m) +. (p_gx *. cf);
+              buf.gy.(m) <- buf.gy.(m) +. (p_gy *. cf);
+              buf.gz.(m) <- buf.gz.(m) +. (p_gz *. cf);
+              buf.hxx.(m) <- buf.hxx.(m) +. (p_hxx *. cf);
+              buf.hxy.(m) <- buf.hxy.(m) +. (p_hxy *. cf);
+              buf.hxz.(m) <- buf.hxz.(m) +. (p_hxz *. cf);
+              buf.hyy.(m) <- buf.hyy.(m) +. (p_hyy *. cf);
+              buf.hyz.(m) <- buf.hyz.(m) +. (p_hyz *. cf);
+              buf.hzz.(m) <- buf.hzz.(m) +. (p_hzz *. cf)
+            done
+          done
+        done
+      done;
+      let fx = float_of_int t.nx and fy = float_of_int t.ny in
+      let fz = float_of_int t.nz in
+      for m = 0 to norb - 1 do
+        buf.gx.(m) <- buf.gx.(m) *. fx;
+        buf.gy.(m) <- buf.gy.(m) *. fy;
+        buf.gz.(m) <- buf.gz.(m) *. fz;
+        buf.hxx.(m) <- buf.hxx.(m) *. fx *. fx;
+        buf.hxy.(m) <- buf.hxy.(m) *. fx *. fy;
+        buf.hxz.(m) <- buf.hxz.(m) *. fx *. fz;
+        buf.hyy.(m) <- buf.hyy.(m) *. fy *. fy;
+        buf.hyz.(m) <- buf.hyz.(m) *. fy *. fz;
+        buf.hzz.(m) <- buf.hzz.(m) *. fz *. fz
+      done
     done
 
   (* Analytic size of a table in bytes for workloads too big to allocate

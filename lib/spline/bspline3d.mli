@@ -61,6 +61,72 @@ module Make (R : Precision.REAL) : sig
   (** Bspline-vgh: values, fractional-coordinate gradients and Hessian
       components of all orbitals. *)
 
+  type vgh_batch = {
+    cap : int;
+    bix : int array;
+    biy : int array;
+    biz : int array;
+    bwx : float array;
+    bwy : float array;
+    bwz : float array;
+    bdx : float array;
+    bdy : float array;
+    bdz : float array;
+    bsx : float array;
+    bsy : float array;
+    bsz : float array;
+    bslab : float array;
+    outs : vgh_buf array;
+  }
+  (** Crowd-sized scratch arena for {!eval_vgh_batch}: per-slot stencil
+      origins, flat 1-D weight vectors (offset [4*slot]), a gather slab
+      holding one walker's 4×4×4 coefficient block as unboxed doubles,
+      and one result buffer per slot.  Allocate once per domain, reuse
+      forever. *)
+
+  type v_batch = {
+    vcap : int;
+    vix : int array;
+    viy : int array;
+    viz : int array;
+    vwx : float array;
+    vwy : float array;
+    vwz : float array;
+    vslab : float array;
+    vouts : float array array;
+  }
+
+  val make_vgh_batch : t -> cap:int -> vgh_batch
+  (** @raise Invalid_argument if [cap < 1]. *)
+
+  val make_v_batch : t -> cap:int -> v_batch
+
+  val eval_vgh_batch :
+    t ->
+    vgh_batch ->
+    n:int ->
+    u0:float array ->
+    u1:float array ->
+    u2:float array ->
+    unit
+  (** Batched Bspline-vgh over the first [n] fractional positions: each
+      walker's 1-D weights are computed once into the arena, then the
+      coefficient blocks are streamed with zero allocation.  Results land
+      in [outs.(0..n-1)].  Per walker the arithmetic matches {!eval_vgh}
+      exactly (bit-identical on the double path).
+      @raise Invalid_argument if [n > cap]. *)
+
+  val eval_v_batch :
+    t ->
+    v_batch ->
+    n:int ->
+    u0:float array ->
+    u1:float array ->
+    u2:float array ->
+    unit
+  (** Batched Bspline-v into [vouts.(0..n-1)]; same contract as
+      {!eval_vgh_batch}. *)
+
   val table_bytes :
     nx:int -> ny:int -> nz:int -> n_orb:int -> elt_bytes:int -> int
   (** Analytic table size used by the memory-footprint accounting for

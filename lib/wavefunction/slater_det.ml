@@ -30,7 +30,7 @@ module Make (R : Precision.REAL) = struct
   type scheme = Sherman_morrison | Delayed of int
 
   let create ?(timers = Timers.null) ?(scheme = Sherman_morrison)
-      ~(spo : Spo.t) ~first ~count (ps : Ps.t) : W.t =
+      ?(staged = ref None) ~(spo : Spo.t) ~first ~count (ps : Ps.t) : W.t =
     let n = count in
     if n < 1 then invalid_arg "Slater_det.create: empty determinant";
     if spo.Spo.n_orb < n then
@@ -48,13 +48,41 @@ module Make (R : Precision.REAL) = struct
     let log_abs = ref 0. in
     let in_group k = k >= first && k < first + n in
     let flush () = match du with Some d -> Du.flush d | None -> () in
+    (* A crowd driver may stage a pre-computed SPO result for the
+       position the next in-group grad/ratio_grad would evaluate; it is
+       consumed exactly once (the batch slot is reused for the next
+       lockstep step).  The batch kernel times itself, so no Bspline-vgh
+       sample is recorded here for staged evaluations. *)
+    let take_staged eval =
+      match !staged with
+      | Some s ->
+          staged := None;
+          s
+      | None ->
+          Timers.time timers "Bspline-vgh" (fun () -> eval vgl);
+          vgl
+    in
+    (* Whole-determinant sweeps (recompute, measurement) evaluate all n
+       electron positions through one batched kernel call: the scratch
+       arena is shared across the rows instead of re-allocated per
+       electron.  Lazy so single-move-only paths never pay for it. *)
+    let row_pos = Array.make n Vec3.zero in
+    let v_rows = lazy (spo.Spo.make_v_batch n) in
+    let vgl_rows = lazy (spo.Spo.make_vgl_batch n) in
+    let load_row_pos ps =
+      for i = 0 to n - 1 do
+        row_pos.(i) <- Ps.get ps (first + i)
+      done
+    in
     let evaluate_log ps =
       flush ();
+      let b = Lazy.force v_rows in
+      load_row_pos ps;
+      Timers.time timers "Bspline-v" (fun () -> b.Spo.vrun row_pos n);
       for i = 0 to n - 1 do
-        Timers.time timers "Bspline-v" (fun () ->
-            spo.Spo.eval_v (Ps.get ps (first + i)) vbuf);
+        let row = b.Spo.vslots.(i) in
         for j = 0 to n - 1 do
-          M.set phim i j vbuf.(j)
+          M.set phim i j row.(j)
         done
       done;
       let _sign, logd =
@@ -108,8 +136,7 @@ module Make (R : Precision.REAL) = struct
       if not (in_group k) then (1., Vec3.zero)
       else begin
         let kl = k - first in
-        Timers.time timers "Bspline-vgh" (fun () ->
-            spo.Spo.eval_vgl (Ps.active_pos ps) vgl);
+        let vgl = take_staged (spo.Spo.eval_vgl (Ps.active_pos ps)) in
         Array.blit vgl.Spo.v 0 vbuf 0 n;
         load_psiv ();
         let r = Timers.time timers "DetUpdate" (fun () -> det_ratio kl) in
@@ -127,8 +154,7 @@ module Make (R : Precision.REAL) = struct
       if not (in_group k) then Vec3.zero
       else begin
         let kl = k - first in
-        Timers.time timers "Bspline-vgh" (fun () ->
-            spo.Spo.eval_vgl (Ps.get ps k) vgl);
+        let vgl = take_staged (spo.Spo.eval_vgl (Ps.get ps k)) in
         (* The denominator is 1 in exact arithmetic (row kl of M is the
            orbital vector at r_k); dividing by it stabilizes the mixed
            precision path.  With pending delayed updates every dot routes
@@ -154,10 +180,12 @@ module Make (R : Precision.REAL) = struct
     let reject _ps _k = () in
     let accumulate_gl ps (g : W.gl) =
       flush ();
+      let b = Lazy.force vgl_rows in
+      load_row_pos ps;
+      Timers.time timers "SPO-vgl" (fun () -> b.Spo.run row_pos n);
       for i = 0 to n - 1 do
         let k = first + i in
-        Timers.time timers "SPO-vgl" (fun () ->
-            spo.Spo.eval_vgl (Ps.get ps k) vgl);
+        let vgl = b.Spo.slots.(i) in
         let dot comp =
           let acc = ref 0. in
           for j = 0 to n - 1 do

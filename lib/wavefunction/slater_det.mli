@@ -15,6 +15,7 @@ module Make (R : Precision.REAL) : sig
   val create :
     ?timers:Timers.t ->
     ?scheme:scheme ->
+    ?staged:Spo.vgl option ref ->
     spo:Spo.t ->
     first:int ->
     count:int ->
@@ -25,6 +26,12 @@ module Make (R : Precision.REAL) : sig
       Bspline-v (value-only SPO), Bspline-vgh (SPO with derivatives),
       SPO-vgl (measurement sweep), DetUpdate (ratio dots and inverse
       updates).
+
+      [staged], when supplied, lets a crowd driver hand the determinant
+      a pre-computed SPO result for the position the next in-group
+      [grad]/[ratio_grad] would evaluate; the staged value is consumed
+      exactly once and no Bspline-vgh time is recorded for it (the batch
+      kernel times itself).
       @raise Invalid_argument on an empty group, an out-of-range window,
       or fewer orbitals than electrons. *)
 end

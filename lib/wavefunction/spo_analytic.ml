@@ -86,7 +86,7 @@ let plane_waves ~lattice ~n_orb : Spo.t =
       end
     done
   in
-  { Spo.n_orb; label = "plane-waves"; eval_v; eval_vgl; bytes = 0 }
+  Spo.make ~n_orb ~label:"plane-waves" ~eval_v ~eval_vgl ~bytes:0 ()
 
 (* ---- harmonic oscillator ---- *)
 
@@ -162,7 +162,7 @@ let harmonic ~omega ~n_orb : Spo.t =
     eval_vgl r scratch;
     Array.blit scratch.Spo.v 0 out 0 n_orb
   in
-  { Spo.n_orb; label = "harmonic"; eval_v; eval_vgl; bytes = 0 }
+  Spo.make ~n_orb ~label:"harmonic" ~eval_v ~eval_vgl ~bytes:0 ()
 
 (* ---- Slater-type 1s orbitals ---- *)
 
@@ -193,7 +193,7 @@ let slater_1s ~centers ~zeta : Spo.t =
     eval_vgl r scratch;
     Array.blit scratch.Spo.v 0 out 0 n_orb
   in
-  { Spo.n_orb; label = "slater-1s"; eval_v; eval_vgl; bytes = 0 }
+  Spo.make ~n_orb ~label:"slater-1s" ~eval_v ~eval_vgl ~bytes:0 ()
 
 (* Exact ground-state energy of [n] non-interacting fermions of one spin
    filling the lowest HO orbitals (used by the integration tests). *)

@@ -8,14 +8,21 @@ open Oqmc_particle
    derivatives are pushed through the cell metric —
    ∇ᵣφ = Σ_b g_b (∂φ/∂s_b) and ∇²φ = Σ_{bc} (g_b·g_c) H_s(b,c) — so the
    Slater determinant sees Cartesian gradients and laplacians.  The table
-   is read-only and shared by every walker and thread, as in QMCPACK. *)
+   is read-only and shared by every walker and thread, as in QMCPACK.
+
+   Scratch, by contrast, is never shared: the scalar path keeps one
+   [vgh_buf] per domain (domain-local storage), and each batched context
+   owns a crowd-sized arena, so parallel engines over the same [Spo.t]
+   cannot trample each other's intermediates. *)
 
 module Make (R : Precision.REAL) = struct
   module B3 = Oqmc_spline.Bspline3d.Make (R)
 
   let create ~(table : B3.t) ~(lattice : Lattice.t) : Spo.t =
     let n = B3.n_orb table in
-    let buf = B3.make_vgh_buf table in
+    (* One scalar scratch buffer per domain: the Spo.t closure is shared
+       across all domain engines, so a single captured buffer would race. *)
+    let scratch = Domain.DLS.new_key (fun () -> B3.make_vgh_buf table) in
     (* Rows g_b of the inverse cell: ∂s_b/∂r_a = g_b[a]. *)
     let g = Lattice.frac_rows lattice in
     let g0 = g.(0) and g1 = g.(1) and g2 = g.(2) in
@@ -24,13 +31,8 @@ module Make (R : Precision.REAL) = struct
     let m22 = Vec3.dot g2 g2 in
     let m01 = Vec3.dot g0 g1 and m02 = Vec3.dot g0 g2 in
     let m12 = Vec3.dot g1 g2 in
-    let eval_v (r : Vec3.t) out =
-      let s = Lattice.to_frac lattice r in
-      B3.eval_v table ~u0:s.Vec3.x ~u1:s.Vec3.y ~u2:s.Vec3.z out
-    in
-    let eval_vgl (r : Vec3.t) (out : Spo.vgl) =
-      let s = Lattice.to_frac lattice r in
-      B3.eval_vgh table ~u0:s.Vec3.x ~u1:s.Vec3.y ~u2:s.Vec3.z buf;
+    (* Push one table result buffer through the metric into [out]. *)
+    let to_cartesian (buf : B3.vgh_buf) (out : Spo.vgl) =
       for m = 0 to n - 1 do
         let dv0 = buf.B3.gx.(m) and dv1 = buf.B3.gy.(m) in
         let dv2 = buf.B3.gz.(m) in
@@ -51,11 +53,61 @@ module Make (R : Precision.REAL) = struct
           +. (2. *. m12 *. buf.B3.hyz.(m))
       done
     in
-    {
-      Spo.n_orb = n;
-      label = Printf.sprintf "bspline-%s" R.name;
-      eval_v;
-      eval_vgl;
-      bytes = B3.bytes table;
-    }
+    let eval_v (r : Vec3.t) out =
+      let s = Lattice.to_frac lattice r in
+      B3.eval_v table ~u0:s.Vec3.x ~u1:s.Vec3.y ~u2:s.Vec3.z out
+    in
+    let eval_vgl (r : Vec3.t) (out : Spo.vgl) =
+      let buf = Domain.DLS.get scratch in
+      let s = Lattice.to_frac lattice r in
+      B3.eval_vgh table ~u0:s.Vec3.x ~u1:s.Vec3.y ~u2:s.Vec3.z buf;
+      to_cartesian buf out
+    in
+    (* Native crowd batches: fractional coordinates for the whole crowd
+       are staged into the context's arrays, the table's batched kernel
+       computes every walker's 1-D weights once and streams coefficient
+       blocks, then each slot is pushed through the metric. *)
+    let make_vgl_batch cap =
+      if cap < 1 then invalid_arg "Spo_bspline.make_vgl_batch: cap < 1";
+      let arena = B3.make_vgh_batch table ~cap in
+      let slots = Array.init cap (fun _ -> Spo.make_vgl n) in
+      let u0 = Array.make cap 0. in
+      let u1 = Array.make cap 0. in
+      let u2 = Array.make cap 0. in
+      let run (pos : Vec3.t array) nw =
+        for s = 0 to nw - 1 do
+          let f = Lattice.to_frac lattice pos.(s) in
+          u0.(s) <- f.Vec3.x;
+          u1.(s) <- f.Vec3.y;
+          u2.(s) <- f.Vec3.z
+        done;
+        B3.eval_vgh_batch table arena ~n:nw ~u0 ~u1 ~u2;
+        for s = 0 to nw - 1 do
+          to_cartesian arena.B3.outs.(s) slots.(s)
+        done
+      in
+      { Spo.cap; slots; run }
+    in
+    let make_v_batch cap =
+      if cap < 1 then invalid_arg "Spo_bspline.make_v_batch: cap < 1";
+      let arena = B3.make_v_batch table ~cap in
+      let u0 = Array.make cap 0. in
+      let u1 = Array.make cap 0. in
+      let u2 = Array.make cap 0. in
+      let vrun (pos : Vec3.t array) nw =
+        for s = 0 to nw - 1 do
+          let f = Lattice.to_frac lattice pos.(s) in
+          u0.(s) <- f.Vec3.x;
+          u1.(s) <- f.Vec3.y;
+          u2.(s) <- f.Vec3.z
+        done;
+        B3.eval_v_batch table arena ~n:nw ~u0 ~u1 ~u2
+      in
+      (* Values need no metric conversion: expose the arena's result rows
+         directly as the batch slots. *)
+      { Spo.vcap = cap; vslots = arena.B3.vouts; vrun }
+    in
+    Spo.make ~make_vgl_batch ~make_v_batch ~n_orb:n
+      ~label:(Printf.sprintf "bspline-%s" R.name)
+      ~eval_v ~eval_vgl ~bytes:(B3.bytes table) ()
 end

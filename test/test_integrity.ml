@@ -527,28 +527,39 @@ let test_dmc_tiny_run_nan_free () =
 (* ---------- runner failure aggregation ---------- *)
 
 let test_runner_joins_all_failures () =
-  let runner = Runner.create ~n_domains:3 ~factory in
+  Runner.with_runner ~n_domains:3 ~factory @@ fun runner ->
   let items = Array.init 9 Fun.id in
-  (* Every domain fails: all failures must be collected, none lost. *)
+  (* Every domain fails.  Work is pulled dynamically, so each domain is
+     held at its first index until all three have arrived — then all
+     fail together: every failure must be collected, none lost. *)
+  let arrived = Atomic.make 0 in
   (try
-     Runner.iter_walkers runner items ~f:(fun _ i ->
-         failwith (Printf.sprintf "boom %d" i));
+     Runner.parallel_for runner ~n:(Array.length items)
+       ~f:(fun ~domain _ ->
+         Atomic.incr arrived;
+         while Atomic.get arrived < 3 do
+           Domain.cpu_relax ()
+         done;
+         failwith (Printf.sprintf "boom %d" domain));
      Alcotest.fail "expected Domain_failures"
    with
   | Runner.Domain_failures fs ->
       check_int "one failure per domain" 3 (List.length fs);
       Alcotest.(check (list int))
         "domain indices in order" [ 0; 1; 2 ] (List.map fst fs));
-  (* A single failing domain re-raises the original exception. *)
+  (* A single failing index re-raises the original exception. *)
   (try
      Runner.iter_walkers runner items ~f:(fun _ i ->
          if i = 4 then failwith "solo");
      Alcotest.fail "expected Failure"
    with Failure msg -> Alcotest.(check string) "original exn" "solo" msg);
-  (* And the runner still works afterwards: no leaked domains. *)
+  (* And the poisoned pool still works afterwards: no leaked or wedged
+     workers, every index processed exactly once. *)
   let hits = Array.make 9 0 in
   Runner.iter_walkers runner items ~f:(fun _ i -> hits.(i) <- hits.(i) + 1);
-  check_int "all items processed" 9 (Array.fold_left ( + ) 0 hits)
+  Array.iteri
+    (fun i h -> check_int (Printf.sprintf "index %d exactly once" i) 1 h)
+    hits
 
 (* ---------- VMC drift metric ---------- *)
 
