@@ -16,7 +16,7 @@ let usage () =
   print_endline
     "usage: main.exe [--exp \
      table1|fig1|fig2|fig3|fig7|fig8|fig9|fig10|table2|kernels|smt|ddr|delayed|all] \
-     [--bechamel] [--pool] [--json PATH]";
+     [--bechamel] [--pool] [--dist] [--json PATH]";
   exit 1
 
 let () =
@@ -27,6 +27,7 @@ let () =
       Microbench.run ()
   | [ _; "--bechamel" ] -> Microbench.run ()
   | [ _; "--pool" ] -> Pool_bench.run ()
+  | [ _; "--dist" ] -> Dist_bench.run ()
   | [ _; "--json"; path ] | [ _; "--pool"; "--json"; path ] ->
       Pool_bench.run ~json:path ()
   | [ _; "--exp"; name ] -> (

@@ -14,7 +14,7 @@ let make_system name reduction with_nlpp seed =
 
 let run input method_ workload variant reduction walkers blocks steps tau
     domains crowd with_nlpp seed checkpoint checkpoint_every checkpoint_keep
-    watchdog restore =
+    watchdog restore ranks heartbeat_ms max_respawn =
   (* An input deck, when given, takes precedence over the flags. *)
   let cfg =
     match input with
@@ -38,6 +38,9 @@ let run input method_ workload variant reduction walkers blocks steps tau
           checkpoint_keep;
           watchdog;
           restore;
+          ranks;
+          heartbeat_ms;
+          max_respawn;
         }
   in
   let method_ = cfg.Input.method_ in
@@ -57,6 +60,9 @@ let run input method_ workload variant reduction walkers blocks steps tau
   let checkpoint_keep = cfg.Input.checkpoint_keep in
   let watchdog = cfg.Input.watchdog in
   let restore = cfg.Input.restore in
+  let ranks = cfg.Input.ranks in
+  let heartbeat_ms = cfg.Input.heartbeat_ms in
+  let max_respawn = cfg.Input.max_respawn in
   let sys = make_system workload reduction with_nlpp seed in
   let factory = Build.factory ~variant ~seed sys in
   Printf.printf
@@ -65,6 +71,48 @@ let run input method_ workload variant reduction walkers blocks steps tau
     (Variant.to_string variant)
     (System.n_electrons sys) domains crowd;
   match method_ with
+  | "dmc" when ranks > 1 ->
+      (* Supervised multi-process execution: forked rank workers with
+         heartbeats, real walker exchange and crash recovery. *)
+      let params =
+        {
+          Oqmc_dist.Supervisor.default_params with
+          ranks;
+          target_walkers = walkers;
+          warmup = steps;
+          generations = blocks * steps;
+          tau;
+          seed = seed + 1;
+          n_domains = domains;
+          heartbeat_s = float_of_int heartbeat_ms /. 1000.;
+          max_respawn;
+          checkpoint = (match checkpoint with Some _ -> checkpoint | None -> restore);
+          checkpoint_every;
+          checkpoint_keep;
+          restore = restore <> None;
+        }
+      in
+      let res = Oqmc_dist.Supervisor.run ~factory params in
+      let open Oqmc_dist.Supervisor in
+      Printf.printf "DMC energy    : %.6f +/- %.6f\n" res.energy
+        res.energy_error;
+      Printf.printf "variance      : %.6f   tau_corr %.2f\n" res.variance
+        res.tau_corr;
+      Printf.printf "population    : %.1f (target %d)\n" res.mean_population
+        walkers;
+      Printf.printf "acceptance    : %.3f\n" res.acceptance;
+      Printf.printf "wall time     : %.2f s\n" res.wall_time;
+      Printf.printf "exchange      : %d walker messages, %.2f MB total\n"
+        res.comm_messages
+        (float_of_int res.comm_bytes /. 1e6);
+      Printf.printf
+        "supervision   : %d/%d ranks live, %d respawns, %d crashes, %d \
+         stalls, %d garbage frames, %d degraded generations\n"
+        res.live_ranks ranks res.respawns res.crashes res.heartbeat_timeouts
+        res.garbage_frames res.degraded_generations;
+      if res.ranks_failed <> [] then
+        Printf.printf "ranks lost    : %s\n"
+          (String.concat ", " (List.map string_of_int res.ranks_failed))
   | "vmc" ->
       let res =
         Vmc.run ~crowd ~factory
@@ -113,7 +161,7 @@ let run input method_ workload variant reduction walkers blocks steps tau
             tau;
             seed = seed + 1;
             n_domains = domains;
-            ranks = 4;
+            ranks = max 1 ranks;
           }
       in
       Printf.printf "DMC energy    : %.6f +/- %.6f\n" res.Dmc.energy
@@ -241,7 +289,32 @@ let restore =
         ~doc:
           "Resume DMC from a checkpoint written by --checkpoint, picking \
            the newest valid $(docv).gen-N generation (or $(docv) itself) \
-           and skipping corrupt ones.")
+           and skipping corrupt ones.  With --ranks > 1, resumes every \
+           rank from the newest complete set of $(docv).rank-R shards.")
+
+let ranks =
+  Arg.(
+    value & opt int 1
+    & info [ "ranks" ] ~docv:"R"
+        ~doc:
+          "Run DMC as $(docv) supervised worker processes with real \
+           walker exchange and crash recovery (1 = single process).")
+
+let heartbeat_ms =
+  Arg.(
+    value & opt int 5000
+    & info [ "heartbeat-ms" ] ~docv:"MS"
+        ~doc:
+          "Deadline in milliseconds on every message from a rank; a rank \
+           that misses it is declared stalled and respawned.")
+
+let max_respawn =
+  Arg.(
+    value & opt int 2
+    & info [ "max-respawn" ] ~docv:"N"
+        ~doc:
+          "Respawns allowed per rank before it is abandoned and the run \
+           degrades to the surviving ranks.")
 
 let cmd =
   Cmd.v
@@ -249,6 +322,7 @@ let cmd =
     Term.(
       const run $ input $ method_ $ workload $ variant $ reduction $ walkers
       $ blocks $ steps $ tau $ domains $ crowd $ nlpp $ seed $ checkpoint
-      $ checkpoint_every $ checkpoint_keep $ watchdog $ restore)
+      $ checkpoint_every $ checkpoint_keep $ watchdog $ restore $ ranks
+      $ heartbeat_ms $ max_respawn)
 
 let () = exit (Cmd.eval cmd)

@@ -1,0 +1,218 @@
+open Oqmc_particle
+open Oqmc_rng
+open Oqmc_core
+
+(* One worker rank of a supervised multi-rank DMC run.
+
+   A rank owns a SHARD of the walker population and its own domain pool
+   (engines are created inside the rank process, after the fork), and
+   executes the supervisor's lockstep protocol: sweep + reweight on
+   [Begin_gen], report the shard's estimator terms ([Reduce]), branch on
+   command, and ship/absorb serialized walker batches for load balance.
+
+   The per-generation physics is [Dmc.sweep_generation] — the exact
+   function the single-process driver runs — so a shard's trajectory is
+   the single-process trajectory by construction.  All shard-local
+   randomness derives from (seed, rank, incarnation): deterministic for
+   a fault-free run, fresh after a respawn. *)
+
+type config = {
+  rank : int;
+  ranks : int;
+  seed : int;
+  tau : float;
+  target : int; (* GLOBAL walker target; feedback is supervisor-side *)
+  n_domains : int; (* worker domains inside this rank *)
+  checkpoint : string option;
+  checkpoint_keep : int;
+  incarnation : int; (* 0 = first spawn; respawns count up *)
+  faults : (int * Fault.rank_fault) list; (* this rank's injection plan *)
+}
+
+(* Disjoint, deterministic seed blocks per (rank, incarnation). *)
+let rank_seed cfg = cfg.seed + (7919 * (cfg.rank + 1)) + (104729 * cfg.incarnation)
+
+type shard = {
+  cfg : config;
+  pop : Population.t;
+  runner : Runner.t;
+  master_rng : Xoshiro.t; (* branching *)
+  rng_pool : Xoshiro.t; (* split per walker per generation *)
+  mutable acc : int;
+  mutable prop : int;
+}
+
+(* Build this rank's engines: the factory sees globally distinct indices
+   so every (rank, domain) pair gets an independent engine seed. *)
+let rank_factory ~(factory : int -> Engine_api.t) cfg d =
+  factory ((cfg.rank * cfg.n_domains) + d)
+
+(* Fresh shard: [count] walkers randomized from the rank's master RNG,
+   local energies measured, buffers registered. *)
+let init_shard ~factory ~count ~e_trial cfg =
+  let runner =
+    Runner.create ~n_domains:cfg.n_domains ~factory:(rank_factory ~factory cfg)
+  in
+  let e0 = Runner.engine runner 0 in
+  let n = e0.Engine_api.n_electrons in
+  let master_rng = Xoshiro.create (rank_seed cfg) in
+  let rng_pool = Xoshiro.create (rank_seed cfg + 1) in
+  let walkers =
+    List.init count (fun _ ->
+        let w = Walker.create n in
+        e0.Engine_api.randomize master_rng;
+        let el = e0.Engine_api.measure () in
+        w.Walker.e_local <- el;
+        e0.Engine_api.register_walker w;
+        w)
+  in
+  let pop = Population.create ~target:cfg.target ~e_trial walkers in
+  { cfg; pop; runner; master_rng; rng_pool; acc = 0; prop = 0 }
+
+(* Restored shard (respawn path): walkers come from a checkpoint shard,
+   RNGs from the new incarnation's seed block. *)
+let restore_shard ~factory ~walkers ~e_trial cfg =
+  let runner =
+    Runner.create ~n_domains:cfg.n_domains ~factory:(rank_factory ~factory cfg)
+  in
+  let pop = Population.create ~target:cfg.target ~e_trial walkers in
+  {
+    cfg;
+    pop;
+    runner;
+    master_rng = Xoshiro.create (rank_seed cfg);
+    rng_pool = Xoshiro.create (rank_seed cfg + 1);
+    acc = 0;
+    prop = 0;
+  }
+
+let shutdown_shard s = Runner.shutdown s.runner
+let pop s = s.pop
+let move_totals s = (s.acc, s.prop)
+
+(* Initial-ensemble estimator terms: unit weights, measured energies. *)
+let initial_sums s =
+  List.fold_left
+    (fun (ws, es) w -> (ws +. 1., es +. w.Walker.e_local))
+    (0., 0.)
+    (Population.walkers s.pop)
+
+(* One generation of shard physics: sweep + reweight every walker
+   against [e_trial], accumulate move totals, return the shard's
+   weighted estimator terms. *)
+let sweep s ~gen ~e_trial =
+  let acc, prop =
+    Dmc.sweep_generation s.runner s.pop
+      ~next_rng:(fun () -> Xoshiro.split s.rng_pool)
+      ~gen ~tau:s.cfg.tau ~e_trial
+  in
+  s.acc <- s.acc + acc;
+  s.prop <- s.prop + prop;
+  Population.weighted_energy_sums s.pop
+
+let branch s = Population.branch s.pop s.master_rng
+
+(* ---------- the worker process ---------- *)
+
+(* Serve the supervisor's protocol until [Finish].  Runs inside the
+   forked child; all faults in [cfg.faults] are armed here (first
+   incarnation only — a respawned rank must not re-kill itself). *)
+let serve ~cfg ~(factory : int -> Engine_api.t) ~init ~fd_in ~fd_out =
+  Fault.reset ();
+  if cfg.incarnation = 0 then
+    List.iter (fun (gen, f) -> Fault.arm_rank_fault ~gen f) cfg.faults;
+  let shard =
+    match init with
+    | Some (e_trial, walkers) -> restore_shard ~factory ~walkers ~e_trial cfg
+    | None -> init_shard ~factory ~count:0 ~e_trial:0. cfg
+  in
+  Wire.send fd_out (Wire.Hello { rank = cfg.rank; pid = Unix.getpid () });
+  let fresh_init ~count =
+    (* First spawn: build the initial sub-ensemble and report its sums
+       so the supervisor can form the global starting trial energy. *)
+    let ws, es =
+      if count = 0 then (0., 0.)
+      else begin
+        let e0 = Runner.engine shard.runner 0 in
+        let n = e0.Engine_api.n_electrons in
+        let walkers =
+          List.init count (fun _ ->
+              let w = Walker.create n in
+              e0.Engine_api.randomize shard.master_rng;
+              let el = e0.Engine_api.measure () in
+              w.Walker.e_local <- el;
+              e0.Engine_api.register_walker w;
+              w)
+        in
+        Population.absorb shard.pop walkers;
+        initial_sums shard
+      end
+    in
+    Wire.send fd_out
+      (Wire.Reduce
+         {
+           gen = 0;
+           wsum = ws;
+           esum = es;
+           acc = 0;
+           prop = 0;
+           n = Population.size shard.pop;
+         })
+  in
+  let fire_faults ~gen =
+    match Fault.rank_fault_due ~gen with
+    | Some Fault.Rank_kill -> Unix.kill (Unix.getpid ()) Sys.sigkill
+    | Some (Fault.Rank_stall s) -> Unix.sleepf s
+    | Some Fault.Rank_garbage -> Wire.send_corrupt fd_out
+    | None -> ()
+  in
+  let running = ref true in
+  while !running do
+    match Wire.recv fd_in with
+    | Wire.Begin_gen { gen; e_trial } ->
+        fire_faults ~gen;
+        Wire.send fd_out (Wire.Heartbeat { gen });
+        let wsum, esum = sweep shard ~gen ~e_trial in
+        Wire.send fd_out
+          (Wire.Reduce
+             {
+               gen;
+               wsum;
+               esum;
+               acc = shard.acc;
+               prop = shard.prop;
+               n = Population.size shard.pop;
+             })
+    | Wire.Branch { gen } ->
+        branch shard;
+        Wire.send fd_out (Wire.Count { gen; n = Population.size shard.pop })
+    | Wire.Give { gen; count } ->
+        let ws = Population.give shard.pop count in
+        Wire.send fd_out (Wire.Walkers { gen; walkers = ws })
+    | Wire.Walkers { walkers; _ } -> Population.absorb shard.pop walkers
+    | Wire.Checkpoint_cmd { gen; e_trial } ->
+        let ok =
+          match cfg.checkpoint with
+          | None -> false
+          | Some path -> (
+              try
+                Checkpoint.save_shard ~keep:cfg.checkpoint_keep ~path
+                  ~rank:cfg.rank ~gen ~e_trial
+                  (Population.walkers shard.pop);
+                true
+              with Sys_error _ | Checkpoint.Corrupt _ -> false)
+        in
+        Wire.send fd_out (Wire.Ack { gen; ok })
+    | Wire.Finish ->
+        Wire.send fd_out
+          (Wire.Final
+             {
+               acc = shard.acc;
+               prop = shard.prop;
+               walkers = Population.walkers shard.pop;
+             });
+        running := false
+    | Wire.Init { count } -> fresh_init ~count
+    | _ -> () (* ignore unexpected frames; the supervisor drives *)
+  done;
+  shutdown_shard shard

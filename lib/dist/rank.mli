@@ -1,0 +1,79 @@
+open Oqmc_particle
+open Oqmc_core
+
+(** One worker rank of a supervised multi-rank DMC run: a population
+    shard plus its own domain pool, driven by the supervisor's lockstep
+    wire protocol.  The per-generation physics is
+    [Dmc.sweep_generation] — the same function the single-process
+    driver runs — so fault-free multi-rank trajectories are
+    bit-identical to the in-process reference executor. *)
+
+type config = {
+  rank : int;
+  ranks : int;
+  seed : int;
+  tau : float;
+  target : int;  (** GLOBAL walker target (feedback is supervisor-side) *)
+  n_domains : int;  (** worker domains inside this rank *)
+  checkpoint : string option;
+  checkpoint_keep : int;
+  incarnation : int;  (** 0 = first spawn; respawns count up *)
+  faults : (int * Fault.rank_fault) list;
+      (** (generation, fault) injection plan for THIS rank; armed only
+          on incarnation 0 so a respawned rank cannot re-kill itself *)
+}
+
+val rank_seed : config -> int
+(** Disjoint deterministic seed block for (rank, incarnation). *)
+
+(** {1 Shard executor (shared with the in-process reference)} *)
+
+type shard
+
+val init_shard :
+  factory:(int -> Engine_api.t) ->
+  count:int ->
+  e_trial:float ->
+  config ->
+  shard
+(** Fresh shard: [count] randomized walkers with measured local
+    energies and registered buffers, plus this rank's runner pool. *)
+
+val restore_shard :
+  factory:(int -> Engine_api.t) ->
+  walkers:Walker.t list ->
+  e_trial:float ->
+  config ->
+  shard
+(** Respawn path: walkers from a checkpoint shard, RNGs from the new
+    incarnation's seed block. *)
+
+val shutdown_shard : shard -> unit
+
+val pop : shard -> Population.t
+val move_totals : shard -> int * int
+(** Lifetime (accepted, proposed) move totals. *)
+
+val initial_sums : shard -> float * float
+(** (Σ1, ΣE_L) of the initial unit-weight ensemble — the gen-0 terms of
+    the global starting trial energy. *)
+
+val sweep : shard -> gen:int -> e_trial:float -> float * float
+(** One generation of shard physics; returns the shard's weighted
+    estimator terms (Σw, Σw·E_L). *)
+
+val branch : shard -> unit
+
+(** {1 The worker process} *)
+
+val serve :
+  cfg:config ->
+  factory:(int -> Engine_api.t) ->
+  init:(float * Walker.t list) option ->
+  fd_in:Unix.file_descr ->
+  fd_out:Unix.file_descr ->
+  unit
+(** Run the rank protocol until [Finish].  Called inside the forked
+    child; [init = Some (e_trial, walkers)] restores a respawned rank
+    from its checkpoint shard, [None] starts empty and waits for the
+    supervisor's [Init]. *)

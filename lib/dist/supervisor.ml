@@ -1,0 +1,714 @@
+open Oqmc_particle
+open Oqmc_core
+
+(* Supervised multi-rank DMC execution.
+
+   [run] forks N worker rank processes (Unix processes — real fault
+   isolation: a segfault, OOM kill or poisoned domain takes down ONE
+   rank, not the run) and drives them through a lockstep generation
+   protocol over pipes (Wire):
+
+     Begin_gen → (Heartbeat, Reduce) → Branch → Count
+       → Give/Walkers relays (real load-balance exchange)
+       → Checkpoint_cmd/Ack rounds → … → Finish/Final
+
+   Robustness machinery, exercised deterministically by the Fault rank
+   injectors:
+
+   - every read of a rank carries the heartbeat deadline: a stalled rank
+     surfaces as [Wire.Timeout], a crashed one as [Wire.Closed] (EOF,
+     confirmed by [waitpid]), a corrupted stream as [Wire.Garbage];
+   - a failed rank is SIGKILLed, reaped and respawned with exponential
+     backoff from its newest *valid* checkpoint shard
+     ([Checkpoint.load_latest_shard]) — or from fresh walkers when it
+     never checkpointed — rejoining at the next generation;
+   - after [max_respawn] respawns the rank is declared unrecoverable:
+     its last shard is salvaged and redistributed over the survivors and
+     the run continues degraded on N−1 ranks.  The mixed estimator
+     Σw·E_L / Σw is self-normalizing, so dropping a rank's terms from a
+     generation leaves the energy unbiased (see docs/ROBUSTNESS.md);
+   - with zero injected faults the run is BIT-IDENTICAL to [run_local],
+     the in-process reference executor over the same logical shards
+     (asserted in test/test_dist.ml).
+
+   The supervisor itself never spawns OCaml domains, so forking stays
+   safe at any point of the run; callers must not hold live domains of
+   their own across a [run] call. *)
+
+type params = {
+  ranks : int;
+  target_walkers : int; (* global population target *)
+  warmup : int;
+  generations : int;
+  tau : float;
+  seed : int;
+  n_domains : int; (* per rank *)
+  feedback : float;
+  heartbeat_s : float; (* per-message deadline on every rank read *)
+  max_respawn : int; (* respawns per rank before it is abandoned *)
+  respawn_backoff : float; (* base seconds, doubled per respawn *)
+  checkpoint : string option;
+  checkpoint_every : int;
+  checkpoint_keep : int;
+  restore : bool; (* resume from the newest complete shard generation *)
+  faults : (int * int * Fault.rank_fault) list; (* rank, gen, fault *)
+}
+
+let default_params =
+  {
+    ranks = 4;
+    target_walkers = 16;
+    warmup = 20;
+    generations = 100;
+    tau = 0.01;
+    seed = 11;
+    n_domains = 1;
+    feedback = 1.;
+    heartbeat_s = 5.;
+    max_respawn = 2;
+    respawn_backoff = 0.05;
+    checkpoint = None;
+    checkpoint_every = 0;
+    checkpoint_keep = 3;
+    restore = false;
+    faults = [];
+  }
+
+type result = {
+  energy : float;
+  energy_error : float;
+  variance : float;
+  tau_corr : float;
+  acceptance : float;
+  wall_time : float;
+  mean_population : float;
+  energy_series : float array;
+  population_series : int array;
+  comm_messages : int;
+  comm_bytes : int;
+  respawns : int;
+  heartbeat_timeouts : int;
+  garbage_frames : int;
+  crashes : int;
+  ranks_failed : int list; (* permanently lost, ascending *)
+  live_ranks : int;
+  degraded_generations : int;
+  final_walkers : Walker.t list;
+  final_e_trial : float;
+}
+
+exception All_ranks_lost
+
+let validate p =
+  if p.ranks < 1 then invalid_arg "Supervisor: ranks < 1";
+  if p.target_walkers < p.ranks then
+    invalid_arg "Supervisor: target_walkers < ranks";
+  if p.heartbeat_s <= 0. then invalid_arg "Supervisor: heartbeat_s <= 0";
+  if p.max_respawn < 0 then invalid_arg "Supervisor: max_respawn < 0"
+
+(* Ideal initial split of the global target over the ranks. *)
+let shard_counts ~target ~ranks =
+  let per = target / ranks and extra = target mod ranks in
+  Array.init ranks (fun r -> per + if r < extra then 1 else 0)
+
+let rank_config (p : params) ~rank ~incarnation =
+  {
+    Rank.rank;
+    ranks = p.ranks;
+    seed = p.seed;
+    tau = p.tau;
+    target = p.target_walkers;
+    n_domains = p.n_domains;
+    checkpoint = p.checkpoint;
+    checkpoint_keep = p.checkpoint_keep;
+    incarnation;
+    faults =
+      List.filter_map
+        (fun (r, g, f) -> if r = rank then Some (g, f) else None)
+        p.faults;
+  }
+
+(* ---------- result statistics (shared by run and run_local) ---------- *)
+
+let finalize ~p ~t0 ~energy_series ~pop_series ~comm_messages ~comm_bytes
+    ~respawns ~heartbeat_timeouts ~garbage_frames ~crashes ~ranks_failed
+    ~live_ranks ~degraded_generations ~acc ~prop ~final_walkers ~final_e_trial
+    =
+  ignore p;
+  let wall_time = Oqmc_containers.Timers.now () -. t0 in
+  let energy = Stats.series_mean energy_series in
+  let variance = Stats.series_variance energy_series in
+  let pops = Array.of_list (List.rev pop_series) in
+  {
+    energy;
+    energy_error = Stats.series_error energy_series;
+    variance;
+    tau_corr = Stats.autocorrelation_time energy_series;
+    acceptance = float_of_int acc /. float_of_int (max 1 prop);
+    wall_time;
+    mean_population =
+      (if Array.length pops = 0 then 0.
+       else
+         float_of_int (Array.fold_left ( + ) 0 pops)
+         /. float_of_int (Array.length pops));
+    energy_series = Stats.to_array energy_series;
+    population_series = pops;
+    comm_messages;
+    comm_bytes;
+    respawns;
+    heartbeat_timeouts;
+    garbage_frames;
+    crashes;
+    ranks_failed = List.sort compare ranks_failed;
+    live_ranks;
+    degraded_generations;
+    final_walkers;
+    final_e_trial;
+  }
+
+(* ---------- in-process reference executor ---------- *)
+
+(* The same rank-sharded algorithm as [run], executed over logical
+   shards inside this process: no fork, no pipes, no serialization.
+   This is the oracle the forked path is asserted bit-identical
+   against — and a convenient single-process driver for rank-shaped
+   runs. *)
+let run_local ~(factory : int -> Engine_api.t) (p : params) : result =
+  validate p;
+  let counts = shard_counts ~target:p.target_walkers ~ranks:p.ranks in
+  let shards =
+    Array.init p.ranks (fun r ->
+        Rank.init_shard ~factory ~count:counts.(r) ~e_trial:0.
+          (rank_config p ~rank:r ~incarnation:0))
+  in
+  Fun.protect
+    ~finally:(fun () -> Array.iter Rank.shutdown_shard shards)
+  @@ fun () ->
+  (* Global starting trial energy from the per-rank initial sums,
+     reduced in ascending rank order. *)
+  let w0 = ref 0. and e0 = ref 0. in
+  Array.iter
+    (fun s ->
+      let w, e = Rank.initial_sums s in
+      w0 := !w0 +. w;
+      e0 := !e0 +. e)
+    shards;
+  let e_trial = ref (if !w0 > 0. then !e0 /. !w0 else 0.) in
+  let energy_series = Stats.make_series () in
+  let pop_series = ref [] in
+  let comm_messages = ref 0 and comm_bytes = ref 0 in
+  let t0 = Oqmc_containers.Timers.now () in
+  let total_gens = p.warmup + p.generations in
+  for gen = 1 to total_gens do
+    let measuring = gen > p.warmup in
+    let wsum_t = ref 0. and esum_t = ref 0. and n_t = ref 0 in
+    Array.iter
+      (fun s ->
+        let w, e = Rank.sweep s ~gen ~e_trial:!e_trial in
+        wsum_t := !wsum_t +. w;
+        esum_t := !esum_t +. e;
+        n_t := !n_t + Population.size (Rank.pop s))
+      shards;
+    let e_gen = if !wsum_t > 0. then !esum_t /. !wsum_t else !e_trial in
+    if measuring then begin
+      Stats.append energy_series e_gen;
+      pop_series := !n_t :: !pop_series
+    end;
+    Array.iter Rank.branch shards;
+    let report = Population.exchange (Array.map Rank.pop shards) in
+    comm_messages := !comm_messages + report.Population.messages;
+    comm_bytes := !comm_bytes + report.Population.bytes;
+    let total =
+      Array.fold_left (fun a s -> a + Population.size (Rank.pop s)) 0 shards
+    in
+    e_trial :=
+      Population.trial_energy_update ~feedback:p.feedback ~tau:p.tau
+        ~target:p.target_walkers ~population:total ~e_estimate:e_gen;
+    match p.checkpoint with
+    | Some path when p.checkpoint_every > 0 && gen mod p.checkpoint_every = 0
+      ->
+        let acked = ref [] in
+        Array.iteri
+          (fun r s ->
+            try
+              Checkpoint.save_shard ~keep:p.checkpoint_keep ~path ~rank:r
+                ~gen ~e_trial:!e_trial
+                (Population.walkers (Rank.pop s));
+              acked := r :: !acked
+            with Sys_error _ | Checkpoint.Corrupt _ -> ())
+          shards;
+        (try
+           Checkpoint.save_manifest ~path ~gen ~ranks:(List.rev !acked) ()
+         with Sys_error _ -> ())
+    | _ -> ()
+  done;
+  let acc = ref 0 and prop = ref 0 in
+  Array.iter
+    (fun s ->
+      let a, pr = Rank.move_totals s in
+      acc := !acc + a;
+      prop := !prop + pr)
+    shards;
+  let final_walkers =
+    Array.to_list shards
+    |> List.concat_map (fun s -> Population.walkers (Rank.pop s))
+  in
+  finalize ~p ~t0 ~energy_series ~pop_series:!pop_series
+    ~comm_messages:!comm_messages ~comm_bytes:!comm_bytes ~respawns:0
+    ~heartbeat_timeouts:0 ~garbage_frames:0 ~crashes:0 ~ranks_failed:[]
+    ~live_ranks:p.ranks ~degraded_generations:0 ~acc:!acc ~prop:!prop
+    ~final_walkers ~final_e_trial:!e_trial
+
+(* ---------- forked execution ---------- *)
+
+type proc = {
+  id : int;
+  mutable pid : int;
+  mutable r_fd : Unix.file_descr; (* supervisor reads rank output here *)
+  mutable w_fd : Unix.file_descr; (* supervisor writes commands here *)
+  mutable dead : bool; (* permanently abandoned *)
+  mutable fds_closed : bool; (* pipe ends already closed (torn down) *)
+  mutable incarnation : int;
+  mutable count : int; (* last known shard size *)
+}
+
+(* Why the rank failed: drives the failure counters. *)
+type failure = Crash | Stall | Corrupt_stream
+
+let startup_timeout (p : params) = Float.max 30. (10. *. p.heartbeat_s)
+
+let reap pid =
+  (try Unix.kill pid Sys.sigkill
+   with Unix.Unix_error ((Unix.ESRCH | Unix.EPERM), _, _) -> ());
+  try ignore (Unix.waitpid [] pid)
+  with Unix.Unix_error (Unix.ECHILD, _, _) -> ()
+
+let close_fd fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+(* Fork one rank.  [all_fds] are every other live pipe end: the child
+   must close them, or a crashed sibling's EOF would never surface.
+   The child builds its engines, runs the protocol and _exits without
+   touching the parent's buffered channels. *)
+let fork_rank ~(factory : int -> Engine_api.t) ~cfg ~init ~all_fds =
+  let sup_r, rank_w = Unix.pipe ~cloexec:false () in
+  let rank_r, sup_w = Unix.pipe ~cloexec:false () in
+  flush stdout;
+  flush stderr;
+  match Unix.fork () with
+  | 0 ->
+      close_fd sup_r;
+      close_fd sup_w;
+      List.iter close_fd all_fds;
+      let code =
+        try
+          Rank.serve ~cfg ~factory ~init ~fd_in:rank_r ~fd_out:rank_w;
+          0
+        with _ -> 3
+      in
+      Unix._exit code
+  | pid ->
+      close_fd rank_r;
+      close_fd rank_w;
+      {
+        id = cfg.Rank.rank;
+        pid;
+        r_fd = sup_r;
+        w_fd = sup_w;
+        dead = false;
+        fds_closed = false;
+        incarnation = cfg.Rank.incarnation;
+        count = 0;
+      }
+
+let run ~(factory : int -> Engine_api.t) (p : params) : result =
+  validate p;
+  let old_sigpipe = Sys.signal Sys.sigpipe Sys.Signal_ignore in
+  let states : proc option array = Array.make p.ranks None in
+  (* Every pipe end still OPEN in the supervisor: the set a fresh child
+     must close.  Torn-down fds must be excluded — their numbers get
+     reused by the very pipes the new child is being given. *)
+  let all_fds () =
+    Array.to_list states
+    |> List.concat_map (function
+         | Some s when not s.fds_closed -> [ s.r_fd; s.w_fd ]
+         | _ -> [])
+  in
+  let cleanup () =
+    Array.iter
+      (function
+        | Some s when not s.fds_closed ->
+            close_fd s.r_fd;
+            close_fd s.w_fd;
+            s.fds_closed <- true;
+            reap s.pid
+        | _ -> ())
+      states;
+    Sys.set_signal Sys.sigpipe old_sigpipe
+  in
+  Fun.protect ~finally:cleanup @@ fun () ->
+  let hb = p.heartbeat_s in
+  let respawns = ref 0 in
+  let hb_timeouts = ref 0 and garbage_frames = ref 0 and crashes = ref 0 in
+  let ranks_failed = ref [] in
+  let degraded_generations = ref 0 in
+  let comm_messages = ref 0 and comm_bytes = ref 0 in
+  let energy_series = Stats.make_series () in
+  let pop_series = ref [] in
+  (* -------- spawn + initial ensemble -------- *)
+  let restore_init =
+    if not p.restore then None
+    else
+      match p.checkpoint with
+      | None -> None
+      | Some path -> (
+          match Checkpoint.latest_complete ~path ~ranks:p.ranks with
+          | None -> None
+          | Some gen ->
+              Some
+                (Array.init p.ranks (fun r ->
+                     Checkpoint.load_shard ~path ~rank:r ~gen)))
+  in
+  let counts = shard_counts ~target:p.target_walkers ~ranks:p.ranks in
+  for r = 0 to p.ranks - 1 do
+    let cfg = rank_config p ~rank:r ~incarnation:0 in
+    let init = Option.map (fun shards -> shards.(r)) restore_init in
+    let s = fork_rank ~factory ~cfg ~init ~all_fds:(all_fds ()) in
+    states.(r) <- Some s
+  done;
+  let proc r = Option.get states.(r) in
+  let live () =
+    List.filter (fun r -> not (proc r).dead) (List.init p.ranks Fun.id)
+  in
+  (* Record a failure and tear the process down; respawn happens at the
+     end of the generation so surviving ranks stay in lockstep. *)
+  let failed_this_gen = ref [] in
+  let fail_rank r why =
+    let s = proc r in
+    if not s.dead && not (List.mem r !failed_this_gen) then begin
+      (match why with
+      | Crash -> incr crashes
+      | Stall -> incr hb_timeouts
+      | Corrupt_stream -> incr garbage_frames);
+      close_fd s.r_fd;
+      close_fd s.w_fd;
+      s.fds_closed <- true;
+      reap s.pid;
+      failed_this_gen := r :: !failed_this_gen
+    end
+  in
+  let ok_rank r =
+    (not (proc r).dead) && not (List.mem r !failed_this_gen)
+  in
+  (* Run [f] against rank [r], converting wire failures into rank
+     failures.  Returns [None] when the rank just failed. *)
+  let guard r f =
+    if not (ok_rank r) then None
+    else
+      match f (proc r) with
+      | v -> Some v
+      | exception Wire.Closed -> fail_rank r Crash; None
+      | exception Wire.Timeout -> fail_rank r Stall; None
+      | exception Wire.Garbage _ -> fail_rank r Corrupt_stream; None
+      | exception Unix.Unix_error (Unix.EPIPE, _, _) ->
+          fail_rank r Crash; None
+  in
+  let recv_expect ?(timeout = hb) r match_ =
+    guard r (fun s ->
+        let m = Wire.recv ~timeout s.r_fd in
+        match match_ m with
+        | Some v -> v
+        | None -> raise (Wire.Garbage "unexpected frame"))
+  in
+  (* -------- handshake: Hello (+ Init reduce on fresh spawns) -------- *)
+  let startup = startup_timeout p in
+  let w0 = ref 0. and e0 = ref 0. in
+  for r = 0 to p.ranks - 1 do
+    ignore
+      (recv_expect ~timeout:startup r (function
+        | Wire.Hello _ -> Some ()
+        | _ -> None))
+  done;
+  (match restore_init with
+  | Some shards ->
+      Array.iteri (fun r (_, ws) -> (proc r).count <- List.length ws) shards
+  | None ->
+      for r = 0 to p.ranks - 1 do
+        ignore
+          (guard r (fun s -> Wire.send s.w_fd (Wire.Init { count = counts.(r) })))
+      done;
+      for r = 0 to p.ranks - 1 do
+        match
+          recv_expect ~timeout:startup r (function
+            | Wire.Reduce { gen = 0; wsum; esum; n; _ } -> Some (wsum, esum, n)
+            | _ -> None)
+        with
+        | Some (w, e, n) ->
+            w0 := !w0 +. w;
+            e0 := !e0 +. e;
+            (proc r).count <- n
+        | None -> ()
+      done);
+  let e_trial =
+    ref
+      (match restore_init with
+      | Some shards -> fst shards.(0)
+      | None -> if !w0 > 0. then !e0 /. !w0 else 0.)
+  in
+  if !failed_this_gen <> [] then
+    (* A rank that cannot even start is not worth respawning: fail fast
+       rather than mask a broken factory. *)
+    failwith "Supervisor: rank startup failed";
+  let t0 = Oqmc_containers.Timers.now () in
+  let total_gens = p.warmup + p.generations in
+  for gen = 1 to total_gens do
+    failed_this_gen := [];
+    let participants = live () in
+    (* Phase 1: open the generation. *)
+    List.iter
+      (fun r ->
+        ignore
+          (guard r (fun s ->
+               Wire.send s.w_fd (Wire.Begin_gen { gen; e_trial = !e_trial }))))
+      participants;
+    (* Phase 2: heartbeat + shard reduction, ascending rank order so the
+       float reduction matches [run_local] exactly. *)
+    let wsum_t = ref 0. and esum_t = ref 0. and n_t = ref 0 in
+    List.iter
+      (fun r ->
+        (match
+           recv_expect r (function
+             | Wire.Heartbeat _ -> Some ()
+             | _ -> None)
+         with
+        | Some () -> ()
+        | None -> ());
+        match
+          recv_expect r (function
+            | Wire.Reduce { gen = g; wsum; esum; n; _ } when g = gen ->
+                Some (wsum, esum, n)
+            | _ -> None)
+        with
+        | Some (w, e, n) ->
+            wsum_t := !wsum_t +. w;
+            esum_t := !esum_t +. e;
+            n_t := !n_t + n;
+            (proc r).count <- n
+        | None -> ())
+      participants;
+    let reduced = List.filter ok_rank participants in
+    if reduced = [] then raise All_ranks_lost;
+    if List.length reduced < p.ranks then incr degraded_generations;
+    let e_gen = if !wsum_t > 0. then !esum_t /. !wsum_t else !e_trial in
+    if gen > p.warmup then begin
+      Stats.append energy_series e_gen;
+      pop_series := !n_t :: !pop_series
+    end;
+    (* Phase 3: branch, collect post-branch counts. *)
+    List.iter
+      (fun r -> ignore (guard r (fun s -> Wire.send s.w_fd (Wire.Branch { gen }))))
+      reduced;
+    List.iter
+      (fun r ->
+        match
+          recv_expect r (function
+            | Wire.Count { gen = g; n } when g = gen -> Some n
+            | _ -> None)
+        with
+        | Some n -> (proc r).count <- n
+        | None -> ())
+      reduced;
+    (* Phase 4: real load-balance exchange, relayed through the
+       supervisor in deterministic plan order. *)
+    let balanced = List.filter ok_rank reduced in
+    let ids = Array.of_list balanced in
+    let plan_counts = Array.map (fun r -> (proc r).count) ids in
+    let moves = Population.plan plan_counts in
+    List.iter
+      (fun { Population.src; dst; count } ->
+        let rs = ids.(src) and rd = ids.(dst) in
+        match
+          guard rs (fun s ->
+              Wire.send s.w_fd (Wire.Give { gen; count });
+              match Wire.recv ~timeout:hb s.r_fd with
+              | Wire.Walkers { walkers; _ } -> walkers
+              | _ -> raise (Wire.Garbage "expected walker batch"))
+        with
+        | None -> ()
+        | Some walkers ->
+            (proc rs).count <- (proc rs).count - List.length walkers;
+            List.iter
+              (fun w ->
+                incr comm_messages;
+                comm_bytes := !comm_bytes + Walker.message_bytes w)
+              walkers;
+            let deliver rank =
+              guard rank (fun s ->
+                  Wire.send s.w_fd (Wire.Walkers { gen; walkers });
+                  s.count <- s.count + List.length walkers)
+            in
+            (match deliver rd with
+            | Some () -> ()
+            | None -> (
+                (* The destination just died: reroute the batch to the
+                   first other healthy rank rather than lose walkers. *)
+                match
+                  List.find_opt (fun r -> ok_rank r && r <> rd) balanced
+                with
+                | Some alt -> ignore (deliver alt)
+                | None -> ())))
+      moves;
+    (* Phase 5: global trial-energy feedback from the reduced counts. *)
+    let total =
+      List.fold_left
+        (fun a r -> if ok_rank r then a + (proc r).count else a)
+        0 reduced
+    in
+    e_trial :=
+      Population.trial_energy_update ~feedback:p.feedback ~tau:p.tau
+        ~target:p.target_walkers ~population:total ~e_estimate:e_gen;
+    (* Phase 6: sharded checkpoint round + manifest. *)
+    (match p.checkpoint with
+    | Some path when p.checkpoint_every > 0 && gen mod p.checkpoint_every = 0
+      ->
+        let acked = ref [] in
+        List.iter
+          (fun r ->
+            ignore
+              (guard r (fun s ->
+                   Wire.send s.w_fd
+                     (Wire.Checkpoint_cmd { gen; e_trial = !e_trial }))))
+          (List.filter ok_rank reduced);
+        List.iter
+          (fun r ->
+            match
+              recv_expect r (function
+                | Wire.Ack { gen = g; ok } when g = gen -> Some ok
+                | _ -> None)
+            with
+            | Some true -> acked := r :: !acked
+            | _ -> ())
+          (List.filter ok_rank reduced);
+        (try
+           Checkpoint.save_manifest ~path ~gen ~ranks:(List.rev !acked) ()
+         with Sys_error _ -> ())
+    | _ -> ());
+    (* Phase 7: recovery — respawn this generation's casualties, or
+       degrade permanently once the respawn budget is spent. *)
+    List.iter
+      (fun r ->
+        let s = proc r in
+        if s.incarnation >= p.max_respawn then begin
+          s.dead <- true;
+          ranks_failed := r :: !ranks_failed;
+          (* Salvage the lost shard from its newest valid checkpoint and
+             spread it over the survivors. *)
+          let salvaged =
+            match p.checkpoint with
+            | None -> []
+            | Some path -> (
+                match Checkpoint.load_latest_shard ~path ~rank:r with
+                | _, (_, ws) -> ws
+                | exception Checkpoint.Corrupt _ -> [])
+          in
+          let survivors = List.filter ok_rank (live ()) in
+          match (salvaged, survivors) with
+          | [], _ | _, [] -> ()
+          | ws, survivors ->
+              let k = List.length survivors in
+              List.iteri
+                (fun i dst ->
+                    let mine =
+                      List.filteri (fun j _ -> j mod k = i) ws
+                    in
+                    if mine <> [] then
+                      ignore
+                        (guard dst (fun sd ->
+                             Wire.send sd.w_fd
+                               (Wire.Walkers { gen; walkers = mine });
+                             sd.count <- sd.count + List.length mine)))
+                survivors
+        end
+        else begin
+          incr respawns;
+          let incarnation = s.incarnation + 1 in
+          Unix.sleepf
+            (p.respawn_backoff *. float_of_int (1 lsl (incarnation - 1)));
+          let init =
+            match p.checkpoint with
+            | None -> None
+            | Some path -> (
+                match Checkpoint.load_latest_shard ~path ~rank:r with
+                | _, restored -> Some restored
+                | exception Checkpoint.Corrupt _ -> None)
+          in
+          let cfg = rank_config p ~rank:r ~incarnation in
+          let fresh = fork_rank ~factory ~cfg ~init ~all_fds:(all_fds ()) in
+          states.(r) <- Some fresh;
+          let startup = startup_timeout p in
+          failed_this_gen := List.filter (fun x -> x <> r) !failed_this_gen;
+          match
+            recv_expect ~timeout:startup r (function
+              | Wire.Hello _ -> Some ()
+              | _ -> None)
+          with
+          | None -> (proc r).dead <- true; ranks_failed := r :: !ranks_failed
+          | Some () -> (
+              match init with
+              | Some (_, ws) -> (proc r).count <- List.length ws
+              | None -> (
+                  (* No shard to restore: restart the rank from fresh
+                     walkers at its ideal share of the target. *)
+                  let want =
+                    max 1 (p.target_walkers / max 1 (List.length (live ())))
+                  in
+                  ignore
+                    (guard r (fun s2 ->
+                         Wire.send s2.w_fd (Wire.Init { count = want })));
+                  match
+                    recv_expect ~timeout:startup r (function
+                      | Wire.Reduce { gen = 0; n; _ } -> Some n
+                      | _ -> None)
+                  with
+                  | Some n -> (proc r).count <- n
+                  | None ->
+                      (proc r).dead <- true;
+                      ranks_failed := r :: !ranks_failed))
+        end)
+      (List.rev !failed_this_gen);
+    if live () = [] then raise All_ranks_lost
+  done;
+  (* -------- collect finals -------- *)
+  let acc = ref 0 and prop = ref 0 in
+  let final_walkers = ref [] in
+  List.iter
+    (fun r ->
+      failed_this_gen := [];
+      ignore (guard r (fun s -> Wire.send s.w_fd Wire.Finish));
+      (match
+         recv_expect ~timeout:(startup_timeout p) r (function
+           | Wire.Final { acc = a; prop = pr; walkers } ->
+               Some (a, pr, walkers)
+           | _ -> None)
+       with
+      | Some (a, pr, walkers) ->
+          acc := !acc + a;
+          prop := !prop + pr;
+          final_walkers := !final_walkers @ walkers
+      | None -> ());
+      let s = proc r in
+      if not s.fds_closed then begin
+        close_fd s.r_fd;
+        close_fd s.w_fd;
+        s.fds_closed <- true;
+        (try ignore (Unix.waitpid [] s.pid)
+         with Unix.Unix_error (Unix.ECHILD, _, _) -> ());
+        s.dead <- true
+      end)
+    (live ());
+  finalize ~p ~t0 ~energy_series ~pop_series:!pop_series
+    ~comm_messages:!comm_messages ~comm_bytes:!comm_bytes ~respawns:!respawns
+    ~heartbeat_timeouts:!hb_timeouts ~garbage_frames:!garbage_frames
+    ~crashes:!crashes ~ranks_failed:!ranks_failed
+    ~live_ranks:(p.ranks - List.length !ranks_failed)
+    ~degraded_generations:!degraded_generations ~acc:!acc ~prop:!prop
+    ~final_walkers:!final_walkers ~final_e_trial:!e_trial

@@ -1,0 +1,71 @@
+open Oqmc_particle
+open Oqmc_core
+
+(** Supervised multi-rank DMC execution: a single-threaded supervisor
+    forks N worker rank processes, drives them through a lockstep
+    generation protocol ({!Wire}) with per-read heartbeat deadlines,
+    performs real walker exchange for load balance, and recovers from
+    rank crashes, stalls and corrupted streams by respawning from
+    per-rank checkpoint shards — degrading gracefully to N−1 ranks when
+    the respawn budget is exhausted.  With zero injected faults [run]
+    is bit-identical to {!run_local}, the in-process reference executor
+    over the same logical shards. *)
+
+type params = {
+  ranks : int;
+  target_walkers : int;  (** global population target *)
+  warmup : int;
+  generations : int;
+  tau : float;
+  seed : int;
+  n_domains : int;  (** worker domains per rank *)
+  feedback : float;
+  heartbeat_s : float;  (** deadline on every read from a rank *)
+  max_respawn : int;  (** respawns per rank before it is abandoned *)
+  respawn_backoff : float;  (** base seconds, doubled per respawn *)
+  checkpoint : string option;
+  checkpoint_every : int;
+  checkpoint_keep : int;
+  restore : bool;  (** resume from the newest complete shard generation *)
+  faults : (int * int * Fault.rank_fault) list;
+      (** (rank, generation, fault) injection plan *)
+}
+
+val default_params : params
+
+type result = {
+  energy : float;
+  energy_error : float;
+  variance : float;
+  tau_corr : float;
+  acceptance : float;
+  wall_time : float;
+  mean_population : float;
+  energy_series : float array;
+  population_series : int array;
+  comm_messages : int;  (** walkers exchanged for load balance *)
+  comm_bytes : int;  (** payload bytes of those walkers *)
+  respawns : int;
+  heartbeat_timeouts : int;
+  garbage_frames : int;
+  crashes : int;
+  ranks_failed : int list;  (** permanently lost ranks, ascending *)
+  live_ranks : int;
+  degraded_generations : int;
+      (** generations reduced over fewer than [ranks] shards *)
+  final_walkers : Walker.t list;
+  final_e_trial : float;
+}
+
+exception All_ranks_lost
+(** Every rank is dead and the run cannot continue. *)
+
+val run : factory:(int -> Engine_api.t) -> params -> result
+(** Forked execution.  The caller must not hold live OCaml domains
+    across this call (the supervisor forks).  @raise All_ranks_lost
+    when no rank survives, [Failure] when a rank fails during startup. *)
+
+val run_local : factory:(int -> Engine_api.t) -> params -> result
+(** In-process reference executor: the same rank-sharded algorithm over
+    logical shards — no fork, no pipes.  The bit-identity oracle for
+    [run], and the single-process driver for rank-shaped runs. *)

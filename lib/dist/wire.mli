@@ -1,0 +1,63 @@
+open Oqmc_particle
+
+(** Length-prefixed, CRC-trailed binary frames over pipes: the wire
+    protocol between the rank supervisor and its worker processes.
+    Corrupted or desynchronized streams raise {!Garbage} instead of
+    mis-parsing; reads honor a deadline ({!Timeout}) so a stalled peer
+    never hangs the supervisor; EOF raises {!Closed}. *)
+
+exception Closed
+(** The peer's pipe reached EOF (the process died) or broke. *)
+
+exception Timeout
+(** The deadline passed before a full frame arrived. *)
+
+exception Garbage of string
+(** Bad length, bad CRC, unknown tag or a malformed frame body. *)
+
+type msg =
+  | Hello of { rank : int; pid : int }
+      (** rank → supervisor once on startup *)
+  | Init of { count : int }
+      (** supervisor → fresh rank: build your initial [count]-walker
+          sub-ensemble and reply with a gen-0 [Reduce] *)
+  | Heartbeat of { gen : int }
+      (** rank → supervisor at the start of each generation's work *)
+  | Begin_gen of { gen : int; e_trial : float }
+      (** supervisor → rank: sweep + reweight your shard *)
+  | Reduce of {
+      gen : int;
+      wsum : float;
+      esum : float;
+      acc : int;
+      prop : int;
+      n : int;
+    }  (** rank → supervisor: shard estimator terms and move counts *)
+  | Branch of { gen : int }  (** supervisor → rank: branch your shard *)
+  | Count of { gen : int; n : int }
+      (** rank → supervisor: shard size after branching *)
+  | Give of { gen : int; count : int }
+      (** supervisor → rank: ship your last [count] walkers *)
+  | Walkers of { gen : int; walkers : Walker.t list }
+      (** either direction: a serialized walker batch *)
+  | Checkpoint_cmd of { gen : int; e_trial : float }
+      (** supervisor → rank: write your shard checkpoint *)
+  | Ack of { gen : int; ok : bool }  (** rank → supervisor *)
+  | Finish  (** supervisor → rank: send your final state and exit *)
+  | Final of { acc : int; prop : int; walkers : Walker.t list }
+      (** rank → supervisor: final shard and lifetime move totals *)
+
+val send : Unix.file_descr -> msg -> unit
+(** Write one frame, fully.  @raise Closed on a broken pipe. *)
+
+val send_corrupt : Unix.file_descr -> unit
+(** Emit one deliberately corrupted frame (valid length, wrong CRC) —
+    the [Fault.Rank_garbage] injector's payload. *)
+
+val recv : ?timeout:float -> Unix.file_descr -> msg
+(** Read one frame.  [timeout] is in seconds and bounds the whole frame.
+    @raise Closed on EOF, @raise Timeout past the deadline,
+    @raise Garbage on a corrupt frame. *)
+
+val frame_bytes : msg -> Bytes.t
+(** The serialized frame (exposed for tests and size accounting). *)

@@ -54,3 +54,70 @@ let copy t =
    load-balancing message the paper's Jastrow memory optimization shrinks
    by 22.5 MB for NiO-64. *)
 let message_bytes t = Aos.bytes t.r + (8 * 4) + Wbuffer.bytes t.buffer
+
+(* ---------- binary wire codec ----------
+
+   The serialized form a real rank exchange ships over a pipe or socket:
+   big-endian, fixed layout, floats as raw IEEE-754 bits so a
+   encode/decode roundtrip is bit-exact.  The walker [id] is *not*
+   serialized — like [copy], decoding mints a fresh process-local id. *)
+
+let put_i32 buf n = Buffer.add_int32_be buf (Int32.of_int n)
+let put_f64 buf v = Buffer.add_int64_be buf (Int64.bits_of_float v)
+
+let get_i32 s pos =
+  let v = Int32.to_int (String.get_int32_be s !pos) in
+  pos := !pos + 4;
+  v
+
+let get_f64 s pos =
+  let v = Int64.float_of_bits (String.get_int64_be s !pos) in
+  pos := !pos + 8;
+  v
+
+let encode buf t =
+  let n = n_particles t in
+  put_i32 buf n;
+  put_f64 buf t.weight;
+  put_i32 buf t.multiplicity;
+  put_i32 buf t.age;
+  put_f64 buf t.log_psi;
+  put_f64 buf t.e_local;
+  for i = 0 to n - 1 do
+    let p = Aos.get t.r i in
+    put_f64 buf p.Vec3.x;
+    put_f64 buf p.Vec3.y;
+    put_f64 buf p.Vec3.z
+  done;
+  let b = Wbuffer.contents t.buffer in
+  put_i32 buf (Array.length b);
+  Array.iter (fun v -> put_f64 buf v) b
+
+let decode s pos =
+  let guard what n lo =
+    if n < lo then
+      invalid_arg (Printf.sprintf "Walker.decode: bad %s %d" what n)
+  in
+  let n = get_i32 s pos in
+  guard "particle count" n 1;
+  let w = create n in
+  w.weight <- get_f64 s pos;
+  w.multiplicity <- get_i32 s pos;
+  w.age <- get_i32 s pos;
+  guard "age" w.age 0;
+  w.log_psi <- get_f64 s pos;
+  w.e_local <- get_f64 s pos;
+  for i = 0 to n - 1 do
+    let x = get_f64 s pos in
+    let y = get_f64 s pos in
+    let z = get_f64 s pos in
+    Aos.set w.r i (Vec3.make x y z)
+  done;
+  let nbuf = get_i32 s pos in
+  guard "buffer length" nbuf 0;
+  Wbuffer.clear w.buffer;
+  for _ = 1 to nbuf do
+    Wbuffer.add w.buffer (get_f64 s pos)
+  done;
+  Wbuffer.rewind w.buffer;
+  w

@@ -27,3 +27,17 @@ val copy : t -> t
 
 val message_bytes : t -> int
 (** Serialized size: positions, scalar properties and state buffer. *)
+
+(** {1 Binary wire codec}
+
+    The big-endian serialized form a real rank exchange ships between
+    processes.  Floats travel as raw IEEE-754 bits, so a roundtrip is
+    bit-exact; the walker [id] is not serialized — decoding mints a
+    fresh process-local id, like {!copy}. *)
+
+val encode : Buffer.t -> t -> unit
+(** Append the serialized walker to [buf]. *)
+
+val decode : string -> int ref -> t
+(** Decode one walker starting at [!pos], advancing [pos] past it.
+    @raise Invalid_argument on malformed or truncated input. *)

@@ -252,3 +252,119 @@ let load_latest ~path =
         | exception Sys_error _ -> go rest)
   in
   go candidates
+
+(* ---------- per-rank shards and the manifest ----------
+
+   A multi-rank run checkpoints each rank's walker shard independently
+   ([path.rank-R.gen-N], reusing the generation rotation above) so the
+   supervisor can respawn one crashed rank from *its* newest valid shard
+   without touching the others.  After every checkpoint round the
+   supervisor publishes a manifest recording which ranks acked at which
+   generation; [latest_complete] finds the newest generation for which
+   every rank's shard still loads cleanly — the restart point of a full
+   run resume. *)
+
+let manifest_magic = "OQMC-MANIFEST-1"
+
+let shard_path ~path ~rank =
+  if rank < 0 then invalid_arg "Checkpoint.shard_path: rank < 0";
+  Printf.sprintf "%s.rank-%d" path rank
+
+let save_shard ?retries ?backoff ?keep ~path ~rank ~gen ~e_trial walkers =
+  save_generation ?retries ?backoff ?keep
+    ~path:(shard_path ~path ~rank)
+    ~gen ~e_trial walkers
+
+let load_latest_shard ~path ~rank =
+  load_latest ~path:(shard_path ~path ~rank)
+
+let load_shard ~path ~rank ~gen =
+  load ~path:(generation_path ~path:(shard_path ~path ~rank) gen)
+
+let manifest_path ~path = path ^ ".manifest"
+
+let save_manifest ?retries ?backoff ~path ~gen ~ranks () =
+  if gen < 0 then invalid_arg "Checkpoint.save_manifest: gen < 0";
+  let buf = Buffer.create 128 in
+  Printf.bprintf buf "%s\n" manifest_magic;
+  Printf.bprintf buf "gen %d\n" gen;
+  Printf.bprintf buf "ranks %s\n"
+    (String.concat " " (List.map string_of_int ranks));
+  let payload = Buffer.contents buf in
+  let data = payload ^ Printf.sprintf "crc %08x\n" (crc32 payload) in
+  let mpath = manifest_path ~path in
+  let retries = Option.value retries ~default:3 in
+  let backoff = Option.value backoff ~default:0.05 in
+  let rec attempt k =
+    try write_atomic ~path:mpath data
+    with Sys_error _ when k < retries ->
+      Unix.sleepf (backoff *. float_of_int (1 lsl k));
+      attempt (k + 1)
+  in
+  attempt 0
+
+let load_manifest ~path =
+  let mpath = manifest_path ~path in
+  let ic = try open_in_bin mpath with Sys_error e -> fail "%s" e in
+  let content =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let lines =
+    match List.rev (String.split_on_char '\n' content) with
+    | "" :: rest -> Array.of_list (List.rev rest)
+    | _ -> Array.of_list (String.split_on_char '\n' content)
+  in
+  if Array.length lines <> 4 then fail "manifest: expected 4 lines";
+  if lines.(0) <> manifest_magic then fail "manifest: bad magic %S" lines.(0);
+  let payload = lines.(0) ^ "\n" ^ lines.(1) ^ "\n" ^ lines.(2) ^ "\n" in
+  let stored =
+    try Scanf.sscanf lines.(3) "crc %x%!" Fun.id
+    with Scanf.Scan_failure _ | Failure _ | End_of_file ->
+      fail "manifest: malformed crc line %S" lines.(3)
+  in
+  if crc32 payload <> stored then fail "manifest: crc mismatch";
+  let gen =
+    try Scanf.sscanf lines.(1) "gen %d%!" Fun.id
+    with Scanf.Scan_failure _ | Failure _ | End_of_file ->
+      fail "manifest: malformed gen line %S" lines.(1)
+  in
+  let plen = String.length "ranks" in
+  if String.length lines.(2) < plen || String.sub lines.(2) 0 plen <> "ranks"
+  then fail "manifest: malformed ranks line %S" lines.(2);
+  let ranks =
+    String.sub lines.(2) plen (String.length lines.(2) - plen)
+    |> String.split_on_char ' '
+    |> List.filter_map (fun s ->
+           if String.trim s = "" then None
+           else
+             match int_of_string_opt (String.trim s) with
+             | Some r when r >= 0 -> Some r
+             | _ -> fail "manifest: bad rank entry %S" s)
+  in
+  (gen, ranks)
+
+(* Newest generation at which EVERY rank 0..ranks-1 has a shard that
+   loads cleanly; falls back past generations with any corrupt or
+   missing shard. *)
+let latest_complete ~path ~ranks =
+  if ranks < 1 then invalid_arg "Checkpoint.latest_complete: ranks < 1";
+  let gens_of r =
+    List.rev_map fst (list_generations ~path:(shard_path ~path ~rank:r))
+  in
+  let common =
+    match List.init ranks gens_of with
+    | [] -> []
+    | g0 :: rest ->
+        List.filter (fun g -> List.for_all (List.mem g) rest) g0
+  in
+  let sorted = List.sort (fun a b -> compare b a) common in
+  let shard_ok r g =
+    match load_shard ~path ~rank:r ~gen:g with
+    | _ -> true
+    | exception (Corrupt _ | Sys_error _) -> false
+  in
+  List.find_opt
+    (fun g -> List.for_all (fun r -> shard_ok r g) (List.init ranks Fun.id))
+    sorted

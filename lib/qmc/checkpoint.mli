@@ -67,3 +67,56 @@ val load_latest : path:string -> int * (float * Walker.t list)
     corrupt ones; a plain [path] file (no generation suffix) is the
     final fallback and reports generation 0.
     @raise Corrupt when nothing valid exists. *)
+
+(** {1 Per-rank shards and the manifest}
+
+    A multi-rank run checkpoints each rank's shard independently as
+    [path.rank-R.gen-N] (reusing the generation rotation), so the
+    supervisor can respawn a single crashed rank from its own newest
+    valid shard.  A manifest published after each checkpoint round
+    records which ranks acked at which generation. *)
+
+val manifest_magic : string
+
+val shard_path : path:string -> rank:int -> string
+(** ["path.rank-R"].  @raise Invalid_argument if [rank < 0]. *)
+
+val save_shard :
+  ?retries:int ->
+  ?backoff:float ->
+  ?keep:int ->
+  path:string ->
+  rank:int ->
+  gen:int ->
+  e_trial:float ->
+  Walker.t list ->
+  unit
+(** {!save_generation} on the rank's shard path. *)
+
+val load_latest_shard : path:string -> rank:int -> int * (float * Walker.t list)
+(** Newest *valid* shard generation of [rank] — the respawn fallback.
+    @raise Corrupt when the rank has no valid shard. *)
+
+val load_shard : path:string -> rank:int -> gen:int -> float * Walker.t list
+(** Load one specific shard generation.  @raise Corrupt when invalid. *)
+
+val manifest_path : path:string -> string
+
+val save_manifest :
+  ?retries:int ->
+  ?backoff:float ->
+  path:string ->
+  gen:int ->
+  ranks:int list ->
+  unit ->
+  unit
+(** Atomically publish [path.manifest] (CRC-trailed) recording that
+    [ranks] checkpointed their shards at [gen]. *)
+
+val load_manifest : path:string -> int * int list
+(** The manifest's (generation, acked ranks).  @raise Corrupt when
+    missing, garbled or failing its CRC. *)
+
+val latest_complete : path:string -> ranks:int -> int option
+(** Newest generation at which every rank [0..ranks-1] has a shard that
+    loads cleanly — the restart point of a full multi-rank resume. *)

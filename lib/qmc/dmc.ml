@@ -51,6 +51,46 @@ type result = {
 
 type wslot = { mutable walker : Walker.t; rng : Xoshiro.t }
 
+(* Everything after a walker's sweep is per-walker and identical in the
+   scalar and crowd paths: measure, reweight against the trial energy,
+   age bookkeeping, state saved back into the walker.  The accepted-move
+   count rides in [multiplicity] until the serial accounting pass. *)
+let settle ~tau ~e_trial ~gen (e : Engine_api.t) (s : wslot)
+    (r : Engine_api.sweep_result) =
+  let w = s.walker in
+  let e_old = w.Walker.e_local in
+  let e_new = e.Engine_api.measure () in
+  let e_new = Fault.tamper_energy ~gen ~walker_id:w.Walker.id e_new in
+  Population.dmc_weight ~tau ~e_trial ~e_old ~e_new w;
+  w.Walker.e_local <- e_new;
+  w.Walker.age <-
+    (if r.Engine_api.accepted = 0 then w.Walker.age + 1 else 0);
+  e.Engine_api.save_walker w;
+  w.Walker.multiplicity <- r.Engine_api.accepted
+
+(* One generation's drift-diffusion sweep + reweighting over [pop],
+   fanned out over the runner's engines.  This is THE per-generation
+   DMC physics: the single-process driver below and the multi-rank
+   shard executor (lib/dist) both call it, so a rank shard's
+   trajectory is the single-process trajectory by construction.
+   Returns the (accepted, proposed) move totals. *)
+let sweep_generation runner pop ~next_rng ~gen ~tau ~e_trial =
+  let ws = Array.of_list (Population.walkers pop) in
+  let slots = Array.map (fun w -> { walker = w; rng = next_rng () }) ws in
+  Runner.iter_walkers runner slots ~f:(fun e s ->
+      e.Engine_api.restore_walker s.walker;
+      let r = e.Engine_api.sweep s.rng ~tau in
+      settle ~tau ~e_trial ~gen e s r);
+  let n = (Runner.engine runner 0).Engine_api.n_electrons in
+  let acc = ref 0 and prop = ref 0 in
+  Array.iter
+    (fun s ->
+      acc := !acc + s.walker.Walker.multiplicity;
+      prop := !prop + n;
+      s.walker.Walker.multiplicity <- 1)
+    slots;
+  (!acc, !prop)
+
 let run ?initial ?observe ?(checkpoint_every = 0) ?checkpoint_path
     ?(checkpoint_keep = 3) ?watchdog ?(crowd = 1)
     ~(factory : int -> Engine_api.t) (p : params) : result =
@@ -107,34 +147,21 @@ let run ?initial ?observe ?(checkpoint_every = 0) ?checkpoint_path
   let step ~measure_stats =
     incr gen_index;
     let gen = !gen_index in
-    let ws = Array.of_list (Population.walkers pop) in
-    let slots =
-      Array.map (fun w -> { walker = w; rng = next_rng () }) ws
-    in
     let e_trial = Population.e_trial pop in
-    (* Everything after the sweep is per-walker and identical in both
-       modes; accounting is merged serially below via the walker. *)
-    let settle (e : Engine_api.t) (s : wslot) (r : Engine_api.sweep_result)
-        =
-      let w = s.walker in
-      let e_old = w.Walker.e_local in
-      let e_new = e.Engine_api.measure () in
-      let e_new = Fault.tamper_energy ~gen ~walker_id:w.Walker.id e_new in
-      Population.dmc_weight ~tau:p.tau ~e_trial ~e_old ~e_new w;
-      w.Walker.e_local <- e_new;
-      w.Walker.age <-
-        (if r.Engine_api.accepted = 0 then w.Walker.age + 1 else 0);
-      e.Engine_api.save_walker w;
-      w.Walker.multiplicity <- r.Engine_api.accepted
-    in
-    if crowd = 1 then
-      Runner.iter_walkers runner slots ~f:(fun e s ->
-          e.Engine_api.restore_walker s.walker;
-          let r = e.Engine_api.sweep s.rng ~tau:p.tau in
-          settle e s r)
+    if crowd = 1 then begin
+      let acc, prop =
+        sweep_generation runner pop ~next_rng ~gen ~tau:p.tau ~e_trial
+      in
+      acc_total := !acc_total + acc;
+      prop_total := !prop_total + prop
+    end
     else begin
       (* Branching changes the population every generation, so groups
          are re-formed each step; the last group may be partial. *)
+      let ws = Array.of_list (Population.walkers pop) in
+      let slots =
+        Array.map (fun w -> { walker = w; rng = next_rng () }) ws
+      in
       let nw = Array.length slots in
       let n_groups = (nw + crowd - 1) / crowd in
       Runner.parallel_for runner ~n:n_groups ~f:(fun ~domain g ->
@@ -151,15 +178,16 @@ let run ?initial ?observe ?(checkpoint_every = 0) ?checkpoint_path
               ~tau:p.tau
           in
           for s = 0 to m - 1 do
-            settle (Crowd.engine cr s) slots.(lo + s) rs.(s)
-          done)
+            settle ~tau:p.tau ~e_trial ~gen
+              (Crowd.engine cr s) slots.(lo + s) rs.(s)
+          done);
+      Array.iter
+        (fun s ->
+          acc_total := !acc_total + s.walker.Walker.multiplicity;
+          prop_total := !prop_total + n;
+          s.walker.Walker.multiplicity <- 1)
+        slots
     end;
-    Array.iter
-      (fun s ->
-        acc_total := !acc_total + s.walker.Walker.multiplicity;
-        prop_total := !prop_total + n;
-        s.walker.Walker.multiplicity <- 1)
-      slots;
     (* Watchdog before the estimator: poisoned walkers must never feed
        the mixed estimator or the trial-energy feedback. *)
     (match watchdog with
@@ -167,13 +195,8 @@ let run ?initial ?observe ?(checkpoint_every = 0) ?checkpoint_path
         Integrity.watchdog cfg integrity ~gen ~rng:master_rng runner pop
     | None -> ());
     (* Weighted mixed estimator for this generation. *)
-    let wsum = ref 0. and esum = ref 0. in
-    List.iter
-      (fun w ->
-        wsum := !wsum +. w.Walker.weight;
-        esum := !esum +. (w.Walker.weight *. w.Walker.e_local))
-      (Population.walkers pop);
-    let e_gen = if !wsum > 0. then !esum /. !wsum else e_trial in
+    let wsum, esum = Population.weighted_energy_sums pop in
+    let e_gen = if wsum > 0. then esum /. wsum else e_trial in
     if measure_stats then begin
       Stats.append energy_series e_gen;
       pop_series := Population.size pop :: !pop_series;

@@ -14,6 +14,22 @@ type params = {
 
 val default_params : params
 
+val sweep_generation :
+  Runner.t ->
+  Population.t ->
+  next_rng:(unit -> Oqmc_rng.Xoshiro.t) ->
+  gen:int ->
+  tau:float ->
+  e_trial:float ->
+  int * int
+(** One generation's drift-diffusion sweep + reweighting over the
+    population, fanned out over the runner's engines — the
+    per-generation DMC physics shared by {!run} and the multi-rank
+    shard executor (lib/dist), so a rank shard's trajectory is the
+    single-process trajectory by construction.  Each walker draws a
+    fresh stream from [next_rng] in ensemble order.  Returns the
+    (accepted, proposed) move totals. *)
+
 type result = {
   energy : float;
   energy_error : float;

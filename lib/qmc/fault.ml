@@ -72,12 +72,42 @@ let tamper_energy ~gen ~walker_id e =
 
 let nans_injected_count () = Atomic.get nans_injected
 
+(* ---------- rank-level faults ----------
+
+   Process-level failures of the supervised multi-rank layer, armed
+   INSIDE the worker rank process (the supervisor forwards each rank its
+   own plan before the generation loop starts).  A fault fires when the
+   rank begins the generation it is armed for, exactly once:
+
+   - [Rank_kill]: the rank SIGKILLs itself — a segfault/OOM stand-in;
+   - [Rank_stall s]: the rank sleeps [s] seconds without heartbeating,
+     tripping the supervisor's heartbeat deadline;
+   - [Rank_garbage]: the rank emits one corrupted wire frame, exercising
+     the protocol's CRC rejection path. *)
+
+type rank_fault = Rank_kill | Rank_stall of float | Rank_garbage
+
+let rank_faults : (int, rank_fault) Hashtbl.t = Hashtbl.create 8
+
+let arm_rank_fault ~gen f =
+  if gen < 0 then invalid_arg "Fault.arm_rank_fault: gen < 0";
+  Hashtbl.replace rank_faults gen f
+
+(* Consume the fault armed for [gen], if any. *)
+let rank_fault_due ~gen =
+  match Hashtbl.find_opt rank_faults gen with
+  | Some f ->
+      Hashtbl.remove rank_faults gen;
+      Some f
+  | None -> None
+
 let reset () =
   Atomic.set write_failures 0;
   Atomic.set rename_failures 0;
   Atomic.set io_injected 0;
   nan_energy := None;
-  Atomic.set nans_injected 0
+  Atomic.set nans_injected 0;
+  Hashtbl.reset rank_faults
 
 (* ---------- direct walker poisoners ---------- *)
 

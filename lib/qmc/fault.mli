@@ -34,6 +34,25 @@ val tamper_energy : gen:int -> walker_id:int -> float -> float
 
 val nans_injected_count : unit -> int
 
+(** {1 Rank-level faults}
+
+    Process-level failures of the supervised multi-rank layer, armed
+    inside the worker rank process.  Each fires exactly once, at the
+    start of the generation it is armed for. *)
+
+type rank_fault =
+  | Rank_kill  (** the rank SIGKILLs itself (segfault/OOM stand-in) *)
+  | Rank_stall of float
+      (** sleep this many seconds without heartbeating — trips the
+          supervisor's heartbeat deadline *)
+  | Rank_garbage  (** emit one corrupted wire frame (CRC mismatch) *)
+
+val arm_rank_fault : gen:int -> rank_fault -> unit
+(** @raise Invalid_argument if [gen < 0]. *)
+
+val rank_fault_due : gen:int -> rank_fault option
+(** Consume the fault armed for [gen], if any. *)
+
 val reset : unit -> unit
 (** Disarm every injector and zero the counters. *)
 

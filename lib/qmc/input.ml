@@ -37,6 +37,9 @@ type t = {
   checkpoint_keep : int;
   watchdog : int;
   restore : string option;
+  ranks : int; (* > 1 = supervised multi-process execution *)
+  heartbeat_ms : int; (* per-rank message deadline *)
+  max_respawn : int; (* respawns per rank before it is abandoned *)
 }
 
 let default =
@@ -58,6 +61,9 @@ let default =
     checkpoint_keep = 3;
     watchdog = 0;
     restore = None;
+    ranks = 1;
+    heartbeat_ms = 5000;
+    max_respawn = 2;
   }
 
 exception Parse_error of string
@@ -100,6 +106,9 @@ let apply cfg ~line key value =
   | "checkpoint_keep" -> { cfg with checkpoint_keep = parse_int line value }
   | "watchdog" -> { cfg with watchdog = parse_int line value }
   | "restore" -> { cfg with restore = Some value }
+  | "ranks" -> { cfg with ranks = parse_int line value }
+  | "heartbeat_ms" -> { cfg with heartbeat_ms = parse_int line value }
+  | "max_respawn" -> { cfg with max_respawn = parse_int line value }
   | other -> fail line "unknown key %S" other
 
 let parse_string contents =

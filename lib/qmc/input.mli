@@ -24,6 +24,11 @@ type t = {
       (** DMC: recompute-audit cadence of the walker watchdog
           (0 disables the watchdog) *)
   restore : string option;
+  ranks : int;
+      (** > 1 = supervised multi-process execution ({!Oqmc_dist}) *)
+  heartbeat_ms : int;  (** per-rank message deadline in milliseconds *)
+  max_respawn : int;
+      (** respawns per rank before it is abandoned and the run degrades *)
 }
 
 val default : t

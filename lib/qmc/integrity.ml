@@ -182,8 +182,13 @@ let watchdog cfg (st : stats) ~gen ~rng (runner : Runner.t)
   let bad = poisoned @ !drifted in
   if bad <> [] then begin
     st.quarantined <- st.quarantined + List.length bad;
+    (* Filter by walker id through a hash set: ids are unique per
+       process, so this is physical identity without the O(|healthy| ×
+       |drifted|) [List.memq] scan that stalled large populations. *)
+    let drift_ids = Hashtbl.create (max 8 (2 * List.length !drifted)) in
+    List.iter (fun w -> Hashtbl.replace drift_ids w.Walker.id ()) !drifted;
     let survivors =
-      List.filter (fun w -> not (List.memq w !drifted)) healthy
+      List.filter (fun w -> not (Hashtbl.mem drift_ids w.Walker.id)) healthy
     in
     let fresh =
       replacements st e ~rng ~survivors ~count:(List.length bad)

@@ -58,19 +58,41 @@ let branch t rng =
         end)
       t.walkers
   in
-  (* Guard against extinction: keep at least one walker alive. *)
+  (* Guard against extinction: keep at least one walker alive.  The
+     survivor is a *fresh* unit-weight clone — the dead walker's stale
+     weight/multiplicity/age must not leak into the reborn ensemble. *)
   t.walkers <-
     (match spawned with
     | [] -> (
-        match t.walkers with [] -> [] | w :: _ -> [ Walker.copy w ])
+        match t.walkers with
+        | [] -> []
+        | w :: _ ->
+            let fresh = Walker.copy w in
+            fresh.Walker.weight <- 1.;
+            fresh.Walker.multiplicity <- 1;
+            fresh.Walker.age <- 0;
+            [ fresh ])
     | ws -> ws)
 
-(* Trial-energy feedback (Alg. 1 L14). *)
+(* Weighted sums feeding the mixed estimator: (Σw, Σw·E_L) in ensemble
+   order, so every caller reduces in the same float order. *)
+let weighted_energy_sums t =
+  List.fold_left
+    (fun (ws, es) w ->
+      (ws +. w.Walker.weight, es +. (w.Walker.weight *. w.Walker.e_local)))
+    (0., 0.) t.walkers
+
+(* Trial-energy feedback (Alg. 1 L14), exposed as a pure function so the
+   multi-rank supervisor can apply the *global* update from reduced
+   counts. *)
+let trial_energy_update ~feedback ~tau ~target ~population ~e_estimate =
+  let pop = float_of_int (max 1 population) in
+  e_estimate -. (feedback /. tau *. log (pop /. float_of_int target))
+
 let update_trial_energy t ~tau ~e_estimate =
-  let pop = float_of_int (max 1 (size t)) in
   t.e_trial <-
-    e_estimate
-    -. (t.feedback /. tau *. log (pop /. float_of_int t.target))
+    trial_energy_update ~feedback:t.feedback ~tau ~target:t.target
+      ~population:(size t) ~e_estimate
 
 (* Simulated load balancing across [ranks]: walkers are re-spread evenly;
    returns the number of walker messages and bytes a real MPI exchange
@@ -105,4 +127,92 @@ let load_balance t ~ranks =
     imbalance =
       (if n = 0 then 0.
        else float_of_int (!maxc - !minc) /. float_of_int (max 1 per));
+  }
+
+(* ---------- real walker exchange ----------
+
+   The primitives the multi-rank layer uses to actually *move* walkers
+   between per-rank shard populations (each shard is a [t]), instead of
+   the simulated accounting above.  Everything here is deterministic in
+   shard order, so the forked supervisor and the in-process reference
+   executor produce bit-identical trajectories. *)
+
+(* Remove and return the LAST [k] walkers (in their original order);
+   the remainder keeps its order.  [k] is clamped to the shard size. *)
+let give t k =
+  if k < 0 then invalid_arg "Population.give: negative count";
+  let n = List.length t.walkers in
+  let k = min k n in
+  let rec split i acc rest =
+    if i = 0 then (List.rev acc, rest)
+    else
+      match rest with
+      | [] -> (List.rev acc, [])
+      | w :: ws -> split (i - 1) (w :: acc) ws
+  in
+  let kept, given = split (n - k) [] t.walkers in
+  t.walkers <- kept;
+  given
+
+(* Append received walkers at the end of the shard. *)
+let absorb t ws = t.walkers <- t.walkers @ ws
+
+type move = { src : int; dst : int; count : int }
+
+(* Deterministic all-to-ideal rebalancing plan: [counts.(i)] walkers
+   currently live on shard [i]; surplus shards (ascending) are matched
+   greedily against deficit shards (ascending).  Σsurplus = Σdeficit, so
+   the recursion exhausts both lists together. *)
+let plan counts =
+  let k = Array.length counts in
+  if k = 0 then []
+  else begin
+    let total = Array.fold_left ( + ) 0 counts in
+    let per = total / k and extra = total mod k in
+    let ideal i = per + if i < extra then 1 else 0 in
+    let surplus = ref [] and deficit = ref [] in
+    for i = k - 1 downto 0 do
+      let diff = counts.(i) - ideal i in
+      if diff > 0 then surplus := (i, diff) :: !surplus
+      else if diff < 0 then deficit := (i, -diff) :: !deficit
+    done;
+    let rec go s d acc =
+      match (s, d) with
+      | [], _ | _, [] -> List.rev acc
+      | (si, sc) :: srest, (di, dc) :: drest ->
+          let m = min sc dc in
+          go
+            (if sc = m then srest else (si, sc - m) :: srest)
+            (if dc = m then drest else (di, dc - m) :: drest)
+            ({ src = si; dst = di; count = m } :: acc)
+    in
+    go !surplus !deficit []
+  end
+
+(* Apply the plan in-process: really move walkers between the shard
+   populations and report the communication volume the moves represent. *)
+let exchange shards =
+  let counts = Array.map size shards in
+  let moves = plan counts in
+  let messages = ref 0 and bytes = ref 0 in
+  List.iter
+    (fun { src; dst; count } ->
+      let ws = give shards.(src) count in
+      List.iter
+        (fun w ->
+          incr messages;
+          bytes := !bytes + Walker.message_bytes w)
+        ws;
+      absorb shards.(dst) ws)
+    moves;
+  let total = Array.fold_left (fun a s -> a + size s) 0 shards in
+  let per = total / max 1 (Array.length shards) in
+  let maxc = Array.fold_left (fun a s -> max a (size s)) 0 shards in
+  let minc = Array.fold_left (fun a s -> min a (size s)) max_int shards in
+  {
+    messages = !messages;
+    bytes = !bytes;
+    imbalance =
+      (if total = 0 || Array.length shards = 0 then 0.
+       else float_of_int (maxc - minc) /. float_of_int (max 1 per));
   }

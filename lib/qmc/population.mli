@@ -29,6 +29,20 @@ val branch : t -> Oqmc_rng.Xoshiro.t -> unit
 (** Stochastic branching: floor(weight + u) unit-weight copies per
     walker; never lets the population go extinct. *)
 
+val weighted_energy_sums : t -> float * float
+(** [(Σw, Σw·E_L)] over the ensemble, in ensemble order — the inputs of
+    the weighted mixed estimator, reduced identically everywhere. *)
+
+val trial_energy_update :
+  feedback:float ->
+  tau:float ->
+  target:int ->
+  population:int ->
+  e_estimate:float ->
+  float
+(** The pure trial-energy feedback formula; the multi-rank supervisor
+    applies it from globally-reduced population counts. *)
+
 val update_trial_energy : t -> tau:float -> e_estimate:float -> unit
 (** Feedback that pulls the population toward its target. *)
 
@@ -37,3 +51,27 @@ type balance_report = { messages : int; bytes : int; imbalance : float }
 val load_balance : t -> ranks:int -> balance_report
 (** Walker messages an even re-spread across [ranks] would send.
     @raise Invalid_argument if [ranks < 1]. *)
+
+(** {1 Real walker exchange}
+
+    Primitives for the multi-rank layer, which actually moves walkers
+    between per-rank shard populations.  All are deterministic in shard
+    order so forked and in-process executions stay bit-identical. *)
+
+val give : t -> int -> Walker.t list
+(** Remove and return the last [k] walkers (clamped to the shard size),
+    preserving order.  @raise Invalid_argument if [k < 0]. *)
+
+val absorb : t -> Walker.t list -> unit
+(** Append received walkers at the end of the shard. *)
+
+type move = { src : int; dst : int; count : int }
+
+val plan : int array -> move list
+(** Deterministic rebalancing plan toward the ideal even split: surplus
+    shards (ascending index) matched against deficit shards (ascending
+    index). *)
+
+val exchange : t array -> balance_report
+(** Apply {!plan} in-process — really move walkers between the shards —
+    and report the exchange volume the moves represent. *)

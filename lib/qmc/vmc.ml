@@ -63,10 +63,11 @@ type wstate = {
   mutable drift : float;
 }
 
-let run ?observe ?(crowd = 1) ~(factory : int -> Engine_api.t) (p : params)
-    : result =
+let run ?observe ?(crowd = 1) ?(rank = 0) ~(factory : int -> Engine_api.t)
+    (p : params) : result =
   if p.n_walkers < 1 then invalid_arg "Vmc.run: n_walkers < 1";
   if crowd < 1 then invalid_arg "Vmc.run: crowd < 1";
+  if rank < 0 then invalid_arg "Vmc.run: rank < 0";
   let crowd = min crowd p.n_walkers in
   (* Crowd mode: [crowd] engines per domain marching in lockstep; the
      runner's per-domain engine is each crowd's slot-0 engine, so
@@ -84,7 +85,11 @@ let run ?observe ?(crowd = 1) ~(factory : int -> Engine_api.t) (p : params)
   @@ fun runner ->
   let e0 = Runner.engine runner 0 in
   let n = e0.Engine_api.n_electrons in
-  let rngs = Xoshiro.streams ~seed:p.seed (p.n_walkers + 1) in
+  (* Rank-aware seeding: shard [rank] of a multi-rank VMC run draws its
+     walker streams from a disjoint seed block, so rank ensembles never
+     share a random sequence.  [rank = 0] reproduces the single-rank
+     streams exactly. *)
+  let rngs = Xoshiro.streams ~seed:(p.seed + (7919 * rank)) (p.n_walkers + 1) in
   (* Independent starting configurations, registered buffers. *)
   let states =
     Array.init p.n_walkers (fun i ->

@@ -31,6 +31,7 @@ type result = {
 val run :
   ?observe:(Oqmc_particle.Walker.t -> unit) ->
   ?crowd:int ->
+  ?rank:int ->
   factory:(int -> Engine_api.t) ->
   params ->
   result
@@ -40,4 +41,10 @@ val run :
     [crowd] (default 1) sets the number of walkers each domain advances
     in lockstep through batched SPO kernels; results are bit-identical
     to the scalar path for any crowd size (clamped to [n_walkers]).
-    @raise Invalid_argument if [n_walkers < 1] or [crowd < 1]. *)
+
+    [rank] (default 0) offsets the walker RNG streams into a disjoint
+    seed block, so shard [rank] of a rank-split VMC run never shares a
+    random sequence with its siblings; [rank = 0] reproduces the
+    single-rank streams exactly.
+    @raise Invalid_argument if [n_walkers < 1], [crowd < 1] or
+    [rank < 0]. *)

@@ -1,0 +1,10 @@
+#!/bin/sh
+# Repository test entry point: the tier-1 gate plus the crash-recovery
+# smoke (4 supervised ranks, one SIGKILLed mid-run and respawned from
+# its checkpoint shard).
+set -eu
+cd "$(dirname "$0")/.."
+
+dune build
+dune runtest
+dune build @recovery-smoke

@@ -1,0 +1,69 @@
+open Oqmc_core
+open Oqmc_workloads
+open Oqmc_dist
+
+(* Recovery smoke: a short 4-rank supervised DMC run in which one rank
+   is SIGKILLed mid-run by the fault injector and respawned from its
+   checkpoint shard.  Asserts the headline robustness guarantees end to
+   end: the run completes, the crash was detected and recovered, every
+   estimator is finite, and the population stays within control bounds.
+   Run with `dune build @recovery-smoke`. *)
+
+let fail fmt = Printf.ksprintf (fun s -> prerr_endline ("FAIL: " ^ s); exit 1) fmt
+
+let () =
+  let dir = Filename.temp_file "oqmc_recovery" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let path = Filename.concat dir "smoke.chk" in
+  let sys = Validation.electron_gas ~n_up:4 ~n_down:4 ~box:5.0 () in
+  let factory = Build.factory ~variant:Variant.Current_f64 ~seed:900 sys in
+  let target = 12 in
+  let params =
+    {
+      Supervisor.default_params with
+      ranks = 4;
+      target_walkers = target;
+      warmup = 3;
+      generations = 15;
+      tau = 0.02;
+      seed = 31;
+      n_domains = 1;
+      heartbeat_s = 30.;
+      max_respawn = 2;
+      respawn_backoff = 0.01;
+      checkpoint = Some path;
+      checkpoint_every = 4;
+      faults = [ (1, 10, Fault.Rank_kill) ];
+    }
+  in
+  let res = Supervisor.run ~factory params in
+  if res.Supervisor.crashes <> 1 then
+    fail "expected 1 crash, saw %d" res.Supervisor.crashes;
+  if res.Supervisor.respawns <> 1 then
+    fail "expected 1 respawn, saw %d" res.Supervisor.respawns;
+  if res.Supervisor.live_ranks <> 4 then
+    fail "expected all 4 ranks live, saw %d" res.Supervisor.live_ranks;
+  if not (Float.is_finite res.Supervisor.energy) then
+    fail "non-finite energy %f" res.Supervisor.energy;
+  if not (Float.is_finite res.Supervisor.energy_error) then
+    fail "non-finite error bar %f" res.Supervisor.energy_error;
+  if not (Float.is_finite res.Supervisor.final_e_trial) then
+    fail "non-finite trial energy %f" res.Supervisor.final_e_trial;
+  Array.iter
+    (fun e -> if not (Float.is_finite e) then fail "non-finite series entry %f" e)
+    res.Supervisor.energy_series;
+  let t = float_of_int target in
+  if
+    res.Supervisor.mean_population < t /. 3.
+    || res.Supervisor.mean_population > t *. 3.
+  then
+    fail "population out of control: mean %.1f, target %d"
+      res.Supervisor.mean_population target;
+  if res.Supervisor.final_walkers = [] then fail "empty final ensemble";
+  Printf.printf
+    "recovery smoke OK: E = %.6f +/- %.6f, population %.1f/%d, %d crash \
+     recovered, %d degraded generation(s), %d exchange messages\n"
+    res.Supervisor.energy res.Supervisor.energy_error
+    res.Supervisor.mean_population target res.Supervisor.crashes
+    res.Supervisor.degraded_generations res.Supervisor.comm_messages

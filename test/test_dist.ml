@@ -1,0 +1,587 @@
+open Oqmc_particle
+open Oqmc_core
+open Oqmc_workloads
+open Oqmc_rng
+open Oqmc_dist
+
+(* Supervised multi-rank execution: the wire protocol, the walker codec,
+   sharded checkpoints with a manifest, real walker exchange, and the
+   headline robustness guarantees — fault-free forked runs bit-identical
+   to the in-process reference, and crash/stall/garbage recovery with
+   finite estimators throughout. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let checkf tol = Alcotest.(check (float tol))
+
+let tmpdir () =
+  let f = Filename.temp_file "oqmc_dist" "" in
+  Sys.remove f;
+  Unix.mkdir f 0o700;
+  f
+
+(* A small interacting system whose engine exercises real buffers. *)
+let sys = Validation.electron_gas ~n_up:4 ~n_down:4 ~box:5.0 ()
+let factory = Build.factory ~variant:Variant.Current_f64 ~seed:500 sys
+
+let mk_walkers ?(seed = 41) n_walkers =
+  let e = Build.engine ~variant:Variant.Current_f64 ~seed:40 sys in
+  let rng = Xoshiro.create seed in
+  List.init n_walkers (fun i ->
+      let w = Walker.create 8 in
+      e.Engine_api.randomize rng;
+      e.Engine_api.register_walker w;
+      w.Walker.weight <- 0.5 +. Xoshiro.uniform rng;
+      w.Walker.age <- i;
+      w.Walker.e_local <- e.Engine_api.measure ();
+      w)
+
+(* ---------- walker wire codec ---------- *)
+
+let encode_one w =
+  let buf = Buffer.create 256 in
+  Walker.encode buf w;
+  Buffer.contents buf
+
+let test_codec_bit_exact () =
+  List.iter
+    (fun w ->
+      let s = encode_one w in
+      let pos = ref 0 in
+      let w' = Walker.decode s pos in
+      check_int "consumed everything" (String.length s) !pos;
+      check_bool "weight bits" true
+        (Int64.bits_of_float w.Walker.weight
+        = Int64.bits_of_float w'.Walker.weight);
+      check_bool "log_psi bits" true
+        (Int64.bits_of_float w.Walker.log_psi
+        = Int64.bits_of_float w'.Walker.log_psi);
+      check_bool "e_local bits" true
+        (Int64.bits_of_float w.Walker.e_local
+        = Int64.bits_of_float w'.Walker.e_local);
+      check_int "multiplicity" w.Walker.multiplicity w'.Walker.multiplicity;
+      check_int "age" w.Walker.age w'.Walker.age;
+      check_bool "fresh id" true (w.Walker.id <> w'.Walker.id);
+      (* The full state (positions + buffer) roundtrips bit-exactly iff
+         re-encoding yields the same bytes. *)
+      check_bool "re-encode identical" true (encode_one w' = s))
+    (mk_walkers 4)
+
+let test_codec_rejects_malformed () =
+  let w = List.hd (mk_walkers 1) in
+  let s = encode_one w in
+  check_bool "truncated input rejected" true
+    (match Walker.decode (String.sub s 0 (String.length s / 2)) (ref 0) with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+(* ---------- wire protocol framing ---------- *)
+
+let with_pipe f =
+  let r, w = Unix.pipe () in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close r with Unix.Unix_error _ -> ());
+      try Unix.close w with Unix.Unix_error _ -> ())
+    (fun () -> f r w)
+
+let roundtrip msg =
+  with_pipe (fun r w ->
+      Wire.send w msg;
+      Wire.recv ~timeout:5. r)
+
+let test_wire_roundtrip () =
+  let walkers = mk_walkers 3 in
+  let msgs =
+    [
+      Wire.Hello { rank = 3; pid = 4242 };
+      Wire.Init { count = 17 };
+      Wire.Heartbeat { gen = 9 };
+      Wire.Begin_gen { gen = 12; e_trial = -1.234567890123 };
+      Wire.Reduce
+        { gen = 12; wsum = 3.5; esum = -4.25; acc = 100; prop = 160; n = 7 };
+      Wire.Branch { gen = 12 };
+      Wire.Count { gen = 12; n = 5 };
+      Wire.Give { gen = 12; count = 2 };
+      Wire.Checkpoint_cmd { gen = 24; e_trial = 0.5 };
+      Wire.Ack { gen = 24; ok = true };
+      Wire.Ack { gen = 24; ok = false };
+      Wire.Finish;
+    ]
+  in
+  List.iter
+    (fun m -> check_bool "scalar roundtrip" true (roundtrip m = m))
+    msgs;
+  (match roundtrip (Wire.Walkers { gen = 3; walkers }) with
+  | Wire.Walkers { gen = 3; walkers = ws } ->
+      check_int "walker batch size" 3 (List.length ws);
+      List.iter2
+        (fun a b -> check_bool "batch bit-exact" true (encode_one a = encode_one b))
+        walkers ws
+  | _ -> Alcotest.fail "wrong message");
+  match roundtrip (Wire.Final { acc = 7; prop = 11; walkers }) with
+  | Wire.Final { acc = 7; prop = 11; walkers = ws } ->
+      check_int "final batch size" 3 (List.length ws)
+  | _ -> Alcotest.fail "wrong message"
+
+let test_wire_crc_garbage () =
+  with_pipe (fun r w ->
+      Wire.send_corrupt w;
+      match Wire.recv ~timeout:5. r with
+      | _ -> Alcotest.fail "corrupt frame was accepted"
+      | exception Wire.Garbage _ -> ())
+
+let test_wire_unknown_tag_and_trailing () =
+  (* Hand-craft a frame with a valid CRC but an unknown tag, and one
+     with trailing bytes after a valid payload. *)
+  let frame body =
+    let buf = Buffer.create 32 in
+    Buffer.add_int32_be buf (Int32.of_int (String.length body));
+    Buffer.add_string buf body;
+    Buffer.add_int32_be buf (Int32.of_int (Checkpoint.crc32 body));
+    Buffer.to_bytes buf
+  in
+  let send_raw body =
+    with_pipe (fun r w ->
+        let fb = frame body in
+        ignore (Unix.write w fb 0 (Bytes.length fb));
+        Wire.recv ~timeout:5. r)
+  in
+  (match send_raw "\xFF" with
+  | _ -> Alcotest.fail "unknown tag accepted"
+  | exception Wire.Garbage _ -> ());
+  (* Heartbeat (tag 2) + gen + one stray byte. *)
+  match send_raw "\x02\x00\x00\x00\x07Z" with
+  | _ -> Alcotest.fail "trailing bytes accepted"
+  | exception Wire.Garbage _ -> ()
+
+let test_wire_timeout_and_closed () =
+  with_pipe (fun r _w ->
+      let t0 = Unix.gettimeofday () in
+      (match Wire.recv ~timeout:0.1 r with
+      | _ -> Alcotest.fail "read from silent pipe succeeded"
+      | exception Wire.Timeout -> ());
+      check_bool "deadline honored" true (Unix.gettimeofday () -. t0 < 2.));
+  let r, w = Unix.pipe () in
+  Unix.close w;
+  Fun.protect
+    ~finally:(fun () -> try Unix.close r with Unix.Unix_error _ -> ())
+    (fun () ->
+      match Wire.recv ~timeout:1. r with
+      | _ -> Alcotest.fail "read from closed pipe succeeded"
+      | exception Wire.Closed -> ())
+
+(* ---------- sharded checkpoints + manifest ---------- *)
+
+let test_shard_roundtrip () =
+  let dir = tmpdir () in
+  let path = Filename.concat dir "run.chk" in
+  let walkers = mk_walkers 3 in
+  Checkpoint.save_shard ~path ~rank:2 ~gen:40 ~e_trial:(-0.75) walkers;
+  let e_trial, restored = Checkpoint.load_shard ~path ~rank:2 ~gen:40 in
+  checkf 0. "e_trial" (-0.75) e_trial;
+  check_int "count" 3 (List.length restored);
+  let gen, (e_trial', _) = Checkpoint.load_latest_shard ~path ~rank:2 in
+  check_int "latest gen" 40 gen;
+  checkf 0. "latest e_trial" (-0.75) e_trial'
+
+let test_manifest_roundtrip_and_corruption () =
+  let dir = tmpdir () in
+  let path = Filename.concat dir "run.chk" in
+  Checkpoint.save_manifest ~path ~gen:30 ~ranks:[ 0; 1; 3 ] ();
+  let gen, ranks = Checkpoint.load_manifest ~path in
+  check_int "gen" 30 gen;
+  Alcotest.(check (list int)) "ranks" [ 0; 1; 3 ] ranks;
+  Fault.garble_file ~path:(Checkpoint.manifest_path ~path) ~seed:9;
+  check_bool "corrupt manifest rejected" true
+    (match Checkpoint.load_manifest ~path with
+    | _ -> false
+    | exception Checkpoint.Corrupt _ -> true)
+
+let test_latest_complete_falls_back () =
+  let dir = tmpdir () in
+  let path = Filename.concat dir "run.chk" in
+  let walkers = mk_walkers 2 in
+  List.iter
+    (fun gen ->
+      Checkpoint.save_shard ~path ~rank:0 ~gen ~e_trial:(-1.) walkers;
+      Checkpoint.save_shard ~path ~rank:1 ~gen ~e_trial:(-1.) walkers)
+    [ 10; 20 ];
+  check_bool "newest complete" true
+    (Checkpoint.latest_complete ~path ~ranks:2 = Some 20);
+  (* Corrupt rank 1's newest shard: the complete set falls back to 10. *)
+  Fault.garble_file
+    ~path:(Checkpoint.shard_path ~path ~rank:1 ^ Printf.sprintf ".gen-%d" 20)
+    ~seed:7;
+  check_bool "falls back past corrupt shard" true
+    (Checkpoint.latest_complete ~path ~ranks:2 = Some 10);
+  check_bool "no complete set for 3 ranks" true
+    (Checkpoint.latest_complete ~path ~ranks:3 = None)
+
+(* ---------- population: branching + exchange (satellite coverage) ---- *)
+
+let unit_walkers n = List.init n (fun _ -> Walker.create 2)
+
+let test_branch_extinction_resets_state () =
+  let w = Walker.create 2 in
+  w.Walker.weight <- 1e-12;
+  w.Walker.multiplicity <- 3;
+  w.Walker.age <- 57;
+  let pop = Population.create ~target:4 ~e_trial:0. [ w ] in
+  let rng = Xoshiro.create 123 in
+  Population.branch pop rng;
+  check_int "never extinct" 1 (Population.size pop);
+  let s = List.hd (Population.walkers pop) in
+  checkf 0. "unit weight" 1. s.Walker.weight;
+  check_int "unit multiplicity" 1 s.Walker.multiplicity;
+  check_int "age reset" 0 s.Walker.age;
+  check_bool "fresh clone, not the dead walker" true (s.Walker.id <> w.Walker.id)
+
+let test_branch_copy_cap () =
+  let w = Walker.create 2 in
+  w.Walker.weight <- 100.;
+  let pop = Population.create ~target:4 ~e_trial:0. [ w ] in
+  Population.branch pop (Xoshiro.create 5);
+  check_int "copies capped at 4" 4 (Population.size pop);
+  List.iter
+    (fun s -> checkf 0. "copies are unit weight" 1. s.Walker.weight)
+    (Population.walkers pop)
+
+let test_dmc_weight_clamp () =
+  let w = Walker.create 2 in
+  w.Walker.weight <- 1.;
+  (* A pathological configuration: the raw branching exponent is ±1000,
+     but the factor must stay within exp(±2). *)
+  Population.dmc_weight ~tau:1. ~e_trial:1000. ~e_old:0. ~e_new:0. w;
+  checkf 1e-12 "clamped up" (exp 2.) w.Walker.weight;
+  w.Walker.weight <- 1.;
+  Population.dmc_weight ~tau:1. ~e_trial:(-1000.) ~e_old:0. ~e_new:0. w;
+  checkf 1e-12 "clamped down" (exp (-2.)) w.Walker.weight
+
+let test_load_balance_uneven () =
+  let pop = Population.create ~target:8 ~e_trial:0. (unit_walkers 10) in
+  let r1 = Population.load_balance pop ~ranks:1 in
+  check_int "1 rank moves nothing" 0 r1.Population.messages;
+  checkf 0. "1 rank is balanced" 0. r1.Population.imbalance;
+  let r3 = Population.load_balance pop ~ranks:3 in
+  (* Round-robin over 3 ranks puts 4,3,3 — ideal is 4,3,3: no moves. *)
+  check_int "already ideal" 0 r3.Population.messages;
+  let pop7 = Population.create ~target:8 ~e_trial:0. (unit_walkers 7) in
+  let r4 = Population.load_balance pop7 ~ranks:4 in
+  check_bool "uneven split reports imbalance" true
+    (r4.Population.imbalance >= 0.);
+  check_bool "ranks < 1 rejected" true
+    (match Population.load_balance pop ~ranks:0 with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_give_absorb_order () =
+  let ws = unit_walkers 5 in
+  let pop = Population.create ~target:4 ~e_trial:0. ws in
+  let given = Population.give pop 2 in
+  check_int "gave 2" 2 (List.length given);
+  check_int "kept 3" 3 (Population.size pop);
+  (* give takes the LAST walkers, preserving order on both sides. *)
+  Alcotest.(check (list int))
+    "given are the tail, in order"
+    (List.map (fun w -> w.Walker.id) (List.filteri (fun i _ -> i >= 3) ws))
+    (List.map (fun w -> w.Walker.id) given);
+  Alcotest.(check (list int))
+    "kept are the head, in order"
+    (List.map (fun w -> w.Walker.id) (List.filteri (fun i _ -> i < 3) ws))
+    (List.map (fun w -> w.Walker.id) (Population.walkers pop));
+  check_int "give clamps to size" 3 (List.length (Population.give pop 99));
+  check_int "empty after over-give" 0 (Population.size pop);
+  Population.absorb pop given;
+  check_int "absorb appends" 2 (Population.size pop);
+  check_bool "negative give rejected" true
+    (match Population.give pop (-1) with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_plan_properties () =
+  check_int "balanced needs no moves" 0
+    (List.length (Population.plan [| 3; 3; 3 |]));
+  let check_plan counts =
+    let counts = Array.of_list counts in
+    let k = Array.length counts in
+    let total = Array.fold_left ( + ) 0 counts in
+    let after = Array.copy counts in
+    List.iter
+      (fun { Population.src; dst; count } ->
+        check_bool "positive move" true (count > 0);
+        check_bool "src has the walkers" true (after.(src) >= count);
+        after.(src) <- after.(src) - count;
+        after.(dst) <- after.(dst) + count)
+      (Population.plan counts);
+    check_int "walkers conserved" total (Array.fold_left ( + ) 0 after);
+    let per = total / k and extra = total mod k in
+    Array.iteri
+      (fun i c -> check_int "ideal split reached" (per + if i < extra then 1 else 0) c)
+      after
+  in
+  List.iter check_plan
+    [ [ 7; 1; 4 ]; [ 0; 0; 9 ]; [ 1; 2; 3; 4; 5 ]; [ 10 ]; [ 2; 2; 3 ] ]
+
+let test_exchange_moves_walkers () =
+  let shards =
+    [| unit_walkers 8; unit_walkers 1; unit_walkers 3 |]
+    |> Array.map (fun ws -> Population.create ~target:4 ~e_trial:0. ws)
+  in
+  let all_ids =
+    Array.to_list shards
+    |> List.concat_map (fun s ->
+           List.map (fun w -> w.Walker.id) (Population.walkers s))
+    |> List.sort compare
+  in
+  let report = Population.exchange shards in
+  check_int "sizes leveled: shard 0" 4 (Population.size shards.(0));
+  check_int "sizes leveled: shard 1" 4 (Population.size shards.(1));
+  check_int "sizes leveled: shard 2" 4 (Population.size shards.(2));
+  check_int "messages = walkers moved" 4 report.Population.messages;
+  check_bool "bytes accounted" true (report.Population.bytes > 0);
+  let all_ids' =
+    Array.to_list shards
+    |> List.concat_map (fun s ->
+           List.map (fun w -> w.Walker.id) (Population.walkers s))
+    |> List.sort compare
+  in
+  Alcotest.(check (list int)) "same physical walkers" all_ids all_ids'
+
+(* ---------- supervised execution ---------- *)
+
+let base_params =
+  {
+    Supervisor.default_params with
+    ranks = 3;
+    target_walkers = 9;
+    warmup = 3;
+    generations = 10;
+    tau = 0.02;
+    seed = 77;
+    n_domains = 1;
+    heartbeat_s = 30.;
+    respawn_backoff = 0.01;
+  }
+
+let finite x = Float.is_finite x
+
+let assert_healthy name (res : Supervisor.result) =
+  check_bool (name ^ ": finite energy") true (finite res.Supervisor.energy);
+  check_bool (name ^ ": finite error") true
+    (finite res.Supervisor.energy_error);
+  check_bool (name ^ ": finite e_trial") true
+    (finite res.Supervisor.final_e_trial);
+  Array.iter
+    (fun e -> check_bool (name ^ ": finite series") true (finite e))
+    res.Supervisor.energy_series;
+  let target = float_of_int base_params.Supervisor.target_walkers in
+  check_bool (name ^ ": population within control bounds") true
+    (res.Supervisor.mean_population > target /. 3.
+    && res.Supervisor.mean_population < target *. 3.);
+  check_bool (name ^ ": final ensemble alive") true
+    (List.length res.Supervisor.final_walkers > 0)
+
+let same_series a b =
+  Array.length a = Array.length b
+  && Array.for_all2
+       (fun x y -> Int64.bits_of_float x = Int64.bits_of_float y)
+       a b
+
+let test_run_local_deterministic () =
+  let r1 = Supervisor.run_local ~factory base_params in
+  let r2 = Supervisor.run_local ~factory base_params in
+  check_bool "energy series bit-identical" true
+    (same_series r1.Supervisor.energy_series r2.Supervisor.energy_series);
+  check_bool "e_trial bit-identical" true
+    (Int64.bits_of_float r1.Supervisor.final_e_trial
+    = Int64.bits_of_float r2.Supervisor.final_e_trial);
+  check_int "comm identical" r1.Supervisor.comm_messages
+    r2.Supervisor.comm_messages;
+  assert_healthy "local" r1
+
+let test_forked_matches_local_bit_for_bit () =
+  let local = Supervisor.run_local ~factory base_params in
+  let forked = Supervisor.run ~factory base_params in
+  check_bool "energy series bit-identical" true
+    (same_series local.Supervisor.energy_series
+       forked.Supervisor.energy_series);
+  check_bool "final e_trial bit-identical" true
+    (Int64.bits_of_float local.Supervisor.final_e_trial
+    = Int64.bits_of_float forked.Supervisor.final_e_trial);
+  Alcotest.(check (array int))
+    "population series identical" local.Supervisor.population_series
+    forked.Supervisor.population_series;
+  check_int "exchange messages identical" local.Supervisor.comm_messages
+    forked.Supervisor.comm_messages;
+  check_int "exchange bytes identical" local.Supervisor.comm_bytes
+    forked.Supervisor.comm_bytes;
+  checkf 0. "acceptance identical" local.Supervisor.acceptance
+    forked.Supervisor.acceptance;
+  check_int "final ensemble same size"
+    (List.length local.Supervisor.final_walkers)
+    (List.length forked.Supervisor.final_walkers);
+  check_int "no faults: clean counters" 0
+    (forked.Supervisor.respawns + forked.Supervisor.crashes
+   + forked.Supervisor.heartbeat_timeouts + forked.Supervisor.garbage_frames);
+  check_int "no degraded generations" 0 forked.Supervisor.degraded_generations
+
+(* The acceptance scenario: 4 ranks, one SIGKILLed mid-run, recovered
+   from its checkpoint shard; the run completes with finite estimators
+   and the population under control. *)
+let test_kill_recovery_from_shard () =
+  let dir = tmpdir () in
+  let path = Filename.concat dir "run.chk" in
+  let p =
+    {
+      base_params with
+      Supervisor.ranks = 4;
+      target_walkers = 12;
+      generations = 12;
+      checkpoint = Some path;
+      checkpoint_every = 3;
+      faults = [ (2, 8, Fault.Rank_kill) ];
+    }
+  in
+  let res = Supervisor.run ~factory p in
+  check_int "one crash detected" 1 res.Supervisor.crashes;
+  check_int "one respawn" 1 res.Supervisor.respawns;
+  check_int "no rank permanently lost" 4 res.Supervisor.live_ranks;
+  Alcotest.(check (list int)) "no ranks failed" [] res.Supervisor.ranks_failed;
+  check_bool "the killed generation ran degraded" true
+    (res.Supervisor.degraded_generations >= 1);
+  assert_healthy "kill-recovery" res;
+  check_bool "shards + manifest on disk" true
+    (Checkpoint.latest_complete ~path ~ranks:4 <> None)
+
+let test_stall_trips_heartbeat () =
+  let p =
+    {
+      base_params with
+      Supervisor.heartbeat_s = 0.25;
+      generations = 8;
+      faults = [ (1, 4, Fault.Rank_stall 3.0) ];
+    }
+  in
+  let res = Supervisor.run ~factory p in
+  check_int "stall detected by deadline" 1 res.Supervisor.heartbeat_timeouts;
+  check_int "stalled rank respawned" 1 res.Supervisor.respawns;
+  check_int "all ranks live at the end" 3 res.Supervisor.live_ranks;
+  assert_healthy "stall-recovery" res
+
+let test_garbage_frame_detected () =
+  let p =
+    {
+      base_params with
+      Supervisor.generations = 8;
+      faults = [ (0, 3, Fault.Rank_garbage) ];
+    }
+  in
+  let res = Supervisor.run ~factory p in
+  check_int "garbage frame detected" 1 res.Supervisor.garbage_frames;
+  check_int "corrupted rank respawned" 1 res.Supervisor.respawns;
+  assert_healthy "garbage-recovery" res
+
+let test_unrecoverable_degrades () =
+  let p =
+    {
+      base_params with
+      Supervisor.ranks = 3;
+      max_respawn = 0;
+      generations = 10;
+      faults = [ (1, 5, Fault.Rank_kill) ];
+    }
+  in
+  let res = Supervisor.run ~factory p in
+  check_int "rank abandoned" 2 res.Supervisor.live_ranks;
+  Alcotest.(check (list int)) "rank 1 lost" [ 1 ] res.Supervisor.ranks_failed;
+  check_int "no respawns granted" 0 res.Supervisor.respawns;
+  check_bool "remaining generations degraded" true
+    (res.Supervisor.degraded_generations >= 5);
+  assert_healthy "degraded" res
+
+let test_restore_resumes_all_ranks () =
+  let dir = tmpdir () in
+  let path = Filename.concat dir "run.chk" in
+  let p1 =
+    {
+      base_params with
+      Supervisor.generations = 6;
+      checkpoint = Some path;
+      checkpoint_every = 2;
+    }
+  in
+  let r1 = Supervisor.run ~factory p1 in
+  let gen = Checkpoint.latest_complete ~path ~ranks:3 in
+  check_bool "complete shard set written" true (gen <> None);
+  let p2 = { p1 with Supervisor.restore = true; warmup = 0; generations = 4 } in
+  let r2 = Supervisor.run ~factory p2 in
+  assert_healthy "restored" r2;
+  check_bool "restored run continues from the shards" true
+    (List.length r2.Supervisor.final_walkers > 0);
+  ignore r1
+
+let () =
+  Alcotest.run "dist"
+    [
+      ( "codec",
+        [
+          Alcotest.test_case "walker roundtrip is bit-exact" `Quick
+            test_codec_bit_exact;
+          Alcotest.test_case "malformed input rejected" `Quick
+            test_codec_rejects_malformed;
+        ] );
+      ( "wire",
+        [
+          Alcotest.test_case "all frames roundtrip" `Quick test_wire_roundtrip;
+          Alcotest.test_case "crc mismatch raises Garbage" `Quick
+            test_wire_crc_garbage;
+          Alcotest.test_case "unknown tag / trailing bytes" `Quick
+            test_wire_unknown_tag_and_trailing;
+          Alcotest.test_case "timeout and closed pipes" `Quick
+            test_wire_timeout_and_closed;
+        ] );
+      ( "shards",
+        [
+          Alcotest.test_case "shard save/load roundtrip" `Quick
+            test_shard_roundtrip;
+          Alcotest.test_case "manifest roundtrip + corruption" `Quick
+            test_manifest_roundtrip_and_corruption;
+          Alcotest.test_case "latest_complete falls back" `Quick
+            test_latest_complete_falls_back;
+        ] );
+      ( "population",
+        [
+          Alcotest.test_case "extinction guard resets walker state" `Quick
+            test_branch_extinction_resets_state;
+          Alcotest.test_case "branch copies capped at 4" `Quick
+            test_branch_copy_cap;
+          Alcotest.test_case "branching factor clamped to exp(±2)" `Quick
+            test_dmc_weight_clamp;
+          Alcotest.test_case "load_balance uneven splits" `Quick
+            test_load_balance_uneven;
+          Alcotest.test_case "give/absorb preserve order" `Quick
+            test_give_absorb_order;
+          Alcotest.test_case "plan conserves and levels" `Quick
+            test_plan_properties;
+          Alcotest.test_case "exchange really moves walkers" `Quick
+            test_exchange_moves_walkers;
+        ] );
+      ( "supervisor",
+        [
+          Alcotest.test_case "run_local is deterministic" `Quick
+            test_run_local_deterministic;
+          Alcotest.test_case "forked == local, bit for bit" `Quick
+            test_forked_matches_local_bit_for_bit;
+          Alcotest.test_case "SIGKILL mid-run: shard recovery" `Quick
+            test_kill_recovery_from_shard;
+          Alcotest.test_case "stall trips the heartbeat" `Quick
+            test_stall_trips_heartbeat;
+          Alcotest.test_case "garbage frame detected + respawn" `Quick
+            test_garbage_frame_detected;
+          Alcotest.test_case "respawn budget exhausted: degrade" `Quick
+            test_unrecoverable_degrades;
+          Alcotest.test_case "restore resumes every rank" `Quick
+            test_restore_resumes_all_ranks;
+        ] );
+    ]
