@@ -16,7 +16,7 @@ let usage () =
   print_endline
     "usage: main.exe [--exp \
      table1|fig1|fig2|fig3|fig7|fig8|fig9|fig10|table2|kernels|smt|ddr|delayed|all] \
-     [--bechamel] [--pool] [--dist] [--json PATH]";
+     [--bechamel] [--pool] [--dist] [--obs] [--json PATH]";
   exit 1
 
 let () =
@@ -28,6 +28,8 @@ let () =
   | [ _; "--bechamel" ] -> Microbench.run ()
   | [ _; "--pool" ] -> Pool_bench.run ()
   | [ _; "--dist" ] -> Dist_bench.run ()
+  | [ _; "--obs" ] -> Obs_bench.run ()
+  | [ _; "--obs"; "--json"; path ] -> Obs_bench.run ~json:path ()
   | [ _; "--json"; path ] | [ _; "--pool"; "--json"; path ] ->
       Pool_bench.run ~json:path ()
   | [ _; "--exp"; name ] -> (

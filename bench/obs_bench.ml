@@ -1,0 +1,149 @@
+open Oqmc_containers
+open Oqmc_core
+
+(* Observability overhead benchmark: the cost trajectory for the
+   tracing/metrics layer, printed as a table and optionally written as
+   JSON (BENCH_obs.json) so regressions are diffable across PRs.
+
+   Three measurements:
+
+   1. micro: ns per [Trace.with_span] call disabled (must be a branch)
+      and enabled (one ring slot), ns per [Metrics.inc];
+   2. end-to-end DMC walker throughput with tracing off vs. on — the
+      headline contract is that the *disabled* path costs within noise
+      of nothing (<= 1% is the budget) and the enabled path stays in
+      single-digit percent for production span density;
+   3. bit-identity of the traced and untraced trajectories, asserted —
+      observability must never perturb the physics. *)
+
+module Trace = Oqmc_obs.Trace
+module Metrics = Oqmc_obs.Metrics
+
+let time_per ~reps f =
+  let t0 = Timers.now () in
+  for _ = 1 to reps do
+    f ()
+  done;
+  (Timers.now () -. t0) /. float_of_int reps
+
+type micro = {
+  span_disabled_ns : float;
+  span_enabled_ns : float;
+  instant_enabled_ns : float;
+  counter_inc_ns : float;
+}
+
+let bench_micro () =
+  let reps = 2_000_000 in
+  let sink = ref 0 in
+  let thunk () = sink := !sink + 1 in
+  Trace.disable ();
+  let bare = time_per ~reps (fun () -> thunk ()) in
+  let disabled =
+    time_per ~reps (fun () -> Trace.with_span "bench" thunk)
+  in
+  Trace.enable ();
+  let enabled = time_per ~reps (fun () -> Trace.with_span "bench" thunk) in
+  let instant = time_per ~reps (fun () -> Trace.instant "mark") in
+  Trace.disable ();
+  let c = Metrics.counter "bench.counter" in
+  let inc = time_per ~reps (fun () -> Metrics.inc c) in
+  {
+    span_disabled_ns = (disabled -. bare) *. 1e9;
+    span_enabled_ns = (enabled -. bare) *. 1e9;
+    instant_enabled_ns = instant *. 1e9;
+    counter_inc_ns = inc *. 1e9;
+  }
+
+type endtoend = {
+  walkers : int;
+  generations : int;
+  off_walkers_per_s : float;
+  on_walkers_per_s : float;
+  overhead_pct : float;
+  bit_identical : bool;
+}
+
+let bench_dmc () =
+  let sys = Oqmc_workloads.Validation.harmonic ~n:4 ~omega:1.0 in
+  let factory = Build.factory ~variant:Variant.Current ~seed:5 sys in
+  let params =
+    {
+      Dmc.target_walkers = 32;
+      warmup = 5;
+      generations = 60;
+      tau = 0.01;
+      seed = 13;
+      n_domains = 1;
+      ranks = 1;
+    }
+  in
+  let run () = Dmc.run ~factory params in
+  Trace.disable ();
+  ignore (run ());
+  (* warm *)
+  let off = run () in
+  Trace.enable ();
+  let on = run () in
+  Trace.disable ();
+  let bit_identical =
+    Array.length off.Dmc.energy_series = Array.length on.Dmc.energy_series
+    && Array.for_all2
+         (fun a b -> Int64.bits_of_float a = Int64.bits_of_float b)
+         off.Dmc.energy_series on.Dmc.energy_series
+  in
+  {
+    walkers = params.Dmc.target_walkers;
+    generations = params.Dmc.generations;
+    off_walkers_per_s = off.Dmc.throughput;
+    on_walkers_per_s = on.Dmc.throughput;
+    overhead_pct =
+      100. *. ((off.Dmc.throughput /. on.Dmc.throughput) -. 1.);
+    bit_identical;
+  }
+
+let json_of ~micro ~dmc =
+  let b = Buffer.create 1024 in
+  let f = Printf.bprintf in
+  f b "{\n";
+  f b "  \"micro_ns\": {\n";
+  f b "    \"span_disabled\": %.2f,\n" micro.span_disabled_ns;
+  f b "    \"span_enabled\": %.1f,\n" micro.span_enabled_ns;
+  f b "    \"instant_enabled\": %.1f,\n" micro.instant_enabled_ns;
+  f b "    \"counter_inc\": %.2f\n" micro.counter_inc_ns;
+  f b "  },\n";
+  f b "  \"dmc\": {\n";
+  f b "    \"walkers\": %d,\n" dmc.walkers;
+  f b "    \"generations\": %d,\n" dmc.generations;
+  f b "    \"off_walkers_per_s\": %.1f,\n" dmc.off_walkers_per_s;
+  f b "    \"on_walkers_per_s\": %.1f,\n" dmc.on_walkers_per_s;
+  f b "    \"tracing_overhead_pct\": %.2f,\n" dmc.overhead_pct;
+  f b "    \"bit_identical\": %b\n" dmc.bit_identical;
+  f b "  }\n";
+  f b "}\n";
+  Buffer.contents b
+
+let run ?json () =
+  Printf.printf "== observability micro-costs ==\n%!";
+  let micro = bench_micro () in
+  Printf.printf
+    "  with_span disabled %.2f ns, enabled %.1f ns; instant %.1f ns; \
+     counter inc %.2f ns\n"
+    micro.span_disabled_ns micro.span_enabled_ns micro.instant_enabled_ns
+    micro.counter_inc_ns;
+  Printf.printf "== DMC throughput, tracing off vs on ==\n%!";
+  let dmc = bench_dmc () in
+  Printf.printf
+    "  %d walkers x %d gens: off %.1f w/s, on %.1f w/s  (overhead %.2f%%, \
+     bit-identical %b)\n"
+    dmc.walkers dmc.generations dmc.off_walkers_per_s dmc.on_walkers_per_s
+    dmc.overhead_pct dmc.bit_identical;
+  if not dmc.bit_identical then
+    failwith "obs_bench: traced trajectory deviates from untraced";
+  match json with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      output_string oc (json_of ~micro ~dmc);
+      close_out oc;
+      Printf.printf "wrote %s\n%!" path

@@ -5,6 +5,23 @@ open Oqmc_workloads
    validation system, in any build variant, with walker parallelism over
    domains — the "qmcpack" binary of this repository. *)
 
+(* Attach the CLI-level observability outputs (single-process VMC/DMC
+   paths; the multi-rank path hands them to the supervisor instead,
+   which must enable tracing before it forks).  [f] receives the open
+   telemetry sink and progress line, if any; the trace is exported and
+   everything flushed on the way out, including on exceptions. *)
+let with_obs ~trace ~telemetry ~progress f =
+  let module Trace = Oqmc_obs.Trace in
+  if trace <> None && not (Trace.enabled ()) then Trace.enable ();
+  let sink = Option.map Oqmc_obs.Telemetry.create telemetry in
+  let prog = if progress then Some (Oqmc_obs.Progress.create ()) else None in
+  Fun.protect
+    ~finally:(fun () ->
+      (match prog with Some pr -> Oqmc_obs.Progress.finish pr | None -> ());
+      (match sink with Some s -> Oqmc_obs.Telemetry.close s | None -> ());
+      match trace with Some path -> Trace.export ~path | None -> ())
+    (fun () -> f sink prog)
+
 let make_system name reduction with_nlpp seed =
   match String.lowercase_ascii name with
   | "harmonic" -> Validation.harmonic ~n:6 ~omega:1.0
@@ -14,7 +31,8 @@ let make_system name reduction with_nlpp seed =
 
 let run input method_ workload variant reduction walkers blocks steps tau
     domains crowd with_nlpp seed checkpoint checkpoint_every checkpoint_keep
-    watchdog restore ranks heartbeat_ms max_respawn =
+    watchdog restore ranks heartbeat_ms max_respawn trace telemetry
+    telemetry_every progress =
   (* An input deck, when given, takes precedence over the flags. *)
   let cfg =
     match input with
@@ -41,6 +59,10 @@ let run input method_ workload variant reduction walkers blocks steps tau
           ranks;
           heartbeat_ms;
           max_respawn;
+          trace;
+          telemetry;
+          telemetry_every;
+          progress;
         }
   in
   let method_ = cfg.Input.method_ in
@@ -63,6 +85,10 @@ let run input method_ workload variant reduction walkers blocks steps tau
   let ranks = cfg.Input.ranks in
   let heartbeat_ms = cfg.Input.heartbeat_ms in
   let max_respawn = cfg.Input.max_respawn in
+  let trace = cfg.Input.trace in
+  let telemetry = cfg.Input.telemetry in
+  let telemetry_every = max 1 cfg.Input.telemetry_every in
+  let progress = cfg.Input.progress in
   let sys = make_system workload reduction with_nlpp seed in
   let factory = Build.factory ~variant ~seed sys in
   Printf.printf
@@ -90,6 +116,10 @@ let run input method_ workload variant reduction walkers blocks steps tau
           checkpoint_every;
           checkpoint_keep;
           restore = restore <> None;
+          trace;
+          telemetry;
+          telemetry_every;
+          progress;
         }
       in
       let res = Oqmc_dist.Supervisor.run ~factory params in
@@ -115,16 +145,18 @@ let run input method_ workload variant reduction walkers blocks steps tau
           (String.concat ", " (List.map string_of_int res.ranks_failed))
   | "vmc" ->
       let res =
-        Vmc.run ~crowd ~factory
-          {
-            Vmc.n_walkers = walkers;
-            warmup = steps;
-            blocks;
-            steps_per_block = steps;
-            tau;
-            seed = seed + 1;
-            n_domains = domains;
-          }
+        with_obs ~trace ~telemetry ~progress (fun sink prog ->
+            Vmc.run ~crowd ?telemetry:sink ~telemetry_every ?progress:prog
+              ~factory
+              {
+                Vmc.n_walkers = walkers;
+                warmup = steps;
+                blocks;
+                steps_per_block = steps;
+                tau;
+                seed = seed + 1;
+                n_domains = domains;
+              })
       in
       Printf.printf "VMC energy    : %.6f +/- %.6f\n" res.Vmc.energy
         res.Vmc.energy_error;
@@ -152,17 +184,19 @@ let run input method_ workload variant reduction walkers blocks steps tau
         else None
       in
       let res =
-        Dmc.run ?initial ~checkpoint_every ~checkpoint_keep
-          ?checkpoint_path:checkpoint ?watchdog:watchdog_cfg ~crowd ~factory
-          {
-            Dmc.target_walkers = walkers;
-            warmup = steps;
-            generations = blocks * steps;
-            tau;
-            seed = seed + 1;
-            n_domains = domains;
-            ranks = max 1 ranks;
-          }
+        with_obs ~trace ~telemetry ~progress (fun sink prog ->
+            Dmc.run ?initial ~checkpoint_every ~checkpoint_keep
+              ?checkpoint_path:checkpoint ?watchdog:watchdog_cfg ~crowd
+              ?telemetry:sink ~telemetry_every ?progress:prog ~factory
+              {
+                Dmc.target_walkers = walkers;
+                warmup = steps;
+                generations = blocks * steps;
+                tau;
+                seed = seed + 1;
+                n_domains = domains;
+                ranks = max 1 ranks;
+              })
       in
       Printf.printf "DMC energy    : %.6f +/- %.6f\n" res.Dmc.energy
         res.Dmc.energy_error;
@@ -316,6 +350,38 @@ let max_respawn =
           "Respawns allowed per rank before it is abandoned and the run \
            degrades to the surviving ranks.")
 
+let trace =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"PATH"
+        ~doc:
+          "Write a Chrome trace_event JSON timeline of the run to \
+           $(docv) (load it in Perfetto or chrome://tracing).  With \
+           --ranks > 1, every rank's spans are merged into one file.")
+
+let telemetry =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "telemetry" ] ~docv:"PATH"
+        ~doc:
+          "Append one JSON record per measured generation (DMC) or \
+           block (VMC) to $(docv): energies, population, acceptance, \
+           throughput.")
+
+let telemetry_every =
+  Arg.(
+    value & opt int 1
+    & info [ "telemetry-every" ] ~docv:"N"
+        ~doc:"Emit every $(docv)-th telemetry record.")
+
+let progress =
+  Arg.(
+    value & flag
+    & info [ "progress" ]
+        ~doc:"Paint a live single-line progress display on stderr.")
+
 let cmd =
   Cmd.v
     (Cmd.info "oqmc_run" ~doc:"VMC/DMC driver on workloads")
@@ -323,6 +389,7 @@ let cmd =
       const run $ input $ method_ $ workload $ variant $ reduction $ walkers
       $ blocks $ steps $ tau $ domains $ crowd $ nlpp $ seed $ checkpoint
       $ checkpoint_every $ checkpoint_keep $ watchdog $ restore $ ranks
-      $ heartbeat_ms $ max_respawn)
+      $ heartbeat_ms $ max_respawn $ trace $ telemetry $ telemetry_every
+      $ progress)
 
 let () = exit (Cmd.eval cmd)

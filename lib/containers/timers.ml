@@ -2,7 +2,14 @@
    VTune in the hot-spot profiles (Figs. 2 and 7).  Keys follow the
    paper's kernel names (DistTable, J1, J2, Bspline-v, Bspline-vgh,
    SPO-vgl, DetUpdate, Other).  A timer set is owned by one domain; sets
-   are merged after a parallel region. *)
+   are merged after a parallel region.
+
+   Timers are now a shim over the observability layer: when structured
+   tracing is enabled ([Oqmc_obs.Trace]), every [time] call also records
+   a span under the same key in the calling domain's trace ring, so the
+   flat per-kernel profile and the timeline view come from the SAME
+   instrumentation points.  With tracing disabled the added cost is one
+   atomic load. *)
 
 type entry = { mutable sum : float; mutable count : int }
 
@@ -29,7 +36,7 @@ let add t key dt =
     e.count <- e.count + 1
   end
 
-let time t key f =
+let timed t key f =
   if t.enabled then begin
     let t0 = now () in
     let r = f () in
@@ -37,6 +44,11 @@ let time t key f =
     r
   end
   else f ()
+
+let time t key f =
+  if Oqmc_obs.Trace.enabled () then
+    Oqmc_obs.Trace.with_span key (fun () -> timed t key f)
+  else timed t key f
 
 let total t key =
   match Hashtbl.find_opt t.table key with Some e -> e.sum | None -> 0.
@@ -60,12 +72,23 @@ let reset t = Hashtbl.reset t.table
 
 let grand_total t = Hashtbl.fold (fun _ e acc -> acc +. e.sum) t.table 0.
 
-(* Normalized profile: fraction of the summed kernel time per key. *)
+(* Keys ordered hottest-first (descending total, then key) so profiles
+   are stable across runs and diffable — hash-table iteration order must
+   never leak into output. *)
+let keys_by_total t =
+  keys t
+  |> List.sort (fun a b ->
+         match compare (total t b) (total t a) with
+         | 0 -> compare a b
+         | c -> c)
+
+(* Normalized profile: fraction of the summed kernel time per key,
+   hottest first. *)
 let profile t =
   let tot = grand_total t in
   if tot <= 0. then []
   else
-    keys t
+    keys_by_total t
     |> List.map (fun k -> (k, total t k /. tot))
 
 let pp ppf t =
@@ -76,7 +99,7 @@ let pp ppf t =
       Format.fprintf ppf "%-12s %10.4fs %9d calls %5.1f%%@,"
         k (total t k) (count t k)
         (if tot > 0. then 100. *. total t k /. tot else 0.))
-    (keys t);
+    (keys_by_total t);
   Format.fprintf ppf "@]"
 
 (* Point-in-time copy of every accumulator, for monotonicity checks

@@ -12,7 +12,11 @@ val null : t
 val now : unit -> float
 
 val add : t -> string -> float -> unit
+
 val time : t -> string -> (unit -> 'a) -> 'a
+(** Accumulate the thunk's wall time under [key]; when structured
+    tracing ([Oqmc_obs.Trace]) is enabled, also record the call as a
+    span under the same key. *)
 
 val total : t -> string -> float
 val count : t -> string -> int
@@ -22,9 +26,11 @@ val reset : t -> unit
 val grand_total : t -> float
 
 val profile : t -> (string * float) list
-(** Normalized (key, fraction-of-total) pairs. *)
+(** Normalized (key, fraction-of-total) pairs, hottest first (ties by
+    key) — stable across runs, so profiles are diffable. *)
 
 val pp : Format.formatter -> t -> unit
+(** Rows ordered by descending total, like {!profile}. *)
 
 val snapshot : t -> (string * float * int) list
 (** [(key, total, count)] for every key, sorted by key — a

@@ -118,7 +118,45 @@ let branch s = Population.branch s.pop s.master_rng
    forked child; all faults in [cfg.faults] are armed here (first
    incarnation only — a respawned rank must not re-kill itself). *)
 let serve ~cfg ~(factory : int -> Engine_api.t) ~init ~fd_in ~fd_out =
+  let module Trace = Oqmc_obs.Trace in
+  let module Metrics = Oqmc_obs.Metrics in
+  let module Timers = Oqmc_containers.Timers in
   Fault.reset ();
+  (* The fork inherits the parent's span ring and metric registry: wipe
+     the ring and diff metrics against a serve-entry baseline so this
+     rank only ever reports its OWN activity.  [set_rank] stamps every
+     span this process emits with its rank id (the trace pid). *)
+  Trace.clear ();
+  Trace.set_rank cfg.rank;
+  let metrics_base = ref (Metrics.snapshot ()) in
+  let timers_base = ref [] in
+  (* Per-generation metric/timer deltas piggybacked on the Reduce frame:
+     counters since the last Reduce, gauges as-is, plus kernel-timer
+     increments as [timer_us.<key>] counters (µs, integral). *)
+  let telemetry_kvs shard =
+    let curr = Metrics.snapshot () in
+    let kvs = Metrics.wire_kvs (Metrics.diff ~prev:!metrics_base curr) in
+    metrics_base := curr;
+    let tcurr = Timers.snapshot (Runner.merged_timers shard.runner) in
+    let prev = !timers_base in
+    timers_base := tcurr;
+    let prev_of k =
+      match List.find_opt (fun (k', _, _) -> k' = k) prev with
+      | Some (_, s, _) -> s
+      | None -> 0.
+    in
+    let timer_kvs =
+      List.filter_map
+        (fun (k, s, _) ->
+          let d = s -. prev_of k in
+          if d > 0. then
+            Some ('c', "timer_us." ^ k, Float.round (d *. 1e6))
+          else None)
+        tcurr
+    in
+    List.map (fun kv -> Metrics.(kv.kind, kv.key, kv.value)) kvs
+    @ timer_kvs
+  in
   if cfg.incarnation = 0 then
     List.iter (fun (gen, f) -> Fault.arm_rank_fault ~gen f) cfg.faults;
   let shard =
@@ -157,6 +195,7 @@ let serve ~cfg ~(factory : int -> Engine_api.t) ~init ~fd_in ~fd_out =
            acc = 0;
            prop = 0;
            n = Population.size shard.pop;
+           telemetry = telemetry_kvs shard;
          })
   in
   let fire_faults ~gen =
@@ -172,7 +211,12 @@ let serve ~cfg ~(factory : int -> Engine_api.t) ~init ~fd_in ~fd_out =
     | Wire.Begin_gen { gen; e_trial } ->
         fire_faults ~gen;
         Wire.send fd_out (Wire.Heartbeat { gen });
-        let wsum, esum = sweep shard ~gen ~e_trial in
+        let wsum, esum =
+          Trace.with_span
+            ~args:[ ("gen", string_of_int gen) ]
+            "rank.generation"
+            (fun () -> sweep shard ~gen ~e_trial)
+        in
         Wire.send fd_out
           (Wire.Reduce
              {
@@ -182,6 +226,7 @@ let serve ~cfg ~(factory : int -> Engine_api.t) ~init ~fd_in ~fd_out =
                acc = shard.acc;
                prop = shard.prop;
                n = Population.size shard.pop;
+               telemetry = telemetry_kvs shard;
              })
     | Wire.Branch { gen } ->
         branch shard;
@@ -210,6 +255,8 @@ let serve ~cfg ~(factory : int -> Engine_api.t) ~init ~fd_in ~fd_out =
                acc = shard.acc;
                prop = shard.prop;
                walkers = Population.walkers shard.pop;
+               trace =
+                 (if Trace.enabled () then Trace.serialize () else "");
              });
         running := false
     | Wire.Init { count } -> fresh_init ~count

@@ -1,5 +1,9 @@
 open Oqmc_particle
 open Oqmc_core
+module Trace = Oqmc_obs.Trace
+module Metrics = Oqmc_obs.Metrics
+module Telemetry = Oqmc_obs.Telemetry
+module Progress = Oqmc_obs.Progress
 
 (* Supervised multi-rank DMC execution.
 
@@ -52,6 +56,10 @@ type params = {
   checkpoint_keep : int;
   restore : bool; (* resume from the newest complete shard generation *)
   faults : (int * int * Fault.rank_fault) list; (* rank, gen, fault *)
+  trace : string option; (* Chrome trace_event JSON output path *)
+  telemetry : string option; (* per-generation JSONL output path *)
+  telemetry_every : int;
+  progress : bool; (* live one-line progress on stderr *)
 }
 
 let default_params =
@@ -72,6 +80,10 @@ let default_params =
     checkpoint_keep = 3;
     restore = false;
     faults = [];
+    trace = None;
+    telemetry = None;
+    telemetry_every = 1;
+    progress = false;
   }
 
 type result = {
@@ -166,6 +178,33 @@ let finalize ~p ~t0 ~energy_series ~pop_series ~comm_messages ~comm_bytes
     final_e_trial;
   }
 
+(* ---------- observability plumbing (shared by run and run_local) ----------
+
+   Enables tracing when a trace path is requested (forked ranks inherit
+   the enabled flag, so this must happen BEFORE any fork), opens the
+   JSONL sink and the live progress line, and hands back emit/update
+   callbacks plus a [close] that flushes and exports everything.  None
+   of it touches the physics or the RNG streams. *)
+let obs_setup (p : params) =
+  if p.trace <> None && not (Trace.enabled ()) then Trace.enable ();
+  let sink = Option.map Telemetry.create p.telemetry in
+  let prog = if p.progress then Some (Progress.create ()) else None in
+  let every = max 1 p.telemetry_every in
+  let emit ~gen record =
+    match sink with
+    | Some s when gen mod every = 0 -> Telemetry.emit s record
+    | _ -> ()
+  in
+  let update line =
+    match prog with Some pr -> Progress.update pr line | None -> ()
+  in
+  let close () =
+    (match prog with Some pr -> Progress.finish pr | None -> ());
+    (match sink with Some s -> Telemetry.close s | None -> ());
+    match p.trace with Some path -> Trace.export ~path | None -> ()
+  in
+  (emit, update, close)
+
 (* ---------- in-process reference executor ---------- *)
 
 (* The same rank-sharded algorithm as [run], executed over logical
@@ -175,6 +214,8 @@ let finalize ~p ~t0 ~energy_series ~pop_series ~comm_messages ~comm_bytes
    runs. *)
 let run_local ~(factory : int -> Engine_api.t) (p : params) : result =
   validate p;
+  let emit, update_progress, obs_close = obs_setup p in
+  Fun.protect ~finally:obs_close @@ fun () ->
   let counts = shard_counts ~target:p.target_walkers ~ranks:p.ranks in
   let shards =
     Array.init p.ranks (fun r ->
@@ -198,8 +239,11 @@ let run_local ~(factory : int -> Engine_api.t) (p : params) : result =
   let pop_series = ref [] in
   let comm_messages = ref 0 and comm_bytes = ref 0 in
   let t0 = Oqmc_containers.Timers.now () in
+  let samples = ref 0 in
   let total_gens = p.warmup + p.generations in
   for gen = 1 to total_gens do
+    Trace.with_span ~args:[ ("gen", string_of_int gen) ] "sup.generation"
+    @@ fun () ->
     let measuring = gen > p.warmup in
     let wsum_t = ref 0. and esum_t = ref 0. and n_t = ref 0 in
     Array.iter
@@ -212,7 +256,8 @@ let run_local ~(factory : int -> Engine_api.t) (p : params) : result =
     let e_gen = if !wsum_t > 0. then !esum_t /. !wsum_t else !e_trial in
     if measuring then begin
       Stats.append energy_series e_gen;
-      pop_series := !n_t :: !pop_series
+      pop_series := !n_t :: !pop_series;
+      samples := !samples + !n_t
     end;
     Array.iter Rank.branch shards;
     let report = Population.exchange (Array.map Rank.pop shards) in
@@ -224,7 +269,7 @@ let run_local ~(factory : int -> Engine_api.t) (p : params) : result =
     e_trial :=
       Population.trial_energy_update ~feedback:p.feedback ~tau:p.tau
         ~target:p.target_walkers ~population:total ~e_estimate:e_gen;
-    match p.checkpoint with
+    (match p.checkpoint with
     | Some path when p.checkpoint_every > 0 && gen mod p.checkpoint_every = 0
       ->
         let acked = ref [] in
@@ -240,7 +285,26 @@ let run_local ~(factory : int -> Engine_api.t) (p : params) : result =
         (try
            Checkpoint.save_manifest ~path ~gen ~ranks:(List.rev !acked) ()
          with Sys_error _ -> ())
-    | _ -> ()
+    | _ -> ());
+    let elapsed = Oqmc_containers.Timers.now () -. t0 in
+    if measuring then
+      emit ~gen:(gen - p.warmup)
+        Oqmc_obs.Jsonx.(Obj
+           [
+             ("gen", Num (float_of_int gen));
+             ("e_gen", Num e_gen);
+             ("e_trial", Num !e_trial);
+             ("population", Num (float_of_int total));
+             ("ranks", Num (float_of_int p.ranks));
+             ( "walkers_per_s",
+               Num
+                 (if elapsed > 0. then float_of_int !samples /. elapsed
+                  else 0.) );
+             ("wall_s", Num elapsed);
+           ]);
+    update_progress
+      (Printf.sprintf "dmc[local %d ranks] gen %d/%d  E %+.6f  E_T %+.6f  pop %d"
+         p.ranks gen total_gens e_gen !e_trial total)
   done;
   let acc = ref 0 and prop = ref 0 in
   Array.iter
@@ -322,6 +386,11 @@ let fork_rank ~(factory : int -> Engine_api.t) ~cfg ~init ~all_fds =
 
 let run ~(factory : int -> Engine_api.t) (p : params) : result =
   validate p;
+  (* Observability must attach BEFORE any fork so children inherit the
+     tracing-enabled flag; the supervisor's own spans carry pid -1,
+     rank blobs are ingested under their rank id at Final time. *)
+  let emit, update_progress, obs_close = obs_setup p in
+  if Trace.enabled () then Trace.set_rank (-1);
   let old_sigpipe = Sys.signal Sys.sigpipe Sys.Signal_ignore in
   let states : proc option array = Array.make p.ranks None in
   (* Every pipe end still OPEN in the supervisor: the set a fresh child
@@ -343,7 +412,8 @@ let run ~(factory : int -> Engine_api.t) (p : params) : result =
             reap s.pid
         | _ -> ())
       states;
-    Sys.set_signal Sys.sigpipe old_sigpipe
+    Sys.set_signal Sys.sigpipe old_sigpipe;
+    obs_close ()
   in
   Fun.protect ~finally:cleanup @@ fun () ->
   let hb = p.heartbeat_s in
@@ -385,10 +455,16 @@ let run ~(factory : int -> Engine_api.t) (p : params) : result =
   let fail_rank r why =
     let s = proc r in
     if not s.dead && not (List.mem r !failed_this_gen) then begin
-      (match why with
-      | Crash -> incr crashes
-      | Stall -> incr hb_timeouts
-      | Corrupt_stream -> incr garbage_frames);
+      let reason =
+        match why with
+        | Crash -> incr crashes; "crash"
+        | Stall -> incr hb_timeouts; "stall"
+        | Corrupt_stream -> incr garbage_frames; "garbage"
+      in
+      Metrics.inc (Metrics.counter ("sup.rank_failures." ^ reason));
+      Trace.instant
+        ~args:[ ("rank", string_of_int r); ("reason", reason) ]
+        "sup.rank_failed";
       close_fd s.r_fd;
       close_fd s.w_fd;
       s.fds_closed <- true;
@@ -460,7 +536,15 @@ let run ~(factory : int -> Engine_api.t) (p : params) : result =
     failwith "Supervisor: rank startup failed";
   let t0 = Oqmc_containers.Timers.now () in
   let total_gens = p.warmup + p.generations in
+  (* Heartbeat RTT is measured supervisor-side — Begin_gen send to
+     Heartbeat receipt — so the wire protocol needs no clock exchange. *)
+  let m_rtt = Metrics.histogram "sup.heartbeat_rtt_s" in
+  let begin_sent = Array.make p.ranks 0. in
+  let prev_acc = ref 0 and prev_prop = ref 0 in
+  let samples = ref 0 in
   for gen = 1 to total_gens do
+    Trace.with_span ~args:[ ("gen", string_of_int gen) ] "sup.generation"
+    @@ fun () ->
     failed_this_gen := [];
     let participants = live () in
     (* Phase 1: open the generation. *)
@@ -468,11 +552,14 @@ let run ~(factory : int -> Engine_api.t) (p : params) : result =
       (fun r ->
         ignore
           (guard r (fun s ->
+               begin_sent.(r) <- Oqmc_containers.Timers.now ();
                Wire.send s.w_fd (Wire.Begin_gen { gen; e_trial = !e_trial }))))
       participants;
     (* Phase 2: heartbeat + shard reduction, ascending rank order so the
        float reduction matches [run_local] exactly. *)
     let wsum_t = ref 0. and esum_t = ref 0. and n_t = ref 0 in
+    let acc_t = ref 0 and prop_t = ref 0 in
+    let rtt_max = ref 0. in
     List.iter
       (fun r ->
         (match
@@ -480,19 +567,36 @@ let run ~(factory : int -> Engine_api.t) (p : params) : result =
              | Wire.Heartbeat _ -> Some ()
              | _ -> None)
          with
-        | Some () -> ()
+        | Some () ->
+            let rtt = Oqmc_containers.Timers.now () -. begin_sent.(r) in
+            Metrics.observe m_rtt rtt;
+            rtt_max := Float.max !rtt_max rtt;
+            Trace.instant
+              ~args:
+                [
+                  ("rank", string_of_int r);
+                  ("rtt_us", string_of_int (int_of_float (rtt *. 1e6)));
+                ]
+              "sup.heartbeat"
         | None -> ());
         match
           recv_expect r (function
-            | Wire.Reduce { gen = g; wsum; esum; n; _ } when g = gen ->
-                Some (wsum, esum, n)
+            | Wire.Reduce { gen = g; wsum; esum; acc; prop; n; telemetry }
+              when g = gen ->
+                Some (wsum, esum, acc, prop, n, telemetry)
             | _ -> None)
         with
-        | Some (w, e, n) ->
+        | Some (w, e, a, pr, n, kvs) ->
             wsum_t := !wsum_t +. w;
             esum_t := !esum_t +. e;
+            acc_t := !acc_t + a;
+            prop_t := !prop_t + pr;
             n_t := !n_t + n;
-            (proc r).count <- n
+            (proc r).count <- n;
+            Metrics.absorb_kvs
+              (List.map
+                 (fun (kind, key, value) -> { Metrics.kind; key; value })
+                 kvs)
         | None -> ())
       participants;
     let reduced = List.filter ok_rank participants in
@@ -501,8 +605,16 @@ let run ~(factory : int -> Engine_api.t) (p : params) : result =
     let e_gen = if !wsum_t > 0. then !esum_t /. !wsum_t else !e_trial in
     if gen > p.warmup then begin
       Stats.append energy_series e_gen;
-      pop_series := !n_t :: !pop_series
+      pop_series := !n_t :: !pop_series;
+      samples := !samples + !n_t
     end;
+    (* Per-generation acceptance from the cumulative move totals the
+       ranks report; a respawned rank resets its totals, so the delta is
+       clamped at zero for that generation. *)
+    let gen_acc = max 0 (!acc_t - !prev_acc)
+    and gen_prop = max 0 (!prop_t - !prev_prop) in
+    prev_acc := !acc_t;
+    prev_prop := !prop_t;
     (* Phase 3: branch, collect post-branch counts. *)
     List.iter
       (fun r -> ignore (guard r (fun s -> Wire.send s.w_fd (Wire.Branch { gen }))))
@@ -600,6 +712,14 @@ let run ~(factory : int -> Engine_api.t) (p : params) : result =
         if s.incarnation >= p.max_respawn then begin
           s.dead <- true;
           ranks_failed := r :: !ranks_failed;
+          Metrics.inc (Metrics.counter "sup.ranks_abandoned");
+          Trace.instant
+            ~args:
+              [
+                ("rank", string_of_int r);
+                ("incarnation", string_of_int s.incarnation);
+              ]
+            "sup.rank_abandoned";
           (* Salvage the lost shard from its newest valid checkpoint and
              spread it over the survivors. *)
           let salvaged =
@@ -631,8 +751,19 @@ let run ~(factory : int -> Engine_api.t) (p : params) : result =
         else begin
           incr respawns;
           let incarnation = s.incarnation + 1 in
-          Unix.sleepf
-            (p.respawn_backoff *. float_of_int (1 lsl (incarnation - 1)));
+          let backoff =
+            p.respawn_backoff *. float_of_int (1 lsl (incarnation - 1))
+          in
+          Metrics.inc (Metrics.counter "sup.respawns");
+          Trace.instant
+            ~args:
+              [
+                ("rank", string_of_int r);
+                ("incarnation", string_of_int incarnation);
+                ("backoff_s", Printf.sprintf "%.3f" backoff);
+              ]
+            "sup.respawn";
+          Unix.sleepf backoff;
           let init =
             match p.checkpoint with
             | None -> None
@@ -675,7 +806,38 @@ let run ~(factory : int -> Engine_api.t) (p : params) : result =
                       ranks_failed := r :: !ranks_failed))
         end)
       (List.rev !failed_this_gen);
-    if live () = [] then raise All_ranks_lost
+    if live () = [] then raise All_ranks_lost;
+    let elapsed = Oqmc_containers.Timers.now () -. t0 in
+    let acceptance =
+      float_of_int gen_acc /. float_of_int (max 1 gen_prop)
+    in
+    let walkers_per_s =
+      if elapsed > 0. then float_of_int !samples /. elapsed else 0.
+    in
+    if gen > p.warmup then
+      emit ~gen:(gen - p.warmup)
+        Oqmc_obs.Jsonx.(Obj
+           [
+             ("gen", Num (float_of_int gen));
+             ("e_gen", Num e_gen);
+             ("e_trial", Num !e_trial);
+             ("population", Num (float_of_int total));
+             ("acceptance", Num acceptance);
+             ("walkers_per_s", Num walkers_per_s);
+             ("live_ranks", Num (float_of_int (List.length (live ()))));
+             ("rtt_max_s", Num !rtt_max);
+             ( "respawns",
+               Num
+                 (float_of_int
+                    (Metrics.counter_value
+                       (Metrics.counter "sup.respawns"))) );
+             ("wall_s", Num elapsed);
+           ]);
+    update_progress
+      (Printf.sprintf
+         "dmc[%d/%d ranks] gen %d/%d  E %+.6f  E_T %+.6f  pop %d  acc %.3f  %.0f w/s  lag %.1fms"
+         (List.length (live ())) p.ranks gen total_gens e_gen !e_trial
+         total acceptance walkers_per_s (1e3 *. !rtt_max))
   done;
   (* -------- collect finals -------- *)
   let acc = ref 0 and prop = ref 0 in
@@ -686,13 +848,18 @@ let run ~(factory : int -> Engine_api.t) (p : params) : result =
       ignore (guard r (fun s -> Wire.send s.w_fd Wire.Finish));
       (match
          recv_expect ~timeout:(startup_timeout p) r (function
-           | Wire.Final { acc = a; prop = pr; walkers } ->
-               Some (a, pr, walkers)
+           | Wire.Final { acc = a; prop = pr; walkers; trace } ->
+               Some (a, pr, walkers, trace)
            | _ -> None)
        with
-      | Some (a, pr, walkers) ->
+      | Some (a, pr, walkers, trace) ->
           acc := !acc + a;
           prop := !prop + pr;
+          (* Merge the rank's span ring into the supervisor's trace
+             under the rank's id, so the exported timeline shows every
+             process on its own track. *)
+          (if trace <> "" then
+             try Trace.ingest ~pid:r trace with Trace.Malformed -> ());
           final_walkers := !final_walkers @ walkers
       | None -> ());
       let s = proc r in

@@ -29,6 +29,16 @@ type params = {
   restore : bool;  (** resume from the newest complete shard generation *)
   faults : (int * int * Fault.rank_fault) list;
       (** (rank, generation, fault) injection plan *)
+  trace : string option;
+      (** write a merged Chrome trace_event JSON timeline here: the
+          supervisor's spans (pid -1) plus every rank's span ring,
+          ingested from the [Final] frame under its rank id *)
+  telemetry : string option;
+      (** write one merged JSON record per measured generation here
+          (gen, e_gen, e_trial, population, acceptance, walkers_per_s,
+          live_ranks, rtt_max_s, respawns, wall_s) *)
+  telemetry_every : int;  (** emit every n-th measured generation *)
+  progress : bool;  (** live one-line progress on stderr *)
 }
 
 val default_params : params

@@ -40,6 +40,11 @@ type msg =
       acc : int;
       prop : int;
       n : int;
+      telemetry : (char * string * float) list;
+          (* piggybacked metric/timer deltas: (kind, key, value) triples
+             in [Oqmc_obs.Metrics.wire_kvs] form — 'c' counter deltas,
+             'g' gauge values.  Empty when telemetry is off, costing the
+             frame a single zero count field. *)
     }
   | Branch of { gen : int }
   | Count of { gen : int; n : int }
@@ -48,7 +53,14 @@ type msg =
   | Checkpoint_cmd of { gen : int; e_trial : float }
   | Ack of { gen : int; ok : bool }
   | Finish
-  | Final of { acc : int; prop : int; walkers : Walker.t list }
+  | Final of {
+      acc : int;
+      prop : int;
+      walkers : Walker.t list;
+      trace : string;
+          (* the rank's serialized span ring ([Oqmc_obs.Trace.serialize])
+             shipped once at shutdown; empty when tracing is off *)
+    }
 
 (* ---------- encoding ---------- *)
 
@@ -60,6 +72,19 @@ let put_f64 buf v = Buffer.add_int64_be buf (Int64.bits_of_float v)
 let put_walkers buf ws =
   put_i32 buf (List.length ws);
   List.iter (fun w -> Walker.encode buf w) ws
+
+let put_str buf s =
+  put_i32 buf (String.length s);
+  Buffer.add_string buf s
+
+let put_kvs buf kvs =
+  put_i32 buf (List.length kvs);
+  List.iter
+    (fun (kind, key, value) ->
+      put_u8 buf (Char.code kind);
+      put_str buf key;
+      put_f64 buf value)
+    kvs
 
 let tag_of = function
   | Hello _ -> 1
@@ -84,13 +109,14 @@ let encode_payload buf = function
   | Begin_gen { gen; e_trial } ->
       put_i32 buf gen;
       put_f64 buf e_trial
-  | Reduce { gen; wsum; esum; acc; prop; n } ->
+  | Reduce { gen; wsum; esum; acc; prop; n; telemetry } ->
       put_i32 buf gen;
       put_f64 buf wsum;
       put_f64 buf esum;
       put_i64 buf acc;
       put_i64 buf prop;
-      put_i32 buf n
+      put_i32 buf n;
+      put_kvs buf telemetry
   | Branch { gen } -> put_i32 buf gen
   | Count { gen; n } ->
       put_i32 buf gen;
@@ -109,10 +135,11 @@ let encode_payload buf = function
       put_u8 buf (if ok then 1 else 0)
   | Finish -> ()
   | Init { count } -> put_i32 buf count
-  | Final { acc; prop; walkers } ->
+  | Final { acc; prop; walkers; trace } ->
       put_i64 buf acc;
       put_i64 buf prop;
-      put_walkers buf walkers
+      put_walkers buf walkers;
+      put_str buf trace
 
 (* ---------- decoding ---------- *)
 
@@ -141,6 +168,23 @@ let get_walkers s pos =
   if count < 0 then garbage "negative walker count %d" count;
   List.init count (fun _ -> Walker.decode s pos)
 
+let get_str s pos =
+  let len = get_i32 s pos in
+  if len < 0 || !pos + len > String.length s then
+    garbage "bad string length %d" len;
+  let v = String.sub s !pos len in
+  pos := !pos + len;
+  v
+
+let get_kvs s pos =
+  let count = get_i32 s pos in
+  if count < 0 then garbage "negative kv count %d" count;
+  List.init count (fun _ ->
+      let kind = Char.chr (get_u8 s pos) in
+      let key = get_str s pos in
+      let value = get_f64 s pos in
+      (kind, key, value))
+
 let decode_body body =
   let pos = ref 0 in
   let tag = get_u8 body pos in
@@ -162,7 +206,8 @@ let decode_body body =
         let acc = get_i64 body pos in
         let prop = get_i64 body pos in
         let n = get_i32 body pos in
-        Reduce { gen; wsum; esum; acc; prop; n }
+        let telemetry = get_kvs body pos in
+        Reduce { gen; wsum; esum; acc; prop; n; telemetry }
     | 5 -> Branch { gen = get_i32 body pos }
     | 6 ->
         let gen = get_i32 body pos in
@@ -190,7 +235,8 @@ let decode_body body =
         let acc = get_i64 body pos in
         let prop = get_i64 body pos in
         let walkers = get_walkers body pos in
-        Final { acc; prop; walkers }
+        let trace = get_str body pos in
+        Final { acc; prop; walkers; trace }
     | t -> garbage "unknown tag %d" t
   in
   if !pos <> String.length body then

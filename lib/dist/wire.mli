@@ -32,7 +32,12 @@ type msg =
       acc : int;
       prop : int;
       n : int;
-    }  (** rank → supervisor: shard estimator terms and move counts *)
+      telemetry : (char * string * float) list;
+    }
+      (** rank → supervisor: shard estimator terms and move counts, plus
+          piggybacked per-generation metric/timer deltas in
+          [Oqmc_obs.Metrics.wire_kvs] form ('c' counter delta, 'g'
+          gauge); empty when telemetry is off *)
   | Branch of { gen : int }  (** supervisor → rank: branch your shard *)
   | Count of { gen : int; n : int }
       (** rank → supervisor: shard size after branching *)
@@ -44,8 +49,15 @@ type msg =
       (** supervisor → rank: write your shard checkpoint *)
   | Ack of { gen : int; ok : bool }  (** rank → supervisor *)
   | Finish  (** supervisor → rank: send your final state and exit *)
-  | Final of { acc : int; prop : int; walkers : Walker.t list }
-      (** rank → supervisor: final shard and lifetime move totals *)
+  | Final of {
+      acc : int;
+      prop : int;
+      walkers : Walker.t list;
+      trace : string;
+    }
+      (** rank → supervisor: final shard and lifetime move totals; when
+          tracing is enabled, [trace] carries the rank's serialized span
+          ring ([Oqmc_obs.Trace.serialize]) for supervisor-side merge *)
 
 val send : Unix.file_descr -> msg -> unit
 (** Write one frame, fully.  @raise Closed on a broken pipe. *)

@@ -1,0 +1,243 @@
+(* Minimal JSON tree, encoder and parser — just enough for the trace
+   exporter, the telemetry sink and their validation tests.  No
+   dependencies; strict on output (always valid JSON: non-finite floats
+   encode as null, strings are escaped) and strict enough on input to
+   reject the truncation/corruption failure modes the tests exercise. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+(* ---------- encoding ---------- *)
+
+let add_escaped buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\b' -> Buffer.add_string buf "\\b"
+      | '\012' -> Buffer.add_string buf "\\f"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let add_num buf v =
+  if not (Float.is_finite v) then Buffer.add_string buf "null"
+  else if Float.is_integer v && Float.abs v < 1e15 then
+    Buffer.add_string buf (Printf.sprintf "%.0f" v)
+  else
+    (* Shortest roundtrip representation keeps telemetry lines compact
+       without losing precision. *)
+    let s = Printf.sprintf "%.17g" v in
+    let shorter = Printf.sprintf "%.12g" v in
+    Buffer.add_string buf (if float_of_string shorter = v then shorter else s)
+
+let rec to_buffer buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Num v -> add_num buf v
+  | Str s -> add_escaped buf s
+  | Arr xs ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_char buf ',';
+          to_buffer buf x)
+        xs;
+      Buffer.add_char buf ']'
+  | Obj kvs ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          add_escaped buf k;
+          Buffer.add_char buf ':';
+          to_buffer buf v)
+        kvs;
+      Buffer.add_char buf '}'
+
+let to_string j =
+  let buf = Buffer.create 256 in
+  to_buffer buf j;
+  Buffer.contents buf
+
+(* ---------- parsing ---------- *)
+
+type state = { s : string; mutable pos : int }
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Parse_error m)) fmt
+
+let peek st = if st.pos < String.length st.s then Some st.s.[st.pos] else None
+
+let next st =
+  match peek st with
+  | Some c ->
+      st.pos <- st.pos + 1;
+      c
+  | None -> fail "unexpected end of input at %d" st.pos
+
+let skip_ws st =
+  let continue_ = ref true in
+  while !continue_ do
+    match peek st with
+    | Some (' ' | '\t' | '\n' | '\r') -> st.pos <- st.pos + 1
+    | _ -> continue_ := false
+  done
+
+let expect st c =
+  let got = next st in
+  if got <> c then fail "expected %c, got %c at %d" c got (st.pos - 1)
+
+let parse_lit st lit v =
+  String.iter (fun c -> expect st c) lit;
+  v
+
+let hex_digit c =
+  match c with
+  | '0' .. '9' -> Char.code c - Char.code '0'
+  | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+  | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+  | c -> fail "bad hex digit %c" c
+
+let parse_string st =
+  expect st '"';
+  let buf = Buffer.create 16 in
+  let continue_ = ref true in
+  while !continue_ do
+    match next st with
+    | '"' -> continue_ := false
+    | '\\' -> (
+        match next st with
+        | '"' -> Buffer.add_char buf '"'
+        | '\\' -> Buffer.add_char buf '\\'
+        | '/' -> Buffer.add_char buf '/'
+        | 'n' -> Buffer.add_char buf '\n'
+        | 'r' -> Buffer.add_char buf '\r'
+        | 't' -> Buffer.add_char buf '\t'
+        | 'b' -> Buffer.add_char buf '\b'
+        | 'f' -> Buffer.add_char buf '\012'
+        | 'u' ->
+            let cp =
+              (hex_digit (next st) lsl 12)
+              lor (hex_digit (next st) lsl 8)
+              lor (hex_digit (next st) lsl 4)
+              lor hex_digit (next st)
+            in
+            (* UTF-8 encode the code point (surrogate pairs are passed
+               through as two separate 3-byte sequences — fine for the
+               control characters we actually emit). *)
+            if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
+            else if cp < 0x800 then begin
+              Buffer.add_char buf (Char.chr (0xC0 lor (cp lsr 6)));
+              Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+            end
+            else begin
+              Buffer.add_char buf (Char.chr (0xE0 lor (cp lsr 12)));
+              Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+              Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+            end
+        | c -> fail "bad escape \\%c" c)
+    | c -> Buffer.add_char buf c
+  done;
+  Buffer.contents buf
+
+let parse_number st =
+  let start = st.pos in
+  let is_num_char = function
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while (match peek st with Some c -> is_num_char c | None -> false) do
+    st.pos <- st.pos + 1
+  done;
+  let text = String.sub st.s start (st.pos - start) in
+  match float_of_string_opt text with
+  | Some v -> Num v
+  | None -> fail "bad number %S at %d" text start
+
+let rec parse_value st =
+  skip_ws st;
+  match peek st with
+  | None -> fail "unexpected end of input"
+  | Some '{' ->
+      expect st '{';
+      skip_ws st;
+      if peek st = Some '}' then begin
+        st.pos <- st.pos + 1;
+        Obj []
+      end
+      else begin
+        let kvs = ref [] in
+        let continue_ = ref true in
+        while !continue_ do
+          skip_ws st;
+          let k = parse_string st in
+          skip_ws st;
+          expect st ':';
+          let v = parse_value st in
+          kvs := (k, v) :: !kvs;
+          skip_ws st;
+          match next st with
+          | ',' -> ()
+          | '}' -> continue_ := false
+          | c -> fail "expected , or } in object, got %c" c
+        done;
+        Obj (List.rev !kvs)
+      end
+  | Some '[' ->
+      expect st '[';
+      skip_ws st;
+      if peek st = Some ']' then begin
+        st.pos <- st.pos + 1;
+        Arr []
+      end
+      else begin
+        let xs = ref [] in
+        let continue_ = ref true in
+        while !continue_ do
+          let v = parse_value st in
+          xs := v :: !xs;
+          skip_ws st;
+          match next st with
+          | ',' -> ()
+          | ']' -> continue_ := false
+          | c -> fail "expected , or ] in array, got %c" c
+        done;
+        Arr (List.rev !xs)
+      end
+  | Some '"' -> Str (parse_string st)
+  | Some 't' -> parse_lit st "true" (Bool true)
+  | Some 'f' -> parse_lit st "false" (Bool false)
+  | Some 'n' -> parse_lit st "null" Null
+  | Some _ -> parse_number st
+
+let parse_string_exn s =
+  let st = { s; pos = 0 } in
+  let v = parse_value st in
+  skip_ws st;
+  if st.pos <> String.length s then
+    fail "trailing garbage at %d" st.pos;
+  v
+
+(* ---------- accessors (for tests and the smoke harness) ---------- *)
+
+let member key = function
+  | Obj kvs -> List.assoc_opt key kvs
+  | _ -> None
+
+let to_list = function Arr xs -> Some xs | _ -> None
+let to_float = function Num v -> Some v | _ -> None
+let to_str = function Str s -> Some s | _ -> None

@@ -1,0 +1,30 @@
+(** Minimal JSON tree, encoder and parser for the observability layer:
+    the trace exporter and telemetry sink build values, the tests and
+    the [@obs-smoke] harness parse them back to validate output. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+val to_buffer : Buffer.t -> t -> unit
+
+val to_string : t -> string
+(** Always valid JSON: non-finite numbers encode as [null], strings are
+    escaped. *)
+
+val parse_string_exn : string -> t
+(** Strict parse of a complete document.
+    @raise Parse_error on malformed or trailing input. *)
+
+val member : string -> t -> t option
+(** First binding of a key in an object; [None] on non-objects. *)
+
+val to_list : t -> t list option
+val to_float : t -> float option
+val to_str : t -> string option

@@ -1,0 +1,279 @@
+(* Metrics registry: named counters, gauges and log-bucketed histograms
+   with a snapshot/diff API.
+
+   One global registry (get-or-create by name; a name is permanently
+   bound to its first kind).  Counters are atomic and safe to bump from
+   any domain; gauges are last-writer-wins; histograms take a private
+   mutex per observation — every call site is per-generation or per-
+   event (checkpoint latency, heartbeat RTT, branch multiplicity), never
+   per-electron, so contention is nil.
+
+   Histogram buckets are powers of two: a value lands in the bucket
+   whose upper bound is the smallest 2^k >= value, clamped to
+   [2^-20, 2^20] with an extra bucket for v <= 0.  Log bucketing keeps
+   the footprint fixed (42 ints) while resolving latencies from
+   microseconds to seconds.
+
+   Cross-rank transport: [wire_kvs] flattens a snapshot (usually a
+   [diff] since the last send) into (kind, key, value) triples a wire
+   frame can carry; [absorb_kvs] folds them back into this process's
+   registry — counters add, gauges set, histograms travel as their
+   [.count] and [.sum_1e6] integer counters (the per-bucket shape stays
+   rank-local; the merged stream keeps totals and rates exact). *)
+
+type counter = { cname : string; v : int Atomic.t }
+type gauge = { gname : string; g : float Atomic.t }
+
+let n_buckets = 42 (* bucket 0: v <= 0; buckets 1..41: 2^-20 .. 2^20 *)
+
+let bucket_index v =
+  if v <= 0. then 0
+  else
+    let e = snd (Float.frexp v) in
+    (* v in [2^(e-1), 2^e) => upper bound 2^e *)
+    1 + (max (-20) (min 20 e) + 20)
+
+let bucket_bound i = if i = 0 then 0. else Float.ldexp 1. (i - 21)
+
+type histogram = {
+  hname : string;
+  lock : Mutex.t;
+  counts : int array;
+  mutable hcount : int;
+  mutable hsum : float;
+  mutable hmin : float;
+  mutable hmax : float;
+}
+
+type metric = C of counter | G of gauge | H of histogram
+
+let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+let registry_mutex = Mutex.create ()
+
+let counter name =
+  Mutex.lock registry_mutex;
+  let r =
+    match Hashtbl.find_opt registry name with
+    | Some (C c) -> Ok c
+    | Some _ -> Error name
+    | None ->
+        let c = { cname = name; v = Atomic.make 0 } in
+        Hashtbl.add registry name (C c);
+        Ok c
+  in
+  Mutex.unlock registry_mutex;
+  match r with
+  | Ok c -> c
+  | Error n -> invalid_arg (Printf.sprintf "Metrics: %S is not a counter" n)
+
+let gauge name =
+  Mutex.lock registry_mutex;
+  let r =
+    match Hashtbl.find_opt registry name with
+    | Some (G g) -> Ok g
+    | Some _ -> Error name
+    | None ->
+        let g = { gname = name; g = Atomic.make 0. } in
+        Hashtbl.add registry name (G g);
+        Ok g
+  in
+  Mutex.unlock registry_mutex;
+  match r with
+  | Ok g -> g
+  | Error n -> invalid_arg (Printf.sprintf "Metrics: %S is not a gauge" n)
+
+let histogram name =
+  Mutex.lock registry_mutex;
+  let r =
+    match Hashtbl.find_opt registry name with
+    | Some (H h) -> Ok h
+    | Some _ -> Error name
+    | None ->
+        let h =
+          {
+            hname = name;
+            lock = Mutex.create ();
+            counts = Array.make n_buckets 0;
+            hcount = 0;
+            hsum = 0.;
+            hmin = Float.infinity;
+            hmax = Float.neg_infinity;
+          }
+        in
+        Hashtbl.add registry name (H h);
+        Ok h
+  in
+  Mutex.unlock registry_mutex;
+  match r with
+  | Ok h -> h
+  | Error n -> invalid_arg (Printf.sprintf "Metrics: %S is not a histogram" n)
+
+let inc c = Atomic.incr c.v
+let add c n = ignore (Atomic.fetch_and_add c.v n)
+let counter_value c = Atomic.get c.v
+
+let set g v = Atomic.set g.g v
+let gauge_value g = Atomic.get g.g
+
+let observe h v =
+  if Float.is_finite v then begin
+    Mutex.lock h.lock;
+    h.counts.(bucket_index v) <- h.counts.(bucket_index v) + 1;
+    h.hcount <- h.hcount + 1;
+    h.hsum <- h.hsum +. v;
+    if v < h.hmin then h.hmin <- v;
+    if v > h.hmax then h.hmax <- v;
+    Mutex.unlock h.lock
+  end
+
+(* ---------- snapshots ---------- *)
+
+type hview = {
+  count : int;
+  sum : float;
+  min : float;
+  max : float;
+  buckets : (float * int) list; (* (upper bound, count), non-empty only *)
+}
+
+type value = Counter of int | Gauge of float | Histogram of hview
+
+type snapshot = (string * value) list
+
+let hview h =
+  Mutex.lock h.lock;
+  let buckets = ref [] in
+  for i = n_buckets - 1 downto 0 do
+    if h.counts.(i) > 0 then
+      buckets := (bucket_bound i, h.counts.(i)) :: !buckets
+  done;
+  let v =
+    {
+      count = h.hcount;
+      sum = h.hsum;
+      min = (if h.hcount = 0 then 0. else h.hmin);
+      max = (if h.hcount = 0 then 0. else h.hmax);
+      buckets = !buckets;
+    }
+  in
+  Mutex.unlock h.lock;
+  v
+
+let snapshot () =
+  Mutex.lock registry_mutex;
+  let entries =
+    Hashtbl.fold
+      (fun name m acc ->
+        let v =
+          match m with
+          | C c -> Counter (counter_value c)
+          | G g -> Gauge (gauge_value g)
+          | H h -> Histogram (hview h)
+        in
+        (name, v) :: acc)
+      registry []
+  in
+  Mutex.unlock registry_mutex;
+  List.sort (fun (a, _) (b, _) -> compare a b) entries
+
+let find snap name = List.assoc_opt name snap
+
+(* Counters and histogram totals subtract (a missing previous entry
+   counts as zero); gauges report their current value. *)
+let diff ~prev curr =
+  List.map
+    (fun (name, v) ->
+      match (v, find prev name) with
+      | Counter c, Some (Counter p) -> (name, Counter (c - p))
+      | Histogram h, Some (Histogram p) ->
+          let pb b = match List.assoc_opt b p.buckets with Some n -> n | None -> 0 in
+          ( name,
+            Histogram
+              {
+                count = h.count - p.count;
+                sum = h.sum -. p.sum;
+                min = h.min;
+                max = h.max;
+                buckets =
+                  List.filter_map
+                    (fun (b, n) ->
+                      let d = n - pb b in
+                      if d > 0 then Some (b, d) else None)
+                    h.buckets;
+              } )
+      | v, _ -> (name, v))
+    curr
+
+let reset () =
+  Mutex.lock registry_mutex;
+  Hashtbl.iter
+    (fun _ m ->
+      match m with
+      | C c -> Atomic.set c.v 0
+      | G g -> Atomic.set g.g 0.
+      | H h ->
+          Mutex.lock h.lock;
+          Array.fill h.counts 0 n_buckets 0;
+          h.hcount <- 0;
+          h.hsum <- 0.;
+          h.hmin <- Float.infinity;
+          h.hmax <- Float.neg_infinity;
+          Mutex.unlock h.lock)
+    registry;
+  Mutex.unlock registry_mutex
+
+(* ---------- cross-rank transport ---------- *)
+
+type kv = { kind : char; key : string; value : float }
+
+let wire_kvs snap =
+  List.concat_map
+    (fun (name, v) ->
+      match v with
+      | Counter c ->
+          if c = 0 then [] else [ { kind = 'c'; key = name; value = float_of_int c } ]
+      | Gauge g -> [ { kind = 'g'; key = name; value = g } ]
+      | Histogram h ->
+          if h.count = 0 then []
+          else
+            [
+              { kind = 'c'; key = name ^ ".count"; value = float_of_int h.count };
+              {
+                kind = 'c';
+                key = name ^ ".sum_1e6";
+                value = Float.round (h.sum *. 1e6);
+              };
+            ])
+    snap
+
+let absorb_kvs kvs =
+  List.iter
+    (fun { kind; key; value } ->
+      match kind with
+      | 'c' -> add (counter key) (int_of_float value)
+      | 'g' -> set (gauge key) value
+      | _ -> () (* unknown kinds from newer peers are skipped, not fatal *))
+    kvs
+
+(* ---------- telemetry rendering ---------- *)
+
+let json_of_value = function
+  | Counter c -> Jsonx.Num (float_of_int c)
+  | Gauge g -> Jsonx.Num g
+  | Histogram h ->
+      Jsonx.Obj
+        [
+          ("count", Jsonx.Num (float_of_int h.count));
+          ("sum", Jsonx.Num h.sum);
+          ("min", Jsonx.Num h.min);
+          ("max", Jsonx.Num h.max);
+          ( "buckets",
+            Jsonx.Arr
+              (List.map
+                 (fun (b, n) ->
+                   Jsonx.Arr [ Jsonx.Num b; Jsonx.Num (float_of_int n) ])
+                 h.buckets) );
+        ]
+
+let json_of_snapshot snap =
+  Jsonx.Obj (List.map (fun (name, v) -> (name, json_of_value v)) snap)

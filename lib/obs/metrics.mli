@@ -1,0 +1,65 @@
+(** Metrics registry: named counters, gauges and log-bucketed
+    histograms with a snapshot/diff API and a flat (kind, key, value)
+    encoding for cross-rank transport.
+
+    One global registry; names are bound to their first kind (asking for
+    an existing name as a different kind raises [Invalid_argument]).
+    Counters are atomic; histograms take a private mutex per
+    observation — all call sites are per-generation or per-event. *)
+
+type counter
+type gauge
+type histogram
+
+val counter : string -> counter
+(** Get-or-create. *)
+
+val inc : counter -> unit
+val add : counter -> int -> unit
+val counter_value : counter -> int
+
+val gauge : string -> gauge
+val set : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+val histogram : string -> histogram
+
+val observe : histogram -> float -> unit
+(** Non-finite observations are dropped. *)
+
+type hview = {
+  count : int;
+  sum : float;
+  min : float;
+  max : float;
+  buckets : (float * int) list;
+      (** (upper bound = power of two, count), non-empty buckets only *)
+}
+
+type value = Counter of int | Gauge of float | Histogram of hview
+
+type snapshot = (string * value) list
+(** Sorted by name. *)
+
+val snapshot : unit -> snapshot
+
+val diff : prev:snapshot -> snapshot -> snapshot
+(** Counters and histogram totals since [prev]; gauges current. *)
+
+val find : snapshot -> string -> value option
+
+val reset : unit -> unit
+(** Zero every registered metric (tests). *)
+
+type kv = { kind : char; key : string; value : float }
+
+val wire_kvs : snapshot -> kv list
+(** Flatten for the wire: counters as ['c'], gauges as ['g'], histograms
+    as their [.count] / [.sum_1e6] integer counters.  Zero counters are
+    elided. *)
+
+val absorb_kvs : kv list -> unit
+(** Fold wire triples into this process's registry: ['c'] adds, ['g']
+    sets, unknown kinds are ignored. *)
+
+val json_of_snapshot : snapshot -> Jsonx.t

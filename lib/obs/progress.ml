@@ -1,0 +1,31 @@
+(* Live progress line: a single self-overwriting status line on stderr
+   (gen, E_T, population, acceptance, walkers/s, per-rank lag), throttled
+   so a fast run is not dominated by terminal writes.  [finish] moves to
+   a fresh line so subsequent output does not clobber the last status. *)
+
+type t = {
+  oc : out_channel;
+  min_interval : float; (* seconds between repaints *)
+  mutable last : float;
+  mutable active : bool; (* a line is currently painted *)
+}
+
+let create ?(oc = stderr) ?(min_interval = 0.1) () =
+  { oc; min_interval; last = 0.; active = false }
+
+let update t line =
+  let now = Unix.gettimeofday () in
+  if now -. t.last >= t.min_interval then begin
+    t.last <- now;
+    t.active <- true;
+    (* \r + erase-to-end keeps a shrinking line from leaving residue. *)
+    output_string t.oc ("\r" ^ line ^ "\027[K");
+    flush t.oc
+  end
+
+let finish t =
+  if t.active then begin
+    output_string t.oc "\n";
+    flush t.oc;
+    t.active <- false
+  end

@@ -1,0 +1,9 @@
+(** Self-overwriting live progress line (stderr), throttled to at most
+    one repaint per [min_interval] seconds. *)
+
+type t
+
+val create : ?oc:out_channel -> ?min_interval:float -> unit -> t
+val update : t -> string -> unit
+val finish : t -> unit
+(** Terminate the painted line with a newline (idempotent). *)

@@ -1,0 +1,32 @@
+(* Periodic JSONL telemetry sink: one JSON object per line, flushed per
+   record so a crashed run leaves every completed generation on disk.
+   Records are built as [Jsonx.t] objects by the drivers (one per
+   generation/block); the schema is documented in
+   docs/OBSERVABILITY.md. *)
+
+type sink = { path : string; oc : out_channel; mutable closed : bool; mutable records : int }
+
+let create path = { path; oc = open_out path; closed = false; records = 0 }
+
+let path s = s.path
+let records s = s.records
+
+let emit s json =
+  if not s.closed then begin
+    let buf = Buffer.create 256 in
+    Jsonx.to_buffer buf json;
+    Buffer.add_char buf '\n';
+    Buffer.output_buffer s.oc buf;
+    flush s.oc;
+    s.records <- s.records + 1
+  end
+
+let close s =
+  if not s.closed then begin
+    s.closed <- true;
+    close_out_noerr s.oc
+  end
+
+let with_sink path f =
+  let s = create path in
+  Fun.protect ~finally:(fun () -> close s) (fun () -> f s)

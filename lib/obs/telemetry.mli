@@ -1,0 +1,13 @@
+(** JSONL telemetry sink: one JSON record per line, flushed per record.
+    The per-generation schema is documented in docs/OBSERVABILITY.md. *)
+
+type sink
+
+val create : string -> sink
+val path : sink -> string
+val records : sink -> int
+(** Records emitted so far. *)
+
+val emit : sink -> Jsonx.t -> unit
+val close : sink -> unit
+val with_sink : string -> (sink -> 'a) -> 'a

@@ -89,6 +89,11 @@ let write_atomic ~path data =
   Sys.rename tmp path
 
 let save ?(retries = 3) ?(backoff = 0.05) ~path ~e_trial walkers =
+  Oqmc_obs.Trace.with_span
+    ~args:[ ("path", Filename.basename path) ]
+    "checkpoint.save"
+  @@ fun () ->
+  let t0 = Unix.gettimeofday () in
   let data = render ~e_trial walkers in
   let rec attempt k =
     try write_atomic ~path data
@@ -96,7 +101,10 @@ let save ?(retries = 3) ?(backoff = 0.05) ~path ~e_trial walkers =
       Unix.sleepf (backoff *. float_of_int (1 lsl k));
       attempt (k + 1)
   in
-  attempt 0
+  attempt 0;
+  Oqmc_obs.Metrics.observe
+    (Oqmc_obs.Metrics.histogram "checkpoint.save_s")
+    (Unix.gettimeofday () -. t0)
 
 (* ---------- strict parsing ---------- *)
 

@@ -44,6 +44,10 @@ let engine t s = t.engines.(s)
    reused, so consume before the next call. *)
 let sweep t ~active ~(rng : int -> Xoshiro.t) ~tau =
   if active < 1 || active > size t then invalid_arg "Crowd.sweep: active";
+  Oqmc_obs.Trace.with_span
+    ~args:[ ("active", string_of_int active) ]
+    "crowd.sweep"
+  @@ fun () ->
   let n = t.engines.(0).Engine_api.n_electrons in
   let sqrt_tau = sqrt tau in
   let timers0 = t.engines.(0).Engine_api.timers in

@@ -1,5 +1,9 @@
 open Oqmc_particle
 open Oqmc_rng
+module Trace = Oqmc_obs.Trace
+module Metrics = Oqmc_obs.Metrics
+module Telemetry = Oqmc_obs.Telemetry
+module Progress = Oqmc_obs.Progress
 
 (* Diffusion Monte Carlo driver (Alg. 1 of the paper).
 
@@ -7,7 +11,15 @@ open Oqmc_rng
    drift-and-diffusion sweep, measures its local energy, and is reweighted
    against the trial energy; then the population branches, the trial
    energy is updated by feedback, and a simulated load-balance step
-   accounts for the walker messages a multi-rank run would exchange. *)
+   accounts for the walker messages a multi-rank run would exchange.
+
+   Observability: each generation is a [dmc.generation] span with
+   [dmc.sweep] / [dmc.watchdog] / [dmc.branch] / [dmc.checkpoint]
+   children; per-generation estimator state lands in the metrics
+   registry and, when a telemetry sink is attached, as one JSONL record
+   per measured generation.  None of it touches the RNG stream or the
+   arithmetic, so trajectories are bit-identical with tracing on or off
+   (asserted in test/test_obs.ml). *)
 
 type params = {
   target_walkers : int;
@@ -92,10 +104,12 @@ let sweep_generation runner pop ~next_rng ~gen ~tau ~e_trial =
   (!acc, !prop)
 
 let run ?initial ?observe ?(checkpoint_every = 0) ?checkpoint_path
-    ?(checkpoint_keep = 3) ?watchdog ?(crowd = 1)
+    ?(checkpoint_keep = 3) ?watchdog ?(crowd = 1) ?telemetry
+    ?(telemetry_every = 1) ?progress
     ~(factory : int -> Engine_api.t) (p : params) : result =
   if p.target_walkers < 1 then invalid_arg "Dmc.run: target_walkers < 1";
   if crowd < 1 then invalid_arg "Dmc.run: crowd < 1";
+  let telemetry_every = max 1 telemetry_every in
   (* Crowd mode: each domain owns [crowd] lockstep engines; the runner's
      per-domain engine is the crowd's slot 0, so watchdog audits and
      engine-0 bookkeeping work unchanged. *)
@@ -144,69 +158,101 @@ let run ?initial ?observe ?(checkpoint_every = 0) ?checkpoint_path
   let sample_count = ref 0 in
   let integrity = Integrity.create_stats () in
   let gen_index = ref 0 in (* absolute generation counter, warmup included *)
+  (* Metric handles are created once; the registry is global, so a
+     multi-run process accumulates across runs (counters) while gauges
+     always reflect the latest generation. *)
+  let m_population = Metrics.gauge "dmc.population"
+  and m_e_gen = Metrics.gauge "dmc.e_gen"
+  and m_e_trial = Metrics.gauge "dmc.e_trial"
+  and m_acc = Metrics.counter "dmc.accepted"
+  and m_prop = Metrics.counter "dmc.proposed"
+  and m_gens = Metrics.counter "dmc.generations"
+  and m_branch = Metrics.histogram "dmc.branch_multiplicity"
+  and m_ckpt = Metrics.histogram "dmc.checkpoint_s"
+  and m_ckpt_fail = Metrics.counter "dmc.checkpoint_failures" in
+  let run_t0 = Oqmc_containers.Timers.now () in
+  let total_gens = p.warmup + p.generations in
   let step ~measure_stats =
     incr gen_index;
     let gen = !gen_index in
+    Trace.with_span ~args:[ ("gen", string_of_int gen) ] "dmc.generation"
+    @@ fun () ->
     let e_trial = Population.e_trial pop in
-    if crowd = 1 then begin
-      let acc, prop =
-        sweep_generation runner pop ~next_rng ~gen ~tau:p.tau ~e_trial
-      in
-      acc_total := !acc_total + acc;
-      prop_total := !prop_total + prop
-    end
-    else begin
-      (* Branching changes the population every generation, so groups
-         are re-formed each step; the last group may be partial. *)
-      let ws = Array.of_list (Population.walkers pop) in
-      let slots =
-        Array.map (fun w -> { walker = w; rng = next_rng () }) ws
-      in
-      let nw = Array.length slots in
-      let n_groups = (nw + crowd - 1) / crowd in
-      Runner.parallel_for runner ~n:n_groups ~f:(fun ~domain g ->
-          let cr = crowds.(domain) in
-          let lo = g * crowd in
-          let m = min crowd (nw - lo) in
-          for s = 0 to m - 1 do
-            (Crowd.engine cr s).Engine_api.restore_walker
-              slots.(lo + s).walker
-          done;
-          let rs =
-            Crowd.sweep cr ~active:m
-              ~rng:(fun s -> slots.(lo + s).rng)
-              ~tau:p.tau
+    let gen_acc = ref 0 and gen_prop = ref 0 in
+    Trace.with_span "dmc.sweep" (fun () ->
+        if crowd = 1 then begin
+          let acc, prop =
+            sweep_generation runner pop ~next_rng ~gen ~tau:p.tau ~e_trial
           in
-          for s = 0 to m - 1 do
-            settle ~tau:p.tau ~e_trial ~gen
-              (Crowd.engine cr s) slots.(lo + s) rs.(s)
-          done);
-      Array.iter
-        (fun s ->
-          acc_total := !acc_total + s.walker.Walker.multiplicity;
-          prop_total := !prop_total + n;
-          s.walker.Walker.multiplicity <- 1)
-        slots
-    end;
+          gen_acc := acc;
+          gen_prop := prop
+        end
+        else begin
+          (* Branching changes the population every generation, so groups
+             are re-formed each step; the last group may be partial. *)
+          let ws = Array.of_list (Population.walkers pop) in
+          let slots =
+            Array.map (fun w -> { walker = w; rng = next_rng () }) ws
+          in
+          let nw = Array.length slots in
+          let n_groups = (nw + crowd - 1) / crowd in
+          Runner.parallel_for runner ~n:n_groups ~f:(fun ~domain g ->
+              let cr = crowds.(domain) in
+              let lo = g * crowd in
+              let m = min crowd (nw - lo) in
+              for s = 0 to m - 1 do
+                (Crowd.engine cr s).Engine_api.restore_walker
+                  slots.(lo + s).walker
+              done;
+              let rs =
+                Crowd.sweep cr ~active:m
+                  ~rng:(fun s -> slots.(lo + s).rng)
+                  ~tau:p.tau
+              in
+              for s = 0 to m - 1 do
+                settle ~tau:p.tau ~e_trial ~gen
+                  (Crowd.engine cr s) slots.(lo + s) rs.(s)
+              done);
+          Array.iter
+            (fun s ->
+              gen_acc := !gen_acc + s.walker.Walker.multiplicity;
+              gen_prop := !gen_prop + n;
+              s.walker.Walker.multiplicity <- 1)
+            slots
+        end);
+    acc_total := !acc_total + !gen_acc;
+    prop_total := !prop_total + !gen_prop;
+    Metrics.add m_acc !gen_acc;
+    Metrics.add m_prop !gen_prop;
+    Metrics.inc m_gens;
     (* Watchdog before the estimator: poisoned walkers must never feed
        the mixed estimator or the trial-energy feedback. *)
     (match watchdog with
     | Some cfg ->
-        Integrity.watchdog cfg integrity ~gen ~rng:master_rng runner pop
+        Trace.with_span "dmc.watchdog" (fun () ->
+            Integrity.watchdog cfg integrity ~gen ~rng:master_rng runner pop)
     | None -> ());
     (* Weighted mixed estimator for this generation. *)
     let wsum, esum = Population.weighted_energy_sums pop in
     let e_gen = if wsum > 0. then esum /. wsum else e_trial in
+    let measured_pop = Population.size pop in
     if measure_stats then begin
       Stats.append energy_series e_gen;
-      pop_series := Population.size pop :: !pop_series;
-      sample_count := !sample_count + Population.size pop;
+      pop_series := measured_pop :: !pop_series;
+      sample_count := !sample_count + measured_pop;
       match observe with
       | Some f -> List.iter f (Population.walkers pop)
       | None -> ()
     end;
-    Population.branch pop master_rng;
+    Trace.with_span "dmc.branch" (fun () ->
+        Population.branch pop master_rng);
+    let size_after = Population.size pop in
+    Metrics.observe m_branch
+      (float_of_int size_after /. float_of_int (max 1 measured_pop));
     Population.update_trial_energy pop ~tau:p.tau ~e_estimate:e_gen;
+    Metrics.set m_population (float_of_int size_after);
+    Metrics.set m_e_gen e_gen;
+    Metrics.set m_e_trial (Population.e_trial pop);
     if p.ranks > 1 then begin
       let report = Population.load_balance pop ~ranks:p.ranks in
       comm_messages := !comm_messages + report.Population.messages;
@@ -214,19 +260,56 @@ let run ?initial ?observe ?(checkpoint_every = 0) ?checkpoint_path
     end;
     (* Periodic crash-safe checkpoint: a failed write must not kill the
        run — it is counted and retried at the next interval. *)
-    match checkpoint_path with
+    (match checkpoint_path with
     | Some path when checkpoint_every > 0 && gen mod checkpoint_every = 0
       -> (
+        Trace.with_span "dmc.checkpoint" @@ fun () ->
+        let ck0 = Oqmc_containers.Timers.now () in
         try
           Checkpoint.save_generation ~keep:checkpoint_keep ~path ~gen
             ~e_trial:(Population.e_trial pop)
             (Population.walkers pop);
+          Metrics.observe m_ckpt (Oqmc_containers.Timers.now () -. ck0);
           integrity.Integrity.checkpoints_written <-
             integrity.Integrity.checkpoints_written + 1
         with Sys_error _ | Checkpoint.Corrupt _ ->
+          Metrics.inc m_ckpt_fail;
           integrity.Integrity.checkpoint_failures <-
             integrity.Integrity.checkpoint_failures + 1)
-    | _ -> ()
+    | _ -> ());
+    let elapsed = Oqmc_containers.Timers.now () -. run_t0 in
+    (if measure_stats && (gen - p.warmup) mod telemetry_every = 0 then
+       match telemetry with
+       | Some sink ->
+           Telemetry.emit sink
+             Oqmc_obs.Jsonx.(Obj
+                [
+                  ("gen", Num (float_of_int gen));
+                  ("e_gen", Num e_gen);
+                  ("e_trial", Num (Population.e_trial pop));
+                  ("population", Num (float_of_int size_after));
+                  ( "acceptance",
+                    Num
+                      (float_of_int !gen_acc
+                      /. float_of_int (max 1 !gen_prop)) );
+                  ( "walkers_per_s",
+                    Num
+                      (if elapsed > 0. then
+                         float_of_int !sample_count /. elapsed
+                       else 0.) );
+                  ( "quarantined",
+                    Num (float_of_int integrity.Integrity.quarantined) );
+                  ("wall_s", Num elapsed);
+                ])
+       | None -> ());
+    match progress with
+    | Some pr ->
+        Progress.update pr
+          (Printf.sprintf
+             "dmc gen %d/%d  E %+.6f  E_T %+.6f  pop %d  acc %.3f" gen
+             total_gens e_gen (Population.e_trial pop) size_after
+             (float_of_int !gen_acc /. float_of_int (max 1 !gen_prop)))
+    | None -> ()
   in
   for _ = 1 to p.warmup do
     step ~measure_stats:false

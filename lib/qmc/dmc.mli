@@ -59,11 +59,25 @@ val run :
   ?checkpoint_keep:int ->
   ?watchdog:Integrity.config ->
   ?crowd:int ->
+  ?telemetry:Oqmc_obs.Telemetry.sink ->
+  ?telemetry_every:int ->
+  ?progress:Oqmc_obs.Progress.t ->
   factory:(int -> Engine_api.t) ->
   params ->
   result
 (** [initial] resumes from a checkpointed (e_trial, walkers) ensemble;
     [observe] is called per walker per measured generation.
+
+    [telemetry] attaches a JSONL sink that receives one record per
+    measured generation (every [telemetry_every]-th, default 1) with
+    gen / e_gen / e_trial / population / acceptance / walkers_per_s /
+    quarantined / wall_s; [progress] attaches a live single-line
+    progress display updated every generation.  Each generation is also
+    recorded as a [dmc.generation] trace span (with sweep / watchdog /
+    branch / checkpoint children) when {!Oqmc_obs.Trace} is enabled,
+    and estimator state lands in the {!Oqmc_obs.Metrics} registry.
+    None of this perturbs the RNG stream: trajectories are
+    bit-identical with observability on or off.
 
     When [checkpoint_path] is given and [checkpoint_every > 0], the
     ensemble is checkpointed every [checkpoint_every] generations

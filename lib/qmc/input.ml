@@ -40,6 +40,10 @@ type t = {
   ranks : int; (* > 1 = supervised multi-process execution *)
   heartbeat_ms : int; (* per-rank message deadline *)
   max_respawn : int; (* respawns per rank before it is abandoned *)
+  trace : string option; (* Chrome trace_event JSON output *)
+  telemetry : string option; (* per-generation JSONL output *)
+  telemetry_every : int;
+  progress : bool; (* live one-line progress on stderr *)
 }
 
 let default =
@@ -64,6 +68,10 @@ let default =
     ranks = 1;
     heartbeat_ms = 5000;
     max_respawn = 2;
+    trace = None;
+    telemetry = None;
+    telemetry_every = 1;
+    progress = false;
   }
 
 exception Parse_error of string
@@ -109,6 +117,10 @@ let apply cfg ~line key value =
   | "ranks" -> { cfg with ranks = parse_int line value }
   | "heartbeat_ms" -> { cfg with heartbeat_ms = parse_int line value }
   | "max_respawn" -> { cfg with max_respawn = parse_int line value }
+  | "trace" -> { cfg with trace = Some value }
+  | "telemetry" -> { cfg with telemetry = Some value }
+  | "telemetry_every" -> { cfg with telemetry_every = parse_int line value }
+  | "progress" -> { cfg with progress = parse_bool line value }
   | other -> fail line "unknown key %S" other
 
 let parse_string contents =

@@ -29,6 +29,13 @@ type t = {
   heartbeat_ms : int;  (** per-rank message deadline in milliseconds *)
   max_respawn : int;
       (** respawns per rank before it is abandoned and the run degrades *)
+  trace : string option;
+      (** write a Chrome trace_event JSON timeline here (load it in
+          Perfetto / chrome://tracing) *)
+  telemetry : string option;
+      (** write one JSON record per measured generation/block here *)
+  telemetry_every : int;  (** emit every n-th record (default 1) *)
+  progress : bool;  (** live one-line progress on stderr *)
 }
 
 val default : t

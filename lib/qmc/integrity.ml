@@ -137,6 +137,8 @@ let replacements (st : stats) (e : Engine_api.t) ~rng ~survivors ~count =
    reset to 1) so the population size is preserved. *)
 let watchdog cfg (st : stats) ~gen ~rng (runner : Runner.t)
     (pop : Population.t) =
+  let module Trace = Oqmc_obs.Trace in
+  let module Metrics = Oqmc_obs.Metrics in
   st.scans <- st.scans + 1;
   let e = Runner.engine runner 0 in
   let ws = Population.walkers pop in
@@ -167,13 +169,18 @@ let watchdog cfg (st : stats) ~gen ~rng (runner : Runner.t)
            (fun w -> (w, ref (true, 0.)))
            (Array.of_list (List.rev !picked))
        in
-       Runner.iter_walkers runner audited ~f:(fun e (w, res) ->
-           let scratch = Walker.create e.Engine_api.n_electrons in
-           res := audit cfg e scratch w);
+       Trace.with_span
+         ~args:[ ("sample", string_of_int sample) ]
+         "integrity.audit"
+         (fun () ->
+           Runner.iter_walkers runner audited ~f:(fun e (w, res) ->
+               let scratch = Walker.create e.Engine_api.n_electrons in
+               res := audit cfg e scratch w));
        Array.iter
          (fun (w, res) ->
            let ok, drift = !res in
            st.audits <- st.audits + 1;
+           Metrics.inc (Metrics.counter "integrity.audits");
            if Float.is_finite drift then
              st.drift_max <- Float.max st.drift_max drift;
            if not ok then drifted := w :: !drifted)
@@ -182,6 +189,18 @@ let watchdog cfg (st : stats) ~gen ~rng (runner : Runner.t)
   let bad = poisoned @ !drifted in
   if bad <> [] then begin
     st.quarantined <- st.quarantined + List.length bad;
+    (* Quarantine events are rare and load-bearing for post-mortems:
+       each one lands as an instant marker on the timeline plus a
+       registry counter, attributing poison vs drift. *)
+    Metrics.add (Metrics.counter "integrity.quarantined") (List.length bad);
+    Trace.instant
+      ~args:
+        [
+          ("gen", string_of_int gen);
+          ("poisoned", string_of_int (List.length poisoned));
+          ("drifted", string_of_int (List.length !drifted));
+        ]
+      "integrity.quarantine";
     (* Filter by walker id through a hash set: ids are unique per
        process, so this is physical identity without the O(|healthy| ×
        |drifted|) [List.memq] scan that stalled large populations. *)
@@ -193,5 +212,6 @@ let watchdog cfg (st : stats) ~gen ~rng (runner : Runner.t)
     let fresh =
       replacements st e ~rng ~survivors ~count:(List.length bad)
     in
+    Metrics.add (Metrics.counter "integrity.recoveries") (List.length fresh);
     Population.set_walkers pop (survivors @ fresh)
   end

@@ -157,6 +157,10 @@ let merged_timers t =
 let parallel_for t ~n ~(f : domain:int -> int -> unit) =
   if t.shut then invalid_arg "Runner: pool is shut down";
   if n > 0 then
+    Oqmc_obs.Trace.with_span
+      ~args:[ ("n", string_of_int n) ]
+      "runner.region"
+    @@ fun () ->
     match t.pool with
     | None ->
         for i = 0 to n - 1 do

@@ -1,5 +1,9 @@
 open Oqmc_particle
 open Oqmc_rng
+module Trace = Oqmc_obs.Trace
+module Metrics = Oqmc_obs.Metrics
+module Telemetry = Oqmc_obs.Telemetry
+module Progress = Oqmc_obs.Progress
 
 (* Variational Monte Carlo driver with particle-by-particle updates.
 
@@ -63,11 +67,12 @@ type wstate = {
   mutable drift : float;
 }
 
-let run ?observe ?(crowd = 1) ?(rank = 0) ~(factory : int -> Engine_api.t)
-    (p : params) : result =
+let run ?observe ?(crowd = 1) ?(rank = 0) ?telemetry ?(telemetry_every = 1)
+    ?progress ~(factory : int -> Engine_api.t) (p : params) : result =
   if p.n_walkers < 1 then invalid_arg "Vmc.run: n_walkers < 1";
   if crowd < 1 then invalid_arg "Vmc.run: crowd < 1";
   if rank < 0 then invalid_arg "Vmc.run: rank < 0";
+  let telemetry_every = max 1 telemetry_every in
   let crowd = min crowd p.n_walkers in
   (* Crowd mode: [crowd] engines per domain marching in lockstep; the
      runner's per-domain engine is each crowd's slot-0 engine, so
@@ -164,12 +169,20 @@ let run ?observe ?(crowd = 1) ?(rank = 0) ~(factory : int -> Engine_api.t)
   in
   (* Warmup: equilibrate each walker, then re-derive the wavefunction
      state from scratch to shed accumulated update error. *)
-  pass ~steps:p.warmup ~measuring:false ~finish:(fun e s ->
-      ignore (e.Engine_api.refresh ());
-      e.Engine_api.save_walker s.walker);
+  Trace.with_span "vmc.warmup" (fun () ->
+      pass ~steps:p.warmup ~measuring:false ~finish:(fun e s ->
+          ignore (e.Engine_api.refresh ());
+          e.Engine_api.save_walker s.walker));
   let block_energies = Array.make p.blocks 0. in
+  let m_e_block = Metrics.gauge "vmc.e_block"
+  and m_blocks = Metrics.counter "vmc.blocks"
+  and m_acc = Metrics.counter "vmc.accepted"
+  and m_prop = Metrics.counter "vmc.proposed" in
+  let prev_acc = ref 0 and prev_prop = ref 0 in
   let t0 = Oqmc_containers.Timers.now () in
   for b = 0 to p.blocks - 1 do
+    Trace.with_span ~args:[ ("block", string_of_int b) ] "vmc.block"
+    @@ fun () ->
     (* Periodic recompute-from-scratch at block end: the mixed-precision
        accuracy safeguard of the paper — and the watchdog's drift
        metric. *)
@@ -183,7 +196,43 @@ let run ?observe ?(crowd = 1) ?(rank = 0) ~(factory : int -> Engine_api.t)
     let bsum =
       Array.fold_left (fun acc s -> acc +. s.walker.Walker.e_local) 0. states
     in
-    block_energies.(b) <- bsum /. float_of_int p.n_walkers
+    block_energies.(b) <- bsum /. float_of_int p.n_walkers;
+    let cum_acc = Array.fold_left (fun a s -> a + s.accepted) 0 states in
+    let cum_prop = Array.fold_left (fun a s -> a + s.proposed) 0 states in
+    let b_acc = cum_acc - !prev_acc and b_prop = cum_prop - !prev_prop in
+    prev_acc := cum_acc;
+    prev_prop := cum_prop;
+    Metrics.set m_e_block block_energies.(b);
+    Metrics.inc m_blocks;
+    Metrics.add m_acc b_acc;
+    Metrics.add m_prop b_prop;
+    let elapsed = Oqmc_containers.Timers.now () -. t0 in
+    let acc_frac = float_of_int b_acc /. float_of_int (max 1 b_prop) in
+    (if b mod telemetry_every = 0 then
+       match telemetry with
+       | Some sink ->
+           Telemetry.emit sink
+             Oqmc_obs.Jsonx.(Obj
+                [
+                  ("block", Num (float_of_int b));
+                  ("e_block", Num block_energies.(b));
+                  ("acceptance", Num acc_frac);
+                  ( "walkers_per_s",
+                    Num
+                      (if elapsed > 0. then
+                         float_of_int
+                           (p.n_walkers * (b + 1) * p.steps_per_block)
+                         /. elapsed
+                       else 0.) );
+                  ("wall_s", Num elapsed);
+                ])
+       | None -> ());
+    match progress with
+    | Some pr ->
+        Progress.update pr
+          (Printf.sprintf "vmc block %d/%d  E %+.6f  acc %.3f" (b + 1)
+             p.blocks block_energies.(b) acc_frac)
+    | None -> ()
   done;
   let wall_time = Oqmc_containers.Timers.now () -. t0 in
   let tot_meas = Array.fold_left (fun a s -> a + s.n_meas) 0 states in

@@ -32,11 +32,21 @@ val run :
   ?observe:(Oqmc_particle.Walker.t -> unit) ->
   ?crowd:int ->
   ?rank:int ->
+  ?telemetry:Oqmc_obs.Telemetry.sink ->
+  ?telemetry_every:int ->
+  ?progress:Oqmc_obs.Progress.t ->
   factory:(int -> Engine_api.t) ->
   params ->
   result
 (** [observe] is called once per walker per block (serially, after the
     parallel sweeps) for observable accumulation.
+
+    [telemetry] attaches a JSONL sink receiving one record per
+    [telemetry_every]-th block (block / e_block / acceptance /
+    walkers_per_s / wall_s); [progress] attaches a live progress line.
+    Blocks are recorded as [vmc.block] trace spans when
+    {!Oqmc_obs.Trace} is enabled.  Observability never touches the RNG
+    stream, so results are bit-identical with it on or off.
 
     [crowd] (default 1) sets the number of walkers each domain advances
     in lockstep through batched SPO kernels; results are bit-identical

@@ -1,10 +1,12 @@
 #!/bin/sh
 # Repository test entry point: the tier-1 gate plus the crash-recovery
 # smoke (4 supervised ranks, one SIGKILLed mid-run and respawned from
-# its checkpoint shard).
+# its checkpoint shard) and the observability smoke (trace + telemetry
+# artifacts validated end to end).
 set -eu
 cd "$(dirname "$0")/.."
 
 dune build
 dune runtest
 dune build @recovery-smoke
+dune build @obs-smoke

@@ -99,7 +99,26 @@ let test_wire_roundtrip () =
       Wire.Heartbeat { gen = 9 };
       Wire.Begin_gen { gen = 12; e_trial = -1.234567890123 };
       Wire.Reduce
-        { gen = 12; wsum = 3.5; esum = -4.25; acc = 100; prop = 160; n = 7 };
+        {
+          gen = 12;
+          wsum = 3.5;
+          esum = -4.25;
+          acc = 100;
+          prop = 160;
+          n = 7;
+          telemetry = [];
+        };
+      Wire.Reduce
+        {
+          gen = 13;
+          wsum = 1.;
+          esum = 0.;
+          acc = 1;
+          prop = 2;
+          n = 1;
+          telemetry =
+            [ ('c', "dmc.accepted", 42.); ('g', "dmc.e_trial", -0.5) ];
+        };
       Wire.Branch { gen = 12 };
       Wire.Count { gen = 12; n = 5 };
       Wire.Give { gen = 12; count = 2 };
@@ -119,8 +138,10 @@ let test_wire_roundtrip () =
         (fun a b -> check_bool "batch bit-exact" true (encode_one a = encode_one b))
         walkers ws
   | _ -> Alcotest.fail "wrong message");
-  match roundtrip (Wire.Final { acc = 7; prop = 11; walkers }) with
-  | Wire.Final { acc = 7; prop = 11; walkers = ws } ->
+  match
+    roundtrip (Wire.Final { acc = 7; prop = 11; walkers; trace = "blob" })
+  with
+  | Wire.Final { acc = 7; prop = 11; walkers = ws; trace = "blob" } ->
       check_int "final batch size" 3 (List.length ws)
   | _ -> Alcotest.fail "wrong message"
 

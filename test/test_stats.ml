@@ -48,6 +48,48 @@ let test_autocorrelation_correlated () =
   check_bool "error grows with tau" true
     (Stats.series_error s > sqrt (Stats.series_variance s /. 20000.))
 
+let test_ar1_closed_forms () =
+  (* AR(1): x_{t+1} = phi x_t + eps, eps ~ N(0,1).  Closed forms:
+     rho(k) = phi^k, integrated tau = (1+phi)/(1-phi), stationary
+     variance 1/(1-phi^2).  The estimators must land on them within
+     Monte-Carlo error on a long equilibrated series. *)
+  List.iteri
+    (fun case phi ->
+      let tau_exact = (1. +. phi) /. (1. -. phi) in
+      let var_exact = 1. /. (1. -. (phi *. phi)) in
+      let s = Stats.make_series () in
+      let rng = Xoshiro.create (100 + case) in
+      let x = ref 0. in
+      (* equilibrate past the initial transient, then record *)
+      for _ = 1 to 2000 do
+        x := (phi *. !x) +. Xoshiro.gaussian rng
+      done;
+      let n = 200_000 in
+      for _ = 1 to n do
+        x := (phi *. !x) +. Xoshiro.gaussian rng;
+        Stats.append s !x
+      done;
+      let tau = Stats.autocorrelation_time s in
+      let var = Stats.series_variance s in
+      check_bool
+        (Printf.sprintf "tau(phi=%.2f) ~ %.2f, got %.2f" phi tau_exact tau)
+        true
+        (abs_float (tau -. tau_exact) /. tau_exact < 0.25);
+      check_bool
+        (Printf.sprintf "var(phi=%.2f) ~ %.3f, got %.3f" phi var_exact var)
+        true
+        (abs_float (var -. var_exact) /. var_exact < 0.1);
+      (* the correlated error bar must inflate the naive one by
+         roughly sqrt(tau) *)
+      let naive = sqrt (var /. float_of_int n) in
+      let ratio = Stats.series_error s /. naive in
+      check_bool
+        (Printf.sprintf "error inflation(phi=%.2f) ~ %.2f, got %.2f" phi
+           (sqrt tau_exact) ratio)
+        true
+        (ratio > 0.6 *. sqrt tau_exact && ratio < 1.6 *. sqrt tau_exact))
+    [ 0.5; 0.8 ]
+
 let test_efficiency () =
   checkf 1e-12 "kappa" (1. /. 24.)
     (Stats.efficiency ~variance:2. ~tau_corr:3. ~t_mc:4.);
@@ -232,6 +274,7 @@ let () =
             test_autocorrelation_white_noise;
           Alcotest.test_case "correlated" `Quick
             test_autocorrelation_correlated;
+          Alcotest.test_case "ar1 closed forms" `Quick test_ar1_closed_forms;
           Alcotest.test_case "efficiency" `Quick test_efficiency;
         ] );
       ( "population",
