@@ -8,6 +8,8 @@
      dune exec bench/main.exe -- --exp fig8      # one experiment
      dune exec bench/main.exe -- --bechamel      # microbenchmarks only
      dune exec bench/main.exe -- --pool          # pool/crowd benchmark
+     dune exec bench/main.exe -- --crowd         # full-pipeline crowd batching
+     dune exec bench/main.exe -- --crowd-smoke   # fast CI check (@bench-smoke)
      dune exec bench/main.exe -- --json BENCH_pool.json   # + JSON record
      OQMC_BENCH_REDUCTION=4 dune exec bench/main.exe   # bigger measured runs
 *)
@@ -16,7 +18,8 @@ let usage () =
   print_endline
     "usage: main.exe [--exp \
      table1|fig1|fig2|fig3|fig7|fig8|fig9|fig10|table2|kernels|smt|ddr|delayed|all] \
-     [--bechamel] [--pool] [--dist] [--obs] [--json PATH]";
+     [--bechamel] [--pool] [--crowd] [--crowd-smoke] [--dist] [--obs] \
+     [--json PATH]";
   exit 1
 
 let () =
@@ -27,6 +30,9 @@ let () =
       Microbench.run ()
   | [ _; "--bechamel" ] -> Microbench.run ()
   | [ _; "--pool" ] -> Pool_bench.run ()
+  | [ _; "--crowd" ] -> Crowd_bench.run ()
+  | [ _; "--crowd"; "--json"; path ] -> Crowd_bench.run ~json:path ()
+  | [ _; "--crowd-smoke" ] -> Crowd_bench.smoke ()
   | [ _; "--dist" ] -> Dist_bench.run ()
   | [ _; "--obs" ] -> Obs_bench.run ()
   | [ _; "--obs"; "--json"; path ] -> Obs_bench.run ~json:path ()

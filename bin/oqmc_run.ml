@@ -30,7 +30,7 @@ let make_system name reduction with_nlpp seed =
   | _ -> Builder.make ~seed ~with_nlpp ~reduction (Spec.find name)
 
 let run input method_ workload variant reduction walkers blocks steps tau
-    domains crowd with_nlpp seed checkpoint checkpoint_every checkpoint_keep
+    domains crowd delay with_nlpp seed checkpoint checkpoint_every checkpoint_keep
     watchdog restore ranks heartbeat_ms max_respawn trace telemetry
     telemetry_every progress =
   (* An input deck, when given, takes precedence over the flags. *)
@@ -49,6 +49,7 @@ let run input method_ workload variant reduction walkers blocks steps tau
           tau;
           domains;
           crowd;
+          delay;
           nlpp = with_nlpp;
           seed;
           checkpoint;
@@ -75,6 +76,7 @@ let run input method_ workload variant reduction walkers blocks steps tau
   let tau = cfg.Input.tau in
   let domains = cfg.Input.domains in
   let crowd = cfg.Input.crowd in
+  let delay = cfg.Input.delay in
   let with_nlpp = cfg.Input.nlpp in
   let seed = cfg.Input.seed in
   let checkpoint = cfg.Input.checkpoint in
@@ -90,7 +92,13 @@ let run input method_ workload variant reduction walkers blocks steps tau
   let telemetry_every = max 1 cfg.Input.telemetry_every in
   let progress = cfg.Input.progress in
   let sys = make_system workload reduction with_nlpp seed in
-  let factory = Build.factory ~variant ~seed sys in
+  if delay < 1 then invalid_arg "oqmc_run: --delay must be >= 1";
+  let factory =
+    (* delay = 1 keeps the rank-1 Sherman-Morrison update (the bitwise
+       reference); > 1 switches to the delayed Woodbury scheme. *)
+    Build.factory ?delay:(if delay <= 1 then None else Some delay) ~variant
+      ~seed sys
+  in
   Printf.printf
     "oqmc_run: %s  %s  variant=%s  electrons=%d  domains=%d  crowd=%d\n"
     method_ workload
@@ -279,6 +287,14 @@ let crowd =
           "Walkers advanced in lockstep per domain through batched SPO \
            kernels (1 = scalar reference path).")
 
+let delay =
+  Arg.(
+    value & opt int 1
+    & info [ "delay" ] ~docv:"K"
+        ~doc:
+          "Delayed determinant-update rank (Woodbury block size); 1 keeps \
+           the rank-1 Sherman-Morrison update.")
+
 let nlpp = Arg.(value & flag & info [ "nlpp" ] ~doc:"Enable NLPP.")
 let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"RNG seed.")
 
@@ -387,7 +403,8 @@ let cmd =
     (Cmd.info "oqmc_run" ~doc:"VMC/DMC driver on workloads")
     Term.(
       const run $ input $ method_ $ workload $ variant $ reduction $ walkers
-      $ blocks $ steps $ tau $ domains $ crowd $ nlpp $ seed $ checkpoint
+      $ blocks $ steps $ tau $ domains $ crowd $ delay $ nlpp $ seed
+      $ checkpoint
       $ checkpoint_every $ checkpoint_keep $ watchdog $ restore $ ranks
       $ heartbeat_ms $ max_respawn $ trace $ telemetry $ telemetry_every
       $ progress)

@@ -31,6 +31,19 @@ module Make (R : Precision.REAL) = struct
   let unsafe_get (a : t) i = R.get a i
   let unsafe_set (a : t) i v = R.set a i v
 
+  (* Bulk row staging (see Precision.REAL.read_row): without flambda the
+     per-element accessors above box a float on every call through the
+     functor boundary, so batched kernels mirror whole rows into plain
+     [float array] scratch — one allocation-free call per row — and run
+     their inner loops monomorphically on the scratch. *)
+  let read_into (a : t) ~pos dst ~n = R.read_row a ~pos dst ~n
+  let write_from src (a : t) ~pos ~n = R.write_row src a ~pos ~n
+
+  let copy_within ~(src : t) ~spos ~(dst : t) ~dpos ~n =
+    R.copy_row ~src ~spos ~dst ~dpos ~n
+
+  let get_into (a : t) i dst j = R.get_into a i dst j
+
   let fill (a : t) v = Bigarray.Array1.fill a (R.round v)
 
   let blit ~(src : t) ~(dst : t) = Bigarray.Array1.blit src dst

@@ -29,6 +29,26 @@ module Make (R : Precision.REAL) : sig
   (** Unchecked access for inner loops.  [unsafe_set] relies on the bigarray
       write itself to narrow to storage precision. *)
 
+  val read_into : t -> pos:int -> float array -> n:int -> unit
+  (** [read_into a ~pos dst ~n]: [dst.(i) <- a.(pos + i)], unchecked.
+      Bulk row staging for the crowd-batched kernels: one call per row
+      crosses the precision functor instead of one boxed float per
+      element, so inner loops over the [float array] mirror allocate
+      nothing. *)
+
+  val write_from : float array -> t -> pos:int -> n:int -> unit
+  (** [write_from src a ~pos ~n]: [a.(pos + i) <- src.(i)], unchecked,
+      narrowing through the storage width exactly like a per-element
+      store. *)
+
+  val copy_within : src:t -> spos:int -> dst:t -> dpos:int -> n:int -> unit
+  (** Contiguous unchecked element copy without slice proxies; both sides
+      stay in the storage format (no widening round-trip). *)
+
+  val get_into : t -> int -> float array -> int -> unit
+  (** [get_into a i dst j]: [dst.(j) <- a.(i)] — a one-element read landing
+      in unboxed scratch rather than a boxed return value. *)
+
   val fill : t -> float -> unit
   val blit : src:t -> dst:t -> unit
   val sub : t -> pos:int -> len:int -> t

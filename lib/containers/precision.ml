@@ -46,7 +46,46 @@ module type REAL = sig
       through [Bigarray.Array1.unsafe_get] inside a functor body (where
       the kind is abstract) falls back to the generic C path and is an
       order of magnitude slower — these accessors are the difference
-      between abstraction and abstraction penalty in the hot loops. *)
+      between abstraction and abstraction penalty in the hot loops.
+
+      Caveat: without flambda, even these accessors box their float when
+      CALLED through the functor parameter (a non-inlined call returns /
+      receives floats boxed).  The bulk row primitives below move whole
+      loops to where the kind is concrete, so batched kernels can stage
+      rows in plain [float array] scratch — whose element access is
+      monomorphic and allocation-free even inside a functor body — and
+      cross the functor boundary once per row instead of once per
+      element.  No [float] crosses these calls, so they allocate
+      nothing. *)
+
+  val read_row :
+    (float, elt, Bigarray.c_layout) Bigarray.Array1.t ->
+    pos:int -> float array -> n:int -> unit
+  (** [read_row a ~pos dst ~n]: [dst.(i) <- a.(pos + i)] for [i < n];
+      unchecked. *)
+
+  val write_row :
+    float array ->
+    (float, elt, Bigarray.c_layout) Bigarray.Array1.t ->
+    pos:int -> n:int -> unit
+  (** [write_row src a ~pos ~n]: [a.(pos + i) <- src.(i)] for [i < n];
+      unchecked, rounding through the storage width exactly like a
+      per-element store. *)
+
+  val copy_row :
+    src:(float, elt, Bigarray.c_layout) Bigarray.Array1.t ->
+    spos:int ->
+    dst:(float, elt, Bigarray.c_layout) Bigarray.Array1.t ->
+    dpos:int -> n:int -> unit
+  (** [copy_row ~src ~spos ~dst ~dpos ~n]: contiguous element copy with
+      no slice proxies (and no widening round-trip: both sides share the
+      storage format). *)
+
+  val get_into :
+    (float, elt, Bigarray.c_layout) Bigarray.Array1.t ->
+    int -> float array -> int -> unit
+  (** [get_into a i dst j]: [dst.(j) <- a.(i)] — a single-element read
+      that lands in unboxed scratch instead of a boxed return value. *)
 end
 
 module F64 : REAL with type elt = f64_elt = struct
@@ -64,6 +103,30 @@ module F64 : REAL with type elt = f64_elt = struct
 
   let set (a : (float, elt, Bigarray.c_layout) Bigarray.Array1.t) i v =
     Bigarray.Array1.unsafe_set a i v
+
+  let read_row (a : (float, elt, Bigarray.c_layout) Bigarray.Array1.t) ~pos
+      (dst : float array) ~n =
+    for i = 0 to n - 1 do
+      Array.unsafe_set dst i (Bigarray.Array1.unsafe_get a (pos + i))
+    done
+
+  let write_row (src : float array)
+      (a : (float, elt, Bigarray.c_layout) Bigarray.Array1.t) ~pos ~n =
+    for i = 0 to n - 1 do
+      Bigarray.Array1.unsafe_set a (pos + i) (Array.unsafe_get src i)
+    done
+
+  let copy_row ~(src : (float, elt, Bigarray.c_layout) Bigarray.Array1.t)
+      ~spos ~(dst : (float, elt, Bigarray.c_layout) Bigarray.Array1.t) ~dpos
+      ~n =
+    for i = 0 to n - 1 do
+      Bigarray.Array1.unsafe_set dst (dpos + i)
+        (Bigarray.Array1.unsafe_get src (spos + i))
+    done
+
+  let get_into (a : (float, elt, Bigarray.c_layout) Bigarray.Array1.t) i
+      (dst : float array) j =
+    Array.unsafe_set dst j (Bigarray.Array1.unsafe_get a i)
 end
 
 module F32 : REAL with type elt = f32_elt = struct
@@ -81,4 +144,28 @@ module F32 : REAL with type elt = f32_elt = struct
 
   let set (a : (float, elt, Bigarray.c_layout) Bigarray.Array1.t) i v =
     Bigarray.Array1.unsafe_set a i v
+
+  let read_row (a : (float, elt, Bigarray.c_layout) Bigarray.Array1.t) ~pos
+      (dst : float array) ~n =
+    for i = 0 to n - 1 do
+      Array.unsafe_set dst i (Bigarray.Array1.unsafe_get a (pos + i))
+    done
+
+  let write_row (src : float array)
+      (a : (float, elt, Bigarray.c_layout) Bigarray.Array1.t) ~pos ~n =
+    for i = 0 to n - 1 do
+      Bigarray.Array1.unsafe_set a (pos + i) (Array.unsafe_get src i)
+    done
+
+  let copy_row ~(src : (float, elt, Bigarray.c_layout) Bigarray.Array1.t)
+      ~spos ~(dst : (float, elt, Bigarray.c_layout) Bigarray.Array1.t) ~dpos
+      ~n =
+    for i = 0 to n - 1 do
+      Bigarray.Array1.unsafe_set dst (dpos + i)
+        (Bigarray.Array1.unsafe_get src (spos + i))
+    done
+
+  let get_into (a : (float, elt, Bigarray.c_layout) Bigarray.Array1.t) i
+      (dst : float array) j =
+    Array.unsafe_set dst j (Bigarray.Array1.unsafe_get a i)
 end

@@ -96,6 +96,86 @@ module Make (R : Precision.REAL) = struct
       M.unsafe_set t.dz i k (-.A.unsafe_get t.temp_dz i)
     done
 
+  (* ------------------- crowd batch context ------------------- *)
+
+  (* Batched forward-update: [move] for every crowd slot in one flat-array
+     pass, and the accept-time row copy + k' > k column updates per
+     accepted slot.  Per-slot arithmetic is exactly the scalar path's. *)
+  type batch = {
+    btabs : t array;
+    bslots : K.row_slot array;
+    blat : Lattice.t;
+  }
+
+  let make_batch (pairs : (t * Ps.t) array) =
+    let m = Array.length pairs in
+    if m < 1 then invalid_arg "Dt_aa_forward.make_batch: empty crowd";
+    let slots =
+      Array.map
+        (fun ((t : t), ps) ->
+          if Ps.n ps <> t.n then
+            invalid_arg "Dt_aa_forward.make_batch: table/set size mismatch";
+          let soa = Ps.soa ps in
+          let sl = K.make_row_slot () in
+          sl.K.xs <- Ps.Vs.xs soa;
+          sl.K.ys <- Ps.Vs.ys soa;
+          sl.K.zs <- Ps.Vs.zs soa;
+          sl.K.n <- t.n;
+          K.ensure_scratch sl;
+          sl)
+        pairs
+    in
+    { btabs = Array.map fst pairs; bslots = slots;
+      blat = (fst pairs.(0)).lattice }
+
+  let move_batch b ~k ~(px : float array) ~(py : float array)
+      ~(pz : float array) ~m =
+    for s = 0 to m - 1 do
+      let t = b.btabs.(s) and sl = b.bslots.(s) in
+      (* No prepare stage in the forward scheme: refresh the source
+         mirrors here, exactly when the scalar [move] reads positions. *)
+      K.mirror_slot sl;
+      sl.K.od <- t.temp_d;
+      sl.K.odx <- t.temp_dx;
+      sl.K.ody <- t.temp_dy;
+      sl.K.odz <- t.temp_dz;
+      sl.K.o <- 0
+    done;
+    K.soa_rows ~lattice:b.blat ~slots:b.bslots ~px ~py ~pz ~m;
+    for s = 0 to m - 1 do
+      let t = b.btabs.(s) in
+      A.unsafe_set t.temp_d k 0.;
+      A.unsafe_set t.temp_dx k 0.;
+      A.unsafe_set t.temp_dy k 0.;
+      A.unsafe_set t.temp_dz k 0.
+    done
+
+  let update_batch b ~k ~(acc : bool array) ~m =
+    for s = 0 to m - 1 do
+      if acc.(s) then begin
+        let t = b.btabs.(s) in
+        let ld = M.ld t.d in
+        let o = k * ld in
+        let dd = M.data t.d and dxd = M.data t.dx in
+        let dyd = M.data t.dy and dzd = M.data t.dz in
+        let td = t.temp_d and tx = t.temp_dx in
+        let ty = t.temp_dy and tz = t.temp_dz in
+        for i = 0 to ld - 1 do
+          A.unsafe_set dd (o + i) (A.unsafe_get td i);
+          A.unsafe_set dxd (o + i) (A.unsafe_get tx i);
+          A.unsafe_set dyd (o + i) (A.unsafe_get ty i);
+          A.unsafe_set dzd (o + i) (A.unsafe_get tz i)
+        done;
+        for i = k + 1 to t.n - 1 do
+          let p = (i * ld) + k in
+          A.unsafe_set dd p (A.unsafe_get td i);
+          A.unsafe_set dxd p (-.A.unsafe_get tx i);
+          A.unsafe_set dyd p (-.A.unsafe_get ty i);
+          A.unsafe_set dzd p (-.A.unsafe_get tz i)
+        done
+      end
+    done
+
   (* Pair read from the larger row — the invariant-safe accessor. *)
   let dist t i j = if i >= j then M.get t.d i j else M.get t.d j i
 

@@ -24,6 +24,20 @@ module Make (R : Precision.REAL) : sig
   val update : t -> int -> unit
   (** Row copy + k' > k column updates. *)
 
+  type batch
+  (** Crowd batch context for the forward-update scheme: batched [move]
+      (one flat-array pass over all slots) and batched [update] (row copy
+      + later-row column writes per accepted slot). *)
+
+  val make_batch : (t * Ps.t) array -> batch
+  (** @raise Invalid_argument on an empty array or a size mismatch. *)
+
+  val move_batch :
+    batch -> k:int -> px:float array -> py:float array -> pz:float array ->
+    m:int -> unit
+
+  val update_batch : batch -> k:int -> acc:bool array -> m:int -> unit
+
   val dist : t -> int -> int -> float
   val displ : t -> int -> int -> Vec3.t
   val row_dist : t -> int -> A.t

@@ -108,6 +108,129 @@ module Make (R : Precision.REAL) = struct
   let temp_dy t = t.temp_dy
   let temp_dz t = t.temp_dz
 
+  (* Backing storage + row stride, for offset-based reads that avoid the
+     bigarray-proxy allocation of [row_*] in hot loops (all four matrices
+     share one stride). *)
+  let dist_data t = M.data t.d
+  let dx_data t = M.data t.dx
+  let dy_data t = M.data t.dy
+  let dz_data t = M.data t.dz
+  let row_stride t = M.ld t.d
+
+  (* ------------------- crowd batch context ------------------- *)
+
+  (* [prepare]/[move]/[accept] over every slot of a crowd in one batched
+     kernel call each.  The context owns all scratch (positions travel in
+     unboxed float arrays, outputs are retargeted slot records), so the
+     per-move path allocates nothing.  Per-slot arithmetic is exactly the
+     scalar protocol's — rows come out bit-identical. *)
+  type batch = {
+    btabs : t array;
+    bslots : K.row_slot array;
+    bpx : float array;
+    bpy : float array;
+    bpz : float array;
+    blat : Lattice.t;
+  }
+
+  let make_batch (pairs : (t * Ps.t) array) =
+    let m = Array.length pairs in
+    if m < 1 then invalid_arg "Dt_aa_soa.make_batch: empty crowd";
+    let slots =
+      Array.map
+        (fun ((t : t), ps) ->
+          if Ps.n ps <> t.n then
+            invalid_arg "Dt_aa_soa.make_batch: table/set size mismatch";
+          let soa = Ps.soa ps in
+          let sl = K.make_row_slot () in
+          sl.K.xs <- Ps.Vs.xs soa;
+          sl.K.ys <- Ps.Vs.ys soa;
+          sl.K.zs <- Ps.Vs.zs soa;
+          sl.K.n <- t.n;
+          K.ensure_scratch sl;
+          sl)
+        pairs
+    in
+    {
+      btabs = Array.map fst pairs;
+      bslots = slots;
+      bpx = Array.make m 0.;
+      bpy = Array.make m 0.;
+      bpz = Array.make m 0.;
+      blat = (fst pairs.(0)).lattice;
+    }
+
+  let batch_cap b = Array.length b.btabs
+  let batch_table b s = b.btabs.(s)
+
+  (* Refresh row [k] of every slot's table at its current position (read
+     from the SoA container, which holds the same rounded values as the
+     AoS side the scalar path reads).  This is also where the slot's
+     source mirrors are refreshed: positions only change at [Ps.accept],
+     after which the next move's prepare runs first, so the mirrors stay
+     valid through the following [move_batch]. *)
+  let prepare_batch b ~k ~m =
+    for s = 0 to m - 1 do
+      let t = b.btabs.(s) and sl = b.bslots.(s) in
+      K.mirror_slot sl;
+      b.bpx.(s) <- sl.K.sx.(k);
+      b.bpy.(s) <- sl.K.sy.(k);
+      b.bpz.(s) <- sl.K.sz.(k);
+      sl.K.od <- M.data t.d;
+      sl.K.odx <- M.data t.dx;
+      sl.K.ody <- M.data t.dy;
+      sl.K.odz <- M.data t.dz;
+      sl.K.o <- k * M.ld t.d
+    done;
+    K.soa_rows ~lattice:b.blat ~slots:b.bslots ~px:b.bpx ~py:b.bpy ~pz:b.bpz
+      ~m;
+    for s = 0 to m - 1 do
+      let t = b.btabs.(s) in
+      let p = (k * M.ld t.d) + k in
+      A.unsafe_set (M.data t.d) p 0.;
+      A.unsafe_set (M.data t.dx) p 0.;
+      A.unsafe_set (M.data t.dy) p 0.;
+      A.unsafe_set (M.data t.dz) p 0.
+    done
+
+  (* Fill every slot's temporary row against its proposed position. *)
+  let move_batch b ~k ~(px : float array) ~(py : float array)
+      ~(pz : float array) ~m =
+    for s = 0 to m - 1 do
+      let t = b.btabs.(s) and sl = b.bslots.(s) in
+      sl.K.od <- t.temp_d;
+      sl.K.odx <- t.temp_dx;
+      sl.K.ody <- t.temp_dy;
+      sl.K.odz <- t.temp_dz;
+      sl.K.o <- 0
+    done;
+    K.soa_rows ~lattice:b.blat ~slots:b.bslots ~px ~py ~pz ~m;
+    for s = 0 to m - 1 do
+      let t = b.btabs.(s) in
+      A.unsafe_set t.temp_d k 0.;
+      A.unsafe_set t.temp_dx k 0.;
+      A.unsafe_set t.temp_dy k 0.;
+      A.unsafe_set t.temp_dz k 0.
+    done
+
+  (* Commit the temporary row of every accepted slot (contiguous copy,
+     padding included, like the scalar [accept] blit). *)
+  let accept_batch b ~k ~(acc : bool array) ~m =
+    for s = 0 to m - 1 do
+      if acc.(s) then begin
+        let t = b.btabs.(s) in
+        let ld = M.ld t.d in
+        let o = k * ld in
+        A.copy_within ~src:t.temp_d ~spos:0 ~dst:(M.data t.d) ~dpos:o ~n:ld;
+        A.copy_within ~src:t.temp_dx ~spos:0 ~dst:(M.data t.dx) ~dpos:o
+          ~n:ld;
+        A.copy_within ~src:t.temp_dy ~spos:0 ~dst:(M.data t.dy) ~dpos:o
+          ~n:ld;
+        A.copy_within ~src:t.temp_dz ~spos:0 ~dst:(M.data t.dz) ~dpos:o
+          ~n:ld
+      end
+    done
+
   let bytes t =
     M.bytes t.d + M.bytes t.dx + M.bytes t.dy + M.bytes t.dz
     + A.bytes t.temp_d + A.bytes t.temp_dx + A.bytes t.temp_dy

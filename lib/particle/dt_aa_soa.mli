@@ -49,5 +49,41 @@ module Make (R : Precision.REAL) : sig
   val temp_dy : t -> A.t
   val temp_dz : t -> A.t
 
+  val dist_data : t -> A.t
+  val dx_data : t -> A.t
+  val dy_data : t -> A.t
+  val dz_data : t -> A.t
+
+  val row_stride : t -> int
+  (** Backing storage and common row stride: row [k] of each matrix
+      starts at offset [k * row_stride] — offset-based reads avoid the
+      bigarray-proxy allocation of [row_*] in hot loops. *)
+
+  type batch
+  (** Crowd batch context: one retargetable kernel slot per table, all
+      scratch preallocated.  [prepare_batch]/[move_batch]/[accept_batch]
+      run the scalar per-move protocol for every slot in one batched
+      kernel call each, with zero allocation and bit-identical rows. *)
+
+  val make_batch : (t * Ps.t) array -> batch
+  (** One (table, particle set) pair per crowd slot; the sets must all
+      share the slot-0 lattice (a uniform crowd).
+      @raise Invalid_argument on an empty array or a size mismatch. *)
+
+  val batch_cap : batch -> int
+  val batch_table : batch -> int -> t
+
+  val prepare_batch : batch -> k:int -> m:int -> unit
+  (** Refresh row [k] of slots [0..m-1] at their current positions. *)
+
+  val move_batch :
+    batch -> k:int -> px:float array -> py:float array -> pz:float array ->
+    m:int -> unit
+  (** Fill each slot's temporary row against its proposed position
+      [(px.(s), py.(s), pz.(s))]. *)
+
+  val accept_batch : batch -> k:int -> acc:bool array -> m:int -> unit
+  (** Commit the temporary row of every slot with [acc.(s) = true]. *)
+
   val bytes : t -> int
 end

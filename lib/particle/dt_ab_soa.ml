@@ -91,6 +91,73 @@ module Make (R : Precision.REAL) = struct
   let temp_dy t = t.temp_dy
   let temp_dz t = t.temp_dz
 
+  (* Offset-based access to the backing storage (see Dt_aa_soa). *)
+  let dist_data t = M.data t.d
+  let dx_data t = M.data t.dx
+  let dy_data t = M.data t.dy
+  let dz_data t = M.data t.dz
+  let row_stride t = M.ld t.d
+
+  (* ------------------- crowd batch context ------------------- *)
+
+  (* Batched [move]/[accept] over a crowd (ions never move, so there is
+     no prepare stage).  Zero allocation per call; bit-identical rows. *)
+  type batch = {
+    btabs : t array;
+    bslots : K.row_slot array;
+    blat : Lattice.t;
+  }
+
+  let make_batch (tabs : t array) =
+    let m = Array.length tabs in
+    if m < 1 then invalid_arg "Dt_ab_soa.make_batch: empty crowd";
+    let slots =
+      Array.map
+        (fun (t : t) ->
+          let soa = Ps.soa t.sources in
+          let sl = K.make_row_slot () in
+          sl.K.xs <- Ps.Vs.xs soa;
+          sl.K.ys <- Ps.Vs.ys soa;
+          sl.K.zs <- Ps.Vs.zs soa;
+          sl.K.n <- t.n_src;
+          (* Ions never move: mirror the source components once here
+             instead of per call. *)
+          K.mirror_slot sl;
+          sl)
+        tabs
+    in
+    { btabs = tabs; bslots = slots; blat = tabs.(0).lattice }
+
+  let batch_cap b = Array.length b.btabs
+
+  let move_batch b ~(px : float array) ~(py : float array)
+      ~(pz : float array) ~m =
+    for s = 0 to m - 1 do
+      let t = b.btabs.(s) and sl = b.bslots.(s) in
+      sl.K.od <- t.temp_d;
+      sl.K.odx <- t.temp_dx;
+      sl.K.ody <- t.temp_dy;
+      sl.K.odz <- t.temp_dz;
+      sl.K.o <- 0
+    done;
+    K.soa_rows ~lattice:b.blat ~slots:b.bslots ~px ~py ~pz ~m
+
+  let accept_batch b ~k ~(acc : bool array) ~m =
+    for s = 0 to m - 1 do
+      if acc.(s) then begin
+        let t = b.btabs.(s) in
+        let ld = M.ld t.d in
+        let o = k * ld in
+        A.copy_within ~src:t.temp_d ~spos:0 ~dst:(M.data t.d) ~dpos:o ~n:ld;
+        A.copy_within ~src:t.temp_dx ~spos:0 ~dst:(M.data t.dx) ~dpos:o
+          ~n:ld;
+        A.copy_within ~src:t.temp_dy ~spos:0 ~dst:(M.data t.dy) ~dpos:o
+          ~n:ld;
+        A.copy_within ~src:t.temp_dz ~spos:0 ~dst:(M.data t.dz) ~dpos:o
+          ~n:ld
+      end
+    done
+
   let bytes t =
     M.bytes t.d + M.bytes t.dx + M.bytes t.dy + M.bytes t.dz
     + A.bytes t.temp_d + A.bytes t.temp_dx + A.bytes t.temp_dy

@@ -35,5 +35,29 @@ module Make (R : Precision.REAL) : sig
   val temp_dy : t -> A.t
   val temp_dz : t -> A.t
 
+  val dist_data : t -> A.t
+  val dx_data : t -> A.t
+  val dy_data : t -> A.t
+  val dz_data : t -> A.t
+
+  val row_stride : t -> int
+  (** Backing storage + row stride for offset-based (allocation-free)
+      row reads. *)
+
+  type batch
+  (** Crowd batch context (ions never move, so there is no prepare
+      stage); zero allocation per call, bit-identical rows. *)
+
+  val make_batch : t array -> batch
+  (** @raise Invalid_argument on an empty array. *)
+
+  val batch_cap : batch -> int
+
+  val move_batch :
+    batch -> px:float array -> py:float array -> pz:float array -> m:int ->
+    unit
+
+  val accept_batch : batch -> k:int -> acc:bool array -> m:int -> unit
+
   val bytes : t -> int
 end

@@ -60,6 +60,180 @@ module Make (R : Precision.REAL) = struct
           A.unsafe_set d i (Vec3.norm dr)
         done
 
+  (* -------------------- crowd-batched row kernel -------------------- *)
+
+  (* One retargetable slot of the batched kernel: sources (a SoA
+     component triple), an output base array per component and a common
+     element offset, so the same slot can aim at matrix row k on one
+     call and at the temporary row on the next without allocating row
+     proxies.  Positions travel in parallel float arrays (unboxed), not
+     in the record — a mutable float field in a mixed record would box
+     on every write.
+
+     The [float array] scratch fields mirror the source components and
+     stage the output rows: without flambda every [A.unsafe_get]/[set]
+     through the precision functor boxes a float, so the inner loops run
+     entirely on the monomorphic mirrors and the bigarrays are crossed
+     with one bulk [read_into]/[write_from] per row — zero allocation
+     per call. *)
+  type row_slot = {
+    mutable xs : A.t;
+    mutable ys : A.t;
+    mutable zs : A.t;
+    mutable n : int;
+    mutable od : A.t; (* distance output *)
+    mutable odx : A.t;
+    mutable ody : A.t;
+    mutable odz : A.t;
+    mutable o : int; (* common output offset (row base) *)
+    mutable sx : float array; (* source mirrors *)
+    mutable sy : float array;
+    mutable sz : float array;
+    mutable rd : float array; (* output staging *)
+    mutable rdx : float array;
+    mutable rdy : float array;
+    mutable rdz : float array;
+  }
+
+  let make_row_slot () =
+    let e = A.create 0 in
+    {
+      xs = e;
+      ys = e;
+      zs = e;
+      n = 0;
+      od = e;
+      odx = e;
+      ody = e;
+      odz = e;
+      o = 0;
+      sx = [||];
+      sy = [||];
+      sz = [||];
+      rd = [||];
+      rdx = [||];
+      rdy = [||];
+      rdz = [||];
+    }
+
+  (* Size the scratch to the slot's [n]; called from [make_batch]s (and
+     defensively from [mirror_slot]) so the hot path never allocates. *)
+  let ensure_scratch sl =
+    if Array.length sl.sx < sl.n then begin
+      sl.sx <- Array.make sl.n 0.;
+      sl.sy <- Array.make sl.n 0.;
+      sl.sz <- Array.make sl.n 0.;
+      sl.rd <- Array.make sl.n 0.;
+      sl.rdx <- Array.make sl.n 0.;
+      sl.rdy <- Array.make sl.n 0.;
+      sl.rdz <- Array.make sl.n 0.
+    end
+
+  (* Refresh the source mirrors from the SoA components.  AA tables call
+     this at [prepare] time (electron positions change on every accepted
+     move); AB tables mirror once at batch construction (ions never
+     move). *)
+  let mirror_slot sl =
+    ensure_scratch sl;
+    A.read_into sl.xs ~pos:0 sl.sx ~n:sl.n;
+    A.read_into sl.ys ~pos:0 sl.sy ~n:sl.n;
+    A.read_into sl.zs ~pos:0 sl.sz ~n:sl.n
+
+  (* The batched form of [soa_row]: the moved-electron row for [m] crowd
+     slots in one pass, minimum-image dispatch hoisted out of the slot
+     loop.  Per-slot arithmetic is exactly [soa_row]'s, so each slot's
+     row is bit-identical to a scalar call.  Sources are read from the
+     slot mirrors (refreshed by the caller via [mirror_slot]) and the row
+     is staged in [float array] scratch, then committed with one bulk
+     write per component: the Ortho and Open paths allocate nothing (the
+     General fallback still builds Vec3s per element, as the scalar
+     kernel does). *)
+  let soa_rows ~lattice ~(slots : row_slot array) ~(px : float array)
+      ~(py : float array) ~(pz : float array) ~m =
+    (match Lattice.kind lattice with
+    | Lattice.Ortho (lx, ly, lz) ->
+        let ix = 1. /. lx and iy = 1. /. ly and iz = 1. /. lz in
+        for s = 0 to m - 1 do
+          let sl = slots.(s) in
+          let xs = sl.sx and ys = sl.sy and zs = sl.sz in
+          let rd = sl.rd and rdx = sl.rdx and rdy = sl.rdy in
+          let rdz = sl.rdz in
+          let psx = px.(s) and psy = py.(s) and psz = pz.(s) in
+          for i = 0 to sl.n - 1 do
+            let ddx = Array.unsafe_get xs i -. psx in
+            let ddy = Array.unsafe_get ys i -. psy in
+            let ddz = Array.unsafe_get zs i -. psz in
+            (* [nearest], hand-inlined: the call would box its float
+               argument and result on every element without flambda. *)
+            let qx = ddx *. ix and qy = ddy *. iy and qz = ddz *. iz in
+            let nx =
+              float_of_int
+                (int_of_float (if qx >= 0. then qx +. 0.5 else qx -. 0.5))
+            in
+            let ny =
+              float_of_int
+                (int_of_float (if qy >= 0. then qy +. 0.5 else qy -. 0.5))
+            in
+            let nz =
+              float_of_int
+                (int_of_float (if qz >= 0. then qz +. 0.5 else qz -. 0.5))
+            in
+            let ddx = ddx -. (lx *. nx) in
+            let ddy = ddy -. (ly *. ny) in
+            let ddz = ddz -. (lz *. nz) in
+            Array.unsafe_set rdx i ddx;
+            Array.unsafe_set rdy i ddy;
+            Array.unsafe_set rdz i ddz;
+            Array.unsafe_set rd i
+              (sqrt ((ddx *. ddx) +. (ddy *. ddy) +. (ddz *. ddz)))
+          done
+        done
+    | Lattice.Open ->
+        for s = 0 to m - 1 do
+          let sl = slots.(s) in
+          let xs = sl.sx and ys = sl.sy and zs = sl.sz in
+          let rd = sl.rd and rdx = sl.rdx and rdy = sl.rdy in
+          let rdz = sl.rdz in
+          let psx = px.(s) and psy = py.(s) and psz = pz.(s) in
+          for i = 0 to sl.n - 1 do
+            let ddx = Array.unsafe_get xs i -. psx in
+            let ddy = Array.unsafe_get ys i -. psy in
+            let ddz = Array.unsafe_get zs i -. psz in
+            Array.unsafe_set rdx i ddx;
+            Array.unsafe_set rdy i ddy;
+            Array.unsafe_set rdz i ddz;
+            Array.unsafe_set rd i
+              (sqrt ((ddx *. ddx) +. (ddy *. ddy) +. (ddz *. ddz)))
+          done
+        done
+    | Lattice.General ->
+        for s = 0 to m - 1 do
+          let sl = slots.(s) in
+          let rd = sl.rd and rdx = sl.rdx and rdy = sl.rdy in
+          let rdz = sl.rdz in
+          let p = Vec3.make px.(s) py.(s) pz.(s) in
+          for i = 0 to sl.n - 1 do
+            let ri =
+              Vec3.make
+                (Array.unsafe_get sl.sx i)
+                (Array.unsafe_get sl.sy i)
+                (Array.unsafe_get sl.sz i)
+            in
+            let dr = Lattice.min_image_disp lattice (Vec3.sub ri p) in
+            Array.unsafe_set rdx i dr.Vec3.x;
+            Array.unsafe_set rdy i dr.Vec3.y;
+            Array.unsafe_set rdz i dr.Vec3.z;
+            Array.unsafe_set rd i (Vec3.norm dr)
+          done
+        done);
+    for s = 0 to m - 1 do
+      let sl = slots.(s) in
+      A.write_from sl.rd sl.od ~pos:sl.o ~n:sl.n;
+      A.write_from sl.rdx sl.odx ~pos:sl.o ~n:sl.n;
+      A.write_from sl.rdy sl.ody ~pos:sl.o ~n:sl.n;
+      A.write_from sl.rdz sl.odz ~pos:sl.o ~n:sl.n
+    done
+
   (* Same relation over an interleaved AoS source; displacements are
      written interleaved as well (the Ref storage format). *)
   let aos_row ~lattice ~(src : A.t) ~n ~px ~py ~pz ~(d : A.t) ~(dr : A.t) =

@@ -9,12 +9,26 @@
 
 type t
 
-val create : factory:(int -> Engine_api.t) -> base:int -> size:int -> t
+val create :
+  ?pipeline:bool -> factory:(int -> Engine_api.t) -> base:int -> size:int ->
+  unit -> t
 (** Engines are built by [factory (base + s)] for slot [s < size] — give
     each domain's crowd a distinct [base] so engine seeds stay unique.
+
+    [pipeline] (default [true]) asks for the full-pipeline batched sweep:
+    distance-table, Jastrow and determinant kernels fused across the
+    crowd per stage, in addition to the batched SPO evaluations.  It
+    takes effect only when every engine publishes a matching crowd hook
+    ({!pipelined} reports the outcome); otherwise — and always with
+    [pipeline:false] — the crowd runs the staged per-walker path with
+    batched SPO only.  Both paths are bit-identical to the scalar
+    [Engine_api.sweep] on the double-precision path.
     @raise Invalid_argument if [size < 1]. *)
 
 val size : t -> int
+
+val pipelined : t -> bool
+(** Whether this crowd runs the full batched pipeline. *)
 
 val engine : t -> int -> Engine_api.t
 (** The engine holding slot [s]'s walker state — use it to

@@ -116,7 +116,7 @@ let run ?initial ?observe ?(checkpoint_every = 0) ?checkpoint_path
   let crowds =
     if crowd > 1 then
       Array.init p.n_domains (fun d ->
-          Crowd.create ~factory ~base:(d * crowd) ~size:crowd)
+          Crowd.create ~factory ~base:(d * crowd) ~size:crowd ())
     else [||]
   in
   let runner_factory =

@@ -30,6 +30,207 @@ module Make (R : Precision.REAL) = struct
     | Store_t of AAref.t * ABref.t option
     | Otf_t of AAsoa.t * ABsoa.t option
 
+  (* ---- full-pipeline crowd batching hook ----
+
+     A [slot] is everything the batched move stages need from one
+     engine: the determinant states, the Jastrow compute-on-the-fly
+     states, the SoA tables and the particle set.  The extensible
+     constructor is minted once per functor instantiation, so every
+     engine built from the same instantiation (one per precision in
+     [Build]) recognizes its siblings' hooks; a foreign hook makes
+     [make_crowd_stages] decline and the crowd falls back to the staged
+     per-walker path. *)
+  type slot = {
+    sl_dets : Det.state array;
+    sl_j2 : J2.opt option;
+    sl_j1 : J1.opt option;
+    sl_tables : tables;
+    sl_ps : Ps.t;
+    sl_twf : Twf.t;
+    sl_timers : Timers.t;
+  }
+
+  type Engine_api.crowd_hook += Crowd_slot of slot
+
+  let make_crowd_stages (hooks : Engine_api.crowd_hook array) :
+      Engine_api.crowd_stage option =
+    let m = Array.length hooks in
+    let opt_slots =
+      Array.map
+        (function Crowd_slot s -> Some s | _ -> None)
+        hooks
+    in
+    if m = 0 || Array.exists Option.is_none opt_slots then None
+    else begin
+      let slots = Array.map Option.get opt_slots in
+      let s0 = slots.(0) in
+      let ndet = Array.length s0.sl_dets in
+      let uniform =
+        Array.for_all
+          (fun s ->
+            Array.length s.sl_dets = ndet
+            && Option.is_some s.sl_j2 = Option.is_some s0.sl_j2
+            && Option.is_some s.sl_j1 = Option.is_some s0.sl_j1
+            &&
+            match (s.sl_tables, s0.sl_tables) with
+            | Otf_t (_, ab), Otf_t (_, ab0) ->
+                Option.is_some ab = Option.is_some ab0
+            | _ -> false (* Store tables have no batched kernels *))
+          slots
+      in
+      if not uniform then None
+      else begin
+        let aa_of s =
+          match s.sl_tables with
+          | Otf_t (aa, _) -> aa
+          | Store_t _ -> assert false
+        in
+        let ab_of s =
+          match s.sl_tables with
+          | Otf_t (_, ab) -> ab
+          | Store_t _ -> assert false
+        in
+        let aab =
+          AAsoa.make_batch (Array.map (fun s -> (aa_of s, s.sl_ps)) slots)
+        in
+        let abb =
+          match ab_of s0 with
+          | None -> None
+          | Some _ ->
+              Some
+                (ABsoa.make_batch
+                   (Array.map (fun s -> Option.get (ab_of s)) slots))
+        in
+        let j2s =
+          match s0.sl_j2 with
+          | None -> None
+          | Some _ -> Some (Array.map (fun s -> Option.get s.sl_j2) slots)
+        in
+        let j1s =
+          match s0.sl_j1 with
+          | None -> None
+          | Some _ -> Some (Array.map (fun s -> Option.get s.sl_j1) slots)
+        in
+        (* Timer attribution: one window per crowd per batched kernel on
+           the slot-0 timers, mirroring the crowd's batched-SPO
+           precedent (scalar engines take one window per walker). *)
+        let timers0 = s0.sl_timers in
+        (* The stage signatures name their SPO-slot argument [slots],
+           shadowing the engine-slot array — flatten what the hot loops
+           need up front. *)
+        let det_states = Array.map (fun s -> s.sl_dets) slots in
+        let px = Array.make m 0. and py = Array.make m 0. in
+        let pz = Array.make m 0. in
+        let cs_prepare ~k ~m =
+          Timers.time timers0 "DistTable" (fun () ->
+              AAsoa.prepare_batch aab ~k ~m)
+        in
+        let cs_grad ~k ~m ~(slots : Spo.vgl array) ~gx ~gy ~gz =
+          (* Determinant gradients are untimed in the scalar path too
+             (Twf times only J1/J2 components). *)
+          for s = 0 to m - 1 do
+            let sl_dets = det_states.(s) in
+            for d = 0 to ndet - 1 do
+              Det.grad_into sl_dets.(d) slots.(s) k ~s ~gx ~gy ~gz
+            done
+          done;
+          (match j2s with
+          | None -> ()
+          | Some js ->
+              Timers.time timers0 "J2" (fun () ->
+                  J2.grad_batch js ~k ~m ~gx ~gy ~gz));
+          match j1s with
+          | None -> ()
+          | Some js ->
+              Timers.time timers0 "J1" (fun () ->
+                  J1.grad_batch js ~k ~m ~gx ~gy ~gz)
+        in
+        let cs_propose ~k ~m ~(pos : Vec3.t array) =
+          for s = 0 to m - 1 do
+            let p = pos.(s) in
+            Ps.propose slots.(s).sl_ps k p;
+            px.(s) <- p.Vec3.x;
+            py.(s) <- p.Vec3.y;
+            pz.(s) <- p.Vec3.z
+          done;
+          Timers.time timers0 "DistTable" (fun () ->
+              AAsoa.move_batch aab ~k ~px ~py ~pz ~m;
+              match abb with
+              | Some b -> ABsoa.move_batch b ~px ~py ~pz ~m
+              | None -> ())
+        in
+        let cs_ratio_grad ~k ~m ~(slots : Spo.vgl array) ~ratio ~gx ~gy ~gz
+            =
+          Timers.time timers0 "DetUpdate" (fun () ->
+              for s = 0 to m - 1 do
+                let sl_dets = det_states.(s) in
+                for d = 0 to ndet - 1 do
+                  Det.ratio_grad_into sl_dets.(d) slots.(s) k ~s ~ratio ~gx
+                    ~gy ~gz
+                done
+              done);
+          (match j2s with
+          | None -> ()
+          | Some js ->
+              Timers.time timers0 "J2" (fun () ->
+                  J2.ratio_grad_batch js ~k ~m ~ratio ~gx ~gy ~gz));
+          match j1s with
+          | None -> ()
+          | Some js ->
+              Timers.time timers0 "J1" (fun () ->
+                  J1.ratio_grad_batch js ~k ~m ~ratio ~gx ~gy ~gz)
+        in
+        let cs_commit ~k ~m ~(acc : bool array) ~(ratio : float array) =
+          (* Scalar accept choreography per slot: components in
+             dets → J2 → J1 order, then log Ψ, then tables (AA before
+             AB), then the ParticleSet; reject touches only the set. *)
+          Timers.time timers0 "DetUpdate" (fun () ->
+              for s = 0 to m - 1 do
+                if acc.(s) then begin
+                  let sl_dets = slots.(s).sl_dets in
+                  for d = 0 to ndet - 1 do
+                    Det.accept_move sl_dets.(d) k
+                  done
+                end
+              done);
+          (match j2s with
+          | None -> ()
+          | Some js ->
+              Timers.time timers0 "J2" (fun () ->
+                  J2.accept_batch js ~k ~m ~acc));
+          (match j1s with
+          | None -> ()
+          | Some js ->
+              Timers.time timers0 "J1" (fun () ->
+                  J1.accept_batch js ~k ~m ~acc));
+          for s = 0 to m - 1 do
+            if acc.(s) then begin
+              let twf = slots.(s).sl_twf in
+              Twf.set_log_psi twf
+                (Twf.log_psi twf +. log (abs_float ratio.(s)))
+            end
+          done;
+          Timers.time timers0 "DistTable" (fun () ->
+              AAsoa.accept_batch aab ~k ~acc ~m;
+              match abb with
+              | Some b -> ABsoa.accept_batch b ~k ~acc ~m
+              | None -> ());
+          for s = 0 to m - 1 do
+            if acc.(s) then Ps.accept slots.(s).sl_ps
+            else Ps.reject slots.(s).sl_ps
+          done
+        in
+        Some
+          {
+            Engine_api.cs_prepare;
+            cs_grad;
+            cs_propose;
+            cs_ratio_grad;
+            cs_commit;
+          }
+      end
+    end
+
   let make_ions (sys : System.t) =
     match sys.System.ions with
     | [] -> None
@@ -79,34 +280,46 @@ module Make (R : Precision.REAL) = struct
        them is in-group for any electron k, so a staged SPO result is
        always consumed by the determinant the crowd driver aimed it at. *)
     let staged = ref None in
-    let dets =
-      Det.create ~timers ~scheme:det_scheme ~staged ~spo:sys.System.spo
+    let det_states =
+      Det.make ~timers ~scheme:det_scheme ~staged ~spo:sys.System.spo
         ~first:0 ~count:n_up ps
       ::
       (if n_down > 0 then
          [
-           Det.create ~timers ~scheme:det_scheme ~staged
-             ~spo:sys.System.spo ~first:n_up ~count:n_down ps;
+           Det.make ~timers ~scheme:det_scheme ~staged ~spo:sys.System.spo
+             ~first:n_up ~count:n_down ps;
          ]
        else [])
     in
-    let j2 =
+    let dets = List.map Det.component det_states in
+    let j2_state =
       match (sys.System.j2, tables) with
-      | None, _ -> []
-      | Some functors, Store_t (aa, _) ->
-          [ J2.create_ref ~table:aa ~functors ps ]
       | Some functors, Otf_t (aa, _) ->
-          [ J2.create_opt ~table:aa ~functors ps ]
+          Some (J2.make_opt ~table:aa ~functors ps)
+      | _ -> None
+    in
+    let j2 =
+      match (sys.System.j2, tables, j2_state) with
+      | None, _, _ -> []
+      | Some functors, Store_t (aa, _), _ ->
+          [ J2.create_ref ~table:aa ~functors ps ]
+      | Some _, Otf_t _, Some st -> [ J2.opt_component st ]
+      | Some _, Otf_t _, None -> assert false
+    in
+    let j1_state =
+      match (sys.System.j1, tables, ions) with
+      | Some functors, Otf_t (_, Some ab), Some io ->
+          Some (J1.make_opt ~table:ab ~functors ~ions:io ps)
+      | _ -> None
     in
     let j1 =
-      match (sys.System.j1, tables, ions) with
-      | None, _, _ -> []
-      | Some _, _, None -> invalid_arg "Engine: J1 requires ions"
-      | Some functors, Store_t (_, Some ab), Some io ->
+      match (sys.System.j1, tables, ions, j1_state) with
+      | None, _, _, _ -> []
+      | Some _, _, None, _ -> invalid_arg "Engine: J1 requires ions"
+      | Some functors, Store_t (_, Some ab), Some io, _ ->
           [ J1.create_ref ~table:ab ~functors ~ions:io ps ]
-      | Some functors, Otf_t (_, Some ab), Some io ->
-          [ J1.create_opt ~table:ab ~functors ~ions:io ps ]
-      | Some _, _, _ -> assert false
+      | Some _, Otf_t _, Some _, Some st -> [ J1.opt_component st ]
+      | Some _, _, _, _ -> assert false
     in
     let twf = Twf.create ~timers (dets @ j2 @ j1) in
     let gl = W.make_gl n in
@@ -354,6 +567,24 @@ module Make (R : Precision.REAL) = struct
         stage_vgl = (fun v -> staged := Some v);
       }
     in
+    (* Full-pipeline crowd hook: only the SoA/compute-on-the-fly layout
+       has batched table kernels; Store engines decline and crowds fall
+       back to the staged path. *)
+    let crowd_hook =
+      match tables with
+      | Store_t _ -> Engine_api.No_crowd_hook
+      | Otf_t _ ->
+          Crowd_slot
+            {
+              sl_dets = Array.of_list det_states;
+              sl_j2 = j2_state;
+              sl_j1 = j1_state;
+              sl_tables = tables;
+              sl_ps = ps;
+              sl_twf = twf;
+              sl_timers = timers;
+            }
+    in
     (* Seed the electron configuration deterministically. *)
     let rng0 = Xoshiro.create seed in
     Ps.randomize ps (fun () -> Xoshiro.uniform rng0);
@@ -376,5 +607,7 @@ module Make (R : Precision.REAL) = struct
       memory_bytes;
       pbp;
       make_vgl_batch = sys.System.spo.Spo.make_vgl_batch;
+      crowd_hook;
+      make_crowd_stages;
     }
 end

@@ -29,6 +29,57 @@ type pbp = {
   stage_vgl : Oqmc_wavefunction.Spo.vgl -> unit;
 }
 
+(* Full-pipeline crowd batching.
+
+   [crowd_hook] is the variant-private handle an engine publishes so a
+   crowd driver can hand the WHOLE crowd back to the engine's own batched
+   move stages: each build variant extends the type with a constructor
+   wrapping its internal per-walker state, and [make_crowd_stages]
+   recognizes its own constructor (and only it — a foreign or [No_crowd_hook]
+   slot makes it return [None], telling the crowd to fall back to the
+   staged per-walker path).
+
+   A [crowd_stage] runs one stage of the PbP move for crowd slots
+   [0..m-1] of electron [k] in a single fused pass per kernel —
+   distance-table rows, Jastrow rows and determinant ratio dots each
+   become one batched call per crowd instead of one per walker.  Slot
+   arithmetic and ordering are exactly the scalar sweep's, so the
+   double-precision path stays bit-identical to [sweep].  [slots] are the
+   crowd's batched SPO results, one per walker. *)
+type crowd_hook = ..
+type crowd_hook += No_crowd_hook
+
+type crowd_stage = {
+  cs_prepare : k:int -> m:int -> unit;
+      (* refresh distance-table rows k at the current positions *)
+  cs_grad :
+    k:int ->
+    m:int ->
+    slots:Oqmc_wavefunction.Spo.vgl array ->
+    gx:float array ->
+    gy:float array ->
+    gz:float array ->
+    unit;
+      (* accumulate ∇ log Ψ at the current positions into gx/gy/gz
+         (caller zero-initializes) *)
+  cs_propose : k:int -> m:int -> pos:Vec3.t array -> unit;
+      (* ParticleSet propose + batched table move rows *)
+  cs_ratio_grad :
+    k:int ->
+    m:int ->
+    slots:Oqmc_wavefunction.Spo.vgl array ->
+    ratio:float array ->
+    gx:float array ->
+    gy:float array ->
+    gz:float array ->
+    unit;
+      (* multiply ratios (caller initializes to 1.) and accumulate the
+         proposed-position gradients *)
+  cs_commit : k:int -> m:int -> acc:bool array -> ratio:float array -> unit;
+      (* per-slot accept/reject with the scalar choreography: components,
+         log Ψ, tables, ParticleSet *)
+}
+
 type t = {
   label : string;
   n_electrons : int;
@@ -63,6 +114,14 @@ type t = {
   make_vgl_batch : int -> Oqmc_wavefunction.Spo.vgl_batch;
       (* Crowd-sized batch context over this engine's SPO set; scratch
          is owned by the context, one per domain. *)
+  crowd_hook : crowd_hook;
+      (* Variant-private handle to this engine's batched-pipeline state;
+         [No_crowd_hook] when the variant has no batched pipeline. *)
+  make_crowd_stages : crowd_hook array -> crowd_stage option;
+      (* Build the fused move stages over a crowd of sibling engines
+         (one hook per slot, this engine's included); [None] when any
+         slot is foreign or the variant cannot batch (crowds then fall
+         back to the staged per-walker path). *)
 }
 
 (* Drift of the incrementally-maintained log Ψ against a full

@@ -30,6 +30,7 @@ type t = {
   tau : float;
   domains : int;
   crowd : int; (* walkers advanced in lockstep per domain; 1 = scalar *)
+  delay : int; (* delayed determinant-update rank; 1 = Sherman–Morrison *)
   nlpp : bool;
   seed : int;
   checkpoint : string option;
@@ -58,6 +59,7 @@ let default =
     tau = 0.1;
     domains = 1;
     crowd = 1;
+    delay = 1;
     nlpp = false;
     seed = 1;
     checkpoint = None;
@@ -107,6 +109,10 @@ let apply cfg ~line key value =
   | "tau" -> { cfg with tau = parse_float line value }
   | "domains" -> { cfg with domains = parse_int line value }
   | "crowd" -> { cfg with crowd = parse_int line value }
+  | "delay" ->
+      let d = parse_int line value in
+      if d < 1 then fail line "delay must be >= 1, got %d" d;
+      { cfg with delay = d }
   | "nlpp" -> { cfg with nlpp = parse_bool line value }
   | "seed" -> { cfg with seed = parse_int line value }
   | "checkpoint" -> { cfg with checkpoint = Some value }

@@ -14,6 +14,10 @@ type t = {
   crowd : int;
       (** walkers advanced in lockstep per domain through batched SPO
           kernels; 1 = scalar reference path *)
+  delay : int;
+      (** delayed determinant-update rank (Woodbury block size); 1 (the
+          default) keeps the rank-1 Sherman–Morrison update.  Values < 1
+          are rejected at parse time. *)
   nlpp : bool;
   seed : int;
   checkpoint : string option;

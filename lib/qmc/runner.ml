@@ -37,6 +37,29 @@ let total_spawns () = Atomic.get spawns
 let grain_for ~n ~n_domains =
   if n <= 0 then 1 else max 1 (min 32 (n / (n_domains * 4)))
 
+(* Environment override for bench sweeps: OQMC_GRAIN=<g> forces every
+   region's grain (clamped to >= 1); unset/invalid means the heuristic.
+   Read once — a process's grain policy should not drift mid-run. *)
+let env_grain =
+  lazy
+    (match Sys.getenv_opt "OQMC_GRAIN" with
+    | None -> None
+    | Some s -> (
+        match int_of_string_opt (String.trim s) with
+        | Some g when g >= 1 -> Some g
+        | _ -> None))
+
+(* Per-region grain resolution: explicit [?grain] beats OQMC_GRAIN beats
+   [grain_for]. *)
+let resolve_grain ?grain ~n ~n_domains () =
+  match grain with
+  | Some g when g >= 1 -> g
+  | Some _ -> invalid_arg "Runner.parallel_for: grain < 1"
+  | None -> (
+      match Lazy.force env_grain with
+      | Some g -> g
+      | None -> grain_for ~n ~n_domains)
+
 type pool = {
   mutex : Mutex.t;
   work_ready : Condition.t; (* workers: a new epoch was posted *)
@@ -154,7 +177,7 @@ let merged_timers t =
    lone failure is re-raised as-is, several are aggregated into
    [Domain_failures] in domain order — nothing is lost and no worker is
    leaked, poisoned epochs leave the pool usable. *)
-let parallel_for t ~n ~(f : domain:int -> int -> unit) =
+let parallel_for ?grain t ~n ~(f : domain:int -> int -> unit) =
   if t.shut then invalid_arg "Runner: pool is shut down";
   if n > 0 then
     Oqmc_obs.Trace.with_span
@@ -163,15 +186,19 @@ let parallel_for t ~n ~(f : domain:int -> int -> unit) =
     @@ fun () ->
     match t.pool with
     | None ->
+        ignore (resolve_grain ?grain ~n ~n_domains:1 ()); (* validate *)
         for i = 0 to n - 1 do
           f ~domain:0 i
         done
     | Some p ->
         let job d i = f ~domain:d i in
+        (* resolve (and validate) before taking the mutex: a raise while
+           holding it would poison the pool *)
+        let g = resolve_grain ?grain ~n ~n_domains:t.n_domains () in
         Mutex.lock p.mutex;
         p.job <- Some job;
         p.total <- n;
-        p.grain <- grain_for ~n ~n_domains:t.n_domains;
+        p.grain <- g;
         Atomic.set p.next 0;
         p.active <- t.n_domains - 1;
         p.failures <- [];

@@ -42,13 +42,20 @@ exception Domain_failures of (int * exn) list
     [(domain_index, exn)] pairs sorted by domain.  A single failure is
     re-raised unchanged.  The pool remains usable afterwards. *)
 
-val parallel_for : t -> n:int -> f:(domain:int -> int -> unit) -> unit
+val parallel_for :
+  ?grain:int -> t -> n:int -> f:(domain:int -> int -> unit) -> unit
 (** Run [f ~domain i] for every [i < n] exactly once, dynamically
     distributed: the caller participates as domain 0, parked workers as
     domains [1..n_domains-1].  Worker writes are published to the caller
     by the epoch handshake (mutex release/acquire), exactly as
     [Domain.join] would.  All failures are collected — see
-    {!Domain_failures}. *)
+    {!Domain_failures}.
+
+    The grain (indices pulled per counter fetch) is [?grain] when given,
+    else the [OQMC_GRAIN] environment variable (read once per process;
+    invalid or < 1 values are ignored), else {!grain_for} — the tunable
+    exists for bench sweeps over scheduling granularity.
+    @raise Invalid_argument if [grain < 1]. *)
 
 val iter_walkers : t -> 'w array -> f:(Engine_api.t -> 'w -> unit) -> unit
 (** [parallel_for] specialized to walker arrays: [f engine walkers.(i)]

@@ -80,7 +80,7 @@ let run ?observe ?(crowd = 1) ?(rank = 0) ?telemetry ?(telemetry_every = 1)
   let crowds =
     if crowd > 1 then
       Array.init p.n_domains (fun d ->
-          Crowd.create ~factory ~base:(d * crowd) ~size:crowd)
+          Crowd.create ~factory ~base:(d * crowd) ~size:crowd ())
     else [||]
   in
   let runner_factory =

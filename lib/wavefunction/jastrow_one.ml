@@ -36,82 +36,203 @@ module Make (R : Precision.REAL) = struct
 
   (* ------------------------------------------------------------------ *)
 
-  let create_opt ~(table : Dsoa.t) ~(functors : functors) ~(ions : Ps.t)
-      (ps : Ps.t) : W.t =
+  (* Compute-on-the-fly state shared by the scalar component closures and
+     the crowd batch kernels — shared row routines make batch vs scalar
+     bit-identity structural. *)
+  type opt = {
+    table : Dsoa.t;
+    n : int;
+    ni : int;
+    ld : int;
+    functors : functors;
+    ion_spec : int array;
+    vat : float array;
+    jgx : float array;
+    jgy : float array;
+    jgz : float array;
+    jlap : float array;
+    un : float array;
+    fn_ : float array;
+    ln_ : float array;
+    (* Row mirrors (see Aligned.read_into): distance and displacement
+       rows are staged in unboxed scratch so the inner loops never touch
+       the precision functor per element. *)
+    mdr : float array;
+    mdx : float array;
+    mdy : float array;
+    mdz : float array;
+    (* Maximal same-species ion runs: one fused spline-row call per run
+       instead of a boxed per-ion dispatch. *)
+    run_lo : int array;
+    run_n : int array;
+    run_fn : Cubic_spline_1d.t array;
+  }
+
+  (* Maximal runs of equal values in [spec] (ions are laid out species by
+     species, so this is one run per species; the construction does not
+     rely on it). *)
+  let species_runs (spec : int array) =
+    let runs = ref [] in
+    let i = ref 0 in
+    let len = Array.length spec in
+    while !i < len do
+      let j = ref !i in
+      while !j < len && spec.(!j) = spec.(!i) do incr j done;
+      runs := (!i, !j - !i, spec.(!i)) :: !runs;
+      i := !j
+    done;
+    Array.of_list (List.rev !runs)
+
+  let make_opt ~(table : Dsoa.t) ~(functors : functors) ~(ions : Ps.t)
+      (ps : Ps.t) : opt =
     let n = Ps.n ps in
     let ni = Ps.n ions in
     let ion_spec = ion_species ions functors in
-    let vat = Array.make n 0. in
-    let gx = Array.make n 0. and gy = Array.make n 0. in
-    let gz = Array.make n 0. in
-    let lap = Array.make n 0. in
-    let un = Array.make ni 0. and fn = Array.make ni 0. in
-    let ln = Array.make ni 0. in
-    let fill_row (dist : A.t) =
-      for i = 0 to ni - 1 do
-        let u, f, l = eval_u functors.(ion_spec.(i)) (A.unsafe_get dist i) in
-        un.(i) <- u;
-        fn.(i) <- f;
-        ln.(i) <- l
-      done
-    in
-    let sum a =
-      let acc = ref 0. in
-      for i = 0 to Array.length a - 1 do
-        acc := !acc +. a.(i)
-      done;
-      !acc
-    in
-    let store_k k ~dx ~dy ~dz =
+    let runs = species_runs ion_spec in
+    {
+      table;
+      n;
+      ni;
+      ld = Dsoa.row_stride table;
+      functors;
+      ion_spec;
+      vat = Array.make n 0.;
+      jgx = Array.make n 0.;
+      jgy = Array.make n 0.;
+      jgz = Array.make n 0.;
+      jlap = Array.make n 0.;
+      un = Array.make ni 0.;
+      fn_ = Array.make ni 0.;
+      ln_ = Array.make ni 0.;
+      mdr = Array.make ni 0.;
+      mdx = Array.make ni 0.;
+      mdy = Array.make ni 0.;
+      mdz = Array.make ni 0.;
+      run_lo = Array.map (fun (lo, _, _) -> lo) runs;
+      run_n = Array.map (fun (_, rn, _) -> rn) runs;
+      run_fn = Array.map (fun (_, _, sp) -> functors.(sp)) runs;
+    }
+
+  let fill_row st (dist : A.t) off =
+    A.read_into dist ~pos:off st.mdr ~n:st.ni;
+    for r = 0 to Array.length st.run_lo - 1 do
+      Cubic_spline_1d.evaluate_ufl_row st.run_fn.(r) st.mdr
+        ~off:st.run_lo.(r) ~n:st.run_n.(r) ~u:st.un ~f:st.fn_ ~l:st.ln_
+    done
+
+  let sum (a : float array) =
+    let acc = ref 0. in
+    for i = 0 to Array.length a - 1 do
+      acc := !acc +. a.(i)
+    done;
+    !acc
+
+  let store_k st k ~(dx : A.t) ~(dy : A.t) ~(dz : A.t) ~off =
+    A.read_into dx ~pos:off st.mdx ~n:st.ni;
+    A.read_into dy ~pos:off st.mdy ~n:st.ni;
+    A.read_into dz ~pos:off st.mdz ~n:st.ni;
+    let ax = ref 0. and ay = ref 0. and az = ref 0. in
+    let su = ref 0. and sl = ref 0. in
+    let fn = st.fn_ in
+    for i = 0 to st.ni - 1 do
+      ax := !ax +. (fn.(i) *. st.mdx.(i));
+      ay := !ay +. (fn.(i) *. st.mdy.(i));
+      az := !az +. (fn.(i) *. st.mdz.(i));
+      su := !su +. st.un.(i);
+      sl := !sl +. st.ln_.(i)
+    done;
+    st.vat.(k) <- !su;
+    st.jgx.(k) <- !ax;
+    st.jgy.(k) <- !ay;
+    st.jgz.(k) <- !az;
+    st.jlap.(k) <- -. !sl
+
+  (* ---- crowd batch kernels ---- *)
+
+  let ratio_grad_batch (sts : opt array) ~k ~m ~(ratio : float array)
+      ~(gx : float array) ~(gy : float array) ~(gz : float array) =
+    for s = 0 to m - 1 do
+      let st = sts.(s) in
+      fill_row st (Dsoa.temp_dist st.table) 0;
+      A.read_into (Dsoa.temp_dx st.table) ~pos:0 st.mdx ~n:st.ni;
+      A.read_into (Dsoa.temp_dy st.table) ~pos:0 st.mdy ~n:st.ni;
+      A.read_into (Dsoa.temp_dz st.table) ~pos:0 st.mdz ~n:st.ni;
       let ax = ref 0. and ay = ref 0. and az = ref 0. in
-      for i = 0 to ni - 1 do
-        ax := !ax +. (fn.(i) *. A.unsafe_get dx i);
-        ay := !ay +. (fn.(i) *. A.unsafe_get dy i);
-        az := !az +. (fn.(i) *. A.unsafe_get dz i)
+      let su = ref 0. in
+      let fn = st.fn_ in
+      for i = 0 to st.ni - 1 do
+        ax := !ax +. (fn.(i) *. st.mdx.(i));
+        ay := !ay +. (fn.(i) *. st.mdy.(i));
+        az := !az +. (fn.(i) *. st.mdz.(i));
+        su := !su +. st.un.(i)
       done;
-      vat.(k) <- sum un;
-      gx.(k) <- !ax;
-      gy.(k) <- !ay;
-      gz.(k) <- !az;
-      lap.(k) <- -.sum ln
-    in
+      ratio.(s) <- ratio.(s) *. exp (st.vat.(k) -. !su);
+      gx.(s) <- gx.(s) +. !ax;
+      gy.(s) <- gy.(s) +. !ay;
+      gz.(s) <- gz.(s) +. !az
+    done
+
+  let grad_batch (sts : opt array) ~k ~m ~(gx : float array)
+      ~(gy : float array) ~(gz : float array) =
+    for s = 0 to m - 1 do
+      let st = sts.(s) in
+      gx.(s) <- gx.(s) +. st.jgx.(k);
+      gy.(s) <- gy.(s) +. st.jgy.(k);
+      gz.(s) <- gz.(s) +. st.jgz.(k)
+    done
+
+  let accept_batch (sts : opt array) ~k ~m ~(acc : bool array) =
+    for s = 0 to m - 1 do
+      if acc.(s) then begin
+        let st = sts.(s) in
+        (* Scratch still holds the proposed row from ratio/ratio_grad. *)
+        store_k st k ~dx:(Dsoa.temp_dx st.table) ~dy:(Dsoa.temp_dy st.table)
+          ~dz:(Dsoa.temp_dz st.table) ~off:0
+      end
+    done
+
+  (* ---- the W.t component over an [opt] state ---- *)
+
+  let opt_component (st : opt) : W.t =
+    let n = st.n in
     let evaluate_log _ps =
       for k = 0 to n - 1 do
-        fill_row (Dsoa.row_dist table k);
-        store_k k ~dx:(Dsoa.row_dx table k) ~dy:(Dsoa.row_dy table k)
-          ~dz:(Dsoa.row_dz table k)
+        let off = k * st.ld in
+        fill_row st (Dsoa.dist_data st.table) off;
+        store_k st k ~dx:(Dsoa.dx_data st.table) ~dy:(Dsoa.dy_data st.table)
+          ~dz:(Dsoa.dz_data st.table) ~off
       done;
-      -.sum vat
+      -.sum st.vat
     in
     let ratio _ps k =
-      fill_row (Dsoa.temp_dist table);
-      exp (vat.(k) -. sum un)
+      fill_row st (Dsoa.temp_dist st.table) 0;
+      exp (st.vat.(k) -. sum st.un)
     in
     let ratio_grad _ps k =
-      fill_row (Dsoa.temp_dist table);
+      fill_row st (Dsoa.temp_dist st.table) 0;
       let ax = ref 0. and ay = ref 0. and az = ref 0. in
-      let tx = Dsoa.temp_dx table and ty = Dsoa.temp_dy table in
-      let tz = Dsoa.temp_dz table in
-      for i = 0 to ni - 1 do
+      let tx = Dsoa.temp_dx st.table and ty = Dsoa.temp_dy st.table in
+      let tz = Dsoa.temp_dz st.table in
+      let fn = st.fn_ in
+      for i = 0 to st.ni - 1 do
         ax := !ax +. (fn.(i) *. A.unsafe_get tx i);
         ay := !ay +. (fn.(i) *. A.unsafe_get ty i);
         az := !az +. (fn.(i) *. A.unsafe_get tz i)
       done;
-      (exp (vat.(k) -. sum un), Vec3.make !ax !ay !az)
+      (exp (st.vat.(k) -. sum st.un), Vec3.make !ax !ay !az)
     in
-    let grad _ps k = Vec3.make gx.(k) gy.(k) gz.(k) in
+    let grad _ps k = Vec3.make st.jgx.(k) st.jgy.(k) st.jgz.(k) in
     let accept _ps k =
-      (* Scratch still holds the proposed row from ratio/ratio_grad. *)
-      store_k k ~dx:(Dsoa.temp_dx table) ~dy:(Dsoa.temp_dy table)
-        ~dz:(Dsoa.temp_dz table)
+      store_k st k ~dx:(Dsoa.temp_dx st.table) ~dy:(Dsoa.temp_dy st.table)
+        ~dz:(Dsoa.temp_dz st.table) ~off:0
     in
     let reject _ps _k = () in
     let accumulate_gl _ps (g : W.gl) =
       for k = 0 to n - 1 do
-        g.W.ggx.(k) <- g.W.ggx.(k) +. gx.(k);
-        g.W.ggy.(k) <- g.W.ggy.(k) +. gy.(k);
-        g.W.ggz.(k) <- g.W.ggz.(k) +. gz.(k);
-        g.W.glap.(k) <- g.W.glap.(k) +. lap.(k)
+        g.W.ggx.(k) <- g.W.ggx.(k) +. st.jgx.(k);
+        g.W.ggy.(k) <- g.W.ggy.(k) +. st.jgy.(k);
+        g.W.ggz.(k) <- g.W.ggz.(k) +. st.jgz.(k);
+        g.W.glap.(k) <- g.W.glap.(k) +. st.jlap.(k)
       done
     in
     let register buf =
@@ -120,11 +241,11 @@ module Make (R : Precision.REAL) = struct
       done
     in
     let update_buffer _ps buf =
-      Wbuffer.put_array buf vat;
-      Wbuffer.put_array buf gx;
-      Wbuffer.put_array buf gy;
-      Wbuffer.put_array buf gz;
-      Wbuffer.put_array buf lap
+      Wbuffer.put_array buf st.vat;
+      Wbuffer.put_array buf st.jgx;
+      Wbuffer.put_array buf st.jgy;
+      Wbuffer.put_array buf st.jgz;
+      Wbuffer.put_array buf st.jlap
     in
     let copy_from_buffer _ps buf =
       let rd a =
@@ -132,11 +253,11 @@ module Make (R : Precision.REAL) = struct
           a.(i) <- Wbuffer.get buf
         done
       in
-      rd vat;
-      rd gx;
-      rd gy;
-      rd gz;
-      rd lap
+      rd st.vat;
+      rd st.jgx;
+      rd st.jgy;
+      rd st.jgz;
+      rd st.jlap
     in
     let bytes () = 5 * n * 8 in
     {
@@ -153,6 +274,10 @@ module Make (R : Precision.REAL) = struct
       copy_from_buffer;
       bytes;
     }
+
+  let create_opt ~(table : Dsoa.t) ~(functors : functors) ~(ions : Ps.t)
+      (ps : Ps.t) : W.t =
+    opt_component (make_opt ~table ~functors ~ions ps)
 
   (* ------------------------------------------------------------------ *)
 

@@ -55,135 +55,270 @@ module Make (R : Precision.REAL) = struct
   (* Optimized implementation                                            *)
   (* ------------------------------------------------------------------ *)
 
-  let create_opt ~(table : Dsoa.t) ~(functors : functors) (ps : Ps.t) : W.t =
+  (* The compute-on-the-fly state, exposed as a record so the scalar
+     component closures and the crowd batch kernels share one set of row
+     routines (shared code is what makes batch vs scalar bit-identity
+     structural rather than coincidental). *)
+  type opt = {
+    table : Dsoa.t;
+    ps : Ps.t;
+    n : int;
+    ld : int; (* table row stride, for offset-based row reads *)
+    functors : functors;
+    spec : int array;
+    (* Per-electron accumulators: U_k and the gradient/laplacian of
+       log ψ. *)
+    uat : float array;
+    jgx : float array;
+    jgy : float array;
+    jgz : float array;
+    jlap : float array;
+    (* Scratch rows for the old and proposed configurations. *)
+    un : float array;
+    fn_ : float array;
+    ln_ : float array;
+    uo : float array;
+    fo : float array;
+    lo : float array;
+    (* Row mirrors (see Aligned.read_into): distance and displacement
+       rows are staged in unboxed scratch so the inner loops never touch
+       the precision functor per element. *)
+    mdr : float array;
+    mtx : float array;
+    mty : float array;
+    mtz : float array;
+    mox : float array;
+    moy : float array;
+    moz : float array;
+    (* Maximal same-species electron runs: one fused spline-row call per
+       run instead of a boxed per-pair dispatch. *)
+    run_lo : int array;
+    run_n : int array;
+    run_sp : int array;
+  }
+
+  (* Maximal runs of equal values in [spec] (electrons are laid out
+     species by species, so this is one run per species; the construction
+     does not rely on it). *)
+  let species_runs (spec : int array) =
+    let runs = ref [] in
+    let i = ref 0 in
+    let len = Array.length spec in
+    while !i < len do
+      let j = ref !i in
+      while !j < len && spec.(!j) = spec.(!i) do incr j done;
+      runs := (!i, !j - !i, spec.(!i)) :: !runs;
+      i := !j
+    done;
+    Array.of_list (List.rev !runs)
+
+  let make_opt ~(table : Dsoa.t) ~(functors : functors) (ps : Ps.t) : opt =
     check_functors ps functors;
     let n = Ps.n ps in
-    (* Per-electron accumulators: U_k and the gradient/laplacian of log ψ. *)
-    let uat = Array.make n 0. in
-    let gx = Array.make n 0. and gy = Array.make n 0. in
-    let gz = Array.make n 0. in
-    let lap = Array.make n 0. in
-    (* Scratch rows for the old and proposed configurations. *)
-    let un = Array.make n 0. and fn = Array.make n 0. in
-    let ln = Array.make n 0. in
-    let uo = Array.make n 0. and fo = Array.make n 0. in
-    let lo = Array.make n 0. in
     let spec = Array.init n (fun i -> Ps.species_index ps i) in
-    (* Fill u/f/l rows for electron k against a distance row. *)
-    let fill_row_from k (dist : A.t) ~u ~f ~l =
-      let fk = functors.(spec.(k)) in
-      for i = 0 to n - 1 do
-        if i = k then begin
-          u.(i) <- 0.;
-          f.(i) <- 0.;
-          l.(i) <- 0.
-        end
-        else begin
-          let ui, fi, li = eval_u fk.(spec.(i)) (A.unsafe_get dist i) in
-          u.(i) <- ui;
-          f.(i) <- fi;
-          l.(i) <- li
-        end
-      done
-    in
-    let sum arr =
-      let acc = ref 0. in
-      for i = 0 to n - 1 do
-        acc := !acc +. arr.(i)
-      done;
-      !acc
-    in
-    (* Recompute one electron's accumulators from its (fresh) table row. *)
-    let compute_one k =
-      Dsoa.prepare table ps k;
-      fill_row_from k (Dsoa.row_dist table k) ~u:un ~f:fn ~l:ln;
+    let runs = species_runs spec in
+    {
+      table;
+      ps;
+      n;
+      ld = Dsoa.row_stride table;
+      functors;
+      spec;
+      uat = Array.make n 0.;
+      jgx = Array.make n 0.;
+      jgy = Array.make n 0.;
+      jgz = Array.make n 0.;
+      jlap = Array.make n 0.;
+      un = Array.make n 0.;
+      fn_ = Array.make n 0.;
+      ln_ = Array.make n 0.;
+      uo = Array.make n 0.;
+      fo = Array.make n 0.;
+      lo = Array.make n 0.;
+      mdr = Array.make n 0.;
+      mtx = Array.make n 0.;
+      mty = Array.make n 0.;
+      mtz = Array.make n 0.;
+      mox = Array.make n 0.;
+      moy = Array.make n 0.;
+      moz = Array.make n 0.;
+      run_lo = Array.map (fun (lo, _, _) -> lo) runs;
+      run_n = Array.map (fun (_, rn, _) -> rn) runs;
+      run_sp = Array.map (fun (_, _, sp) -> sp) runs;
+    }
+
+  (* Fill u/f/l rows for electron k against a distance row given as
+     backing storage + offset (no proxy allocation): bulk-stage the row,
+     one fused spline call per species run, then zero the self entry
+     exactly as the scalar branch did (its distance is 0, which the
+     spline guard zeroes as well). *)
+  let fill_row_from st k (dist : A.t) off ~u ~f ~l =
+    let fk = st.functors.(st.spec.(k)) in
+    A.read_into dist ~pos:off st.mdr ~n:st.n;
+    for r = 0 to Array.length st.run_lo - 1 do
+      Cubic_spline_1d.evaluate_ufl_row fk.(st.run_sp.(r)) st.mdr
+        ~off:st.run_lo.(r) ~n:st.run_n.(r) ~u ~f ~l
+    done;
+    u.(k) <- 0.;
+    f.(k) <- 0.;
+    l.(k) <- 0.
+
+  let sum st (arr : float array) =
+    let acc = ref 0. in
+    for i = 0 to st.n - 1 do
+      acc := !acc +. arr.(i)
+    done;
+    !acc
+
+  (* Recompute one electron's accumulators from its (fresh) table row. *)
+  let compute_one st k =
+    Dsoa.prepare st.table st.ps k;
+    let off = k * st.ld in
+    fill_row_from st k (Dsoa.dist_data st.table) off ~u:st.un ~f:st.fn_
+      ~l:st.ln_;
+    A.read_into (Dsoa.dx_data st.table) ~pos:off st.mox ~n:st.n;
+    A.read_into (Dsoa.dy_data st.table) ~pos:off st.moy ~n:st.n;
+    A.read_into (Dsoa.dz_data st.table) ~pos:off st.moz ~n:st.n;
+    let ax = ref 0. and ay = ref 0. and az = ref 0. in
+    let al = ref 0. and su = ref 0. in
+    let fn = st.fn_ in
+    for i = 0 to st.n - 1 do
+      ax := !ax +. (fn.(i) *. st.mox.(i));
+      ay := !ay +. (fn.(i) *. st.moy.(i));
+      az := !az +. (fn.(i) *. st.moz.(i));
+      al := !al +. st.ln_.(i);
+      su := !su +. st.un.(i)
+    done;
+    st.uat.(k) <- !su;
+    st.jgx.(k) <- !ax;
+    st.jgy.(k) <- !ay;
+    st.jgz.(k) <- !az;
+    st.jlap.(k) <- -. !al
+
+  (* Old row from the table (refreshed by the engine's prepare), new row
+     from the temporary move row. *)
+  let compute_rows st k =
+    fill_row_from st k (Dsoa.dist_data st.table) (k * st.ld) ~u:st.uo
+      ~f:st.fo ~l:st.lo;
+    fill_row_from st k (Dsoa.temp_dist st.table) 0 ~u:st.un ~f:st.fn_
+      ~l:st.ln_
+
+  (* Incremental update of every electron's accumulators using the cached
+     old/new rows; must run before the table accepts. *)
+  let accept_one st k =
+    let off = k * st.ld in
+    A.read_into (Dsoa.temp_dx st.table) ~pos:0 st.mtx ~n:st.n;
+    A.read_into (Dsoa.temp_dy st.table) ~pos:0 st.mty ~n:st.n;
+    A.read_into (Dsoa.temp_dz st.table) ~pos:0 st.mtz ~n:st.n;
+    A.read_into (Dsoa.dx_data st.table) ~pos:off st.mox ~n:st.n;
+    A.read_into (Dsoa.dy_data st.table) ~pos:off st.moy ~n:st.n;
+    A.read_into (Dsoa.dz_data st.table) ~pos:off st.moz ~n:st.n;
+    let ax = ref 0. and ay = ref 0. and az = ref 0. in
+    let al = ref 0. and su = ref 0. in
+    let fn = st.fn_ and fo = st.fo in
+    for i = 0 to st.n - 1 do
+      if i <> k then begin
+        st.uat.(i) <- st.uat.(i) +. st.un.(i) -. st.uo.(i);
+        (* Pair (i,k) contribution to ∇_i log ψ is −f · dr(k,i). *)
+        st.jgx.(i) <-
+          st.jgx.(i) -. (fn.(i) *. st.mtx.(i)) +. (fo.(i) *. st.mox.(i));
+        st.jgy.(i) <-
+          st.jgy.(i) -. (fn.(i) *. st.mty.(i)) +. (fo.(i) *. st.moy.(i));
+        st.jgz.(i) <-
+          st.jgz.(i) -. (fn.(i) *. st.mtz.(i)) +. (fo.(i) *. st.moz.(i));
+        st.jlap.(i) <- st.jlap.(i) -. st.ln_.(i) +. st.lo.(i);
+        ax := !ax +. (fn.(i) *. st.mtx.(i));
+        ay := !ay +. (fn.(i) *. st.mty.(i));
+        az := !az +. (fn.(i) *. st.mtz.(i));
+        al := !al +. st.ln_.(i)
+      end
+    done;
+    (* Σ over the new row, in [sum]'s left-to-right order. *)
+    for i = 0 to st.n - 1 do
+      su := !su +. st.un.(i)
+    done;
+    st.uat.(k) <- !su;
+    st.jgx.(k) <- !ax;
+    st.jgy.(k) <- !ay;
+    st.jgz.(k) <- !az;
+    st.jlap.(k) <- -. !al
+
+  (* ---- crowd batch kernels: one fused call per stage per crowd ---- *)
+
+  let ratio_grad_batch (sts : opt array) ~k ~m ~(ratio : float array)
+      ~(gx : float array) ~(gy : float array) ~(gz : float array) =
+    for s = 0 to m - 1 do
+      let st = sts.(s) in
+      compute_rows st k;
+      A.read_into (Dsoa.temp_dx st.table) ~pos:0 st.mtx ~n:st.n;
+      A.read_into (Dsoa.temp_dy st.table) ~pos:0 st.mty ~n:st.n;
+      A.read_into (Dsoa.temp_dz st.table) ~pos:0 st.mtz ~n:st.n;
       let ax = ref 0. and ay = ref 0. and az = ref 0. in
-      let al = ref 0. in
-      let dx = Dsoa.row_dx table k and dy = Dsoa.row_dy table k in
-      let dz = Dsoa.row_dz table k in
-      for i = 0 to n - 1 do
-        ax := !ax +. (fn.(i) *. A.unsafe_get dx i);
-        ay := !ay +. (fn.(i) *. A.unsafe_get dy i);
-        az := !az +. (fn.(i) *. A.unsafe_get dz i);
-        al := !al +. ln.(i)
+      let so = ref 0. and sn = ref 0. in
+      let fn = st.fn_ in
+      for i = 0 to st.n - 1 do
+        ax := !ax +. (fn.(i) *. st.mtx.(i));
+        ay := !ay +. (fn.(i) *. st.mty.(i));
+        az := !az +. (fn.(i) *. st.mtz.(i));
+        so := !so +. st.uo.(i);
+        sn := !sn +. st.un.(i)
       done;
-      uat.(k) <- sum un;
-      gx.(k) <- !ax;
-      gy.(k) <- !ay;
-      gz.(k) <- !az;
-      lap.(k) <- -. !al
-    in
+      ratio.(s) <- ratio.(s) *. exp (!so -. !sn);
+      gx.(s) <- gx.(s) +. !ax;
+      gy.(s) <- gy.(s) +. !ay;
+      gz.(s) <- gz.(s) +. !az
+    done
+
+  let grad_batch (sts : opt array) ~k ~m ~(gx : float array)
+      ~(gy : float array) ~(gz : float array) =
+    for s = 0 to m - 1 do
+      let st = sts.(s) in
+      gx.(s) <- gx.(s) +. st.jgx.(k);
+      gy.(s) <- gy.(s) +. st.jgy.(k);
+      gz.(s) <- gz.(s) +. st.jgz.(k)
+    done
+
+  let accept_batch (sts : opt array) ~k ~m ~(acc : bool array) =
+    for s = 0 to m - 1 do
+      if acc.(s) then accept_one sts.(s) k
+    done
+
+  (* ---- the W.t component over an [opt] state ---- *)
+
+  let opt_component (st : opt) : W.t =
+    let n = st.n in
     let evaluate_log _ps =
       for k = 0 to n - 1 do
-        compute_one k
+        compute_one st k
       done;
-      -0.5 *. sum uat
-    in
-    let compute_rows k =
-      (* Old row from the table (refreshed by the engine's prepare), new
-         row from the temporary move row. *)
-      fill_row_from k (Dsoa.row_dist table k) ~u:uo ~f:fo ~l:lo;
-      fill_row_from k (Dsoa.temp_dist table) ~u:un ~f:fn ~l:ln
+      -0.5 *. sum st st.uat
     in
     let ratio _ps k =
-      compute_rows k;
-      exp (sum uo -. sum un)
+      compute_rows st k;
+      exp (sum st st.uo -. sum st st.un)
     in
     let ratio_grad _ps k =
-      compute_rows k;
+      compute_rows st k;
       let ax = ref 0. and ay = ref 0. and az = ref 0. in
-      let tx = Dsoa.temp_dx table and ty = Dsoa.temp_dy table in
-      let tz = Dsoa.temp_dz table in
+      let tx = Dsoa.temp_dx st.table and ty = Dsoa.temp_dy st.table in
+      let tz = Dsoa.temp_dz st.table in
+      let fn = st.fn_ in
       for i = 0 to n - 1 do
         ax := !ax +. (fn.(i) *. A.unsafe_get tx i);
         ay := !ay +. (fn.(i) *. A.unsafe_get ty i);
         az := !az +. (fn.(i) *. A.unsafe_get tz i)
       done;
-      (exp (sum uo -. sum un), Vec3.make !ax !ay !az)
+      (exp (sum st st.uo -. sum st st.un), Vec3.make !ax !ay !az)
     in
-    let grad _ps k = Vec3.make gx.(k) gy.(k) gz.(k) in
-    let accept _ps k =
-      (* Incremental update of every electron's accumulators using the
-         cached old/new rows; must run before the table accepts. *)
-      let tx = Dsoa.temp_dx table and ty = Dsoa.temp_dy table in
-      let tz = Dsoa.temp_dz table in
-      let ox = Dsoa.row_dx table k and oy = Dsoa.row_dy table k in
-      let oz = Dsoa.row_dz table k in
-      let ax = ref 0. and ay = ref 0. and az = ref 0. in
-      let al = ref 0. in
-      for i = 0 to n - 1 do
-        if i <> k then begin
-          uat.(i) <- uat.(i) +. un.(i) -. uo.(i);
-          (* Pair (i,k) contribution to ∇_i log ψ is −f · dr(k,i). *)
-          gx.(i) <-
-            gx.(i) -. (fn.(i) *. A.unsafe_get tx i)
-            +. (fo.(i) *. A.unsafe_get ox i);
-          gy.(i) <-
-            gy.(i) -. (fn.(i) *. A.unsafe_get ty i)
-            +. (fo.(i) *. A.unsafe_get oy i);
-          gz.(i) <-
-            gz.(i) -. (fn.(i) *. A.unsafe_get tz i)
-            +. (fo.(i) *. A.unsafe_get oz i);
-          lap.(i) <- lap.(i) -. ln.(i) +. lo.(i);
-          ax := !ax +. (fn.(i) *. A.unsafe_get tx i);
-          ay := !ay +. (fn.(i) *. A.unsafe_get ty i);
-          az := !az +. (fn.(i) *. A.unsafe_get tz i);
-          al := !al +. ln.(i)
-        end
-      done;
-      uat.(k) <- sum un;
-      gx.(k) <- !ax;
-      gy.(k) <- !ay;
-      gz.(k) <- !az;
-      lap.(k) <- -. !al
-    in
+    let grad _ps k = Vec3.make st.jgx.(k) st.jgy.(k) st.jgz.(k) in
+    let accept _ps k = accept_one st k in
     let reject _ps _k = () in
     let accumulate_gl _ps (g : W.gl) =
       for k = 0 to n - 1 do
-        g.W.ggx.(k) <- g.W.ggx.(k) +. gx.(k);
-        g.W.ggy.(k) <- g.W.ggy.(k) +. gy.(k);
-        g.W.ggz.(k) <- g.W.ggz.(k) +. gz.(k);
-        g.W.glap.(k) <- g.W.glap.(k) +. lap.(k)
+        g.W.ggx.(k) <- g.W.ggx.(k) +. st.jgx.(k);
+        g.W.ggy.(k) <- g.W.ggy.(k) +. st.jgy.(k);
+        g.W.ggz.(k) <- g.W.ggz.(k) +. st.jgz.(k);
+        g.W.glap.(k) <- g.W.glap.(k) +. st.jlap.(k)
       done
     in
     let register buf =
@@ -192,11 +327,11 @@ module Make (R : Precision.REAL) = struct
       done
     in
     let update_buffer _ps buf =
-      Wbuffer.put_array buf uat;
-      Wbuffer.put_array buf gx;
-      Wbuffer.put_array buf gy;
-      Wbuffer.put_array buf gz;
-      Wbuffer.put_array buf lap
+      Wbuffer.put_array buf st.uat;
+      Wbuffer.put_array buf st.jgx;
+      Wbuffer.put_array buf st.jgy;
+      Wbuffer.put_array buf st.jgz;
+      Wbuffer.put_array buf st.jlap
     in
     let copy_from_buffer _ps buf =
       let rd a =
@@ -204,11 +339,11 @@ module Make (R : Precision.REAL) = struct
           a.(i) <- Wbuffer.get buf
         done
       in
-      rd uat;
-      rd gx;
-      rd gy;
-      rd gz;
-      rd lap
+      rd st.uat;
+      rd st.jgx;
+      rd st.jgy;
+      rd st.jgz;
+      rd st.jlap
     in
     let bytes () = 5 * n * 8 in
     {
@@ -225,6 +360,9 @@ module Make (R : Precision.REAL) = struct
       copy_from_buffer;
       bytes;
     }
+
+  let create_opt ~(table : Dsoa.t) ~(functors : functors) (ps : Ps.t) : W.t =
+    opt_component (make_opt ~table ~functors ps)
 
   (* ------------------------------------------------------------------ *)
   (* Reference implementation                                            *)

@@ -25,6 +25,34 @@ module Make (R : Precision.REAL) : sig
       accept the component BEFORE the table.
       @raise Invalid_argument on a species/functor mismatch. *)
 
+  type opt
+  (** Compute-on-the-fly state, exposed so crowds can drive the batch
+      kernels directly; [opt_component] wraps it as the usual {!W.t}
+      (and [create_opt] = [make_opt] + [opt_component]).  The scalar
+      closures and the batch kernels share the same row routines, so
+      batched results are bit-identical to the scalar path. *)
+
+  val make_opt : table:Dsoa.t -> functors:functors -> Ps.t -> opt
+
+  val opt_component : opt -> W.t
+
+  val ratio_grad_batch :
+    opt array -> k:int -> m:int -> ratio:float array -> gx:float array ->
+    gy:float array -> gz:float array -> unit
+  (** Fused acceptance-ratio + proposed-point gradient over slots
+      [0..m-1]: multiplies each [ratio.(s)] and accumulates into the
+      gradient slots, matching the trial-wavefunction accumulation
+      order.  The engine must have run the table's prepare/move for
+      electron [k] on every slot first. *)
+
+  val grad_batch :
+    opt array -> k:int -> m:int -> gx:float array -> gy:float array ->
+    gz:float array -> unit
+
+  val accept_batch : opt array -> k:int -> m:int -> acc:bool array -> unit
+  (** Per accepted slot, identical to the scalar component accept; must
+      run before the table accepts. *)
+
   val create_ref : table:Dref.t -> functors:functors -> Ps.t -> W.t
   (** Store-over-compute baseline over the packed Ref table. *)
 end

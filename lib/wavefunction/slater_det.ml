@@ -13,9 +13,17 @@ open Oqmc_linalg
    Sec. 8.4.  [evaluate_log] recomputes B from scratch in double
    precision, which is also the periodic mixed-precision refresh.
 
+   The working state is an explicit record so that the scalar component
+   closures and the crowd batch entry points ([grad_into],
+   [ratio_grad_into], [accept_move]) share the same ratio/dot routines —
+   batched crowd sweeps stay bit-identical to the scalar path by
+   construction.
+
    Kernel timing keys: Bspline-v for value-only SPO evaluation inside
    [ratio], Bspline-vgh for the SPO part of [ratio_grad], SPO-vgl for the
-   per-electron measurement sweep, DetUpdate for the inverse update. *)
+   per-electron measurement sweep, DetUpdate for the inverse update.  The
+   crowd entry points are UNtimed: the crowd driver wraps each batched
+   stage in a single timer window per crowd instead of one per walker. *)
 
 module Make (R : Precision.REAL) = struct
   module W = Wfc.Make (R)
@@ -29,8 +37,33 @@ module Make (R : Precision.REAL) = struct
 
   type scheme = Sherman_morrison | Delayed of int
 
-  let create ?(timers = Timers.null) ?(scheme = Sherman_morrison)
-      ?(staged = ref None) ~(spo : Spo.t) ~first ~count (ps : Ps.t) : W.t =
+  type state = {
+    spo : Spo.t;
+    timers : Timers.t;
+    staged : Spo.vgl option ref;
+    first : int;
+    n : int;
+    binv : M.t;
+    phim : M.t;
+    vgl : Spo.vgl;
+    vbuf : float array;
+    psiv : A.t;
+    ws : Sm.workspace;
+    du : Du.t option;
+    last_ratio : float ref;
+    log_abs : float ref;
+    (* Whole-determinant sweeps (recompute, measurement) evaluate all n
+       electron positions through one batched kernel call: the scratch
+       arena is shared across the rows instead of re-allocated per
+       electron.  Lazy so single-move-only paths never pay for it. *)
+    row_pos : Vec3.t array;
+    v_rows : Spo.v_batch Lazy.t;
+    vgl_rows : Spo.vgl_batch Lazy.t;
+    dot_scratch : A.t;
+  }
+
+  let make ?(timers = Timers.null) ?(scheme = Sherman_morrison)
+      ?(staged = ref None) ~(spo : Spo.t) ~first ~count (ps : Ps.t) : state =
     let n = count in
     if n < 1 then invalid_arg "Slater_det.create: empty determinant";
     if spo.Spo.n_orb < n then
@@ -38,120 +71,187 @@ module Make (R : Precision.REAL) = struct
     if first < 0 || first + n > Ps.n ps then
       invalid_arg "Slater_det.create: electron range out of bounds";
     let binv = M.create n n in
-    let phim = M.create n n in
-    let vgl = Spo.make_vgl spo.Spo.n_orb in
-    let vbuf = Array.make spo.Spo.n_orb 0. in
-    let psiv = A.create n in
-    let ws = Sm.make_workspace n in
-    let du = match scheme with Delayed d -> Some (Du.create ~delay:d binv) | Sherman_morrison -> None in
-    let last_ratio = ref 1. in
-    let log_abs = ref 0. in
-    let in_group k = k >= first && k < first + n in
-    let flush () = match du with Some d -> Du.flush d | None -> () in
+    {
+      spo;
+      timers;
+      staged;
+      first;
+      n;
+      binv;
+      phim = M.create n n;
+      vgl = Spo.make_vgl spo.Spo.n_orb;
+      vbuf = Array.make spo.Spo.n_orb 0.;
+      psiv = A.create n;
+      ws = Sm.make_workspace n;
+      du =
+        (match scheme with
+        | Delayed d -> Some (Du.create ~delay:d binv)
+        | Sherman_morrison -> None);
+      last_ratio = ref 1.;
+      log_abs = ref 0.;
+      row_pos = Array.make n Vec3.zero;
+      v_rows = lazy (spo.Spo.make_v_batch n);
+      vgl_rows = lazy (spo.Spo.make_vgl_batch n);
+      dot_scratch = A.create n;
+    }
+
+  let in_group st k = k >= st.first && k < st.first + st.n
+  let flush st = match st.du with Some d -> Du.flush d | None -> ()
+
+  let load_psiv st =
+    for j = 0 to st.n - 1 do
+      A.unsafe_set st.psiv j st.vbuf.(j)
+    done
+
+  let det_ratio st kl =
+    match st.du with
+    | Some d -> Du.ratio d kl st.psiv
+    | None -> Sm.ratio st.binv kl st.psiv
+
+  (* Row dot of B[kl] against one gradient component, with the delayed
+     corrections when a queue is pending. *)
+  let corrected_dot st kl (comp : float array) =
+    match st.du with
+    | Some d when Du.pending d > 0 ->
+        (* Route through the delayed ratio on a scratch copy: the
+           correction formula is identical for any replacement vector
+           ([Du.ratio] only reads it, so the scratch is reusable). *)
+        let tmp = st.dot_scratch in
+        for j = 0 to st.n - 1 do
+          A.unsafe_set tmp j comp.(j)
+        done;
+        Du.ratio d kl tmp
+    | _ ->
+        let acc = ref 0. in
+        for j = 0 to st.n - 1 do
+          acc := !acc +. (M.unsafe_get st.binv kl j *. comp.(j))
+        done;
+        !acc
+
+  (* Commit the staged move of electron [k] (the engine must have routed
+     the matching ratio/ratio_grad through this state first).  Untimed:
+     crowd drivers take one DetUpdate window per batched commit stage. *)
+  let accept_move st k =
+    if in_group st k then begin
+      let kl = k - st.first in
+      (match st.du with
+      | Some d -> Du.accept d kl st.psiv
+      | None ->
+          Sm.update_row st.binv kl st.psiv ~ratio:!(st.last_ratio)
+            ~ws:st.ws);
+      st.log_abs := !(st.log_abs) +. log (abs_float !(st.last_ratio))
+    end
+
+  (* Crowd gradient stage: accumulate ∇ log D at the CURRENT position of
+     electron [k] into slot [s], from a pre-computed SPO result.
+     Out-of-group electrons contribute exactly +0. in the scalar path, so
+     skipping them leaves the accumulators bit-identical. *)
+  let grad_into st (vgl : Spo.vgl) k ~s ~(gx : float array)
+      ~(gy : float array) ~(gz : float array) =
+    if in_group st k then begin
+      let kl = k - st.first in
+      let denom = corrected_dot st kl vgl.Spo.v in
+      gx.(s) <- gx.(s) +. (corrected_dot st kl vgl.Spo.gx /. denom);
+      gy.(s) <- gy.(s) +. (corrected_dot st kl vgl.Spo.gy /. denom);
+      gz.(s) <- gz.(s) +. (corrected_dot st kl vgl.Spo.gz /. denom)
+    end
+
+  (* Crowd ratio+gradient stage at the PROPOSED position: multiplies
+     [ratio.(s)] (out-of-group factor is exactly 1., so skipping is
+     bit-identical) and accumulates the gradient.  Mirrors the scalar
+     [ratio_grad] arithmetic exactly, including the near-singular
+     zero-gradient guard. *)
+  let ratio_grad_into st (vgl : Spo.vgl) k ~s ~(ratio : float array)
+      ~(gx : float array) ~(gy : float array) ~(gz : float array) =
+    if in_group st k then begin
+      let kl = k - st.first in
+      Array.blit vgl.Spo.v 0 st.vbuf 0 st.n;
+      load_psiv st;
+      let r = det_ratio st kl in
+      st.last_ratio := r;
+      ratio.(s) <- ratio.(s) *. r;
+      if abs_float r >= 1e-300 then begin
+        gx.(s) <- gx.(s) +. (corrected_dot st kl vgl.Spo.gx /. r);
+        gy.(s) <- gy.(s) +. (corrected_dot st kl vgl.Spo.gy /. r);
+        gz.(s) <- gz.(s) +. (corrected_dot st kl vgl.Spo.gz /. r)
+      end
+    end
+
+  (* ---- the W.t component over a [state] ---- *)
+
+  let component (st : state) : W.t =
+    let n = st.n and first = st.first in
+    let spo = st.spo and timers = st.timers in
     (* A crowd driver may stage a pre-computed SPO result for the
        position the next in-group grad/ratio_grad would evaluate; it is
        consumed exactly once (the batch slot is reused for the next
        lockstep step).  The batch kernel times itself, so no Bspline-vgh
        sample is recorded here for staged evaluations. *)
     let take_staged eval =
-      match !staged with
+      match !(st.staged) with
       | Some s ->
-          staged := None;
+          st.staged := None;
           s
       | None ->
-          Timers.time timers "Bspline-vgh" (fun () -> eval vgl);
-          vgl
+          Timers.time timers "Bspline-vgh" (fun () -> eval st.vgl);
+          st.vgl
     in
-    (* Whole-determinant sweeps (recompute, measurement) evaluate all n
-       electron positions through one batched kernel call: the scratch
-       arena is shared across the rows instead of re-allocated per
-       electron.  Lazy so single-move-only paths never pay for it. *)
-    let row_pos = Array.make n Vec3.zero in
-    let v_rows = lazy (spo.Spo.make_v_batch n) in
-    let vgl_rows = lazy (spo.Spo.make_vgl_batch n) in
     let load_row_pos ps =
       for i = 0 to n - 1 do
-        row_pos.(i) <- Ps.get ps (first + i)
+        st.row_pos.(i) <- Ps.get ps (first + i)
       done
     in
     let evaluate_log ps =
-      flush ();
-      let b = Lazy.force v_rows in
+      flush st;
+      let b = Lazy.force st.v_rows in
       load_row_pos ps;
-      Timers.time timers "Bspline-v" (fun () -> b.Spo.vrun row_pos n);
+      Timers.time timers "Bspline-v" (fun () -> b.Spo.vrun st.row_pos n);
       for i = 0 to n - 1 do
         let row = b.Spo.vslots.(i) in
         for j = 0 to n - 1 do
-          M.set phim i j row.(j)
+          M.set st.phim i j row.(j)
         done
       done;
       let _sign, logd =
         Timers.time timers "DetUpdate" (fun () ->
-            L.invert_transpose ~src:phim ~dst:binv)
+            L.invert_transpose ~src:st.phim ~dst:st.binv)
       in
-      log_abs := logd;
+      st.log_abs := logd;
       logd
     in
-    let load_psiv () =
-      for j = 0 to n - 1 do
-        A.unsafe_set psiv j vbuf.(j)
-      done
-    in
-    let det_ratio kl =
-      match du with
-      | Some d -> Du.ratio d kl psiv
-      | None -> Sm.ratio binv kl psiv
-    in
     let ratio ps k =
-      if not (in_group k) then 1.
+      if not (in_group st k) then 1.
       else begin
         Timers.time timers "Bspline-v" (fun () ->
-            spo.Spo.eval_v (Ps.active_pos ps) vbuf);
-        load_psiv ();
-        let r = Timers.time timers "DetUpdate" (fun () -> det_ratio (k - first)) in
-        last_ratio := r;
+            spo.Spo.eval_v (Ps.active_pos ps) st.vbuf);
+        load_psiv st;
+        let r =
+          Timers.time timers "DetUpdate" (fun () -> det_ratio st (k - first))
+        in
+        st.last_ratio := r;
         r
       end
     in
-    (* Row dot of B[kl] against one gradient component, with the delayed
-       corrections when a queue is pending. *)
-    let corrected_dot kl (comp : float array) =
-      match du with
-      | Some d when Du.pending d > 0 ->
-          (* Route through the delayed ratio on a scratch copy: the
-             correction formula is identical for any replacement vector. *)
-          let tmp = A.create n in
-          for j = 0 to n - 1 do
-            A.unsafe_set tmp j comp.(j)
-          done;
-          Du.ratio d kl tmp
-      | _ ->
-          let acc = ref 0. in
-          for j = 0 to n - 1 do
-            acc := !acc +. (M.unsafe_get binv kl j *. comp.(j))
-          done;
-          !acc
-    in
     let ratio_grad ps k =
-      if not (in_group k) then (1., Vec3.zero)
+      if not (in_group st k) then (1., Vec3.zero)
       else begin
         let kl = k - first in
         let vgl = take_staged (spo.Spo.eval_vgl (Ps.active_pos ps)) in
-        Array.blit vgl.Spo.v 0 vbuf 0 n;
-        load_psiv ();
-        let r = Timers.time timers "DetUpdate" (fun () -> det_ratio kl) in
-        last_ratio := r;
+        Array.blit vgl.Spo.v 0 st.vbuf 0 n;
+        load_psiv st;
+        let r = Timers.time timers "DetUpdate" (fun () -> det_ratio st kl) in
+        st.last_ratio := r;
         if abs_float r < 1e-300 then (r, Vec3.zero)
         else begin
-          let gx = corrected_dot kl vgl.Spo.gx /. r in
-          let gy = corrected_dot kl vgl.Spo.gy /. r in
-          let gz = corrected_dot kl vgl.Spo.gz /. r in
+          let gx = corrected_dot st kl vgl.Spo.gx /. r in
+          let gy = corrected_dot st kl vgl.Spo.gy /. r in
+          let gz = corrected_dot st kl vgl.Spo.gz /. r in
           (r, Vec3.make gx gy gz)
         end
       end
     in
     let grad ps k =
-      if not (in_group k) then Vec3.zero
+      if not (in_group st k) then Vec3.zero
       else begin
         let kl = k - first in
         let vgl = take_staged (spo.Spo.eval_vgl (Ps.get ps k)) in
@@ -159,37 +259,30 @@ module Make (R : Precision.REAL) = struct
            orbital vector at r_k); dividing by it stabilizes the mixed
            precision path.  With pending delayed updates every dot routes
            through the corrected form. *)
-        let dotc = corrected_dot kl in
-        let denom = dotc vgl.Spo.v in
+        let denom = corrected_dot st kl vgl.Spo.v in
         Vec3.make
-          (dotc vgl.Spo.gx /. denom)
-          (dotc vgl.Spo.gy /. denom)
-          (dotc vgl.Spo.gz /. denom)
+          (corrected_dot st kl vgl.Spo.gx /. denom)
+          (corrected_dot st kl vgl.Spo.gy /. denom)
+          (corrected_dot st kl vgl.Spo.gz /. denom)
       end
     in
     let accept _ps k =
-      if in_group k then begin
-        let kl = k - first in
-        Timers.time timers "DetUpdate" (fun () ->
-            match du with
-            | Some d -> Du.accept d kl psiv
-            | None -> Sm.update_row binv kl psiv ~ratio:!last_ratio ~ws);
-        log_abs := !log_abs +. log (abs_float !last_ratio)
-      end
+      if in_group st k then
+        Timers.time timers "DetUpdate" (fun () -> accept_move st k)
     in
     let reject _ps _k = () in
     let accumulate_gl ps (g : W.gl) =
-      flush ();
-      let b = Lazy.force vgl_rows in
+      flush st;
+      let b = Lazy.force st.vgl_rows in
       load_row_pos ps;
-      Timers.time timers "SPO-vgl" (fun () -> b.Spo.run row_pos n);
+      Timers.time timers "SPO-vgl" (fun () -> b.Spo.run st.row_pos n);
       for i = 0 to n - 1 do
         let k = first + i in
         let vgl = b.Spo.slots.(i) in
         let dot comp =
           let acc = ref 0. in
           for j = 0 to n - 1 do
-            acc := !acc +. (M.unsafe_get binv i j *. comp.(j))
+            acc := !acc +. (M.unsafe_get st.binv i j *. comp.(j))
           done;
           !acc
         in
@@ -212,24 +305,24 @@ module Make (R : Precision.REAL) = struct
       done
     in
     let update_buffer _ps buf =
-      flush ();
+      flush st;
       for i = 0 to n - 1 do
         for j = 0 to n - 1 do
-          Wbuffer.put buf (M.get binv i j)
+          Wbuffer.put buf (M.get st.binv i j)
         done
       done;
-      Wbuffer.put buf !log_abs
+      Wbuffer.put buf !(st.log_abs)
     in
     let copy_from_buffer _ps buf =
-      flush ();
+      flush st;
       for i = 0 to n - 1 do
         for j = 0 to n - 1 do
-          M.set binv i j (Wbuffer.get buf)
+          M.set st.binv i j (Wbuffer.get buf)
         done
       done;
-      log_abs := Wbuffer.get buf
+      st.log_abs := Wbuffer.get buf
     in
-    let bytes () = M.bytes binv + M.bytes phim in
+    let bytes () = M.bytes st.binv + M.bytes st.phim in
     {
       W.name = Printf.sprintf "Det[%d..%d)" first (first + n);
       evaluate_log;
@@ -244,4 +337,7 @@ module Make (R : Precision.REAL) = struct
       copy_from_buffer;
       bytes;
     }
+
+  let create ?timers ?scheme ?staged ~spo ~first ~count ps =
+    component (make ?timers ?scheme ?staged ~spo ~first ~count ps)
 end

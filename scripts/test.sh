@@ -1,8 +1,9 @@
 #!/bin/sh
 # Repository test entry point: the tier-1 gate plus the crash-recovery
 # smoke (4 supervised ranks, one SIGKILLed mid-run and respawned from
-# its checkpoint shard) and the observability smoke (trace + telemetry
-# artifacts validated end to end).
+# its checkpoint shard), the observability smoke (trace + telemetry
+# artifacts validated end to end), and the crowd-batching bench smoke
+# (pipeline/staged bit-identity + zero-allocation kernel assertions).
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -10,3 +11,4 @@ dune build
 dune runtest
 dune build @recovery-smoke
 dune build @obs-smoke
+dune build @bench-smoke

@@ -414,6 +414,194 @@ let test_forward_matches_other_layouts () =
     done
   done
 
+(* ---------- crowd-batched kernels ---------- *)
+
+(* The batched kernels must reproduce the scalar per-table protocol
+   bit-for-bit: compare whole backing arrays through their IEEE bits. *)
+let same_bits name (a : AAsoa.A.t) (b : AAsoa.A.t) =
+  let ok = ref (AAsoa.A.length a = AAsoa.A.length b) in
+  if !ok then
+    for i = 0 to AAsoa.A.length a - 1 do
+      if
+        Int64.bits_of_float (AAsoa.A.get a i)
+        <> Int64.bits_of_float (AAsoa.A.get b i)
+      then ok := false
+    done;
+  check_bool name true !ok
+
+let same_f64 name a b =
+  check_bool name true (Int64.bits_of_float a = Int64.bits_of_float b)
+
+(* Random per-slot moves and accept decisions shared between the batched
+   and the scalar runs of one test. *)
+let gauss_move rng ps k =
+  Vec3.add (Ps.get ps k)
+    (Vec3.make (Xoshiro.gaussian rng) (Xoshiro.gaussian rng)
+       (Xoshiro.gaussian rng))
+
+let test_aa_soa_batch_identity () =
+  let lattice = Lattice.cubic 6. in
+  let n = 7 and slots = 4 in
+  let psb = Array.init slots (fun s -> fst (random_ps ~lattice ~seed:(100 + s) n)) in
+  let pss = Array.init slots (fun s -> fst (random_ps ~lattice ~seed:(100 + s) n)) in
+  let mk ps = let t = AAsoa.create ps in AAsoa.evaluate t ps; t in
+  let tb = Array.map mk psb and ts = Array.map mk pss in
+  let batch = AAsoa.make_batch (Array.init slots (fun s -> (tb.(s), psb.(s)))) in
+  check_bool "batch cap" true (AAsoa.batch_cap batch = slots);
+  check_bool "batch table" true (AAsoa.batch_table batch 0 == tb.(0));
+  let rng = Xoshiro.create 5 in
+  let px = Array.make slots 0.
+  and py = Array.make slots 0.
+  and pz = Array.make slots 0.
+  and acc = Array.make slots false in
+  for _sweep = 1 to 3 do
+    for k = 0 to n - 1 do
+      AAsoa.prepare_batch batch ~k ~m:slots;
+      for s = 0 to slots - 1 do
+        AAsoa.prepare ts.(s) pss.(s) k
+      done;
+      let newpos = Array.init slots (fun s -> gauss_move rng psb.(s) k) in
+      for s = 0 to slots - 1 do
+        px.(s) <- newpos.(s).Vec3.x;
+        py.(s) <- newpos.(s).Vec3.y;
+        pz.(s) <- newpos.(s).Vec3.z;
+        acc.(s) <- Xoshiro.uniform rng < 0.6
+      done;
+      AAsoa.move_batch batch ~k ~px ~py ~pz ~m:slots;
+      for s = 0 to slots - 1 do
+        AAsoa.move ts.(s) pss.(s) k newpos.(s);
+        same_bits "temp row" (AAsoa.temp_dist tb.(s)) (AAsoa.temp_dist ts.(s))
+      done;
+      AAsoa.accept_batch batch ~k ~acc ~m:slots;
+      for s = 0 to slots - 1 do
+        if acc.(s) then begin
+          AAsoa.accept ts.(s) k;
+          Ps.propose psb.(s) k newpos.(s);
+          Ps.accept psb.(s);
+          Ps.propose pss.(s) k newpos.(s);
+          Ps.accept pss.(s)
+        end
+      done
+    done
+  done;
+  for s = 0 to slots - 1 do
+    same_bits "dist data" (AAsoa.dist_data tb.(s)) (AAsoa.dist_data ts.(s));
+    same_bits "dx data" (AAsoa.dx_data tb.(s)) (AAsoa.dx_data ts.(s));
+    same_bits "dy data" (AAsoa.dy_data tb.(s)) (AAsoa.dy_data ts.(s));
+    same_bits "dz data" (AAsoa.dz_data tb.(s)) (AAsoa.dz_data ts.(s))
+  done
+
+let test_ab_soa_batch_identity () =
+  let lattice = Lattice.cubic 6. in
+  let slots = 3 and n = 6 and ni = 4 in
+  let mk_ions () =
+    let io =
+      Ps.create ~lattice
+        [ { Particle_set.name = "ion"; charge = 4.; count = ni } ]
+    in
+    let rng = Xoshiro.create 77 in
+    Ps.randomize io (fun () -> Xoshiro.uniform rng);
+    io
+  in
+  let psb = Array.init slots (fun s -> fst (random_ps ~lattice ~seed:(200 + s) n)) in
+  let pss = Array.init slots (fun s -> fst (random_ps ~lattice ~seed:(200 + s) n)) in
+  let mk ps = let t = ABsoa.create ~sources:(mk_ions ()) ps in ABsoa.evaluate t ps; t in
+  let tb = Array.map mk psb and ts = Array.map mk pss in
+  let batch = ABsoa.make_batch tb in
+  check_bool "batch cap" true (ABsoa.batch_cap batch = slots);
+  let rng = Xoshiro.create 8 in
+  let px = Array.make slots 0.
+  and py = Array.make slots 0.
+  and pz = Array.make slots 0.
+  and acc = Array.make slots false in
+  for _sweep = 1 to 3 do
+    for k = 0 to n - 1 do
+      let newpos = Array.init slots (fun s -> gauss_move rng psb.(s) k) in
+      for s = 0 to slots - 1 do
+        px.(s) <- newpos.(s).Vec3.x;
+        py.(s) <- newpos.(s).Vec3.y;
+        pz.(s) <- newpos.(s).Vec3.z;
+        acc.(s) <- Xoshiro.uniform rng < 0.6
+      done;
+      ABsoa.move_batch batch ~px ~py ~pz ~m:slots;
+      for s = 0 to slots - 1 do
+        ABsoa.move ts.(s) newpos.(s);
+        same_bits "temp row" (ABsoa.temp_dist tb.(s)) (ABsoa.temp_dist ts.(s))
+      done;
+      ABsoa.accept_batch batch ~k ~acc ~m:slots;
+      for s = 0 to slots - 1 do
+        if acc.(s) then begin
+          ABsoa.accept ts.(s) k;
+          Ps.propose psb.(s) k newpos.(s);
+          Ps.accept psb.(s);
+          Ps.propose pss.(s) k newpos.(s);
+          Ps.accept pss.(s)
+        end
+      done
+    done
+  done;
+  for s = 0 to slots - 1 do
+    same_bits "dist data" (ABsoa.dist_data tb.(s)) (ABsoa.dist_data ts.(s));
+    same_bits "dx data" (ABsoa.dx_data tb.(s)) (ABsoa.dx_data ts.(s));
+    same_bits "dy data" (ABsoa.dy_data tb.(s)) (ABsoa.dy_data ts.(s));
+    same_bits "dz data" (ABsoa.dz_data tb.(s)) (ABsoa.dz_data ts.(s))
+  done
+
+let test_aa_forward_batch_identity () =
+  let lattice = Lattice.cubic 6. in
+  let n = 6 and slots = 3 in
+  let psb = Array.init slots (fun s -> fst (random_ps ~lattice ~seed:(300 + s) n)) in
+  let pss = Array.init slots (fun s -> fst (random_ps ~lattice ~seed:(300 + s) n)) in
+  let mk ps = let t = AAfwd.create ps in AAfwd.evaluate t ps; t in
+  let tb = Array.map mk psb and ts = Array.map mk pss in
+  let batch = AAfwd.make_batch (Array.init slots (fun s -> (tb.(s), psb.(s)))) in
+  let rng = Xoshiro.create 13 in
+  let px = Array.make slots 0.
+  and py = Array.make slots 0.
+  and pz = Array.make slots 0.
+  and acc = Array.make slots false in
+  for _sweep = 1 to 3 do
+    (* The forward scheme's invariant covers one ordered sweep; refresh
+       both sides identically between sweeps, as the engine does. *)
+    for s = 0 to slots - 1 do
+      AAfwd.evaluate tb.(s) psb.(s);
+      AAfwd.evaluate ts.(s) pss.(s)
+    done;
+    for k = 0 to n - 1 do
+      let newpos = Array.init slots (fun s -> gauss_move rng psb.(s) k) in
+      for s = 0 to slots - 1 do
+        px.(s) <- newpos.(s).Vec3.x;
+        py.(s) <- newpos.(s).Vec3.y;
+        pz.(s) <- newpos.(s).Vec3.z;
+        acc.(s) <- Xoshiro.uniform rng < 0.6
+      done;
+      AAfwd.move_batch batch ~k ~px ~py ~pz ~m:slots;
+      for s = 0 to slots - 1 do
+        AAfwd.move ts.(s) pss.(s) k newpos.(s);
+        same_bits "temp row" (AAfwd.temp_dist tb.(s)) (AAfwd.temp_dist ts.(s))
+      done;
+      AAfwd.update_batch batch ~k ~acc ~m:slots;
+      for s = 0 to slots - 1 do
+        if acc.(s) then begin
+          AAfwd.update ts.(s) k;
+          Ps.propose psb.(s) k newpos.(s);
+          Ps.accept psb.(s);
+          Ps.propose pss.(s) k newpos.(s);
+          Ps.accept pss.(s)
+        end
+      done;
+      for s = 0 to slots - 1 do
+        for i = 0 to n - 1 do
+          for j = 0 to n - 1 do
+            if i <> j then
+              same_f64 "pair dist" (AAfwd.dist ts.(s) i j)
+                (AAfwd.dist tb.(s) i j)
+          done
+        done
+      done
+    done
+  done
+
 let prop_aa_symmetry =
   QCheck.Test.make ~name:"AA distances symmetric" ~count:30
     QCheck.(int_range 1 10000)
@@ -497,6 +685,12 @@ let () =
             test_forward_table_sweep_invariant;
           Alcotest.test_case "forward matches soa" `Quick
             test_forward_matches_other_layouts;
+          Alcotest.test_case "AA batch bit-identical" `Quick
+            test_aa_soa_batch_identity;
+          Alcotest.test_case "AB batch bit-identical" `Quick
+            test_ab_soa_batch_identity;
+          Alcotest.test_case "forward batch bit-identical" `Quick
+            test_aa_forward_batch_identity;
         ] );
       ("properties", qt [ prop_aa_symmetry; prop_dist_below_ws_diameter ]);
     ]

@@ -40,6 +40,34 @@ let test_grain_for () =
           ((n + g - 1) / g >= nd))
     [ (1, 1); (7, 2); (9, 3); (10, 3); (100, 4); (1000, 7) ]
 
+(* ---------- explicit grain override ---------- *)
+
+let test_explicit_grain () =
+  let sys = Lazy.force harmonic_sys in
+  List.iter
+    (fun n_domains ->
+      Runner.with_runner ~n_domains ~factory:(factory sys) @@ fun runner ->
+      (* any explicit grain still covers every index exactly once *)
+      List.iter
+        (fun grain ->
+          let hits = Array.init 13 (fun _ -> Atomic.make 0) in
+          Runner.parallel_for ~grain runner ~n:13 ~f:(fun ~domain:_ i ->
+              Atomic.incr hits.(i));
+          Array.iteri
+            (fun i c ->
+              check_int
+                (Printf.sprintf "grain=%d index %d hit once" grain i)
+                1 (Atomic.get c))
+            hits)
+        [ 1; 2; 5; 13; 100 ];
+      check_bool "grain < 1 rejected" true
+        (match
+           Runner.parallel_for ~grain:0 runner ~n:4 ~f:(fun ~domain:_ _ -> ())
+         with
+        | () -> false
+        | exception Invalid_argument _ -> true))
+    [ 1; 3 ]
+
 (* ---------- exactly-once scheduling, uneven counts ---------- *)
 
 let test_coverage_exactly_once () =
@@ -360,12 +388,98 @@ let test_dmc_crowd_identity () =
     (List.length scalar.Dmc.final_walkers)
     (List.length crowd.Dmc.final_walkers)
 
+(* Guard against a silent fallback: the full-pipeline batched path must
+   actually be engaged for the Otf (Current) variants, and must decline
+   gracefully for the Store-layout reference variants. *)
+let test_crowd_pipeline_active () =
+  let sys = Lazy.force harmonic_sys in
+  let cr = Crowd.create ~factory:(factory sys) ~base:0 ~size:3 () in
+  check_bool "Current crowd pipelined" true (Crowd.pipelined cr);
+  let cr64 =
+    Crowd.create
+      ~factory:(Build.factory ~variant:Variant.Current_f64 ~seed:3 sys)
+      ~base:0 ~size:3 ()
+  in
+  check_bool "Current_f64 crowd pipelined" true (Crowd.pipelined cr64);
+  let off = Crowd.create ~pipeline:false ~factory:(factory sys) ~base:0 ~size:3 () in
+  check_bool "pipeline:false honoured" false (Crowd.pipelined off);
+  let cref =
+    Crowd.create
+      ~factory:(Build.factory ~variant:Variant.Ref ~seed:3 sys)
+      ~base:0 ~size:3 ()
+  in
+  check_bool "Store layout falls back" false (Crowd.pipelined cref)
+
+(* The pipelined sweep, the staged (PR2) sweep and the scalar per-engine
+   sweep must produce bit-identical trajectories. *)
+let test_crowd_pipeline_vs_staged () =
+  let sys = Lazy.force harmonic_sys in
+  let size = 3 in
+  let run_crowd ~pipeline =
+    let cr = Crowd.create ~pipeline ~factory:(factory sys) ~base:0 ~size () in
+    check_bool "pipelined as requested" pipeline (Crowd.pipelined cr);
+    let rngs = Xoshiro.streams ~seed:77 size in
+    for s = 0 to size - 1 do
+      (Crowd.engine cr s).Engine_api.randomize rngs.(s)
+    done;
+    let sweep_rngs = Xoshiro.streams ~seed:123 size in
+    let acc = ref 0 in
+    for _ = 1 to 6 do
+      let rs =
+        Crowd.sweep cr ~active:size ~rng:(fun s -> sweep_rngs.(s)) ~tau:0.3
+      in
+      Array.iter (fun r -> acc := !acc + r.Engine_api.accepted) rs
+    done;
+    let es =
+      Array.init size (fun s -> (Crowd.engine cr s).Engine_api.measure ())
+    in
+    (!acc, es)
+  in
+  let run_scalar () =
+    let engines = Array.init size (factory sys) in
+    let rngs = Xoshiro.streams ~seed:77 size in
+    Array.iteri (fun s e -> e.Engine_api.randomize rngs.(s)) engines;
+    let sweep_rngs = Xoshiro.streams ~seed:123 size in
+    let acc = ref 0 in
+    for _ = 1 to 6 do
+      Array.iteri
+        (fun s e ->
+          let r = e.Engine_api.sweep sweep_rngs.(s) ~tau:0.3 in
+          acc := !acc + r.Engine_api.accepted)
+        engines
+    done;
+    (!acc, Array.map (fun e -> e.Engine_api.measure ()) engines)
+  in
+  let acc_p, e_p = run_crowd ~pipeline:true in
+  let acc_s, e_s = run_crowd ~pipeline:false in
+  let acc_r, e_r = run_scalar () in
+  check_int "accepts pipeline = staged" acc_s acc_p;
+  check_int "accepts pipeline = scalar" acc_r acc_p;
+  same_float_array "local energies pipeline = staged" e_s e_p;
+  same_float_array "local energies pipeline = scalar" e_r e_p
+
+(* Crowd batching composed with delayed determinant updates: the whole
+   VMC trajectory stays bit-identical to the scalar path at equal
+   delay. *)
+let test_vmc_crowd_identity_delayed () =
+  let sys = Lazy.force harmonic_sys in
+  let dfactory = Build.factory ~delay:4 ~variant:Variant.Current ~seed:3 sys in
+  let scalar = Vmc.run ~crowd:1 ~factory:dfactory vmc_params in
+  let crowd = Vmc.run ~crowd:3 ~factory:dfactory vmc_params in
+  same_float_array "vmc delay=4 block energies" scalar.Vmc.block_energies
+    crowd.Vmc.block_energies;
+  check_bool "vmc delay=4 energy identical" true
+    (Float.equal scalar.Vmc.energy crowd.Vmc.energy);
+  check_bool "vmc delay=4 acceptance identical" true
+    (Float.equal scalar.Vmc.acceptance crowd.Vmc.acceptance)
+
 let () =
   Alcotest.run "pool"
     [
       ( "runner",
         [
           Alcotest.test_case "grain size" `Quick test_grain_for;
+          Alcotest.test_case "explicit grain" `Quick test_explicit_grain;
           Alcotest.test_case "exactly-once coverage" `Quick
             test_coverage_exactly_once;
           Alcotest.test_case "spawn accounting" `Quick test_spawn_count;
@@ -394,5 +508,11 @@ let () =
             test_vmc_crowd_identity_bspline;
           Alcotest.test_case "dmc crowd bit-identical" `Quick
             test_dmc_crowd_identity;
+          Alcotest.test_case "pipeline active" `Quick
+            test_crowd_pipeline_active;
+          Alcotest.test_case "pipeline vs staged vs scalar" `Quick
+            test_crowd_pipeline_vs_staged;
+          Alcotest.test_case "vmc crowd delayed bit-identical" `Quick
+            test_vmc_crowd_identity_delayed;
         ] );
     ]

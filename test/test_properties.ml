@@ -147,6 +147,10 @@ let test_input_deck_errors () =
   check_bool "bad int" true (bad "walkers = many\n");
   check_bool "no equals" true (bad "just words\n");
   check_bool "bad variant" true (bad "variant = turbo\n");
+  check_bool "delay < 1 rejected" true (bad "delay = 0\n");
+  check_bool "delay parsed" true
+    ((Input.parse_string "delay = 8\n").Input.delay = 8);
+  check_bool "delay defaults to SM" true (Input.default.Input.delay = 1);
   check_bool "comments ok" true
     (match Input.parse_string "# only a comment\n" with
     | cfg -> cfg = Input.default

@@ -435,6 +435,327 @@ let test_det_delayed_same_physics () =
   checkf 1e-7 "final logs" (d_sm.W.evaluate_log ps)
     (d_delayed.W.evaluate_log ps)
 
+(* ---------- crowd-batched kernels ---------- *)
+
+let same_f64 name a b =
+  check_bool name true (Int64.bits_of_float a = Int64.bits_of_float b)
+
+(* The batched Jastrow/determinant kernels must match the scalar
+   component closures bit-for-bit: drive two identical replicas of each
+   crowd slot, one through the batch entry points and one through the
+   scalar W.t closures, over a random move/accept/reject sequence. *)
+let test_j2_batch_identity () =
+  let m = 3 in
+  let mk seed =
+    let ps, _ = electrons ~seed 8 in
+    let t = AAsoa.create ps in
+    AAsoa.evaluate t ps;
+    (ps, t)
+  in
+  let psb = Array.init m (fun s -> mk (30 + s)) in
+  let pss = Array.init m (fun s -> mk (30 + s)) in
+  let sts =
+    Array.map (fun (ps, t) -> J2.make_opt ~table:t ~functors:functors2 ps) psb
+  in
+  let jb = Array.map J2.opt_component sts in
+  let js =
+    Array.map (fun (ps, t) -> J2.create_opt ~table:t ~functors:functors2 ps) pss
+  in
+  Array.iteri (fun s (ps, _) -> ignore (jb.(s).W.evaluate_log ps)) psb;
+  Array.iteri (fun s (ps, _) -> ignore (js.(s).W.evaluate_log ps)) pss;
+  let rng = Xoshiro.create 9 in
+  let ratio = Array.make m 1.
+  and gx = Array.make m 0.
+  and gy = Array.make m 0.
+  and gz = Array.make m 0.
+  and acc = Array.make m false in
+  for _sweep = 1 to 3 do
+    for k = 0 to 7 do
+      (* prepare, then current-position gradient (engine stage order) *)
+      for s = 0 to m - 1 do
+        let psB, tB = psb.(s) and psS, tS = pss.(s) in
+        AAsoa.prepare tB psB k;
+        AAsoa.prepare tS psS k
+      done;
+      Array.fill gx 0 m 0.;
+      Array.fill gy 0 m 0.;
+      Array.fill gz 0 m 0.;
+      J2.grad_batch sts ~k ~m ~gx ~gy ~gz;
+      for s = 0 to m - 1 do
+        let psS, _ = pss.(s) in
+        let g = js.(s).W.grad psS k in
+        same_f64 "j2 grad x" g.Vec3.x gx.(s);
+        same_f64 "j2 grad y" g.Vec3.y gy.(s);
+        same_f64 "j2 grad z" g.Vec3.z gz.(s)
+      done;
+      (* identical proposed moves on both replicas *)
+      let dr =
+        Array.init m (fun _ ->
+            Vec3.make
+              (Xoshiro.gaussian rng *. 0.4)
+              (Xoshiro.gaussian rng *. 0.4)
+              (Xoshiro.gaussian rng *. 0.4))
+      in
+      for s = 0 to m - 1 do
+        let psB, tB = psb.(s) and psS, tS = pss.(s) in
+        let np = Vec3.add (Ps.get psB k) dr.(s) in
+        Ps.propose psB k np;
+        Ps.propose psS k np;
+        AAsoa.move tB psB k np;
+        AAsoa.move tS psS k np;
+        acc.(s) <- Xoshiro.uniform rng < 0.5
+      done;
+      Array.fill ratio 0 m 1.;
+      Array.fill gx 0 m 0.;
+      Array.fill gy 0 m 0.;
+      Array.fill gz 0 m 0.;
+      J2.ratio_grad_batch sts ~k ~m ~ratio ~gx ~gy ~gz;
+      for s = 0 to m - 1 do
+        let psS, _ = pss.(s) in
+        let r, g = js.(s).W.ratio_grad psS k in
+        same_f64 "j2 ratio" r ratio.(s);
+        same_f64 "j2 rg x" g.Vec3.x gx.(s);
+        same_f64 "j2 rg y" g.Vec3.y gy.(s);
+        same_f64 "j2 rg z" g.Vec3.z gz.(s)
+      done;
+      J2.accept_batch sts ~k ~m ~acc;
+      for s = 0 to m - 1 do
+        let psB, tB = psb.(s) and psS, tS = pss.(s) in
+        if acc.(s) then begin
+          js.(s).W.accept psS k;
+          AAsoa.accept tB k;
+          AAsoa.accept tS k;
+          Ps.accept psB;
+          Ps.accept psS
+        end
+        else begin
+          js.(s).W.reject psS k;
+          Ps.reject psB;
+          Ps.reject psS
+        end
+      done
+    done
+  done;
+  (* incremental state survives the whole sequence identically *)
+  for s = 0 to m - 1 do
+    let psB, _ = psb.(s) and psS, _ = pss.(s) in
+    same_f64 "j2 final log" (js.(s).W.evaluate_log psS)
+      (jb.(s).W.evaluate_log psB)
+  done
+
+let test_j1_batch_identity () =
+  let m = 3 in
+  let mk seed =
+    let ps, _ = electrons ~seed 8 in
+    let io = ions () in
+    let t = ABsoa.create ~sources:io ps in
+    ABsoa.evaluate t ps;
+    (ps, io, t)
+  in
+  let psb = Array.init m (fun s -> mk (60 + s)) in
+  let pss = Array.init m (fun s -> mk (60 + s)) in
+  let sts =
+    Array.map
+      (fun (ps, io, t) -> J1.make_opt ~table:t ~functors:functors1 ~ions:io ps)
+      psb
+  in
+  let jb = Array.map J1.opt_component sts in
+  let js =
+    Array.map
+      (fun (ps, io, t) ->
+        J1.create_opt ~table:t ~functors:functors1 ~ions:io ps)
+      pss
+  in
+  Array.iteri (fun s (ps, _, _) -> ignore (jb.(s).W.evaluate_log ps)) psb;
+  Array.iteri (fun s (ps, _, _) -> ignore (js.(s).W.evaluate_log ps)) pss;
+  let rng = Xoshiro.create 10 in
+  let ratio = Array.make m 1.
+  and gx = Array.make m 0.
+  and gy = Array.make m 0.
+  and gz = Array.make m 0.
+  and acc = Array.make m false in
+  for _sweep = 1 to 3 do
+    for k = 0 to 7 do
+      Array.fill gx 0 m 0.;
+      Array.fill gy 0 m 0.;
+      Array.fill gz 0 m 0.;
+      J1.grad_batch sts ~k ~m ~gx ~gy ~gz;
+      for s = 0 to m - 1 do
+        let psS, _, _ = pss.(s) in
+        let g = js.(s).W.grad psS k in
+        same_f64 "j1 grad x" g.Vec3.x gx.(s);
+        same_f64 "j1 grad y" g.Vec3.y gy.(s);
+        same_f64 "j1 grad z" g.Vec3.z gz.(s)
+      done;
+      let dr =
+        Array.init m (fun _ ->
+            Vec3.make
+              (Xoshiro.gaussian rng *. 0.4)
+              (Xoshiro.gaussian rng *. 0.4)
+              (Xoshiro.gaussian rng *. 0.4))
+      in
+      for s = 0 to m - 1 do
+        let psB, _, tB = psb.(s) and psS, _, tS = pss.(s) in
+        let np = Vec3.add (Ps.get psB k) dr.(s) in
+        Ps.propose psB k np;
+        Ps.propose psS k np;
+        ABsoa.move tB np;
+        ABsoa.move tS np;
+        acc.(s) <- Xoshiro.uniform rng < 0.5
+      done;
+      Array.fill ratio 0 m 1.;
+      Array.fill gx 0 m 0.;
+      Array.fill gy 0 m 0.;
+      Array.fill gz 0 m 0.;
+      J1.ratio_grad_batch sts ~k ~m ~ratio ~gx ~gy ~gz;
+      for s = 0 to m - 1 do
+        let psS, _, _ = pss.(s) in
+        let r, g = js.(s).W.ratio_grad psS k in
+        same_f64 "j1 ratio" r ratio.(s);
+        same_f64 "j1 rg x" g.Vec3.x gx.(s);
+        same_f64 "j1 rg y" g.Vec3.y gy.(s);
+        same_f64 "j1 rg z" g.Vec3.z gz.(s)
+      done;
+      J1.accept_batch sts ~k ~m ~acc;
+      for s = 0 to m - 1 do
+        let psB, _, tB = psb.(s) and psS, _, tS = pss.(s) in
+        if acc.(s) then begin
+          js.(s).W.accept psS k;
+          ABsoa.accept tB k;
+          ABsoa.accept tS k;
+          Ps.accept psB;
+          Ps.accept psS
+        end
+        else begin
+          js.(s).W.reject psS k;
+          Ps.reject psB;
+          Ps.reject psS
+        end
+      done
+    done
+  done;
+  for s = 0 to m - 1 do
+    let psB, _, _ = psb.(s) and psS, _, _ = pss.(s) in
+    same_f64 "j1 final log" (js.(s).W.evaluate_log psS)
+      (jb.(s).W.evaluate_log psB)
+  done
+
+(* Drive one determinant through the crowd entry points
+   (grad_into/ratio_grad_into/accept_move on a Det.state) and a replica
+   through the scalar closures; every ratio/gradient must agree
+   bit-for-bit, for Sherman-Morrison and for delayed-k updates. *)
+let det_batch_identity ~scheme () =
+  let ps_b, _ = electrons ~seed:44 8 in
+  let ps_s, _ = electrons ~seed:44 8 in
+  let spo = Spo_analytic.plane_waves ~lattice ~n_orb:4 in
+  let st = Det.make ~scheme ~spo ~first:0 ~count:4 ps_b in
+  let cb = Det.component st in
+  let cs = Det.create ~scheme ~spo ~first:0 ~count:4 ps_s in
+  ignore (cb.W.evaluate_log ps_b);
+  ignore (cs.W.evaluate_log ps_s);
+  let vgl = Spo.make_vgl 4 in
+  let ratio = [| 1. |]
+  and gx = [| 0. |]
+  and gy = [| 0. |]
+  and gz = [| 0. |] in
+  let rng = Xoshiro.create 51 in
+  for _sweep = 1 to 3 do
+    for k = 0 to 7 do
+      spo.Spo.eval_vgl (Ps.get ps_b k) vgl;
+      gx.(0) <- 0.;
+      gy.(0) <- 0.;
+      gz.(0) <- 0.;
+      Det.grad_into st vgl k ~s:0 ~gx ~gy ~gz;
+      if k < 4 then begin
+        let g = cs.W.grad ps_s k in
+        same_f64 "det grad x" g.Vec3.x gx.(0);
+        same_f64 "det grad y" g.Vec3.y gy.(0);
+        same_f64 "det grad z" g.Vec3.z gz.(0)
+      end
+      else begin
+        same_f64 "out-of-group grad x" 0. gx.(0);
+        same_f64 "out-of-group grad y" 0. gy.(0);
+        same_f64 "out-of-group grad z" 0. gz.(0)
+      end;
+      let np =
+        Vec3.add (Ps.get ps_b k)
+          (Vec3.make
+             (Xoshiro.gaussian rng *. 0.3)
+             (Xoshiro.gaussian rng *. 0.3)
+             (Xoshiro.gaussian rng *. 0.3))
+      in
+      Ps.propose ps_b k np;
+      Ps.propose ps_s k np;
+      spo.Spo.eval_vgl np vgl;
+      ratio.(0) <- 1.;
+      gx.(0) <- 0.;
+      gy.(0) <- 0.;
+      gz.(0) <- 0.;
+      Det.ratio_grad_into st vgl k ~s:0 ~ratio ~gx ~gy ~gz;
+      let r, g = cs.W.ratio_grad ps_s k in
+      same_f64 "det ratio" r ratio.(0);
+      same_f64 "det rg x" g.Vec3.x gx.(0);
+      same_f64 "det rg y" g.Vec3.y gy.(0);
+      same_f64 "det rg z" g.Vec3.z gz.(0);
+      if Xoshiro.uniform rng < 0.6 then begin
+        Det.accept_move st k;
+        cs.W.accept ps_s k;
+        Ps.accept ps_b;
+        Ps.accept ps_s
+      end
+      else begin
+        cb.W.reject ps_b k;
+        cs.W.reject ps_s k;
+        Ps.reject ps_b;
+        Ps.reject ps_s
+      end
+    done
+  done;
+  same_f64 "det final log" (cs.W.evaluate_log ps_s) (cb.W.evaluate_log ps_b)
+
+let test_det_batch_identity_sm = det_batch_identity ~scheme:Det.Sherman_morrison
+
+let test_det_batch_identity_delayed =
+  det_batch_identity ~scheme:(Det.Delayed 3)
+
+(* Delayed-k sweep: every delay rank must track a fresh LU recompute
+   through a long random accept/reject sequence. *)
+let test_det_delayed_k_sweep () =
+  List.iter
+    (fun kd ->
+      let ps, rng = electrons ~seed:(70 + kd) 8 in
+      let spo = Spo_analytic.plane_waves ~lattice ~n_orb:4 in
+      let scheme = if kd = 1 then Det.Sherman_morrison else Det.Delayed kd in
+      let d = Det.create ~scheme ~spo ~first:0 ~count:4 ps in
+      let log_running = ref (d.W.evaluate_log ps) in
+      for _sweep = 1 to 4 do
+        for k = 0 to 3 do
+          let np =
+            Vec3.add (Ps.get ps k)
+              (Vec3.make
+                 (Xoshiro.gaussian rng *. 0.3)
+                 (Xoshiro.gaussian rng *. 0.3)
+                 (Xoshiro.gaussian rng *. 0.3))
+          in
+          Ps.propose ps k np;
+          let r = d.W.ratio ps k in
+          if abs_float r > 0.3 then begin
+            d.W.accept ps k;
+            Ps.accept ps;
+            log_running := !log_running +. log (abs_float r)
+          end
+          else begin
+            d.W.reject ps k;
+            Ps.reject ps
+          end
+        done
+      done;
+      (* fresh LU recompute at the final configuration *)
+      checkf 1e-8
+        (Printf.sprintf "delay %d tracks LU" kd)
+        (d.W.evaluate_log ps) !log_running)
+    [ 1; 2; 4; 8 ]
+
 (* ---------- TrialWaveFunction composition ---------- *)
 
 let test_twf_product () =
@@ -496,6 +817,19 @@ let () =
           Alcotest.test_case "grad fd" `Quick test_det_grad_fd;
           Alcotest.test_case "delayed same physics" `Quick
             test_det_delayed_same_physics;
+          Alcotest.test_case "delayed k sweep vs LU" `Quick
+            test_det_delayed_k_sweep;
+        ] );
+      ( "crowd_batch",
+        [
+          Alcotest.test_case "j2 batch bit-identical" `Quick
+            test_j2_batch_identity;
+          Alcotest.test_case "j1 batch bit-identical" `Quick
+            test_j1_batch_identity;
+          Alcotest.test_case "det batch bit-identical (SM)" `Quick
+            test_det_batch_identity_sm;
+          Alcotest.test_case "det batch bit-identical (delayed)" `Quick
+            test_det_batch_identity_delayed;
         ] );
       ("twf", [ Alcotest.test_case "product" `Quick test_twf_product ]);
     ]
