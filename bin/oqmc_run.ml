@@ -31,8 +31,8 @@ let make_system name reduction with_nlpp seed =
 
 let run input method_ workload variant reduction walkers blocks steps tau
     domains crowd delay with_nlpp seed checkpoint checkpoint_every checkpoint_keep
-    watchdog restore ranks heartbeat_ms max_respawn trace telemetry
-    telemetry_every progress =
+    watchdog restore ranks heartbeat_ms max_respawn elastic gen_deadline_ms
+    straggler_policy trace telemetry telemetry_every progress =
   (* An input deck, when given, takes precedence over the flags. *)
   let cfg =
     match input with
@@ -60,6 +60,9 @@ let run input method_ workload variant reduction walkers blocks steps tau
           ranks;
           heartbeat_ms;
           max_respawn;
+          elastic;
+          gen_deadline_ms;
+          straggler_policy;
           trace;
           telemetry;
           telemetry_every;
@@ -87,6 +90,18 @@ let run input method_ workload variant reduction walkers blocks steps tau
   let ranks = cfg.Input.ranks in
   let heartbeat_ms = cfg.Input.heartbeat_ms in
   let max_respawn = cfg.Input.max_respawn in
+  let elastic = cfg.Input.elastic in
+  let gen_deadline_ms = cfg.Input.gen_deadline_ms in
+  let straggler_policy =
+    match
+      Oqmc_dist.Supervisor.straggler_policy_of_string
+        cfg.Input.straggler_policy
+    with
+    | Some pol -> pol
+    | None ->
+        invalid_arg
+          "oqmc_run: --straggler-policy must be warn, steal or quarantine"
+  in
   let trace = cfg.Input.trace in
   let telemetry = cfg.Input.telemetry in
   let telemetry_every = max 1 cfg.Input.telemetry_every in
@@ -124,6 +139,9 @@ let run input method_ workload variant reduction walkers blocks steps tau
           checkpoint_every;
           checkpoint_keep;
           restore = restore <> None;
+          elastic;
+          gen_deadline_ms;
+          straggler_policy;
           trace;
           telemetry;
           telemetry_every;
@@ -148,6 +166,13 @@ let run input method_ workload variant reduction walkers blocks steps tau
          stalls, %d garbage frames, %d degraded generations\n"
         res.live_ranks ranks res.respawns res.crashes res.heartbeat_timeouts
         res.garbage_frames res.degraded_generations;
+      if elastic then
+        Printf.printf
+          "elastic       : %d joins, %d leaves, %d stragglers (%s), %d \
+           steals, gen p50 %.1f ms p99 %.1f ms\n"
+          res.joins res.leaves res.stragglers
+          (Oqmc_dist.Supervisor.straggler_policy_name straggler_policy)
+          res.steals (1e3 *. res.gen_p50_s) (1e3 *. res.gen_p99_s);
       if res.ranks_failed <> [] then
         Printf.printf "ranks lost    : %s\n"
           (String.concat ", " (List.map string_of_int res.ranks_failed))
@@ -366,6 +391,35 @@ let max_respawn =
           "Respawns allowed per rank before it is abandoned and the run \
            degrades to the surviving ranks.")
 
+let elastic =
+  Arg.(
+    value & flag
+    & info [ "elastic" ]
+        ~doc:
+          "Enable elastic rank membership: abandoned rank slots become \
+           refillable, graceful drain/leave is honored, and (with \
+           --gen-deadline-ms > 0) shard checkpoints overlap the next \
+           generation's compute.")
+
+let gen_deadline_ms =
+  Arg.(
+    value & opt int 0
+    & info [ "gen-deadline-ms" ] ~docv:"MS"
+        ~doc:
+          "Soft per-generation budget: a rank finishing later than \
+           $(docv) plus three smoothed heartbeat RTTs is a straggler, \
+           handled per --straggler-policy (0 = classic lockstep).")
+
+let straggler_policy =
+  Arg.(
+    value & opt string "warn"
+    & info [ "straggler-policy" ] ~docv:"POLICY"
+        ~doc:
+          "What to do with a rank that misses the soft generation \
+           deadline: warn (count it), steal (shed a quarter of its \
+           walkers to the fastest rank) or quarantine (three consecutive \
+           misses are treated as a stall).")
+
 let trace =
   Arg.(
     value
@@ -406,7 +460,7 @@ let cmd =
       $ blocks $ steps $ tau $ domains $ crowd $ delay $ nlpp $ seed
       $ checkpoint
       $ checkpoint_every $ checkpoint_keep $ watchdog $ restore $ ranks
-      $ heartbeat_ms $ max_respawn $ trace $ telemetry $ telemetry_every
-      $ progress)
+      $ heartbeat_ms $ max_respawn $ elastic $ gen_deadline_ms
+      $ straggler_policy $ trace $ telemetry $ telemetry_every $ progress)
 
 let () = exit (Cmd.eval cmd)

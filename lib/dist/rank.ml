@@ -25,8 +25,14 @@ type config = {
   n_domains : int; (* worker domains inside this rank *)
   checkpoint : string option;
   checkpoint_keep : int;
+  async_checkpoint : bool;
+      (* overlap shard writes with the next generation's compute
+         (double-buffered [Checkpoint.Async]); false = write-then-ack *)
   incarnation : int; (* 0 = first spawn; respawns count up *)
-  faults : (int * Fault.rank_fault) list; (* this rank's injection plan *)
+  faults : (int * Fault.rank_fault) list;
+      (* this rank's injection plan.  The supervisor filters the plan to
+         generations the incarnation has not yet reached, so a respawned
+         rank arms only its FUTURE faults and cannot re-kill itself. *)
 }
 
 (* Disjoint, deterministic seed blocks per (rank, incarnation). *)
@@ -88,6 +94,7 @@ let restore_shard ~factory ~walkers ~e_trial cfg =
 
 let shutdown_shard s = Runner.shutdown s.runner
 let pop s = s.pop
+let config s = s.cfg
 let move_totals s = (s.acc, s.prop)
 
 (* Initial-ensemble estimator terms: unit weights, measured energies. *)
@@ -157,8 +164,7 @@ let serve ~cfg ~(factory : int -> Engine_api.t) ~init ~fd_in ~fd_out =
     List.map (fun kv -> Metrics.(kv.kind, kv.key, kv.value)) kvs
     @ timer_kvs
   in
-  if cfg.incarnation = 0 then
-    List.iter (fun (gen, f) -> Fault.arm_rank_fault ~gen f) cfg.faults;
+  List.iter (fun (gen, f) -> Fault.arm_rank_fault ~gen f) cfg.faults;
   let shard =
     match init with
     | Some (e_trial, walkers) -> restore_shard ~factory ~walkers ~e_trial cfg
@@ -203,14 +209,38 @@ let serve ~cfg ~(factory : int -> Engine_api.t) ~init ~fd_in ~fd_out =
     | Some Fault.Rank_kill -> Unix.kill (Unix.getpid ()) Sys.sigkill
     | Some (Fault.Rank_stall s) -> Unix.sleepf s
     | Some Fault.Rank_garbage -> Wire.send_corrupt fd_out
+    | Some (Fault.Rank_disk_full times) ->
+        (* Observable in the merged telemetry: the counter delta ships
+           with this generation's Reduce frame. *)
+        Metrics.inc (Metrics.counter "chaos.disk_full");
+        Fault.arm_io_failure Fault.Checkpoint_write ~times
+    | None -> ()
+  in
+  (* Double-buffered background shard writer, created on first use. *)
+  let async_writer = ref None in
+  let writer () =
+    match !async_writer with
+    | Some w -> w
+    | None ->
+        let w = Checkpoint.Async.create () in
+        async_writer := Some w;
+        w
+  in
+  let drain_writer () =
+    match !async_writer with
+    | Some w -> ignore (Checkpoint.Async.drain w)
     | None -> ()
   in
   let running = ref true in
   while !running do
     match Wire.recv fd_in with
     | Wire.Begin_gen { gen; e_trial } ->
-        fire_faults ~gen;
+        (* Heartbeat first: it marks the start of the generation's work,
+           so the supervisor's RTT EWMA tracks the healthy round-trip
+           and injected stalls (slow work) land where real slowness
+           would — between the heartbeat and the Reduce. *)
         Wire.send fd_out (Wire.Heartbeat { gen });
+        fire_faults ~gen;
         let wsum, esum =
           Trace.with_span
             ~args:[ ("gen", string_of_int gen) ]
@@ -239,6 +269,20 @@ let serve ~cfg ~(factory : int -> Engine_api.t) ~init ~fd_in ~fd_out =
         let ok =
           match cfg.checkpoint with
           | None -> false
+          | Some path when cfg.async_checkpoint -> (
+              (* Render the shard image now, publish it from a background
+                 domain overlapped with the next generation's sweep.  The
+                 ack covers the render + the PREVIOUS write's landing;
+                 [Checkpoint.latest_complete] revalidates shards on
+                 restore, so an optimistic ack can delay recovery by one
+                 round but never corrupt it. *)
+              try
+                Checkpoint.Async.save_generation (writer ())
+                  ~keep:cfg.checkpoint_keep
+                  ~path:(Checkpoint.shard_path ~path ~rank:cfg.rank)
+                  ~gen ~e_trial
+                  (Population.walkers shard.pop)
+              with Sys_error _ | Checkpoint.Corrupt _ -> false)
           | Some path -> (
               try
                 Checkpoint.save_shard ~keep:cfg.checkpoint_keep ~path
@@ -248,7 +292,20 @@ let serve ~cfg ~(factory : int -> Engine_api.t) ~init ~fd_in ~fd_out =
               with Sys_error _ | Checkpoint.Corrupt _ -> false)
         in
         Wire.send fd_out (Wire.Ack { gen; ok })
+    | Wire.Join { gen; e_trial = _ } ->
+        (* Mid-run membership: this freshly forked rank is live as of
+           [gen]; its walkers arrive through the rebalancing relays that
+           follow the ack. *)
+        Wire.send fd_out (Wire.Ack { gen; ok = true })
+    | Wire.Drain { gen } ->
+        (* Graceful leave: ship the WHOLE shard (order preserved), then
+           confirm the drain; the supervisor finishes and reaps us. *)
+        drain_writer ();
+        let ws = Population.drain shard.pop in
+        Wire.send fd_out (Wire.Walkers { gen; walkers = ws });
+        Wire.send fd_out (Wire.Leave { gen; count = List.length ws })
     | Wire.Finish ->
+        drain_writer ();
         Wire.send fd_out
           (Wire.Final
              {

@@ -17,10 +17,14 @@ type config = {
   n_domains : int;  (** worker domains inside this rank *)
   checkpoint : string option;
   checkpoint_keep : int;
+  async_checkpoint : bool;
+      (** overlap shard writes with the next generation's compute
+          ({!Checkpoint.Async}); false = write-then-ack *)
   incarnation : int;  (** 0 = first spawn; respawns count up *)
   faults : (int * Fault.rank_fault) list;
-      (** (generation, fault) injection plan for THIS rank; armed only
-          on incarnation 0 so a respawned rank cannot re-kill itself *)
+      (** (generation, fault) injection plan for THIS rank.  The
+          supervisor filters the plan to generations this incarnation
+          has not yet reached, so a respawn cannot re-kill itself *)
 }
 
 val rank_seed : config -> int
@@ -51,6 +55,7 @@ val restore_shard :
 val shutdown_shard : shard -> unit
 
 val pop : shard -> Population.t
+val config : shard -> config
 val move_totals : shard -> int * int
 (** Lifetime (accepted, proposed) move totals. *)
 

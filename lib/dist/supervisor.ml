@@ -9,15 +9,31 @@ module Progress = Oqmc_obs.Progress
 
    [run] forks N worker rank processes (Unix processes — real fault
    isolation: a segfault, OOM kill or poisoned domain takes down ONE
-   rank, not the run) and drives them through a lockstep generation
-   protocol over pipes (Wire):
+   rank, not the run) and drives them through a generation protocol
+   over pipes (Wire):
 
      Begin_gen → (Heartbeat, Reduce) → Branch → Count
        → Give/Walkers relays (real load-balance exchange)
        → Checkpoint_cmd/Ack rounds → … → Finish/Final
 
+   The rank set is ELASTIC: the membership plan can grow the set
+   mid-run (fork + [Join] + rebalance through the exchange relays) and
+   retire ranks gracefully ([Drain] → the whole shard ships to the
+   survivors → Finish/reap).  Slots lost to unrecoverable failures are
+   refillable by later joins, so degraded mode is reversible.
+
+   Generations are deadline-budgeted rather than hard-lockstep: phase 2
+   collects heartbeat/reduce frames in ARRIVAL order over a select
+   loop (folding the float reduction in ascending rank order, so the
+   trajectory stays bit-identical to the lockstep reference), and a
+   rank that blows its soft deadline — [gen_deadline_ms] plus three
+   heartbeat-RTT EWMAs of slack — is handled per [straggler_policy]:
+   warn (count it), steal (shed a quarter of its walkers to the
+   fastest rank), or quarantine (three consecutive misses → treated as
+   a stall and respawned).
+
    Robustness machinery, exercised deterministically by the Fault rank
-   injectors:
+   injectors and the [Chaos] schedule planner:
 
    - every read of a rank carries the heartbeat deadline: a stalled rank
      surfaces as [Wire.Timeout], a crashed one as [Wire.Closed] (EOF,
@@ -27,17 +43,42 @@ module Progress = Oqmc_obs.Progress
      ([Checkpoint.load_latest_shard]) — or from fresh walkers when it
      never checkpointed — rejoining at the next generation;
    - after [max_respawn] respawns the rank is declared unrecoverable:
-     its last shard is salvaged and redistributed over the survivors and
-     the run continues degraded on N−1 ranks.  The mixed estimator
+     its last shard is salvaged and redistributed over the survivors,
+     its slot is marked vacant (a later Join refills it with a fresh
+     incarnation), and the run continues degraded.  The mixed estimator
      Σw·E_L / Σw is self-normalizing, so dropping a rank's terms from a
      generation leaves the energy unbiased (see docs/ROBUSTNESS.md);
-   - with zero injected faults the run is BIT-IDENTICAL to [run_local],
-     the in-process reference executor over the same logical shards
-     (asserted in test/test_dist.ml).
+   - SIGTERM/SIGINT raise [Interrupted] so the normal unwind path runs:
+     children reaped, telemetry/trace sinks flushed and closed — the
+     JSONL tail stays parseable even on abort;
+   - with zero injected faults and no membership events the run is
+     BIT-IDENTICAL to [run_local], the in-process reference executor
+     over the same logical shards (asserted in test/test_dist.ml) —
+     with membership events it is bit-identical to [run_local] driven
+     by the same membership plan.
 
    The supervisor itself never spawns OCaml domains, so forking stays
    safe at any point of the run; callers must not hold live domains of
-   their own across a [run] call. *)
+   their own across a [run] call.  (Rank processes DO spawn domains —
+   including the [Checkpoint.Async] writer — but only after the fork.) *)
+
+type straggler_policy = Warn | Steal | Quarantine
+
+let straggler_policy_of_string = function
+  | "warn" -> Some Warn
+  | "steal" -> Some Steal
+  | "quarantine" -> Some Quarantine
+  | _ -> None
+
+let straggler_policy_name = function
+  | Warn -> "warn"
+  | Steal -> "steal"
+  | Quarantine -> "quarantine"
+
+(* Elastic membership plan entry: at the END of generation [gen] (first
+   element of the pair), grow the rank set by one ([Join]) or retire a
+   specific rank gracefully ([Leave r]). *)
+type member_event = Join | Leave of int
 
 type params = {
   ranks : int;
@@ -60,6 +101,10 @@ type params = {
   telemetry : string option; (* per-generation JSONL output path *)
   telemetry_every : int;
   progress : bool; (* live one-line progress on stderr *)
+  elastic : bool; (* enable membership events + async checkpoints *)
+  gen_deadline_ms : int; (* soft per-generation budget; 0 = lockstep *)
+  straggler_policy : straggler_policy;
+  membership : (int * member_event) list; (* (gen, event), any order *)
 }
 
 let default_params =
@@ -84,7 +129,23 @@ let default_params =
     telemetry = None;
     telemetry_every = 1;
     progress = false;
+    elastic = false;
+    gen_deadline_ms = 0;
+    straggler_policy = Warn;
+    membership = [];
   }
+
+(* One membership transition as it happened: generation, "join"/"leave",
+   live ranks after, total walkers before/after.  before = after is the
+   conservation invariant the chaos soak asserts. *)
+type member_record = {
+  m_gen : int;
+  m_kind : string;
+  m_rank : int;
+  m_live : int;
+  m_walkers_before : int;
+  m_walkers_after : int;
+}
 
 type result = {
   energy : float;
@@ -102,28 +163,66 @@ type result = {
   heartbeat_timeouts : int;
   garbage_frames : int;
   crashes : int;
-  ranks_failed : int list; (* permanently lost, ascending *)
-  live_ranks : int;
+  ranks_failed : int list; (* abandonment events, ascending *)
+  live_ranks : int; (* live member count at the end of the run *)
   degraded_generations : int;
+  joins : int;
+  leaves : int;
+  stragglers : int;
+  steals : int;
+  membership_skipped : int; (* events that could not be applied *)
+  membership_log : member_record list; (* chronological *)
+  gen_p50_s : float; (* per-generation wall-time percentiles *)
+  gen_p99_s : float;
   final_walkers : Walker.t list;
   final_e_trial : float;
 }
 
 exception All_ranks_lost
+exception Interrupted of int
 
 let validate p =
   if p.ranks < 1 then invalid_arg "Supervisor: ranks < 1";
   if p.target_walkers < p.ranks then
     invalid_arg "Supervisor: target_walkers < ranks";
   if p.heartbeat_s <= 0. then invalid_arg "Supervisor: heartbeat_s <= 0";
-  if p.max_respawn < 0 then invalid_arg "Supervisor: max_respawn < 0"
+  if p.max_respawn < 0 then invalid_arg "Supervisor: max_respawn < 0";
+  if p.gen_deadline_ms < 0 then invalid_arg "Supervisor: gen_deadline_ms < 0";
+  if p.membership <> [] && not p.elastic then
+    invalid_arg "Supervisor: membership plan requires elastic = true";
+  List.iter
+    (fun (g, ev) ->
+      if g < 1 then invalid_arg "Supervisor: membership gen < 1";
+      match ev with
+      | Leave r when r < 0 -> invalid_arg "Supervisor: membership leave rank < 0"
+      | _ -> ())
+    p.membership
+
+(* Split a [Chaos] schedule into the two supervisor inputs it feeds:
+   the rank-fault plan and the membership plan. *)
+let of_chaos schedule =
+  let faults = Chaos.faults_of schedule in
+  let membership =
+    List.filter_map
+      (fun (g, e) ->
+        match e with
+        | Chaos.Join -> Some (g, Join)
+        | Chaos.Leave r -> Some (g, Leave r)
+        | _ -> None)
+      schedule
+  in
+  (faults, membership)
 
 (* Ideal initial split of the global target over the ranks. *)
 let shard_counts ~target ~ranks =
   let per = target / ranks and extra = target mod ranks in
   Array.init ranks (fun r -> per + if r < extra then 1 else 0)
 
-let rank_config (p : params) ~rank ~incarnation =
+(* [after] filters the fault plan to generations this incarnation has
+   not yet reached, so a respawned (or slot-refilled) rank cannot
+   re-fire the fault that killed its predecessor; the initial spawn
+   passes [after = -1]. *)
+let rank_config (p : params) ~rank ~incarnation ~after =
   {
     Rank.rank;
     ranks = p.ranks;
@@ -133,24 +232,33 @@ let rank_config (p : params) ~rank ~incarnation =
     n_domains = p.n_domains;
     checkpoint = p.checkpoint;
     checkpoint_keep = p.checkpoint_keep;
+    async_checkpoint = p.elastic && p.gen_deadline_ms > 0;
     incarnation;
     faults =
       List.filter_map
-        (fun (r, g, f) -> if r = rank then Some (g, f) else None)
+        (fun (r, g, f) -> if r = rank && g > after then Some (g, f) else None)
         p.faults;
   }
 
 (* ---------- result statistics (shared by run and run_local) ---------- *)
 
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else sorted.(min (n - 1) (int_of_float (q *. float_of_int n)))
+
 let finalize ~p ~t0 ~energy_series ~pop_series ~comm_messages ~comm_bytes
     ~respawns ~heartbeat_timeouts ~garbage_frames ~crashes ~ranks_failed
-    ~live_ranks ~degraded_generations ~acc ~prop ~final_walkers ~final_e_trial
-    =
+    ~live_ranks ~degraded_generations ~joins ~leaves ~stragglers ~steals
+    ~membership_skipped ~membership_log ~gen_times ~acc ~prop ~final_walkers
+    ~final_e_trial =
   ignore p;
   let wall_time = Oqmc_containers.Timers.now () -. t0 in
   let energy = Stats.series_mean energy_series in
   let variance = Stats.series_variance energy_series in
   let pops = Array.of_list (List.rev pop_series) in
+  let gens = Array.of_list gen_times in
+  Array.sort compare gens;
   {
     energy;
     energy_error = Stats.series_error energy_series;
@@ -174,6 +282,14 @@ let finalize ~p ~t0 ~energy_series ~pop_series ~comm_messages ~comm_bytes
     ranks_failed = List.sort compare ranks_failed;
     live_ranks;
     degraded_generations;
+    joins;
+    leaves;
+    stragglers;
+    steals;
+    membership_skipped;
+    membership_log = List.rev membership_log;
+    gen_p50_s = percentile gens 0.50;
+    gen_p99_s = percentile gens 0.99;
     final_walkers;
     final_e_trial;
   }
@@ -183,8 +299,11 @@ let finalize ~p ~t0 ~energy_series ~pop_series ~comm_messages ~comm_bytes
    Enables tracing when a trace path is requested (forked ranks inherit
    the enabled flag, so this must happen BEFORE any fork), opens the
    JSONL sink and the live progress line, and hands back emit/update
-   callbacks plus a [close] that flushes and exports everything.  None
-   of it touches the physics or the RNG streams. *)
+   callbacks plus a [close] that flushes and exports everything.
+   [close] is failure-isolated: a broken progress line or sink cannot
+   keep the others from flushing, so the telemetry tail stays
+   parseable on every abort path.  None of this touches the physics or
+   the RNG streams. *)
 let obs_setup (p : params) =
   if p.trace <> None && not (Trace.enabled ()) then Trace.enable ();
   let sink = Option.map Telemetry.create p.telemetry in
@@ -195,77 +314,133 @@ let obs_setup (p : params) =
     | Some s when gen mod every = 0 -> Telemetry.emit s record
     | _ -> ()
   in
+  (* Unfiltered emit for sparse structural records (membership events):
+     these must never be dropped by the telemetry_every decimation. *)
+  let emit_event record =
+    match sink with Some s -> Telemetry.emit s record | None -> ()
+  in
   let update line =
     match prog with Some pr -> Progress.update pr line | None -> ()
   in
   let close () =
-    (match prog with Some pr -> Progress.finish pr | None -> ());
-    (match sink with Some s -> Telemetry.close s | None -> ());
-    match p.trace with Some path -> Trace.export ~path | None -> ()
+    (try match prog with Some pr -> Progress.finish pr | None -> ()
+     with _ -> ());
+    (try match sink with Some s -> Telemetry.close s | None -> ()
+     with _ -> ());
+    try match p.trace with Some path -> Trace.export ~path | None -> ()
+    with _ -> ()
   in
-  (emit, update, close)
+  (emit, emit_event, update, close)
+
+(* Route SIGTERM/SIGINT through the normal exception unwind so every
+   [Fun.protect] finally — child reaping, sink flushing — runs on
+   abort.  Returns the saved dispositions for [restore_signals]. *)
+let install_signals () =
+  List.filter_map
+    (fun s ->
+      match Sys.signal s (Sys.Signal_handle (fun s -> raise (Interrupted s))) with
+      | old -> Some (s, old)
+      | exception (Invalid_argument _ | Sys_error _) -> None)
+    [ Sys.sigterm; Sys.sigint ]
+
+let restore_signals saved =
+  List.iter (fun (s, old) -> try Sys.set_signal s old with _ -> ()) saved
+
+let membership_json (m : member_record) =
+  Oqmc_obs.Jsonx.(
+    Obj
+      [
+        ("event", Str m.m_kind);
+        ("gen", Num (float_of_int m.m_gen));
+        ("rank", Num (float_of_int m.m_rank));
+        ("live_ranks", Num (float_of_int m.m_live));
+        ("walkers_before", Num (float_of_int m.m_walkers_before));
+        ("walkers_after", Num (float_of_int m.m_walkers_after));
+      ])
 
 (* ---------- in-process reference executor ---------- *)
 
 (* The same rank-sharded algorithm as [run], executed over logical
    shards inside this process: no fork, no pipes, no serialization.
    This is the oracle the forked path is asserted bit-identical
-   against — and a convenient single-process driver for rank-shaped
-   runs. *)
+   against — including elastic membership, which is applied here with
+   the same slot-refill and lowest-survivor rules — and a convenient
+   single-process driver for rank-shaped runs. *)
 let run_local ~(factory : int -> Engine_api.t) (p : params) : result =
   validate p;
-  let emit, update_progress, obs_close = obs_setup p in
-  Fun.protect ~finally:obs_close @@ fun () ->
-  let counts = shard_counts ~target:p.target_walkers ~ranks:p.ranks in
-  let shards =
-    Array.init p.ranks (fun r ->
-        Rank.init_shard ~factory ~count:counts.(r) ~e_trial:0.
-          (rank_config p ~rank:r ~incarnation:0))
-  in
+  let emit, emit_event, update_progress, obs_close = obs_setup p in
+  let saved_signals = install_signals () in
   Fun.protect
-    ~finally:(fun () -> Array.iter Rank.shutdown_shard shards)
+    ~finally:(fun () ->
+      restore_signals saved_signals;
+      obs_close ())
+  @@ fun () ->
+  let counts = shard_counts ~target:p.target_walkers ~ranks:p.ranks in
+  (* Sorted ascending by rank id; grows and shrinks with membership. *)
+  let members : (int * Rank.shard) list ref =
+    ref
+      (List.init p.ranks (fun r ->
+           ( r,
+             Rank.init_shard ~factory ~count:counts.(r) ~e_trial:0.
+               (rank_config p ~rank:r ~incarnation:0 ~after:(-1)) )))
+  in
+  let vacant = ref [] and next_id = ref p.ranks in
+  let incarnations : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter (fun (_, s) -> Rank.shutdown_shard s) !members)
   @@ fun () ->
   (* Global starting trial energy from the per-rank initial sums,
      reduced in ascending rank order. *)
   let w0 = ref 0. and e0 = ref 0. in
-  Array.iter
-    (fun s ->
+  List.iter
+    (fun (_, s) ->
       let w, e = Rank.initial_sums s in
       w0 := !w0 +. w;
       e0 := !e0 +. e)
-    shards;
+    !members;
   let e_trial = ref (if !w0 > 0. then !e0 /. !w0 else 0.) in
   let energy_series = Stats.make_series () in
   let pop_series = ref [] in
   let comm_messages = ref 0 and comm_bytes = ref 0 in
+  let joins = ref 0 and leaves = ref 0 and skipped = ref 0 in
+  let membership_log = ref [] in
+  let gen_times = ref [] in
+  let acc_extra = ref 0 and prop_extra = ref 0 in
   let t0 = Oqmc_containers.Timers.now () in
   let samples = ref 0 in
   let total_gens = p.warmup + p.generations in
+  let total_walkers () =
+    List.fold_left (fun a (_, s) -> a + Population.size (Rank.pop s)) 0 !members
+  in
+  let m_gen_s = Metrics.histogram "sup.generation_s" in
   for gen = 1 to total_gens do
     Trace.with_span ~args:[ ("gen", string_of_int gen) ] "sup.generation"
     @@ fun () ->
+    let gen_t0 = Oqmc_containers.Timers.now () in
     let measuring = gen > p.warmup in
     let wsum_t = ref 0. and esum_t = ref 0. and n_t = ref 0 in
-    Array.iter
-      (fun s ->
+    List.iter
+      (fun (_, s) ->
         let w, e = Rank.sweep s ~gen ~e_trial:!e_trial in
         wsum_t := !wsum_t +. w;
         esum_t := !esum_t +. e;
         n_t := !n_t + Population.size (Rank.pop s))
-      shards;
+      !members;
     let e_gen = if !wsum_t > 0. then !esum_t /. !wsum_t else !e_trial in
     if measuring then begin
       Stats.append energy_series e_gen;
       pop_series := !n_t :: !pop_series;
       samples := !samples + !n_t
     end;
-    Array.iter Rank.branch shards;
-    let report = Population.exchange (Array.map Rank.pop shards) in
+    List.iter (fun (_, s) -> Rank.branch s) !members;
+    let report =
+      Population.exchange
+        (Array.of_list (List.map (fun (_, s) -> Rank.pop s) !members))
+    in
     comm_messages := !comm_messages + report.Population.messages;
     comm_bytes := !comm_bytes + report.Population.bytes;
-    let total =
-      Array.fold_left (fun a s -> a + Population.size (Rank.pop s)) 0 shards
-    in
+    let total = total_walkers () in
     e_trial :=
       Population.trial_energy_update ~feedback:p.feedback ~tau:p.tau
         ~target:p.target_walkers ~population:total ~e_estimate:e_gen;
@@ -273,15 +448,15 @@ let run_local ~(factory : int -> Engine_api.t) (p : params) : result =
     | Some path when p.checkpoint_every > 0 && gen mod p.checkpoint_every = 0
       ->
         let acked = ref [] in
-        Array.iteri
-          (fun r s ->
+        List.iter
+          (fun (r, s) ->
             try
               Checkpoint.save_shard ~keep:p.checkpoint_keep ~path ~rank:r
                 ~gen ~e_trial:!e_trial
                 (Population.walkers (Rank.pop s));
               acked := r :: !acked
             with Sys_error _ | Checkpoint.Corrupt _ -> ())
-          shards;
+          !members;
         (try
            Checkpoint.save_manifest ~path ~gen ~ranks:(List.rev !acked) ()
          with Sys_error _ -> ())
@@ -295,7 +470,7 @@ let run_local ~(factory : int -> Engine_api.t) (p : params) : result =
              ("e_gen", Num e_gen);
              ("e_trial", Num !e_trial);
              ("population", Num (float_of_int total));
-             ("ranks", Num (float_of_int p.ranks));
+             ("ranks", Num (float_of_int (List.length !members)));
              ( "walkers_per_s",
                Num
                  (if elapsed > 0. then float_of_int !samples /. elapsed
@@ -304,24 +479,120 @@ let run_local ~(factory : int -> Engine_api.t) (p : params) : result =
            ]);
     update_progress
       (Printf.sprintf "dmc[local %d ranks] gen %d/%d  E %+.6f  E_T %+.6f  pop %d"
-         p.ranks gen total_gens e_gen !e_trial total)
+         (List.length !members) gen total_gens e_gen !e_trial total);
+    (* Membership events scheduled for this generation, applied with
+       the SAME slot and delivery rules as the forked supervisor so the
+       two paths stay bit-identical under a shared plan. *)
+    List.iter
+      (fun (g, ev) ->
+        if g = gen then
+          match ev with
+          | Join ->
+              let before = total_walkers () in
+              let id, incarnation =
+                match List.sort compare !vacant with
+                | v :: rest ->
+                    vacant := rest;
+                    (v, Option.value ~default:0 (Hashtbl.find_opt incarnations v))
+                | [] ->
+                    let id = !next_id in
+                    incr next_id;
+                    (id, 0)
+              in
+              let shard =
+                Rank.init_shard ~factory ~count:0 ~e_trial:0.
+                  (rank_config p ~rank:id ~incarnation ~after:gen)
+              in
+              members :=
+                List.sort
+                  (fun (a, _) (b, _) -> compare a b)
+                  ((id, shard) :: !members);
+              let report =
+                Population.exchange
+                  (Array.of_list (List.map (fun (_, s) -> Rank.pop s) !members))
+              in
+              comm_messages := !comm_messages + report.Population.messages;
+              comm_bytes := !comm_bytes + report.Population.bytes;
+              incr joins;
+              Metrics.inc (Metrics.counter "sup.joins");
+              Trace.instant
+                ~args:[ ("rank", string_of_int id) ]
+                "sup.join";
+              let m =
+                {
+                  m_gen = gen;
+                  m_kind = "join";
+                  m_rank = id;
+                  m_live = List.length !members;
+                  m_walkers_before = before;
+                  m_walkers_after = total_walkers ();
+                }
+              in
+              membership_log := m :: !membership_log;
+              emit_event (membership_json m)
+          | Leave r -> (
+              match List.assoc_opt r !members with
+              | None -> incr skipped
+              | Some _ when List.length !members <= 1 -> incr skipped
+              | Some shard ->
+                  let before = total_walkers () in
+                  let drained = Population.drain (Rank.pop shard) in
+                  let a, pr = Rank.move_totals shard in
+                  acc_extra := !acc_extra + a;
+                  prop_extra := !prop_extra + pr;
+                  let incarnation = (Rank.config shard).Rank.incarnation in
+                  Rank.shutdown_shard shard;
+                  members := List.remove_assoc r !members;
+                  vacant := r :: !vacant;
+                  Hashtbl.replace incarnations r (incarnation + 1);
+                  (match !members with
+                  | [] -> ()
+                  | (_, dst) :: _ ->
+                      List.iter
+                        (fun w ->
+                          incr comm_messages;
+                          comm_bytes := !comm_bytes + Walker.message_bytes w)
+                        drained;
+                      Population.absorb (Rank.pop dst) drained);
+                  incr leaves;
+                  Metrics.inc (Metrics.counter "sup.leaves");
+                  Trace.instant
+                    ~args:[ ("rank", string_of_int r) ]
+                    "sup.leave";
+                  let m =
+                    {
+                      m_gen = gen;
+                      m_kind = "leave";
+                      m_rank = r;
+                      m_live = List.length !members;
+                      m_walkers_before = before;
+                      m_walkers_after = total_walkers ();
+                    }
+                  in
+                  membership_log := m :: !membership_log;
+                  emit_event (membership_json m)))
+      p.membership;
+    let dt = Oqmc_containers.Timers.now () -. gen_t0 in
+    Metrics.observe m_gen_s dt;
+    gen_times := dt :: !gen_times
   done;
-  let acc = ref 0 and prop = ref 0 in
-  Array.iter
-    (fun s ->
+  let acc = ref !acc_extra and prop = ref !prop_extra in
+  List.iter
+    (fun (_, s) ->
       let a, pr = Rank.move_totals s in
       acc := !acc + a;
       prop := !prop + pr)
-    shards;
+    !members;
   let final_walkers =
-    Array.to_list shards
-    |> List.concat_map (fun s -> Population.walkers (Rank.pop s))
+    List.concat_map (fun (_, s) -> Population.walkers (Rank.pop s)) !members
   in
   finalize ~p ~t0 ~energy_series ~pop_series:!pop_series
     ~comm_messages:!comm_messages ~comm_bytes:!comm_bytes ~respawns:0
     ~heartbeat_timeouts:0 ~garbage_frames:0 ~crashes:0 ~ranks_failed:[]
-    ~live_ranks:p.ranks ~degraded_generations:0 ~acc:!acc ~prop:!prop
-    ~final_walkers ~final_e_trial:!e_trial
+    ~live_ranks:(List.length !members) ~degraded_generations:0 ~joins:!joins
+    ~leaves:!leaves ~stragglers:0 ~steals:0 ~membership_skipped:!skipped
+    ~membership_log:!membership_log ~gen_times:!gen_times ~acc:!acc
+    ~prop:!prop ~final_walkers ~final_e_trial:!e_trial
 
 (* ---------- forked execution ---------- *)
 
@@ -334,6 +605,9 @@ type proc = {
   mutable fds_closed : bool; (* pipe ends already closed (torn down) *)
   mutable incarnation : int;
   mutable count : int; (* last known shard size *)
+  mutable begin_t : float; (* when this gen's Begin_gen was sent *)
+  mutable rtt_ewma : float; (* smoothed heartbeat RTT, seconds *)
+  mutable straggles : int; (* consecutive soft-deadline misses *)
 }
 
 (* Why the rank failed: drives the failure counters. *)
@@ -341,11 +615,19 @@ type failure = Crash | Stall | Corrupt_stream
 
 let startup_timeout (p : params) = Float.max 30. (10. *. p.heartbeat_s)
 
+(* Wait for [pid] without losing the reap to a signal ([EINTR] restarts
+   the wait) or double-reaping ([ECHILD] means some earlier path already
+   collected the child — fine either way). *)
+let rec waitpid_robust pid =
+  match Unix.waitpid [] pid with
+  | _ -> ()
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> waitpid_robust pid
+  | exception Unix.Unix_error (Unix.ECHILD, _, _) -> ()
+
 let reap pid =
   (try Unix.kill pid Sys.sigkill
    with Unix.Unix_error ((Unix.ESRCH | Unix.EPERM), _, _) -> ());
-  try ignore (Unix.waitpid [] pid)
-  with Unix.Unix_error (Unix.ECHILD, _, _) -> ()
+  waitpid_robust pid
 
 let close_fd fd = try Unix.close fd with Unix.Unix_error _ -> ()
 
@@ -382,6 +664,9 @@ let fork_rank ~(factory : int -> Engine_api.t) ~cfg ~init ~all_fds =
         fds_closed = false;
         incarnation = cfg.Rank.incarnation;
         count = 0;
+        begin_t = 0.;
+        rtt_ewma = 0.;
+        straggles = 0;
       }
 
 let run ~(factory : int -> Engine_api.t) (p : params) : result =
@@ -389,30 +674,36 @@ let run ~(factory : int -> Engine_api.t) (p : params) : result =
   (* Observability must attach BEFORE any fork so children inherit the
      tracing-enabled flag; the supervisor's own spans carry pid -1,
      rank blobs are ingested under their rank id at Final time. *)
-  let emit, update_progress, obs_close = obs_setup p in
+  let emit, emit_event, update_progress, obs_close = obs_setup p in
   if Trace.enabled () then Trace.set_rank (-1);
   let old_sigpipe = Sys.signal Sys.sigpipe Sys.Signal_ignore in
-  let states : proc option array = Array.make p.ranks None in
+  let saved_signals = install_signals () in
+  (* The member table: rank id → process.  Abandoned members stay in
+     the table (dead = true) until their slot is refilled by a Join,
+     which overwrites the entry with a fresh incarnation. *)
+  let members : (int, proc) Hashtbl.t = Hashtbl.create 16 in
+  let vacant = ref [] and next_id = ref p.ranks in
+  let incarnations : (int, int) Hashtbl.t = Hashtbl.create 8 in
   (* Every pipe end still OPEN in the supervisor: the set a fresh child
      must close.  Torn-down fds must be excluded — their numbers get
      reused by the very pipes the new child is being given. *)
   let all_fds () =
-    Array.to_list states
-    |> List.concat_map (function
-         | Some s when not s.fds_closed -> [ s.r_fd; s.w_fd ]
-         | _ -> [])
+    Hashtbl.fold
+      (fun _ s acc -> if s.fds_closed then acc else s.r_fd :: s.w_fd :: acc)
+      members []
   in
   let cleanup () =
-    Array.iter
-      (function
-        | Some s when not s.fds_closed ->
-            close_fd s.r_fd;
-            close_fd s.w_fd;
-            s.fds_closed <- true;
-            reap s.pid
-        | _ -> ())
-      states;
+    Hashtbl.iter
+      (fun _ s ->
+        if not s.fds_closed then begin
+          close_fd s.r_fd;
+          close_fd s.w_fd;
+          s.fds_closed <- true;
+          reap s.pid
+        end)
+      members;
     Sys.set_signal Sys.sigpipe old_sigpipe;
+    restore_signals saved_signals;
     obs_close ()
   in
   Fun.protect ~finally:cleanup @@ fun () ->
@@ -422,6 +713,12 @@ let run ~(factory : int -> Engine_api.t) (p : params) : result =
   let ranks_failed = ref [] in
   let degraded_generations = ref 0 in
   let comm_messages = ref 0 and comm_bytes = ref 0 in
+  let joins = ref 0 and leaves = ref 0 in
+  let stragglers = ref 0 and steals = ref 0 in
+  let skipped = ref 0 in
+  let membership_log = ref [] in
+  let gen_times = ref [] in
+  let acc_left = ref 0 and prop_left = ref 0 in
   let energy_series = Stats.make_series () in
   let pop_series = ref [] in
   (* -------- spawn + initial ensemble -------- *)
@@ -440,40 +737,46 @@ let run ~(factory : int -> Engine_api.t) (p : params) : result =
   in
   let counts = shard_counts ~target:p.target_walkers ~ranks:p.ranks in
   for r = 0 to p.ranks - 1 do
-    let cfg = rank_config p ~rank:r ~incarnation:0 in
+    let cfg = rank_config p ~rank:r ~incarnation:0 ~after:(-1) in
     let init = Option.map (fun shards -> shards.(r)) restore_init in
     let s = fork_rank ~factory ~cfg ~init ~all_fds:(all_fds ()) in
-    states.(r) <- Some s
+    Hashtbl.replace members r s
   done;
-  let proc r = Option.get states.(r) in
+  let find r = Hashtbl.find_opt members r in
+  let proc r = Hashtbl.find members r in
   let live () =
-    List.filter (fun r -> not (proc r).dead) (List.init p.ranks Fun.id)
+    Hashtbl.fold (fun id s acc -> if s.dead then acc else id :: acc) members []
+    |> List.sort compare
   in
   (* Record a failure and tear the process down; respawn happens at the
      end of the generation so surviving ranks stay in lockstep. *)
   let failed_this_gen = ref [] in
   let fail_rank r why =
-    let s = proc r in
-    if not s.dead && not (List.mem r !failed_this_gen) then begin
-      let reason =
-        match why with
-        | Crash -> incr crashes; "crash"
-        | Stall -> incr hb_timeouts; "stall"
-        | Corrupt_stream -> incr garbage_frames; "garbage"
-      in
-      Metrics.inc (Metrics.counter ("sup.rank_failures." ^ reason));
-      Trace.instant
-        ~args:[ ("rank", string_of_int r); ("reason", reason) ]
-        "sup.rank_failed";
-      close_fd s.r_fd;
-      close_fd s.w_fd;
-      s.fds_closed <- true;
-      reap s.pid;
-      failed_this_gen := r :: !failed_this_gen
-    end
+    match find r with
+    | None -> ()
+    | Some s ->
+        if (not s.dead) && not (List.mem r !failed_this_gen) then begin
+          let reason =
+            match why with
+            | Crash -> incr crashes; "crash"
+            | Stall -> incr hb_timeouts; "stall"
+            | Corrupt_stream -> incr garbage_frames; "garbage"
+          in
+          Metrics.inc (Metrics.counter ("sup.rank_failures." ^ reason));
+          Trace.instant
+            ~args:[ ("rank", string_of_int r); ("reason", reason) ]
+            "sup.rank_failed";
+          close_fd s.r_fd;
+          close_fd s.w_fd;
+          s.fds_closed <- true;
+          reap s.pid;
+          failed_this_gen := r :: !failed_this_gen
+        end
   in
   let ok_rank r =
-    (not (proc r).dead) && not (List.mem r !failed_this_gen)
+    match find r with
+    | Some s -> (not s.dead) && not (List.mem r !failed_this_gen)
+    | None -> false
   in
   (* Run [f] against rank [r], converting wire failures into rank
      failures.  Returns [None] when the rank just failed. *)
@@ -536,68 +839,368 @@ let run ~(factory : int -> Engine_api.t) (p : params) : result =
     failwith "Supervisor: rank startup failed";
   let t0 = Oqmc_containers.Timers.now () in
   let total_gens = p.warmup + p.generations in
+  let total_walkers () =
+    List.fold_left
+      (fun a r -> if ok_rank r then a + (proc r).count else a)
+      0 (live ())
+  in
   (* Heartbeat RTT is measured supervisor-side — Begin_gen send to
      Heartbeat receipt — so the wire protocol needs no clock exchange. *)
   let m_rtt = Metrics.histogram "sup.heartbeat_rtt_s" in
-  let begin_sent = Array.make p.ranks 0. in
+  let m_gen_s = Metrics.histogram "sup.generation_s" in
   let prev_acc = ref 0 and prev_prop = ref 0 in
   let samples = ref 0 in
+  let rtt_max = ref 0. in
+  (* Phase 2 collector: heartbeat + reduce frames accepted in ARRIVAL
+     order over a select loop, each rank on its own hard deadline
+     (heartbeat_s per frame, as in lockstep).  Fast ranks are never
+     blocked behind a stalled sibling's timeout — the soak's barrier
+     softening — while the caller folds the results in ascending rank
+     order, keeping the float reduction bit-identical to [run_local].
+     Returns rank → (wsum, esum, acc, prop, n, kvs, arrival_time). *)
+  let collect_phase2 ~gen participants =
+    let now () = Oqmc_containers.Timers.now () in
+    let stage : (int, [ `Hb | `Reduce ]) Hashtbl.t = Hashtbl.create 8 in
+    let deadline : (int, float) Hashtbl.t = Hashtbl.create 8 in
+    let results = Hashtbl.create 8 in
+    List.iter
+      (fun r ->
+        Hashtbl.replace stage r `Hb;
+        Hashtbl.replace deadline r ((proc r).begin_t +. hb))
+      participants;
+    let pending () =
+      List.filter
+        (fun r -> ok_rank r && not (Hashtbl.mem results r))
+        participants
+    in
+    let handle r m =
+      let s = proc r in
+      match (Hashtbl.find stage r, m) with
+      | `Hb, Wire.Heartbeat _ ->
+          let rtt = now () -. s.begin_t in
+          Metrics.observe m_rtt rtt;
+          rtt_max := Float.max !rtt_max rtt;
+          s.rtt_ewma <-
+            (if s.rtt_ewma = 0. then rtt
+             else (0.8 *. s.rtt_ewma) +. (0.2 *. rtt));
+          Trace.instant
+            ~args:
+              [
+                ("rank", string_of_int r);
+                ("rtt_us", string_of_int (int_of_float (rtt *. 1e6)));
+              ]
+            "sup.heartbeat";
+          Hashtbl.replace stage r `Reduce;
+          Hashtbl.replace deadline r (now () +. hb)
+      | `Reduce, Wire.Reduce { gen = g; wsum; esum; acc; prop; n; telemetry }
+        when g = gen ->
+          Hashtbl.replace results r
+            (wsum, esum, acc, prop, n, telemetry, now ())
+      | _ -> fail_rank r Corrupt_stream
+    in
+    let rec loop () =
+      match pending () with
+      | [] -> ()
+      | ps -> (
+          let t = now () in
+          List.iter
+            (fun r -> if t > Hashtbl.find deadline r then fail_rank r Stall)
+            ps;
+          match pending () with
+          | [] -> ()
+          | ps ->
+              let fds = List.map (fun r -> (proc r).r_fd) ps in
+              let wait =
+                List.fold_left
+                  (fun a r -> Float.min a (Hashtbl.find deadline r -. t))
+                  hb ps
+                |> Float.max 0.005
+              in
+              let readable =
+                match Unix.select fds [] [] wait with
+                | rs, _, _ -> rs
+                | exception Unix.Unix_error ((Unix.EINTR | Unix.EBADF), _, _)
+                  ->
+                    []
+              in
+              List.iter
+                (fun r ->
+                  if
+                    ok_rank r
+                    && (not (Hashtbl.mem results r))
+                    && List.mem (proc r).r_fd readable
+                  then
+                    match guard r (fun s -> Wire.recv ~timeout:hb s.r_fd) with
+                    | Some m -> handle r m
+                    | None -> ())
+                ps;
+              loop ())
+    in
+    loop ();
+    results
+  in
+  (* Relay one walker batch rank→rank through the supervisor, counting
+     the communication volume; if the destination dies mid-relay the
+     batch is rerouted to the first other healthy rank in [others]
+     rather than lost. *)
+  let relay_move ~gen rs rd count ~others =
+    match
+      guard rs (fun s ->
+          Wire.send s.w_fd (Wire.Give { gen; count });
+          match Wire.recv ~timeout:hb s.r_fd with
+          | Wire.Walkers { walkers; _ } -> walkers
+          | _ -> raise (Wire.Garbage "expected walker batch"))
+    with
+    | None -> ()
+    | Some walkers ->
+        (proc rs).count <- (proc rs).count - List.length walkers;
+        List.iter
+          (fun w ->
+            incr comm_messages;
+            comm_bytes := !comm_bytes + Walker.message_bytes w)
+          walkers;
+        let deliver rank =
+          guard rank (fun s ->
+              Wire.send s.w_fd (Wire.Walkers { gen; walkers });
+              s.count <- s.count + List.length walkers)
+        in
+        (match deliver rd with
+        | Some () -> ()
+        | None -> (
+            match
+              List.find_opt (fun r -> ok_rank r && r <> rd) others
+            with
+            | Some alt -> ignore (deliver alt)
+            | None -> ()))
+  in
+  (* Full load-balance exchange over [ids] (healthy subset), relayed in
+     deterministic [Population.plan] order — shared by phase 4, the
+     post-join rebalance and walker stealing. *)
+  let relay_exchange ~gen ids =
+    let ids = Array.of_list (List.filter ok_rank ids) in
+    let plan_counts = Array.map (fun r -> (proc r).count) ids in
+    let moves = Population.plan plan_counts in
+    List.iter
+      (fun { Population.src; dst; count } ->
+        relay_move ~gen ids.(src) ids.(dst) count
+          ~others:(Array.to_list ids))
+      moves
+  in
+  (* -------- elastic membership -------- *)
+  let do_join ~gen =
+    let before = total_walkers () in
+    let id, incarnation =
+      match List.sort compare !vacant with
+      | v :: rest ->
+          vacant := rest;
+          (v, Option.value ~default:0 (Hashtbl.find_opt incarnations v))
+      | [] ->
+          let id = !next_id in
+          incr next_id;
+          (id, 0)
+    in
+    let cfg = rank_config p ~rank:id ~incarnation ~after:gen in
+    let fresh = fork_rank ~factory ~cfg ~init:None ~all_fds:(all_fds ()) in
+    Hashtbl.replace members id fresh;
+    failed_this_gen := List.filter (fun x -> x <> id) !failed_this_gen;
+    let ok =
+      match
+        recv_expect ~timeout:(startup_timeout p) id (function
+          | Wire.Hello _ -> Some ()
+          | _ -> None)
+      with
+      | None -> false
+      | Some () -> (
+          ignore
+            (guard id (fun s ->
+                 Wire.send s.w_fd (Wire.Join { gen; e_trial = !e_trial })));
+          match
+            recv_expect ~timeout:(startup_timeout p) id (function
+              | Wire.Ack { ok; _ } -> Some ok
+              | _ -> None)
+          with
+          | Some true -> true
+          | _ -> false)
+    in
+    if not ok then begin
+      (* The joiner never came up: restore the vacancy (with a fresh
+         incarnation so a retry gets its own RNG block) and move on —
+         an elastic run must not die because a grow step failed. *)
+      (match find id with
+      | Some s when not s.fds_closed ->
+          close_fd s.r_fd;
+          close_fd s.w_fd;
+          s.fds_closed <- true;
+          reap s.pid
+      | _ -> ());
+      Hashtbl.remove members id;
+      vacant := id :: !vacant;
+      Hashtbl.replace incarnations id (incarnation + 1);
+      incr skipped
+    end
+    else begin
+      (proc id).count <- 0;
+      relay_exchange ~gen (live ());
+      incr joins;
+      Metrics.inc (Metrics.counter "sup.joins");
+      Trace.instant ~args:[ ("rank", string_of_int id) ] "sup.join";
+      let m =
+        {
+          m_gen = gen;
+          m_kind = "join";
+          m_rank = id;
+          m_live = List.length (List.filter ok_rank (live ()));
+          m_walkers_before = before;
+          m_walkers_after = total_walkers ();
+        }
+      in
+      membership_log := m :: !membership_log;
+      emit_event (membership_json m)
+    end
+  in
+  let do_leave ~gen r =
+    if (not (ok_rank r)) || List.length (List.filter ok_rank (live ())) <= 1
+    then begin
+      incr skipped;
+      Trace.instant ~args:[ ("rank", string_of_int r) ] "sup.leave_skipped"
+    end
+    else begin
+      let before = total_walkers () in
+      let s = proc r in
+      let incarnation = s.incarnation in
+      let drained =
+        guard r (fun s ->
+            Wire.send s.w_fd (Wire.Drain { gen });
+            let ws =
+              match Wire.recv ~timeout:hb s.r_fd with
+              | Wire.Walkers { walkers; _ } -> walkers
+              | _ -> raise (Wire.Garbage "expected drain batch")
+            in
+            (match Wire.recv ~timeout:hb s.r_fd with
+            | Wire.Leave { count; _ } when count = List.length ws -> ()
+            | _ -> raise (Wire.Garbage "drain count mismatch"));
+            Wire.send s.w_fd Wire.Finish;
+            (match Wire.recv ~timeout:(startup_timeout p) s.r_fd with
+            | Wire.Final { acc = a; prop = pr; trace; _ } ->
+                acc_left := !acc_left + a;
+                prop_left := !prop_left + pr;
+                if trace <> "" then (
+                  try Trace.ingest ~pid:r trace with Trace.Malformed -> ())
+            | _ -> raise (Wire.Garbage "expected final"));
+            ws)
+      in
+      match drained with
+      | None ->
+          (* The rank died mid-drain: [guard] already reaped it and its
+             shard walkers are gone until the next checkpoint salvage.
+             Record the slot as vacant so a later join can refill it. *)
+          Hashtbl.remove members r;
+          vacant := r :: !vacant;
+          Hashtbl.replace incarnations r (incarnation + 1);
+          incr skipped
+      | Some ws ->
+          close_fd s.r_fd;
+          close_fd s.w_fd;
+          s.fds_closed <- true;
+          waitpid_robust s.pid;
+          Hashtbl.remove members r;
+          vacant := r :: !vacant;
+          Hashtbl.replace incarnations r (incarnation + 1);
+          (match List.filter ok_rank (live ()) with
+          | [] -> ()
+          | dst :: _ ->
+              List.iter
+                (fun w ->
+                  incr comm_messages;
+                  comm_bytes := !comm_bytes + Walker.message_bytes w)
+                ws;
+              if ws <> [] then
+                ignore
+                  (guard dst (fun sd ->
+                       Wire.send sd.w_fd (Wire.Walkers { gen; walkers = ws });
+                       sd.count <- sd.count + List.length ws)));
+          incr leaves;
+          Metrics.inc (Metrics.counter "sup.leaves");
+          Trace.instant ~args:[ ("rank", string_of_int r) ] "sup.leave";
+          let m =
+            {
+              m_gen = gen;
+              m_kind = "leave";
+              m_rank = r;
+              m_live = List.length (List.filter ok_rank (live ()));
+              m_walkers_before = before;
+              m_walkers_after = total_walkers ();
+            }
+          in
+          membership_log := m :: !membership_log;
+          emit_event (membership_json m)
+    end
+  in
+  (* -------- generation loop -------- *)
   for gen = 1 to total_gens do
     Trace.with_span ~args:[ ("gen", string_of_int gen) ] "sup.generation"
     @@ fun () ->
+    let gen_t0 = Oqmc_containers.Timers.now () in
     failed_this_gen := [];
+    rtt_max := 0.;
     let participants = live () in
     (* Phase 1: open the generation. *)
     List.iter
       (fun r ->
         ignore
           (guard r (fun s ->
-               begin_sent.(r) <- Oqmc_containers.Timers.now ();
+               s.begin_t <- Oqmc_containers.Timers.now ();
                Wire.send s.w_fd (Wire.Begin_gen { gen; e_trial = !e_trial }))))
       participants;
-    (* Phase 2: heartbeat + shard reduction, ascending rank order so the
-       float reduction matches [run_local] exactly. *)
+    (* Phase 2: arrival-order collection, ascending-order reduction. *)
+    let arrivals = collect_phase2 ~gen participants in
     let wsum_t = ref 0. and esum_t = ref 0. and n_t = ref 0 in
     let acc_t = ref 0 and prop_t = ref 0 in
-    let rtt_max = ref 0. in
+    let steal_from = ref [] in
     List.iter
       (fun r ->
-        (match
-           recv_expect r (function
-             | Wire.Heartbeat _ -> Some ()
-             | _ -> None)
-         with
-        | Some () ->
-            let rtt = Oqmc_containers.Timers.now () -. begin_sent.(r) in
-            Metrics.observe m_rtt rtt;
-            rtt_max := Float.max !rtt_max rtt;
-            Trace.instant
-              ~args:
-                [
-                  ("rank", string_of_int r);
-                  ("rtt_us", string_of_int (int_of_float (rtt *. 1e6)));
-                ]
-              "sup.heartbeat"
-        | None -> ());
-        match
-          recv_expect r (function
-            | Wire.Reduce { gen = g; wsum; esum; acc; prop; n; telemetry }
-              when g = gen ->
-                Some (wsum, esum, acc, prop, n, telemetry)
-            | _ -> None)
-        with
-        | Some (w, e, a, pr, n, kvs) ->
+        match Hashtbl.find_opt arrivals r with
+        | None -> ()
+        | Some (w, e, a, pr, n, kvs, arrival) ->
             wsum_t := !wsum_t +. w;
             esum_t := !esum_t +. e;
             acc_t := !acc_t + a;
             prop_t := !prop_t + pr;
             n_t := !n_t + n;
-            (proc r).count <- n;
+            let s = proc r in
+            s.count <- n;
             Metrics.absorb_kvs
               (List.map
                  (fun (kind, key, value) -> { Metrics.kind; key; value })
-                 kvs)
-        | None -> ())
+                 kvs);
+            (* Soft-deadline straggler check: the budget plus three
+               smoothed RTTs of slack, so policy only fires on ranks
+               genuinely slower than their own recent history. *)
+            if p.gen_deadline_ms > 0 then begin
+              let gen_time = arrival -. s.begin_t in
+              let soft =
+                (float_of_int p.gen_deadline_ms /. 1000.)
+                +. (3. *. s.rtt_ewma)
+              in
+              if gen_time > soft then begin
+                incr stragglers;
+                s.straggles <- s.straggles + 1;
+                Metrics.inc (Metrics.counter "sup.stragglers");
+                Trace.instant
+                  ~args:
+                    [
+                      ("rank", string_of_int r);
+                      ("gen_ms", string_of_int (int_of_float (gen_time *. 1e3)));
+                      ("policy", straggler_policy_name p.straggler_policy);
+                    ]
+                  "sup.straggler";
+                match p.straggler_policy with
+                | Warn -> ()
+                | Steal -> steal_from := r :: !steal_from
+                | Quarantine -> if s.straggles >= 3 then fail_rank r Stall
+              end
+              else s.straggles <- 0
+            end)
       participants;
     let reduced = List.filter ok_rank participants in
     if reduced = [] then raise All_ranks_lost;
@@ -631,44 +1234,43 @@ let run ~(factory : int -> Engine_api.t) (p : params) : result =
       reduced;
     (* Phase 4: real load-balance exchange, relayed through the
        supervisor in deterministic plan order. *)
-    let balanced = List.filter ok_rank reduced in
-    let ids = Array.of_list balanced in
-    let plan_counts = Array.map (fun r -> (proc r).count) ids in
-    let moves = Population.plan plan_counts in
+    relay_exchange ~gen reduced;
+    (* Straggler stealing: shed a quarter of each flagged rank's shard
+       to the currently fastest rank, AFTER the exchange so the plan
+       stays deterministic. *)
     List.iter
-      (fun { Population.src; dst; count } ->
-        let rs = ids.(src) and rd = ids.(dst) in
-        match
-          guard rs (fun s ->
-              Wire.send s.w_fd (Wire.Give { gen; count });
-              match Wire.recv ~timeout:hb s.r_fd with
-              | Wire.Walkers { walkers; _ } -> walkers
-              | _ -> raise (Wire.Garbage "expected walker batch"))
-        with
-        | None -> ()
-        | Some walkers ->
-            (proc rs).count <- (proc rs).count - List.length walkers;
-            List.iter
-              (fun w ->
-                incr comm_messages;
-                comm_bytes := !comm_bytes + Walker.message_bytes w)
-              walkers;
-            let deliver rank =
-              guard rank (fun s ->
-                  Wire.send s.w_fd (Wire.Walkers { gen; walkers });
-                  s.count <- s.count + List.length walkers)
-            in
-            (match deliver rd with
-            | Some () -> ()
-            | None -> (
-                (* The destination just died: reroute the batch to the
-                   first other healthy rank rather than lose walkers. *)
-                match
-                  List.find_opt (fun r -> ok_rank r && r <> rd) balanced
-                with
-                | Some alt -> ignore (deliver alt)
-                | None -> ())))
-      moves;
+      (fun r ->
+        if ok_rank r then begin
+          let k = (proc r).count / 4 in
+          let candidates =
+            List.filter (fun x -> ok_rank x && x <> r) (live ())
+          in
+          let fastest =
+            List.fold_left
+              (fun best x ->
+                match best with
+                | None -> Some x
+                | Some b ->
+                    if (proc x).rtt_ewma < (proc b).rtt_ewma then Some x
+                    else best)
+              None candidates
+          in
+          match fastest with
+          | Some dst when k > 0 ->
+              relay_move ~gen r dst k ~others:candidates;
+              incr steals;
+              Metrics.inc (Metrics.counter "sup.steals");
+              Trace.instant
+                ~args:
+                  [
+                    ("from", string_of_int r);
+                    ("to", string_of_int dst);
+                    ("walkers", string_of_int k);
+                  ]
+                "sup.steal"
+          | _ -> ()
+        end)
+      (List.rev !steal_from);
     (* Phase 5: global trial-energy feedback from the reduced counts. *)
     let total =
       List.fold_left
@@ -705,13 +1307,17 @@ let run ~(factory : int -> Engine_api.t) (p : params) : result =
          with Sys_error _ -> ())
     | _ -> ());
     (* Phase 7: recovery — respawn this generation's casualties, or
-       degrade permanently once the respawn budget is spent. *)
+       degrade once the respawn budget is spent.  An abandoned slot is
+       recorded VACANT, so a later membership Join can refill it with a
+       fresh incarnation: degradation is reversible. *)
     List.iter
       (fun r ->
         let s = proc r in
         if s.incarnation >= p.max_respawn then begin
           s.dead <- true;
           ranks_failed := r :: !ranks_failed;
+          vacant := r :: !vacant;
+          Hashtbl.replace incarnations r (s.incarnation + 1);
           Metrics.inc (Metrics.counter "sup.ranks_abandoned");
           Trace.instant
             ~args:
@@ -772,9 +1378,9 @@ let run ~(factory : int -> Engine_api.t) (p : params) : result =
                 | _, restored -> Some restored
                 | exception Checkpoint.Corrupt _ -> None)
           in
-          let cfg = rank_config p ~rank:r ~incarnation in
+          let cfg = rank_config p ~rank:r ~incarnation ~after:gen in
           let fresh = fork_rank ~factory ~cfg ~init ~all_fds:(all_fds ()) in
-          states.(r) <- Some fresh;
+          Hashtbl.replace members r fresh;
           let startup = startup_timeout p in
           failed_this_gen := List.filter (fun x -> x <> r) !failed_this_gen;
           match
@@ -837,10 +1443,24 @@ let run ~(factory : int -> Engine_api.t) (p : params) : result =
       (Printf.sprintf
          "dmc[%d/%d ranks] gen %d/%d  E %+.6f  E_T %+.6f  pop %d  acc %.3f  %.0f w/s  lag %.1fms"
          (List.length (live ())) p.ranks gen total_gens e_gen !e_trial
-         total acceptance walkers_per_s (1e3 *. !rtt_max))
+         total acceptance walkers_per_s (1e3 *. !rtt_max));
+    (* Membership events scheduled for this generation, applied after
+       recovery so joins see a settled member set. *)
+    if p.elastic then
+      List.iter
+        (fun (g, ev) ->
+          if g = gen then
+            match ev with
+            | Join -> do_join ~gen
+            | Leave r -> do_leave ~gen r)
+        p.membership;
+    let dt = Oqmc_containers.Timers.now () -. gen_t0 in
+    Metrics.observe m_gen_s dt;
+    gen_times := dt :: !gen_times
   done;
   (* -------- collect finals -------- *)
-  let acc = ref 0 and prop = ref 0 in
+  let live_at_end = List.length (live ()) in
+  let acc = ref !acc_left and prop = ref !prop_left in
   let final_walkers = ref [] in
   List.iter
     (fun r ->
@@ -867,15 +1487,15 @@ let run ~(factory : int -> Engine_api.t) (p : params) : result =
         close_fd s.r_fd;
         close_fd s.w_fd;
         s.fds_closed <- true;
-        (try ignore (Unix.waitpid [] s.pid)
-         with Unix.Unix_error (Unix.ECHILD, _, _) -> ());
+        waitpid_robust s.pid;
         s.dead <- true
       end)
     (live ());
   finalize ~p ~t0 ~energy_series ~pop_series:!pop_series
     ~comm_messages:!comm_messages ~comm_bytes:!comm_bytes ~respawns:!respawns
     ~heartbeat_timeouts:!hb_timeouts ~garbage_frames:!garbage_frames
-    ~crashes:!crashes ~ranks_failed:!ranks_failed
-    ~live_ranks:(p.ranks - List.length !ranks_failed)
-    ~degraded_generations:!degraded_generations ~acc:!acc ~prop:!prop
-    ~final_walkers:!final_walkers ~final_e_trial:!e_trial
+    ~crashes:!crashes ~ranks_failed:!ranks_failed ~live_ranks:live_at_end
+    ~degraded_generations:!degraded_generations ~joins:!joins ~leaves:!leaves
+    ~stragglers:!stragglers ~steals:!steals ~membership_skipped:!skipped
+    ~membership_log:!membership_log ~gen_times:!gen_times ~acc:!acc
+    ~prop:!prop ~final_walkers:!final_walkers ~final_e_trial:!e_trial

@@ -2,14 +2,42 @@ open Oqmc_particle
 open Oqmc_core
 
 (** Supervised multi-rank DMC execution: a single-threaded supervisor
-    forks N worker rank processes, drives them through a lockstep
-    generation protocol ({!Wire}) with per-read heartbeat deadlines,
-    performs real walker exchange for load balance, and recovers from
-    rank crashes, stalls and corrupted streams by respawning from
-    per-rank checkpoint shards — degrading gracefully to N−1 ranks when
-    the respawn budget is exhausted.  With zero injected faults [run]
-    is bit-identical to {!run_local}, the in-process reference executor
-    over the same logical shards. *)
+    forks N worker rank processes, drives them through a deadline-
+    budgeted generation protocol ({!Wire}) with per-read heartbeat
+    deadlines, performs real walker exchange for load balance, and
+    recovers from rank crashes, stalls and corrupted streams by
+    respawning from per-rank checkpoint shards.
+
+    The rank set is ELASTIC: a membership plan can grow it mid-run
+    (fork + [Join] + rebalance) and retire ranks gracefully ([Drain] →
+    shard ships to the survivors → reap).  Slots abandoned when the
+    respawn budget runs out become vacant and refillable by later
+    joins, so degraded mode is reversible.  Ranks that blow the soft
+    generation deadline are handled per {!straggler_policy}.
+
+    With zero injected faults and no membership events [run] is
+    bit-identical to {!run_local}, the in-process reference executor
+    over the same logical shards — and with a shared membership plan
+    the two stay bit-identical through every join and leave. *)
+
+type straggler_policy =
+  | Warn  (** count + trace the straggler, nothing else *)
+  | Steal
+      (** shed a quarter of the straggler's walkers to the currently
+          fastest rank *)
+  | Quarantine
+      (** three consecutive misses → treated as a stall: the rank is
+          killed and respawned from its newest checkpoint shard *)
+
+val straggler_policy_of_string : string -> straggler_policy option
+(** ["warn" | "steal" | "quarantine"]. *)
+
+val straggler_policy_name : straggler_policy -> string
+
+type member_event =
+  | Join  (** grow the rank set by one (lowest vacant slot, else a
+              fresh id) *)
+  | Leave of int  (** gracefully drain + retire this rank *)
 
 type params = {
   ranks : int;
@@ -36,12 +64,35 @@ type params = {
   telemetry : string option;
       (** write one merged JSON record per measured generation here
           (gen, e_gen, e_trial, population, acceptance, walkers_per_s,
-          live_ranks, rtt_max_s, respawns, wall_s) *)
+          live_ranks, rtt_max_s, respawns, wall_s), plus one record per
+          membership transition *)
   telemetry_every : int;  (** emit every n-th measured generation *)
   progress : bool;  (** live one-line progress on stderr *)
+  elastic : bool;
+      (** enable the membership plan and (with [gen_deadline_ms > 0])
+          asynchronous double-buffered shard checkpoints *)
+  gen_deadline_ms : int;
+      (** soft per-generation budget feeding the straggler policy;
+          0 = classic lockstep behavior *)
+  straggler_policy : straggler_policy;
+  membership : (int * member_event) list;
+      (** (generation, event): applied at the END of that generation,
+          in list order.  Requires [elastic = true] *)
 }
 
 val default_params : params
+
+(** One membership transition as it happened; [m_walkers_before =
+    m_walkers_after] is the conservation invariant the chaos soak
+    asserts. *)
+type member_record = {
+  m_gen : int;
+  m_kind : string;  (** ["join"] or ["leave"] *)
+  m_rank : int;
+  m_live : int;  (** live ranks after the transition *)
+  m_walkers_before : int;
+  m_walkers_after : int;
+}
 
 type result = {
   energy : float;
@@ -59,16 +110,36 @@ type result = {
   heartbeat_timeouts : int;
   garbage_frames : int;
   crashes : int;
-  ranks_failed : int list;  (** permanently lost ranks, ascending *)
-  live_ranks : int;
+  ranks_failed : int list;  (** abandonment events, ascending *)
+  live_ranks : int;  (** live member count at the end of the run *)
   degraded_generations : int;
       (** generations reduced over fewer than [ranks] shards *)
+  joins : int;
+  leaves : int;
+  stragglers : int;  (** soft-deadline misses observed *)
+  steals : int;  (** walker-steal transfers performed *)
+  membership_skipped : int;
+      (** membership events that could not be applied (target rank
+          gone, last rank, joiner failed to start) *)
+  membership_log : member_record list;  (** chronological *)
+  gen_p50_s : float;  (** per-generation wall-time percentiles *)
+  gen_p99_s : float;
   final_walkers : Walker.t list;
   final_e_trial : float;
 }
 
 exception All_ranks_lost
 (** Every rank is dead and the run cannot continue. *)
+
+exception Interrupted of int
+(** SIGTERM/SIGINT arrived; raised so the normal unwind path runs
+    (children reaped, telemetry and trace sinks flushed + closed). *)
+
+val of_chaos :
+  Chaos.schedule ->
+  (int * int * Fault.rank_fault) list * (int * member_event) list
+(** Split a {!Chaos} schedule into the [faults] and [membership] params
+    it drives. *)
 
 val run : factory:(int -> Engine_api.t) -> params -> result
 (** Forked execution.  The caller must not hold live OCaml domains
@@ -77,5 +148,6 @@ val run : factory:(int -> Engine_api.t) -> params -> result
 
 val run_local : factory:(int -> Engine_api.t) -> params -> result
 (** In-process reference executor: the same rank-sharded algorithm over
-    logical shards — no fork, no pipes.  The bit-identity oracle for
-    [run], and the single-process driver for rank-shaped runs. *)
+    logical shards — no fork, no pipes, including the elastic
+    membership plan.  The bit-identity oracle for [run], and the
+    single-process driver for rank-shaped runs. *)

@@ -61,6 +61,16 @@ type msg =
           (* the rank's serialized span ring ([Oqmc_obs.Trace.serialize])
              shipped once at shutdown; empty when tracing is off *)
     }
+  (* ---- elastic membership (supervisor-driven) ----
+     [Join] tells a freshly forked rank which generation it is live from
+     (it is acked and followed by walker rebalancing relays); [Drain]
+     asks a retiring rank to ship its ENTIRE shard, which the rank
+     acknowledges with a [Walkers] batch followed by [Leave] — after
+     which the supervisor finishes and reaps it.  A rank slot retired
+     this way can be refilled by a later [Join]. *)
+  | Join of { gen : int; e_trial : float }
+  | Drain of { gen : int }
+  | Leave of { gen : int; count : int }
 
 (* ---------- encoding ---------- *)
 
@@ -100,6 +110,9 @@ let tag_of = function
   | Finish -> 11
   | Final _ -> 12
   | Init _ -> 13
+  | Join _ -> 14
+  | Drain _ -> 15
+  | Leave _ -> 16
 
 let encode_payload buf = function
   | Hello { rank; pid } ->
@@ -135,6 +148,13 @@ let encode_payload buf = function
       put_u8 buf (if ok then 1 else 0)
   | Finish -> ()
   | Init { count } -> put_i32 buf count
+  | Join { gen; e_trial } ->
+      put_i32 buf gen;
+      put_f64 buf e_trial
+  | Drain { gen } -> put_i32 buf gen
+  | Leave { gen; count } ->
+      put_i32 buf gen;
+      put_i32 buf count
   | Final { acc; prop; walkers; trace } ->
       put_i64 buf acc;
       put_i64 buf prop;
@@ -237,6 +257,15 @@ let decode_body body =
         let walkers = get_walkers body pos in
         let trace = get_str body pos in
         Final { acc; prop; walkers; trace }
+    | 14 ->
+        let gen = get_i32 body pos in
+        let e_trial = get_f64 body pos in
+        Join { gen; e_trial }
+    | 15 -> Drain { gen = get_i32 body pos }
+    | 16 ->
+        let gen = get_i32 body pos in
+        let count = get_i32 body pos in
+        Leave { gen; count }
     | t -> garbage "unknown tag %d" t
   in
   if !pos <> String.length body then

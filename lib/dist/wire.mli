@@ -58,6 +58,14 @@ type msg =
       (** rank → supervisor: final shard and lifetime move totals; when
           tracing is enabled, [trace] carries the rank's serialized span
           ring ([Oqmc_obs.Trace.serialize]) for supervisor-side merge *)
+  | Join of { gen : int; e_trial : float }
+      (** supervisor → freshly forked rank: you are live as of [gen];
+          acked, then populated through the rebalancing relays *)
+  | Drain of { gen : int }
+      (** supervisor → retiring rank: ship your WHOLE shard (a
+          [Walkers] batch) and confirm with [Leave] *)
+  | Leave of { gen : int; count : int }
+      (** rank → supervisor: drain complete, [count] walkers shipped *)
 
 val send : Unix.file_descr -> msg -> unit
 (** Write one frame, fully.  @raise Closed on a broken pipe. *)

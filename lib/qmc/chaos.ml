@@ -1,0 +1,198 @@
+open Oqmc_rng
+
+(* Deterministic schedule-driven chaos injection for the supervised
+   multi-rank layer.
+
+   A chaos SCHEDULE is a seeded, reproducible sequence of adversarial
+   events — process kills, stalls, corrupted streams, full disks, and
+   elastic membership changes (ranks joining and leaving mid-run) —
+   attached to specific generations of a supervised DMC run.  The same
+   (seed, shape) always yields the same schedule, so a soak failure is
+   replayable bit-for-bit.
+
+   The fault events map onto the [Fault] rank injectors (armed inside
+   the worker processes); membership events are interpreted by the
+   supervisor, which this library cannot see (lib/dist depends on
+   lib/qmc, not the reverse) — the supervisor exposes a converter from
+   this event type to its own membership plan. *)
+
+type event =
+  | Kill of int (* rank: SIGKILL mid-generation *)
+  | Stall of int * float (* rank, seconds: miss the heartbeat *)
+  | Garbage of int (* rank: one corrupted wire frame *)
+  | Disk_full of int * int (* rank, times: checkpoint writes fail *)
+  | Join (* grow the rank set by one *)
+  | Leave of int (* rank: graceful drain + retire *)
+
+type schedule = (int * event) list (* (generation, event), ascending *)
+
+let pp_event = function
+  | Kill r -> Printf.sprintf "kill(rank %d)" r
+  | Stall (r, s) -> Printf.sprintf "stall(rank %d, %.2fs)" r s
+  | Garbage r -> Printf.sprintf "garbage(rank %d)" r
+  | Disk_full (r, n) -> Printf.sprintf "disk_full(rank %d, %d writes)" r n
+  | Join -> "join"
+  | Leave r -> Printf.sprintf "leave(rank %d)" r
+
+(* Aggregate event counts, for asserting that every scheduled event
+   surfaced in the telemetry stream. *)
+type counts = {
+  kills : int;
+  stalls : int;
+  garbage : int;
+  disk_full : int;
+  joins : int;
+  leaves : int;
+}
+
+let count schedule =
+  List.fold_left
+    (fun c (_, e) ->
+      match e with
+      | Kill _ -> { c with kills = c.kills + 1 }
+      | Stall _ -> { c with stalls = c.stalls + 1 }
+      | Garbage _ -> { c with garbage = c.garbage + 1 }
+      | Disk_full _ -> { c with disk_full = c.disk_full + 1 }
+      | Join -> { c with joins = c.joins + 1 }
+      | Leave _ -> { c with leaves = c.leaves + 1 })
+    { kills = 0; stalls = 0; garbage = 0; disk_full = 0; joins = 0; leaves = 0 }
+    schedule
+
+let total schedule = List.length schedule
+
+(* The fault part of a schedule, in [Supervisor.params.faults] form.
+   Membership events are skipped; the supervisor consumes those through
+   its own converter. *)
+let faults_of schedule =
+  List.filter_map
+    (fun (gen, e) ->
+      match e with
+      | Kill r -> Some (r, gen, Fault.Rank_kill)
+      | Stall (r, s) -> Some (r, gen, Fault.Rank_stall s)
+      | Garbage r -> Some (r, gen, Fault.Rank_garbage)
+      | Disk_full (r, n) -> Some (r, gen, Fault.Rank_disk_full n)
+      | Join | Leave _ -> None)
+    schedule
+
+(* ---------- schedule generation ----------
+
+   [plan] lays the membership trajectory down FIRST — evenly spaced
+   waypoints walking the live-rank count through [trajectory]
+   (e.g. 4 -> 6 -> 3 -> 5) with joins refilling the lowest vacant slot,
+   mirroring the supervisor's slot-refill rule — and then scatters
+   [events] fault events over the remaining generations, each targeting
+   a rank that is live at that point of the simulated membership.  All
+   randomness comes from one Xoshiro stream seeded by [seed]. *)
+
+let plan ~seed ~gens ~ranks ?(trajectory = []) ?(events = 0)
+    ?(stall_s = 0.4) ?(disk_failures = 2) () =
+  if gens < 4 then invalid_arg "Chaos.plan: gens < 4";
+  if ranks < 1 then invalid_arg "Chaos.plan: ranks < 1";
+  if List.exists (fun w -> w < 1) trajectory then
+    invalid_arg "Chaos.plan: trajectory waypoint < 1";
+  let rng = Xoshiro.create seed in
+  let pick_int n = int_of_float (Xoshiro.uniform rng *. float_of_int n) in
+  (* Simulated membership state, kept in lockstep with the supervisor's
+     slot rules: live ids sorted ascending, vacancies refilled
+     lowest-first, fresh ids past the current maximum otherwise. *)
+  let live = ref (List.init ranks Fun.id) in
+  let vacant = ref [] in
+  let next_id = ref ranks in
+  let used_gens = Hashtbl.create 32 in
+  let schedule = ref [] in
+  let add gen e =
+    Hashtbl.replace used_gens gen ();
+    schedule := (gen, e) :: !schedule
+  in
+  (* Membership waypoints: walk the live count to each target, one
+     join/leave per generation so every transition is observable. *)
+  let waypoints = List.length trajectory in
+  List.iteri
+    (fun i target ->
+      let base = (i + 1) * gens / (waypoints + 1) in
+      let delta = target - List.length !live in
+      for k = 0 to abs delta - 1 do
+        let gen = min (gens - 2) (base + k) in
+        if delta > 0 then begin
+          let id =
+            match List.sort compare !vacant with
+            | v :: rest ->
+                vacant := rest;
+                v
+            | [] ->
+                let id = !next_id in
+                incr next_id;
+                id
+          in
+          live := List.sort compare (id :: !live);
+          add gen Join
+        end
+        else begin
+          (* Never drain the last rank; pick the victim by seed. *)
+          match !live with
+          | [] | [ _ ] -> ()
+          | ids ->
+              let r = List.nth ids (pick_int (List.length ids)) in
+              live := List.filter (fun x -> x <> r) ids;
+              vacant := r :: !vacant;
+              add gen (Leave r)
+        end
+      done)
+    trajectory;
+  (* Fault events on the free generations.  Kills/stalls/garbage leave
+     membership unchanged (the supervisor respawns the rank), so the
+     simulated live set stays valid; targets are drawn from the ranks
+     live at that generation per the waypoint walk above. *)
+  let live_at gen =
+    (* Replay the membership part of the schedule up to [gen]. *)
+    let ids = ref (List.init ranks Fun.id) in
+    let nid = ref ranks in
+    let vac = ref [] in
+    List.iter
+      (fun (g, e) ->
+        if g <= gen then
+          match e with
+          | Join ->
+              let id =
+                match List.sort compare !vac with
+                | v :: rest ->
+                    vac := rest;
+                    v
+                | [] ->
+                    let id = !nid in
+                    incr nid;
+                    id
+              in
+              ids := List.sort compare (id :: !ids)
+          | Leave r ->
+              ids := List.filter (fun x -> x <> r) !ids;
+              vac := r :: !vac
+          | _ -> ())
+      (List.sort compare (List.rev !schedule));
+    !ids
+  in
+  let free_gens =
+    List.filter
+      (fun g -> not (Hashtbl.mem used_gens g))
+      (List.init (max 0 (gens - 4)) (fun i -> i + 2))
+  in
+  let free = ref free_gens in
+  for i = 0 to events - 1 do
+    match !free with
+    | [] -> ()
+    | gens_left ->
+        let n = List.length gens_left in
+        let gen = List.nth gens_left (pick_int n) in
+        free := List.filter (fun g -> g <> gen) gens_left;
+        let ids = live_at gen in
+        let r = List.nth ids (pick_int (List.length ids)) in
+        let e =
+          match (i + pick_int 4) mod 4 with
+          | 0 -> Kill r
+          | 1 -> Stall (r, stall_s)
+          | 2 -> Garbage r
+          | _ -> Disk_full (r, disk_failures)
+        in
+        add gen e
+  done;
+  List.sort compare (List.rev !schedule)

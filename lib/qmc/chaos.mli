@@ -1,0 +1,57 @@
+(** Deterministic schedule-driven chaos injection for the supervised
+    multi-rank layer: a seeded, replayable sequence of kills, stalls,
+    corrupted frames, full disks and elastic membership changes, each
+    attached to a specific generation.  [Fault] events are armed inside
+    the worker ranks; membership events are interpreted by the
+    supervisor (which exposes its own converter from this type). *)
+
+type event =
+  | Kill of int  (** rank: SIGKILL mid-generation *)
+  | Stall of int * float  (** rank, seconds: miss the heartbeat *)
+  | Garbage of int  (** rank: one corrupted wire frame *)
+  | Disk_full of int * int  (** rank, times: checkpoint writes fail *)
+  | Join  (** grow the rank set by one *)
+  | Leave of int  (** rank: graceful drain + retire *)
+
+type schedule = (int * event) list
+(** (generation, event) pairs, ascending by generation. *)
+
+val pp_event : event -> string
+
+type counts = {
+  kills : int;
+  stalls : int;
+  garbage : int;
+  disk_full : int;
+  joins : int;
+  leaves : int;
+}
+
+val count : schedule -> counts
+(** Aggregate event counts, for asserting every scheduled event surfaced
+    in telemetry. *)
+
+val total : schedule -> int
+
+val faults_of : schedule -> (int * int * Fault.rank_fault) list
+(** The fault part of a schedule in [Supervisor.params.faults] form
+    (rank, gen, fault); membership events are skipped. *)
+
+val plan :
+  seed:int ->
+  gens:int ->
+  ranks:int ->
+  ?trajectory:int list ->
+  ?events:int ->
+  ?stall_s:float ->
+  ?disk_failures:int ->
+  unit ->
+  schedule
+(** Deterministic schedule: membership waypoints walking the live-rank
+    count through [trajectory] (evenly spaced, one join/leave per
+    generation, joins refilling the lowest vacant slot — mirroring the
+    supervisor's rule, never draining the last rank), then [events]
+    fault events scattered over the remaining generations, each
+    targeting a rank live at that point.  All randomness derives from
+    [seed].  @raise Invalid_argument if [gens < 4], [ranks < 1] or a
+    trajectory waypoint is [< 1]. *)

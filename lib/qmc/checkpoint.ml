@@ -245,6 +245,71 @@ let save_generation ?retries ?backoff ?(keep = 3) ~path ~gen ~e_trial walkers
         if i < excess then try Sys.remove p with Sys_error _ -> ())
       gens
 
+(* ---------- double-buffered asynchronous saves ----------
+
+   The elastic supervisor overlaps checkpoint IO with the next
+   generation's compute: the shard image is RENDERED synchronously (so a
+   later mutation of the walkers cannot tear it) and then written +
+   rotated from a background domain while the rank returns to its sweep.
+   At most one write is ever in flight — queueing a new save first joins
+   the previous one (double buffering), so a slow disk backs pressure up
+   instead of piling up writers.  The caller acks the *render*; whether
+   the publish landed is discovered by [drain] (and, on restart, by
+   [latest_complete] revalidating every shard it considers). *)
+
+module Async = struct
+  type t = {
+    mutable pending : bool Domain.t option;
+    mutable failures : int; (* background writes that did not land *)
+  }
+
+  let create () = { pending = None; failures = 0 }
+
+  (* Join the in-flight write, if any; false when it failed. *)
+  let drain t =
+    match t.pending with
+    | None -> true
+    | Some d ->
+        t.pending <- None;
+        let ok = try Domain.join d with _ -> false in
+        if not ok then t.failures <- t.failures + 1;
+        ok
+
+  let failures t = t.failures
+
+  let save_generation ?(retries = 3) ?(backoff = 0.05) ?(keep = 3) t ~path
+      ~gen ~e_trial walkers =
+    if keep < 1 then invalid_arg "Checkpoint.Async.save_generation: keep < 1";
+    if gen < 0 then invalid_arg "Checkpoint.Async.save_generation: gen < 0";
+    let prev_ok = drain t in
+    let data = render ~e_trial walkers in
+    let gpath = generation_path ~path gen in
+    t.pending <-
+      Some
+        (Domain.spawn (fun () ->
+             match
+               let rec attempt k =
+                 try write_atomic ~path:gpath data
+                 with Sys_error _ when k < retries ->
+                   Unix.sleepf (backoff *. float_of_int (1 lsl k));
+                   attempt (k + 1)
+               in
+               attempt 0
+             with
+             | () ->
+                 let gens = list_generations ~path in
+                 let excess = List.length gens - keep in
+                 if excess > 0 then
+                   List.iteri
+                     (fun i (_, p) ->
+                       if i < excess then
+                         try Sys.remove p with Sys_error _ -> ())
+                     gens;
+                 true
+             | exception Sys_error _ -> false));
+    prev_ok
+end
+
 let load_latest ~path =
   let candidates =
     List.rev (list_generations ~path)

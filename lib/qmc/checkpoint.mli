@@ -62,6 +62,44 @@ val save_generation :
     [keep] (default 3) generations.
     @raise Invalid_argument if [keep < 1] or [gen < 0]. *)
 
+(** {1 Double-buffered asynchronous saves}
+
+    Overlap checkpoint IO with the next generation's compute: the shard
+    image is rendered synchronously (so later walker mutations cannot
+    tear it) and published from a background domain.  At most one write
+    is in flight; queueing a new save first joins the previous one.
+    Must only be used inside a worker rank process — the forking
+    supervisor itself never spawns domains. *)
+
+module Async : sig
+  type t
+
+  val create : unit -> t
+
+  val drain : t -> bool
+  (** Join the in-flight write, if any; [false] when it failed (also
+      counted in {!failures}). *)
+
+  val failures : t -> int
+  (** Background writes that did not land. *)
+
+  val save_generation :
+    ?retries:int ->
+    ?backoff:float ->
+    ?keep:int ->
+    t ->
+    path:string ->
+    gen:int ->
+    e_trial:float ->
+    Walker.t list ->
+    bool
+  (** Render generation [gen] now, publish + rotate in the background.
+      Returns whether the {e previous} in-flight write landed (the
+      optimistic ack the caller forwards; restores revalidate shards, so
+      an optimistic ack can delay recovery by one round but never
+      corrupt it).  @raise Invalid_argument if [keep < 1] or [gen < 0]. *)
+end
+
 val load_latest : path:string -> int * (float * Walker.t list)
 (** Newest generation of [path] that loads cleanly, falling back past
     corrupt ones; a plain [path] file (no generation suffix) is the

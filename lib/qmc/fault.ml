@@ -83,9 +83,16 @@ let nans_injected_count () = Atomic.get nans_injected
    - [Rank_stall s]: the rank sleeps [s] seconds without heartbeating,
      tripping the supervisor's heartbeat deadline;
    - [Rank_garbage]: the rank emits one corrupted wire frame, exercising
-     the protocol's CRC rejection path. *)
+     the protocol's CRC rejection path;
+   - [Rank_disk_full n]: the rank's next [n] checkpoint writes fail with
+     [Sys_error] (armed through [arm_io_failure]), simulating a full or
+     flaky filesystem under the shard-save path. *)
 
-type rank_fault = Rank_kill | Rank_stall of float | Rank_garbage
+type rank_fault =
+  | Rank_kill
+  | Rank_stall of float
+  | Rank_garbage
+  | Rank_disk_full of int
 
 let rank_faults : (int, rank_fault) Hashtbl.t = Hashtbl.create 8
 

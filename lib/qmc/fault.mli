@@ -46,6 +46,10 @@ type rank_fault =
       (** sleep this many seconds without heartbeating — trips the
           supervisor's heartbeat deadline *)
   | Rank_garbage  (** emit one corrupted wire frame (CRC mismatch) *)
+  | Rank_disk_full of int
+      (** the rank's next [n] checkpoint writes raise [Sys_error]
+          (armed through {!arm_io_failure}) — a full/flaky filesystem
+          under the shard-save path *)
 
 val arm_rank_fault : gen:int -> rank_fault -> unit
 (** @raise Invalid_argument if [gen < 0]. *)

@@ -41,6 +41,9 @@ type t = {
   ranks : int; (* > 1 = supervised multi-process execution *)
   heartbeat_ms : int; (* per-rank message deadline *)
   max_respawn : int; (* respawns per rank before it is abandoned *)
+  elastic : bool; (* elastic rank membership + async checkpoints *)
+  gen_deadline_ms : int; (* soft generation budget; 0 = lockstep *)
+  straggler_policy : string; (* warn | steal | quarantine *)
   trace : string option; (* Chrome trace_event JSON output *)
   telemetry : string option; (* per-generation JSONL output *)
   telemetry_every : int;
@@ -70,6 +73,9 @@ let default =
     ranks = 1;
     heartbeat_ms = 5000;
     max_respawn = 2;
+    elastic = false;
+    gen_deadline_ms = 0;
+    straggler_policy = "warn";
     trace = None;
     telemetry = None;
     telemetry_every = 1;
@@ -123,6 +129,19 @@ let apply cfg ~line key value =
   | "ranks" -> { cfg with ranks = parse_int line value }
   | "heartbeat_ms" -> { cfg with heartbeat_ms = parse_int line value }
   | "max_respawn" -> { cfg with max_respawn = parse_int line value }
+  | "elastic" -> { cfg with elastic = parse_bool line value }
+  | "gen_deadline_ms" ->
+      let d = parse_int line value in
+      if d < 0 then fail line "gen_deadline_ms must be >= 0, got %d" d;
+      { cfg with gen_deadline_ms = d }
+  | "straggler_policy" -> (
+      match String.lowercase_ascii value with
+      | ("warn" | "steal" | "quarantine") as pol ->
+          { cfg with straggler_policy = pol }
+      | other ->
+          fail line
+            "straggler_policy must be warn, steal or quarantine, got %S"
+            other)
   | "trace" -> { cfg with trace = Some value }
   | "telemetry" -> { cfg with telemetry = Some value }
   | "telemetry_every" -> { cfg with telemetry_every = parse_int line value }

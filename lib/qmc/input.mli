@@ -33,6 +33,16 @@ type t = {
   heartbeat_ms : int;  (** per-rank message deadline in milliseconds *)
   max_respawn : int;
       (** respawns per rank before it is abandoned and the run degrades *)
+  elastic : bool;
+      (** enable elastic rank membership (join/leave/drain) and, with
+          [gen_deadline_ms > 0], async double-buffered shard
+          checkpoints *)
+  gen_deadline_ms : int;
+      (** soft per-generation budget feeding the straggler policy;
+          0 = classic lockstep.  Values < 0 are rejected at parse time *)
+  straggler_policy : string;
+      (** ["warn"], ["steal"] or ["quarantine"] (validated at parse
+          time) *)
   trace : string option;
       (** write a Chrome trace_event JSON timeline here (load it in
           Perfetto / chrome://tracing) *)

@@ -157,6 +157,14 @@ let give t k =
 (* Append received walkers at the end of the shard. *)
 let absorb t ws = t.walkers <- t.walkers @ ws
 
+(* Remove and return the WHOLE shard (in order) — the graceful-leave
+   path of the elastic supervisor: a retiring rank drains itself into
+   the survivors before being reaped. *)
+let drain t =
+  let ws = t.walkers in
+  t.walkers <- [];
+  ws
+
 type move = { src : int; dst : int; count : int }
 
 (* Deterministic all-to-ideal rebalancing plan: [counts.(i)] walkers

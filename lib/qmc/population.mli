@@ -65,6 +65,10 @@ val give : t -> int -> Walker.t list
 val absorb : t -> Walker.t list -> unit
 (** Append received walkers at the end of the shard. *)
 
+val drain : t -> Walker.t list
+(** Remove and return the whole shard (in order), leaving it empty —
+    the graceful-leave path of the elastic supervisor. *)
+
 type move = { src : int; dst : int; count : int }
 
 val plan : int array -> move list

@@ -2,8 +2,11 @@
 # Repository test entry point: the tier-1 gate plus the crash-recovery
 # smoke (4 supervised ranks, one SIGKILLed mid-run and respawned from
 # its checkpoint shard), the observability smoke (trace + telemetry
-# artifacts validated end to end), and the crowd-batching bench smoke
-# (pipeline/staged bit-identity + zero-allocation kernel assertions).
+# artifacts validated end to end), the crowd-batching bench smoke
+# (pipeline/staged bit-identity + zero-allocation kernel assertions),
+# and the chaos soak (a deterministic multi-hundred-generation run per
+# seed under injected kills/stalls/garbage/disk-full + elastic
+# join/leave membership; OQMC_CHAOS_LONG=1 extends the matrix).
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -12,3 +15,5 @@ dune runtest
 dune build @recovery-smoke
 dune build @obs-smoke
 dune build @bench-smoke
+dune build test/chaos_soak.exe
+OQMC_BENCH_OUT="$PWD/BENCH_chaos.json" ./_build/default/test/chaos_soak.exe

@@ -126,6 +126,9 @@ let test_wire_roundtrip () =
       Wire.Ack { gen = 24; ok = true };
       Wire.Ack { gen = 24; ok = false };
       Wire.Finish;
+      Wire.Join { gen = 30; e_trial = -0.987654321012345 };
+      Wire.Drain { gen = 31 };
+      Wire.Leave { gen = 31; count = 9 };
     ]
   in
   List.iter
@@ -238,6 +241,96 @@ let test_latest_complete_falls_back () =
     (Checkpoint.latest_complete ~path ~ranks:2 = Some 10);
   check_bool "no complete set for 3 ranks" true
     (Checkpoint.latest_complete ~path ~ranks:3 = None)
+
+(* The manifest is advisory: the restart point is decided by the shards
+   that actually load, so a manifest pointing past the complete set (a
+   crash between shard acks and the manifest write, or vice versa) must
+   fall back, never crash. *)
+let test_manifest_partial_shard_set () =
+  let dir = tmpdir () in
+  let path = Filename.concat dir "run.chk" in
+  let walkers = mk_walkers 2 in
+  Checkpoint.save_shard ~path ~rank:0 ~gen:10 ~e_trial:(-1.) walkers;
+  Checkpoint.save_shard ~path ~rank:1 ~gen:10 ~e_trial:(-1.) walkers;
+  Checkpoint.save_shard ~path ~rank:0 ~gen:20 ~e_trial:(-1.) walkers;
+  Checkpoint.save_manifest ~path ~gen:20 ~ranks:[ 0; 1 ] ();
+  let mgen, _ = Checkpoint.load_manifest ~path in
+  check_int "manifest optimistically claims 20" 20 mgen;
+  check_bool "restart falls back to the complete set" true
+    (Checkpoint.latest_complete ~path ~ranks:2 = Some 10)
+
+let test_manifest_missing_shards_never_crash () =
+  let dir = tmpdir () in
+  let path = Filename.concat dir "run.chk" in
+  Checkpoint.save_manifest ~path ~gen:50 ~ranks:[ 0; 1; 2 ] ();
+  check_bool "no shards on disk: no restart point" true
+    (Checkpoint.latest_complete ~path ~ranks:3 = None);
+  check_bool "missing shard raises Corrupt, not a crash" true
+    (match Checkpoint.load_latest_shard ~path ~rank:1 with
+    | _ -> false
+    | exception Checkpoint.Corrupt _ -> true)
+
+let test_keep1_rotation_race () =
+  let dir = tmpdir () in
+  let path = Filename.concat dir "run.chk" in
+  let walkers = mk_walkers 2 in
+  List.iter
+    (fun gen ->
+      Checkpoint.save_shard ~keep:1 ~path ~rank:0 ~gen ~e_trial:(-2.) walkers)
+    [ 1; 2; 3; 4; 5 ];
+  let gen, (e, ws) = Checkpoint.load_latest_shard ~path ~rank:0 in
+  check_int "keep=1 leaves only the newest" 5 gen;
+  checkf 0. "e_trial survives rotation" (-2.) e;
+  check_int "count survives rotation" 2 (List.length ws);
+  (* With keep=1 there is no older generation to fall back to, so a torn
+     newest file must surface as a clean Corrupt. *)
+  Fault.garble_file
+    ~path:(Checkpoint.shard_path ~path ~rank:0 ^ ".gen-5")
+    ~seed:3;
+  check_bool "corrupt newest + keep=1: clean Corrupt" true
+    (match Checkpoint.load_latest_shard ~path ~rank:0 with
+    | _ -> false
+    | exception Checkpoint.Corrupt _ -> true);
+  check_bool "latest_complete degrades to None" true
+    (Checkpoint.latest_complete ~path ~ranks:1 = None)
+
+(* Async saves spawn a background domain, and a process that has ever
+   created a domain can no longer Unix.fork — exactly why only worker
+   ranks use them.  Mirror that here: exercise the writer in a forked
+   child so this test process stays fork-clean for the supervisor
+   suite, then validate the artifacts it left on disk. *)
+let test_async_checkpoint_roundtrip () =
+  let dir = tmpdir () in
+  let path = Filename.concat dir "run.chk" in
+  let walkers = mk_walkers 3 in
+  (match Unix.fork () with
+  | 0 ->
+      let status =
+        try
+          let t = Checkpoint.Async.create () in
+          let ok1 =
+            Checkpoint.Async.save_generation t ~path ~gen:1 ~e_trial:(-0.5)
+              walkers
+          in
+          let ok2 =
+            Checkpoint.Async.save_generation t ~path ~gen:2 ~e_trial:(-0.25)
+              walkers
+          in
+          let drained = Checkpoint.Async.drain t in
+          if ok1 && ok2 && drained && Checkpoint.Async.failures t = 0 then 0
+          else 1
+        with _ -> 2
+      in
+      Stdlib.exit status
+  | pid -> (
+      match Unix.waitpid [] pid with
+      | _, Unix.WEXITED 0 -> ()
+      | _, Unix.WEXITED 1 -> Alcotest.fail "an async ack or drain reported failure"
+      | _, _ -> Alcotest.fail "async writer child crashed"));
+  let gen, (e, ws) = Checkpoint.load_latest ~path in
+  check_int "newest generation on disk" 2 gen;
+  checkf 0. "e_trial" (-0.25) e;
+  check_int "ensemble size" 3 (List.length ws)
 
 (* ---------- population: branching + exchange (satellite coverage) ---- *)
 
@@ -542,6 +635,178 @@ let test_restore_resumes_all_ranks () =
     (List.length r2.Supervisor.final_walkers > 0);
   ignore r1
 
+(* ---------- elastic membership ---------- *)
+
+let conservation_ok (res : Supervisor.result) =
+  List.for_all
+    (fun m -> m.Supervisor.m_walkers_before = m.Supervisor.m_walkers_after)
+    res.Supervisor.membership_log
+
+let test_membership_grow_shrink_local () =
+  let p =
+    {
+      base_params with
+      Supervisor.elastic = true;
+      generations = 12;
+      membership =
+        [ (3, Supervisor.Join); (6, Supervisor.Leave 1); (9, Supervisor.Join) ];
+    }
+  in
+  let r = Supervisor.run_local ~factory p in
+  check_int "two joins" 2 r.Supervisor.joins;
+  check_int "one leave" 1 r.Supervisor.leaves;
+  check_int "nothing skipped" 0 r.Supervisor.membership_skipped;
+  check_bool "walkers conserved across every transition" true
+    (conservation_ok r);
+  (* 3 ranks + join(new slot 3) − leave(1) + join(refills slot 1). *)
+  check_int "ends at four live ranks" 4 r.Supervisor.live_ranks;
+  Alcotest.(check (list int))
+    "join takes a fresh id, refill takes the vacated slot" [ 3; 1; 1 ]
+    (List.map (fun m -> m.Supervisor.m_rank) r.Supervisor.membership_log);
+  let r2 = Supervisor.run_local ~factory p in
+  check_bool "membership path is deterministic" true
+    (same_series r.Supervisor.energy_series r2.Supervisor.energy_series);
+  assert_healthy "membership-local" r
+
+(* The acceptance invariant: switching the elastic machinery ON without
+   scheduling any membership events must not perturb a single bit. *)
+let test_elastic_forked_matches_local_no_events () =
+  let p = { base_params with Supervisor.elastic = true } in
+  let local = Supervisor.run_local ~factory p in
+  let forked = Supervisor.run ~factory p in
+  check_bool "energy series bit-identical" true
+    (same_series local.Supervisor.energy_series
+       forked.Supervisor.energy_series);
+  check_bool "final e_trial bit-identical" true
+    (Int64.bits_of_float local.Supervisor.final_e_trial
+    = Int64.bits_of_float forked.Supervisor.final_e_trial);
+  check_int "comm identical" local.Supervisor.comm_messages
+    forked.Supervisor.comm_messages;
+  check_int "no membership activity" 0
+    (forked.Supervisor.joins + forked.Supervisor.leaves
+   + forked.Supervisor.membership_skipped)
+
+let test_membership_forked_matches_local () =
+  let p =
+    {
+      base_params with
+      Supervisor.elastic = true;
+      generations = 12;
+      membership = [ (3, Supervisor.Join); (6, Supervisor.Leave 1) ];
+    }
+  in
+  let local = Supervisor.run_local ~factory p in
+  let forked = Supervisor.run ~factory p in
+  check_bool "energy series bit-identical through join + leave" true
+    (same_series local.Supervisor.energy_series
+       forked.Supervisor.energy_series);
+  check_bool "final e_trial bit-identical" true
+    (Int64.bits_of_float local.Supervisor.final_e_trial
+    = Int64.bits_of_float forked.Supervisor.final_e_trial);
+  Alcotest.(check (array int))
+    "population series identical" local.Supervisor.population_series
+    forked.Supervisor.population_series;
+  check_int "exchange messages identical" local.Supervisor.comm_messages
+    forked.Supervisor.comm_messages;
+  check_int "exchange bytes identical" local.Supervisor.comm_bytes
+    forked.Supervisor.comm_bytes;
+  check_int "both saw the join" local.Supervisor.joins forked.Supervisor.joins;
+  check_int "both saw the leave" local.Supervisor.leaves
+    forked.Supervisor.leaves;
+  check_bool "forked transitions conserve walkers" true (conservation_ok forked);
+  check_bool "local transitions conserve walkers" true (conservation_ok local);
+  assert_healthy "membership-forked" forked
+
+(* Degraded mode is reversible: a rank abandoned after its respawn
+   budget runs out leaves a vacant slot a later Join refills. *)
+let test_drain_refill_degraded_reversible () =
+  let p =
+    {
+      base_params with
+      Supervisor.elastic = true;
+      generations = 12;
+      max_respawn = 0;
+      faults = [ (1, 4, Fault.Rank_kill) ];
+      membership = [ (8, Supervisor.Join) ];
+    }
+  in
+  let r = Supervisor.run ~factory p in
+  check_int "one crash" 1 r.Supervisor.crashes;
+  check_int "no respawns granted" 0 r.Supervisor.respawns;
+  Alcotest.(check (list int))
+    "rank 1 abandoned" [ 1 ] r.Supervisor.ranks_failed;
+  check_int "the join landed" 1 r.Supervisor.joins;
+  (match r.Supervisor.membership_log with
+  | [ m ] -> check_int "join refilled the abandoned slot" 1 m.Supervisor.m_rank
+  | _ -> Alcotest.fail "expected exactly one membership record");
+  check_bool "generations ran degraded while short-handed" true
+    (r.Supervisor.degraded_generations >= 1);
+  check_int "back to full strength at the end" 3 r.Supervisor.live_ranks;
+  assert_healthy "degraded-reversible" r
+
+(* ---------- soft deadlines + straggler policies ---------- *)
+
+let test_straggler_warn_counts () =
+  let p =
+    {
+      base_params with
+      Supervisor.elastic = true;
+      generations = 8;
+      gen_deadline_ms = 1;
+      faults = [ (1, 4, Fault.Rank_stall 0.05) ];
+    }
+  in
+  let r = Supervisor.run ~factory p in
+  check_bool "sub-heartbeat stall trips the soft deadline" true
+    (r.Supervisor.stragglers >= 1);
+  check_int "warn never kills" 0
+    (r.Supervisor.respawns + r.Supervisor.heartbeat_timeouts
+   + r.Supervisor.crashes);
+  check_int "warn never steals" 0 r.Supervisor.steals;
+  assert_healthy "straggler-warn" r
+
+let test_straggler_steal_sheds_walkers () =
+  let p =
+    {
+      base_params with
+      Supervisor.elastic = true;
+      target_walkers = 24;
+      generations = 8;
+      gen_deadline_ms = 1;
+      straggler_policy = Supervisor.Steal;
+      faults = [ (1, 4, Fault.Rank_stall 0.05) ];
+    }
+  in
+  let r = Supervisor.run ~factory p in
+  check_bool "straggler observed" true (r.Supervisor.stragglers >= 1);
+  check_bool "a quarter-shard steal happened" true (r.Supervisor.steals >= 1);
+  check_int "stealing never kills" 0
+    (r.Supervisor.respawns + r.Supervisor.crashes);
+  assert_healthy "straggler-steal" r
+
+(* ---------- chaos schedules ---------- *)
+
+let test_chaos_plan_deterministic () =
+  let mk seed =
+    Chaos.plan ~seed ~gens:60 ~ranks:4 ~trajectory:[ 6; 3; 5 ] ~events:10 ()
+  in
+  let s1 = mk 11 in
+  check_bool "same seed, same schedule" true (s1 = mk 11);
+  let c = Chaos.count s1 in
+  (* 4→6 is two joins, 6→3 three leaves, 3→5 two joins. *)
+  check_int "trajectory joins" 4 c.Chaos.joins;
+  check_int "trajectory leaves" 3 c.Chaos.leaves;
+  check_int "fault events as requested" 10
+    (c.Chaos.kills + c.Chaos.stalls + c.Chaos.garbage + c.Chaos.disk_full);
+  check_int "total" 17 (Chaos.total s1);
+  let faults, membership = Supervisor.of_chaos s1 in
+  check_int "fault split" 10 (List.length faults);
+  check_int "membership split" 7 (List.length membership);
+  let gens = List.map fst s1 in
+  check_bool "ascending by generation" true (List.sort compare gens = gens);
+  check_bool "membership waypoints precede nothing invalid" true
+    (List.for_all (fun (g, _) -> g >= 1 && g < 60) s1)
+
 let () =
   Alcotest.run "dist"
     [
@@ -570,6 +835,14 @@ let () =
             test_manifest_roundtrip_and_corruption;
           Alcotest.test_case "latest_complete falls back" `Quick
             test_latest_complete_falls_back;
+          Alcotest.test_case "manifest past the complete set" `Quick
+            test_manifest_partial_shard_set;
+          Alcotest.test_case "manifest with no shards never crashes" `Quick
+            test_manifest_missing_shards_never_crash;
+          Alcotest.test_case "keep=1 rotation + corrupt newest" `Quick
+            test_keep1_rotation_race;
+          Alcotest.test_case "async double-buffered saves land" `Quick
+            test_async_checkpoint_roundtrip;
         ] );
       ( "population",
         [
@@ -604,5 +877,22 @@ let () =
             test_unrecoverable_degrades;
           Alcotest.test_case "restore resumes every rank" `Quick
             test_restore_resumes_all_ranks;
+        ] );
+      ( "elastic",
+        [
+          Alcotest.test_case "local grow + shrink conserves walkers" `Quick
+            test_membership_grow_shrink_local;
+          Alcotest.test_case "elastic on, no events: still bit-identical"
+            `Quick test_elastic_forked_matches_local_no_events;
+          Alcotest.test_case "join + leave: forked == local, bit for bit"
+            `Quick test_membership_forked_matches_local;
+          Alcotest.test_case "abandoned slot refilled by a later join" `Quick
+            test_drain_refill_degraded_reversible;
+          Alcotest.test_case "straggler policy: warn" `Quick
+            test_straggler_warn_counts;
+          Alcotest.test_case "straggler policy: steal" `Quick
+            test_straggler_steal_sheds_walkers;
+          Alcotest.test_case "chaos plans are deterministic" `Quick
+            test_chaos_plan_deterministic;
         ] );
     ]
