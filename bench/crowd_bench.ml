@@ -276,11 +276,10 @@ let bench_kernels ?(reps = 20_000) () =
 
 (* ---- 4. delayed determinant updates: delay-rank sweep ---- *)
 
-type delay_point = { delay : int; det_ns_per_move : float }
+type delay_point = { dn : int; delay : int; det_ns_per_move : float }
 
-let bench_delay () =
+let bench_delay ?(n = 32) ?(sweeps = 100) ?(delays = [ 1; 2; 4; 8 ]) () =
   let lattice = Lattice.cubic 8. in
-  let n = 32 in
   List.map
     (fun kd ->
       let ps =
@@ -296,7 +295,6 @@ let bench_delay () =
       let d = Det64.create ~scheme ~spo ~first:0 ~count:n ps in
       ignore (d.W64.evaluate_log ps);
       let rng = Xoshiro.create 29 in
-      let sweeps = 100 in
       let t =
         time_per ~reps:sweeps (fun () ->
             for k = 0 to n - 1 do
@@ -313,15 +311,32 @@ let bench_delay () =
               Ps64.accept ps
             done)
       in
-      { delay = kd; det_ns_per_move = t *. 1e9 /. float_of_int n })
-    [ 1; 2; 4; 8 ]
+      { dn = n; delay = kd; det_ns_per_move = t *. 1e9 /. float_of_int n })
+    delays
 
 (* ---- reporting ---- *)
+
+(* The best measured rank at the largest determinant order swept — what
+   an autotuned run of that system would pick. *)
+let best_delay delays =
+  match delays with
+  | [] -> 1
+  | d0 :: _ ->
+      let nmax = List.fold_left (fun a p -> max a p.dn) d0.dn delays in
+      List.fold_left
+        (fun (bk, bt) p ->
+          if p.dn = nmax && p.det_ns_per_move < bt then
+            (p.delay, p.det_ns_per_move)
+          else (bk, bt))
+        (1, infinity) delays
+      |> fst
 
 let json_of ~sweeps ~kernels ~delays =
   let b = Buffer.create 2048 in
   let f = Printf.bprintf in
   f b "{\n";
+  f b "%s"
+    (Report.bench_header ~precision:"f32" ~delay:(best_delay delays));
   f b "  \"full_sweep\": [\n";
   List.iteri
     (fun i p ->
@@ -349,8 +364,8 @@ let json_of ~sweeps ~kernels ~delays =
   f b "  \"delayed_updates\": [\n";
   List.iteri
     (fun i p ->
-      f b "    {\"delay\": %d, \"det_ns_per_move\": %.1f}%s\n" p.delay
-        p.det_ns_per_move
+      f b "    {\"n\": %d, \"delay\": %d, \"det_ns_per_move\": %.1f}%s\n"
+        p.dn p.delay p.det_ns_per_move
         (if i = List.length delays - 1 then "" else ","))
     delays;
   f b "  ]\n";
@@ -360,10 +375,12 @@ let json_of ~sweeps ~kernels ~delays =
 let run ?json () =
   Printf.printf "== full PbP sweep: staged (SPO-only) vs pipeline ==\n%!";
   let sweeps = bench_sweeps () in
+  (* ns/move always %.1f, words/move always %.2f — same precisions as
+     the JSON record, so console and BENCH file never disagree. *)
   List.iter
     (fun p ->
       Printf.printf
-        "  %-12s crowd %2d: staged %.0f ns/move, pipeline %.0f ns/move  \
+        "  %-12s crowd %2d: staged %.1f ns/move, pipeline %.1f ns/move  \
          (%.2fx)\n"
         p.system p.crowd p.staged_ns_per_move p.pipeline_ns_per_move
         p.speedup)
@@ -373,16 +390,19 @@ let run ?json () =
   List.iter
     (fun p ->
       Printf.printf
-        "  %-14s crowd %2d: scalar %.0f ns/move, batch %.0f ns/move  \
+        "  %-14s crowd %2d: scalar %.1f ns/move, batch %.1f ns/move  \
          (%.2fx, %.2f words/move)\n"
         p.kernel p.kcrowd p.scalar_ns_per_move p.batch_ns_per_move
         p.kernel_speedup p.batch_words_per_move)
     kernels;
   Printf.printf "== delayed determinant updates ==\n%!";
-  let delays = bench_delay () in
+  let delays =
+    bench_delay ~n:32 () @ bench_delay ~n:96 ~sweeps:40 ()
+  in
   List.iter
     (fun p ->
-      Printf.printf "  delay %2d: %.0f ns/move\n" p.delay p.det_ns_per_move)
+      Printf.printf "  n %3d delay %2d: %.1f ns/move\n" p.dn p.delay
+        p.det_ns_per_move)
     delays;
   match json with
   | None -> ()
@@ -393,11 +413,11 @@ let run ?json () =
       Printf.printf "wrote %s\n%!" path
 
 (* Reduced run for the @bench-smoke alias: keeps every assertion — the
-   pipeline-vs-staged trajectory identity of [bench_sweep] and the
-   per-kernel zero-allocation failwiths of [bench_kernels] — at a
-   fraction of the reps, and skips the NiO build and the delay-rank
-   sweep.  Timing numbers from this mode are noise; only the checks
-   matter. *)
+   pipeline-vs-staged trajectory identity of [bench_sweep], the
+   per-kernel zero-allocation failwiths of [bench_kernels], and the
+   delayed-update regression guard — at a fraction of the reps, and
+   skips the NiO build.  Timing numbers from this mode are noise except
+   the k1/k8 ratio the guard checks. *)
 let smoke () =
   let p =
     bench_sweep ~name:"harmonic-6"
@@ -412,4 +432,29 @@ let smoke () =
       Printf.printf "crowd smoke: %-14s %.2f words/move\n" q.kernel
         q.batch_words_per_move)
     kernels;
+  (* Delayed-update regression guard: at an order where the inverse no
+     longer fits in L1 the blocked rank-8 flush must beat rank-1
+     Sherman-Morrison.  Best-of-2 per rank; the tolerance absorbs
+     single-core scheduler noise, not a real regression (the healthy
+     ratio is ~0.7). *)
+  let guard_n = 96 in
+  let best k =
+    let one () =
+      match bench_delay ~n:guard_n ~sweeps:15 ~delays:[ k ] () with
+      | [ p ] -> p.det_ns_per_move
+      | _ -> assert false
+    in
+    Float.min (one ()) (one ())
+  in
+  let t1 = best 1 and t8 = best 8 in
+  Printf.printf
+    "crowd smoke: delayed n=%d  k1 %.1f ns/move, k8 %.1f ns/move (ratio \
+     %.2f)\n"
+    guard_n t1 t8 (t8 /. t1);
+  if t8 > t1 *. 1.05 then
+    failwith
+      (Printf.sprintf
+         "crowd_bench: delayed updates regressed: k=8 %.1f ns/move vs k=1 \
+          %.1f ns/move at n=%d"
+         t8 t1 guard_n);
   Printf.printf "crowd smoke: ok\n%!"

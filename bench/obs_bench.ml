@@ -106,6 +106,7 @@ let json_of ~micro ~dmc =
   let b = Buffer.create 1024 in
   let f = Printf.bprintf in
   f b "{\n";
+  f b "%s" (Report.bench_header ~precision:"f32" ~delay:1);
   f b "  \"micro_ns\": {\n";
   f b "    \"span_disabled\": %.2f,\n" micro.span_disabled_ns;
   f b "    \"span_enabled\": %.1f,\n" micro.span_enabled_ns;

@@ -227,6 +227,7 @@ let json_of ~dispatch ~vgh ~alloc ~vmc =
   let b = Buffer.create 2048 in
   let f = Printf.bprintf in
   f b "{\n";
+  f b "%s" (Report.bench_header ~precision:"f32" ~delay:1);
   f b "  \"pool\": {\n";
   f b "    \"n_domains\": %d,\n" dispatch.n_domains;
   f b "    \"generations\": %d,\n" dispatch.generations;

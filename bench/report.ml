@@ -4,6 +4,13 @@
 
 let line = String.make 78 '-'
 
+(* Every BENCH_*.json record opens with this header so records name the
+   precision (f32/f64) and delayed-update rank they were measured at —
+   diffing benches across PRs without it is guesswork. *)
+let bench_header ~precision ~delay =
+  Printf.sprintf "  \"header\": {\"precision\": %S, \"delay\": %d},\n"
+    precision delay
+
 let section title =
   Printf.printf "\n%s\n== %s\n%s\n" line title line
 

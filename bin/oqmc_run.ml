@@ -22,15 +22,32 @@ let with_obs ~trace ~telemetry ~progress f =
       match trace with Some path -> Trace.export ~path | None -> ())
     (fun () -> f sink prog)
 
-let make_system name reduction with_nlpp seed =
+let make_system name reduction with_nlpp precision seed =
   match String.lowercase_ascii name with
   | "harmonic" -> Validation.harmonic ~n:6 ~omega:1.0
   | "hydrogen" -> Validation.hydrogen ()
   | "heg" -> Validation.electron_gas ~n_up:8 ~n_down:8 ~box:6.0 ()
-  | _ -> Builder.make ~seed ~with_nlpp ~reduction (Spec.find name)
+  | _ ->
+      (* Table storage follows the requested working precision; the f32
+         default matches the paper's mixed-precision tables. *)
+      let table_prec =
+        match precision with Some `F64 -> `F64 | _ -> `F32
+      in
+      Builder.make ~seed ~with_nlpp ~reduction ~precision:table_prec
+        (Spec.find name)
+
+let parse_precision = function
+  | "" | "default" -> None
+  | "f32" | "single" -> Some `F32
+  | "f64" | "double" -> Some `F64
+  | other ->
+      invalid_arg
+        (Printf.sprintf "oqmc_run: --precision must be f32 or f64, got %S"
+           other)
 
 let run input method_ workload variant reduction walkers blocks steps tau
-    domains crowd delay with_nlpp seed checkpoint checkpoint_every checkpoint_keep
+    domains crowd delay precision autotune with_nlpp seed checkpoint
+    checkpoint_every checkpoint_keep
     watchdog restore ranks heartbeat_ms max_respawn elastic gen_deadline_ms
     straggler_policy trace telemetry telemetry_every progress =
   (* An input deck, when given, takes precedence over the flags. *)
@@ -50,6 +67,8 @@ let run input method_ workload variant reduction walkers blocks steps tau
           domains;
           crowd;
           delay;
+          precision = parse_precision precision;
+          autotune;
           nlpp = with_nlpp;
           seed;
           checkpoint;
@@ -80,6 +99,8 @@ let run input method_ workload variant reduction walkers blocks steps tau
   let domains = cfg.Input.domains in
   let crowd = cfg.Input.crowd in
   let delay = cfg.Input.delay in
+  let precision = cfg.Input.precision in
+  let autotune = cfg.Input.autotune in
   let with_nlpp = cfg.Input.nlpp in
   let seed = cfg.Input.seed in
   let checkpoint = cfg.Input.checkpoint in
@@ -106,19 +127,57 @@ let run input method_ workload variant reduction walkers blocks steps tau
   let telemetry = cfg.Input.telemetry in
   let telemetry_every = max 1 cfg.Input.telemetry_every in
   let progress = cfg.Input.progress in
-  let sys = make_system workload reduction with_nlpp seed in
+  let sys = make_system workload reduction with_nlpp precision seed in
   if delay < 1 then invalid_arg "oqmc_run: --delay must be >= 1";
+  (* Effective working precision: explicit override beats the variant's
+     default. *)
+  let eff_precision =
+    match precision with
+    | Some p -> p
+    | None -> (
+        match variant with
+        | Variant.Ref | Variant.Current_f64 -> `F64
+        | Variant.Ref_mp | Variant.Current -> `F32)
+  in
+  (* autotune = true: pick crowd/delay/grain from the calibrated
+     roofline + memory model, refined by a short measured delay sweep;
+     explicit non-default flags still win over the tuner. *)
+  let crowd, delay =
+    if not autotune then (crowd, delay)
+    else begin
+      let choice =
+        Oqmc_autotune.Tuner.choose ~refine:true ~walkers ~domains ~variant
+          ~precision:eff_precision ~sys ()
+      in
+      Oqmc_autotune.Tuner.publish choice;
+      print_endline (Oqmc_autotune.Tuner.describe choice);
+      if Sys.getenv_opt "OQMC_GRAIN" = None then
+        Unix.putenv "OQMC_GRAIN"
+          (string_of_int choice.Oqmc_autotune.Tuner.knobs.grain);
+      let k = choice.Oqmc_autotune.Tuner.knobs in
+      ( (if crowd <> 1 then crowd else k.Oqmc_autotune.Tuner.crowd),
+        if delay <> 1 then delay else k.Oqmc_autotune.Tuner.delay )
+    end
+  in
+  (* An explicit f32 run gets the integrity watchdog's sampled
+     full-recompute drift audit unless the deck configured one. *)
+  let watchdog =
+    if watchdog = 0 && precision = Some `F32 then 10 else watchdog
+  in
   let factory =
     (* delay = 1 keeps the rank-1 Sherman-Morrison update (the bitwise
        reference); > 1 switches to the delayed Woodbury scheme. *)
-    Build.factory ?delay:(if delay <= 1 then None else Some delay) ~variant
-      ~seed sys
+    Build.factory
+      ?delay:(if delay <= 1 then None else Some delay)
+      ?precision ~variant ~seed sys
   in
   Printf.printf
-    "oqmc_run: %s  %s  variant=%s  electrons=%d  domains=%d  crowd=%d\n"
+    "oqmc_run: %s  %s  variant=%s  precision=%s  electrons=%d  domains=%d  \
+     crowd=%d  delay=%d\n"
     method_ workload
     (Variant.to_string variant)
-    (System.n_electrons sys) domains crowd;
+    (match eff_precision with `F32 -> "f32" | `F64 -> "f64")
+    (System.n_electrons sys) domains crowd delay;
   match method_ with
   | "dmc" when ranks > 1 ->
       (* Supervised multi-process execution: forked rank workers with
@@ -320,6 +379,26 @@ let delay =
           "Delayed determinant-update rank (Woodbury block size); 1 keeps \
            the rank-1 Sherman-Morrison update.")
 
+let precision =
+  Arg.(
+    value & opt string ""
+    & info [ "precision" ] ~docv:"P"
+        ~doc:
+          "Working precision override: f32 (single storage + arithmetic, \
+           f64 accumulators) or f64.  Default: the variant's own \
+           precision.  An explicit f32 run auto-enables the integrity \
+           watchdog's drift audit.")
+
+let autotune =
+  Arg.(
+    value & flag
+    & info [ "autotune" ]
+        ~doc:
+          "Calibrate this node (microbench roofline) and pick crowd, \
+           delay and grain from the performance model, refined by a \
+           short measured delay sweep.  Explicit --crowd/--delay values \
+           still win.")
+
 let nlpp = Arg.(value & flag & info [ "nlpp" ] ~doc:"Enable NLPP.")
 let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"RNG seed.")
 
@@ -457,7 +536,8 @@ let cmd =
     (Cmd.info "oqmc_run" ~doc:"VMC/DMC driver on workloads")
     Term.(
       const run $ input $ method_ $ workload $ variant $ reduction $ walkers
-      $ blocks $ steps $ tau $ domains $ crowd $ delay $ nlpp $ seed
+      $ blocks $ steps $ tau $ domains $ crowd $ delay $ precision $ autotune
+      $ nlpp $ seed
       $ checkpoint
       $ checkpoint_every $ checkpoint_keep $ watchdog $ restore $ ranks
       $ heartbeat_ms $ max_respawn $ elastic $ gen_deadline_ms

@@ -44,6 +44,12 @@ module Make (R : Precision.REAL) = struct
 
   let get_into (a : t) i dst j = R.get_into a i dst j
 
+  let dot_into ~(a : t) ~apos ~(b : t) ~bpos ~n dst j =
+    R.dot_rows a ~apos b ~bpos ~n dst j
+
+  let dot_arr_into (a : t) ~pos x ~n dst j = R.dot_row a ~pos x ~n dst j
+  let axpy_from c ~ci src (a : t) ~pos ~n = R.axpy_row c ~ci src a ~pos ~n
+
   let fill (a : t) v = Bigarray.Array1.fill a (R.round v)
 
   let blit ~(src : t) ~(dst : t) = Bigarray.Array1.blit src dst

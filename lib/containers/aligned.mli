@@ -49,6 +49,24 @@ module Make (R : Precision.REAL) : sig
   (** [get_into a i dst j]: [dst.(j) <- a.(i)] — a one-element read landing
       in unboxed scratch rather than a boxed return value. *)
 
+  val dot_into :
+    a:t -> apos:int -> b:t -> bpos:int -> n:int -> float array -> int -> unit
+  (** [dot_into ~a ~apos ~b ~bpos ~n dst j]:
+      [dst.(j) <- Σᵢ a.(apos+i)·b.(bpos+i)] with double accumulation —
+      one functor crossing per row-dot, result in unboxed scratch. *)
+
+  val dot_arr_into :
+    t -> pos:int -> float array -> n:int -> float array -> int -> unit
+  (** [dot_arr_into a ~pos x ~n dst j]: [dst.(j) <- Σᵢ a.(pos+i)·x.(i)] —
+      storage row dotted against plain scratch. *)
+
+  val axpy_from :
+    float array -> ci:int -> float array -> t -> pos:int -> n:int -> unit
+  (** [axpy_from c ~ci src a ~pos ~n]:
+      [a.(pos+i) <- a.(pos+i) + c.(ci)·src.(i)] — rank-1 row update whose
+      coefficient is read from scratch so no boxed float crosses the
+      functor boundary. *)
+
   val fill : t -> float -> unit
   val blit : src:t -> dst:t -> unit
   val sub : t -> pos:int -> len:int -> t

@@ -86,6 +86,35 @@ module type REAL = sig
     int -> float array -> int -> unit
   (** [get_into a i dst j]: [dst.(j) <- a.(i)] — a single-element read
       that lands in unboxed scratch instead of a boxed return value. *)
+
+  val dot_rows :
+    (float, elt, Bigarray.c_layout) Bigarray.Array1.t ->
+    apos:int ->
+    (float, elt, Bigarray.c_layout) Bigarray.Array1.t ->
+    bpos:int -> n:int -> float array -> int -> unit
+  (** [dot_rows a ~apos b ~bpos ~n dst j]:
+      [dst.(j) <- Σᵢ a.(apos+i)·b.(bpos+i)] with double accumulation —
+      the determinant-ratio row dot, one functor crossing per row and no
+      boxed intermediate (the result lands in unboxed scratch). *)
+
+  val dot_row :
+    (float, elt, Bigarray.c_layout) Bigarray.Array1.t ->
+    pos:int -> float array -> n:int -> float array -> int -> unit
+  (** [dot_row a ~pos x ~n dst j]: [dst.(j) <- Σᵢ a.(pos+i)·x.(i)] —
+      storage row against plain-[float array] scratch, double
+      accumulation, result into unboxed scratch. *)
+
+  val axpy_row :
+    float array ->
+    ci:int ->
+    float array ->
+    (float, elt, Bigarray.c_layout) Bigarray.Array1.t ->
+    pos:int -> n:int -> unit
+  (** [axpy_row c ~ci src a ~pos ~n]:
+      [a.(pos+i) <- a.(pos+i) + c.(ci)·src.(i)] — a rank-1 row update
+      whose coefficient is read from scratch at index [ci] so that no
+      boxed float crosses the functor boundary; each store narrows
+      through the storage width. *)
 end
 
 module F64 : REAL with type elt = f64_elt = struct
@@ -127,6 +156,36 @@ module F64 : REAL with type elt = f64_elt = struct
   let get_into (a : (float, elt, Bigarray.c_layout) Bigarray.Array1.t) i
       (dst : float array) j =
     Array.unsafe_set dst j (Bigarray.Array1.unsafe_get a i)
+
+  let dot_rows (a : (float, elt, Bigarray.c_layout) Bigarray.Array1.t) ~apos
+      (b : (float, elt, Bigarray.c_layout) Bigarray.Array1.t) ~bpos ~n
+      (dst : float array) j =
+    let acc = ref 0. in
+    for i = 0 to n - 1 do
+      acc :=
+        !acc
+        +. Bigarray.Array1.unsafe_get a (apos + i)
+           *. Bigarray.Array1.unsafe_get b (bpos + i)
+    done;
+    Array.unsafe_set dst j !acc
+
+  let dot_row (a : (float, elt, Bigarray.c_layout) Bigarray.Array1.t) ~pos
+      (x : float array) ~n (dst : float array) j =
+    let acc = ref 0. in
+    for i = 0 to n - 1 do
+      acc :=
+        !acc
+        +. Bigarray.Array1.unsafe_get a (pos + i) *. Array.unsafe_get x i
+    done;
+    Array.unsafe_set dst j !acc
+
+  let axpy_row (c : float array) ~ci (src : float array)
+      (a : (float, elt, Bigarray.c_layout) Bigarray.Array1.t) ~pos ~n =
+    let f = Array.unsafe_get c ci in
+    for i = 0 to n - 1 do
+      Bigarray.Array1.unsafe_set a (pos + i)
+        (Bigarray.Array1.unsafe_get a (pos + i) +. (f *. Array.unsafe_get src i))
+    done
 end
 
 module F32 : REAL with type elt = f32_elt = struct
@@ -168,4 +227,34 @@ module F32 : REAL with type elt = f32_elt = struct
   let get_into (a : (float, elt, Bigarray.c_layout) Bigarray.Array1.t) i
       (dst : float array) j =
     Array.unsafe_set dst j (Bigarray.Array1.unsafe_get a i)
+
+  let dot_rows (a : (float, elt, Bigarray.c_layout) Bigarray.Array1.t) ~apos
+      (b : (float, elt, Bigarray.c_layout) Bigarray.Array1.t) ~bpos ~n
+      (dst : float array) j =
+    let acc = ref 0. in
+    for i = 0 to n - 1 do
+      acc :=
+        !acc
+        +. Bigarray.Array1.unsafe_get a (apos + i)
+           *. Bigarray.Array1.unsafe_get b (bpos + i)
+    done;
+    Array.unsafe_set dst j !acc
+
+  let dot_row (a : (float, elt, Bigarray.c_layout) Bigarray.Array1.t) ~pos
+      (x : float array) ~n (dst : float array) j =
+    let acc = ref 0. in
+    for i = 0 to n - 1 do
+      acc :=
+        !acc
+        +. Bigarray.Array1.unsafe_get a (pos + i) *. Array.unsafe_get x i
+    done;
+    Array.unsafe_set dst j !acc
+
+  let axpy_row (c : float array) ~ci (src : float array)
+      (a : (float, elt, Bigarray.c_layout) Bigarray.Array1.t) ~pos ~n =
+    let f = Array.unsafe_get c ci in
+    for i = 0 to n - 1 do
+      Bigarray.Array1.unsafe_set a (pos + i)
+        (Bigarray.Array1.unsafe_get a (pos + i) +. (f *. Array.unsafe_get src i))
+    done
 end

@@ -96,8 +96,12 @@ let pp ppf t =
   Format.fprintf ppf "@[<v>";
   List.iter
     (fun k ->
-      Format.fprintf ppf "%-12s %10.4fs %9d calls %5.1f%%@,"
-        k (total t k) (count t k)
+      let c = count t k in
+      (* Fixed column precisions (%.4f s, %.1f ns/call, %.1f %%) so
+         reports diff cleanly across runs. *)
+      Format.fprintf ppf "%-12s %10.4fs %9d calls %10.1f ns/call %5.1f%%@,"
+        k (total t k) c
+        (if c > 0 then 1e9 *. total t k /. float_of_int c else 0.)
         (if tot > 0. then 100. *. total t k /. tot else 0.))
     (keys_by_total t);
   Format.fprintf ppf "@]"

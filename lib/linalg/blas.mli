@@ -32,4 +32,37 @@ module Make (R : Precision.REAL) : sig
 
   val row_dot : M.t -> int -> A.t -> float
   (** Dot of matrix row [i] with a vector — the determinant-ratio kernel. *)
+
+  val mul_vt :
+    M.t ->
+    vs:float array array ->
+    k:int ->
+    y:float array ->
+    ystride:int ->
+    scratch:float array ->
+    unit
+  (** [mul_vt b ~vs ~k ~y ~ystride ~scratch] :
+      [y.(a·ystride + i) <- B[a]·vs.(i)] for [i < k] — the blocked
+      Y := B·Vᵀ panel of the delayed-update flush.  Row-blocked so B
+      streams through memory once per flush; each output element is a
+      single in-order summation chain (bit-identical to the unblocked
+      reference).  [scratch] must hold at least [cols b] elements. *)
+
+  val rank_update :
+    ?tile:int ->
+    M.t ->
+    y:float array ->
+    ystride:int ->
+    tm:float array array ->
+    k:int ->
+    scratch:float array ->
+    unit
+  (** [rank_update b ~y ~ystride ~tm ~k ~scratch] :
+      [B := B − Y·T] with Y as laid out by {!mul_vt} and T given as [k]
+      plain rows — the BLAS-3 rank-k apply.  Column-tiled ([tile],
+      default 512) so the T panel stays L1-resident at large n, row
+      segments staged once and written back once; per-element
+      accumulation order matches the unblocked reference, so the f64
+      result is bit-identical.  [scratch] must hold at least
+      [min tile (cols b)] elements. *)
 end

@@ -6,7 +6,7 @@ open Oqmc_containers
    Instead of applying an O(N²) Sherman–Morrison update on every accepted
    move, accepted rows are queued; ratios against the implicit, partially
    updated inverse cost O(kN) via a k×k Schur system, and every [delay]
-   acceptances the queue is flushed into the stored inverse with BLAS3-like
+   acceptances the queue is flushed into the stored inverse with BLAS3
    O(kN²) work.  With distinct replaced rows (guaranteed by the ordered
    PbyP sweep; enforced here by flushing on a repeat) the correction reads
 
@@ -16,21 +16,27 @@ open Oqmc_containers
 
    where B₀ = M⁻ᵀ is the last flushed inverse, r_i the queued rows and v_i
    the queued orbital vectors.  S⁻¹ is maintained incrementally by bordered
-   (Schur-complement) extension, O(k²) per acceptance. *)
+   (Schur-complement) extension, O(k²) per acceptance.
+
+   Queue state (v_i, captured B₀ rows) lives in plain [float array]s:
+   storage rows cross the precision functor once per row through the bulk
+   primitives, and every O(kN)/O(kN²) loop runs monomorphically on plain
+   scratch — this plus the blocked flush kernels in {!Blas} is what makes
+   k > 1 *cheaper* per move than rank-1, instead of paying a boxed
+   indirect call per element.  The flush applies through the blocked
+   GEMM-shaped [Blas.mul_vt] / [Blas.rank_update] kernels by default; the
+   unblocked per-rank reference apply is kept behind [~blocked:false] and
+   is bit-identical at f64. *)
 
 module Make (R : Precision.REAL) = struct
   module A = Aligned.Make (R)
   module M = Matrix.Make (R)
   module B = Blas.Make (R)
 
-  (* Flat row-row dot avoiding the bigarray-proxy allocation of M.row in
-     the hot loops. *)
-  let row_row_dot (x : M.t) i (y : M.t) j n =
-    let xd = M.data x and yd = M.data y in
-    let xb = i * M.ld x and yb = j * M.ld y in
+  let dotf (x : float array) (y : float array) n =
     let acc = ref 0. in
-    for p = 0 to n - 1 do
-      acc := !acc +. (A.unsafe_get xd (xb + p) *. A.unsafe_get yd (yb + p))
+    for i = 0 to n - 1 do
+      acc := !acc +. (Array.unsafe_get x i *. Array.unsafe_get y i)
     done;
     !acc
 
@@ -38,21 +44,26 @@ module Make (R : Precision.REAL) = struct
     binv : M.t; (* B₀ = M⁻ᵀ, updated only at flush *)
     n : int;
     delay : int;
-    vs : M.t; (* queued orbital vectors, row i = v_i *)
-    brows : M.t; (* row i = B₀[r_i] captured at acceptance *)
+    blocked : bool;
+    vs : float array array; (* queued orbital vectors, row i = v_i *)
+    brows : float array array; (* row i = B₀[r_i] captured at acceptance *)
     rows : int array; (* queued replaced-row indices *)
     sinv : float array array; (* inverse of the k×k Schur matrix S *)
     mutable k : int;
     (* scratch *)
     p : float array;
     q : float array;
-    sq : float array;
-    col : float array;
-    tmat : M.t; (* k_max × n scratch for the flush *)
-    ymat : M.t; (* n × k_max scratch for the flush *)
+    eb : float array; (* bordered-extension column/row/projection pads *)
+    ec : float array;
+    esb : float array;
+    ecs : float array;
+    y : float array; (* n × delay flush panel, row-major *)
+    tm : float array array; (* delay rows of n: T = S⁻ᵀ W *)
+    rscr : float array; (* staged B₀ row / flush row I/O *)
+    vscr : float array; (* staged proposal row *)
   }
 
-  let create ?(delay = 16) (binv : M.t) =
+  let create ?(delay = 16) ?(blocked = true) (binv : M.t) =
     let n = M.rows binv in
     if M.cols binv <> n then invalid_arg "Delayed_update.create: not square";
     if delay < 1 then invalid_arg "Delayed_update.create: delay < 1";
@@ -61,34 +72,43 @@ module Make (R : Precision.REAL) = struct
       binv;
       n;
       delay;
-      vs = M.create delay n;
-      brows = M.create delay n;
+      blocked;
+      vs = Array.init delay (fun _ -> Array.make n 0.);
+      brows = Array.init delay (fun _ -> Array.make n 0.);
       rows = Array.make delay (-1);
       sinv = Array.make_matrix delay delay 0.;
       k = 0;
       p = Array.make delay 0.;
       q = Array.make delay 0.;
-      sq = Array.make delay 0.;
-      col = Array.make delay 0.;
-      tmat = M.create delay n;
-      ymat = M.create n delay;
+      eb = Array.make delay 0.;
+      ec = Array.make delay 0.;
+      esb = Array.make delay 0.;
+      ecs = Array.make delay 0.;
+      y = Array.make (n * delay) 0.;
+      tm = Array.init delay (fun _ -> Array.make n 0.);
+      rscr = Array.make n 0.;
+      vscr = Array.make n 0.;
     }
 
   let binv t = t.binv
   let pending t = t.k
   let delay t = t.delay
 
-  (* ρ(r,v) against the implicit inverse. *)
+  (* ρ(r,v) against the implicit inverse: two staged rows (B₀[r] and v),
+     then O(kN) plain-scratch dots. *)
   let ratio t r (v : A.t) =
-    let base = B.row_dot t.binv r v in
+    let n = t.n in
+    A.read_into (M.data t.binv) ~pos:(r * M.ld t.binv) t.rscr ~n;
+    A.read_into v ~pos:0 t.vscr ~n;
+    let base = dotf t.rscr t.vscr n in
     if t.k = 0 then base
     else begin
       let k = t.k in
       for j = 0 to k - 1 do
-        t.p.(j) <- B.row_dot t.brows j v
+        t.p.(j) <- dotf t.brows.(j) t.vscr n
       done;
       for i = 0 to k - 1 do
-        let qi = row_row_dot t.vs i t.binv r t.n in
+        let qi = dotf t.vs.(i) t.rscr n in
         t.q.(i) <- (if t.rows.(i) = r then qi -. 1. else qi)
       done;
       let corr = ref 0. in
@@ -102,45 +122,55 @@ module Make (R : Precision.REAL) = struct
       base -. !corr
     end
 
+  (* Unblocked reference apply: per-rank read-modify-write stores, the
+     pre-blocking loop structure kept for the bit-identity check. *)
+  let apply_ref t k =
+    let n = t.n in
+    let data = M.data t.binv and ld = M.ld t.binv in
+    for a = 0 to n - 1 do
+      let base = a * ld and yb = a * t.delay in
+      for i = 0 to k - 1 do
+        let y = Array.unsafe_get t.y (yb + i) in
+        if y <> 0. then begin
+          let ti = t.tm.(i) in
+          for b = 0 to n - 1 do
+            A.unsafe_set data (base + b)
+              (A.unsafe_get data (base + b) -. (y *. Array.unsafe_get ti b))
+          done
+        end
+      done
+    done
+
   (* Flush the queue: B₀ ← B₀ − Y S⁻ᵀ W with Y = B₀Vᵀ − E and W = brows. *)
   let flush t =
     if t.k > 0 then begin
       let k = t.k and n = t.n in
       (* T := S⁻ᵀ W, i.e. T(i,:) = Σ_j S⁻¹(j,i) · brows(j,:). *)
       for i = 0 to k - 1 do
-        for b = 0 to n - 1 do
-          M.unsafe_set t.tmat i b 0.
-        done;
+        let ti = t.tm.(i) in
+        Array.fill ti 0 n 0.;
         for j = 0 to k - 1 do
           let c = t.sinv.(j).(i) in
-          if c <> 0. then
+          if c <> 0. then begin
+            let w = t.brows.(j) in
             for b = 0 to n - 1 do
-              M.unsafe_set t.tmat i b
-                (M.unsafe_get t.tmat i b +. (c *. M.unsafe_get t.brows j b))
+              Array.unsafe_set ti b
+                (Array.unsafe_get ti b +. (c *. Array.unsafe_get w b))
             done
+          end
         done
       done;
-      (* Y(a,i) = B₀[a]·v_i − δ_{a,r_i}  (the BLAS3-flavoured block); row a
-         of B₀ stays cache-resident across the k columns. *)
-      for a = 0 to n - 1 do
-        for i = 0 to k - 1 do
-          M.unsafe_set t.ymat a i (row_row_dot t.binv a t.vs i n)
-        done
-      done;
+      (* Y(a,i) = B₀[a]·v_i − δ_{a,r_i} — blocked panel, B₀ streamed once. *)
+      B.mul_vt t.binv ~vs:t.vs ~k ~y:t.y ~ystride:t.delay ~scratch:t.rscr;
       for i = 0 to k - 1 do
-        M.unsafe_set t.ymat t.rows.(i) i (M.unsafe_get t.ymat t.rows.(i) i -. 1.)
+        let yi = (t.rows.(i) * t.delay) + i in
+        t.y.(yi) <- t.y.(yi) -. 1.
       done;
       (* B₀ −= Y T *)
-      for a = 0 to n - 1 do
-        for i = 0 to k - 1 do
-          let y = M.unsafe_get t.ymat a i in
-          if y <> 0. then
-            for b = 0 to n - 1 do
-              M.unsafe_set t.binv a b
-                (M.unsafe_get t.binv a b -. (y *. M.unsafe_get t.tmat i b))
-            done
-        done
-      done;
+      if t.blocked then
+        B.rank_update t.binv ~y:t.y ~ystride:t.delay ~tm:t.tm ~k
+          ~scratch:t.rscr
+      else apply_ref t k;
       t.k <- 0
     end
 
@@ -149,14 +179,14 @@ module Make (R : Precision.REAL) = struct
     let k = t.k in
     (* New S entries: column b_i = S(i,k) = brows[k]·v_i,
        row c_j = S(k,j) = brows[j]·v_k, corner d = brows[k]·v_k. *)
-    let b = Array.make k 0. and c = Array.make k 0. in
+    let b = t.eb and c = t.ec in
     for i = 0 to k - 1 do
-      b.(i) <- row_row_dot t.brows k t.vs i t.n;
-      c.(i) <- row_row_dot t.brows i t.vs k t.n
+      b.(i) <- dotf t.brows.(k) t.vs.(i) t.n;
+      c.(i) <- dotf t.brows.(i) t.vs.(k) t.n
     done;
-    let d = row_row_dot t.brows k t.vs k t.n in
+    let d = dotf t.brows.(k) t.vs.(k) t.n in
     (* sb = S⁻¹ b, cs = c S⁻¹, schur = d − c S⁻¹ b *)
-    let sb = Array.make k 0. and cs = Array.make k 0. in
+    let sb = t.esb and cs = t.ecs in
     for i = 0 to k - 1 do
       let acc = ref 0. in
       for j = 0 to k - 1 do
@@ -199,10 +229,8 @@ module Make (R : Precision.REAL) = struct
     if !repeat then flush t;
     let k = t.k in
     t.rows.(k) <- r;
-    for j = 0 to t.n - 1 do
-      M.unsafe_set t.vs k j (A.unsafe_get v j);
-      M.unsafe_set t.brows k j (M.unsafe_get t.binv r j)
-    done;
+    A.read_into v ~pos:0 t.vs.(k) ~n:t.n;
+    A.read_into (M.data t.binv) ~pos:(r * M.ld t.binv) t.brows.(k) ~n:t.n;
     extend_sinv t;
     t.k <- k + 1;
     if t.k = t.delay then flush t

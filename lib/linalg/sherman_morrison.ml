@@ -11,16 +11,20 @@ open Oqmc_containers
      y  = B v − e_k            (gemv)
      B ← B − (1/ρ) y ⊗ B[k]    (ger)
 
-   which is the BLAS2 O(N²) DetUpdate kernel of the paper. *)
+   which is the BLAS2 O(N²) DetUpdate kernel of the paper.  The workspace
+   is plain [float array] scratch: rows of B cross the precision functor
+   once per row through the bulk primitives and every inner loop runs
+   monomorphically (see Precision.REAL). *)
 
 module Make (R : Precision.REAL) = struct
   module A = Aligned.Make (R)
   module M = Matrix.Make (R)
   module B = Blas.Make (R)
 
-  type workspace = { y : A.t; rk : A.t }
+  type workspace = { y : float array; rk : float array; xv : float array }
 
-  let make_workspace n = { y = A.create n; rk = A.create n }
+  let make_workspace n =
+    { y = Array.make n 0.; rk = Array.make n 0.; xv = Array.make n 0. }
 
   let ratio (binv : M.t) k (v : A.t) = B.row_dot binv k v
 
@@ -28,24 +32,22 @@ module Make (R : Precision.REAL) = struct
     let n = M.rows binv in
     if abs_float ratio < 1e-300 then
       invalid_arg "Sherman_morrison.update_row: zero ratio";
-    (* y := B v − e_k *)
-    B.gemv binv v ws.y;
-    A.unsafe_set ws.y k (A.unsafe_get ws.y k -. 1.);
-    (* Save the pre-update row k, then apply the rank-1 correction. *)
     let data = M.data binv and ld = M.ld binv in
-    let base_k = k * ld in
-    for j = 0 to n - 1 do
-      A.unsafe_set ws.rk j (A.unsafe_get data (base_k + j))
+    A.read_into v ~pos:0 ws.xv ~n;
+    (* y := B v − e_k, one staged row dot per element. *)
+    for i = 0 to n - 1 do
+      A.dot_arr_into data ~pos:(i * ld) ws.xv ~n ws.y i
     done;
+    ws.y.(k) <- ws.y.(k) -. 1.;
+    (* Save the pre-update row k, then apply the rank-1 correction with
+       the per-row coefficient read from scratch (no boxed crossing). *)
+    A.read_into data ~pos:(k * ld) ws.rk ~n;
     let c = -1. /. ratio in
     for i = 0 to n - 1 do
-      let f = c *. A.unsafe_get ws.y i in
-      if f <> 0. then begin
-        let base = i * ld in
-        for j = 0 to n - 1 do
-          A.unsafe_set data (base + j)
-            (A.unsafe_get data (base + j) +. (f *. A.unsafe_get ws.rk j))
-        done
-      end
+      ws.y.(i) <- c *. ws.y.(i)
+    done;
+    for i = 0 to n - 1 do
+      if Array.unsafe_get ws.y i <> 0. then
+        A.axpy_from ws.y ~ci:i ws.rk data ~pos:(i * ld) ~n
     done
 end

@@ -7,17 +7,27 @@ open Oqmc_containers
 module E64 = Engine.Make (Precision.F64)
 module E32 = Engine.Make (Precision.F32)
 
-let engine ?timers ?delay ~variant ~seed (sys : System.t) : Engine_api.t =
+let engine ?timers ?delay ?precision ~variant ~seed (sys : System.t) :
+    Engine_api.t =
   let layout = Variant.layout variant in
-  match variant with
-  | Variant.Ref | Variant.Current_f64 ->
+  (* [precision] overrides the variant's working precision (layout and
+     update policy still come from the variant), so the precision= deck
+     key composes orthogonally with variant=. *)
+  let prec =
+    match (precision, variant) with
+    | Some p, _ -> p
+    | None, (Variant.Ref | Variant.Current_f64) -> `F64
+    | None, (Variant.Ref_mp | Variant.Current) -> `F32
+  in
+  match prec with
+  | `F64 ->
       let det_scheme =
         match delay with
         | None -> E64.Det.Sherman_morrison
         | Some d -> E64.Det.Delayed d
       in
       E64.create ?timers ~det_scheme ~layout ~seed sys
-  | Variant.Ref_mp | Variant.Current ->
+  | `F32 ->
       let det_scheme =
         match delay with
         | None -> E32.Det.Sherman_morrison
@@ -27,7 +37,9 @@ let engine ?timers ?delay ~variant ~seed (sys : System.t) : Engine_api.t =
 
 (* Per-domain factory: every domain gets its own timer set and a distinct
    seed so its engine starts from an independent configuration. *)
-let factory ?delay ~variant ~seed (sys : System.t) : int -> Engine_api.t =
+let factory ?delay ?precision ~variant ~seed (sys : System.t) :
+    int -> Engine_api.t =
  fun domain ->
   let timers = Timers.create () in
-  engine ~timers ?delay ~variant ~seed:(seed + (1000 * domain)) sys
+  engine ~timers ?delay ?precision ~variant ~seed:(seed + (1000 * domain))
+    sys

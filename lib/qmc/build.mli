@@ -9,15 +9,24 @@ module E32 : module type of Engine.Make (Precision.F32)
 val engine :
   ?timers:Timers.t ->
   ?delay:int ->
+  ?precision:[ `F32 | `F64 ] ->
   variant:Variant.t ->
   seed:int ->
   System.t ->
   Engine_api.t
 (** One compute engine.  [delay] switches the determinant update to the
-    delayed (Woodbury) scheme with the given block size. *)
+    delayed (Woodbury) scheme with the given block size.  [precision]
+    overrides the working precision implied by [variant] (layout still
+    follows the variant), letting the [precision=] deck key compose
+    orthogonally with [variant=]. *)
 
 val factory :
-  ?delay:int -> variant:Variant.t -> seed:int -> System.t -> int ->
+  ?delay:int ->
+  ?precision:[ `F32 | `F64 ] ->
+  variant:Variant.t ->
+  seed:int ->
+  System.t ->
+  int ->
   Engine_api.t
 (** Per-domain factory with fresh timers and domain-offset seeds, for
     {!Runner.create}. *)

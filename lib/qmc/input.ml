@@ -31,6 +31,9 @@ type t = {
   domains : int;
   crowd : int; (* walkers advanced in lockstep per domain; 1 = scalar *)
   delay : int; (* delayed determinant-update rank; 1 = Sherman–Morrison *)
+  precision : [ `F32 | `F64 ] option;
+      (* working-precision override; None = variant default *)
+  autotune : bool; (* model-driven crowd/delay/grain selection *)
   nlpp : bool;
   seed : int;
   checkpoint : string option;
@@ -63,6 +66,8 @@ let default =
     domains = 1;
     crowd = 1;
     delay = 1;
+    precision = None;
+    autotune = false;
     nlpp = false;
     seed = 1;
     checkpoint = None;
@@ -119,6 +124,13 @@ let apply cfg ~line key value =
       let d = parse_int line value in
       if d < 1 then fail line "delay must be >= 1, got %d" d;
       { cfg with delay = d }
+  | "precision" -> (
+      match String.lowercase_ascii value with
+      | "f32" | "single" -> { cfg with precision = Some `F32 }
+      | "f64" | "double" -> { cfg with precision = Some `F64 }
+      | "" | "default" -> { cfg with precision = None }
+      | other -> fail line "precision must be f32 or f64, got %S" other)
+  | "autotune" -> { cfg with autotune = parse_bool line value }
   | "nlpp" -> { cfg with nlpp = parse_bool line value }
   | "seed" -> { cfg with seed = parse_int line value }
   | "checkpoint" -> { cfg with checkpoint = Some value }

@@ -18,6 +18,13 @@ type t = {
       (** delayed determinant-update rank (Woodbury block size); 1 (the
           default) keeps the rank-1 Sherman–Morrison update.  Values < 1
           are rejected at parse time. *)
+  precision : [ `F32 | `F64 ] option;
+      (** [precision = f32|f64] working-precision override (orbital table
+          storage + engine arithmetic); [None] keeps the variant's
+          default.  Also accepts [single]/[double]. *)
+  autotune : bool;
+      (** [autotune = true] lets {!Oqmc_autotune} pick crowd, delay and
+          grain from the roofline/memory model before the run starts *)
   nlpp : bool;
   seed : int;
   checkpoint : string option;

@@ -60,6 +60,7 @@ module Make (R : Precision.REAL) = struct
     v_rows : Spo.v_batch Lazy.t;
     vgl_rows : Spo.vgl_batch Lazy.t;
     dot_scratch : A.t;
+    pad : float array; (* unboxed landing pad for staged row dots *)
   }
 
   let make ?(timers = Timers.null) ?(scheme = Sherman_morrison)
@@ -93,15 +94,16 @@ module Make (R : Precision.REAL) = struct
       v_rows = lazy (spo.Spo.make_v_batch n);
       vgl_rows = lazy (spo.Spo.make_vgl_batch n);
       dot_scratch = A.create n;
+      pad = [| 0. |];
     }
 
   let in_group st k = k >= st.first && k < st.first + st.n
   let flush st = match st.du with Some d -> Du.flush d | None -> ()
 
-  let load_psiv st =
-    for j = 0 to st.n - 1 do
-      A.unsafe_set st.psiv j st.vbuf.(j)
-    done
+  (* One bulk narrowing store instead of a boxed crossing per element;
+     write_from rounds through the storage width exactly like the
+     per-element stores it replaces. *)
+  let load_psiv st = A.write_from st.vbuf st.psiv ~pos:0 ~n:st.n
 
   let det_ratio st kl =
     match st.du with
@@ -117,16 +119,13 @@ module Make (R : Precision.REAL) = struct
            correction formula is identical for any replacement vector
            ([Du.ratio] only reads it, so the scratch is reusable). *)
         let tmp = st.dot_scratch in
-        for j = 0 to st.n - 1 do
-          A.unsafe_set tmp j comp.(j)
-        done;
+        A.write_from comp tmp ~pos:0 ~n:st.n;
         Du.ratio d kl tmp
     | _ ->
-        let acc = ref 0. in
-        for j = 0 to st.n - 1 do
-          acc := !acc +. (M.unsafe_get st.binv kl j *. comp.(j))
-        done;
-        !acc
+        A.dot_arr_into (M.data st.binv)
+          ~pos:(kl * M.ld st.binv)
+          comp ~n:st.n st.pad 0;
+        st.pad.(0)
 
   (* Commit the staged move of electron [k] (the engine must have routed
      the matching ratio/ratio_grad through this state first).  Untimed:
@@ -207,10 +206,8 @@ module Make (R : Precision.REAL) = struct
       load_row_pos ps;
       Timers.time timers "Bspline-v" (fun () -> b.Spo.vrun st.row_pos n);
       for i = 0 to n - 1 do
-        let row = b.Spo.vslots.(i) in
-        for j = 0 to n - 1 do
-          M.set st.phim i j row.(j)
-        done
+        A.write_from b.Spo.vslots.(i) (M.data st.phim)
+          ~pos:(i * M.ld st.phim) ~n
       done;
       let _sign, logd =
         Timers.time timers "DetUpdate" (fun () ->
@@ -280,11 +277,10 @@ module Make (R : Precision.REAL) = struct
         let k = first + i in
         let vgl = b.Spo.slots.(i) in
         let dot comp =
-          let acc = ref 0. in
-          for j = 0 to n - 1 do
-            acc := !acc +. (M.unsafe_get st.binv i j *. comp.(j))
-          done;
-          !acc
+          A.dot_arr_into (M.data st.binv)
+            ~pos:(i * M.ld st.binv)
+            comp ~n st.pad 0;
+          st.pad.(0)
         in
         let denom = dot vgl.Spo.v in
         let gx = dot vgl.Spo.gx /. denom in

@@ -70,44 +70,59 @@ let ion_positions (bx, by, bz) n =
   done;
   Array.of_list (List.rev !positions)
 
-module B32 = Oqmc_spline.Bspline3d.Make (Precision.F32)
-module SpoB32 = Spo_bspline.Make (Precision.F32)
+(* The same synthetic orbital table at either storage precision: the
+   [precision=] knob selects where the B-spline coefficients live (f32
+   halves table bytes and bandwidth, per the paper's mixed-precision
+   scheme) while the coefficient values themselves are computed in
+   double either way.  The functor instantiations are precision-erased by
+   [Spo.t]'s runtime closures, so both produce the same System shape. *)
+module Spline_builder (R : Precision.REAL) = struct
+  module B = Oqmc_spline.Bspline3d.Make (R)
+  module SpoB = Spo_bspline.Make (R)
 
-(* Synthetic smooth orbital table: low-frequency Fourier content so the
-   spline is well-conditioned, deterministic in [seed]. *)
-let synthetic_spo ~seed ~grid ~n_spo ~lattice =
-  let nx, ny, nz = grid in
-  let table = B32.create ~nx ~ny ~nz ~n_orb:n_spo in
-  let rng = Xoshiro.create seed in
-  (* Each orbital: a random superposition of a few plane waves evaluated
-     on the grid; filling coefficients directly (rather than prefiltering)
-     keeps construction O(grid × n_spo). *)
-  let n_modes = 4 in
-  let modes =
-    Array.init n_spo (fun _ ->
-        Array.init n_modes (fun _ ->
-            ( float_of_int (1 + Xoshiro.int rng 3),
-              float_of_int (Xoshiro.int rng 3),
-              float_of_int (Xoshiro.int rng 3),
-              Xoshiro.uniform_range rng ~lo:(-1.) ~hi:1.,
-              Xoshiro.uniform_range rng ~lo:0. ~hi:(2. *. Float.pi) )))
-  in
-  B32.fill table (fun ~orb ~i ~j ~k ->
-      let x = float_of_int i /. float_of_int nx in
-      let y = float_of_int j /. float_of_int ny in
-      let z = float_of_int k /. float_of_int nz in
-      let acc = ref (if orb = 0 then 1.0 else 0.) in
-      Array.iter
-        (fun (gx, gy, gz, amp, phase) ->
-          acc :=
-            !acc
-            +. amp
-               *. cos
-                    ((2. *. Float.pi *. ((gx *. x) +. (gy *. y) +. (gz *. z)))
-                    +. phase))
-        modes.(orb);
-      !acc);
-  SpoB32.create ~table ~lattice
+  let build ~seed ~grid ~n_spo ~lattice =
+    let nx, ny, nz = grid in
+    let table = B.create ~nx ~ny ~nz ~n_orb:n_spo in
+    let rng = Xoshiro.create seed in
+    (* Each orbital: a random superposition of a few plane waves evaluated
+       on the grid; filling coefficients directly (rather than
+       prefiltering) keeps construction O(grid × n_spo). *)
+    let n_modes = 4 in
+    let modes =
+      Array.init n_spo (fun _ ->
+          Array.init n_modes (fun _ ->
+              ( float_of_int (1 + Xoshiro.int rng 3),
+                float_of_int (Xoshiro.int rng 3),
+                float_of_int (Xoshiro.int rng 3),
+                Xoshiro.uniform_range rng ~lo:(-1.) ~hi:1.,
+                Xoshiro.uniform_range rng ~lo:0. ~hi:(2. *. Float.pi) )))
+    in
+    B.fill table (fun ~orb ~i ~j ~k ->
+        let x = float_of_int i /. float_of_int nx in
+        let y = float_of_int j /. float_of_int ny in
+        let z = float_of_int k /. float_of_int nz in
+        let acc = ref (if orb = 0 then 1.0 else 0.) in
+        Array.iter
+          (fun (gx, gy, gz, amp, phase) ->
+            acc :=
+              !acc
+              +. amp
+                 *. cos
+                      ((2. *. Float.pi
+                       *. ((gx *. x) +. (gy *. y) +. (gz *. z)))
+                      +. phase))
+          modes.(orb);
+        !acc);
+    SpoB.create ~table ~lattice
+end
+
+module Sp32 = Spline_builder (Precision.F32)
+module Sp64 = Spline_builder (Precision.F64)
+
+let synthetic_spo ?(precision = `F32) ~seed ~grid ~n_spo ~lattice () =
+  match precision with
+  | `F32 -> Sp32.build ~seed ~grid ~n_spo ~lattice
+  | `F64 -> Sp64.build ~seed ~grid ~n_spo ~lattice
 
 (* Gaussian-shell pseudopotential channels per species. *)
 let nlpp_channels (species : Spec.species list) =
@@ -135,7 +150,7 @@ let nlpp_channels (species : Spec.species list) =
 
 (* Build the runnable System for a (possibly scaled) workload. *)
 let system ?(seed = 20170101) ?(with_nlpp = true) ?(with_jastrow = true)
-    (s : scaled) : System.t =
+    ?(precision = `F32) (s : scaled) : System.t =
   let bx, by, bz = s.box in
   let lattice = Lattice.orthorhombic bx by bz in
   let positions = ion_positions s.box s.n_ion in
@@ -158,7 +173,7 @@ let system ?(seed = 20170101) ?(with_nlpp = true) ?(with_jastrow = true)
         })
       species
   in
-  let spo = synthetic_spo ~seed ~grid:s.grid ~n_spo:s.n_spo ~lattice in
+  let spo = synthetic_spo ~precision ~seed ~grid:s.grid ~n_spo:s.n_spo ~lattice () in
   let cutoff = Lattice.wigner_seitz_radius lattice in
   let j2 = if with_jastrow then Some (Jastrow_sets.ee_set ~cutoff) else None in
   let j1 =
@@ -183,5 +198,5 @@ let system ?(seed = 20170101) ?(with_nlpp = true) ?(with_jastrow = true)
     }
 
 let make ?(seed = 20170101) ?(with_nlpp = true) ?(with_jastrow = true)
-    ?(reduction = 8) (spec : Spec.t) : System.t =
-  system ~seed ~with_nlpp ~with_jastrow (scale spec ~reduction)
+    ?(reduction = 8) ?(precision = `F32) (spec : Spec.t) : System.t =
+  system ~seed ~with_nlpp ~with_jastrow ~precision (scale spec ~reduction)

@@ -31,13 +31,23 @@ val nlpp_channels : Spec.species list -> Nlpp.ion_species array
 (** Synthetic Gaussian-shell channels; empty for all-electron species. *)
 
 val system :
-  ?seed:int -> ?with_nlpp:bool -> ?with_jastrow:bool -> scaled -> System.t
+  ?seed:int ->
+  ?with_nlpp:bool ->
+  ?with_jastrow:bool ->
+  ?precision:[ `F32 | `F64 ] ->
+  scaled ->
+  System.t
+(** [precision] (default [`F32]) selects the storage precision of the
+    synthetic B-spline orbital table — coefficient {e values} are
+    identical either way ([`F32] rounds them once at store time), so
+    f32-vs-f64 comparisons isolate storage/bandwidth effects. *)
 
 val make :
   ?seed:int ->
   ?with_nlpp:bool ->
   ?with_jastrow:bool ->
   ?reduction:int ->
+  ?precision:[ `F32 | `F64 ] ->
   Spec.t ->
   System.t
 (** [scale] + [system]; default reduction 8. *)

@@ -4,9 +4,11 @@
 # its checkpoint shard), the observability smoke (trace + telemetry
 # artifacts validated end to end), the crowd-batching bench smoke
 # (pipeline/staged bit-identity + zero-allocation kernel assertions),
-# and the chaos soak (a deterministic multi-hundred-generation run per
-# seed under injected kills/stalls/garbage/disk-full + elastic
-# join/leave membership; OQMC_CHAOS_LONG=1 extends the matrix).
+# the autotune smoke (roofline-driven knob selection: sane choice,
+# metrics gauges, JSON round-trip), and the chaos soak (a deterministic
+# multi-hundred-generation run per seed under injected
+# kills/stalls/garbage/disk-full + elastic join/leave membership;
+# OQMC_CHAOS_LONG=1 extends the matrix).
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -15,5 +17,6 @@ dune runtest
 dune build @recovery-smoke
 dune build @obs-smoke
 dune build @bench-smoke
+dune build @autotune-smoke
 dune build test/chaos_soak.exe
 OQMC_BENCH_OUT="$PWD/BENCH_chaos.json" ./_build/default/test/chaos_soak.exe

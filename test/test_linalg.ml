@@ -213,6 +213,36 @@ let test_delayed_invalid () =
     (Invalid_argument "Delayed_update.create: not square") (fun () ->
       ignore (Du.create m))
 
+let test_delayed_blocked_bit_identical () =
+  (* The blocked GEMM-shaped flush evaluates each element through the
+     same left-associative fused chain as the per-rank reference apply,
+     so at f64 the two paths must agree to the last bit, not merely to
+     rounding. *)
+  let rng = Xoshiro.create 23 in
+  let n = 24 in
+  let m = random_matrix rng n in
+  let binv = M.create n n in
+  ignore (L.invert_transpose ~src:m ~dst:binv);
+  let b_blk = M.create n n and b_ref = M.create n n in
+  M.blit ~src:binv ~dst:b_blk;
+  M.blit ~src:binv ~dst:b_ref;
+  let du_blk = Du.create ~delay:8 b_blk in
+  let du_ref = Du.create ~delay:8 ~blocked:false b_ref in
+  for k = 0 to n - 1 do
+    let v = random_vec rng n in
+    let r_blk = Du.ratio du_blk k v in
+    let r_ref = Du.ratio du_ref k v in
+    checkf 0. (Printf.sprintf "ratio k=%d" k) r_ref r_blk;
+    if abs_float r_blk > 0.3 then begin
+      Du.accept du_blk k v;
+      Du.accept du_ref k v
+    end
+  done;
+  Du.flush du_blk;
+  Du.flush du_ref;
+  checkf 0. "flushed inverses bit-identical" 0.
+    (M.max_abs_diff (Du.binv du_blk) (Du.binv du_ref))
+
 (* ---------- properties ---------- *)
 
 let prop_det_product =
@@ -310,6 +340,8 @@ let () =
           Alcotest.test_case "autoflush" `Quick test_delayed_autoflush;
           Alcotest.test_case "repeat row" `Quick test_delayed_repeat_row_flushes;
           Alcotest.test_case "invalid" `Quick test_delayed_invalid;
+          Alcotest.test_case "blocked flush bit-identical" `Quick
+            test_delayed_blocked_bit_identical;
         ] );
       ( "properties",
         qt [ prop_det_product; prop_sm_sequence; prop_delayed_equals_direct ] );

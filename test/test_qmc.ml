@@ -342,6 +342,39 @@ let test_dmc_population_control () =
   check_bool "acceptance high at small tau" true (res.Dmc.acceptance > 0.8);
   check_bool "comm accounting active" true (res.Dmc.comm_messages >= 0)
 
+let test_dmc_f32_vs_f64_agree () =
+  (* Mixed precision is a storage knob, not a physics knob: a short DMC
+     with f32 tables and walker state must land on the f64 energy within
+     the runs' combined statistical error (plus a small absolute floor —
+     tiny runs underestimate their own error bars). *)
+  let run precision variant =
+    let sys =
+      Builder.make ~seed:7 ~with_nlpp:false ~reduction:32 ~precision
+        Spec.nio32
+    in
+    Dmc.run
+      ~factory:(Build.factory ~variant ~precision ~seed:21 sys)
+      {
+        Dmc.default_params with
+        Dmc.target_walkers = 8;
+        warmup = 6;
+        generations = 24;
+        tau = 0.02;
+        seed = 22;
+      }
+  in
+  let r64 = run `F64 Variant.Current_f64 in
+  let r32 = run `F32 Variant.Current in
+  let sigma = r64.Dmc.energy_error +. r32.Dmc.energy_error in
+  let tol = (4. *. sigma) +. (0.02 *. abs_float r64.Dmc.energy) +. 0.01 in
+  check_bool
+    (Printf.sprintf "f32 %.4f vs f64 %.4f within %.4f" r32.Dmc.energy
+       r64.Dmc.energy tol)
+    true
+    (abs_float (r32.Dmc.energy -. r64.Dmc.energy) < tol);
+  check_bool "f32 population stable" true
+    (r32.Dmc.mean_population > 4. && r32.Dmc.mean_population < 16.)
+
 (* ---------- workload smoke tests ---------- *)
 
 let test_workload_builds_and_runs () =
@@ -527,6 +560,8 @@ let () =
           Alcotest.test_case "harmonic" `Quick test_dmc_harmonic;
           Alcotest.test_case "population control" `Quick
             test_dmc_population_control;
+          Alcotest.test_case "f32 vs f64 energy" `Quick
+            test_dmc_f32_vs_f64_agree;
         ] );
       ( "workloads",
         [

@@ -147,6 +147,66 @@ let test_nlpp_channels () =
 
 (* ---------- validation systems ---------- *)
 
+(* ---------- mixed-precision orbital tables ---------- *)
+
+(* f32 coefficient storage rounds each coefficient once at store time;
+   values, gradients and laplacians evaluated from the rounded table must
+   stay within a few units of f32 epsilon (relative to the orbital set's
+   magnitude) of the f64 table — and must NOT be bit-identical, or the
+   precision knob is not actually narrowing the storage. *)
+let test_spline_f32_vs_f64 spec () =
+  let mk precision = Builder.make ~seed:7 ~reduction:16 ~precision spec in
+  let s32 = mk `F32 and s64 = mk `F64 in
+  let spo32 = s32.System.spo and spo64 = s64.System.spo in
+  let n_orb = spo64.Oqmc_wavefunction.Spo.n_orb in
+  check_int "same orbital count" n_orb spo32.Oqmc_wavefunction.Spo.n_orb;
+  let vgl32 = Oqmc_wavefunction.Spo.make_vgl n_orb in
+  let vgl64 = Oqmc_wavefunction.Spo.make_vgl n_orb in
+  let bx, by, bz = (Builder.scale spec ~reduction:16).Builder.box in
+  let rng = Oqmc_rng.Xoshiro.create 31 in
+  let rel_tol = 1e-4 in
+  let max_rel = ref 0. and max_abs32 = ref 0. in
+  let check_arrays what (a64 : float array) (a32 : float array) =
+    let scale = ref 0. in
+    Array.iter (fun x -> scale := Float.max !scale (abs_float x)) a64;
+    let scale = Float.max !scale 1e-12 in
+    for m = 0 to n_orb - 1 do
+      let d = abs_float (a64.(m) -. a32.(m)) /. scale in
+      max_rel := Float.max !max_rel d;
+      if d > rel_tol then
+        Alcotest.failf "%s orbital %d: rel err %.3g > %.3g" what m d rel_tol
+    done
+  in
+  for _ = 1 to 50 do
+    let p =
+      Vec3.make
+        (Oqmc_rng.Xoshiro.uniform rng *. bx)
+        (Oqmc_rng.Xoshiro.uniform rng *. by)
+        (Oqmc_rng.Xoshiro.uniform rng *. bz)
+    in
+    spo64.Oqmc_wavefunction.Spo.eval_vgl p vgl64;
+    spo32.Oqmc_wavefunction.Spo.eval_vgl p vgl32;
+    check_arrays "value" vgl64.Oqmc_wavefunction.Spo.v
+      vgl32.Oqmc_wavefunction.Spo.v;
+    check_arrays "grad x" vgl64.Oqmc_wavefunction.Spo.gx
+      vgl32.Oqmc_wavefunction.Spo.gx;
+    check_arrays "grad y" vgl64.Oqmc_wavefunction.Spo.gy
+      vgl32.Oqmc_wavefunction.Spo.gy;
+    check_arrays "grad z" vgl64.Oqmc_wavefunction.Spo.gz
+      vgl32.Oqmc_wavefunction.Spo.gz;
+    check_arrays "laplacian" vgl64.Oqmc_wavefunction.Spo.lap
+      vgl32.Oqmc_wavefunction.Spo.lap;
+    for m = 0 to n_orb - 1 do
+      max_abs32 :=
+        Float.max !max_abs32
+          (abs_float
+             (vgl64.Oqmc_wavefunction.Spo.v.(m)
+             -. vgl32.Oqmc_wavefunction.Spo.v.(m)))
+    done
+  done;
+  check_bool "f32 storage actually rounds" true (!max_abs32 > 0.);
+  check_bool "error within f32 budget" true (!max_rel <= rel_tol)
+
 let test_validation_energies () =
   checkf 1e-12 "3 HO fermions"
     (1.5 +. 2.5 +. 2.5)
@@ -182,6 +242,13 @@ let () =
           Alcotest.test_case "tabulate" `Quick test_tabulate;
         ] );
       ("nlpp", [ Alcotest.test_case "channels" `Quick test_nlpp_channels ]);
+      ( "mixed_precision",
+        [
+          Alcotest.test_case "nio32 f32 vs f64 vgl" `Quick
+            (test_spline_f32_vs_f64 Spec.nio32);
+          Alcotest.test_case "graphite f32 vs f64 vgl" `Quick
+            (test_spline_f32_vs_f64 Spec.graphite);
+        ] );
       ( "validation",
         [ Alcotest.test_case "exact energies" `Quick test_validation_energies ]
       );
