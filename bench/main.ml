@@ -12,6 +12,7 @@
      dune exec bench/main.exe -- --crowd-smoke   # fast CI check (@bench-smoke)
      dune exec bench/main.exe -- --autotune      # roofline autotune acceptance
      dune exec bench/main.exe -- --autotune-smoke # fast CI check (@autotune-smoke)
+     dune exec bench/main.exe -- --serve         # serve-layer microbenchmarks
      dune exec bench/main.exe -- --json BENCH_pool.json   # + JSON record
      OQMC_BENCH_REDUCTION=4 dune exec bench/main.exe   # bigger measured runs
 *)
@@ -21,7 +22,7 @@ let usage () =
     "usage: main.exe [--exp \
      table1|fig1|fig2|fig3|fig7|fig8|fig9|fig10|table2|kernels|smt|ddr|delayed|all] \
      [--bechamel] [--pool] [--crowd] [--crowd-smoke] [--autotune] \
-     [--autotune-smoke] [--dist] [--obs] [--json PATH]";
+     [--autotune-smoke] [--dist] [--obs] [--serve] [--json PATH]";
   exit 1
 
 let () =
@@ -41,6 +42,8 @@ let () =
   | [ _; "--dist" ] -> Dist_bench.run ()
   | [ _; "--obs" ] -> Obs_bench.run ()
   | [ _; "--obs"; "--json"; path ] -> Obs_bench.run ~json:path ()
+  | [ _; "--serve" ] -> Serve_bench.run ()
+  | [ _; "--serve"; "--json"; path ] -> Serve_bench.run ~json:path ()
   | [ _; "--json"; path ] | [ _; "--pool"; "--json"; path ] ->
       Pool_bench.run ~json:path ()
   | [ _; "--exp"; name ] -> (

@@ -1,0 +1,276 @@
+open Oqmc_containers
+open Oqmc_serve
+
+(* Service-layer microbenchmarks: the per-job bookkeeping costs of the
+   oqmc-serve daemon, printed as a table and optionally written as JSON
+   (BENCH_serve_micro.json) so regressions are diffable across PRs.
+
+   Four measurements:
+
+   1. admission queue: push and pop under the fairness policy (pop
+      scans the whole queue for the least-served client, so its cost
+      grows with depth — the table pins the depth it was measured at);
+   2. journal: write-ahead appends per second (flushed per record, the
+      durability floor of every Submit), and replay throughput, which
+      bounds restart latency after a crash;
+   3. result cache: store / hit / miss, each a file round-trip with a
+      CRC trailer;
+   4. protocol codec: encode+decode round-trips for the hot frames (a
+      Submit request, a Job_done reply with a full energy series).
+
+   All of this is bookkeeping around jobs that run for seconds to
+   hours; the point of the numbers is to prove the service layer stays
+   micro-scale per job, not to shave them. *)
+
+module Jsonx = Oqmc_obs.Jsonx
+
+let time_per ~reps f =
+  let t0 = Timers.now () in
+  for _ = 1 to reps do
+    f ()
+  done;
+  (Timers.now () -. t0) /. float_of_int reps
+
+let base =
+  let d = Printf.sprintf "/tmp/oqmc-sb.%d" (Unix.getpid ()) in
+  (try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  d
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Unix.rmdir path
+  | _ -> Unix.unlink path
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+
+let deck =
+  "method = dmc\nworkload = hydrogen\nwalkers = 256\nblocks = 40\n\
+   steps = 10\ntau = 0.01\nseed = 42\n"
+
+let mk_spec i =
+  {
+    Job.id = Printf.sprintf "j%04d" i;
+    client = Printf.sprintf "c%d" (i mod 8);
+    deck;
+    hash = Digest.to_hex (Digest.string (string_of_int i));
+    priority = i mod 4;
+    deadline_s = 0.;
+    retries = -1;
+    submitted_at = 1000. +. float_of_int i;
+  }
+
+let mk_outcome () =
+  {
+    Job.energy = -0.5;
+    error = 1.2e-4;
+    variance = 0.03;
+    acceptance = 0.99;
+    series = Array.init 256 (fun i -> -0.5 +. (1e-3 *. float_of_int i));
+    gens = 400;
+    drained = false;
+    resumed_from = 0;
+    wall_s = 12.5;
+  }
+
+(* ---------- admission queue ---------- *)
+
+type queue_r = { depth : int; push_ns : float; pop_ns : float }
+
+let bench_queue () =
+  let depth = 1024 in
+  let specs = Array.init depth mk_spec in
+  let rounds = 50 in
+  let push_s =
+    time_per ~reps:rounds (fun () ->
+        let q = Jqueue.create ~bound:depth () in
+        Array.iter
+          (fun (s : Job.spec) ->
+            ignore
+              (Jqueue.push q ~client:s.Job.client ~priority:s.Job.priority s))
+          specs)
+  in
+  let pop_s =
+    time_per ~reps:rounds (fun () ->
+        let q = Jqueue.create ~bound:depth () in
+        Array.iter
+          (fun (s : Job.spec) ->
+            ignore
+              (Jqueue.push q ~client:s.Job.client ~priority:s.Job.priority s))
+          specs;
+        while Jqueue.pop q <> None do
+          ()
+        done)
+  in
+  {
+    depth;
+    push_ns = push_s /. float_of_int depth *. 1e9;
+    pop_ns = (pop_s -. push_s) /. float_of_int depth *. 1e9;
+  }
+
+(* ---------- write-ahead journal ---------- *)
+
+type journal_r = {
+  append_us : float;
+  appends_per_s : float;
+  replay_records : int;
+  replay_us : float;
+}
+
+let bench_journal () =
+  let path = Filename.concat base "journal" in
+  (try Sys.remove path with Sys_error _ -> ());
+  let j = Journal.open_ path in
+  let jobs = 1000 in
+  (* One full job life per iteration: the Submit (write-ahead), its
+     Start, its Done — three flushed appends. *)
+  let per_job =
+    time_per ~reps:jobs
+      (let i = ref 0 in
+       fun () ->
+         let s = mk_spec !i in
+         incr i;
+         Journal.append j (Journal.Submit s);
+         Journal.append j
+           (Journal.Start { id = s.Job.id; attempt = 1; pid = 1234; t = 1. });
+         Journal.append j
+           (Journal.Done { id = s.Job.id; hash = s.Job.hash; t = 2. }))
+  in
+  Journal.close j;
+  let n = ref 0 in
+  let replay_s =
+    time_per ~reps:5 (fun () -> n := List.length (Journal.replay path))
+  in
+  {
+    append_us = per_job /. 3. *. 1e6;
+    appends_per_s = 3. /. per_job;
+    replay_records = !n;
+    replay_us = replay_s /. float_of_int !n *. 1e6;
+  }
+
+(* ---------- result cache ---------- *)
+
+type cache_r = { store_us : float; hit_us : float; miss_us : float }
+
+let bench_cache () =
+  let dir = Filename.concat base "cache" in
+  (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let outcome = mk_outcome () in
+  let hash i = Digest.to_hex (Digest.string (string_of_int i)) in
+  let n = 200 in
+  let store_s =
+    time_per ~reps:n
+      (let i = ref 0 in
+       fun () ->
+         incr i;
+         Cache.store ~dir ~hash:(hash !i) outcome)
+  in
+  let hit_s =
+    time_per ~reps:n
+      (let i = ref 0 in
+       fun () ->
+         incr i;
+         ignore (Cache.lookup ~dir ~hash:(hash !i)))
+  in
+  let miss_s =
+    time_per ~reps:n
+      (let i = ref 0 in
+       fun () ->
+         incr i;
+         ignore (Cache.lookup ~dir ~hash:(hash (100_000 + !i))))
+  in
+  { store_us = store_s *. 1e6; hit_us = hit_s *. 1e6; miss_us = miss_s *. 1e6 }
+
+(* ---------- protocol codec ---------- *)
+
+type proto_r = { submit_us : float; job_done_us : float }
+
+let bench_proto () =
+  let reps = 10_000 in
+  let submit =
+    Proto.Submit
+      {
+        Proto.client = "bench";
+        deck;
+        priority = 1;
+        deadline_s = 3600.;
+        retries = -1;
+        wait = true;
+      }
+  in
+  let job_done =
+    Proto.Job_done { id = "j0042"; outcome = mk_outcome (); cached = false }
+  in
+  let roundtrip_req =
+    time_per ~reps (fun () ->
+        ignore
+          (Proto.request_of_json
+             (Jsonx.parse_string_exn
+                (Jsonx.to_string (Proto.request_to_json submit)))))
+  in
+  let roundtrip_rep =
+    time_per ~reps (fun () ->
+        ignore
+          (Proto.reply_of_json
+             (Jsonx.parse_string_exn
+                (Jsonx.to_string (Proto.reply_to_json job_done)))))
+  in
+  { submit_us = roundtrip_req *. 1e6; job_done_us = roundtrip_rep *. 1e6 }
+
+(* ---------- driver ---------- *)
+
+let json_of ~queue ~journal ~cache ~proto =
+  let b = Buffer.create 1024 in
+  let f = Printf.bprintf in
+  f b "{\n";
+  f b "%s" (Report.bench_header ~precision:"f64" ~delay:1);
+  f b "  \"queue\": {\n";
+  f b "    \"depth\": %d,\n" queue.depth;
+  f b "    \"push_ns\": %.1f,\n" queue.push_ns;
+  f b "    \"pop_ns\": %.1f\n" queue.pop_ns;
+  f b "  },\n";
+  f b "  \"journal\": {\n";
+  f b "    \"append_us\": %.2f,\n" journal.append_us;
+  f b "    \"appends_per_s\": %.0f,\n" journal.appends_per_s;
+  f b "    \"replay_records\": %d,\n" journal.replay_records;
+  f b "    \"replay_us_per_record\": %.2f\n" journal.replay_us;
+  f b "  },\n";
+  f b "  \"cache\": {\n";
+  f b "    \"store_us\": %.1f,\n" cache.store_us;
+  f b "    \"hit_us\": %.1f,\n" cache.hit_us;
+  f b "    \"miss_us\": %.2f\n" cache.miss_us;
+  f b "  },\n";
+  f b "  \"proto_roundtrip\": {\n";
+  f b "    \"submit_us\": %.2f,\n" proto.submit_us;
+  f b "    \"job_done_us\": %.2f\n" proto.job_done_us;
+  f b "  }\n";
+  f b "}\n";
+  Buffer.contents b
+
+let run ?json () =
+  Printf.printf "== admission queue (fairness policy) ==\n%!";
+  let queue = bench_queue () in
+  Printf.printf "  depth %d: push %.1f ns, pop %.1f ns\n" queue.depth
+    queue.push_ns queue.pop_ns;
+  Printf.printf "== write-ahead journal ==\n%!";
+  let journal = bench_journal () in
+  Printf.printf
+    "  append %.2f us (%.0f/s, flushed); replay %d records at %.2f us each\n"
+    journal.append_us journal.appends_per_s journal.replay_records
+    journal.replay_us;
+  Printf.printf "== result cache ==\n%!";
+  let cache = bench_cache () in
+  Printf.printf "  store %.1f us, hit %.1f us, miss %.2f us\n" cache.store_us
+    cache.hit_us cache.miss_us;
+  Printf.printf "== protocol codec (encode+decode) ==\n%!";
+  let proto = bench_proto () in
+  Printf.printf "  Submit %.2f us, Job_done(256-gen series) %.2f us\n"
+    proto.submit_us proto.job_done_us;
+  rm_rf base;
+  match json with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      output_string oc (json_of ~queue ~journal ~cache ~proto);
+      close_out oc;
+      Printf.printf "wrote %s\n%!" path

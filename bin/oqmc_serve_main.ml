@@ -1,0 +1,111 @@
+open Oqmc_serve
+
+(* The oqmc-serve daemon CLI: a crash-safe multi-tenant QMC job server.
+   Clients submit input decks with bin/oqmc_submit (or any speaker of
+   the framed-JSON protocol); the daemon queues, schedules, retries,
+   deadline-drains, caches and journals them.  SIGTERM drains
+   gracefully; SIGKILL loses nothing a restart cannot replay. *)
+
+let serve socket dir max_queue max_running default_retries backoff_ms
+    grace_ms snapshot_every telemetry =
+  let cfg =
+    {
+      Server.socket;
+      dir;
+      max_queue;
+      max_running;
+      default_retries;
+      backoff_s = float_of_int backoff_ms /. 1000.;
+      grace_s = float_of_int grace_ms /. 1000.;
+      snapshot_every;
+      telemetry;
+    }
+  in
+  Printf.printf "oqmc_serve: listening on %s  (state %s, queue %d, slots %d)\n%!"
+    socket dir max_queue max_running;
+  Server.serve cfg;
+  Printf.printf "oqmc_serve: drained, bye\n%!"
+
+open Cmdliner
+
+let socket =
+  Arg.(
+    value
+    & opt string Server.default_config.Server.socket
+    & info [ "s"; "socket" ] ~docv:"PATH"
+        ~doc:"Unix-domain socket to listen on (OS limit ~100 bytes).")
+
+let dir =
+  Arg.(
+    value
+    & opt string Server.default_config.Server.dir
+    & info [ "d"; "dir" ] ~docv:"DIR"
+        ~doc:
+          "State directory: the crash journal, the result cache and the \
+           per-job snapshots live here; a restarted server replays it.")
+
+let max_queue =
+  Arg.(
+    value
+    & opt int Server.default_config.Server.max_queue
+    & info [ "max-queue" ] ~docv:"N"
+        ~doc:
+          "Admission bound: submissions beyond $(docv) queued jobs are \
+           rejected with an explicit reason, never silently dropped.")
+
+let max_running =
+  Arg.(
+    value
+    & opt int Server.default_config.Server.max_running
+    & info [ "max-running" ] ~docv:"N"
+        ~doc:"Concurrent runner processes.")
+
+let default_retries =
+  Arg.(
+    value
+    & opt int Server.default_config.Server.default_retries
+    & info [ "retries" ] ~docv:"N"
+        ~doc:
+          "Default crash-respawn budget for jobs that do not set their \
+           own.")
+
+let backoff_ms =
+  Arg.(
+    value & opt int 250
+    & info [ "backoff-ms" ] ~docv:"MS"
+        ~doc:"Respawn backoff base in milliseconds, doubled per attempt.")
+
+let grace_ms =
+  Arg.(
+    value & opt int 5000
+    & info [ "grace-ms" ] ~docv:"MS"
+        ~doc:
+          "Grace between the drain request (deadline SIGUSR1, shutdown \
+           SIGTERM) and SIGKILL.")
+
+let snapshot_every =
+  Arg.(
+    value
+    & opt int Server.default_config.Server.snapshot_every
+    & info [ "snapshot-every" ] ~docv:"G"
+        ~doc:
+          "Generations between job snapshots — the granularity of \
+           bit-identical crash recovery.")
+
+let telemetry =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "telemetry" ] ~docv:"PATH"
+        ~doc:
+          "Append one JSON record per job state transition to $(docv) \
+           (job id, event, attempt, queue wait).")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "oqmc_serve" ~doc:"crash-safe multi-tenant QMC job server")
+    Term.(
+      const serve $ socket $ dir $ max_queue $ max_running $ default_retries
+      $ backoff_ms $ grace_ms $ snapshot_every $ telemetry)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,168 @@
+open Oqmc_serve
+
+(* Submit an input deck to a running oqmc_serve daemon and (by default)
+   wait for the terminal state.  Exit code: 0 = Done, 1 = Failed or
+   Rejected, 2 = transport/usage error — a definite answer always. *)
+
+let read_deck = function
+  | "-" -> In_channel.input_all In_channel.stdin
+  | path -> In_channel.with_open_bin path In_channel.input_all
+
+let print_outcome id (o : Job.outcome) cached =
+  Printf.printf "%s: done%s%s  E = %.6f +/- %.6f  variance %.6f  (%d gens, %.2f s)\n"
+    id
+    (if cached then " [cached]" else "")
+    (if o.Job.drained then " [drained at deadline]" else "")
+    o.Job.energy o.Job.error o.Job.variance o.Job.gens o.Job.wall_s
+
+let submit socket deck_path client priority deadline_s retries no_wait query
+    cancel stats =
+  match (query, cancel, stats) with
+  | Some id, _, _ -> (
+      let fd = Client.connect socket in
+      match Client.query fd id with
+      | Proto.Job_done { outcome; cached; _ } ->
+          print_outcome id outcome cached;
+          0
+      | Proto.Job_failed { reason; _ } ->
+          Printf.printf "%s: failed: %s\n" id reason;
+          1
+      | Proto.Rejected { reason; _ } ->
+          Printf.printf "%s: rejected: %s\n" id reason;
+          1
+      | Proto.State { state; attempt; _ } ->
+          Printf.printf "%s: %s (attempt %d)\n" id state attempt;
+          0
+      | Proto.Error reason ->
+          Printf.printf "%s\n" reason;
+          2
+      | _ ->
+          Printf.printf "%s: unexpected reply\n" id;
+          2)
+  | None, Some id, _ -> (
+      let fd = Client.connect socket in
+      match Client.cancel fd id with
+      | Proto.State { state; _ } ->
+          Printf.printf "%s: %s\n" id state;
+          0
+      | Proto.Error reason ->
+          Printf.printf "%s\n" reason;
+          2
+      | _ ->
+          Printf.printf "%s: unexpected reply\n" id;
+          2)
+  | None, None, true ->
+      let fd = Client.connect socket in
+      let s = Client.stats fd in
+      Printf.printf
+        "submitted %d  accepted %d  rejected %d  done %d  failed %d  \
+         cancelled %d  queued %d  running %d  retrying %d  cache hits %d  \
+         suspended %d\n"
+        s.Proto.submitted s.Proto.accepted s.Proto.rejected s.Proto.done_
+        s.Proto.failed s.Proto.cancelled s.Proto.queued s.Proto.running
+        s.Proto.retrying s.Proto.cache_hits s.Proto.suspended;
+      0
+  | None, None, false -> (
+      match deck_path with
+      | None ->
+          prerr_endline "oqmc_submit: a deck file is required (or - for stdin)";
+          2
+      | Some path -> (
+          let deck = read_deck path in
+          if no_wait then (
+            let fd = Client.connect socket in
+            match
+              Client.submit fd ~client ~priority ~deadline_s ~retries
+                ~wait:false deck
+            with
+            | Proto.Accepted { id; cached; position } ->
+                Printf.printf "%s: accepted%s (position %d)\n" id
+                  (if cached then " [cached]" else "")
+                  position;
+                0
+            | Proto.Rejected { id; reason } ->
+                Printf.printf "%s: rejected: %s\n" id reason;
+                1
+            | _ ->
+                prerr_endline "oqmc_submit: unexpected reply";
+                2)
+          else
+            match
+              Client.run_deck ~socket ~client ~priority ~deadline_s ~retries
+                deck
+            with
+            | Ok outcome ->
+                print_outcome "job" outcome false;
+                0
+            | Error reason ->
+                Printf.printf "job: %s\n" reason;
+                1))
+
+open Cmdliner
+
+let socket =
+  Arg.(
+    value
+    & opt string Server.default_config.Server.socket
+    & info [ "s"; "socket" ] ~docv:"PATH" ~doc:"Daemon socket path.")
+
+let deck =
+  Arg.(
+    value
+    & pos 0 (some string) None
+    & info [] ~docv:"DECK" ~doc:"Input deck file, or - for stdin.")
+
+let client =
+  Arg.(
+    value & opt string "cli"
+    & info [ "c"; "client" ] ~docv:"NAME"
+        ~doc:"Client identity for fair scheduling.")
+
+let priority =
+  Arg.(
+    value & opt int 0
+    & info [ "p"; "priority" ] ~docv:"P" ~doc:"Higher runs sooner.")
+
+let deadline_s =
+  Arg.(
+    value & opt float 0.
+    & info [ "deadline-s" ] ~docv:"S"
+        ~doc:
+          "Wall-clock budget from first execution; the job drains to a \
+           partial result at the next generation boundary (0 = none).")
+
+let retries =
+  Arg.(
+    value & opt int (-1)
+    & info [ "retries" ] ~docv:"N"
+        ~doc:"Crash respawns allowed (-1 = server default).")
+
+let no_wait =
+  Arg.(
+    value & flag
+    & info [ "no-wait" ]
+        ~doc:"Return after admission; poll later with --query.")
+
+let query =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "query" ] ~docv:"ID" ~doc:"Query a job's state.")
+
+let cancel =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cancel" ] ~docv:"ID" ~doc:"Cancel a job.")
+
+let stats =
+  Arg.(value & flag & info [ "stats" ] ~doc:"Print server accounting.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "oqmc_submit" ~doc:"submit decks to oqmc_serve")
+    Term.(
+      const submit $ socket $ deck $ client $ priority $ deadline_s $ retries
+      $ no_wait $ query $ cancel $ stats)
+
+let () = exit (Cmd.eval' cmd)

@@ -96,6 +96,19 @@ let shutdown_shard s = Runner.shutdown s.runner
 let pop s = s.pop
 let config s = s.cfg
 let move_totals s = (s.acc, s.prop)
+let set_move_totals s ~acc ~prop =
+  s.acc <- acc;
+  s.prop <- prop
+
+(* Bit-exact RNG stream capture/restore: the job snapshot layer saves
+   (master, pool) mid-run and a resumed shard continues the exact draw
+   sequence — unlike the respawn path, which reseeds by incarnation. *)
+let rng_states s =
+  (Xoshiro.state_string s.master_rng, Xoshiro.state_string s.rng_pool)
+
+let set_rng_states s (master, pool) =
+  Xoshiro.restore s.master_rng (Xoshiro.of_state_string master);
+  Xoshiro.restore s.rng_pool (Xoshiro.of_state_string pool)
 
 (* Initial-ensemble estimator terms: unit weights, measured energies. *)
 let initial_sums s =

@@ -59,6 +59,18 @@ val config : shard -> config
 val move_totals : shard -> int * int
 (** Lifetime (accepted, proposed) move totals. *)
 
+val set_move_totals : shard -> acc:int -> prop:int -> unit
+(** Overwrite the lifetime move totals (job-snapshot resume). *)
+
+val rng_states : shard -> string * string
+(** Bit-exact (master, pool) RNG stream states ({!Xoshiro.state_string})
+    for the job-snapshot layer. *)
+
+val set_rng_states : shard -> string * string -> unit
+(** Restore streams captured by {!rng_states}, so a resumed shard
+    continues the exact draw sequence.
+    @raise Invalid_argument on malformed state strings. *)
+
 val initial_sums : shard -> float * float
 (** (Σ1, ΣE_L) of the initial unit-weight ensemble — the gen-0 terms of
     the global starting trial energy. *)

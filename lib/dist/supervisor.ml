@@ -181,6 +181,19 @@ type result = {
 exception All_ranks_lost
 exception Interrupted of int
 
+(* What a [run_job] call produced: the usual result plus how the job
+   ended.  [drained = true] means the [stop] poll ended it early at a
+   generation boundary (deadline/shutdown), with the estimators covering
+   the generations actually run; [resumed_from > 0] means the job
+   continued bit-identically from a [Snapshot] of that generation
+   instead of starting fresh. *)
+type job_outcome = {
+  job_result : result;
+  gens_done : int; (* generations executed by THIS call *)
+  drained : bool;
+  resumed_from : int;
+}
+
 let validate p =
   if p.ranks < 1 then invalid_arg "Supervisor: ranks < 1";
   if p.target_walkers < p.ranks then
@@ -366,23 +379,59 @@ let membership_json (m : member_record) =
    against — including elastic membership, which is applied here with
    the same slot-refill and lowest-survivor rules — and a convenient
    single-process driver for rank-shaped runs. *)
-let run_local ~(factory : int -> Engine_api.t) (p : params) : result =
+let run_local_ext ~(factory : int -> Engine_api.t) ~handle_signals ~stop
+    ~snapshot ~snapshot_every (p : params) : job_outcome =
   validate p;
+  if snapshot <> None && p.membership <> [] then
+    invalid_arg "Supervisor: job snapshots require an empty membership plan";
+  if snapshot_every < 1 then invalid_arg "Supervisor: snapshot_every < 1";
   let emit, emit_event, update_progress, obs_close = obs_setup p in
-  let saved_signals = install_signals () in
+  let saved_signals = if handle_signals then install_signals () else [] in
   Fun.protect
     ~finally:(fun () ->
       restore_signals saved_signals;
       obs_close ())
   @@ fun () ->
+  (* A valid snapshot of THIS job (parameters echoed and matching)
+     resumes the run bit-identically; anything else starts fresh. *)
+  let resume =
+    match snapshot with
+    | None -> None
+    | Some path -> (
+        match Snapshot.load_latest ~path with
+        | Some (st, shards)
+          when st.Snapshot.seed = p.seed
+               && st.Snapshot.ranks = p.ranks
+               && st.Snapshot.target = p.target_walkers
+               && st.Snapshot.gen <= p.warmup + p.generations ->
+            Some (st, shards)
+        | _ -> None)
+  in
   let counts = shard_counts ~target:p.target_walkers ~ranks:p.ranks in
   (* Sorted ascending by rank id; grows and shrinks with membership. *)
   let members : (int * Rank.shard) list ref =
     ref
-      (List.init p.ranks (fun r ->
-           ( r,
-             Rank.init_shard ~factory ~count:counts.(r) ~e_trial:0.
-               (rank_config p ~rank:r ~incarnation:0 ~after:(-1)) )))
+      (match resume with
+      | None ->
+          List.init p.ranks (fun r ->
+              ( r,
+                Rank.init_shard ~factory ~count:counts.(r) ~e_trial:0.
+                  (rank_config p ~rank:r ~incarnation:0 ~after:(-1)) ))
+      | Some (st, shards) ->
+          List.map
+            (fun (rs : Snapshot.rank_state) ->
+              let ws = List.assoc rs.Snapshot.r_rank shards in
+              let s =
+                Rank.restore_shard ~factory ~walkers:ws
+                  ~e_trial:st.Snapshot.e_trial
+                  (rank_config p ~rank:rs.Snapshot.r_rank ~incarnation:0
+                     ~after:(-1))
+              in
+              Rank.set_rng_states s (rs.Snapshot.r_master, rs.Snapshot.r_pool);
+              Rank.set_move_totals s ~acc:rs.Snapshot.r_acc
+                ~prop:rs.Snapshot.r_prop;
+              (rs.Snapshot.r_rank, s))
+            st.Snapshot.rank_states)
   in
   let vacant = ref [] and next_id = ref p.ranks in
   let incarnations : (int, int) Hashtbl.t = Hashtbl.create 8 in
@@ -391,30 +440,92 @@ let run_local ~(factory : int -> Engine_api.t) (p : params) : result =
       List.iter (fun (_, s) -> Rank.shutdown_shard s) !members)
   @@ fun () ->
   (* Global starting trial energy from the per-rank initial sums,
-     reduced in ascending rank order. *)
-  let w0 = ref 0. and e0 = ref 0. in
-  List.iter
-    (fun (_, s) ->
-      let w, e = Rank.initial_sums s in
-      w0 := !w0 +. w;
-      e0 := !e0 +. e)
-    !members;
-  let e_trial = ref (if !w0 > 0. then !e0 /. !w0 else 0.) in
+     reduced in ascending rank order — or, on resume, the snapshot's
+     running state (series, counters, trial energy) verbatim. *)
+  let e_trial =
+    ref
+      (match resume with
+      | Some (st, _) -> st.Snapshot.e_trial
+      | None ->
+          let w0 = ref 0. and e0 = ref 0. in
+          List.iter
+            (fun (_, s) ->
+              let w, e = Rank.initial_sums s in
+              w0 := !w0 +. w;
+              e0 := !e0 +. e)
+            !members;
+          if !w0 > 0. then !e0 /. !w0 else 0.)
+  in
   let energy_series = Stats.make_series () in
   let pop_series = ref [] in
   let comm_messages = ref 0 and comm_bytes = ref 0 in
+  let samples = ref 0 in
+  (match resume with
+  | None -> ()
+  | Some (st, _) ->
+      Array.iter (fun e -> Stats.append energy_series e) st.Snapshot.energy;
+      pop_series := List.rev (Array.to_list st.Snapshot.pops);
+      comm_messages := st.Snapshot.comm_messages;
+      comm_bytes := st.Snapshot.comm_bytes;
+      samples := st.Snapshot.samples);
   let joins = ref 0 and leaves = ref 0 and skipped = ref 0 in
   let membership_log = ref [] in
   let gen_times = ref [] in
   let acc_extra = ref 0 and prop_extra = ref 0 in
   let t0 = Oqmc_containers.Timers.now () in
-  let samples = ref 0 in
   let total_gens = p.warmup + p.generations in
+  let start_gen = match resume with Some (st, _) -> st.Snapshot.gen | None -> 0 in
   let total_walkers () =
     List.fold_left (fun a (_, s) -> a + Population.size (Rank.pop s)) 0 !members
   in
   let m_gen_s = Metrics.histogram "sup.generation_s" in
-  for gen = 1 to total_gens do
+  (* Snapshot the complete dynamical state at a generation boundary:
+     everything [resume] restores above.  IO failures are swallowed — a
+     snapshot that does not land only costs resume granularity. *)
+  let save_snap ~gen =
+    match snapshot with
+    | None -> ()
+    | Some path -> (
+        let rank_states =
+          List.map
+            (fun (r, s) ->
+              let master, pool = Rank.rng_states s in
+              let a, pr = Rank.move_totals s in
+              {
+                Snapshot.r_rank = r;
+                r_master = master;
+                r_pool = pool;
+                r_acc = a;
+                r_prop = pr;
+              })
+            !members
+        in
+        let st =
+          {
+            Snapshot.gen;
+            seed = p.seed;
+            ranks = p.ranks;
+            target = p.target_walkers;
+            e_trial = !e_trial;
+            energy = Stats.to_array energy_series;
+            pops = Array.of_list (List.rev !pop_series);
+            samples = !samples;
+            comm_messages = !comm_messages;
+            comm_bytes = !comm_bytes;
+            rank_states;
+          }
+        in
+        try
+          Snapshot.save ~path st
+            (List.map
+               (fun (r, s) -> (r, Population.walkers (Rank.pop s)))
+               !members)
+        with Sys_error _ | Checkpoint.Corrupt _ -> ())
+  in
+  let gen_ref = ref (start_gen + 1) in
+  let job_drained = ref false in
+  while (not !job_drained) && !gen_ref <= total_gens do
+    let gen = !gen_ref in
     Trace.with_span ~args:[ ("gen", string_of_int gen) ] "sup.generation"
     @@ fun () ->
     let gen_t0 = Oqmc_containers.Timers.now () in
@@ -574,8 +685,19 @@ let run_local ~(factory : int -> Engine_api.t) (p : params) : result =
       p.membership;
     let dt = Oqmc_containers.Timers.now () -. gen_t0 in
     Metrics.observe m_gen_s dt;
-    gen_times := dt :: !gen_times
+    gen_times := dt :: !gen_times;
+    (* Drain/snapshot at the generation boundary: the [stop] poll ends
+       the job gracefully with consistent estimators, and the snapshot
+       cadence always covers the drain point and the final generation
+       so a suspended job never replays work. *)
+    if stop () then job_drained := true;
+    if
+      snapshot <> None
+      && (!job_drained || gen = total_gens || gen mod snapshot_every = 0)
+    then save_snap ~gen;
+    incr gen_ref
   done;
+  let last_gen = !gen_ref - 1 in
   let acc = ref !acc_extra and prop = ref !prop_extra in
   List.iter
     (fun (_, s) ->
@@ -586,13 +708,27 @@ let run_local ~(factory : int -> Engine_api.t) (p : params) : result =
   let final_walkers =
     List.concat_map (fun (_, s) -> Population.walkers (Rank.pop s)) !members
   in
-  finalize ~p ~t0 ~energy_series ~pop_series:!pop_series
-    ~comm_messages:!comm_messages ~comm_bytes:!comm_bytes ~respawns:0
-    ~heartbeat_timeouts:0 ~garbage_frames:0 ~crashes:0 ~ranks_failed:[]
-    ~live_ranks:(List.length !members) ~degraded_generations:0 ~joins:!joins
-    ~leaves:!leaves ~stragglers:0 ~steals:0 ~membership_skipped:!skipped
-    ~membership_log:!membership_log ~gen_times:!gen_times ~acc:!acc
-    ~prop:!prop ~final_walkers ~final_e_trial:!e_trial
+  let job_result =
+    finalize ~p ~t0 ~energy_series ~pop_series:!pop_series
+      ~comm_messages:!comm_messages ~comm_bytes:!comm_bytes ~respawns:0
+      ~heartbeat_timeouts:0 ~garbage_frames:0 ~crashes:0 ~ranks_failed:[]
+      ~live_ranks:(List.length !members) ~degraded_generations:0 ~joins:!joins
+      ~leaves:!leaves ~stragglers:0 ~steals:0 ~membership_skipped:!skipped
+      ~membership_log:!membership_log ~gen_times:!gen_times ~acc:!acc
+      ~prop:!prop ~final_walkers ~final_e_trial:!e_trial
+  in
+  {
+    job_result;
+    gens_done = last_gen - start_gen;
+    drained = !job_drained && last_gen < total_gens;
+    resumed_from = start_gen;
+  }
+
+let run_local ~(factory : int -> Engine_api.t) (p : params) : result =
+  (run_local_ext ~factory ~handle_signals:true
+     ~stop:(fun () -> false)
+     ~snapshot:None ~snapshot_every:1 p)
+    .job_result
 
 (* ---------- forked execution ---------- *)
 
@@ -669,7 +805,7 @@ let fork_rank ~(factory : int -> Engine_api.t) ~cfg ~init ~all_fds =
         straggles = 0;
       }
 
-let run ~(factory : int -> Engine_api.t) (p : params) : result =
+let run_ext ~(factory : int -> Engine_api.t) ~stop (p : params) : job_outcome =
   validate p;
   (* Observability must attach BEFORE any fork so children inherit the
      tracing-enabled flag; the supervisor's own spans carry pid -1,
@@ -1137,7 +1273,10 @@ let run ~(factory : int -> Engine_api.t) (p : params) : result =
     end
   in
   (* -------- generation loop -------- *)
-  for gen = 1 to total_gens do
+  let gen_ref = ref 1 in
+  let job_drained = ref false in
+  while (not !job_drained) && !gen_ref <= total_gens do
+    let gen = !gen_ref in
     Trace.with_span ~args:[ ("gen", string_of_int gen) ] "sup.generation"
     @@ fun () ->
     let gen_t0 = Oqmc_containers.Timers.now () in
@@ -1456,8 +1595,15 @@ let run ~(factory : int -> Engine_api.t) (p : params) : result =
         p.membership;
     let dt = Oqmc_containers.Timers.now () -. gen_t0 in
     Metrics.observe m_gen_s dt;
-    gen_times := dt :: !gen_times
+    gen_times := dt :: !gen_times;
+    (* Graceful early drain: the [stop] poll ends the run at the next
+       generation boundary and the normal finals collection below still
+       runs, so a deadline-stopped job reports consistent partial
+       estimators instead of dying mid-protocol. *)
+    if stop () then job_drained := true;
+    incr gen_ref
   done;
+  let last_gen = !gen_ref - 1 in
   (* -------- collect finals -------- *)
   let live_at_end = List.length (live ()) in
   let acc = ref !acc_left and prop = ref !prop_left in
@@ -1491,11 +1637,43 @@ let run ~(factory : int -> Engine_api.t) (p : params) : result =
         s.dead <- true
       end)
     (live ());
-  finalize ~p ~t0 ~energy_series ~pop_series:!pop_series
-    ~comm_messages:!comm_messages ~comm_bytes:!comm_bytes ~respawns:!respawns
-    ~heartbeat_timeouts:!hb_timeouts ~garbage_frames:!garbage_frames
-    ~crashes:!crashes ~ranks_failed:!ranks_failed ~live_ranks:live_at_end
-    ~degraded_generations:!degraded_generations ~joins:!joins ~leaves:!leaves
-    ~stragglers:!stragglers ~steals:!steals ~membership_skipped:!skipped
-    ~membership_log:!membership_log ~gen_times:!gen_times ~acc:!acc
-    ~prop:!prop ~final_walkers:!final_walkers ~final_e_trial:!e_trial
+  let job_result =
+    finalize ~p ~t0 ~energy_series ~pop_series:!pop_series
+      ~comm_messages:!comm_messages ~comm_bytes:!comm_bytes
+      ~respawns:!respawns ~heartbeat_timeouts:!hb_timeouts
+      ~garbage_frames:!garbage_frames ~crashes:!crashes
+      ~ranks_failed:!ranks_failed ~live_ranks:live_at_end
+      ~degraded_generations:!degraded_generations ~joins:!joins
+      ~leaves:!leaves ~stragglers:!stragglers ~steals:!steals
+      ~membership_skipped:!skipped ~membership_log:!membership_log
+      ~gen_times:!gen_times ~acc:!acc ~prop:!prop
+      ~final_walkers:!final_walkers ~final_e_trial:!e_trial
+  in
+  {
+    job_result;
+    gens_done = last_gen;
+    drained = !job_drained && last_gen < total_gens;
+    resumed_from = 0;
+  }
+
+let run ~(factory : int -> Engine_api.t) (p : params) : result =
+  (run_ext ~factory ~stop:(fun () -> false) p).job_result
+
+(* ---------- the reentrant per-job entry point ----------
+
+   What the serve daemon calls once per accepted job.  Unlike [run] and
+   [run_local] it NEVER installs signal handlers — the caller (a job
+   runner process) owns its own signal policy and threads it through
+   [stop] — and with [local = true] (the default) it can snapshot the
+   full dynamical state every [snapshot_every] generations and resume
+   bit-identically from the newest valid snapshot, which is how a
+   crashed or suspended job continues without replaying work. *)
+let run_job ~(factory : int -> Engine_api.t) ?(local = true)
+    ?(stop = fun () -> false) ?snapshot ?(snapshot_every = 1) (p : params) :
+    job_outcome =
+  if snapshot <> None && not local then
+    invalid_arg "Supervisor.run_job: snapshots require local execution";
+  if local then
+    run_local_ext ~factory ~handle_signals:false ~stop ~snapshot
+      ~snapshot_every p
+  else run_ext ~factory ~stop p

@@ -151,3 +151,38 @@ val run_local : factory:(int -> Engine_api.t) -> params -> result
     logical shards — no fork, no pipes, including the elastic
     membership plan.  The bit-identity oracle for [run], and the
     single-process driver for rank-shaped runs. *)
+
+(** {1 Reentrant per-job execution (the serve layer's entry point)} *)
+
+(** How a {!run_job} call ended, alongside the usual {!result}. *)
+type job_outcome = {
+  job_result : result;
+  gens_done : int;  (** generations executed by THIS call *)
+  drained : bool;
+      (** the [stop] poll ended the job early at a generation boundary;
+          the estimators cover the generations actually run *)
+  resumed_from : int;
+      (** > 0: the job continued bit-identically from a {!Snapshot} of
+          that generation instead of starting fresh *)
+}
+
+val run_job :
+  factory:(int -> Engine_api.t) ->
+  ?local:bool ->
+  ?stop:(unit -> bool) ->
+  ?snapshot:string ->
+  ?snapshot_every:int ->
+  params ->
+  job_outcome
+(** Run one job to completion (or graceful drain) and return.  Reentrant
+    and signal-neutral: unlike {!run}/{!run_local} it NEVER installs
+    SIGTERM/SIGINT handlers — the caller owns its signal policy and
+    threads shutdown through [stop], polled at every generation
+    boundary.  With [local = true] (default) the job executes on the
+    in-process reference path and, given [snapshot], persists its full
+    dynamical state every [snapshot_every] generations (plus at drain
+    and completion) via {!Snapshot}, resuming bit-identically from the
+    newest valid snapshot on the next call with the same parameters.
+    [local = false] uses the forked supervisor (no snapshot support).
+    @raise Invalid_argument for [snapshot] with [local = false], a
+    snapshot with a non-empty membership plan, or [snapshot_every < 1]. *)

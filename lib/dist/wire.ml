@@ -311,7 +311,22 @@ let read_exact ?deadline fd buf ofs len =
         raise Closed
   done
 
+(* A write to a fd whose peer vanished must surface as [Closed], never as
+   a fatal SIGPIPE.  Sockets (the serve daemon) hit this constantly —
+   clients hang up whenever they like — so the write path masks the
+   signal itself instead of trusting every caller to.  The mask is
+   process-global and never restored: any process doing wire IO wants
+   EPIPE semantics for its whole lifetime. *)
+let sigpipe_masked = ref false
+
+let mask_sigpipe () =
+  if not !sigpipe_masked then begin
+    ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore);
+    sigpipe_masked := true
+  end
+
 let write_all fd bytes =
+  mask_sigpipe ();
   let len = Bytes.length bytes in
   let sent = ref 0 in
   while !sent < len do
@@ -344,12 +359,12 @@ let send_corrupt fd =
   Bytes.set frame last (Char.chr (Char.code (Bytes.get frame last) lxor 0x55));
   write_all fd frame
 
-let recv ?timeout fd =
+let read_frame ?timeout ~min_len fd =
   let deadline = Option.map (fun s -> now () +. s) timeout in
   let head = Bytes.create 4 in
   read_exact ?deadline fd head 0 4;
   let len = Int32.to_int (Bytes.get_int32_be head 0) in
-  if len < 1 || len > max_frame then garbage "bad frame length %d" len;
+  if len < min_len || len > max_frame then garbage "bad frame length %d" len;
   let body = Bytes.create len in
   read_exact ?deadline fd body 0 len;
   let trailer = Bytes.create 4 in
@@ -359,4 +374,22 @@ let recv ?timeout fd =
   let actual = Checkpoint.crc32 body land 0xFFFFFFFF in
   if stored <> actual then
     garbage "crc mismatch: stored %08x, computed %08x" stored actual;
-  decode body
+  body
+
+let recv ?timeout fd = decode (read_frame ?timeout ~min_len:1 fd)
+
+(* ---------- raw string frames ----------
+
+   The same length + CRC envelope carrying an opaque string instead of a
+   tagged [msg]: the serve daemon's request/reply layer (JSON payloads)
+   rides on these, over any fd — Unix-domain sockets included. *)
+
+let send_str fd s =
+  if String.length s > max_frame then invalid_arg "Wire.send_str: too large";
+  let frame = Buffer.create (String.length s + 8) in
+  put_i32 frame (String.length s);
+  Buffer.add_string frame s;
+  put_i32 frame (Checkpoint.crc32 s);
+  write_all fd (Buffer.to_bytes frame)
+
+let recv_str ?timeout fd = read_frame ?timeout ~min_len:0 fd

@@ -81,3 +81,19 @@ val recv : ?timeout:float -> Unix.file_descr -> msg
 
 val frame_bytes : msg -> Bytes.t
 (** The serialized frame (exposed for tests and size accounting). *)
+
+val mask_sigpipe : unit -> unit
+(** Ignore SIGPIPE process-wide (idempotent).  The write path calls this
+    itself, so a peer hanging up surfaces as {!Closed} rather than
+    killing the process — required for socket transports.  Never
+    restored: wire IO wants EPIPE semantics for the process lifetime. *)
+
+val send_str : Unix.file_descr -> string -> unit
+(** Write one raw string frame: the same length-prefixed, CRC-trailed
+    envelope as {!send} but carrying an opaque payload instead of a
+    tagged {!msg}.  The serve daemon's request/reply layer (JSON over a
+    Unix-domain socket) rides on these.  @raise Closed on a broken
+    peer. *)
+
+val recv_str : ?timeout:float -> Unix.file_descr -> string
+(** Read one raw string frame.  Same failure contract as {!recv}. *)

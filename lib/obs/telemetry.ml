@@ -6,7 +6,16 @@
 
 type sink = { path : string; oc : out_channel; mutable closed : bool; mutable records : int }
 
-let create path = { path; oc = open_out path; closed = false; records = 0 }
+(* [append] is for long-lived services that restart onto the same
+   telemetry path: a fresh incarnation must not truncate the event
+   history its predecessor flushed before crashing. *)
+let create ?(append = false) path =
+  let oc =
+    if append then
+      open_out_gen [ Open_wronly; Open_append; Open_creat ] 0o644 path
+    else open_out path
+  in
+  { path; oc; closed = false; records = 0 }
 
 let path s = s.path
 let records s = s.records

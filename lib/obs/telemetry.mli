@@ -3,7 +3,10 @@
 
 type sink
 
-val create : string -> sink
+(** [create ?append path] opens a sink; [~append:true] preserves an
+    existing file instead of truncating it — use it for services that
+    may restart onto the same telemetry path. *)
+val create : ?append:bool -> string -> sink
 val path : sink -> string
 val records : sink -> int
 (** Records emitted so far. *)

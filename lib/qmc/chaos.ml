@@ -196,3 +196,73 @@ let plan ~seed ~gens ~ranks ?(trajectory = []) ?(events = 0)
         add gen e
   done;
   List.sort compare (List.rev !schedule)
+
+(* ---------- service-level chaos (the serve daemon) ----------
+
+   The rank-level events above attack ONE supervised run from the
+   inside; service events attack the layer that multiplexes many runs:
+   clients that hang up before their reply, the daemon SIGKILLed
+   mid-job (restart + journal replay must lose nothing), submission
+   storms that must be REJECTED at the admission bound rather than
+   silently dropped, and cache entries corrupted on disk (must read as
+   a miss, never as a wrong result).  Events are anchored to job
+   indices of a seeded submission mix — the @serve-soak harness
+   interprets them as it submits. *)
+
+type service_event =
+  | Client_disconnect (* submitter hangs up before its terminal reply *)
+  | Server_kill (* SIGKILL the daemon mid-job; restart + replay *)
+  | Queue_storm of int (* n submissions beyond the admission bound *)
+  | Cache_corrupt (* garble a cache entry; must surface as a miss *)
+
+type service_schedule = (int * service_event) list (* (job index, event) *)
+
+let pp_service_event = function
+  | Client_disconnect -> "client_disconnect"
+  | Server_kill -> "server_kill"
+  | Queue_storm n -> Printf.sprintf "queue_storm(%d)" n
+  | Cache_corrupt -> "cache_corrupt"
+
+type service_counts = {
+  disconnects : int;
+  server_kills : int;
+  storms : int;
+  corruptions : int;
+}
+
+let service_count schedule =
+  List.fold_left
+    (fun c (_, e) ->
+      match e with
+      | Client_disconnect -> { c with disconnects = c.disconnects + 1 }
+      | Server_kill -> { c with server_kills = c.server_kills + 1 }
+      | Queue_storm _ -> { c with storms = c.storms + 1 }
+      | Cache_corrupt -> { c with corruptions = c.corruptions + 1 })
+    { disconnects = 0; server_kills = 0; storms = 0; corruptions = 0 }
+    schedule
+
+let plan_service ~seed ~jobs ?(events = 4) ?(storm = 4) () =
+  if jobs < 1 then invalid_arg "Chaos.plan_service: jobs < 1";
+  if events < 0 then invalid_arg "Chaos.plan_service: events < 0";
+  if storm < 1 then invalid_arg "Chaos.plan_service: storm < 1";
+  let rng = Xoshiro.create seed in
+  let pick_int n = int_of_float (Xoshiro.uniform rng *. float_of_int n) in
+  (* At most one event per job index so every event is attributable. *)
+  let free = ref (List.init jobs Fun.id) in
+  let schedule = ref [] in
+  for i = 0 to events - 1 do
+    match !free with
+    | [] -> ()
+    | left ->
+        let j = List.nth left (pick_int (List.length left)) in
+        free := List.filter (fun x -> x <> j) left;
+        let e =
+          match (i + pick_int 4) mod 4 with
+          | 0 -> Client_disconnect
+          | 1 -> Server_kill
+          | 2 -> Queue_storm storm
+          | _ -> Cache_corrupt
+        in
+        schedule := (j, e) :: !schedule
+  done;
+  List.sort compare !schedule

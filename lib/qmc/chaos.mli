@@ -55,3 +55,42 @@ val plan :
     targeting a rank live at that point.  All randomness derives from
     [seed].  @raise Invalid_argument if [gens < 4], [ranks < 1] or a
     trajectory waypoint is [< 1]. *)
+
+(** {1 Service-level chaos (the serve daemon)}
+
+    Events that attack the layer multiplexing many supervised runs:
+    clients hanging up before their reply, the daemon SIGKILLed mid-job
+    (restart + journal replay must lose nothing), submission storms
+    that must be {e rejected} at the admission bound rather than
+    silently dropped, and cache entries corrupted on disk (must read as
+    a miss, never a wrong result).  Anchored to job indices of a seeded
+    submission mix; the @serve-soak harness interprets them as it
+    submits. *)
+
+type service_event =
+  | Client_disconnect  (** submitter hangs up before its terminal reply *)
+  | Server_kill  (** SIGKILL the daemon mid-job; restart + replay *)
+  | Queue_storm of int  (** n submissions beyond the admission bound *)
+  | Cache_corrupt  (** garble a cache entry; must surface as a miss *)
+
+type service_schedule = (int * service_event) list
+(** (job index, event) pairs, ascending by job index. *)
+
+val pp_service_event : service_event -> string
+
+type service_counts = {
+  disconnects : int;
+  server_kills : int;
+  storms : int;
+  corruptions : int;
+}
+
+val service_count : service_schedule -> service_counts
+
+val plan_service :
+  seed:int -> jobs:int -> ?events:int -> ?storm:int -> unit -> service_schedule
+(** Deterministic service schedule: [events] (default 4) events over a
+    [jobs]-submission mix, at most one per job index, storm bursts of
+    [storm] (default 4) extra submissions.  All randomness derives from
+    [seed].  @raise Invalid_argument if [jobs < 1], [events < 0] or
+    [storm < 1]. *)

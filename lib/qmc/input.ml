@@ -185,6 +185,47 @@ let parse_string contents =
          end);
   !cfg
 
+(* ---------- canonicalization ----------
+
+   The serve-layer result cache is keyed by deck *meaning*, not deck
+   text: two decks that differ only in key order, comments, whitespace,
+   case, or operational knobs (where to checkpoint, whether to trace)
+   must hit the same cache entry, while any change to a
+   result-determining knob must miss.  Canonical form is the fixed list
+   below, one [key = value] line each, floats printed as hex so the hash
+   never depends on decimal formatting. *)
+
+let canonical cfg =
+  let b = Buffer.create 256 in
+  let put key value = Printf.bprintf b "%s = %s\n" key value in
+  put "method" cfg.method_;
+  put "workload" cfg.workload;
+  put "variant" (Variant.to_string cfg.variant);
+  put "reduction" (string_of_int cfg.reduction);
+  put "walkers" (string_of_int cfg.walkers);
+  put "blocks" (string_of_int cfg.blocks);
+  put "steps" (string_of_int cfg.steps);
+  put "tau" (Printf.sprintf "%h" cfg.tau);
+  put "domains" (string_of_int cfg.domains);
+  put "crowd" (string_of_int cfg.crowd);
+  put "delay" (string_of_int cfg.delay);
+  put "precision"
+    (match cfg.precision with
+    | None -> "default"
+    | Some `F32 -> "f32"
+    | Some `F64 -> "f64");
+  put "autotune" (string_of_bool cfg.autotune);
+  put "nlpp" (string_of_bool cfg.nlpp);
+  put "seed" (string_of_int cfg.seed);
+  put "watchdog" (string_of_int cfg.watchdog);
+  put "ranks" (string_of_int cfg.ranks);
+  put "elastic" (string_of_bool cfg.elastic);
+  put "gen_deadline_ms" (string_of_int cfg.gen_deadline_ms);
+  put "straggler_policy" cfg.straggler_policy;
+  Buffer.contents b
+
+let deck_hash cfg = Digest.to_hex (Digest.string (canonical cfg))
+
 let parse_file path =
   let ic = open_in path in
   Fun.protect

@@ -67,3 +67,13 @@ val parse_string : string -> t
 (** @raise Parse_error on malformed input. *)
 
 val parse_file : string -> t
+
+val canonical : t -> string
+(** Canonical deck text: the result-determining knobs only (physics,
+    sampling, sharding, precision — not checkpoint/telemetry/trace
+    paths), in a fixed order with floats printed as hex.  Two decks that
+    parse to the same physics yield byte-identical canonical forms
+    regardless of key order, comments, whitespace or case. *)
+
+val deck_hash : t -> string
+(** Hex digest of {!canonical} — the serve-layer result-cache key. *)

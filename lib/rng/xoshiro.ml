@@ -114,3 +114,36 @@ let split t =
 let streams ~seed n =
   let master = create seed in
   Array.init n (fun _ -> split master)
+
+(* State serialization: six hex fields (s0..s3, the Box–Muller cache as
+   raw bits, and the cache flag).  Bit-exact round trip, so a restored
+   generator continues the exact draw sequence — required by the job
+   snapshot/resume path in lib/dist. *)
+
+let state_string t =
+  Printf.sprintf "%Lx %Lx %Lx %Lx %Lx %d" t.s0 t.s1 t.s2 t.s3
+    (Int64.bits_of_float t.cached_gaussian)
+    (if t.has_cached then 1 else 0)
+
+let of_state_string s =
+  try
+    Scanf.sscanf s " %Lx %Lx %Lx %Lx %Lx %d"
+      (fun s0 s1 s2 s3 cached flag ->
+        if flag <> 0 && flag <> 1 then failwith "flag";
+        {
+          s0;
+          s1;
+          s2;
+          s3;
+          cached_gaussian = Int64.float_of_bits cached;
+          has_cached = flag = 1;
+        })
+  with _ -> invalid_arg "Xoshiro.of_state_string: malformed state"
+
+let restore t other =
+  t.s0 <- other.s0;
+  t.s1 <- other.s1;
+  t.s2 <- other.s2;
+  t.s3 <- other.s3;
+  t.cached_gaussian <- other.cached_gaussian;
+  t.has_cached <- other.has_cached

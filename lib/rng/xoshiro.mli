@@ -34,3 +34,15 @@ val split : t -> t
 
 val streams : seed:int -> int -> t array
 (** [n] mutually non-overlapping generators from one seed. *)
+
+val state_string : t -> string
+(** Full generator state (including the Box–Muller spare cache) as a
+    printable token string; bit-exact under {!of_state_string}. *)
+
+val of_state_string : string -> t
+(** Inverse of {!state_string}.
+    @raise Invalid_argument on malformed input. *)
+
+val restore : t -> t -> unit
+(** [restore t saved] overwrites [t]'s state in place with [saved]'s, so
+    aliases of [t] observe the restored stream. *)

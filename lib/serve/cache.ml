@@ -1,0 +1,73 @@
+open Oqmc_core
+open Oqmc_obs
+
+(* Result cache keyed by the canonicalized deck hash (Input.deck_hash):
+   two decks that parse to the same physics — whatever their key order,
+   comments or spelling — share one entry.  One file per entry:
+
+     <outcome json>\ncrc <8 hex>\n
+
+   written atomically (tmp + rename).  A lookup that fails the CRC or
+   the parse is a MISS, and the damaged file is removed so the slot
+   heals on the next store — a corrupted entry must never surface as a
+   wrong result (the Cache_corrupt chaos event asserts exactly this).
+
+   Only COMPLETE outcomes are stored: a deadline-drained partial result
+   covers fewer generations than the deck asks for, and the hash does
+   not encode the deadline, so caching it would hand a future
+   unconstrained client a truncated answer. *)
+
+let trailer_len = String.length "crc 00000000\n"
+
+let entry_path ~dir ~hash = Filename.concat dir hash
+
+let valid_hash hash =
+  hash <> ""
+  && String.for_all
+       (function 'a' .. 'f' | '0' .. '9' -> true | _ -> false)
+       hash
+
+let store ~dir ~hash (outcome : Job.outcome) =
+  if not (valid_hash hash) then invalid_arg "Cache.store: bad hash";
+  if outcome.Job.drained then invalid_arg "Cache.store: drained outcome";
+  let payload = Jsonx.to_string (Job.outcome_to_json outcome) ^ "\n" in
+  let file = entry_path ~dir ~hash in
+  let tmp = file ^ ".tmp" in
+  let oc = open_out_gen [ Open_wronly; Open_creat; Open_trunc; Open_binary ] 0o644 tmp in
+  output_string oc payload;
+  Printf.fprintf oc "crc %08x\n" (Checkpoint.crc32 payload land 0xFFFFFFFF);
+  close_out oc;
+  Sys.rename tmp file
+
+let lookup ~dir ~hash =
+  if not (valid_hash hash) then None
+  else
+    let file = entry_path ~dir ~hash in
+    match In_channel.with_open_bin file In_channel.input_all with
+    | exception Sys_error _ -> None
+    | text -> (
+        match
+          let len = String.length text in
+          if len < trailer_len then failwith "short";
+          let payload = String.sub text 0 (len - trailer_len) in
+          let stored =
+            Scanf.sscanf
+              (String.sub text (len - trailer_len) trailer_len)
+              "crc %x" Fun.id
+          in
+          if stored <> Checkpoint.crc32 payload land 0xFFFFFFFF then
+            failwith "crc";
+          Job.outcome_of_json (Jsonx.parse_string_exn (String.trim payload))
+        with
+        | outcome -> Some outcome
+        | exception
+            ( Failure _ | Scanf.Scan_failure _ | End_of_file
+            | Jsonx.Parse_error _ | Job.Codec_error _ ) ->
+            (* Corrupt entry: heal to a miss, never a wrong result. *)
+            (try Sys.remove file with Sys_error _ -> ());
+            None)
+
+let entries ~dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> []
+  | names -> List.filter valid_hash (Array.to_list names)

@@ -1,0 +1,17 @@
+(** Result cache keyed by the canonicalized deck hash
+    ({!Oqmc_core.Input.deck_hash}): decks that parse to the same physics
+    share one CRC-trailed entry file, written atomically.  A lookup
+    that fails validation is a miss and removes the damaged file — a
+    corrupted entry must never surface as a wrong result. *)
+
+val store : dir:string -> hash:string -> Job.outcome -> unit
+(** @raise Invalid_argument on a malformed hash or a drained (partial)
+    outcome — partial results are never cached, the hash does not
+    encode the deadline that truncated them. *)
+
+val lookup : dir:string -> hash:string -> Job.outcome option
+(** [None] on absence, CRC mismatch or parse failure; the latter two
+    also remove the entry so the slot heals on the next store. *)
+
+val entries : dir:string -> string list
+(** Hashes currently cached (a missing directory is empty). *)

@@ -1,0 +1,88 @@
+
+
+(* Thin client over the {!Proto} frames: connect (with a bounded
+   startup-race retry loop, since tests and scripts launch the daemon
+   and submit immediately), one-request/one-reply helpers, and an
+   [await] that blocks for the terminal frame of a waited submission.
+
+   Transport failures surface as Wire exceptions — a client never
+   hangs: the daemon answers every request, and if the daemon dies the
+   socket closes and [Wire.Closed] is raised here. *)
+
+let connect ?(attempts = 100) ?(delay_s = 0.05) path =
+  let rec go n =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX path) with
+    | () -> fd
+    | exception
+        Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _)
+      when n > 1 ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        Unix.sleepf delay_s;
+        go (n - 1)
+    | exception e ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        raise e
+  in
+  if attempts < 1 then invalid_arg "Client.connect: attempts < 1";
+  go attempts
+
+let close fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let request ?(timeout = 60.) fd req =
+  Proto.send_request fd req;
+  Proto.recv_reply ~timeout fd
+
+let submit ?(timeout = 60.) fd ~client ?(priority = 0) ?(deadline_s = 0.)
+    ?(retries = -1) ?(wait = false) deck =
+  request ~timeout fd
+    (Proto.Submit
+       { Proto.client; deck; priority; deadline_s; retries; wait })
+
+let await ?(timeout = 600.) fd = Proto.recv_reply ~timeout fd
+
+let query ?timeout fd id = request ?timeout fd (Proto.Query id)
+let cancel ?timeout fd id = request ?timeout fd (Proto.Cancel id)
+
+let stats ?timeout fd =
+  match request ?timeout fd Proto.Stats with
+  | Proto.Stats_reply s -> s
+  | other ->
+      raise
+        (Proto.Protocol_error
+           (Printf.sprintf "stats: unexpected reply %s"
+              (Oqmc_obs.Jsonx.to_string (Proto.reply_to_json other))))
+
+(* Submit and block to the terminal state: Ok outcome, or Error reason
+   for every non-Done definite state.  The one-call path for scripts. *)
+let run_deck ?(timeout = 600.) ~socket ~client ?priority ?deadline_s ?retries
+    deck =
+  let fd = connect socket in
+  Fun.protect
+    ~finally:(fun () -> close fd)
+    (fun () ->
+      match
+        submit ~timeout fd ~client ?priority ?deadline_s ?retries ~wait:true
+          deck
+      with
+      | Proto.Rejected { reason; _ } -> Error ("rejected: " ^ reason)
+      | Proto.Accepted { cached = true; _ } -> (
+          match await ~timeout fd with
+          | Proto.Job_done { outcome; _ } -> Ok outcome
+          | other ->
+              Error
+                ("unexpected: "
+                ^ Oqmc_obs.Jsonx.to_string (Proto.reply_to_json other)))
+      | Proto.Accepted _ -> (
+          match await ~timeout fd with
+          | Proto.Job_done { outcome; _ } -> Ok outcome
+          | Proto.Job_failed { reason; _ } -> Error ("failed: " ^ reason)
+          | Proto.Rejected { reason; _ } -> Error ("rejected: " ^ reason)
+          | other ->
+              Error
+                ("unexpected: "
+                ^ Oqmc_obs.Jsonx.to_string (Proto.reply_to_json other)))
+      | other ->
+          Error
+            ("unexpected: "
+            ^ Oqmc_obs.Jsonx.to_string (Proto.reply_to_json other)))

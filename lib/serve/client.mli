@@ -1,0 +1,49 @@
+(** Thin client over the {!Proto} frames.  A client never hangs: the
+    daemon answers every request, and a dead daemon closes the socket,
+    surfacing as [Wire.Closed]. *)
+
+val connect :
+  ?attempts:int -> ?delay_s:float -> string -> Unix.file_descr
+(** Connect to the daemon socket, retrying the startup race (missing or
+    refusing socket) up to [attempts] times [delay_s] apart. *)
+
+val close : Unix.file_descr -> unit
+
+val request :
+  ?timeout:float -> Unix.file_descr -> Proto.request -> Proto.reply
+
+val submit :
+  ?timeout:float ->
+  Unix.file_descr ->
+  client:string ->
+  ?priority:int ->
+  ?deadline_s:float ->
+  ?retries:int ->
+  ?wait:bool ->
+  string ->
+  Proto.reply
+(** Submit a raw deck.  [retries = -1] (default) takes the server's
+    default crash budget; [wait] holds the connection for the terminal
+    frame (collect it with {!await}). *)
+
+val await : ?timeout:float -> Unix.file_descr -> Proto.reply
+(** Block for the next frame — the terminal reply of a waited submit. *)
+
+val query : ?timeout:float -> Unix.file_descr -> string -> Proto.reply
+val cancel : ?timeout:float -> Unix.file_descr -> string -> Proto.reply
+
+val stats : ?timeout:float -> Unix.file_descr -> Proto.stats
+(** @raise Proto.Protocol_error on a non-stats reply. *)
+
+val run_deck :
+  ?timeout:float ->
+  socket:string ->
+  client:string ->
+  ?priority:int ->
+  ?deadline_s:float ->
+  ?retries:int ->
+  string ->
+  (Job.outcome, string) result
+(** Connect, submit with [wait], block to the terminal state and
+    disconnect: [Ok outcome] or [Error reason] for every non-Done
+    definite state. *)

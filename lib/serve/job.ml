@@ -1,0 +1,153 @@
+open Oqmc_obs
+
+(* The unit of work the serve daemon multiplexes: an input deck plus the
+   client's fault budget (priority, wall-clock deadline, crash retries).
+   Every job ends in exactly one DEFINITE terminal state — Done, Failed,
+   Rejected or Cancelled — never a hung client; the journal and the
+   @serve-soak accounting are built on that invariant.
+
+   JSON codecs live here because three layers share them: the wire
+   protocol (Proto), the crash journal (Journal) and the result cache
+   (Cache).  Floats that must survive a round trip bit-exactly (deck
+   deadlines are mere seconds, but result energies feed the
+   bit-identity acceptance test) are encoded as %h hex strings, not
+   JSON numbers — hex also keeps NaN/Inf representable where Jsonx
+   would emit null. *)
+
+type state = Queued | Running | Done | Failed | Rejected | Cancelled
+
+let state_name = function
+  | Queued -> "queued"
+  | Running -> "running"
+  | Done -> "done"
+  | Failed -> "failed"
+  | Rejected -> "rejected"
+  | Cancelled -> "cancelled"
+
+let terminal = function
+  | Done | Failed | Rejected | Cancelled -> true
+  | Queued | Running -> false
+
+type spec = {
+  id : string;
+  client : string;
+  deck : string;  (* raw deck text; re-parsed by the runner *)
+  hash : string;  (* Input.deck_hash of the parsed deck — the cache key *)
+  priority : int;  (* higher runs sooner *)
+  deadline_s : float;  (* wall-clock budget from first execution; 0 = none *)
+  retries : int;  (* crash respawns allowed after the first attempt *)
+  submitted_at : float;
+}
+
+type outcome = {
+  energy : float;
+  error : float;
+  variance : float;
+  acceptance : float;
+  series : float array;  (* measured energy series, for bit-identity *)
+  gens : int;  (* generations (DMC) / blocks (VMC) measured *)
+  drained : bool;  (* ended early at a generation boundary (deadline) *)
+  resumed_from : int;  (* > 0: continued from a snapshot of that gen *)
+  wall_s : float;
+}
+
+(* ---------- JSON helpers ---------- *)
+
+exception Codec_error of string
+
+let codec_fail fmt = Printf.ksprintf (fun m -> raise (Codec_error m)) fmt
+let jfloat v = Jsonx.Str (Printf.sprintf "%h" v)
+let jint n = Jsonx.Num (float_of_int n)
+
+let get key j =
+  match Jsonx.member key j with
+  | Some v -> v
+  | None -> codec_fail "job json: missing %S" key
+
+let to_float_exn key j =
+  match get key j with
+  | Jsonx.Str s -> (
+      try float_of_string s with Failure _ -> codec_fail "job json: bad %S" key)
+  | _ -> codec_fail "job json: %S not a hex float" key
+
+let to_int_exn key j =
+  match Jsonx.to_float (get key j) with
+  | Some v when Float.is_integer v -> int_of_float v
+  | _ -> codec_fail "job json: %S not an int" key
+
+let to_str_exn key j =
+  match Jsonx.to_str (get key j) with
+  | Some s -> s
+  | None -> codec_fail "job json: %S not a string" key
+
+let to_bool_exn key j =
+  match get key j with
+  | Jsonx.Bool b -> b
+  | _ -> codec_fail "job json: %S not a bool" key
+
+(* ---------- codecs ---------- *)
+
+let spec_to_json s =
+  Jsonx.Obj
+    [
+      ("id", Str s.id);
+      ("client", Str s.client);
+      ("deck", Str s.deck);
+      ("hash", Str s.hash);
+      ("priority", jint s.priority);
+      ("deadline_s", jfloat s.deadline_s);
+      ("retries", jint s.retries);
+      ("submitted_at", jfloat s.submitted_at);
+    ]
+
+let spec_of_json j =
+  {
+    id = to_str_exn "id" j;
+    client = to_str_exn "client" j;
+    deck = to_str_exn "deck" j;
+    hash = to_str_exn "hash" j;
+    priority = to_int_exn "priority" j;
+    deadline_s = to_float_exn "deadline_s" j;
+    retries = to_int_exn "retries" j;
+    submitted_at = to_float_exn "submitted_at" j;
+  }
+
+let outcome_to_json o =
+  Jsonx.Obj
+    [
+      ("energy", jfloat o.energy);
+      ("error", jfloat o.error);
+      ("variance", jfloat o.variance);
+      ("acceptance", jfloat o.acceptance);
+      ("series", Arr (Array.to_list (Array.map (fun e -> jfloat e) o.series)));
+      ("gens", jint o.gens);
+      ("drained", Bool o.drained);
+      ("resumed_from", jint o.resumed_from);
+      ("wall_s", jfloat o.wall_s);
+    ]
+
+let outcome_of_json j =
+  let series =
+    match Jsonx.to_list (get "series" j) with
+    | Some xs ->
+        Array.of_list
+          (List.map
+             (function
+               | Jsonx.Str s -> (
+                   try float_of_string s
+                   with Failure _ -> codec_fail "job json: bad series element")
+               | _ -> codec_fail "job json: series element not a hex float")
+             xs)
+    | None -> codec_fail "job json: series not an array"
+  in
+  {
+    energy = to_float_exn "energy" j;
+    error = to_float_exn "error" j;
+    variance = to_float_exn "variance" j;
+    acceptance = to_float_exn "acceptance" j;
+    series;
+    gens = to_int_exn "gens" j;
+    drained = to_bool_exn "drained" j;
+    resumed_from = to_int_exn "resumed_from" j;
+    wall_s = to_float_exn "wall_s" j;
+  }

@@ -1,0 +1,50 @@
+(** The unit of work the serve daemon multiplexes: an input deck plus
+    the client's fault budget (priority, wall-clock deadline, crash
+    retries).  Every job ends in exactly one definite terminal state —
+    the invariant the journal and [@serve-soak] accounting rest on.
+
+    The JSON codecs are shared by the wire protocol ({!Proto}), the
+    crash journal ({!Journal}) and the result cache ({!Cache}); floats
+    that must round-trip bit-exactly are encoded as [%h] hex strings. *)
+
+type state = Queued | Running | Done | Failed | Rejected | Cancelled
+
+val state_name : state -> string
+val terminal : state -> bool
+
+type spec = {
+  id : string;
+  client : string;
+  deck : string;  (** raw deck text; re-parsed by the runner *)
+  hash : string;  (** {!Oqmc_core.Input.deck_hash} — the cache key *)
+  priority : int;  (** higher runs sooner *)
+  deadline_s : float;
+      (** wall-clock budget measured from first execution; 0 = none *)
+  retries : int;  (** crash respawns allowed after the first attempt *)
+  submitted_at : float;
+}
+
+type outcome = {
+  energy : float;
+  error : float;
+  variance : float;
+  acceptance : float;
+  series : float array;  (** measured energy series, for bit-identity *)
+  gens : int;  (** generations (DMC) / blocks (VMC) measured *)
+  drained : bool;
+      (** ended early at a generation boundary (deadline drain) *)
+  resumed_from : int;  (** > 0: continued from a snapshot of that gen *)
+  wall_s : float;
+}
+
+exception Codec_error of string
+
+val spec_to_json : spec -> Oqmc_obs.Jsonx.t
+
+val spec_of_json : Oqmc_obs.Jsonx.t -> spec
+(** @raise Codec_error on a malformed document. *)
+
+val outcome_to_json : outcome -> Oqmc_obs.Jsonx.t
+
+val outcome_of_json : Oqmc_obs.Jsonx.t -> outcome
+(** @raise Codec_error on a malformed document. *)

@@ -1,0 +1,268 @@
+open Oqmc_core
+open Oqmc_obs
+
+(* Crash journal: the daemon's write-ahead record of every job's life.
+   One record per line, each line self-verifying:
+
+     <crc32 of json, 8 hex digits> <json>\n
+
+   Appends are flushed per record, so after SIGKILL the only possible
+   damage is a torn final line; [replay] stops at the first line that
+   fails the CRC or the parse, which makes a torn tail indistinguishable
+   from "the record was never written" — exactly the atomicity the
+   recovery logic wants.  A job is PENDING iff its Submit has no
+   terminal record (Done/Failed/Rejected/Cancelled); its crash budget
+   consumed so far is (Start records - Suspend records), because a
+   graceful suspension (server drain) must not eat a retry. *)
+
+type record =
+  | Submit of Job.spec
+  | Start of { id : string; attempt : int; pid : int; t : float }
+  | Suspend of { id : string; t : float }
+      (* graceful server-drain: job snapshotted, still pending *)
+  | Done of { id : string; hash : string; t : float }
+  | Failed of { id : string; reason : string; t : float }
+  | Rejected of { id : string; client : string; reason : string; t : float }
+  | Cancelled of { id : string; t : float }
+
+let jfloat v = Jsonx.Str (Printf.sprintf "%h" v)
+let jint n = Jsonx.Num (float_of_int n)
+
+let record_to_json = function
+  | Submit spec -> Jsonx.Obj [ ("rec", Str "submit"); ("spec", Job.spec_to_json spec) ]
+  | Start { id; attempt; pid; t } ->
+      Jsonx.Obj
+        [
+          ("rec", Str "start");
+          ("id", Str id);
+          ("attempt", jint attempt);
+          ("pid", jint pid);
+          ("t", jfloat t);
+        ]
+  | Suspend { id; t } ->
+      Jsonx.Obj [ ("rec", Str "suspend"); ("id", Str id); ("t", jfloat t) ]
+  | Done { id; hash; t } ->
+      Jsonx.Obj
+        [ ("rec", Str "done"); ("id", Str id); ("hash", Str hash); ("t", jfloat t) ]
+  | Failed { id; reason; t } ->
+      Jsonx.Obj
+        [
+          ("rec", Str "failed");
+          ("id", Str id);
+          ("reason", Str reason);
+          ("t", jfloat t);
+        ]
+  | Rejected { id; client; reason; t } ->
+      Jsonx.Obj
+        [
+          ("rec", Str "rejected");
+          ("id", Str id);
+          ("client", Str client);
+          ("reason", Str reason);
+          ("t", jfloat t);
+        ]
+  | Cancelled { id; t } ->
+      Jsonx.Obj [ ("rec", Str "cancelled"); ("id", Str id); ("t", jfloat t) ]
+
+exception Corrupt of string
+
+let corrupt fmt = Printf.ksprintf (fun m -> raise (Corrupt m)) fmt
+
+let str key j =
+  match Jsonx.(Option.bind (member key j) to_str) with
+  | Some s -> s
+  | None -> corrupt "journal: missing %S" key
+
+let int_ key j =
+  match Jsonx.(Option.bind (member key j) to_float) with
+  | Some v when Float.is_integer v -> int_of_float v
+  | _ -> corrupt "journal: bad %S" key
+
+let float_ key j =
+  try float_of_string (str key j)
+  with Failure _ -> corrupt "journal: bad float %S" key
+
+let record_of_json j =
+  match str "rec" j with
+  | "submit" -> (
+      match Jsonx.member "spec" j with
+      | Some spec -> (
+          try Submit (Job.spec_of_json spec)
+          with Job.Codec_error m -> corrupt "journal: %s" m)
+      | None -> corrupt "journal: submit without spec")
+  | "start" ->
+      Start
+        { id = str "id" j; attempt = int_ "attempt" j; pid = int_ "pid" j;
+          t = float_ "t" j }
+  | "suspend" -> Suspend { id = str "id" j; t = float_ "t" j }
+  | "done" -> Done { id = str "id" j; hash = str "hash" j; t = float_ "t" j }
+  | "failed" ->
+      Failed { id = str "id" j; reason = str "reason" j; t = float_ "t" j }
+  | "rejected" ->
+      Rejected
+        { id = str "id" j; client = str "client" j; reason = str "reason" j;
+          t = float_ "t" j }
+  | "cancelled" -> Cancelled { id = str "id" j; t = float_ "t" j }
+  | other -> corrupt "journal: unknown record %S" other
+
+let render r =
+  let json = Jsonx.to_string (record_to_json r) in
+  Printf.sprintf "%08x %s\n" (Checkpoint.crc32 json land 0xFFFFFFFF) json
+
+let parse_line line =
+  if String.length line < 9 || line.[8] <> ' ' then corrupt "journal: short line";
+  let crc =
+    match int_of_string_opt ("0x" ^ String.sub line 0 8) with
+    | Some c -> c
+    | None -> corrupt "journal: bad crc field"
+  in
+  let json = String.sub line 9 (String.length line - 9) in
+  if crc <> Checkpoint.crc32 json land 0xFFFFFFFF then
+    corrupt "journal: crc mismatch";
+  match Jsonx.parse_string_exn json with
+  | j -> record_of_json j
+  | exception Jsonx.Parse_error m -> corrupt "journal: %s" m
+
+(* ---------- the append handle ---------- *)
+
+type t = { path : string; oc : out_channel }
+
+let open_ path =
+  { path; oc = open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 path }
+
+let path t = t.path
+
+let append t r =
+  output_string t.oc (render r);
+  flush t.oc
+
+let close t = close_out t.oc
+
+(* ---------- replay + recovery ---------- *)
+
+let replay path =
+  if not (Sys.file_exists path) then []
+  else
+    let text = In_channel.with_open_bin path In_channel.input_all in
+    let rec go acc = function
+      | [] -> List.rev acc
+      | line :: rest ->
+          if String.trim line = "" then go acc rest
+          else (
+            match parse_line line with
+            | r -> go (r :: acc) rest
+            | exception Corrupt _ ->
+                (* Torn or corrupt tail: everything after it is garbage
+                   by construction (appends are sequential). *)
+                List.rev acc)
+    in
+    go [] (String.split_on_char '\n' text)
+
+type terminal =
+  | Tdone of string  (* result hash, servable from the cache *)
+  | Tfailed of string
+  | Trejected of string
+  | Tcancelled
+
+type pending = {
+  p_spec : Job.spec;
+  p_attempts : int;  (* crash budget consumed: starts - suspends *)
+  p_first_start : float;  (* 0. if never started (deadline anchor) *)
+  p_stale_pid : int;  (* 0, or a runner pid possibly still alive *)
+}
+
+type recovered = {
+  r_pending : pending list;  (* submission order *)
+  r_terminal : (string * terminal) list;
+  r_next_seq : int;  (* 1 + the largest numeric id suffix seen *)
+}
+
+let id_seq id =
+  (* ids are "j<NNNN>"; anything else contributes 0. *)
+  if String.length id > 1 && id.[0] = 'j' then
+    Option.value ~default:0
+      (int_of_string_opt (String.sub id 1 (String.length id - 1)))
+  else 0
+
+let recover records =
+  let submits = ref [] in
+  let starts = Hashtbl.create 16 in
+  let suspends = Hashtbl.create 16 in
+  let first_start = Hashtbl.create 16 in
+  let last_pid = Hashtbl.create 16 in
+  let terminals = ref [] in
+  let next_seq = ref 1 in
+  let bump id = next_seq := max !next_seq (id_seq id + 1) in
+  let count tbl id =
+    Hashtbl.replace tbl id (1 + Option.value ~default:0 (Hashtbl.find_opt tbl id))
+  in
+  List.iter
+    (fun r ->
+      match r with
+      | Submit spec ->
+          bump spec.Job.id;
+          submits := spec :: !submits
+      | Start { id; pid; t; _ } ->
+          count starts id;
+          if not (Hashtbl.mem first_start id) then Hashtbl.replace first_start id t;
+          Hashtbl.replace last_pid id pid
+      | Suspend { id; _ } ->
+          count suspends id;
+          Hashtbl.remove last_pid id
+      | Done { id; hash; _ } ->
+          bump id;
+          terminals := (id, Tdone hash) :: !terminals
+      | Failed { id; reason; _ } ->
+          bump id;
+          terminals := (id, Tfailed reason) :: !terminals
+      | Rejected { id; reason; _ } ->
+          bump id;
+          terminals := (id, Trejected reason) :: !terminals
+      | Cancelled { id; _ } ->
+          bump id;
+          terminals := (id, Tcancelled) :: !terminals)
+    records;
+  let terminal_ids = List.map fst !terminals in
+  let pending =
+    List.filter_map
+      (fun spec ->
+        let id = spec.Job.id in
+        if List.mem id terminal_ids then None
+        else
+          let n tbl = Option.value ~default:0 (Hashtbl.find_opt tbl id) in
+          Some
+            {
+              p_spec = spec;
+              p_attempts = max 0 (n starts - n suspends);
+              p_first_start =
+                Option.value ~default:0. (Hashtbl.find_opt first_start id);
+              p_stale_pid =
+                Option.value ~default:0 (Hashtbl.find_opt last_pid id);
+            })
+      (List.rev !submits)
+  in
+  {
+    r_pending = pending;
+    r_terminal = List.rev !terminals;
+    r_next_seq = !next_seq;
+  }
+
+let compact ~path recovered =
+  (* Clean-shutdown rewrite: one Submit per pending job plus enough
+     synthetic Start records (pid 0 — never a killable pid) to preserve
+     its consumed crash budget and deadline anchor.  Terminal history is
+     dropped; the result cache still serves Done results by hash.
+     Atomic via tmp+rename like every other state file. *)
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_gen [ Open_wronly; Open_creat; Open_trunc; Open_binary ] 0o644 tmp in
+  List.iter
+    (fun p ->
+      output_string oc (render (Submit p.p_spec));
+      for attempt = 1 to p.p_attempts do
+        output_string oc
+          (render (Start { id = p.p_spec.Job.id; attempt; pid = 0;
+                           t = p.p_first_start }))
+      done)
+    recovered.r_pending;
+  close_out oc;
+  Sys.rename tmp path

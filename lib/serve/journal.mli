@@ -1,0 +1,63 @@
+(** Crash journal: the serve daemon's write-ahead record of every job's
+    life, one CRC-guarded JSON record per line, flushed per append.
+    After SIGKILL the only possible damage is a torn final line;
+    {!replay} stops at the first invalid line, making a torn tail
+    equivalent to "never written".  A job is pending iff its [Submit]
+    has no terminal record; its consumed crash budget is
+    [Start] − [Suspend] records, so a graceful server drain never eats
+    a retry. *)
+
+type record =
+  | Submit of Job.spec
+  | Start of { id : string; attempt : int; pid : int; t : float }
+  | Suspend of { id : string; t : float }
+      (** graceful server-drain: snapshotted, still pending *)
+  | Done of { id : string; hash : string; t : float }
+  | Failed of { id : string; reason : string; t : float }
+  | Rejected of { id : string; client : string; reason : string; t : float }
+  | Cancelled of { id : string; t : float }
+
+exception Corrupt of string
+
+type t
+
+val open_ : string -> t
+(** Open (creating if needed) for appending. *)
+
+val path : t -> string
+
+val append : t -> record -> unit
+(** Write + flush one record. @raise Sys_error when the disk is full. *)
+
+val close : t -> unit
+
+val replay : string -> record list
+(** All valid records, stopping at the first torn/corrupt line.  A
+    missing file is an empty journal. *)
+
+type terminal =
+  | Tdone of string  (** result hash, servable from the cache *)
+  | Tfailed of string
+  | Trejected of string
+  | Tcancelled
+
+type pending = {
+  p_spec : Job.spec;
+  p_attempts : int;  (** crash budget consumed: starts − suspends *)
+  p_first_start : float;  (** 0. if never started (deadline anchor) *)
+  p_stale_pid : int;  (** 0, or a runner pid possibly still alive *)
+}
+
+type recovered = {
+  r_pending : pending list;  (** submission order *)
+  r_terminal : (string * terminal) list;
+  r_next_seq : int;  (** 1 + the largest numeric id suffix seen *)
+}
+
+val recover : record list -> recovered
+(** Pure derivation of the restart state from a replayed record list. *)
+
+val compact : path:string -> recovered -> unit
+(** Clean-shutdown rewrite: pending [Submit]s plus synthetic [Start]s
+    (pid 0) preserving each job's consumed budget and deadline anchor;
+    terminal history is dropped.  Atomic (tmp + rename). *)

@@ -1,0 +1,75 @@
+(* Bounded priority queue with per-client fairness — the daemon's
+   admission-control surface.
+
+   ADMISSION: [push] on a full queue returns [Error], never blocks and
+   never drops silently; the server turns that into an explicit
+   [Rejected] reply, which is the backpressure contract (a client is
+   told "no" immediately rather than being queued into a hang).
+
+   ORDERING: [pop] takes the highest priority first; within a priority
+   level it takes the entry whose client has been SERVED least so far,
+   breaking remaining ties FIFO.  The served counter makes a one-client
+   flood interleave with other clients' work instead of starving them:
+   after client A floods N jobs, a later job from idle client B runs
+   after at most one more of A's. *)
+
+type 'a entry = { seq : int; client : string; priority : int; item : 'a }
+
+type 'a t = {
+  bound : int;
+  mutable entries : 'a entry list;  (* newest first *)
+  served : (string, int) Hashtbl.t;  (* pops per client, lifetime *)
+  mutable next_seq : int;
+}
+
+let create ~bound () =
+  if bound < 1 then invalid_arg "Jqueue.create: bound < 1";
+  { bound; entries = []; served = Hashtbl.create 16; next_seq = 0 }
+
+let length q = List.length q.entries
+let is_empty q = q.entries = []
+let is_full q = length q >= q.bound
+let served q client = Option.value ~default:0 (Hashtbl.find_opt q.served client)
+
+(* [force] bypasses the bound for re-admissions (recovery, suspended
+   requeue): those jobs were already admitted once and must not bounce
+   off their own backlog. *)
+let push ?(force = false) q ~client ~priority item =
+  if (not force) && is_full q then Error "queue full"
+  else begin
+    let position =
+      1 + List.length (List.filter (fun e -> e.priority >= priority) q.entries)
+    in
+    q.entries <- { seq = q.next_seq; client; priority; item } :: q.entries;
+    q.next_seq <- q.next_seq + 1;
+    Ok position
+  end
+
+(* (priority desc, served asc, seq asc): [a] pops before [b]? *)
+let precedes q a b =
+  if a.priority <> b.priority then a.priority > b.priority
+  else
+    let sa = served q a.client and sb = served q b.client in
+    if sa <> sb then sa < sb else a.seq < b.seq
+
+let pop q =
+  match q.entries with
+  | [] -> None
+  | first :: rest ->
+      let best =
+        List.fold_left (fun acc e -> if precedes q e acc then e else acc)
+          first rest
+      in
+      q.entries <- List.filter (fun e -> e.seq <> best.seq) q.entries;
+      Hashtbl.replace q.served best.client (served q best.client + 1);
+      Some best.item
+
+let remove q pred =
+  (* Oldest matching entry, so "cancel" hits the first submission. *)
+  match List.filter (fun e -> pred e.item) (List.rev q.entries) with
+  | [] -> None
+  | victim :: _ ->
+      q.entries <- List.filter (fun e -> e.seq <> victim.seq) q.entries;
+      Some victim.item
+
+let to_list q = List.rev_map (fun e -> e.item) q.entries

@@ -1,0 +1,37 @@
+(** Bounded priority queue with per-client fairness — the serve
+    daemon's admission-control surface.  [push] on a full queue returns
+    [Error] (explicit backpressure, never a silent drop); [pop] takes
+    the highest priority first, then the least-served client, then
+    FIFO, so a one-client flood cannot starve other tenants. *)
+
+type 'a t
+
+val create : bound:int -> unit -> 'a t
+(** @raise Invalid_argument if [bound < 1]. *)
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val is_full : 'a t -> bool
+
+val served : 'a t -> string -> int
+(** Lifetime pops credited to this client (the fairness counter). *)
+
+val push :
+  ?force:bool -> 'a t -> client:string -> priority:int -> 'a ->
+  (int, string) result
+(** [Ok position] (1-based, counting entries at [>=] priority) or
+    [Error reason] when the queue is at its admission bound.
+    [~force:true] bypasses the bound: it is for re-admitting jobs that
+    were ALREADY admitted in a previous incarnation (journal recovery,
+    suspended-runner requeue) — the admission contract applies to new
+    submissions, not to jobs the server has promised to finish. *)
+
+val pop : 'a t -> 'a option
+(** Highest priority; ties to the least-served client, then FIFO.
+    Credits the winning client's served counter. *)
+
+val remove : 'a t -> ('a -> bool) -> 'a option
+(** Remove and return the oldest entry matching the predicate. *)
+
+val to_list : 'a t -> 'a list
+(** Entries in submission order (no fairness applied). *)

@@ -1,0 +1,227 @@
+open Oqmc_obs
+
+(* Client <-> daemon protocol: one JSON document per CRC-framed raw
+   frame (Wire.send_str / Wire.recv_str) over the Unix-domain socket.
+   The framing layer already rejects truncation and corruption
+   (Wire.Garbage), so this module only has to agree on the documents.
+
+   Every request gets exactly one immediate reply; a Submit with
+   [wait = true] additionally gets one TERMINAL frame (Job_done /
+   Job_failed) on the same connection when the job ends.  There is no
+   reply that leaves a client hanging: full queue, malformed deck and
+   shutting-down server all answer [Rejected] with a reason. *)
+
+type submit = {
+  client : string;
+  deck : string;  (* raw deck text *)
+  priority : int;
+  deadline_s : float;  (* 0 = no deadline *)
+  retries : int;  (* crash respawns allowed; < 0 = server default *)
+  wait : bool;  (* hold the connection for the terminal frame *)
+}
+
+type request =
+  | Submit of submit
+  | Query of string  (* job id *)
+  | Cancel of string
+  | Stats
+  | Ping
+
+(* Conserved accounting, exposed so the soak harness can assert
+   accepted = done + failed + cancelled + queued + running + retrying
+   across arbitrary chaos. *)
+type stats = {
+  submitted : int;
+  accepted : int;
+  rejected : int;
+  done_ : int;
+  failed : int;
+  cancelled : int;
+  queued : int;
+  running : int;
+  retrying : int;
+  cache_hits : int;
+  suspended : int;
+}
+
+type reply =
+  | Accepted of { id : string; cached : bool; position : int }
+  | Rejected of { id : string; reason : string }
+  | State of { id : string; state : string; attempt : int }
+  | Job_done of { id : string; outcome : Job.outcome; cached : bool }
+  | Job_failed of { id : string; reason : string }
+  | Stats_reply of stats
+  | Pong
+  | Error of string
+
+exception Protocol_error of string
+
+let proto_fail fmt = Printf.ksprintf (fun m -> raise (Protocol_error m)) fmt
+let jint n = Jsonx.Num (float_of_int n)
+let jfloat v = Jsonx.Str (Printf.sprintf "%h" v)
+
+let str key j =
+  match Jsonx.(Option.bind (member key j) to_str) with
+  | Some s -> s
+  | None -> proto_fail "missing %S" key
+
+let int_ key j =
+  match Jsonx.(Option.bind (member key j) to_float) with
+  | Some v when Float.is_integer v -> int_of_float v
+  | _ -> proto_fail "bad %S" key
+
+let float_ key j =
+  try float_of_string (str key j) with Failure _ -> proto_fail "bad float %S" key
+
+let bool_ key j =
+  match Jsonx.member key j with
+  | Some (Jsonx.Bool b) -> b
+  | _ -> proto_fail "bad %S" key
+
+(* ---------- requests ---------- *)
+
+let request_to_json = function
+  | Submit s ->
+      Jsonx.Obj
+        [
+          ("req", Str "submit");
+          ("client", Str s.client);
+          ("deck", Str s.deck);
+          ("priority", jint s.priority);
+          ("deadline_s", jfloat s.deadline_s);
+          ("retries", jint s.retries);
+          ("wait", Bool s.wait);
+        ]
+  | Query id -> Jsonx.Obj [ ("req", Str "query"); ("id", Str id) ]
+  | Cancel id -> Jsonx.Obj [ ("req", Str "cancel"); ("id", Str id) ]
+  | Stats -> Jsonx.Obj [ ("req", Str "stats") ]
+  | Ping -> Jsonx.Obj [ ("req", Str "ping") ]
+
+let request_of_json j =
+  match str "req" j with
+  | "submit" ->
+      Submit
+        {
+          client = str "client" j;
+          deck = str "deck" j;
+          priority = int_ "priority" j;
+          deadline_s = float_ "deadline_s" j;
+          retries = int_ "retries" j;
+          wait = bool_ "wait" j;
+        }
+  | "query" -> Query (str "id" j)
+  | "cancel" -> Cancel (str "id" j)
+  | "stats" -> Stats
+  | "ping" -> Ping
+  | other -> proto_fail "unknown request %S" other
+
+(* ---------- replies ---------- *)
+
+let stats_to_json s =
+  Jsonx.Obj
+    [
+      ("submitted", jint s.submitted);
+      ("accepted", jint s.accepted);
+      ("rejected", jint s.rejected);
+      ("done", jint s.done_);
+      ("failed", jint s.failed);
+      ("cancelled", jint s.cancelled);
+      ("queued", jint s.queued);
+      ("running", jint s.running);
+      ("retrying", jint s.retrying);
+      ("cache_hits", jint s.cache_hits);
+      ("suspended", jint s.suspended);
+    ]
+
+let stats_of_json j =
+  {
+    submitted = int_ "submitted" j;
+    accepted = int_ "accepted" j;
+    rejected = int_ "rejected" j;
+    done_ = int_ "done" j;
+    failed = int_ "failed" j;
+    cancelled = int_ "cancelled" j;
+    queued = int_ "queued" j;
+    running = int_ "running" j;
+    retrying = int_ "retrying" j;
+    cache_hits = int_ "cache_hits" j;
+    suspended = int_ "suspended" j;
+  }
+
+let reply_to_json = function
+  | Accepted { id; cached; position } ->
+      Jsonx.Obj
+        [
+          ("re", Str "accepted");
+          ("id", Str id);
+          ("cached", Bool cached);
+          ("position", jint position);
+        ]
+  | Rejected { id; reason } ->
+      Jsonx.Obj [ ("re", Str "rejected"); ("id", Str id); ("reason", Str reason) ]
+  | State { id; state; attempt } ->
+      Jsonx.Obj
+        [
+          ("re", Str "state");
+          ("id", Str id);
+          ("state", Str state);
+          ("attempt", jint attempt);
+        ]
+  | Job_done { id; outcome; cached } ->
+      Jsonx.Obj
+        [
+          ("re", Str "done");
+          ("id", Str id);
+          ("outcome", Job.outcome_to_json outcome);
+          ("cached", Bool cached);
+        ]
+  | Job_failed { id; reason } ->
+      Jsonx.Obj [ ("re", Str "failed"); ("id", Str id); ("reason", Str reason) ]
+  | Stats_reply s -> Jsonx.Obj [ ("re", Str "stats"); ("stats", stats_to_json s) ]
+  | Pong -> Jsonx.Obj [ ("re", Str "pong") ]
+  | Error reason -> Jsonx.Obj [ ("re", Str "error"); ("reason", Str reason) ]
+
+let reply_of_json j =
+  match str "re" j with
+  | "accepted" ->
+      Accepted
+        { id = str "id" j; cached = bool_ "cached" j; position = int_ "position" j }
+  | "rejected" -> Rejected { id = str "id" j; reason = str "reason" j }
+  | "state" ->
+      State { id = str "id" j; state = str "state" j; attempt = int_ "attempt" j }
+  | "done" -> (
+      match Jsonx.member "outcome" j with
+      | Some o -> (
+          try
+            Job_done
+              { id = str "id" j; outcome = Job.outcome_of_json o;
+                cached = bool_ "cached" j }
+          with Job.Codec_error m -> proto_fail "%s" m)
+      | None -> proto_fail "done without outcome")
+  | "failed" -> Job_failed { id = str "id" j; reason = str "reason" j }
+  | "stats" -> (
+      match Jsonx.member "stats" j with
+      | Some s -> Stats_reply (stats_of_json s)
+      | None -> proto_fail "stats without stats")
+  | "pong" -> Pong
+  | "error" -> Error (str "reason" j)
+  | other -> proto_fail "unknown reply %S" other
+
+(* ---------- framing ---------- *)
+
+let parse conv s =
+  match Jsonx.parse_string_exn s with
+  | j -> conv j
+  | exception Jsonx.Parse_error m -> proto_fail "%s" m
+
+let send_request fd r =
+  Oqmc_dist.Wire.send_str fd (Jsonx.to_string (request_to_json r))
+
+let recv_request ?timeout fd =
+  parse request_of_json (Oqmc_dist.Wire.recv_str ?timeout fd)
+
+let send_reply fd r =
+  Oqmc_dist.Wire.send_str fd (Jsonx.to_string (reply_to_json r))
+
+let recv_reply ?timeout fd =
+  parse reply_of_json (Oqmc_dist.Wire.recv_str ?timeout fd)

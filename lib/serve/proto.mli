@@ -1,0 +1,65 @@
+(** Client ↔ daemon protocol: one JSON document per CRC-framed raw
+    frame ({!Oqmc_dist.Wire.send_str}) over the Unix-domain socket.
+    Every request gets exactly one immediate reply; a [Submit] with
+    [wait = true] additionally gets one terminal frame ([Job_done] /
+    [Job_failed]) when the job ends.  No path leaves a client hanging:
+    full queue, malformed deck and shutting-down server all answer
+    [Rejected] with a reason. *)
+
+type submit = {
+  client : string;
+  deck : string;  (** raw deck text *)
+  priority : int;
+  deadline_s : float;  (** 0 = no deadline *)
+  retries : int;  (** crash respawns allowed; < 0 = server default *)
+  wait : bool;  (** hold the connection for the terminal frame *)
+}
+
+type request =
+  | Submit of submit
+  | Query of string  (** job id *)
+  | Cancel of string
+  | Stats
+  | Ping
+
+(** Conserved accounting: the soak harness asserts
+    [accepted = done + failed + cancelled + queued + running +
+    retrying] across arbitrary chaos. *)
+type stats = {
+  submitted : int;
+  accepted : int;
+  rejected : int;
+  done_ : int;
+  failed : int;
+  cancelled : int;
+  queued : int;
+  running : int;
+  retrying : int;
+  cache_hits : int;
+  suspended : int;
+}
+
+type reply =
+  | Accepted of { id : string; cached : bool; position : int }
+  | Rejected of { id : string; reason : string }
+  | State of { id : string; state : string; attempt : int }
+  | Job_done of { id : string; outcome : Job.outcome; cached : bool }
+  | Job_failed of { id : string; reason : string }
+  | Stats_reply of stats
+  | Pong
+  | Error of string
+
+exception Protocol_error of string
+
+val request_to_json : request -> Oqmc_obs.Jsonx.t
+val request_of_json : Oqmc_obs.Jsonx.t -> request
+val reply_to_json : reply -> Oqmc_obs.Jsonx.t
+val reply_of_json : Oqmc_obs.Jsonx.t -> reply
+
+val send_request : Unix.file_descr -> request -> unit
+val recv_request : ?timeout:float -> Unix.file_descr -> request
+val send_reply : Unix.file_descr -> reply -> unit
+val recv_reply : ?timeout:float -> Unix.file_descr -> reply
+(** Framed IO.  @raise Protocol_error on a well-framed but malformed
+    document; {!Oqmc_dist.Wire} exceptions propagate for transport
+    failures (Closed / Timeout / Garbage). *)

@@ -1,0 +1,33 @@
+(** The oqmc-serve daemon: a single-threaded select loop multiplexing
+    QMC jobs over a Unix-domain socket, with admission control (bounded
+    queue → explicit [Rejected]), per-client fairness, per-job fault
+    budgets (crash retries with exponential backoff from snapshots,
+    wall-clock deadlines draining at generation boundaries), a
+    write-ahead crash journal replayed on restart, and a result cache
+    keyed by the canonicalized deck hash.  See docs/ROBUSTNESS.md for
+    the service-layer failure matrix. *)
+
+type config = {
+  socket : string;  (** Unix-domain socket path (OS limit ~100 bytes) *)
+  dir : string;  (** state directory: journal, cache/, snap/ *)
+  max_queue : int;  (** admission bound: queue depth before [Rejected] *)
+  max_running : int;  (** concurrent runner processes *)
+  default_retries : int;  (** crash respawns when the client says -1 *)
+  backoff_s : float;  (** respawn backoff base, doubled per attempt *)
+  grace_s : float;
+      (** drain grace before SIGKILL (deadline and shutdown paths) *)
+  snapshot_every : int;  (** generations between job snapshots *)
+  telemetry : string option;  (** per-job JSONL event stream *)
+}
+
+val default_config : config
+
+val serve : config -> unit
+(** Run the daemon until SIGTERM/SIGINT, then drain: stop admitting,
+    suspend every runner (snapshot + journal [Suspend]), answer
+    waiting clients, compact the journal and return.  On entry, replays
+    the journal: pending jobs re-queue with their consumed crash budget
+    and deadline anchor, interrupted jobs resume bit-identically from
+    their snapshots, stale runner pids are killed.
+    @raise Invalid_argument on a non-positive [max_queue],
+    [max_running] or [snapshot_every]. *)

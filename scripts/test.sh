@@ -8,7 +8,11 @@
 # metrics gauges, JSON round-trip), and the chaos soak (a deterministic
 # multi-hundred-generation run per seed under injected
 # kills/stalls/garbage/disk-full + elastic join/leave membership;
-# OQMC_CHAOS_LONG=1 extends the matrix).
+# OQMC_CHAOS_LONG=1 extends the matrix), the serve smoke (daemon boot,
+# cold job, cache-hit resubmission, deadline drain, per-job telemetry;
+# emits BENCH_serve.json), and the serve soak (SIGKILL the daemon with
+# jobs running and queued, restart, prove bit-identical completion and
+# a loss-free journal, then a seeded service-chaos mix).
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -20,3 +24,6 @@ dune build @bench-smoke
 dune build @autotune-smoke
 dune build test/chaos_soak.exe
 OQMC_BENCH_OUT="$PWD/BENCH_chaos.json" ./_build/default/test/chaos_soak.exe
+dune build test/serve_smoke.exe test/serve_soak.exe
+OQMC_BENCH_OUT="$PWD/BENCH_serve.json" ./_build/default/test/serve_smoke.exe
+./_build/default/test/serve_soak.exe

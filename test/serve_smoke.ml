@@ -1,0 +1,223 @@
+(* Serve smoke: boot the daemon, run three jobs through it — a cold
+   run, an identical resubmission that must be served from the result
+   cache, and a deadline-bounded job that must drain to a partial
+   result instead of hanging — then assert every job landed in a
+   definite state, accounting is conserved, and the telemetry stream
+   carries per-job queue waits.  Emits BENCH_serve.json (jobs/sec,
+   queue-wait p50/p99, cache hit rate).  Run with
+   `dune build @serve-smoke`. *)
+
+open Oqmc_serve
+module Jsonx = Oqmc_obs.Jsonx
+
+let die fmt = Printf.ksprintf (fun s -> prerr_endline ("FAIL: " ^ s); exit 1) fmt
+let check name ok = if not ok then die "%s" name
+
+let base =
+  let d = Printf.sprintf "/tmp/oqmc-ss.%d" (Unix.getpid ()) in
+  (try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  d
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Unix.rmdir path
+  | _ -> Unix.unlink path
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+
+let socket = Filename.concat base "serve.sock"
+let state_dir = Filename.concat base "state"
+let telemetry = Filename.concat base "serve.jsonl"
+
+let config =
+  {
+    Server.default_config with
+    Server.socket;
+    dir = state_dir;
+    max_queue = 8;
+    max_running = 2;
+    default_retries = 2;
+    grace_s = 3.;
+    snapshot_every = 2;
+    telemetry = Some telemetry;
+  }
+
+(* Harmonic-oscillator VMC: fast, deterministic enough for a smoke. *)
+let deck ?(seed = 7) ?(blocks = 2) () =
+  Printf.sprintf
+    "method = vmc\nworkload = harmonic\nwalkers = 32\nblocks = %d\n\
+     steps = 10\ntau = 0.3\nseed = %d\n"
+    blocks seed
+
+(* A long harmonic DMC run the deadline must truncate: many cheap
+   generations so the drain lands at a generation boundary well before
+   natural completion. *)
+let long_deck =
+  "method = dmc\nworkload = harmonic\nwalkers = 16\nblocks = 200\n\
+   steps = 10\ntau = 0.01\nseed = 99\n"
+
+let percentile p xs =
+  match List.sort compare xs with
+  | [] -> 0.
+  | sorted ->
+      let n = List.length sorted in
+      let i = int_of_float (ceil (p /. 100. *. float_of_int n)) - 1 in
+      List.nth sorted (max 0 (min (n - 1) i))
+
+let run_deck ?deadline_s d =
+  match Client.run_deck ~socket ~client:"smoke" ?deadline_s d with
+  | Ok o -> o
+  | Error reason -> die "job did not reach Done: %s" reason
+
+let () =
+  rm_rf state_dir;
+  (try Unix.unlink socket with Unix.Unix_error _ -> ());
+  (try Unix.unlink telemetry with Unix.Unix_error _ -> ());
+  flush stdout;
+  let daemon =
+    match Unix.fork () with
+    | 0 -> (
+        try
+          Server.serve config;
+          Stdlib.exit 0
+        with e ->
+          prerr_endline ("daemon: " ^ Printexc.to_string e);
+          Stdlib.exit 1)
+    | pid -> pid
+  in
+  let t0 = Unix.gettimeofday () in
+
+  (* Job 1: cold run to completion. *)
+  let o1 = run_deck (deck ()) in
+  check "job1 measured blocks" (o1.Job.gens > 0);
+  check "job1 not drained" (not o1.Job.drained);
+  check "job1 finite energy" (Float.is_finite o1.Job.energy);
+
+  (* Job 2: byte-different deck (comments, key order), same physics —
+     must be a cache hit with the identical result. *)
+  let resub =
+    "# same physics, different text\nseed = 7\nsteps = 10\ntau = 0.3\n\
+     blocks = 2\nwalkers = 32\nworkload = harmonic\nmethod = vmc\n"
+  in
+  let fd = Client.connect socket in
+  let o2 =
+    match Client.submit fd ~client:"smoke" ~wait:true resub with
+    | Proto.Accepted { cached; _ } -> (
+        check "job2 admitted from the cache" cached;
+        match Client.await fd with
+        | Proto.Job_done { outcome; cached = true; _ } -> outcome
+        | r ->
+            die "job2: expected cached Job_done, got %s"
+              (Jsonx.to_string (Proto.reply_to_json r)))
+    | r ->
+        die "job2: expected Accepted, got %s"
+          (Jsonx.to_string (Proto.reply_to_json r))
+  in
+  Client.close fd;
+  check "cache hit is bit-identical"
+    (Int64.bits_of_float o1.Job.energy = Int64.bits_of_float o2.Job.energy
+    && Array.length o1.Job.series = Array.length o2.Job.series
+    && Array.for_all2
+         (fun a b -> Int64.bits_of_float a = Int64.bits_of_float b)
+         o1.Job.series o2.Job.series);
+
+  (* Job 3: wall-clock deadline.  The job must end in a definite Done
+     with a drained partial result — never a hang, never a lost job. *)
+  let o3 = run_deck ~deadline_s:1.0 long_deck in
+  check "job3 drained at the deadline" o3.Job.drained;
+  check "job3 truncated early" (o3.Job.gens < 2000);
+  check "job3 still measured something" (o3.Job.gens > 0);
+
+  (* One rejection for the books: queue bound 8 is enforced per
+     admission, malformed decks bounce with a reason. *)
+  let fd = Client.connect socket in
+  (match Client.submit fd ~client:"smoke" ~wait:false "method = warp\n" with
+  | Proto.Rejected { reason; _ } ->
+      check "malformed deck names the problem" (String.length reason > 0)
+  | r ->
+      die "bad deck: expected Rejected, got %s"
+        (Jsonx.to_string (Proto.reply_to_json r)));
+
+  (* Accounting must be conserved across everything above. *)
+  let s = Client.stats fd in
+  Client.close fd;
+  let wall = Unix.gettimeofday () -. t0 in
+  check "conserved accounting"
+    (s.Proto.accepted
+    = s.Proto.done_ + s.Proto.failed + s.Proto.cancelled + s.Proto.queued
+      + s.Proto.running + s.Proto.retrying);
+  check "three jobs done" (s.Proto.done_ = 3);
+  check "one cache hit" (s.Proto.cache_hits = 1);
+  check "one rejection" (s.Proto.rejected = 1);
+
+  (* Graceful shutdown. *)
+  Unix.kill daemon Sys.sigterm;
+  let _, status = Unix.waitpid [] daemon in
+  check "daemon drained cleanly" (status = Unix.WEXITED 0);
+
+  (* Telemetry: every start event carries its queue wait. *)
+  let records =
+    In_channel.with_open_bin telemetry In_channel.input_all
+    |> String.split_on_char '\n'
+    |> List.filter (fun l -> String.trim l <> "")
+    |> List.map Jsonx.parse_string_exn
+  in
+  let field name j = Option.bind (Jsonx.member name j) Jsonx.to_str in
+  let events = List.filter_map (field "event") records in
+  let count e = List.length (List.filter (( = ) e) events) in
+  check "telemetry: two starts (the cache hit never runs)"
+    (count "start" = 2);
+  check "telemetry: three dones" (count "done" = 3);
+  check "telemetry: the rejection is visible" (count "rejected" = 1);
+  check "telemetry: the deadline drain is visible"
+    (count "deadline_drain" = 1);
+  let waits =
+    List.filter_map
+      (fun j ->
+        match field "event" j with
+        | Some "start" ->
+            Option.bind (Jsonx.member "queue_wait_s" j) Jsonx.to_float
+        | _ -> None)
+      records
+  in
+  check "every start has a queue wait" (List.length waits = 2);
+  check "queue waits are sane"
+    (List.for_all (fun w -> w >= 0. && w < wall) waits);
+
+  let p50 = percentile 50. waits and p99 = percentile 99. waits in
+  let done_jobs = s.Proto.done_ in
+  let bench =
+    Jsonx.Obj
+      [
+        ("bench", Jsonx.Str "serve_smoke");
+        ("jobs", Jsonx.Num (float_of_int done_jobs));
+        ("wall_s", Jsonx.Num wall);
+        ("jobs_per_s", Jsonx.Num (float_of_int done_jobs /. wall));
+        ("queue_p50_s", Jsonx.Num p50);
+        ("queue_p99_s", Jsonx.Num p99);
+        ( "cache_hit_rate",
+          Jsonx.Num
+            (float_of_int s.Proto.cache_hits /. float_of_int s.Proto.accepted)
+        );
+        ("rejected", Jsonx.Num (float_of_int s.Proto.rejected));
+      ]
+  in
+  let out =
+    match Sys.getenv_opt "OQMC_BENCH_OUT" with
+    | Some p when p <> "" -> p
+    | _ -> "BENCH_serve.json"
+  in
+  let oc = open_out out in
+  output_string oc (Jsonx.to_string bench);
+  output_char oc '\n';
+  close_out oc;
+  rm_rf base;
+  Printf.printf
+    "serve smoke OK: %d jobs in %.2f s (%.2f jobs/s), queue p50 %.1f ms p99 \
+     %.1f ms, cache hit rate %.2f, BENCH -> %s\n%!"
+    done_jobs wall
+    (float_of_int done_jobs /. wall)
+    (1000. *. p50) (1000. *. p99)
+    (float_of_int s.Proto.cache_hits /. float_of_int s.Proto.accepted)
+    out
