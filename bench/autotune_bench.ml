@@ -259,6 +259,7 @@ let json_of ~delays ~best_k ~speedup_k ~mp ~tunes =
       ( "header",
         J.Obj
           [
+            ("schema", J.Num 1.);
             ("precision", J.Str "f32");
             ("delay", J.Num (float_of_int chosen_delay));
           ] );

@@ -55,6 +55,70 @@ let bench_micro () =
     counter_inc_ns = inc *. 1e9;
   }
 
+(* Introspection-path costs: rendering a realistic registry snapshot
+   for the status endpoint, and feeding the per-rank throughput ledger
+   — both sit on the supervisor's generation loop or the daemon's
+   select loop, so their unit costs bound the live-status overhead. *)
+type introspection = {
+  expo_text_us : float;  (** one Expo.text render of ~40 metrics *)
+  expo_json_us : float;  (** one Expo.json render (with quantiles) *)
+  ledger_observe_ns : float;  (** one Ledger.observe_gen *)
+  ledger_json_us : float;  (** one Ledger.json export, 4 ranks *)
+}
+
+let bench_introspection () =
+  (* A registry shaped like a live run: counters, gauges and a few
+     populated histograms. *)
+  Metrics.reset ();
+  for i = 0 to 29 do
+    Metrics.add (Metrics.counter (Printf.sprintf "bench.c%d" i)) (i * 37)
+  done;
+  for i = 0 to 4 do
+    Metrics.set (Metrics.gauge (Printf.sprintf "bench.g%d" i)) (0.1 *. float_of_int i)
+  done;
+  for i = 0 to 4 do
+    let h = Metrics.histogram (Printf.sprintf "bench.h%d" i) in
+    for j = 1 to 200 do
+      Metrics.observe h (float_of_int j *. 1e-4)
+    done
+  done;
+  let snap = Metrics.snapshot () in
+  let sink = ref 0 in
+  let expo_text =
+    time_per ~reps:2_000 (fun () ->
+        sink := !sink + String.length (Oqmc_obs.Expo.text snap))
+  in
+  let expo_json =
+    time_per ~reps:2_000 (fun () ->
+        sink :=
+          !sink
+          + String.length (Oqmc_obs.Jsonx.to_string (Oqmc_obs.Expo.json snap)))
+  in
+  let ledger = Oqmc_obs.Ledger.create () in
+  let gen = ref 0 in
+  let observe =
+    time_per ~reps:200_000 (fun () ->
+        incr gen;
+        for r = 0 to 3 do
+          Oqmc_obs.Ledger.observe_gen ledger ~rank:r ~gen:!gen ~moves:4096
+            ~wall_s:0.004
+        done)
+  in
+  let ledger_json =
+    time_per ~reps:20_000 (fun () ->
+        sink :=
+          !sink
+          + String.length (Oqmc_obs.Jsonx.to_string (Oqmc_obs.Ledger.json ledger)))
+  in
+  Metrics.reset ();
+  ignore !sink;
+  {
+    expo_text_us = expo_text *. 1e6;
+    expo_json_us = expo_json *. 1e6;
+    ledger_observe_ns = observe /. 4. *. 1e9;
+    ledger_json_us = ledger_json *. 1e6;
+  }
+
 type endtoend = {
   walkers : int;
   generations : int;
@@ -102,7 +166,7 @@ let bench_dmc () =
     bit_identical;
   }
 
-let json_of ~micro ~dmc =
+let json_of ~micro ~intro ~dmc =
   let b = Buffer.create 1024 in
   let f = Printf.bprintf in
   f b "{\n";
@@ -112,6 +176,12 @@ let json_of ~micro ~dmc =
   f b "    \"span_enabled\": %.1f,\n" micro.span_enabled_ns;
   f b "    \"instant_enabled\": %.1f,\n" micro.instant_enabled_ns;
   f b "    \"counter_inc\": %.2f\n" micro.counter_inc_ns;
+  f b "  },\n";
+  f b "  \"introspection\": {\n";
+  f b "    \"expo_text_us\": %.2f,\n" intro.expo_text_us;
+  f b "    \"expo_json_us\": %.2f,\n" intro.expo_json_us;
+  f b "    \"ledger_observe_ns\": %.1f,\n" intro.ledger_observe_ns;
+  f b "    \"ledger_json_us\": %.2f\n" intro.ledger_json_us;
   f b "  },\n";
   f b "  \"dmc\": {\n";
   f b "    \"walkers\": %d,\n" dmc.walkers;
@@ -132,6 +202,13 @@ let run ?json () =
      counter inc %.2f ns\n"
     micro.span_disabled_ns micro.span_enabled_ns micro.instant_enabled_ns
     micro.counter_inc_ns;
+  Printf.printf "== introspection path (status endpoint + ledger) ==\n%!";
+  let intro = bench_introspection () in
+  Printf.printf
+    "  expo text %.1f us, expo json %.1f us; ledger observe %.1f ns/rank-gen, \
+     ledger json %.2f us\n"
+    intro.expo_text_us intro.expo_json_us intro.ledger_observe_ns
+    intro.ledger_json_us;
   Printf.printf "== DMC throughput, tracing off vs on ==\n%!";
   let dmc = bench_dmc () in
   Printf.printf
@@ -145,6 +222,6 @@ let run ?json () =
   | None -> ()
   | Some path ->
       let oc = open_out path in
-      output_string oc (json_of ~micro ~dmc);
+      output_string oc (json_of ~micro ~intro ~dmc);
       close_out oc;
       Printf.printf "wrote %s\n%!" path

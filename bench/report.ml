@@ -6,10 +6,15 @@ let line = String.make 78 '-'
 
 (* Every BENCH_*.json record opens with this header so records name the
    precision (f32/f64) and delayed-update rank they were measured at —
-   diffing benches across PRs without it is guesswork. *)
+   diffing benches across PRs without it is guesswork.  The schema
+   version lets scripts/validate_bench.sh refuse records whose shape it
+   does not understand; bump it when a header key changes meaning. *)
+let bench_schema = 1
+
 let bench_header ~precision ~delay =
-  Printf.sprintf "  \"header\": {\"precision\": %S, \"delay\": %d},\n"
-    precision delay
+  Printf.sprintf
+    "  \"header\": {\"schema\": %d, \"precision\": %S, \"delay\": %d},\n"
+    bench_schema precision delay
 
 let section title =
   Printf.printf "\n%s\n== %s\n%s\n" line title line

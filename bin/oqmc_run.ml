@@ -49,7 +49,8 @@ let run input method_ workload variant reduction walkers blocks steps tau
     domains crowd delay precision autotune with_nlpp seed checkpoint
     checkpoint_every checkpoint_keep
     watchdog restore ranks heartbeat_ms max_respawn elastic gen_deadline_ms
-    straggler_policy trace telemetry telemetry_every progress =
+    straggler_policy plan trace telemetry telemetry_every progress flightrec
+    status audit =
   (* An input deck, when given, takes precedence over the flags. *)
   let cfg =
     match input with
@@ -82,6 +83,7 @@ let run input method_ workload variant reduction walkers blocks steps tau
           elastic;
           gen_deadline_ms;
           straggler_policy;
+          plan;
           trace;
           telemetry;
           telemetry_every;
@@ -122,6 +124,11 @@ let run input method_ workload variant reduction walkers blocks steps tau
     | None ->
         invalid_arg
           "oqmc_run: --straggler-policy must be warn, steal or quarantine"
+  in
+  let plan =
+    match Oqmc_dist.Supervisor.plan_mode_of_string cfg.Input.plan with
+    | Some pm -> pm
+    | None -> invalid_arg "oqmc_run: --plan must be count or load"
   in
   let trace = cfg.Input.trace in
   let telemetry = cfg.Input.telemetry in
@@ -178,6 +185,38 @@ let run input method_ workload variant reduction walkers blocks steps tau
     (Variant.to_string variant)
     (match eff_precision with `F32 -> "f32" | `F64 -> "f64")
     (System.n_electrons sys) domains crowd delay;
+  (* --audit: calibrate a roofline projection for this run shape up
+     front; measured-vs-projected gauges refresh live (per ledger
+     window) and the verdict table prints after the run. *)
+  let audit_ctx =
+    if not audit then None
+    else
+      Some
+        (Oqmc_autotune.Audit.create ~walkers ~domains ~ranks:(max 1 ranks)
+           ~variant ~precision:eff_precision ~sys ())
+  in
+  let print_audit ?measured_gen_s () =
+    match audit_ctx with
+    | None -> ()
+    | Some a -> (
+        match Oqmc_autotune.Audit.observe ?measured_gen_s a with
+        | Some r -> print_string (Oqmc_autotune.Audit.table r)
+        | None -> ())
+  in
+  (* Any fatal unwind of the single-process paths dumps the flight
+     recorder before the sinks close (the multi-rank supervisor owns its
+     own dump paths). *)
+  let flight_guard f =
+    match flightrec with
+    | None -> f ()
+    | Some path -> (
+        try f ()
+        with e ->
+          let bt = Printexc.get_raw_backtrace () in
+          (try Oqmc_obs.Flightrec.dump ~reason:(Printexc.to_string e) ~path ()
+           with _ -> ());
+          Printexc.raise_with_backtrace e bt)
+  in
   match method_ with
   | "dmc" when ranks > 1 ->
       (* Supervised multi-process execution: forked rank workers with
@@ -201,6 +240,13 @@ let run input method_ workload variant reduction walkers blocks steps tau
           elastic;
           gen_deadline_ms;
           straggler_policy;
+          plan;
+          flightrec;
+          status;
+          on_window =
+            Option.map
+              (fun a _gen -> ignore (Oqmc_autotune.Audit.observe a))
+              audit_ctx;
           trace;
           telemetry;
           telemetry_every;
@@ -234,9 +280,11 @@ let run input method_ workload variant reduction walkers blocks steps tau
           res.steals (1e3 *. res.gen_p50_s) (1e3 *. res.gen_p99_s);
       if res.ranks_failed <> [] then
         Printf.printf "ranks lost    : %s\n"
-          (String.concat ", " (List.map string_of_int res.ranks_failed))
+          (String.concat ", " (List.map string_of_int res.ranks_failed));
+      print_audit ()
   | "vmc" ->
       let res =
+        flight_guard @@ fun () ->
         with_obs ~trace ~telemetry ~progress (fun sink prog ->
             Vmc.run ~crowd ?telemetry:sink ~telemetry_every ?progress:prog
               ~factory
@@ -256,7 +304,11 @@ let run input method_ workload variant reduction walkers blocks steps tau
       Printf.printf "acceptance    : %.3f\n" res.Vmc.acceptance;
       Printf.printf "tau_corr      : %.2f\n" res.Vmc.tau_corr;
       Printf.printf "throughput    : %.1f samples/s  (%.2f s)\n"
-        res.Vmc.throughput res.Vmc.wall_time
+        res.Vmc.throughput res.Vmc.wall_time;
+      if res.Vmc.throughput > 0. then
+        print_audit
+          ~measured_gen_s:(float_of_int walkers /. res.Vmc.throughput)
+          ()
   | "dmc" ->
       let initial =
         match restore with
@@ -276,6 +328,7 @@ let run input method_ workload variant reduction walkers blocks steps tau
         else None
       in
       let res =
+        flight_guard @@ fun () ->
         with_obs ~trace ~telemetry ~progress (fun sink prog ->
             Dmc.run ?initial ~checkpoint_every ~checkpoint_keep
               ?checkpoint_path:checkpoint ?watchdog:watchdog_cfg ~crowd
@@ -310,6 +363,10 @@ let run input method_ workload variant reduction walkers blocks steps tau
           it.Integrity.scans it.Integrity.audits it.Integrity.quarantined
           it.Integrity.recoveries it.Integrity.drift_max
           it.Integrity.checkpoints_written it.Integrity.checkpoint_failures;
+      if res.Dmc.wall_time > 0. && blocks * steps > 0 then
+        print_audit
+          ~measured_gen_s:(res.Dmc.wall_time /. float_of_int (blocks * steps))
+          ();
       (match checkpoint with
       | Some path ->
           Checkpoint.save ~path ~e_trial:res.Dmc.final_e_trial
@@ -499,6 +556,16 @@ let straggler_policy =
            walkers to the fastest rank) or quarantine (three consecutive \
            misses are treated as a stall).")
 
+let plan =
+  Arg.(
+    value & opt string "count"
+    & info [ "plan" ] ~docv:"MODE"
+        ~doc:
+          "Walker-exchange planning mode: count (even split, the \
+           bit-identical default) or load (throughput-proportional \
+           split driven by the per-rank ledger; falls back to count \
+           levelling until every live rank has a throughput sample).")
+
 let trace =
   Arg.(
     value
@@ -531,6 +598,36 @@ let progress =
     & info [ "progress" ]
         ~doc:"Paint a live single-line progress display on stderr.")
 
+let flightrec =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "flightrec" ] ~docv:"PATH"
+        ~doc:
+          "Dump the in-memory flight recorder (recent telemetry records \
+           + trace spans) to a CRC-trailed postmortem file at $(docv) on \
+           every abort path; replay it with oqmc_submit postmortem.")
+
+let status =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "status" ] ~docv:"PATH"
+        ~doc:
+          "Multi-rank DMC: write a live status JSON snapshot (progress, \
+           per-rank throughput ledger, audit gauges) to $(docv), \
+           atomically renamed into place and throttled to ~4 Hz.")
+
+let audit =
+  Arg.(
+    value & flag
+    & info [ "audit" ]
+        ~doc:
+          "Run the efficiency audit: calibrate this node's roofline, \
+           project the run shape through the performance model, and \
+           report measured-vs-projected generation time and per-kernel \
+           shares after the run (gauges refresh live during it).")
+
 let cmd =
   Cmd.v
     (Cmd.info "oqmc_run" ~doc:"VMC/DMC driver on workloads")
@@ -541,6 +638,7 @@ let cmd =
       $ checkpoint
       $ checkpoint_every $ checkpoint_keep $ watchdog $ restore $ ranks
       $ heartbeat_ms $ max_respawn $ elastic $ gen_deadline_ms
-      $ straggler_policy $ trace $ telemetry $ telemetry_every $ progress)
+      $ straggler_policy $ plan $ trace $ telemetry $ telemetry_every
+      $ progress $ flightrec $ status $ audit)
 
 let () = exit (Cmd.eval cmd)

@@ -7,7 +7,7 @@ open Oqmc_serve
    gracefully; SIGKILL loses nothing a restart cannot replay. *)
 
 let serve socket dir max_queue max_running default_retries backoff_ms
-    grace_ms snapshot_every telemetry =
+    grace_ms snapshot_every telemetry flightrec =
   let cfg =
     {
       Server.socket;
@@ -19,6 +19,7 @@ let serve socket dir max_queue max_running default_retries backoff_ms
       grace_s = float_of_int grace_ms /. 1000.;
       snapshot_every;
       telemetry;
+      flightrec;
     }
   in
   Printf.printf "oqmc_serve: listening on %s  (state %s, queue %d, slots %d)\n%!"
@@ -101,11 +102,22 @@ let telemetry =
           "Append one JSON record per job state transition to $(docv) \
            (job id, event, attempt, queue wait).")
 
+let flightrec =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "flightrec" ] ~docv:"PATH"
+        ~doc:
+          "Dump the daemon's in-memory flight recorder (recent \
+           scheduler events) to a postmortem file at $(docv) if the \
+           select loop dies fatally; replay it with oqmc_submit \
+           postmortem.")
+
 let cmd =
   Cmd.v
     (Cmd.info "oqmc_serve" ~doc:"crash-safe multi-tenant QMC job server")
     Term.(
       const serve $ socket $ dir $ max_queue $ max_running $ default_retries
-      $ backoff_ms $ grace_ms $ snapshot_every $ telemetry)
+      $ backoff_ms $ grace_ms $ snapshot_every $ telemetry $ flightrec)
 
 let () = exit (Cmd.eval cmd)

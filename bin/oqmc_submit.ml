@@ -1,12 +1,111 @@
 open Oqmc_serve
+module J = Oqmc_obs.Jsonx
 
 (* Submit an input deck to a running oqmc_serve daemon and (by default)
-   wait for the terminal state.  Exit code: 0 = Done, 1 = Failed or
-   Rejected, 2 = transport/usage error — a definite answer always. *)
+   wait for the terminal state.  Two keyword forms ride on the deck
+   position: [oqmc_submit status] renders the daemon's live snapshot
+   (add --watch for a refreshing view) and [oqmc_submit postmortem F]
+   replays a crash flight-recorder dump.  Exit code: 0 = Done, 1 =
+   Failed or Rejected, 2 = transport/usage error — a definite answer
+   always. *)
 
 let read_deck = function
   | "-" -> In_channel.input_all In_channel.stdin
   | path -> In_channel.with_open_bin path In_channel.input_all
+
+(* --- status rendering ------------------------------------------------ *)
+
+let jnum key j = Option.bind (J.member key j) J.to_float
+let jstr key j = Option.bind (J.member key j) J.to_str
+let num ?(d = 0.) key j = Option.value ~default:d (jnum key j)
+
+let print_job j =
+  let id = Option.value ~default:"?" (jstr "id" j) in
+  let client = Option.value ~default:"?" (jstr "client" j) in
+  Printf.printf "  %-12s %-8s attempt %.0f  up %6.1fs" id client
+    (num "attempt" j) (num "running_s" j);
+  match J.member "live" j with
+  | None | Some J.Null ->
+      print_string "  (no status snapshot yet)\n"
+  | Some live ->
+      (match jnum "gen" live with
+      | Some g ->
+          Printf.printf "  gen %.0f" g;
+          Option.iter (Printf.printf "/%.0f") (jnum "total_gens" live)
+      | None -> ());
+      Option.iter (Printf.printf "  E %+.6f") (jnum "e_gen" live);
+      Option.iter (Printf.printf "  pop %.0f") (jnum "population" live);
+      print_newline ();
+      (match Option.bind (J.member "ledger" live) J.to_list with
+      | None | Some [] -> ()
+      | Some ranks ->
+          List.iter
+            (fun r ->
+              Printf.printf
+                "      rank %.0f: %9.0f moves/s  exch %4.0f walkers  \
+                 straggle %6.3fs  wall p50 %.1fms p99 %.1fms\n"
+                (num "rank" r)
+                (num "walkers_moves_per_s" r)
+                (num "exchange_walkers" r)
+                (num "straggle_s" r)
+                (1e3 *. num "wall_p50_s" r)
+                (1e3 *. num "wall_p99_s" r))
+            ranks);
+      (match Option.bind (J.member "audit" live) (jnum "audit.efficiency") with
+      | Some e ->
+          Printf.printf "      audit: %.0f%% of the roofline model\n"
+            (100. *. e)
+      | None -> ())
+
+let print_status body =
+  (match J.member "stats" body with
+  | Some s ->
+      Printf.printf
+        "server: %.0f running  %.0f queued  %.0f retrying  |  %.0f done  \
+         %.0f failed  %.0f cancelled  (%.0f cache hits)\n"
+        (num "running" s) (num "queued" s) (num "retrying" s) (num "done" s)
+        (num "failed" s) (num "cancelled" s)
+        (num "cache_hits" s)
+  | None -> ());
+  match Option.bind (J.member "jobs" body) J.to_list with
+  | None | Some [] -> print_string "no jobs in flight\n"
+  | Some jobs -> List.iter print_job jobs
+
+let status_view socket watch =
+  let once () =
+    let fd = Client.connect socket in
+    Fun.protect
+      ~finally:(fun () -> Client.close fd)
+      (fun () -> print_status (Client.status fd))
+  in
+  if not watch then (
+    once ();
+    0)
+  else
+    let stop = ref false in
+    Sys.set_signal Sys.sigint (Sys.Signal_handle (fun _ -> stop := true));
+    while not !stop do
+      print_string "\027[2J\027[H";
+      (try once ()
+       with Oqmc_dist.Wire.Closed | Unix.Unix_error _ ->
+         print_string "daemon unreachable\n");
+      flush stdout;
+      if not !stop then Unix.sleepf 2.0
+    done;
+    0
+
+let postmortem_view path =
+  match Oqmc_obs.Flightrec.replay ~path with
+  | pm ->
+      print_string (Oqmc_obs.Flightrec.describe pm);
+      0
+  | exception Oqmc_obs.Flightrec.Not_flightrec why ->
+      Printf.eprintf "oqmc_submit: %s: not a flight-recorder dump (%s)\n" path
+        why;
+      2
+  | exception Sys_error why ->
+      Printf.eprintf "oqmc_submit: %s\n" why;
+      2
 
 let print_outcome id (o : Job.outcome) cached =
   Printf.printf "%s: done%s%s  E = %.6f +/- %.6f  variance %.6f  (%d gens, %.2f s)\n"
@@ -15,8 +114,17 @@ let print_outcome id (o : Job.outcome) cached =
     (if o.Job.drained then " [drained at deadline]" else "")
     o.Job.energy o.Job.error o.Job.variance o.Job.gens o.Job.wall_s
 
-let submit socket deck_path client priority deadline_s retries no_wait query
-    cancel stats =
+let submit socket deck_path arg2 client priority deadline_s retries no_wait
+    query cancel stats watch =
+  match (deck_path, query, cancel, stats) with
+  | Some "status", None, None, false -> status_view socket watch
+  | Some "postmortem", None, None, false -> (
+      match arg2 with
+      | Some path -> postmortem_view path
+      | None ->
+          prerr_endline "oqmc_submit: postmortem needs a dump file argument";
+          2)
+  | _ -> (
   match (query, cancel, stats) with
   | Some id, _, _ -> (
       let fd = Client.connect socket in
@@ -96,7 +204,7 @@ let submit socket deck_path client priority deadline_s retries no_wait query
                 0
             | Error reason ->
                 Printf.printf "job: %s\n" reason;
-                1))
+                1)))
 
 open Cmdliner
 
@@ -110,7 +218,21 @@ let deck =
   Arg.(
     value
     & pos 0 (some string) None
-    & info [] ~docv:"DECK" ~doc:"Input deck file, or - for stdin.")
+    & info [] ~docv:"DECK"
+        ~doc:
+          "Input deck file, or - for stdin.  Two keywords ride this \
+           position: $(b,status) prints the daemon's live snapshot \
+           (server counters, per-job generation/energy/population, \
+           per-rank ledger windows, audit efficiency) and \
+           $(b,postmortem) $(i,FILE) replays a crash flight-recorder \
+           dump.")
+
+let arg2 =
+  Arg.(
+    value
+    & pos 1 (some string) None
+    & info [] ~docv:"FILE"
+        ~doc:"The dump file for the $(b,postmortem) keyword.")
 
 let client =
   Arg.(
@@ -158,11 +280,19 @@ let cancel =
 let stats =
   Arg.(value & flag & info [ "stats" ] ~doc:"Print server accounting.")
 
+let watch =
+  Arg.(
+    value & flag
+    & info [ "w"; "watch" ]
+        ~doc:
+          "With the $(b,status) keyword: refresh the snapshot every 2 \
+           seconds until interrupted.")
+
 let cmd =
   Cmd.v
     (Cmd.info "oqmc_submit" ~doc:"submit decks to oqmc_serve")
     Term.(
-      const submit $ socket $ deck $ client $ priority $ deadline_s $ retries
-      $ no_wait $ query $ cancel $ stats)
+      const submit $ socket $ deck $ arg2 $ client $ priority $ deadline_s
+      $ retries $ no_wait $ query $ cancel $ stats $ watch)
 
 let () = exit (Cmd.eval' cmd)

@@ -96,6 +96,14 @@ let shutdown_shard s = Runner.shutdown s.runner
 let pop s = s.pop
 let config s = s.cfg
 let move_totals s = (s.acc, s.prop)
+
+(* Cumulative merged kernel-timer totals (key, seconds) of the shard's
+   runner pool — the in-process executor's equivalent of the
+   [timer_us.*] counters a forked rank piggybacks on its Reduce. *)
+let timer_totals s =
+  List.map
+    (fun (k, sec, _) -> (k, sec))
+    (Oqmc_containers.Timers.snapshot (Runner.merged_timers s.runner))
 let set_move_totals s ~acc ~prop =
   s.acc <- acc;
   s.prop <- prop

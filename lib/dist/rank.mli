@@ -59,6 +59,12 @@ val config : shard -> config
 val move_totals : shard -> int * int
 (** Lifetime (accepted, proposed) move totals. *)
 
+val timer_totals : shard -> (string * float) list
+(** Cumulative merged kernel-timer totals (key, seconds) of this shard's
+    runner pool — what a forked rank exports as [timer_us.*] counters.
+    Lets the in-process executor feed the same registry counters the
+    efficiency audit reads. *)
+
 val set_move_totals : shard -> acc:int -> prop:int -> unit
 (** Overwrite the lifetime move totals (job-snapshot resume). *)
 

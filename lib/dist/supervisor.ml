@@ -4,6 +4,8 @@ module Trace = Oqmc_obs.Trace
 module Metrics = Oqmc_obs.Metrics
 module Telemetry = Oqmc_obs.Telemetry
 module Progress = Oqmc_obs.Progress
+module Ledger = Oqmc_obs.Ledger
+module Flightrec = Oqmc_obs.Flightrec
 
 (* Supervised multi-rank DMC execution.
 
@@ -75,6 +77,18 @@ let straggler_policy_name = function
   | Steal -> "steal"
   | Quarantine -> "quarantine"
 
+(* How the exchange planner splits walkers: [Count_level] is the
+   historical even split (bit-identical default); [Load_level] levels
+   throughput instead, weighting each rank by its ledger speed. *)
+type plan_mode = Count_level | Load_level
+
+let plan_mode_of_string = function
+  | "count" -> Some Count_level
+  | "load" -> Some Load_level
+  | _ -> None
+
+let plan_mode_name = function Count_level -> "count" | Load_level -> "load"
+
 (* Elastic membership plan entry: at the END of generation [gen] (first
    element of the pair), grow the rank set by one ([Join]) or retire a
    specific rank gracefully ([Leave r]). *)
@@ -105,6 +119,10 @@ type params = {
   gen_deadline_ms : int; (* soft per-generation budget; 0 = lockstep *)
   straggler_policy : straggler_policy;
   membership : (int * member_event) list; (* (gen, event), any order *)
+  plan : plan_mode; (* exchange planning: count levelling | load levelling *)
+  flightrec : string option; (* postmortem dump path for abort paths *)
+  status : string option; (* live status-snapshot file (atomic rename) *)
+  on_window : (int -> unit) option; (* ledger-window boundary callback *)
 }
 
 let default_params =
@@ -133,6 +151,10 @@ let default_params =
     gen_deadline_ms = 0;
     straggler_policy = Warn;
     membership = [];
+    plan = Count_level;
+    flightrec = None;
+    status = None;
+    on_window = None;
   }
 
 (* One membership transition as it happened: generation, "join"/"leave",
@@ -255,10 +277,13 @@ let rank_config (p : params) ~rank ~incarnation ~after =
 
 (* ---------- result statistics (shared by run and run_local) ---------- *)
 
-let percentile sorted q =
-  let n = Array.length sorted in
-  if n = 0 then 0.
-  else sorted.(min (n - 1) (int_of_float (q *. float_of_int n)))
+(* Generation wall-time percentiles via the shared bucketed quantile
+   estimator — the same estimator the ledger and Status views use, so
+   every reported percentile carries the same semantics. *)
+let wall_percentile gen_times q =
+  match Metrics.quantile (Metrics.hview_of_values gen_times) q with
+  | Some (estimate, _) -> estimate
+  | None -> 0.
 
 let finalize ~p ~t0 ~energy_series ~pop_series ~comm_messages ~comm_bytes
     ~respawns ~heartbeat_timeouts ~garbage_frames ~crashes ~ranks_failed
@@ -270,8 +295,6 @@ let finalize ~p ~t0 ~energy_series ~pop_series ~comm_messages ~comm_bytes
   let energy = Stats.series_mean energy_series in
   let variance = Stats.series_variance energy_series in
   let pops = Array.of_list (List.rev pop_series) in
-  let gens = Array.of_list gen_times in
-  Array.sort compare gens;
   {
     energy;
     energy_error = Stats.series_error energy_series;
@@ -301,8 +324,8 @@ let finalize ~p ~t0 ~energy_series ~pop_series ~comm_messages ~comm_bytes
     steals;
     membership_skipped;
     membership_log = List.rev membership_log;
-    gen_p50_s = percentile gens 0.50;
-    gen_p99_s = percentile gens 0.99;
+    gen_p50_s = wall_percentile gen_times 0.50;
+    gen_p99_s = wall_percentile gen_times 0.99;
     final_walkers;
     final_e_trial;
   }
@@ -371,6 +394,95 @@ let membership_json (m : member_record) =
         ("walkers_after", Num (float_of_int m.m_walkers_after));
       ])
 
+(* Dump the flight-recorder ring to the configured postmortem path.
+   Failures are swallowed — the recorder must never turn one abort into
+   a different one. *)
+let flight_dump (p : params) reason =
+  match p.flightrec with
+  | None -> ()
+  | Some path -> ( try Flightrec.dump ~reason ~path () with _ -> ())
+
+(* Live per-job status file: a small JSON snapshot written to a temp
+   file and atomically renamed into place, throttled to ~4 Hz.  The
+   serve daemon's Status endpoint reads (never writes) this file, so a
+   crashed runner leaves its last consistent snapshot behind. *)
+let status_writer (p : params) =
+  match p.status with
+  | None -> fun ~force:_ _ -> ()
+  | Some path ->
+      let last = ref 0. in
+      fun ~force mk ->
+        let now = Oqmc_containers.Timers.now () in
+        if force || now -. !last >= 0.25 then begin
+          last := now;
+          try
+            let tmp = path ^ ".tmp" in
+            let oc = open_out tmp in
+            output_string oc (Oqmc_obs.Jsonx.to_string (mk ()));
+            output_char oc '\n';
+            close_out oc;
+            Sys.rename tmp path
+          with Sys_error _ | Unix.Unix_error _ -> ()
+        end
+
+(* Sparse structural telemetry record carrying the per-rank ledger
+   windows (emitted every ledger window, decimation-proof). *)
+let ledger_event ~gen ledger =
+  Oqmc_obs.Jsonx.(
+    Obj
+      [
+        ("event", Str "ledger");
+        ("gen", Num (float_of_int gen));
+        ("ranks", Ledger.json ledger);
+      ])
+
+(* How often (in generations) the ledger windows are pushed to the
+   JSONL sink — matches [Ledger.create]'s default window. *)
+let ledger_emit_every = 16
+
+(* Registry [audit.*] gauges — set by the driver's efficiency audit
+   through the [on_window] hook — echoed verbatim into the status
+   snapshot so a Status query surfaces live efficiency numbers. *)
+let audit_json () =
+  Oqmc_obs.Jsonx.Obj
+    (List.filter_map
+       (fun (name, v) ->
+         match v with
+         | Metrics.Gauge g
+           when String.length name > 6 && String.sub name 0 6 = "audit." ->
+             Some (name, Oqmc_obs.Jsonx.Num g)
+         | _ -> None)
+       (Metrics.snapshot ()))
+
+let fire_window (p : params) gen =
+  if gen mod ledger_emit_every = 0 then
+    match p.on_window with
+    | None -> ()
+    | Some f -> ( try f gen with _ -> ())
+
+(* In-process analogue of a forked rank's [timer_us.*] piggyback: fold
+   each shard's kernel-timer deltas into the global registry so the
+   efficiency audit sees per-kernel time regardless of executor. *)
+let absorb_timer_deltas prev_timers shards =
+  List.iter
+    (fun (r, s) ->
+      let now = Rank.timer_totals s in
+      let before =
+        Option.value ~default:[] (Hashtbl.find_opt prev_timers r)
+      in
+      Hashtbl.replace prev_timers r now;
+      List.iter
+        (fun (k, sec) ->
+          let d =
+            sec -. Option.value ~default:0. (List.assoc_opt k before)
+          in
+          if d > 0. then
+            Metrics.add
+              (Metrics.counter ("timer_us." ^ k))
+              (int_of_float (Float.round (d *. 1e6))))
+        now)
+    shards
+
 (* ---------- in-process reference executor ---------- *)
 
 (* The same rank-sharded algorithm as [run], executed over logical
@@ -392,6 +504,7 @@ let run_local_ext ~(factory : int -> Engine_api.t) ~handle_signals ~stop
       restore_signals saved_signals;
       obs_close ())
   @@ fun () ->
+  try
   (* A valid snapshot of THIS job (parameters echoed and matching)
      resumes the run bit-identically; anything else starts fresh. *)
   let resume =
@@ -479,6 +592,24 @@ let run_local_ext ~(factory : int -> Engine_api.t) ~handle_signals ~stop
     List.fold_left (fun a (_, s) -> a + Population.size (Rank.pop s)) 0 !members
   in
   let m_gen_s = Metrics.histogram "sup.generation_s" in
+  let ledger = Ledger.create () in
+  let write_status = status_writer p in
+  (* Per-shard proposed-move watermarks, so the ledger sees deltas even
+     though [Rank.move_totals] is cumulative (and may be nonzero on a
+     snapshot resume). *)
+  let prev_prop : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun (r, s) -> Hashtbl.replace prev_prop r (snd (Rank.move_totals s)))
+    !members;
+  (* Kernel-timer watermarks feeding [absorb_timer_deltas]. *)
+  let prev_timers : (int, (string * float) list) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  let plan_weights () =
+    match p.plan with
+    | Count_level -> None
+    | Load_level -> Ledger.speed_weights ledger (List.map fst !members)
+  in
   (* Snapshot the complete dynamical state at a generation boundary:
      everything [resume] restores above.  IO failures are swallowed — a
      snapshot that does not land only costs resume granularity. *)
@@ -532,11 +663,20 @@ let run_local_ext ~(factory : int -> Engine_api.t) ~handle_signals ~stop
     let measuring = gen > p.warmup in
     let wsum_t = ref 0. and esum_t = ref 0. and n_t = ref 0 in
     List.iter
-      (fun (_, s) ->
+      (fun (r, s) ->
+        let sh_t0 = Oqmc_containers.Timers.now () in
         let w, e = Rank.sweep s ~gen ~e_trial:!e_trial in
         wsum_t := !wsum_t +. w;
         esum_t := !esum_t +. e;
-        n_t := !n_t + Population.size (Rank.pop s))
+        n_t := !n_t + Population.size (Rank.pop s);
+        (* Feed the throughput ledger: proposed-move delta over the
+           shard's sweep wall — the in-process analogue of the forked
+           path's arrival-time accounting. *)
+        let _, pr = Rank.move_totals s in
+        let before = Option.value ~default:0 (Hashtbl.find_opt prev_prop r) in
+        Hashtbl.replace prev_prop r pr;
+        Ledger.observe_gen ledger ~rank:r ~gen ~moves:(max 0 (pr - before))
+          ~wall_s:(Oqmc_containers.Timers.now () -. sh_t0))
       !members;
     let e_gen = if !wsum_t > 0. then !esum_t /. !wsum_t else !e_trial in
     if measuring then begin
@@ -545,10 +685,19 @@ let run_local_ext ~(factory : int -> Engine_api.t) ~handle_signals ~stop
       samples := !samples + !n_t
     end;
     List.iter (fun (_, s) -> Rank.branch s) !members;
-    let report =
-      Population.exchange
-        (Array.of_list (List.map (fun (_, s) -> Rank.pop s) !members))
+    let weights = plan_weights () in
+    let shards =
+      Array.of_list (List.map (fun (_, s) -> Rank.pop s) !members)
     in
+    let ids = Array.of_list (List.map fst !members) in
+    (* Account the exchange volume per rank before applying the (same,
+       deterministic) plan. *)
+    List.iter
+      (fun { Population.src; dst; count } ->
+        Ledger.add_exchange ledger ~rank:ids.(src) ~walkers:count;
+        Ledger.add_exchange ledger ~rank:ids.(dst) ~walkers:count)
+      (Population.plan ?weights (Array.map Population.size shards));
+    let report = Population.exchange ?weights shards in
     comm_messages := !comm_messages + report.Population.messages;
     comm_bytes := !comm_bytes + report.Population.bytes;
     let total = total_walkers () in
@@ -573,21 +722,23 @@ let run_local_ext ~(factory : int -> Engine_api.t) ~handle_signals ~stop
          with Sys_error _ -> ())
     | _ -> ());
     let elapsed = Oqmc_containers.Timers.now () -. t0 in
-    if measuring then
-      emit ~gen:(gen - p.warmup)
-        Oqmc_obs.Jsonx.(Obj
-           [
-             ("gen", Num (float_of_int gen));
-             ("e_gen", Num e_gen);
-             ("e_trial", Num !e_trial);
-             ("population", Num (float_of_int total));
-             ("ranks", Num (float_of_int (List.length !members)));
-             ( "walkers_per_s",
-               Num
-                 (if elapsed > 0. then float_of_int !samples /. elapsed
-                  else 0.) );
-             ("wall_s", Num elapsed);
-           ]);
+    let gen_record =
+      Oqmc_obs.Jsonx.(Obj
+         [
+           ("gen", Num (float_of_int gen));
+           ("e_gen", Num e_gen);
+           ("e_trial", Num !e_trial);
+           ("population", Num (float_of_int total));
+           ("ranks", Num (float_of_int (List.length !members)));
+           ( "walkers_per_s",
+             Num
+               (if elapsed > 0. then float_of_int !samples /. elapsed
+                else 0.) );
+           ("wall_s", Num elapsed);
+         ])
+    in
+    Flightrec.record "gen" gen_record;
+    if measuring then emit ~gen:(gen - p.warmup) gen_record;
     update_progress
       (Printf.sprintf "dmc[local %d ranks] gen %d/%d  E %+.6f  E_T %+.6f  pop %d"
          (List.length !members) gen total_gens e_gen !e_trial total);
@@ -619,7 +770,7 @@ let run_local_ext ~(factory : int -> Engine_api.t) ~handle_signals ~stop
                   (fun (a, _) (b, _) -> compare a b)
                   ((id, shard) :: !members);
               let report =
-                Population.exchange
+                Population.exchange ?weights:(plan_weights ())
                   (Array.of_list (List.map (fun (_, s) -> Rank.pop s) !members))
               in
               comm_messages := !comm_messages + report.Population.messages;
@@ -654,6 +805,8 @@ let run_local_ext ~(factory : int -> Engine_api.t) ~handle_signals ~stop
                   let incarnation = (Rank.config shard).Rank.incarnation in
                   Rank.shutdown_shard shard;
                   members := List.remove_assoc r !members;
+                  Ledger.drop_rank ledger ~rank:r;
+                  Hashtbl.remove prev_prop r;
                   vacant := r :: !vacant;
                   Hashtbl.replace incarnations r (incarnation + 1);
                   (match !members with
@@ -686,11 +839,31 @@ let run_local_ext ~(factory : int -> Engine_api.t) ~handle_signals ~stop
     let dt = Oqmc_containers.Timers.now () -. gen_t0 in
     Metrics.observe m_gen_s dt;
     gen_times := dt :: !gen_times;
+    absorb_timer_deltas prev_timers !members;
+    if gen mod ledger_emit_every = 0 then emit_event (ledger_event ~gen ledger);
+    fire_window p gen;
     (* Drain/snapshot at the generation boundary: the [stop] poll ends
        the job gracefully with consistent estimators, and the snapshot
        cadence always covers the drain point and the final generation
        so a suspended job never replays work. *)
     if stop () then job_drained := true;
+    write_status ~force:(!job_drained || gen = total_gens) (fun () ->
+        Oqmc_obs.Jsonx.(Obj
+           [
+             ("gen", Num (float_of_int gen));
+             ("total_gens", Num (float_of_int total_gens));
+             ("e_gen", Num e_gen);
+             ("e_trial", Num !e_trial);
+             ("population", Num (float_of_int total));
+             ("live_ranks", Num (float_of_int (List.length !members)));
+             ( "walkers_per_s",
+               Num
+                 (if elapsed > 0. then float_of_int !samples /. elapsed
+                  else 0.) );
+             ("wall_s", Num elapsed);
+             ("ledger", Ledger.json ledger);
+             ("audit", audit_json ());
+           ]));
     if
       snapshot <> None
       && (!job_drained || gen = total_gens || gen mod snapshot_every = 0)
@@ -723,6 +896,13 @@ let run_local_ext ~(factory : int -> Engine_api.t) ~handle_signals ~stop
     drained = !job_drained && last_gen < total_gens;
     resumed_from = start_gen;
   }
+  with e ->
+    (* Abort unwind (SIGTERM/SIGINT via [Interrupted], or any fatal
+       error): dump the flight recorder before the sinks close, so the
+       postmortem carries the still-enabled trace spans. *)
+    let bt = Printexc.get_raw_backtrace () in
+    flight_dump p (Printexc.to_string e);
+    Printexc.raise_with_backtrace e bt
 
 let run_local ~(factory : int -> Engine_api.t) (p : params) : result =
   (run_local_ext ~factory ~handle_signals:true
@@ -843,6 +1023,7 @@ let run_ext ~(factory : int -> Engine_api.t) ~stop (p : params) : job_outcome =
     obs_close ()
   in
   Fun.protect ~finally:cleanup @@ fun () ->
+  try
   let hb = p.heartbeat_s in
   let respawns = ref 0 in
   let hb_timeouts = ref 0 and garbage_frames = ref 0 and crashes = ref 0 in
@@ -887,6 +1068,7 @@ let run_ext ~(factory : int -> Engine_api.t) ~stop (p : params) : job_outcome =
   (* Record a failure and tear the process down; respawn happens at the
      end of the generation so surviving ranks stay in lockstep. *)
   let failed_this_gen = ref [] in
+  let cur_gen = ref 0 in
   let fail_rank r why =
     match find r with
     | None -> ()
@@ -902,6 +1084,16 @@ let run_ext ~(factory : int -> Engine_api.t) ~stop (p : params) : job_outcome =
           Trace.instant
             ~args:[ ("rank", string_of_int r); ("reason", reason) ]
             "sup.rank_failed";
+          Flightrec.record "rank_failed"
+            Oqmc_obs.Jsonx.(
+              Obj
+                [
+                  ("rank", Num (float_of_int r));
+                  ("reason", Str reason);
+                  ("gen", Num (float_of_int !cur_gen));
+                  ("incarnation", Num (float_of_int s.incarnation));
+                ]);
+          flight_dump p ("rank_failed:" ^ reason);
           close_fd s.r_fd;
           close_fd s.w_fd;
           s.fds_closed <- true;
@@ -984,6 +1176,11 @@ let run_ext ~(factory : int -> Engine_api.t) ~stop (p : params) : job_outcome =
      Heartbeat receipt — so the wire protocol needs no clock exchange. *)
   let m_rtt = Metrics.histogram "sup.heartbeat_rtt_s" in
   let m_gen_s = Metrics.histogram "sup.generation_s" in
+  let ledger = Ledger.create () in
+  let write_status = status_writer p in
+  (* Per-rank proposed-move watermarks for the ledger ([Reduce] carries
+     cumulative totals; a respawn resets them, the delta clamps to 0). *)
+  let rank_prop : (int, int) Hashtbl.t = Hashtbl.create 8 in
   let prev_acc = ref 0 and prev_prop = ref 0 in
   let samples = ref 0 in
   let rtt_max = ref 0. in
@@ -1115,9 +1312,16 @@ let run_ext ~(factory : int -> Engine_api.t) ~stop (p : params) : job_outcome =
   let relay_exchange ~gen ids =
     let ids = Array.of_list (List.filter ok_rank ids) in
     let plan_counts = Array.map (fun r -> (proc r).count) ids in
-    let moves = Population.plan plan_counts in
+    let weights =
+      match p.plan with
+      | Count_level -> None
+      | Load_level -> Ledger.speed_weights ledger (Array.to_list ids)
+    in
+    let moves = Population.plan ?weights plan_counts in
     List.iter
       (fun { Population.src; dst; count } ->
+        Ledger.add_exchange ledger ~rank:ids.(src) ~walkers:count;
+        Ledger.add_exchange ledger ~rank:ids.(dst) ~walkers:count;
         relay_move ~gen ids.(src) ids.(dst) count
           ~others:(Array.to_list ids))
       moves
@@ -1240,6 +1444,8 @@ let run_ext ~(factory : int -> Engine_api.t) ~stop (p : params) : job_outcome =
           s.fds_closed <- true;
           waitpid_robust s.pid;
           Hashtbl.remove members r;
+          Ledger.drop_rank ledger ~rank:r;
+          Hashtbl.remove rank_prop r;
           vacant := r :: !vacant;
           Hashtbl.replace incarnations r (incarnation + 1);
           (match List.filter ok_rank (live ()) with
@@ -1280,6 +1486,7 @@ let run_ext ~(factory : int -> Engine_api.t) ~stop (p : params) : job_outcome =
     Trace.with_span ~args:[ ("gen", string_of_int gen) ] "sup.generation"
     @@ fun () ->
     let gen_t0 = Oqmc_containers.Timers.now () in
+    cur_gen := gen;
     failed_this_gen := [];
     rtt_max := 0.;
     let participants = live () in
@@ -1312,17 +1519,28 @@ let run_ext ~(factory : int -> Engine_api.t) ~stop (p : params) : job_outcome =
               (List.map
                  (fun (kind, key, value) -> { Metrics.kind; key; value })
                  kvs);
+            (* Ledger feed: supervisor-side generation wall (Begin_gen
+               send to Reduce arrival) over the rank's proposed-move
+               delta. *)
+            let gen_time = arrival -. s.begin_t in
+            let before =
+              Option.value ~default:0 (Hashtbl.find_opt rank_prop r)
+            in
+            Hashtbl.replace rank_prop r pr;
+            Ledger.observe_gen ledger ~rank:r ~gen
+              ~moves:(max 0 (pr - before)) ~wall_s:gen_time;
             (* Soft-deadline straggler check: the budget plus three
                smoothed RTTs of slack, so policy only fires on ranks
                genuinely slower than their own recent history. *)
             if p.gen_deadline_ms > 0 then begin
-              let gen_time = arrival -. s.begin_t in
               let soft =
                 (float_of_int p.gen_deadline_ms /. 1000.)
                 +. (3. *. s.rtt_ewma)
               in
               if gen_time > soft then begin
                 incr stragglers;
+                Ledger.add_straggle ledger ~rank:r
+                  ~seconds:(gen_time -. soft);
                 s.straggles <- s.straggles + 1;
                 Metrics.inc (Metrics.counter "sup.stragglers");
                 Trace.instant
@@ -1455,6 +1673,8 @@ let run_ext ~(factory : int -> Engine_api.t) ~stop (p : params) : job_outcome =
         if s.incarnation >= p.max_respawn then begin
           s.dead <- true;
           ranks_failed := r :: !ranks_failed;
+          Ledger.drop_rank ledger ~rank:r;
+          Hashtbl.remove rank_prop r;
           vacant := r :: !vacant;
           Hashtbl.replace incarnations r (s.incarnation + 1);
           Metrics.inc (Metrics.counter "sup.ranks_abandoned");
@@ -1559,25 +1779,27 @@ let run_ext ~(factory : int -> Engine_api.t) ~stop (p : params) : job_outcome =
     let walkers_per_s =
       if elapsed > 0. then float_of_int !samples /. elapsed else 0.
     in
-    if gen > p.warmup then
-      emit ~gen:(gen - p.warmup)
-        Oqmc_obs.Jsonx.(Obj
-           [
-             ("gen", Num (float_of_int gen));
-             ("e_gen", Num e_gen);
-             ("e_trial", Num !e_trial);
-             ("population", Num (float_of_int total));
-             ("acceptance", Num acceptance);
-             ("walkers_per_s", Num walkers_per_s);
-             ("live_ranks", Num (float_of_int (List.length (live ()))));
-             ("rtt_max_s", Num !rtt_max);
-             ( "respawns",
-               Num
-                 (float_of_int
-                    (Metrics.counter_value
-                       (Metrics.counter "sup.respawns"))) );
-             ("wall_s", Num elapsed);
-           ]);
+    let gen_record =
+      Oqmc_obs.Jsonx.(Obj
+         [
+           ("gen", Num (float_of_int gen));
+           ("e_gen", Num e_gen);
+           ("e_trial", Num !e_trial);
+           ("population", Num (float_of_int total));
+           ("acceptance", Num acceptance);
+           ("walkers_per_s", Num walkers_per_s);
+           ("live_ranks", Num (float_of_int (List.length (live ()))));
+           ("rtt_max_s", Num !rtt_max);
+           ( "respawns",
+             Num
+               (float_of_int
+                  (Metrics.counter_value
+                     (Metrics.counter "sup.respawns"))) );
+           ("wall_s", Num elapsed);
+         ])
+    in
+    Flightrec.record "gen" gen_record;
+    if gen > p.warmup then emit ~gen:(gen - p.warmup) gen_record;
     update_progress
       (Printf.sprintf
          "dmc[%d/%d ranks] gen %d/%d  E %+.6f  E_T %+.6f  pop %d  acc %.3f  %.0f w/s  lag %.1fms"
@@ -1596,11 +1818,27 @@ let run_ext ~(factory : int -> Engine_api.t) ~stop (p : params) : job_outcome =
     let dt = Oqmc_containers.Timers.now () -. gen_t0 in
     Metrics.observe m_gen_s dt;
     gen_times := dt :: !gen_times;
+    if gen mod ledger_emit_every = 0 then emit_event (ledger_event ~gen ledger);
+    fire_window p gen;
     (* Graceful early drain: the [stop] poll ends the run at the next
        generation boundary and the normal finals collection below still
        runs, so a deadline-stopped job reports consistent partial
        estimators instead of dying mid-protocol. *)
     if stop () then job_drained := true;
+    write_status ~force:(!job_drained || gen = total_gens) (fun () ->
+        Oqmc_obs.Jsonx.(Obj
+           [
+             ("gen", Num (float_of_int gen));
+             ("total_gens", Num (float_of_int total_gens));
+             ("e_gen", Num e_gen);
+             ("e_trial", Num !e_trial);
+             ("population", Num (float_of_int total));
+             ("live_ranks", Num (float_of_int (List.length (live ()))));
+             ("walkers_per_s", Num walkers_per_s);
+             ("wall_s", Num elapsed);
+             ("ledger", Ledger.json ledger);
+             ("audit", audit_json ());
+           ]));
     incr gen_ref
   done;
   let last_gen = !gen_ref - 1 in
@@ -1655,6 +1893,12 @@ let run_ext ~(factory : int -> Engine_api.t) ~stop (p : params) : job_outcome =
     drained = !job_drained && last_gen < total_gens;
     resumed_from = 0;
   }
+  with e ->
+    (* Abort unwind — [All_ranks_lost], [Interrupted], startup failure:
+       dump the flight recorder before [cleanup] closes the sinks. *)
+    let bt = Printexc.get_raw_backtrace () in
+    flight_dump p (Printexc.to_string e);
+    Printexc.raise_with_backtrace e bt
 
 let run ~(factory : int -> Engine_api.t) (p : params) : result =
   (run_ext ~factory ~stop:(fun () -> false) p).job_result

@@ -34,6 +34,20 @@ val straggler_policy_of_string : string -> straggler_policy option
 
 val straggler_policy_name : straggler_policy -> string
 
+(** How the exchange planner splits walkers across ranks. *)
+type plan_mode =
+  | Count_level
+      (** even split — the historical, bit-identical default *)
+  | Load_level
+      (** throughput-proportional split from the per-rank ledger's
+          speed weights; falls back to count levelling until every
+          live rank has a throughput sample *)
+
+val plan_mode_of_string : string -> plan_mode option
+(** ["count" | "load"]. *)
+
+val plan_mode_name : plan_mode -> string
+
 type member_event =
   | Join  (** grow the rank set by one (lowest vacant slot, else a
               fresh id) *)
@@ -78,6 +92,23 @@ type params = {
   membership : (int * member_event) list;
       (** (generation, event): applied at the END of that generation,
           in list order.  Requires [elastic = true] *)
+  plan : plan_mode;
+      (** exchange planning mode; {!Count_level} (the default) keeps
+          the trajectory bit-identical to the historical planner *)
+  flightrec : string option;
+      (** dump the {!Oqmc_obs.Flightrec} ring to this postmortem file
+          on every abort path (rank failure, [All_ranks_lost],
+          [Interrupted], fatal errors) *)
+  status : string option;
+      (** write a small live status JSON snapshot (progress + per-rank
+          ledger windows) here, atomically renamed into place and
+          throttled to ~4 Hz — what the serve daemon's Status endpoint
+          reads *)
+  on_window : (int -> unit) option;
+      (** called (with the generation number) at every ledger-window
+          boundary, before the status snapshot is written — the driver's
+          hook for refreshing live gauges such as the efficiency audit.
+          Exceptions are swallowed *)
 }
 
 val default_params : params

@@ -1,0 +1,84 @@
+(* Exposition: render a metrics snapshot for scraping — Prometheus-style
+   text (one # TYPE line per metric, cumulative le-labelled histogram
+   buckets) and a Jsonx document (histograms augmented with interpolated
+   p50/p90/p99 from the log2 buckets).  Both renderings are pure
+   functions of the snapshot, so a server can answer a status query from
+   whatever snapshot it already holds without re-locking the registry. *)
+
+(* Prometheus metric names admit [a-zA-Z0-9_:]; the registry uses dotted
+   names, so dots (and anything else) become underscores. *)
+let sanitize name =
+  String.map
+    (function ('a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':') as c -> c | _ -> '_')
+    name
+
+(* Deterministic number rendering (golden-tested): integral values print
+   exactly, everything else shortest-roundtrip. *)
+let fmt v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else
+    let s = Printf.sprintf "%.12g" v in
+    if float_of_string s = v then s else Printf.sprintf "%.17g" v
+
+let add_histogram buf name (h : Metrics.hview) =
+  Buffer.add_string buf (Printf.sprintf "# TYPE %s histogram\n" name);
+  let cum = ref 0 in
+  List.iter
+    (fun (bound, n) ->
+      cum := !cum + n;
+      Buffer.add_string buf
+        (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" name (fmt bound) !cum))
+    h.Metrics.buckets;
+  Buffer.add_string buf
+    (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" name h.Metrics.count);
+  Buffer.add_string buf
+    (Printf.sprintf "%s_sum %s\n" name (fmt h.Metrics.sum));
+  Buffer.add_string buf
+    (Printf.sprintf "%s_count %d\n" name h.Metrics.count)
+
+let text snap =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (name, v) ->
+      let name = sanitize name in
+      match v with
+      | Metrics.Counter c ->
+          Buffer.add_string buf (Printf.sprintf "# TYPE %s counter\n" name);
+          Buffer.add_string buf (Printf.sprintf "%s %d\n" name c)
+      | Metrics.Gauge g ->
+          Buffer.add_string buf (Printf.sprintf "# TYPE %s gauge\n" name);
+          Buffer.add_string buf (Printf.sprintf "%s %s\n" name (fmt g))
+      | Metrics.Histogram h -> add_histogram buf name h)
+    snap;
+  Buffer.contents buf
+
+let json_of_hview (h : Metrics.hview) =
+  let q p =
+    match Metrics.quantile h p with Some (est, _) -> est | None -> 0.
+  in
+  Jsonx.Obj
+    [
+      ("count", Jsonx.Num (float_of_int h.Metrics.count));
+      ("sum", Jsonx.Num h.Metrics.sum);
+      ("min", Jsonx.Num h.Metrics.min);
+      ("max", Jsonx.Num h.Metrics.max);
+      ("p50", Jsonx.Num (q 0.5));
+      ("p90", Jsonx.Num (q 0.9));
+      ("p99", Jsonx.Num (q 0.99));
+      ( "buckets",
+        Jsonx.Arr
+          (List.map
+             (fun (b, n) ->
+               Jsonx.Arr [ Jsonx.Num b; Jsonx.Num (float_of_int n) ])
+             h.Metrics.buckets) );
+    ]
+
+let json snap =
+  Jsonx.Obj
+    (List.map
+       (fun (name, v) ->
+         match v with
+         | Metrics.Counter c -> (name, Jsonx.Num (float_of_int c))
+         | Metrics.Gauge g -> (name, Jsonx.Num g)
+         | Metrics.Histogram h -> (name, json_of_hview h))
+       snap)

@@ -1,0 +1,15 @@
+(** Exposition: pure renderings of a {!Metrics.snapshot} for scraping.
+
+    [text] is Prometheus-style: a [# TYPE] line per metric, dotted names
+    sanitized to [a-zA-Z0-9_:], histograms as cumulative
+    [le]-labelled buckets plus [_sum]/[_count].  [json] is the same
+    snapshot as a Jsonx document, with histograms augmented by
+    interpolated p50/p90/p99 (see {!Metrics.quantile}). *)
+
+val text : Metrics.snapshot -> string
+val json : Metrics.snapshot -> Jsonx.t
+val json_of_hview : Metrics.hview -> Jsonx.t
+
+val sanitize : string -> string
+(** Prometheus name mangling: anything outside [a-zA-Z0-9_:] becomes
+    ['_']. *)

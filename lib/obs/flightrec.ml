@@ -1,0 +1,270 @@
+(* Crash flight recorder: a bounded in-memory ring of recent telemetry
+   records per process, dumped together with the most recent trace spans
+   to a CRC-trailed postmortem file on an abort path.
+
+   Recording is cheap (one mutex-protected ring slot per record; call
+   sites are per-generation or per-event, never per-electron) and always
+   on — the cost of remembering the last few hundred records is what
+   buys a usable postmortem when a rank dies without warning.
+
+   File format, line-oriented so a torn tail truncates to whole records:
+
+     oqmc-flightrec v1 <meta JSON>
+     E <entry JSON>          (ring records, oldest first)
+     S <span JSON>           (recent trace events, oldest first)
+     C <crc32 hex> <lines>   (trailer over every preceding byte)
+
+   A dump that itself died mid-write leaves a file without (or with a
+   mismatched) trailer; [replay] still recovers every complete line and
+   reports [complete = false] instead of refusing. *)
+
+type entry = { ts : float; kind : string; data : Jsonx.t }
+
+(* Local IEEE CRC-32: this library sits below the checkpoint layer, so
+   it carries its own copy of the standard table-driven loop. *)
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xedb88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let crc32 s =
+  let t = Lazy.force crc_table in
+  let c = ref 0xffffffff in
+  String.iter
+    (fun ch -> c := t.((!c lxor Char.code ch) land 0xff) lxor (!c lsr 8))
+    s;
+  !c lxor 0xffffffff land 0xffffffff
+
+(* ---------- the ring ---------- *)
+
+let default_capacity = 512
+let lock = Mutex.create ()
+let ring = ref (Array.make default_capacity None)
+let head = ref 0 (* total records ever; next slot = head mod capacity *)
+
+let set_capacity n =
+  let n = max 1 n in
+  Mutex.lock lock;
+  ring := Array.make n None;
+  head := 0;
+  Mutex.unlock lock
+
+let clear () =
+  Mutex.lock lock;
+  Array.fill !ring 0 (Array.length !ring) None;
+  head := 0;
+  Mutex.unlock lock
+
+let record kind data =
+  let e = { ts = Unix.gettimeofday (); kind; data } in
+  Mutex.lock lock;
+  !ring.(!head mod Array.length !ring) <- Some e;
+  incr head;
+  Mutex.unlock lock
+
+let note fmt = Printf.ksprintf (fun s -> record "note" (Jsonx.Str s)) fmt
+
+let recorded () = !head
+
+(* Ring contents, oldest first. *)
+let entries () =
+  Mutex.lock lock;
+  let cap = Array.length !ring in
+  let n = min !head cap in
+  let out = ref [] in
+  for i = 0 to n - 1 do
+    match !ring.((!head - 1 - i + (2 * cap)) mod cap) with
+    | Some e -> out := e :: !out
+    | None -> ()
+  done;
+  Mutex.unlock lock;
+  !out
+
+(* ---------- dump ---------- *)
+
+let span_cap = 256
+
+let json_of_span (e : Trace.event) =
+  Jsonx.Obj
+    [
+      ("name", Jsonx.Str e.Trace.name);
+      ("ph", Jsonx.Str (String.make 1 e.Trace.ph));
+      ("ts", Jsonx.Num e.Trace.ts);
+      ("dur", Jsonx.Num e.Trace.dur);
+      ("pid", Jsonx.Num (float_of_int e.Trace.pid));
+      ("tid", Jsonx.Num (float_of_int e.Trace.tid));
+      ("args", Jsonx.Obj (List.map (fun (k, v) -> (k, Jsonx.Str v)) e.Trace.args));
+    ]
+
+let json_of_entry e =
+  Jsonx.Obj
+    [ ("ts", Jsonx.Num e.ts); ("kind", Jsonx.Str e.kind); ("data", e.data) ]
+
+(* Newest [span_cap] trace events by end time, re-sorted oldest first:
+   the crashing generation's spans, whatever lane recorded them. *)
+let recent_spans () =
+  if not (Trace.enabled ()) then []
+  else
+    let by_end a b =
+      compare (a.Trace.ts +. a.Trace.dur) (b.Trace.ts +. b.Trace.dur)
+    in
+    let evs = List.stable_sort by_end (Trace.events ()) in
+    let n = List.length evs in
+    if n <= span_cap then evs
+    else List.filteri (fun i _ -> i >= n - span_cap) evs
+
+let dump ?(reason = "abort") ~path () =
+  let buf = Buffer.create 4096 in
+  let meta =
+    Jsonx.Obj
+      [
+        ("reason", Jsonx.Str reason);
+        ("ts", Jsonx.Num (Unix.gettimeofday ()));
+        ("pid", Jsonx.Num (float_of_int (Unix.getpid ())));
+        ("recorded", Jsonx.Num (float_of_int (recorded ())));
+      ]
+  in
+  Buffer.add_string buf ("oqmc-flightrec v1 " ^ Jsonx.to_string meta ^ "\n");
+  let lines = ref 0 in
+  List.iter
+    (fun e ->
+      incr lines;
+      Buffer.add_string buf ("E " ^ Jsonx.to_string (json_of_entry e) ^ "\n"))
+    (entries ());
+  List.iter
+    (fun s ->
+      incr lines;
+      Buffer.add_string buf ("S " ^ Jsonx.to_string (json_of_span s) ^ "\n"))
+    (recent_spans ());
+  let body = Buffer.contents buf in
+  let trailer = Printf.sprintf "C %08x %d\n" (crc32 body) !lines in
+  (* Plain write, no tempfile dance: an abort path must not depend on
+     rename working, and replay tolerates a torn tail by design. *)
+  let oc = open_out path in
+  output_string oc body;
+  output_string oc trailer;
+  close_out oc
+
+(* ---------- replay ---------- *)
+
+type postmortem = {
+  meta : Jsonx.t;
+  records : entry list;
+  spans : Jsonx.t list;
+  complete : bool; (* the CRC trailer was present and matched *)
+}
+
+exception Not_flightrec of string
+
+let parse_entry j =
+  let get f k = Option.bind (Jsonx.member k j) f in
+  match (get Jsonx.to_float "ts", get Jsonx.to_str "kind", Jsonx.member "data" j) with
+  | Some ts, Some kind, Some data -> Some { ts; kind; data }
+  | _ -> None
+
+let replay ~path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let raw = really_input_string ic len in
+  close_in ic;
+  let lines = String.split_on_char '\n' raw in
+  let header, rest =
+    match lines with
+    | h :: rest when String.length h >= 18 && String.sub h 0 18 = "oqmc-flightrec v1 "
+      -> (h, rest)
+    | _ -> raise (Not_flightrec path)
+  in
+  let meta =
+    try Jsonx.parse_string_exn (String.sub header 18 (String.length header - 18))
+    with Jsonx.Parse_error _ -> raise (Not_flightrec path)
+  in
+  (* Walk the lines, collecting every record that parses whole; a line
+     that fails (torn tail, bit rot) ends collection. *)
+  let records = ref [] and spans = ref [] and complete = ref false in
+  let body_len = String.length header + 1 in
+  let rec go consumed = function
+    | [] | [ "" ] -> ()
+    | line :: rest ->
+        let tagged p = String.length line >= 2 && String.sub line 0 2 = p in
+        let payload () =
+          try
+            Some
+              (Jsonx.parse_string_exn
+                 (String.sub line 2 (String.length line - 2)))
+          with _ -> None
+        in
+        if tagged "E " then (
+          match Option.bind (payload ()) parse_entry with
+          | Some e ->
+              records := e :: !records;
+              go (consumed + String.length line + 1) rest
+          | None -> ())
+        else if tagged "S " then (
+          match payload () with
+          | Some j ->
+              spans := j :: !spans;
+              go (consumed + String.length line + 1) rest
+          | None -> ())
+        else if tagged "C " then
+          match String.split_on_char ' ' line with
+          | [ "C"; crc_hex; _count ] -> (
+              match int_of_string_opt ("0x" ^ crc_hex) with
+              | Some stored ->
+                  if stored = crc32 (String.sub raw 0 consumed) then
+                    complete := true
+              | None -> ())
+          | _ -> ()
+  in
+  go body_len rest;
+  {
+    meta;
+    records = List.rev !records;
+    spans = List.rev !spans;
+    complete = !complete;
+  }
+
+let describe pm =
+  let buf = Buffer.create 1024 in
+  let m k f = Option.bind (Jsonx.member k pm.meta) f in
+  Buffer.add_string buf
+    (Printf.sprintf "flight recorder postmortem: reason=%s pid=%.0f %s\n"
+       (Option.value ~default:"?" (m "reason" Jsonx.to_str))
+       (Option.value ~default:Float.nan (m "pid" Jsonx.to_float))
+       (if pm.complete then "(complete)" else "(TORN TAIL: trailer missing or mismatched)"));
+  Buffer.add_string buf
+    (Printf.sprintf "%d record(s), %d span(s)\n" (List.length pm.records)
+       (List.length pm.spans));
+  List.iter
+    (fun e ->
+      Buffer.add_string buf
+        (Printf.sprintf "  [%.3f] %-10s %s\n" e.ts e.kind
+           (Jsonx.to_string e.data)))
+    pm.records;
+  List.iter
+    (fun s ->
+      let g k f = Option.bind (Jsonx.member k s) f in
+      let args =
+        match Jsonx.member "args" s with
+        | Some (Jsonx.Obj kvs) ->
+            String.concat " "
+              (List.map
+                 (fun (k, v) ->
+                   Printf.sprintf "%s=%s" k
+                     (Option.value ~default:"?" (Jsonx.to_str v)))
+                 kvs)
+        | _ -> ""
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  span pid=%.0f tid=%.0f %s +%.6fs %.3fms %s\n"
+           (Option.value ~default:Float.nan (g "pid" Jsonx.to_float))
+           (Option.value ~default:Float.nan (g "tid" Jsonx.to_float))
+           (Option.value ~default:"?" (g "name" Jsonx.to_str))
+           (Option.value ~default:Float.nan (g "ts" Jsonx.to_float))
+           (1e3 *. Option.value ~default:0. (g "dur" Jsonx.to_float))
+           args))
+    pm.spans;
+  Buffer.contents buf

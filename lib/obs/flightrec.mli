@@ -1,0 +1,51 @@
+(** Crash flight recorder: a bounded in-memory ring of recent telemetry
+    records per process, dumped together with the newest trace spans to
+    a CRC-trailed postmortem file on abort paths, and replayed by
+    [oqmc_submit postmortem].
+
+    Recording is always on and cheap (one mutex-protected ring slot per
+    record; call sites are per-generation or per-event).  A dump that
+    died mid-write leaves a torn tail; {!replay} recovers every complete
+    line and reports [complete = false] instead of refusing. *)
+
+type entry = { ts : float; kind : string; data : Jsonx.t }
+
+val set_capacity : int -> unit
+(** Resize the ring (default 512 records); drops current contents. *)
+
+val clear : unit -> unit
+val record : string -> Jsonx.t -> unit
+(** [record kind data] appends to the ring, overwriting the oldest
+    record when full. *)
+
+val note : ('a, unit, string, unit) format4 -> 'a
+(** Printf-style free-text record (kind ["note"]). *)
+
+val recorded : unit -> int
+(** Total records ever recorded (>= ring occupancy). *)
+
+val entries : unit -> entry list
+(** Current ring contents, oldest first. *)
+
+val dump : ?reason:string -> path:string -> unit -> unit
+(** Write the postmortem file: meta header, ring records, the newest
+    trace spans (when tracing is enabled), CRC-32 trailer. *)
+
+type postmortem = {
+  meta : Jsonx.t;
+  records : entry list;
+  spans : Jsonx.t list;
+  complete : bool;  (** the CRC trailer was present and matched *)
+}
+
+exception Not_flightrec of string
+
+val replay : path:string -> postmortem
+(** Parse a postmortem file, tolerating a torn tail.
+    @raise Not_flightrec when [path] is not a flight-recorder dump. *)
+
+val describe : postmortem -> string
+(** Human-readable rendering (the [oqmc_submit postmortem] output). *)
+
+val crc32 : string -> int
+(** The recorder's own IEEE CRC-32 (exposed for tests). *)

@@ -159,6 +159,37 @@ let hview h =
   Mutex.unlock h.lock;
   v
 
+(* A free-standing view over a value list (no registry entry): lets any
+   bounded sample window reuse the bucketed [quantile] machinery instead
+   of ad-hoc sort-and-index percentile math. *)
+let hview_of_values vs =
+  let counts = Array.make n_buckets 0 in
+  let count = ref 0 in
+  let sum = ref 0. in
+  let mn = ref Float.infinity in
+  let mx = ref Float.neg_infinity in
+  List.iter
+    (fun v ->
+      if Float.is_finite v then begin
+        counts.(bucket_index v) <- counts.(bucket_index v) + 1;
+        incr count;
+        sum := !sum +. v;
+        if v < !mn then mn := v;
+        if v > !mx then mx := v
+      end)
+    vs;
+  let buckets = ref [] in
+  for i = n_buckets - 1 downto 0 do
+    if counts.(i) > 0 then buckets := (bucket_bound i, counts.(i)) :: !buckets
+  done;
+  {
+    count = !count;
+    sum = !sum;
+    min = (if !count = 0 then 0. else !mn);
+    max = (if !count = 0 then 0. else !mx);
+    buckets = !buckets;
+  }
+
 let snapshot () =
   Mutex.lock registry_mutex;
   let entries =
@@ -177,6 +208,38 @@ let snapshot () =
   List.sort (fun (a, _) (b, _) -> compare a b) entries
 
 let find snap name = List.assoc_opt name snap
+
+(* Quantile estimate from the log2 buckets.  The winning bucket is found
+   by cumulative count at rank q*count; the estimate interpolates
+   linearly inside the bucket, whose true extent is [bound/2, bound)
+   (bucket 0 holds v <= 0) intersected with the observed [min, max].
+   The width of that intersection is returned as the error bound: both
+   the estimate and the exact order statistic lie inside the bucket, so
+   the exact value is provably within estimate +/- err. *)
+let quantile hv q =
+  if hv.count = 0 then None
+  else begin
+    let q = Float.max 0. (Float.min 1. q) in
+    let target = q *. float_of_int hv.count in
+    let rec pick cum = function
+      | [] -> None (* unreachable: count > 0 implies a non-empty bucket *)
+      | (bound, n) :: rest ->
+          let cum' = cum +. float_of_int n in
+          if cum' >= target || rest = [] then begin
+            let lo = if bound <= 0. then Float.neg_infinity else bound /. 2. in
+            let lo = Float.max lo hv.min in
+            let hi = Float.min bound hv.max in
+            let hi = Float.max hi lo in
+            let frac =
+              if n = 0 then 0.
+              else Float.max 0. (Float.min 1. ((target -. cum) /. float_of_int n))
+            in
+            Some (lo +. (frac *. (hi -. lo)), hi -. lo)
+          end
+          else pick cum' rest
+    in
+    pick 0. hv.buckets
+  end
 
 (* Counters and histogram totals subtract (a missing previous entry
    counts as zero); gauges report their current value. *)

@@ -48,6 +48,20 @@ val diff : prev:snapshot -> snapshot -> snapshot
 
 val find : snapshot -> string -> value option
 
+val hview_of_values : float list -> hview
+(** Bucket a free-standing value list into a view (no registry entry),
+    for running {!quantile} over bounded sample windows.  Non-finite
+    values are dropped. *)
+
+val quantile : hview -> float -> (float * float) option
+(** [quantile hv q] estimates the [q]-quantile (clamped to [0, 1]) of
+    the observations behind a histogram view from its log2 buckets,
+    interpolating linearly inside the winning bucket.  Returns
+    [(estimate, err)] where the exact order statistic is within
+    [estimate +/- err] (the bucket width clipped to the observed
+    min/max), or [None] on an empty view.  Estimates are monotone in
+    [q] and always within [hv.min, hv.max]. *)
+
 val reset : unit -> unit
 (** Zero every registered metric (tests). *)
 

@@ -29,3 +29,14 @@ let finish t =
     flush t.oc;
     t.active <- false
   end
+
+(* A warning sharing the progress fd must not land mid-line: clear the
+   painted status first, emit the message on its own line, and let the
+   next [update] repaint immediately (torn fragments came from writers
+   appending after the \r-positioned status). *)
+let interject t msg =
+  if t.active then output_string t.oc "\r\027[K";
+  output_string t.oc (msg ^ "\n");
+  flush t.oc;
+  t.active <- false;
+  t.last <- 0.

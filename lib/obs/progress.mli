@@ -7,3 +7,9 @@ val create : ?oc:out_channel -> ?min_interval:float -> unit -> t
 val update : t -> string -> unit
 val finish : t -> unit
 (** Terminate the painted line with a newline (idempotent). *)
+
+val interject : t -> string -> unit
+(** Emit [msg] on its own line *through* the progress display: the
+    painted status is cleared first so the message never lands mid-line,
+    and the throttle is reset so the next [update] repaints at once.
+    Use this for any warning sharing the progress channel. *)

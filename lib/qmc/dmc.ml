@@ -319,6 +319,16 @@ let run ?initial ?observe ?(checkpoint_every = 0) ?checkpoint_path
     step ~measure_stats:true
   done;
   let wall_time = Oqmc_containers.Timers.now () -. t0 in
+  (* Export the merged kernel-timer totals as [timer_us.*] counters so
+     the efficiency audit sees per-kernel time on the single-process
+     path too (the multi-rank executors feed the same counters). *)
+  List.iter
+    (fun (k, sec, _) ->
+      if sec > 0. then
+        Metrics.add
+          (Metrics.counter ("timer_us." ^ k))
+          (int_of_float (Float.round (sec *. 1e6))))
+    (Oqmc_containers.Timers.snapshot (Runner.merged_timers runner));
   let energy = Stats.series_mean energy_series in
   let variance = Stats.series_variance energy_series in
   let tau_corr = Stats.autocorrelation_time energy_series in

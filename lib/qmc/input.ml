@@ -47,6 +47,7 @@ type t = {
   elastic : bool; (* elastic rank membership + async checkpoints *)
   gen_deadline_ms : int; (* soft generation budget; 0 = lockstep *)
   straggler_policy : string; (* warn | steal | quarantine *)
+  plan : string; (* exchange planning: count (even split) | load *)
   trace : string option; (* Chrome trace_event JSON output *)
   telemetry : string option; (* per-generation JSONL output *)
   telemetry_every : int;
@@ -81,6 +82,7 @@ let default =
     elastic = false;
     gen_deadline_ms = 0;
     straggler_policy = "warn";
+    plan = "count";
     trace = None;
     telemetry = None;
     telemetry_every = 1;
@@ -154,6 +156,10 @@ let apply cfg ~line key value =
           fail line
             "straggler_policy must be warn, steal or quarantine, got %S"
             other)
+  | "plan" -> (
+      match String.lowercase_ascii value with
+      | ("count" | "load") as p -> { cfg with plan = p }
+      | other -> fail line "plan must be count or load, got %S" other)
   | "trace" -> { cfg with trace = Some value }
   | "telemetry" -> { cfg with telemetry = Some value }
   | "telemetry_every" -> { cfg with telemetry_every = parse_int line value }
@@ -222,6 +228,7 @@ let canonical cfg =
   put "elastic" (string_of_bool cfg.elastic);
   put "gen_deadline_ms" (string_of_int cfg.gen_deadline_ms);
   put "straggler_policy" cfg.straggler_policy;
+  put "plan" cfg.plan;
   Buffer.contents b
 
 let deck_hash cfg = Digest.to_hex (Digest.string (canonical cfg))

@@ -50,6 +50,11 @@ type t = {
   straggler_policy : string;
       (** ["warn"], ["steal"] or ["quarantine"] (validated at parse
           time) *)
+  plan : string;
+      (** exchange planning mode: ["count"] (even split, the default,
+          bit-identical to the historical planner) or ["load"]
+          (throughput-proportional split from the per-rank ledger).
+          Result-determining, so it is part of the canonical deck *)
   trace : string option;
       (** write a Chrome trace_event JSON timeline here (load it in
           Perfetto / chrome://tracing) *)

@@ -71,11 +71,17 @@ val drain : t -> Walker.t list
 
 type move = { src : int; dst : int; count : int }
 
-val plan : int array -> move list
-(** Deterministic rebalancing plan toward the ideal even split: surplus
+val plan : ?weights:float array -> int array -> move list
+(** Deterministic rebalancing plan toward the ideal split: surplus
     shards (ascending index) matched against deficit shards (ascending
-    index). *)
+    index).  Without [weights] the ideal is the even split (remainder on
+    the lowest indices) — unchanged, bit-identical behaviour.  With
+    [weights] (one positive relative speed per shard) the ideal is
+    throughput-proportional, integerized by largest-remainder rounding
+    with ties to the lower index.
+    @raise Invalid_argument on a length mismatch or non-positive
+    weight. *)
 
-val exchange : t array -> balance_report
+val exchange : ?weights:float array -> t array -> balance_report
 (** Apply {!plan} in-process — really move walkers between the shards —
     and report the exchange volume the moves represent. *)

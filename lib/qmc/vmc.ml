@@ -235,6 +235,15 @@ let run ?observe ?(crowd = 1) ?(rank = 0) ?telemetry ?(telemetry_every = 1)
     | None -> ()
   done;
   let wall_time = Oqmc_containers.Timers.now () -. t0 in
+  (* Export the merged kernel-timer totals as [timer_us.*] counters for
+     the efficiency audit (same counters the multi-rank executors feed). *)
+  List.iter
+    (fun (k, sec, _) ->
+      if sec > 0. then
+        Metrics.add
+          (Metrics.counter ("timer_us." ^ k))
+          (int_of_float (Float.round (sec *. 1e6))))
+    (Oqmc_containers.Timers.snapshot (Runner.merged_timers runner));
   let tot_meas = Array.fold_left (fun a s -> a + s.n_meas) 0 states in
   let e_sum = Array.fold_left (fun a s -> a +. s.e_sum) 0. states in
   let e2_sum = Array.fold_left (fun a s -> a +. s.e2_sum) 0. states in

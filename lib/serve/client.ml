@@ -44,6 +44,15 @@ let await ?(timeout = 600.) fd = Proto.recv_reply ~timeout fd
 let query ?timeout fd id = request ?timeout fd (Proto.Query id)
 let cancel ?timeout fd id = request ?timeout fd (Proto.Cancel id)
 
+let status ?timeout fd =
+  match request ?timeout fd Proto.Status with
+  | Proto.Status_reply body -> body
+  | other ->
+      raise
+        (Proto.Protocol_error
+           (Printf.sprintf "status: unexpected reply %s"
+              (Oqmc_obs.Jsonx.to_string (Proto.reply_to_json other))))
+
 let stats ?timeout fd =
   match request ?timeout fd Proto.Stats with
   | Proto.Stats_reply s -> s

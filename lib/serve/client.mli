@@ -35,6 +35,12 @@ val cancel : ?timeout:float -> Unix.file_descr -> string -> Proto.reply
 val stats : ?timeout:float -> Unix.file_descr -> Proto.stats
 (** @raise Proto.Protocol_error on a non-stats reply. *)
 
+val status : ?timeout:float -> Unix.file_descr -> Oqmc_obs.Jsonx.t
+(** Full live snapshot: daemon counters, metrics registry (with
+    quantiles), and every running job's status file (per-rank ledger
+    windows, audit gauges).
+    @raise Proto.Protocol_error on a non-status reply. *)
+
 val run_deck :
   ?timeout:float ->
   socket:string ->

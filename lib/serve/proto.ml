@@ -25,6 +25,7 @@ type request =
   | Query of string  (* job id *)
   | Cancel of string
   | Stats
+  | Status  (* full live snapshot: daemon + registry + per-job status *)
   | Ping
 
 (* Conserved accounting, exposed so the soak harness can assert
@@ -51,6 +52,9 @@ type reply =
   | Job_done of { id : string; outcome : Job.outcome; cached : bool }
   | Job_failed of { id : string; reason : string }
   | Stats_reply of stats
+  | Status_reply of Jsonx.t
+      (* opaque snapshot document: stats + daemon metrics + running
+         jobs' live status files (ledger windows, audit gauges) *)
   | Pong
   | Error of string
 
@@ -95,6 +99,7 @@ let request_to_json = function
   | Query id -> Jsonx.Obj [ ("req", Str "query"); ("id", Str id) ]
   | Cancel id -> Jsonx.Obj [ ("req", Str "cancel"); ("id", Str id) ]
   | Stats -> Jsonx.Obj [ ("req", Str "stats") ]
+  | Status -> Jsonx.Obj [ ("req", Str "status") ]
   | Ping -> Jsonx.Obj [ ("req", Str "ping") ]
 
 let request_of_json j =
@@ -112,6 +117,7 @@ let request_of_json j =
   | "query" -> Query (str "id" j)
   | "cancel" -> Cancel (str "id" j)
   | "stats" -> Stats
+  | "status" -> Status
   | "ping" -> Ping
   | other -> proto_fail "unknown request %S" other
 
@@ -178,6 +184,7 @@ let reply_to_json = function
   | Job_failed { id; reason } ->
       Jsonx.Obj [ ("re", Str "failed"); ("id", Str id); ("reason", Str reason) ]
   | Stats_reply s -> Jsonx.Obj [ ("re", Str "stats"); ("stats", stats_to_json s) ]
+  | Status_reply body -> Jsonx.Obj [ ("re", Str "status"); ("body", body) ]
   | Pong -> Jsonx.Obj [ ("re", Str "pong") ]
   | Error reason -> Jsonx.Obj [ ("re", Str "error"); ("reason", Str reason) ]
 
@@ -203,6 +210,10 @@ let reply_of_json j =
       match Jsonx.member "stats" j with
       | Some s -> Stats_reply (stats_of_json s)
       | None -> proto_fail "stats without stats")
+  | "status" -> (
+      match Jsonx.member "body" j with
+      | Some body -> Status_reply body
+      | None -> proto_fail "status without body")
   | "pong" -> Pong
   | "error" -> Error (str "reason" j)
   | other -> proto_fail "unknown reply %S" other

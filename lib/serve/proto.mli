@@ -20,6 +20,10 @@ type request =
   | Query of string  (** job id *)
   | Cancel of string
   | Stats
+  | Status
+      (** full live snapshot: daemon counters + metrics registry +
+          every running job's status file (per-rank ledger windows,
+          audit gauges), answered without blocking the select loop *)
   | Ping
 
 (** Conserved accounting: the soak harness asserts
@@ -46,11 +50,15 @@ type reply =
   | Job_done of { id : string; outcome : Job.outcome; cached : bool }
   | Job_failed of { id : string; reason : string }
   | Stats_reply of stats
+  | Status_reply of Oqmc_obs.Jsonx.t
+      (** opaque snapshot document; see {!Status} *)
   | Pong
   | Error of string
 
 exception Protocol_error of string
 
+val stats_to_json : stats -> Oqmc_obs.Jsonx.t
+val stats_of_json : Oqmc_obs.Jsonx.t -> stats
 val request_to_json : request -> Oqmc_obs.Jsonx.t
 val request_of_json : Oqmc_obs.Jsonx.t -> request
 val reply_to_json : reply -> Oqmc_obs.Jsonx.t

@@ -46,6 +46,7 @@ type config = {
   grace_s : float;  (* drain grace before SIGKILL (deadline, shutdown) *)
   snapshot_every : int;  (* generations between job snapshots *)
   telemetry : string option;  (* per-job JSONL event stream *)
+  flightrec : string option;  (* daemon postmortem dump on fatal exit *)
 }
 
 let default_config =
@@ -59,6 +60,7 @@ let default_config =
     grace_s = 5.0;
     snapshot_every = 5;
     telemetry = None;
+    flightrec = None;
   }
 
 (* ---------- the runner child ---------- *)
@@ -157,7 +159,33 @@ let exec_runner cfg (spec : Job.spec) wfd =
          `Outcome (outcome_of_vmc r)
      | "dmc" ->
          let stop () = !drain || !suspend in
-         let snapshot = Filename.concat (Filename.concat cfg.dir "snap") spec.Job.id in
+         let snap = Filename.concat cfg.dir "snap" in
+         let snapshot = Filename.concat snap spec.Job.id in
+         let plan =
+           match Supervisor.plan_mode_of_string d.Input.plan with
+           | Some pm -> pm
+           | None -> Supervisor.Count_level
+         in
+         (* Efficiency audit: project the calibrated roofline for this
+            run shape once, then refresh the [audit.*] gauges at every
+            ledger window so the status snapshot (and any Status query)
+            carries the live measured-vs-model ratio. *)
+         let audit =
+           let precision =
+             match d.Input.precision with
+             | Some p -> p
+             | None -> (
+                 match d.Input.variant with
+                 | Variant.Ref | Variant.Current_f64 -> `F64
+                 | Variant.Ref_mp | Variant.Current -> `F32)
+           in
+           try
+             Some
+               (Oqmc_autotune.Audit.create ~walkers:d.Input.walkers
+                  ~domains:d.Input.domains ~ranks:(max 1 d.Input.ranks)
+                  ~variant:d.Input.variant ~precision ~sys ())
+           with _ -> None
+         in
          let params =
            {
              Supervisor.default_params with
@@ -168,6 +196,19 @@ let exec_runner cfg (spec : Job.spec) wfd =
              tau = d.Input.tau;
              seed = d.Input.seed + 1;
              n_domains = d.Input.domains;
+             plan;
+             (* Live introspection: the runner keeps a ~4 Hz status
+                snapshot next to its job snapshots (the daemon's Status
+                endpoint reads it) and dumps a flight-recorder
+                postmortem there on any abort.  Both files share the
+                job-id prefix, so the finished-job scrub removes them. *)
+             status = Some (Filename.concat snap (spec.Job.id ^ ".status"));
+             flightrec =
+               Some (Filename.concat snap (spec.Job.id ^ ".flightrec"));
+             on_window =
+               Option.map
+                 (fun a _gen -> ignore (Oqmc_autotune.Audit.observe a))
+                 audit;
            }
          in
          let out =
@@ -272,45 +313,51 @@ let now () = Unix.gettimeofday ()
 
 let emit t ~event ~id ~client ?(attempt = 0) ?(priority = 0) ?queue_wait_s
     ?reason () =
+  let base =
+    [
+      ("t", Jsonx.Num (now ()));
+      ("job", Jsonx.Str id);
+      ("client", Jsonx.Str client);
+      ("event", Jsonx.Str event);
+      ("attempt", Jsonx.Num (float_of_int attempt));
+      ("priority", Jsonx.Num (float_of_int priority));
+    ]
+  in
+  let base =
+    match queue_wait_s with
+    | Some w -> base @ [ ("queue_wait_s", Jsonx.Num w) ]
+    | None -> base
+  in
+  let base =
+    match reason with
+    | Some r -> base @ [ ("reason", Jsonx.Str r) ]
+    | None -> base
+  in
+  (* Every scheduler event also lands in the daemon's in-memory flight
+     recorder, so a fatal exit leaves the recent job history behind. *)
+  Flightrec.record "serve" (Jsonx.Obj base);
   match t.sink with
   | None -> ()
-  | Some sink ->
-      let base =
-        [
-          ("t", Jsonx.Num (now ()));
-          ("job", Jsonx.Str id);
-          ("client", Jsonx.Str client);
-          ("event", Jsonx.Str event);
-          ("attempt", Jsonx.Num (float_of_int attempt));
-          ("priority", Jsonx.Num (float_of_int priority));
-        ]
-      in
-      let base =
-        match queue_wait_s with
-        | Some w -> base @ [ ("queue_wait_s", Jsonx.Num w) ]
-        | None -> base
-      in
-      let base =
-        match reason with
-        | Some r -> base @ [ ("reason", Jsonx.Str r) ]
-        | None -> base
-      in
-      Telemetry.emit sink (Jsonx.Obj base)
+  | Some sink -> Telemetry.emit sink (Jsonx.Obj base)
 
 let fresh_id t =
   let id = Printf.sprintf "j%04d" t.next_seq in
   t.next_seq <- t.next_seq + 1;
   id
 
-(* Remove every snapshot/shard file belonging to a finished job. *)
-let scrub_snapshots t id =
+(* Remove every snapshot/shard file belonging to a finished job.  A
+   failed job keeps its flight-recorder postmortem — that file is the
+   evidence of why it failed. *)
+let scrub_snapshots ?(keep_flightrec = false) t id =
   match Sys.readdir (snap_dir t) with
   | exception Sys_error _ -> ()
   | names ->
       Array.iter
         (fun name ->
-          if String.length name > String.length id
-             && String.sub name 0 (String.length id + 1) = id ^ "."
+          if
+            String.length name > String.length id
+            && String.sub name 0 (String.length id + 1) = id ^ "."
+            && not (keep_flightrec && Filename.check_suffix name ".flightrec")
           then
             try Sys.remove (Filename.concat (snap_dir t) name)
             with Sys_error _ -> ())
@@ -389,7 +436,10 @@ let finalize t (spec : Job.spec) term =
       emit t ~event:"cancelled" ~id ~client:spec.Job.client
         ~priority:spec.Job.priority ()
   | Tlost -> ());
-  (match term with Tdone _ | Tfailed _ | Tcancelled -> scrub_snapshots t id | _ -> ());
+  (match term with
+  | Tdone _ | Tcancelled -> scrub_snapshots t id
+  | Tfailed _ -> scrub_snapshots ~keep_flightrec:true t id
+  | _ -> ());
   notify_waiters t id
 
 (* ---------- scheduling ---------- *)
@@ -730,6 +780,15 @@ let handle_cancel t fd id =
   in
   Proto.send_reply fd reply
 
+(* ---------- the Status snapshot ---------- *)
+
+let status_file t id = Filename.concat (snap_dir t) (id ^ ".status")
+
+let read_small path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | s -> Some s
+  | exception Sys_error _ -> None
+
 let stats_of t =
   {
     Proto.submitted = t.k.c_submitted;
@@ -745,11 +804,47 @@ let stats_of t =
     suspended = t.k.c_suspended;
   }
 
+(* The whole snapshot is assembled from state already in hand plus one
+   small atomic-renamed file read per running job — nothing here waits
+   on a runner, so the select loop never blocks on Status. *)
+let status_of t =
+  let tnow = now () in
+  let job_json id (r : runner) =
+    let live =
+      match read_small (status_file t id) with
+      | Some s -> (
+          match Jsonx.parse_string_exn (String.trim s) with
+          | j -> j
+          | exception Jsonx.Parse_error _ -> Jsonx.Null)
+      | None -> Jsonx.Null
+    in
+    Jsonx.Obj
+      [
+        ("id", Jsonx.Str id);
+        ("client", Jsonx.Str r.r_spec.Job.client);
+        ("attempt", Jsonx.Num (float_of_int r.r_attempt));
+        ("running_s", Jsonx.Num (tnow -. r.r_first_started));
+        ("live", live);
+      ]
+  in
+  Jsonx.Obj
+    [
+      ("t", Jsonx.Num tnow);
+      ("stats", Proto.stats_to_json (stats_of t));
+      ("metrics", Expo.json (Metrics.snapshot ()));
+      ( "jobs",
+        Jsonx.Arr
+          (List.sort compare
+             (Hashtbl.fold (fun id _ acc -> id :: acc) t.running [])
+          |> List.map (fun id -> job_json id (Hashtbl.find t.running id))) );
+    ]
+
 let handle_request t fd = function
   | Proto.Submit s -> handle_submit t fd s
   | Proto.Query id -> handle_query t fd id
   | Proto.Cancel id -> handle_cancel t fd id
   | Proto.Stats -> Proto.send_reply fd (Proto.Stats_reply (stats_of t))
+  | Proto.Status -> Proto.send_reply fd (Proto.Status_reply (status_of t))
   | Proto.Ping -> Proto.send_reply fd Proto.Pong
 
 let handle_client t fd =
@@ -911,7 +1006,7 @@ let shutdown t =
 
 let term_flag = ref false
 
-let serve cfg =
+let rec serve cfg =
   if cfg.max_queue < 1 then invalid_arg "Server.serve: max_queue < 1";
   if cfg.max_running < 1 then invalid_arg "Server.serve: max_running < 1";
   if cfg.snapshot_every < 1 then invalid_arg "Server.serve: snapshot_every < 1";
@@ -968,33 +1063,43 @@ let serve cfg =
       Sys.set_signal Sys.sigterm old_term;
       Sys.set_signal Sys.sigint old_int)
     (fun () ->
-      while not !term_flag do
-        start_ready t;
-        enforce_deadlines t;
-        let pipes =
-          Hashtbl.fold (fun _ r acc -> r.r_pipe :: acc) t.running []
-        in
-        let fds = (t.listener :: t.clients) @ pipes in
-        match Unix.select fds [] [] 0.05 with
-        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-        | ready, _, _ ->
-            List.iter
-              (fun fd ->
-                if fd = t.listener then begin
-                  match Unix.accept t.listener with
-                  | conn, _ -> t.clients <- conn :: t.clients
-                  | exception Unix.Unix_error _ -> ()
-                end
-                else
-                  let runner =
-                    Hashtbl.fold
-                      (fun _ r acc -> if r.r_pipe = fd then Some r else acc)
-                      t.running None
-                  in
-                  match runner with
-                  | Some r -> handle_runner_event t r
-                  | None ->
-                      if List.mem fd t.clients then handle_client t fd)
-              ready
-      done;
-      shutdown t)
+      (* A fatal daemon exit dumps the flight recorder (recent scheduler
+         events) before the exception escapes. *)
+      try serve_loop t
+      with e ->
+        let bt = Printexc.get_raw_backtrace () in
+        (match cfg.flightrec with
+        | Some path -> (
+            try Flightrec.dump ~reason:(Printexc.to_string e) ~path ()
+            with _ -> ())
+        | None -> ());
+        Printexc.raise_with_backtrace e bt)
+
+and serve_loop t =
+  while not !term_flag do
+    start_ready t;
+    enforce_deadlines t;
+    let pipes = Hashtbl.fold (fun _ r acc -> r.r_pipe :: acc) t.running [] in
+    let fds = (t.listener :: t.clients) @ pipes in
+    match Unix.select fds [] [] 0.05 with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | ready, _, _ ->
+        List.iter
+          (fun fd ->
+            if fd = t.listener then begin
+              match Unix.accept t.listener with
+              | conn, _ -> t.clients <- conn :: t.clients
+              | exception Unix.Unix_error _ -> ()
+            end
+            else
+              let runner =
+                Hashtbl.fold
+                  (fun _ r acc -> if r.r_pipe = fd then Some r else acc)
+                  t.running None
+              in
+              match runner with
+              | Some r -> handle_runner_event t r
+              | None -> if List.mem fd t.clients then handle_client t fd)
+          ready
+  done;
+  shutdown t

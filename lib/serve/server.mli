@@ -18,6 +18,9 @@ type config = {
       (** drain grace before SIGKILL (deadline and shutdown paths) *)
   snapshot_every : int;  (** generations between job snapshots *)
   telemetry : string option;  (** per-job JSONL event stream *)
+  flightrec : string option;
+      (** dump the daemon's flight recorder (recent scheduler events)
+          to this postmortem file if the select loop dies fatally *)
 }
 
 val default_config : config

@@ -1,0 +1,25 @@
+#!/bin/sh
+# Validate every BENCH_*.json in the repository root: each record must
+# parse as JSON and open with the shared header naming its schema
+# version, precision (f32/f64) and delayed-update rank — see
+# bench/report.ml (bench_header).  A bench record without that header
+# is not diffable across PRs, so this gate fails CI before it lands.
+#
+# Usage: scripts/validate_bench.sh [file ...]
+#   With no arguments, validates all BENCH_*.json in the repo root
+#   (succeeding vacuously if none have been generated yet).
+set -eu
+cd "$(dirname "$0")/.."
+
+dune build test/bench_validate.exe
+
+if [ "$#" -gt 0 ]; then
+  exec ./_build/default/test/bench_validate.exe "$@"
+fi
+
+set -- BENCH_*.json
+if [ ! -e "$1" ]; then
+  echo "validate_bench: no BENCH_*.json present, nothing to validate"
+  exit 0
+fi
+exec ./_build/default/test/bench_validate.exe "$@"

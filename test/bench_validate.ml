@@ -1,0 +1,55 @@
+(* Validate BENCH_*.json records: each file must parse as JSON and open
+   with the shared header — {"header": {"schema": N, "precision": ...,
+   "delay": ...}} — so benches stay diffable across PRs and scripts can
+   refuse shapes they do not understand.  Driven by
+   scripts/validate_bench.sh; exits non-zero naming the first offender. *)
+
+module Jsonx = Oqmc_obs.Jsonx
+
+let fail path fmt =
+  Printf.ksprintf
+    (fun s ->
+      Printf.eprintf "validate_bench: %s: %s\n" path s;
+      exit 1)
+    fmt
+
+let validate path =
+  let body =
+    try In_channel.with_open_bin path In_channel.input_all
+    with Sys_error e -> fail path "unreadable: %s" e
+  in
+  let j =
+    try Jsonx.parse_string_exn body
+    with e -> fail path "does not parse as JSON: %s" (Printexc.to_string e)
+  in
+  let header =
+    match Jsonx.member "header" j with
+    | Some (Jsonx.Obj _ as h) -> h
+    | Some _ -> fail path "header is not an object"
+    | None -> fail path "missing the required \"header\" object"
+  in
+  let req_num key =
+    match Option.bind (Jsonx.member key header) Jsonx.to_float with
+    | Some v when Float.is_finite v -> v
+    | _ -> fail path "header lacks a numeric %S" key
+  in
+  let schema = req_num "schema" in
+  if schema <> 1. then fail path "unknown header schema version %g" schema;
+  (match Option.bind (Jsonx.member "precision" header) Jsonx.to_str with
+  | Some ("f32" | "f64") -> ()
+  | Some other -> fail path "header precision must be f32|f64, got %S" other
+  | None -> fail path "header lacks a string \"precision\"");
+  let delay = req_num "delay" in
+  if delay < 1. || not (Float.is_integer delay) then
+    fail path "header delay must be a positive integer, got %g" delay;
+  Printf.printf "validate_bench: %s OK (schema %g, %s, delay %g)\n" path
+    schema
+    (Option.get (Option.bind (Jsonx.member "precision" header) Jsonx.to_str))
+    delay
+
+let () =
+  if Array.length Sys.argv < 2 then begin
+    prerr_endline "usage: bench_validate BENCH_foo.json ...";
+    exit 2
+  end;
+  Array.iter validate (Array.sub Sys.argv 1 (Array.length Sys.argv - 1))

@@ -273,7 +273,11 @@ let () =
         ("bench", Jsonx.Str "chaos_soak");
         ( "header",
           Jsonx.Obj
-            [ ("precision", Jsonx.Str "f64"); ("delay", Jsonx.Num 1.) ] );
+            [
+              ("schema", Jsonx.Num 1.);
+              ("precision", Jsonx.Str "f64");
+              ("delay", Jsonx.Num 1.);
+            ] );
         ("mode", Jsonx.Str (if long then "long" else "short"));
         ("survival", Jsonx.Arr (List.map seed_obj survivals));
         ( "latency",

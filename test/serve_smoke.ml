@@ -57,13 +57,14 @@ let long_deck =
   "method = dmc\nworkload = harmonic\nwalkers = 16\nblocks = 200\n\
    steps = 10\ntau = 0.01\nseed = 99\n"
 
+(* Percentiles via the shared metrics machinery — the same log2-bucket
+   quantile estimator the status endpoint serves. *)
 let percentile p xs =
-  match List.sort compare xs with
-  | [] -> 0.
-  | sorted ->
-      let n = List.length sorted in
-      let i = int_of_float (ceil (p /. 100. *. float_of_int n)) - 1 in
-      List.nth sorted (max 0 (min (n - 1) i))
+  match
+    Oqmc_obs.Metrics.quantile (Oqmc_obs.Metrics.hview_of_values xs) (p /. 100.)
+  with
+  | Some (est, _err) -> est
+  | None -> 0.
 
 let run_deck ?deadline_s d =
   match Client.run_deck ~socket ~client:"smoke" ?deadline_s d with
@@ -191,6 +192,13 @@ let () =
     Jsonx.Obj
       [
         ("bench", Jsonx.Str "serve_smoke");
+        ( "header",
+          Jsonx.Obj
+            [
+              ("schema", Jsonx.Num 1.);
+              ("precision", Jsonx.Str "f32");
+              ("delay", Jsonx.Num 1.);
+            ] );
         ("jobs", Jsonx.Num (float_of_int done_jobs));
         ("wall_s", Jsonx.Num wall);
         ("jobs_per_s", Jsonx.Num (float_of_int done_jobs /. wall));

@@ -1,0 +1,276 @@
+(* Status smoke: the live-introspection acceptance path end to end.
+
+   1. Boot the oqmc-serve daemon, put a DMC job in flight, and poll the
+      Status verb until the snapshot carries per-rank ledger windows AND
+      the audit.efficiency gauge — the smoke FAILS if the audit gauge
+      never surfaces.
+   2. Run the efficiency audit directly on the harmonic and NiO-32
+      (reduced) workloads: both must produce a finite
+      measured-vs-projected ratio and publish the audit.* gauges.
+   3. Inject a rank crash under a supervised run with the flight
+      recorder armed: the postmortem file must exist, replay with the
+      crashing generation's records and spans present, and the
+      oqmc_submit postmortem CLI (path in argv 1) must render it.
+
+   Run with `dune build @status-smoke`. *)
+
+open Oqmc_core
+open Oqmc_workloads
+open Oqmc_serve
+module Jsonx = Oqmc_obs.Jsonx
+module Metrics = Oqmc_obs.Metrics
+module Trace = Oqmc_obs.Trace
+module Flightrec = Oqmc_obs.Flightrec
+module Supervisor = Oqmc_dist.Supervisor
+module Audit = Oqmc_autotune.Audit
+
+let die fmt = Printf.ksprintf (fun s -> prerr_endline ("FAIL: " ^ s); exit 1) fmt
+let check name ok = if not ok then die "%s" name
+
+let base =
+  let d = Printf.sprintf "/tmp/oqmc-status.%d" (Unix.getpid ()) in
+  (try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  d
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Unix.rmdir path
+  | _ -> Unix.unlink path
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+
+(* ---------- helpers over the status JSON ---------- *)
+
+let member_list name j =
+  Option.value ~default:[] (Option.bind (Jsonx.member name j) Jsonx.to_list)
+
+let live_jobs body =
+  List.filter_map
+    (fun job ->
+      match Jsonx.member "live" job with
+      | Some (Jsonx.Obj _ as live) -> Some live
+      | _ -> None)
+    (member_list "jobs" body)
+
+let ledger_rows body =
+  List.concat_map (fun live -> member_list "ledger" live) (live_jobs body)
+
+let audit_efficiency body =
+  List.find_map
+    (fun live ->
+      Option.bind (Jsonx.member "audit" live) (fun a ->
+          Option.bind (Jsonx.member "audit.efficiency" a) Jsonx.to_float))
+    (live_jobs body)
+
+(* ---------- part 1: daemon status with a job in flight ---------- *)
+
+let part_status_endpoint () =
+  let socket = Filename.concat base "sock" in
+  let cfg =
+    {
+      Server.default_config with
+      Server.socket;
+      dir = Filename.concat base "state";
+      max_queue = 4;
+      max_running = 1;
+    }
+  in
+  let daemon =
+    match Unix.fork () with
+    | 0 -> (
+        try
+          Server.serve cfg;
+          Stdlib.exit 0
+        with e ->
+          prerr_endline ("daemon: " ^ Printexc.to_string e);
+          Stdlib.exit 1)
+    | pid -> pid
+  in
+  let deck =
+    "method = dmc\nworkload = harmonic\nwalkers = 64\nblocks = 100\n\
+     steps = 50\ntau = 0.01\nseed = 5\n"
+  in
+  let fd = Client.connect socket in
+  (match Client.submit fd ~client:"smoke" ~wait:false deck with
+  | Proto.Accepted _ -> ()
+  | r ->
+      die "submit: expected Accepted, got %s"
+        (Jsonx.to_string (Proto.reply_to_json r)));
+  (* Poll until BOTH the per-rank ledger windows and the audit gauge
+     surface in the live snapshot.  No audit gauge = smoke failure. *)
+  let deadline = Unix.gettimeofday () +. 60. in
+  let rec poll () =
+    let body = Client.status fd in
+    check "snapshot has daemon stats" (Jsonx.member "stats" body <> None);
+    check "snapshot has the metrics registry"
+      (Jsonx.member "metrics" body <> None);
+    let rows = ledger_rows body and eff = audit_efficiency body in
+    if rows <> [] && eff <> None then (body, rows, Option.get eff)
+    else if Unix.gettimeofday () > deadline then
+      die "status snapshot incomplete after 60 s: ledger rows %d, audit %s"
+        (List.length rows)
+        (match eff with Some _ -> "present" | None -> "ABSENT")
+    else begin
+      Unix.sleepf 0.25;
+      poll ()
+    end
+  in
+  let body, rows, eff = poll () in
+  check "ledger row carries throughput"
+    (List.exists
+       (fun r ->
+         match
+           Option.bind (Jsonx.member "walkers_moves_per_s" r) Jsonx.to_float
+         with
+         | Some v -> v > 0.
+         | None -> false)
+       rows);
+  check "audit efficiency is a sane ratio" (Float.is_finite eff && eff > 0.);
+  (* The snapshot must be plain parseable JSON end to end. *)
+  let s = Jsonx.to_string body in
+  check "snapshot roundtrips" (Jsonx.parse_string_exn s = body);
+  ignore (Client.cancel fd "j0001");
+  Client.close fd;
+  Unix.kill daemon Sys.sigterm;
+  let _, st = Unix.waitpid [] daemon in
+  check "daemon drained cleanly" (st = Unix.WEXITED 0);
+  Printf.printf "status endpoint OK: ledger rows %d, audit efficiency %.2f\n%!"
+    (List.length rows) eff
+
+(* ---------- part 2: efficiency audit on both workloads ---------- *)
+
+let audit_workload name sys ~walkers ~generations =
+  Metrics.reset ();
+  let factory = Build.factory ~variant:Variant.Current ~seed:3 sys in
+  let r =
+    Dmc.run ~factory
+      {
+        Dmc.target_walkers = walkers;
+        warmup = 2;
+        generations;
+        tau = 0.01;
+        seed = 7;
+        n_domains = 1;
+        ranks = 1;
+      }
+  in
+  let a =
+    Audit.create ~walkers ~variant:Variant.Current ~precision:`F32 ~sys ()
+  in
+  let measured_gen_s = r.Dmc.wall_time /. float_of_int generations in
+  match Audit.observe ~measured_gen_s a with
+  | None -> die "%s: audit produced no report" name
+  | Some rep ->
+      check
+        (name ^ ": measured-vs-projected ratio is finite and positive")
+        (Float.is_finite rep.Audit.efficiency && rep.Audit.efficiency > 0.);
+      check
+        (name ^ ": audit.efficiency gauge published")
+        (match Metrics.find (Metrics.snapshot ()) "audit.efficiency" with
+        | Some (Metrics.Gauge g) -> Float.is_finite g && g > 0.
+        | _ -> false);
+      check
+        (name ^ ": kernel verdicts present")
+        (rep.Audit.kernels <> []);
+      print_string (Audit.table rep)
+
+let part_audit_workloads () =
+  audit_workload "harmonic"
+    (Validation.harmonic ~n:6 ~omega:1.0)
+    ~walkers:16 ~generations:12;
+  audit_workload "NiO-32 (reduced)"
+    (Builder.make ~seed:3 Spec.nio32)
+    ~walkers:4 ~generations:3;
+  Printf.printf "efficiency audit OK on harmonic and NiO-32\n%!"
+
+(* ---------- part 3: injected crash -> postmortem replay ---------- *)
+
+let part_crash_postmortem submit_exe =
+  let fr_path = Filename.concat base "crash.flightrec" in
+  Flightrec.clear ();
+  Trace.enable ();
+  let sys = Validation.harmonic ~n:4 ~omega:1.0 in
+  let factory = Build.factory ~variant:Variant.Current ~seed:3 sys in
+  let p =
+    {
+      Supervisor.default_params with
+      ranks = 3;
+      target_walkers = 9;
+      warmup = 3;
+      generations = 10;
+      tau = 0.02;
+      seed = 77;
+      n_domains = 1;
+      heartbeat_s = 30.;
+      respawn_backoff = 0.01;
+      faults = [ (1, 5, Oqmc_core.Fault.Rank_kill) ];
+      flightrec = Some fr_path;
+    }
+  in
+  let res = Supervisor.run ~factory p in
+  Trace.disable ();
+  check "injected crash detected" (res.Supervisor.crashes = 1);
+  check "run survived the crash" (res.Supervisor.live_ranks = 3);
+  check "postmortem file written on the abort path" (Sys.file_exists fr_path);
+  let pm = Flightrec.replay ~path:fr_path in
+  check "postmortem replays complete (CRC ok)" pm.Flightrec.complete;
+  check "rank_failed record present"
+    (List.exists
+       (fun (e : Flightrec.entry) -> e.Flightrec.kind = "rank_failed")
+       pm.Flightrec.records);
+  (* The crashing generation's records and spans made it into the dump. *)
+  let crash_gen =
+    List.find_map
+      (fun (e : Flightrec.entry) ->
+        if e.Flightrec.kind <> "rank_failed" then None
+        else Option.bind (Jsonx.member "gen" e.Flightrec.data) Jsonx.to_float)
+      pm.Flightrec.records
+  in
+  check "rank_failed names its generation" (crash_gen <> None);
+  let cg = Option.get crash_gen in
+  (* The crashing generation's own "gen" record is written at generation
+     end — after the dump — so the ring must reach the generation
+     immediately before the crash. *)
+  check "generation records reach the crashing generation"
+    (List.exists
+       (fun (e : Flightrec.entry) ->
+         e.Flightrec.kind = "gen"
+         &&
+         match
+           Option.bind (Jsonx.member "gen" e.Flightrec.data) Jsonx.to_float
+         with
+         | Some g -> g >= cg -. 1.
+         | None -> false)
+       pm.Flightrec.records);
+  check "trace spans captured in the dump" (pm.Flightrec.spans <> []);
+  (* And the user-facing replay: oqmc_submit postmortem <file>. *)
+  let out = Filename.concat base "postmortem.out" in
+  let cmd =
+    Printf.sprintf "%s postmortem %s > %s"
+      (Filename.quote submit_exe) (Filename.quote fr_path) (Filename.quote out)
+  in
+  check "oqmc_submit postmortem exits 0" (Sys.command cmd = 0);
+  let rendered = In_channel.with_open_bin out In_channel.input_all in
+  let contains s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    m = 0 || go 0
+  in
+  check "CLI replay shows the rank failure" (contains rendered "rank_failed");
+  Printf.printf "crash postmortem OK: rank 1 died at gen %.0f, %d records, %d spans replayed\n%!"
+    cg
+    (List.length pm.Flightrec.records)
+    (List.length pm.Flightrec.spans)
+
+let () =
+  let submit_exe =
+    if Array.length Sys.argv > 1 then Sys.argv.(1)
+    else die "usage: status_smoke <path-to-oqmc_submit.exe>"
+  in
+  rm_rf (Filename.concat base "state");
+  part_status_endpoint ();
+  part_audit_workloads ();
+  part_crash_postmortem submit_exe;
+  rm_rf base;
+  print_endline "status smoke OK"

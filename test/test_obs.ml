@@ -372,6 +372,204 @@ let test_progress_line () =
   Sys.remove path;
   check_bool "painted something" true (len > 0)
 
+(* ---------- progress interject: no torn lines ---------- *)
+
+(* Naive substring scan; test inputs are tiny. *)
+let find_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i =
+    if i + m > n then None
+    else if String.sub s i m = sub then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let contains s sub = find_sub s sub <> None
+
+let test_progress_interject () =
+  let path = Filename.temp_file "oqmc_test" ".progress" in
+  let oc = open_out path in
+  let p = Progress.create ~oc ~min_interval:0. () in
+  Progress.update p "gen 1/10";
+  Progress.interject p "warning: rank 2 straggling";
+  Progress.update p "gen 2/10";
+  Progress.finish p;
+  close_out oc;
+  let out = In_channel.with_open_bin path In_channel.input_all in
+  Sys.remove path;
+  (* The painted line is erased before the warning, the warning owns a
+     full line, and the next update repaints immediately (throttle
+     reset). *)
+  check_bool "status erased before the warning" true
+    (match find_sub out "warning:" with
+    | None -> false
+    | Some i ->
+        let erase = "\r\027[K" in
+        i >= String.length erase
+        && String.sub out (i - String.length erase) (String.length erase)
+           = erase);
+  check_bool "warning on its own line" true
+    (contains out "warning: rank 2 straggling\n");
+  check_bool "repaint after interject" true (contains out "gen 2/10")
+
+(* ---------- exposition ---------- *)
+
+module Expo = Oqmc_obs.Expo
+
+(* Golden rendering: 1.0/2.0/4.0 land in log2 buckets bounded 2/4/8. *)
+let expo_snap () =
+  [
+    ("app.moves", Metrics.Counter 42);
+    ("app.ratio", Metrics.Gauge 0.5);
+    ("app.wall", Metrics.Histogram (Metrics.hview_of_values [ 1.0; 2.0; 4.0 ]));
+  ]
+
+let test_expo_golden_text () =
+  let golden =
+    String.concat "\n"
+      [
+        "# TYPE app_moves counter";
+        "app_moves 42";
+        "# TYPE app_ratio gauge";
+        "app_ratio 0.5";
+        "# TYPE app_wall histogram";
+        "app_wall_bucket{le=\"2\"} 1";
+        "app_wall_bucket{le=\"4\"} 2";
+        "app_wall_bucket{le=\"8\"} 3";
+        "app_wall_bucket{le=\"+Inf\"} 3";
+        "app_wall_sum 7";
+        "app_wall_count 3";
+        "";
+      ]
+  in
+  Alcotest.(check string) "prometheus text" golden (Expo.text (expo_snap ()))
+
+let test_expo_json () =
+  let j = Expo.json (expo_snap ()) in
+  let wall = Option.get (Jsonx.member "app.wall" j) in
+  check_int "count" 3
+    (int_of_float (Option.get (Option.bind (Jsonx.member "count" wall) Jsonx.to_float)));
+  let p50 =
+    Option.get (Option.bind (Jsonx.member "p50" wall) Jsonx.to_float)
+  in
+  check_bool "p50 within data range" true (p50 >= 1.0 && p50 <= 4.0);
+  (* The whole document roundtrips through the wire format. *)
+  let s = Jsonx.to_string j in
+  check_bool "roundtrips" true (Jsonx.parse_string_exn s = j)
+
+(* ---------- quantiles: honest error bars (QCheck) ---------- *)
+
+let samples_arb =
+  QCheck.(list_of_size Gen.(int_range 1 100) (float_range 1e-6 1e6))
+
+(* Empirical quantile: value at rank ceil(q*n), 1-based. *)
+let emp_quantile vs q =
+  let a = Array.of_list vs in
+  Array.sort compare a;
+  let n = Array.length a in
+  let rank = max 1 (int_of_float (Float.ceil (q *. float_of_int n))) in
+  a.(min (n - 1) (rank - 1))
+
+let prop_quantile_honest =
+  QCheck.Test.make ~count:300
+    ~name:"quantile estimate within [min,max] and err covers the truth"
+    QCheck.(pair samples_arb (float_range 0. 1.))
+    (fun (vs, q) ->
+      let hv = Metrics.hview_of_values vs in
+      match Metrics.quantile hv q with
+      | None -> false
+      | Some (est, err) ->
+          let t = emp_quantile vs q in
+          est >= hv.Metrics.min
+          && est <= hv.Metrics.max
+          && err >= 0.
+          && Float.abs (est -. t) <= err +. 1e-9)
+
+let prop_quantile_monotone =
+  QCheck.Test.make ~count:300 ~name:"quantile monotone in q"
+    QCheck.(triple samples_arb (float_range 0. 1.) (float_range 0. 1.))
+    (fun (vs, a, b) ->
+      let qlo = Float.min a b and qhi = Float.max a b in
+      let hv = Metrics.hview_of_values vs in
+      match (Metrics.quantile hv qlo, Metrics.quantile hv qhi) with
+      | Some (e1, _), Some (e2, _) -> e1 <= e2 +. 1e-12
+      | _ -> false)
+
+let prop_quantile_empty =
+  QCheck.Test.make ~count:20 ~name:"empty histogram has no quantiles"
+    QCheck.(float_range 0. 1.)
+    (fun q -> Metrics.quantile (Metrics.hview_of_values []) q = None)
+
+(* ---------- flight recorder ---------- *)
+
+module Flightrec = Oqmc_obs.Flightrec
+
+let test_flightrec_ring_wrap () =
+  Flightrec.set_capacity 8;
+  for i = 1 to 20 do
+    Flightrec.record "tick" (Jsonx.Num (float_of_int i))
+  done;
+  let es = Flightrec.entries () in
+  check_int "ring holds capacity" 8 (List.length es);
+  check_int "recorded counts everything" 20 (Flightrec.recorded ());
+  (* Oldest first, and the survivors are the newest 8. *)
+  let nums =
+    List.map
+      (fun (e : Flightrec.entry) ->
+        int_of_float (Option.get (Jsonx.to_float e.Flightrec.data)))
+      es
+  in
+  Alcotest.(check (list int)) "newest 8, oldest first"
+    [ 13; 14; 15; 16; 17; 18; 19; 20 ]
+    nums;
+  Flightrec.set_capacity 512
+
+let test_flightrec_dump_replay () =
+  Flightrec.set_capacity 64;
+  Flightrec.clear ();
+  Flightrec.record "gen" (Jsonx.Obj [ ("gen", Jsonx.Num 7.) ]);
+  Flightrec.note "rank %d respawned" 2;
+  let path = Filename.temp_file "oqmc_test" ".flightrec" in
+  Flightrec.dump ~reason:"unit test" ~path ();
+  let pm = Flightrec.replay ~path in
+  Sys.remove path;
+  check_bool "complete (CRC matched)" true pm.Flightrec.complete;
+  check_int "both records replayed" 2 (List.length pm.Flightrec.records);
+  check_bool "kinds preserved" true
+    (List.map (fun (e : Flightrec.entry) -> e.Flightrec.kind)
+       pm.Flightrec.records
+    = [ "gen"; "note" ]);
+  check_bool "describe mentions the reason" true
+    (contains (Flightrec.describe pm) "unit test")
+
+let test_flightrec_torn_tail () =
+  Flightrec.set_capacity 64;
+  Flightrec.clear ();
+  for i = 1 to 10 do
+    Flightrec.record "gen" (Jsonx.Obj [ ("gen", Jsonx.Num (float_of_int i)) ])
+  done;
+  let path = Filename.temp_file "oqmc_test" ".flightrec" in
+  Flightrec.dump ~reason:"torn" ~path ();
+  (* Tear the file mid-line, as a crash during the dump would. *)
+  let whole = In_channel.with_open_bin path In_channel.input_all in
+  let torn = String.sub whole 0 (String.length whole - 17) in
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_string oc torn);
+  let pm = Flightrec.replay ~path in
+  Sys.remove path;
+  check_bool "flagged incomplete" true (not pm.Flightrec.complete);
+  check_bool "recovered most records" true
+    (List.length pm.Flightrec.records >= 8);
+  (* Garbage is refused outright, not half-parsed. *)
+  let bad = Filename.temp_file "oqmc_test" ".notflightrec" in
+  Out_channel.with_open_bin bad (fun oc ->
+      Out_channel.output_string oc "just some text\n");
+  check_bool "non-dump raises Not_flightrec" true
+    (match Flightrec.replay ~path:bad with
+    | _ -> false
+    | exception Flightrec.Not_flightrec _ -> true);
+  Sys.remove bad
+
 (* ---------- bit-identity: observability must not perturb physics ---------- *)
 
 let bits_equal a b =
@@ -491,6 +689,22 @@ let () =
         [
           Alcotest.test_case "jsonl sink" `Quick test_telemetry_jsonl;
           Alcotest.test_case "progress line" `Quick test_progress_line;
+          Alcotest.test_case "interject" `Quick test_progress_interject;
+        ] );
+      ( "expo",
+        [
+          Alcotest.test_case "golden text" `Quick test_expo_golden_text;
+          Alcotest.test_case "json" `Quick test_expo_json;
+        ] );
+      ( "quantile",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_quantile_honest; prop_quantile_monotone; prop_quantile_empty ]
+      );
+      ( "flightrec",
+        [
+          Alcotest.test_case "ring wrap" `Quick test_flightrec_ring_wrap;
+          Alcotest.test_case "dump/replay" `Quick test_flightrec_dump_replay;
+          Alcotest.test_case "torn tail" `Quick test_flightrec_torn_tail;
         ] );
       ( "bit_identity",
         [

@@ -331,7 +331,15 @@ let test_canonical_sensitivity () =
     (fun (k, v) ->
       check_bool (Printf.sprintf "%s = %s changes the hash" k v) true
         (h0 <> hash_of (base_deck @ [ (k, v) ])))
-    [ ("precision", "f32"); ("nlpp", "true"); ("ranks", "3") ]
+    [
+      ("precision", "f32"); ("nlpp", "true"); ("ranks", "3");
+      (* load-level exchange planning changes which walkers move where,
+         so it cannot share a cache entry with the count-level default *)
+      ("plan", "load");
+    ];
+  (* ... while spelling out the count default is a no-op. *)
+  check_str "explicit plan = count keeps the hash" h0
+    (hash_of (base_deck @ [ ("plan", "count") ]))
 
 let prop_canonical_shuffle =
   (* Property: ANY permutation of the deck lines, with random comment
@@ -464,6 +472,7 @@ let test_proto_codecs () =
       Proto.Query "j0042";
       Proto.Cancel "j0042";
       Proto.Stats;
+      Proto.Status;
       Proto.Ping;
     ]
   in
@@ -486,6 +495,20 @@ let test_proto_codecs () =
         };
       Proto.Pong;
       Proto.Error "malformed request";
+      Proto.Status_reply
+        (Jsonx.Obj
+           [
+             ("t", Jsonx.Num 12.5);
+             ( "jobs",
+               Jsonx.Arr
+                 [
+                   Jsonx.Obj
+                     [
+                       ("id", Jsonx.Str "j0001");
+                       ("live", Jsonx.Null);
+                     ];
+                 ] );
+           ]);
     ]
   in
   List.iter
@@ -501,6 +524,103 @@ let test_proto_codecs () =
       check_bool "job_done outcome bit-exact" true
         (same_float o.Job.energy 16.0 && Array.length o.Job.series = 5)
   | _ -> Alcotest.fail "job_done roundtrip shape"
+
+(* ---------- live status endpoint under load ----------
+
+   Boot a real daemon, put a job in flight, and hammer the Status verb
+   while it runs: every reply must be a well-formed snapshot, and once
+   the runner's first ledger window lands the snapshot must carry
+   per-rank throughput rows.  The select loop answers from in-memory
+   state plus one small file read, so it must stay responsive. *)
+
+let member_list name j =
+  Option.value ~default:[] (Option.bind (Jsonx.member name j) Jsonx.to_list)
+
+let ledger_rows body =
+  List.concat_map
+    (fun job ->
+      match Jsonx.member "live" job with
+      | Some (Jsonx.Obj _ as live) -> member_list "ledger" live
+      | _ -> [])
+    (member_list "jobs" body)
+
+let test_status_under_load () =
+  let base = fresh "statusd" in
+  Unix.mkdir base 0o755;
+  let socket = Filename.concat base "sock" in
+  let cfg =
+    {
+      Server.default_config with
+      Server.socket;
+      dir = Filename.concat base "state";
+      max_queue = 8;
+      max_running = 1;
+    }
+  in
+  let daemon =
+    match Unix.fork () with
+    | 0 -> (
+        try
+          Server.serve cfg;
+          Stdlib.exit 0
+        with _ -> Stdlib.exit 1)
+    | pid -> pid
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.kill daemon Sys.sigterm with Unix.Unix_error _ -> ());
+      ignore (Unix.waitpid [] daemon))
+    (fun () ->
+      let deck =
+        "method = dmc\nworkload = harmonic\nwalkers = 64\nblocks = 100\n\
+         steps = 50\ntau = 0.01\nseed = 5\n"
+      in
+      let fd = Client.connect socket in
+      Fun.protect
+        ~finally:(fun () -> Client.close fd)
+        (fun () ->
+          (match Client.submit fd ~client:"t" ~wait:false deck with
+          | Proto.Accepted _ -> ()
+          | r ->
+              Alcotest.failf "submit: %s"
+                (Jsonx.to_string (Proto.reply_to_json r)));
+          (* Poll until the runner's first ledger window surfaces. *)
+          let deadline = Unix.gettimeofday () +. 30. in
+          let rec poll () =
+            let body = Client.status fd in
+            check_bool "snapshot carries daemon stats" true
+              (Jsonx.member "stats" body <> None);
+            check_bool "snapshot carries the metrics registry" true
+              (Jsonx.member "metrics" body <> None);
+            if ledger_rows body <> [] then body
+            else if Unix.gettimeofday () > deadline then
+              Alcotest.fail "no ledger window surfaced within 30 s"
+            else begin
+              Unix.sleepf 0.2;
+              poll ()
+            end
+          in
+          let body = poll () in
+          let row = List.hd (ledger_rows body) in
+          check_bool "ledger row has a throughput number" true
+            (match
+               Option.bind
+                 (Jsonx.member "walkers_moves_per_s" row)
+                 Jsonx.to_float
+             with
+            | Some v -> v > 0.
+            | None -> false);
+          (* Load: 25 back-to-back queries with a runner active; each
+             must come back parsed and job-bearing, promptly. *)
+          let t0 = Unix.gettimeofday () in
+          for _ = 1 to 25 do
+            let b = Client.status fd in
+            check_bool "status under load lists the running job" true
+              (member_list "jobs" b <> [])
+          done;
+          check_bool "25 status queries answered in < 10 s" true
+            (Unix.gettimeofday () -. t0 < 10.);
+          ignore (Client.cancel fd "j0001")))
 
 let () =
   let qsuite = List.map QCheck_alcotest.to_alcotest [ prop_canonical_shuffle ] in
@@ -549,5 +669,10 @@ let () =
           Alcotest.test_case "job spec/outcome JSON" `Quick test_job_codecs;
           Alcotest.test_case "proto request/reply JSON" `Quick
             test_proto_codecs;
+        ] );
+      ( "status",
+        [
+          Alcotest.test_case "live snapshot under load" `Quick
+            test_status_under_load;
         ] );
     ]
