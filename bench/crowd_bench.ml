@@ -23,11 +23,11 @@ open Oqmc_wavefunction
       (1 = Sherman-Morrison). *)
 
 module Ps64 = Particle_set.Make (Precision.F64)
-module AA64 = Dt_aa_soa.Make (Precision.F64)
-module AB64 = Dt_ab_soa.Make (Precision.F64)
-module J2_64 = Jastrow_two.Make (Precision.F64)
-module J1_64 = Jastrow_one.Make (Precision.F64)
-module Det64 = Slater_det.Make (Precision.F64)
+module AA64 = Dt_aa_soa.Make (Precision.F64) (Precision.F64)
+module AB64 = Dt_ab_soa.Make (Precision.F64) (Precision.F64)
+module J2_64 = Jastrow_two.Make (Precision.F64) (Precision.F64)
+module J1_64 = Jastrow_one.Make (Precision.F64) (Precision.F64)
+module Det64 = Slater_det.Make (Precision.F64) (Precision.F64)
 module W64 = Wfc.Make (Precision.F64)
 
 let time_per ~reps f =

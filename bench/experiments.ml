@@ -40,6 +40,7 @@ let model_costs ~variant (spec : Spec.t) =
       layout = layout_of variant;
       acceptance = 0.5;
       nlpp_evals = Opcount.nlpp_evals_estimate ~n:spec.Spec.n ~has_pp;
+      tile = 0;
     }
 
 let model_step_time machine ~variant spec =

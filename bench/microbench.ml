@@ -15,8 +15,8 @@ open Oqmc_rng
 
 module Ps64 = Particle_set.Make (Precision.F64)
 module AAref64 = Dt_aa_ref.Make (Precision.F64)
-module AAsoa64 = Dt_aa_soa.Make (Precision.F64)
-module AAsoa32 = Dt_aa_soa.Make (Precision.F32)
+module AAsoa64 = Dt_aa_soa.Make (Precision.F64) (Precision.F64)
+module AAsoa32 = Dt_aa_soa.Make (Precision.F32) (Precision.F32)
 module Ps32 = Particle_set.Make (Precision.F32)
 module B3_32 = Oqmc_spline.Bspline3d.Make (Precision.F32)
 module B3_64 = Oqmc_spline.Bspline3d.Make (Precision.F64)

@@ -62,7 +62,7 @@ end
 
 module Bench_soa (R : Precision.REAL) : TABLE_BENCH = struct
   module Ps = Particle_set.Make (R)
-  module Dt = Dt_aa_soa.Make (R)
+  module Dt = Dt_aa_soa.Make (R) (R)
 
   let name = "soa-" ^ R.name
 

@@ -15,8 +15,8 @@ end
 module Bench (R : Precision.REAL) = struct
   module Ps = Particle_set.Make (R)
   module AAref = Dt_aa_ref.Make (R)
-  module AAsoa = Dt_aa_soa.Make (R)
-  module J2 = Oqmc_wavefunction.Jastrow_two.Make (R)
+  module AAsoa = Dt_aa_soa.Make (R) (R)
+  module J2 = Oqmc_wavefunction.Jastrow_two.Make (R) (R)
 
   let setup n seed =
     let lattice = Lattice.cubic 10. in

@@ -22,7 +22,7 @@ let with_obs ~trace ~telemetry ~progress f =
       match trace with Some path -> Trace.export ~path | None -> ())
     (fun () -> f sink prog)
 
-let make_system name reduction with_nlpp precision seed =
+let make_system name reduction with_nlpp precision layout tile seed =
   match String.lowercase_ascii name with
   | "harmonic" -> Validation.harmonic ~n:6 ~omega:1.0
   | "hydrogen" -> Validation.hydrogen ()
@@ -33,20 +33,35 @@ let make_system name reduction with_nlpp precision seed =
       let table_prec =
         match precision with Some `F64 -> `F64 | _ -> `F32
       in
-      Builder.make ~seed ~with_nlpp ~reduction ~precision:table_prec
-        (Spec.find name)
+      let layout =
+        match layout with Some `Tiled -> `Tiled | Some `Flat | None -> `Flat
+      in
+      Builder.make ~seed ~with_nlpp ~reduction ~precision:table_prec ~layout
+        ~tile (Spec.find name)
 
-let parse_precision = function
+let parse_precision_for flag = function
   | "" | "default" -> None
   | "f32" | "single" -> Some `F32
   | "f64" | "double" -> Some `F64
   | other ->
       invalid_arg
-        (Printf.sprintf "oqmc_run: --precision must be f32 or f64, got %S"
+        (Printf.sprintf "oqmc_run: --%s must be f32 or f64, got %S" flag
+           other)
+
+let parse_precision = parse_precision_for "precision"
+
+let parse_layout = function
+  | "" | "default" -> None
+  | "flat" -> Some `Flat
+  | "tiled" -> Some `Tiled
+  | other ->
+      invalid_arg
+        (Printf.sprintf "oqmc_run: --layout must be flat or tiled, got %S"
            other)
 
 let run input method_ workload variant reduction walkers blocks steps tau
-    domains crowd delay precision autotune with_nlpp seed checkpoint
+    domains crowd delay precision precision_dt precision_jastrow
+    precision_inv layout tile autotune with_nlpp seed checkpoint
     checkpoint_every checkpoint_keep
     watchdog restore ranks heartbeat_ms max_respawn elastic gen_deadline_ms
     straggler_policy plan trace telemetry telemetry_every progress flightrec
@@ -69,6 +84,12 @@ let run input method_ workload variant reduction walkers blocks steps tau
           crowd;
           delay;
           precision = parse_precision precision;
+          precision_dt = parse_precision_for "precision-dt" precision_dt;
+          precision_jastrow =
+            parse_precision_for "precision-jastrow" precision_jastrow;
+          precision_inv = parse_precision_for "precision-inv" precision_inv;
+          layout = parse_layout layout;
+          tile;
           autotune;
           nlpp = with_nlpp;
           seed;
@@ -102,6 +123,11 @@ let run input method_ workload variant reduction walkers blocks steps tau
   let crowd = cfg.Input.crowd in
   let delay = cfg.Input.delay in
   let precision = cfg.Input.precision in
+  let precision_dt = cfg.Input.precision_dt in
+  let precision_jastrow = cfg.Input.precision_jastrow in
+  let precision_inv = cfg.Input.precision_inv in
+  let layout = cfg.Input.layout in
+  let tile = cfg.Input.tile in
   let autotune = cfg.Input.autotune in
   let with_nlpp = cfg.Input.nlpp in
   let seed = cfg.Input.seed in
@@ -134,8 +160,9 @@ let run input method_ workload variant reduction walkers blocks steps tau
   let telemetry = cfg.Input.telemetry in
   let telemetry_every = max 1 cfg.Input.telemetry_every in
   let progress = cfg.Input.progress in
-  let sys = make_system workload reduction with_nlpp precision seed in
+  let sys = make_system workload reduction with_nlpp precision layout tile seed in
   if delay < 1 then invalid_arg "oqmc_run: --delay must be >= 1";
+  if tile < 0 then invalid_arg "oqmc_run: --tile must be >= 0";
   (* Effective working precision: explicit override beats the variant's
      default. *)
   let eff_precision =
@@ -146,11 +173,19 @@ let run input method_ workload variant reduction walkers blocks steps tau
         | Variant.Ref | Variant.Current_f64 -> `F64
         | Variant.Ref_mp | Variant.Current -> `F32)
   in
-  (* autotune = true: pick crowd/delay/grain from the calibrated
-     roofline + memory model, refined by a short measured delay sweep;
-     explicit non-default flags still win over the tuner. *)
-  let crowd, delay =
-    if not autotune then (crowd, delay)
+  (* The orbital tile in effect (0 = flat); an explicit deck layout wins,
+     and the tuner below may switch an unconstrained run to tiled. *)
+  let eff_tile =
+    match layout with
+    | Some `Tiled ->
+        if tile > 0 then tile else min 32 sys.System.spo.Oqmc_wavefunction.Spo.n_orb
+    | Some `Flat | None -> 0
+  in
+  (* autotune = true: pick crowd/delay/grain/tile from the calibrated
+     roofline + memory model, refined by short measured delay and tile
+     sweeps; explicit non-default flags still win over the tuner. *)
+  let crowd, delay, sys, eff_tile =
+    if not autotune then (crowd, delay, sys, eff_tile)
     else begin
       let choice =
         Oqmc_autotune.Tuner.choose ~refine:true ~walkers ~domains ~variant
@@ -162,29 +197,50 @@ let run input method_ workload variant reduction walkers blocks steps tau
         Unix.putenv "OQMC_GRAIN"
           (string_of_int choice.Oqmc_autotune.Tuner.knobs.grain);
       let k = choice.Oqmc_autotune.Tuner.knobs in
+      (* An explicit layout = flat|tiled deck key beats the tuner's tile
+         pick; otherwise a nonzero pick rebuilds the orbital table in the
+         tiled layout (identical coefficients, so f64 results are
+         unchanged). *)
+      let sys, eff_tile =
+        if layout = None && k.Oqmc_autotune.Tuner.tile > 0 then
+          ( make_system workload reduction with_nlpp precision (Some `Tiled)
+              k.Oqmc_autotune.Tuner.tile seed,
+            k.Oqmc_autotune.Tuner.tile )
+        else (sys, eff_tile)
+      in
       ( (if crowd <> 1 then crowd else k.Oqmc_autotune.Tuner.crowd),
-        if delay <> 1 then delay else k.Oqmc_autotune.Tuner.delay )
+        (if delay <> 1 then delay else k.Oqmc_autotune.Tuner.delay),
+        sys,
+        eff_tile )
     end
   in
-  (* An explicit f32 run gets the integrity watchdog's sampled
-     full-recompute drift audit unless the deck configured one. *)
+  (* Any explicitly single-precision table — orbital, distance, Jastrow
+     or inverse — arms the integrity watchdog's sampled full-recompute
+     drift audit unless the deck configured one. *)
   let watchdog =
-    if watchdog = 0 && precision = Some `F32 then 10 else watchdog
+    let any_f32 =
+      List.exists
+        (fun p -> p = Some `F32)
+        [ precision; precision_dt; precision_jastrow; precision_inv ]
+    in
+    if watchdog = 0 && any_f32 then 10 else watchdog
   in
   let factory =
     (* delay = 1 keeps the rank-1 Sherman-Morrison update (the bitwise
        reference); > 1 switches to the delayed Woodbury scheme. *)
     Build.factory
       ?delay:(if delay <= 1 then None else Some delay)
-      ?precision ~variant ~seed sys
+      ?precision ?precision_dt ?precision_jastrow ?precision_inv ~variant
+      ~seed sys
   in
   Printf.printf
     "oqmc_run: %s  %s  variant=%s  precision=%s  electrons=%d  domains=%d  \
-     crowd=%d  delay=%d\n"
+     crowd=%d  delay=%d  layout=%s\n"
     method_ workload
     (Variant.to_string variant)
     (match eff_precision with `F32 -> "f32" | `F64 -> "f64")
-    (System.n_electrons sys) domains crowd delay;
+    (System.n_electrons sys) domains crowd delay
+    (if eff_tile > 0 then Printf.sprintf "tiled:%d" eff_tile else "flat");
   (* --audit: calibrate a roofline projection for this run shape up
      front; measured-vs-projected gauges refresh live (per ledger
      window) and the verdict table prints after the run. *)
@@ -193,7 +249,7 @@ let run input method_ workload variant reduction walkers blocks steps tau
     else
       Some
         (Oqmc_autotune.Audit.create ~walkers ~domains ~ranks:(max 1 ranks)
-           ~variant ~precision:eff_precision ~sys ())
+           ~tile:eff_tile ~variant ~precision:eff_precision ~sys ())
   in
   let print_audit ?measured_gen_s () =
     match audit_ctx with
@@ -446,15 +502,60 @@ let precision =
            precision.  An explicit f32 run auto-enables the integrity \
            watchdog's drift audit.")
 
+let precision_dt =
+  Arg.(
+    value & opt string ""
+    & info [ "precision-dt" ] ~docv:"P"
+        ~doc:
+          "Storage precision of the SoA distance tables: f32 (rows \
+           narrowed at commit, distances still computed in double) or \
+           f64.  Default: follow --precision.  An explicit f32 value \
+           auto-enables the watchdog drift audit.")
+
+let precision_jastrow =
+  Arg.(
+    value & opt string ""
+    & info [ "precision-jastrow" ] ~docv:"P"
+        ~doc:
+          "Storage precision of the Jastrow radial-spline coefficients \
+           (rounded once at engine build; evaluation stays double).  \
+           Default: follow --precision.")
+
+let precision_inv =
+  Arg.(
+    value & opt string ""
+    & info [ "precision-inv" ] ~docv:"P"
+        ~doc:
+          "Storage precision of the determinant inverses and \
+           delayed-update panels (f64 accumulation either way).  \
+           Default: follow --precision.")
+
+let layout =
+  Arg.(
+    value & opt string ""
+    & info [ "layout" ] ~docv:"L"
+        ~doc:
+          "Orbital-table layout: flat (einspline multi-spline) or tiled \
+           (array-of-SoA orbital tiles, identical results).  Default: \
+           flat, unless --autotune picks tiled.")
+
+let tile =
+  Arg.(
+    value & opt int 0
+    & info [ "tile" ] ~docv:"T"
+        ~doc:
+          "Orbital tile size for --layout tiled (0 = let the \
+           tuner/builder choose).")
+
 let autotune =
   Arg.(
     value & flag
     & info [ "autotune" ]
         ~doc:
           "Calibrate this node (microbench roofline) and pick crowd, \
-           delay and grain from the performance model, refined by a \
-           short measured delay sweep.  Explicit --crowd/--delay values \
-           still win.")
+           delay, grain and orbital tile from the performance model, \
+           refined by short measured delay and tile sweeps.  Explicit \
+           --crowd/--delay/--layout values still win.")
 
 let nlpp = Arg.(value & flag & info [ "nlpp" ] ~doc:"Enable NLPP.")
 let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"RNG seed.")
@@ -633,8 +734,9 @@ let cmd =
     (Cmd.info "oqmc_run" ~doc:"VMC/DMC driver on workloads")
     Term.(
       const run $ input $ method_ $ workload $ variant $ reduction $ walkers
-      $ blocks $ steps $ tau $ domains $ crowd $ delay $ precision $ autotune
-      $ nlpp $ seed
+      $ blocks $ steps $ tau $ domains $ crowd $ delay $ precision
+      $ precision_dt $ precision_jastrow $ precision_inv $ layout $ tile
+      $ autotune $ nlpp $ seed
       $ checkpoint
       $ checkpoint_every $ checkpoint_keep $ watchdog $ restore $ ranks
       $ heartbeat_ms $ max_respawn $ elastic $ gen_deadline_ms

@@ -8,10 +8,11 @@ open Oqmc_perfmodel
 (* Roofline-driven knob selection.
 
    Given a system and a machine descriptor (published SKU or on-node
-   calibration), pick the three throughput knobs of the optimized
-   pipeline — crowd size, delayed-update rank and scheduler grain — by
-   minimizing a modeled one-walker step time, optionally refined for the
-   delay rank by a short measured sweep on the node itself.
+   calibration), pick the four throughput knobs of the optimized
+   pipeline — crowd size, delayed-update rank, scheduler grain and the
+   orbital-table tile (0 = flat layout) — by minimizing a modeled
+   one-walker step time, optionally refined for the delay rank and the
+   tile by short measured sweeps on the node itself.
 
    The model starts from the repo's analytic per-kernel op/byte counts
    ({!Opcount.step_costs}) projected through the cache-aware roofline
@@ -38,15 +39,16 @@ open Oqmc_perfmodel
      N = 192). *)
 
 module Ps64 = Particle_set.Make (Precision.F64)
-module Det64 = Slater_det.Make (Precision.F64)
+module Det64 = Slater_det.Make (Precision.F64) (Precision.F64)
 module W64 = Wfc.Make (Precision.F64)
 
-type knobs = { crowd : int; delay : int; grain : int }
+type knobs = { crowd : int; delay : int; grain : int; tile : int }
 
 type candidate = {
   cand : knobs;
   model_step_s : float;
   measured_det_ns : float option;
+  measured_spline_ns : float option;
 }
 
 type choice = {
@@ -62,6 +64,15 @@ type choice = {
 
 let crowd_candidates = [ 1; 2; 4; 8; 16; 32 ]
 let delay_candidates = [ 1; 4; 8; 16 ]
+
+(* Orbital-tile candidates; 0 = flat layout.  Tiles at or above the
+   orbital count degenerate to a one-tile table and are filtered out in
+   {!choose}. *)
+let tile_candidates = [ 0; 8; 16; 32; 64 ]
+
+let spline_kernel = function
+  | "Bspline-v" | "Bspline-vgh" | "SPO-vgl" -> true
+  | _ -> false
 
 (* Saturating crowd-batching speedup per kernel class. *)
 let batch_saturation = function
@@ -122,9 +133,25 @@ let det_time (mach : Machine.t) (det_cost : Opcount.kernel_cost) ~m ~n
   in
   Float.max t_compute (bytes /. bw)
 
-(* Modeled one-walker step time at the given knobs. *)
+(* Modeled time of the B-spline/SPO kernels at crowd [c], batched the
+   same way {!model_step_time} batches them — the component the tile
+   knob rescales (pass the costs/points projected at that tile). *)
+let spline_time ~costs ~points c =
+  let fc = float_of_int c in
+  List.fold_left2
+    (fun acc (q : Opcount.kernel_cost) (p : Roofline.point) ->
+      if spline_kernel q.Opcount.kernel then begin
+        let s = batch_saturation q.Opcount.kernel in
+        acc
+        +. (p.Roofline.time_s *. ((1. /. s) +. ((1. -. (1. /. s)) /. fc)))
+      end
+      else acc)
+    0. costs points
+
+(* Modeled one-walker step time at the given knobs ([costs]/[points]
+   must be projected at the knobs' tile). *)
 let model_step_time (mach : Machine.t) ~costs ~points ~m ~n ~elt_bytes
-    ~acceptance ~walker_bytes { crowd = c; delay = k; grain = _ } =
+    ~acceptance ~walker_bytes { crowd = c; delay = k; grain = _; tile = _ } =
   let det_cost =
     List.find (fun q -> q.Opcount.kernel = "DetUpdate") costs
   in
@@ -183,6 +210,48 @@ let measure_det_ns ~m ~sweeps kd =
   in
   Float.min (once ()) (once ())
 
+(* Measured tile refinement: ns per batched Bspline-vgh evaluation at
+   the system's real orbital count on a small grid.  The grid dimensions
+   only move the stencil origins; per-eval cost is dominated by the
+   64 × n_orb coefficient stream, which is exactly what the tile
+   reshapes, so a small grid at the real orbital count captures the
+   crossover.  Coefficient values are irrelevant to cost.  [tile = 0]
+   measures the flat layout.  Best-of-2 against scheduler noise. *)
+let measure_spline_ns ~n_spo tile =
+  let module B = Oqmc_spline.Bspline3d.Make (Precision.F32) in
+  let module T = Oqmc_spline.Bspline3d_tiled.Make (Precision.F32) in
+  let g = 12 and batch = 8 in
+  let coeff ~orb ~i ~j ~k =
+    float_of_int ((orb + i + j + k) land 7) *. 0.125
+  in
+  let rng = Xoshiro.create 37 in
+  let u () = Array.init batch (fun _ -> Xoshiro.uniform rng) in
+  let u0 = u () and u1 = u () and u2 = u () in
+  let reps = max 4 (2_000_000 / (64 * n_spo * batch)) in
+  let once () =
+    if tile <= 0 then begin
+      let t = B.create ~nx:g ~ny:g ~nz:g ~n_orb:n_spo in
+      B.fill t coeff;
+      let arena = B.make_vgh_batch t ~cap:batch in
+      let t0 = Timers.now () in
+      for _ = 1 to reps do
+        B.eval_vgh_batch t arena ~n:batch ~u0 ~u1 ~u2
+      done;
+      (Timers.now () -. t0) *. 1e9 /. float_of_int (reps * batch)
+    end
+    else begin
+      let t = T.create ~nx:g ~ny:g ~nz:g ~n_orb:n_spo ~tile in
+      T.fill t coeff;
+      let arena = T.make_vgh_batch t ~cap:batch in
+      let t0 = Timers.now () in
+      for _ = 1 to reps do
+        T.eval_vgh_batch t arena ~n:batch ~u0 ~u1 ~u2
+      done;
+      (Timers.now () -. t0) *. 1e9 /. float_of_int (reps * batch)
+    end
+  in
+  Float.min (once ()) (once ())
+
 let choose ?machine ?(refine = false) ?(walkers = 8) ?(domains = 1)
     ~variant ~precision ~(sys : System.t) () =
   let calibrated = machine = None in
@@ -201,19 +270,39 @@ let choose ?machine ?(refine = false) ?(walkers = 8) ?(domains = 1)
   in
   let has_pp = sys.System.ham.System.nlpp <> None in
   let acceptance = Opcount.default_acceptance in
-  let costs =
-    Opcount.step_costs
-      {
-        Opcount.n;
-        n_ion;
-        n_spo;
-        elt_bytes;
-        layout;
-        acceptance;
-        nlpp_evals = Opcount.nlpp_evals_estimate ~n ~has_pp;
-      }
+  (* Tile candidates: only a B-spline orbital table can be re-laid out,
+     and a tile at or above the orbital count degenerates to one tile. *)
+  let spo_label = sys.System.spo.Spo.label in
+  let tileable =
+    String.length spo_label >= 7 && String.sub spo_label 0 7 = "bspline"
   in
-  let points = Roofline.project_all mach costs in
+  let tile_cands =
+    if not tileable then [ 0 ]
+    else List.filter (fun t -> t = 0 || t < n_spo) tile_candidates
+  in
+  let costs_for =
+    let memo =
+      List.map
+        (fun tile ->
+          let costs =
+            Opcount.step_costs
+              {
+                Opcount.n;
+                n_ion;
+                n_spo;
+                elt_bytes;
+                layout;
+                acceptance;
+                nlpp_evals = Opcount.nlpp_evals_estimate ~n ~has_pp;
+                tile;
+              }
+          in
+          (tile, (costs, Roofline.project_all mach costs)))
+        tile_cands
+    in
+    fun tile -> List.assoc tile memo
+  in
+  let costs, _ = costs_for 0 in
   let kind =
     match variant with
     | Variant.Ref -> `Ref
@@ -226,15 +315,19 @@ let choose ?machine ?(refine = false) ?(walkers = 8) ?(domains = 1)
     max (Runner.grain_for ~n:walkers ~n_domains:domains) c
   in
   let time_of knobs =
+    let costs, points = costs_for knobs.tile in
     model_step_time mach ~costs ~points ~m ~n ~elt_bytes ~acceptance
       ~walker_bytes knobs
   in
-  let baseline_step_s = time_of { crowd = 1; delay = 1; grain = 1 } in
-  (* Measured refinement replaces the modeled delay ranking with real
-     ns/move of the determinant component at this system's per-spin
-     order — the one knob whose crossover is too close to call from
-     counts alone. *)
-  let measured =
+  let baseline_step_s =
+    time_of { crowd = 1; delay = 1; grain = 1; tile = 0 }
+  in
+  (* Measured refinement replaces the modeled delay and tile rankings
+     with real measurements — ns/move of the determinant component at
+     this system's per-spin order, and ns/eval of the batched vgh kernel
+     at this system's real orbital count — the two knobs whose
+     crossovers are too close to call from counts alone. *)
+  let measured_det =
     if not refine then fun _ -> None
     else begin
       let mm = max 8 (min m 128) in
@@ -245,44 +338,67 @@ let choose ?machine ?(refine = false) ?(walkers = 8) ?(domains = 1)
       fun k -> List.assoc_opt k tbl
     end
   in
+  let measured_spline =
+    if not (refine && List.length tile_cands > 1) then fun _ -> None
+    else begin
+      let tbl =
+        List.map (fun t -> (t, measure_spline_ns ~n_spo t)) tile_cands
+      in
+      fun t -> List.assoc_opt t tbl
+    end
+  in
   let candidates =
     List.concat_map
       (fun c ->
         if c > max_crowd then []
         else
-          List.map
+          List.concat_map
             (fun k ->
-              let cand = { crowd = c; delay = k; grain = grain_of c } in
-              {
-                cand;
-                model_step_s = time_of cand;
-                measured_det_ns = measured k;
-              })
+              List.map
+                (fun t ->
+                  let cand =
+                    { crowd = c; delay = k; grain = grain_of c; tile = t }
+                  in
+                  {
+                    cand;
+                    model_step_s = time_of cand;
+                    measured_det_ns = measured_det k;
+                    measured_spline_ns = measured_spline t;
+                  })
+                tile_cands)
             delay_candidates)
       crowd_candidates
   in
-  (* Rank by model time; under refinement the delay dimension is ranked
-     by measurement instead (scaled into the model's det share). *)
+  (* Rank by model time; under refinement the delay and tile dimensions
+     are ranked by their measured components instead, each scaled into
+     the model's share and anchored at the delay = 1 / flat point (so a
+     candidate's score stays the plain model time when no measurement
+     covers it). *)
+  let det_cost = List.find (fun q -> q.Opcount.kernel = "DetUpdate") costs in
+  let det1 = det_time mach det_cost ~m ~n ~elt_bytes ~acceptance 1 in
+  let spill c =
+    let ws = float_of_int (c * walker_bytes) in
+    if level_for mach ws > 0 then 1.25 else 1.0
+  in
+  let spline_share ~tile c =
+    let costs, points = costs_for tile in
+    spill c *. spline_time ~costs ~points c
+  in
   let score cd =
-    match cd.measured_det_ns with
-    | None -> cd.model_step_s
-    | Some ns ->
-        let base = { crowd = cd.cand.crowd; delay = 1; grain = 1 } in
-        let det1 =
-          det_time mach
-            (List.find (fun q -> q.Opcount.kernel = "DetUpdate") costs)
-            ~m ~n ~elt_bytes ~acceptance 1
-        in
-        let ns1 =
-          match
-            List.find_opt
-              (fun o -> o.cand.delay = 1 && o.cand.crowd = cd.cand.crowd)
-              candidates
-          with
-          | Some o -> Option.value o.measured_det_ns ~default:ns
-          | None -> ns
-        in
-        time_of base -. det1 +. (det1 *. ns /. ns1)
+    let c = cd.cand.crowd in
+    let det_term =
+      match (cd.measured_det_ns, measured_det 1) with
+      | Some ns, Some ns1 when ns1 > 0. -> det1 *. ns /. ns1
+      | _ -> det_time mach det_cost ~m ~n ~elt_bytes ~acceptance cd.cand.delay
+    in
+    let spline0 = spline_share ~tile:0 c in
+    let spline_term =
+      match (cd.measured_spline_ns, measured_spline 0) with
+      | Some ns, Some ns0 when ns0 > 0. -> spline0 *. ns /. ns0
+      | _ -> spline_share ~tile:cd.cand.tile c
+    in
+    let base = time_of { cd.cand with delay = 1; tile = 0 } in
+    base -. det1 -. spline0 +. det_term +. spline_term
   in
   let best =
     List.fold_left
@@ -295,8 +411,9 @@ let choose ?machine ?(refine = false) ?(walkers = 8) ?(domains = 1)
   let best =
     match best with
     | Some b -> b
-    | None -> { cand = { crowd = 1; delay = 1; grain = 1 };
-                model_step_s = baseline_step_s; measured_det_ns = None }
+    | None -> { cand = { crowd = 1; delay = 1; grain = 1; tile = 0 };
+                model_step_s = baseline_step_s; measured_det_ns = None;
+                measured_spline_ns = None }
   in
   {
     knobs = best.cand;
@@ -316,6 +433,7 @@ let publish (c : choice) =
   Mx.set (Mx.gauge "autotune.crowd") (float_of_int c.knobs.crowd);
   Mx.set (Mx.gauge "autotune.delay") (float_of_int c.knobs.delay);
   Mx.set (Mx.gauge "autotune.grain") (float_of_int c.knobs.grain);
+  Mx.set (Mx.gauge "autotune.tile") (float_of_int c.knobs.tile);
   Mx.set (Mx.gauge "autotune.predicted_speedup") c.predicted_speedup;
   Mx.set
     (Mx.gauge "autotune.machine_gflops")
@@ -331,6 +449,7 @@ let knobs_json (k : knobs) =
       ("crowd", J.Num (float_of_int k.crowd));
       ("delay", J.Num (float_of_int k.delay));
       ("grain", J.Num (float_of_int k.grain));
+      ("tile", J.Num (float_of_int k.tile));
     ]
 
 let choice_json (c : choice) =
@@ -358,19 +477,23 @@ let choice_json (c : choice) =
                J.Obj
                  (("knobs", knobs_json cd.cand)
                  :: ("model_us_per_step", J.Num (cd.model_step_s *. 1e6))
-                 ::
-                 (match cd.measured_det_ns with
-                 | None -> []
-                 | Some ns -> [ ("measured_det_ns", J.Num ns) ])))
+                 :: ((match cd.measured_det_ns with
+                     | None -> []
+                     | Some ns -> [ ("measured_det_ns", J.Num ns) ])
+                    @
+                    match cd.measured_spline_ns with
+                    | None -> []
+                    | Some ns -> [ ("measured_spline_ns", J.Num ns) ])))
              c.candidates) );
     ]
 
 let describe (c : choice) =
   Printf.sprintf
-    "autotune[%s%s]: crowd=%d delay=%d grain=%d  (model %.1f -> %.1f \
-     us/step/walker, x%.2f)"
+    "autotune[%s%s]: crowd=%d delay=%d grain=%d tile=%s  (model %.1f -> \
+     %.1f us/step/walker, x%.2f)"
     c.machine.Machine.mname
     (if c.refined then ", refined" else "")
     c.knobs.crowd c.knobs.delay c.knobs.grain
+    (if c.knobs.tile = 0 then "flat" else string_of_int c.knobs.tile)
     (c.baseline_step_s *. 1e6)
     (c.tuned_step_s *. 1e6) c.predicted_speedup

@@ -23,7 +23,7 @@ module Make (R : Precision.REAL) = struct
   module A = Aligned.Make (R)
   module M = Matrix.Make (R)
   module Ps = Particle_set.Make (R)
-  module K = Dt_kernels.Make (R)
+  module K = Dt_kernels.Make (R) (R)
 
   type t = {
     n : int;

@@ -13,7 +13,7 @@ open Oqmc_containers
 module Make (R : Precision.REAL) = struct
   module A = Aligned.Make (R)
   module Ps = Particle_set.Make (R)
-  module K = Dt_kernels.Make (R)
+  module K = Dt_kernels.Make (R) (R)
 
   type t = {
     n : int;

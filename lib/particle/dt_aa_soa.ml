@@ -14,13 +14,18 @@ open Oqmc_containers
    contiguous row copy.  Rows of electrons that have not yet moved in the
    current sweep may be stale in between; [evaluate] refreshes the whole
    table before measurements (it is reused by the Hamiltonian, so the
-   O(N²) storage is retained). *)
+   O(N²) storage is retained).
 
-module Make (R : Precision.REAL) = struct
-  module A = Aligned.Make (R)
-  module M = Matrix.Make (R)
+   [R] is the walker/positions precision, [D] the table storage precision
+   (the [precision_dt] knob): rows and temporaries narrow through [D]
+   while every distance is computed in double from the R-precision
+   positions and only rounded at the row commit. *)
+
+module Make (R : Precision.REAL) (D : Precision.REAL) = struct
+  module A = Aligned.Make (D)
+  module M = Matrix.Make (D)
   module Ps = Particle_set.Make (R)
-  module K = Dt_kernels.Make (R)
+  module K = Dt_kernels.Make (R) (D)
 
   type t = {
     n : int;

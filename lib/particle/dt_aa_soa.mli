@@ -7,11 +7,16 @@ open Oqmc_containers
     at the current position), {!Make.move} (fill the temporary row at the
     proposed position), then {!Make.accept} (contiguous row copy) or
     nothing on rejection.  {!Make.evaluate} rebuilds the whole table for
-    measurements. *)
+    measurements.
 
-module Make (R : Precision.REAL) : sig
-  module A : module type of Aligned.Make (R)
-  module M : module type of Matrix.Make (R)
+    [R] is the walker/positions precision, [D] the table storage
+    precision (the [precision_dt] knob): rows and temporaries live at
+    [D] while distances are computed in double from the [R]-precision
+    positions and rounded once at the row commit. *)
+
+module Make (R : Precision.REAL) (D : Precision.REAL) : sig
+  module A : module type of Aligned.Make (D)
+  module M : module type of Matrix.Make (D)
   module Ps : module type of Particle_set.Make (R)
 
   type t

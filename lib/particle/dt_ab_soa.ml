@@ -6,13 +6,16 @@ open Oqmc_containers
    components per electron, computed by streaming the fixed ions' SoA
    container.  Ions never move, so rows depend only on their own electron:
    a move fills the temporary row and acceptance is one contiguous row
-   copy — no column updates exist for AB tables. *)
+   copy — no column updates exist for AB tables.
 
-module Make (R : Precision.REAL) = struct
-  module A = Aligned.Make (R)
-  module M = Matrix.Make (R)
+   [R] is the walker/positions precision, [D] the table storage precision
+   (the [precision_dt] knob); see Dt_aa_soa. *)
+
+module Make (R : Precision.REAL) (D : Precision.REAL) = struct
+  module A = Aligned.Make (D)
+  module M = Matrix.Make (D)
   module Ps = Particle_set.Make (R)
-  module K = Dt_kernels.Make (R)
+  module K = Dt_kernels.Make (R) (D)
 
   type t = {
     n : int; (* electrons (targets, rows) *)

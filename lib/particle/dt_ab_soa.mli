@@ -3,11 +3,14 @@ open Oqmc_containers
 (** Electron-ion (AB) distance table, optimized design: one padded
     SIMD-aligned row of ion distances per electron, streamed from the
     fixed ions' SoA container.  Ions never move, so there are no column
-    updates and no staleness: acceptance is a single row copy. *)
+    updates and no staleness: acceptance is a single row copy.
 
-module Make (R : Precision.REAL) : sig
-  module A : module type of Aligned.Make (R)
-  module M : module type of Matrix.Make (R)
+    [R] is the walker/positions precision, [D] the table storage
+    precision (the [precision_dt] knob); see {!Dt_aa_soa}. *)
+
+module Make (R : Precision.REAL) (D : Precision.REAL) : sig
+  module A : module type of Aligned.Make (D)
+  module M : module type of Matrix.Make (D)
   module Ps : module type of Particle_set.Make (R)
 
   type t

@@ -7,10 +7,19 @@ open Oqmc_containers
    three unit-stride component rows; the AoS kernel walks the interleaved
    x y z groups with stride 3 — the access pattern whose poor
    vectorizability motivated the transformation.  The orthorhombic
-   minimum-image branch is hoisted out of the loops. *)
+   minimum-image branch is hoisted out of the loops.
 
-module Make (R : Precision.REAL) = struct
-  module A = Aligned.Make (R)
+   Two precisions parameterize the kernels: [S] is the source precision
+   (the particle-set component rows being read) and [O] the output
+   precision (the distance/displacement rows being written) — the
+   [precision_dt] knob narrows O to f32 while positions stay at the
+   walker precision.  All arithmetic happens in double on the unboxed
+   mirrors; narrowing occurs only at the bulk row commit, exactly like a
+   per-element f32 store. *)
+
+module Make (S : Precision.REAL) (O : Precision.REAL) = struct
+  module As = Aligned.Make (S)
+  module A = Aligned.Make (O)
 
   (* Round-half-away-from-zero via integer truncation: cheaper than the
      libm round call in these inner loops, and ties never matter here. *)
@@ -19,15 +28,15 @@ module Make (R : Precision.REAL) = struct
 
   (* dr(p, i) = r_i − p, minimum image, for all i in [0, n).  The output
      rows receive distances and the three displacement components. *)
-  let soa_row ~lattice ~(xs : A.t) ~(ys : A.t) ~(zs : A.t) ~n ~px ~py ~pz
+  let soa_row ~lattice ~(xs : As.t) ~(ys : As.t) ~(zs : As.t) ~n ~px ~py ~pz
       ~(d : A.t) ~(dx : A.t) ~(dy : A.t) ~(dz : A.t) =
     match Lattice.kind lattice with
     | Lattice.Ortho (lx, ly, lz) ->
         let ix = 1. /. lx and iy = 1. /. ly and iz = 1. /. lz in
         for i = 0 to n - 1 do
-          let ddx = A.unsafe_get xs i -. px in
-          let ddy = A.unsafe_get ys i -. py in
-          let ddz = A.unsafe_get zs i -. pz in
+          let ddx = As.unsafe_get xs i -. px in
+          let ddy = As.unsafe_get ys i -. py in
+          let ddz = As.unsafe_get zs i -. pz in
           let ddx = ddx -. (lx *. nearest (ddx *. ix)) in
           let ddy = ddy -. (ly *. nearest (ddy *. iy)) in
           let ddz = ddz -. (lz *. nearest (ddz *. iz)) in
@@ -38,9 +47,9 @@ module Make (R : Precision.REAL) = struct
         done
     | Lattice.Open ->
         for i = 0 to n - 1 do
-          let ddx = A.unsafe_get xs i -. px in
-          let ddy = A.unsafe_get ys i -. py in
-          let ddz = A.unsafe_get zs i -. pz in
+          let ddx = As.unsafe_get xs i -. px in
+          let ddy = As.unsafe_get ys i -. py in
+          let ddz = As.unsafe_get zs i -. pz in
           A.unsafe_set dx i ddx;
           A.unsafe_set dy i ddy;
           A.unsafe_set dz i ddz;
@@ -50,8 +59,8 @@ module Make (R : Precision.REAL) = struct
         let p = Vec3.make px py pz in
         for i = 0 to n - 1 do
           let ri =
-            Vec3.make (A.unsafe_get xs i) (A.unsafe_get ys i)
-              (A.unsafe_get zs i)
+            Vec3.make (As.unsafe_get xs i) (As.unsafe_get ys i)
+              (As.unsafe_get zs i)
           in
           let dr = Lattice.min_image_disp lattice (Vec3.sub ri p) in
           A.unsafe_set dx i dr.Vec3.x;
@@ -77,9 +86,9 @@ module Make (R : Precision.REAL) = struct
      with one bulk [read_into]/[write_from] per row — zero allocation
      per call. *)
   type row_slot = {
-    mutable xs : A.t;
-    mutable ys : A.t;
-    mutable zs : A.t;
+    mutable xs : As.t;
+    mutable ys : As.t;
+    mutable zs : As.t;
     mutable n : int;
     mutable od : A.t; (* distance output *)
     mutable odx : A.t;
@@ -96,11 +105,12 @@ module Make (R : Precision.REAL) = struct
   }
 
   let make_row_slot () =
+    let es = As.create 0 in
     let e = A.create 0 in
     {
-      xs = e;
-      ys = e;
-      zs = e;
+      xs = es;
+      ys = es;
+      zs = es;
       n = 0;
       od = e;
       odx = e;
@@ -135,9 +145,9 @@ module Make (R : Precision.REAL) = struct
      move). *)
   let mirror_slot sl =
     ensure_scratch sl;
-    A.read_into sl.xs ~pos:0 sl.sx ~n:sl.n;
-    A.read_into sl.ys ~pos:0 sl.sy ~n:sl.n;
-    A.read_into sl.zs ~pos:0 sl.sz ~n:sl.n
+    As.read_into sl.xs ~pos:0 sl.sx ~n:sl.n;
+    As.read_into sl.ys ~pos:0 sl.sy ~n:sl.n;
+    As.read_into sl.zs ~pos:0 sl.sz ~n:sl.n
 
   (* The batched form of [soa_row]: the moved-electron row for [m] crowd
      slots in one pass, minimum-image dispatch hoisted out of the slot
@@ -236,15 +246,15 @@ module Make (R : Precision.REAL) = struct
 
   (* Same relation over an interleaved AoS source; displacements are
      written interleaved as well (the Ref storage format). *)
-  let aos_row ~lattice ~(src : A.t) ~n ~px ~py ~pz ~(d : A.t) ~(dr : A.t) =
+  let aos_row ~lattice ~(src : As.t) ~n ~px ~py ~pz ~(d : A.t) ~(dr : A.t) =
     match Lattice.kind lattice with
     | Lattice.Ortho (lx, ly, lz) ->
         let ix = 1. /. lx and iy = 1. /. ly and iz = 1. /. lz in
         for i = 0 to n - 1 do
           let base = 3 * i in
-          let ddx = A.unsafe_get src base -. px in
-          let ddy = A.unsafe_get src (base + 1) -. py in
-          let ddz = A.unsafe_get src (base + 2) -. pz in
+          let ddx = As.unsafe_get src base -. px in
+          let ddy = As.unsafe_get src (base + 1) -. py in
+          let ddz = As.unsafe_get src (base + 2) -. pz in
           let ddx = ddx -. (lx *. nearest (ddx *. ix)) in
           let ddy = ddy -. (ly *. nearest (ddy *. iy)) in
           let ddz = ddz -. (lz *. nearest (ddz *. iz)) in
@@ -256,9 +266,9 @@ module Make (R : Precision.REAL) = struct
     | Lattice.Open ->
         for i = 0 to n - 1 do
           let base = 3 * i in
-          let ddx = A.unsafe_get src base -. px in
-          let ddy = A.unsafe_get src (base + 1) -. py in
-          let ddz = A.unsafe_get src (base + 2) -. pz in
+          let ddx = As.unsafe_get src base -. px in
+          let ddy = As.unsafe_get src (base + 1) -. py in
+          let ddz = As.unsafe_get src (base + 2) -. pz in
           A.unsafe_set dr base ddx;
           A.unsafe_set dr (base + 1) ddy;
           A.unsafe_set dr (base + 2) ddz;
@@ -269,9 +279,9 @@ module Make (R : Precision.REAL) = struct
         for i = 0 to n - 1 do
           let base = 3 * i in
           let ri =
-            Vec3.make (A.unsafe_get src base)
-              (A.unsafe_get src (base + 1))
-              (A.unsafe_get src (base + 2))
+            Vec3.make (As.unsafe_get src base)
+              (As.unsafe_get src (base + 1))
+              (As.unsafe_get src (base + 2))
           in
           let dd = Lattice.min_image_disp lattice (Vec3.sub ri p) in
           A.unsafe_set dr base dd.Vec3.x;

@@ -25,10 +25,18 @@ type params = {
   layout : [ `Store | `Otf ];
   acceptance : float;
   nlpp_evals : float;
+  tile : int;
+      (** orbital tile size of the tiled (array-of-SoA) B-spline table;
+          0 = flat layout *)
 }
 
 val default_acceptance : float
 val dist_flops : float
+
+val tile_stream_boost : int -> float
+(** Effective-bandwidth factor of the tiled orbital table relative to
+    flat, applied to the B-spline kernels' [stream] constant; 1.0 at
+    tile = 0 (flat), peaking near tile = 32..64. *)
 
 val step_costs : params -> kernel_cost list
 (** One entry per kernel of the paper's profiles. *)

@@ -1,45 +1,109 @@
 open Oqmc_containers
 
-(* Variant factory: instantiates the engine functor at the precision and
+(* Variant factory: instantiates the engine functor at the precisions and
    update policy of a build variant.  The returned closure is a per-domain
-   engine factory for the drivers ([Runner.create]). *)
+   engine factory for the drivers ([Runner.create]).
 
-module E64 = Engine.Make (Precision.F64)
-module E32 = Engine.Make (Precision.F32)
+   The engine functor takes three precisions — walkers [R], SoA distance
+   tables [D] ([precision_dt]) and inverse storage [I] ([precision_inv]) —
+   so all 2³ combinations are instantiated once here.  Every engine of a
+   run must come from the same instantiation (the crowd hook constructor
+   is minted per functor application), which the single dispatch below
+   guarantees. *)
 
-let engine ?timers ?delay ?precision ~variant ~seed (sys : System.t) :
-    Engine_api.t =
+module E64 = Engine.Make (Precision.F64) (Precision.F64) (Precision.F64)
+module E32 = Engine.Make (Precision.F32) (Precision.F32) (Precision.F32)
+module E64_d32 = Engine.Make (Precision.F64) (Precision.F32) (Precision.F64)
+module E64_i32 = Engine.Make (Precision.F64) (Precision.F64) (Precision.F32)
+module E64_d32_i32 =
+  Engine.Make (Precision.F64) (Precision.F32) (Precision.F32)
+module E32_d64 = Engine.Make (Precision.F32) (Precision.F64) (Precision.F32)
+module E32_i64 = Engine.Make (Precision.F32) (Precision.F32) (Precision.F64)
+module E32_d64_i64 =
+  Engine.Make (Precision.F32) (Precision.F64) (Precision.F64)
+
+let engine ?timers ?delay ?precision ?precision_dt ?precision_jastrow
+    ?precision_inv ~variant ~seed (sys : System.t) : Engine_api.t =
   let layout = Variant.layout variant in
   (* [precision] overrides the variant's working precision (layout and
      update policy still come from the variant), so the precision= deck
-     key composes orthogonally with variant=. *)
+     key composes orthogonally with variant=.  The per-structure keys
+     default to the resolved working precision, which reproduces the
+     uniform-precision engines exactly. *)
   let prec =
     match (precision, variant) with
     | Some p, _ -> p
     | None, (Variant.Ref | Variant.Current_f64) -> `F64
     | None, (Variant.Ref_mp | Variant.Current) -> `F32
   in
-  match prec with
-  | `F64 ->
+  let dt = Option.value precision_dt ~default:prec in
+  let inv = Option.value precision_inv ~default:prec in
+  let jastrow_f32 =
+    Option.value precision_jastrow ~default:prec = `F32
+  in
+  match (prec, dt, inv) with
+  | `F64, `F64, `F64 ->
       let det_scheme =
         match delay with
         | None -> E64.Det.Sherman_morrison
         | Some d -> E64.Det.Delayed d
       in
-      E64.create ?timers ~det_scheme ~layout ~seed sys
-  | `F32 ->
+      E64.create ?timers ~det_scheme ~jastrow_f32 ~layout ~seed sys
+  | `F64, `F32, `F64 ->
+      let det_scheme =
+        match delay with
+        | None -> E64_d32.Det.Sherman_morrison
+        | Some d -> E64_d32.Det.Delayed d
+      in
+      E64_d32.create ?timers ~det_scheme ~jastrow_f32 ~layout ~seed sys
+  | `F64, `F64, `F32 ->
+      let det_scheme =
+        match delay with
+        | None -> E64_i32.Det.Sherman_morrison
+        | Some d -> E64_i32.Det.Delayed d
+      in
+      E64_i32.create ?timers ~det_scheme ~jastrow_f32 ~layout ~seed sys
+  | `F64, `F32, `F32 ->
+      let det_scheme =
+        match delay with
+        | None -> E64_d32_i32.Det.Sherman_morrison
+        | Some d -> E64_d32_i32.Det.Delayed d
+      in
+      E64_d32_i32.create ?timers ~det_scheme ~jastrow_f32 ~layout ~seed sys
+  | `F32, `F32, `F32 ->
       let det_scheme =
         match delay with
         | None -> E32.Det.Sherman_morrison
         | Some d -> E32.Det.Delayed d
       in
-      E32.create ?timers ~det_scheme ~layout ~seed sys
+      E32.create ?timers ~det_scheme ~jastrow_f32 ~layout ~seed sys
+  | `F32, `F64, `F32 ->
+      let det_scheme =
+        match delay with
+        | None -> E32_d64.Det.Sherman_morrison
+        | Some d -> E32_d64.Det.Delayed d
+      in
+      E32_d64.create ?timers ~det_scheme ~jastrow_f32 ~layout ~seed sys
+  | `F32, `F32, `F64 ->
+      let det_scheme =
+        match delay with
+        | None -> E32_i64.Det.Sherman_morrison
+        | Some d -> E32_i64.Det.Delayed d
+      in
+      E32_i64.create ?timers ~det_scheme ~jastrow_f32 ~layout ~seed sys
+  | `F32, `F64, `F64 ->
+      let det_scheme =
+        match delay with
+        | None -> E32_d64_i64.Det.Sherman_morrison
+        | Some d -> E32_d64_i64.Det.Delayed d
+      in
+      E32_d64_i64.create ?timers ~det_scheme ~jastrow_f32 ~layout ~seed sys
 
 (* Per-domain factory: every domain gets its own timer set and a distinct
    seed so its engine starts from an independent configuration. *)
-let factory ?delay ?precision ~variant ~seed (sys : System.t) :
-    int -> Engine_api.t =
+let factory ?delay ?precision ?precision_dt ?precision_jastrow
+    ?precision_inv ~variant ~seed (sys : System.t) : int -> Engine_api.t =
  fun domain ->
   let timers = Timers.create () in
-  engine ~timers ?delay ?precision ~variant ~seed:(seed + (1000 * domain))
-    sys
+  engine ~timers ?delay ?precision ?precision_dt ?precision_jastrow
+    ?precision_inv ~variant ~seed:(seed + (1000 * domain)) sys

@@ -1,15 +1,27 @@
 open Oqmc_containers
 
 (** Variant factory: instantiates the engine functor at the storage
-    precision and update policy of a build variant. *)
+    precisions and update policy of a build variant.  The engine functor
+    is three-way precision-parametric — walkers, SoA distance tables
+    ([precision_dt]) and inverse storage ([precision_inv]) — and every
+    combination is instantiated once here so all engines of a run share
+    one crowd-hook constructor. *)
 
-module E64 : module type of Engine.Make (Precision.F64)
-module E32 : module type of Engine.Make (Precision.F32)
+module E64 :
+    module type of Engine.Make (Precision.F64) (Precision.F64)
+      (Precision.F64)
+
+module E32 :
+    module type of Engine.Make (Precision.F32) (Precision.F32)
+      (Precision.F32)
 
 val engine :
   ?timers:Timers.t ->
   ?delay:int ->
   ?precision:[ `F32 | `F64 ] ->
+  ?precision_dt:[ `F32 | `F64 ] ->
+  ?precision_jastrow:[ `F32 | `F64 ] ->
+  ?precision_inv:[ `F32 | `F64 ] ->
   variant:Variant.t ->
   seed:int ->
   System.t ->
@@ -18,11 +30,18 @@ val engine :
     delayed (Woodbury) scheme with the given block size.  [precision]
     overrides the working precision implied by [variant] (layout still
     follows the variant), letting the [precision=] deck key compose
-    orthogonally with [variant=]. *)
+    orthogonally with [variant=].  [precision_dt], [precision_jastrow]
+    and [precision_inv] narrow (or widen) the SoA distance tables, the
+    Jastrow radial-spline coefficients and the inverse/delayed-update
+    storage independently; each defaults to the resolved working
+    precision, which reproduces the uniform-precision engines exactly. *)
 
 val factory :
   ?delay:int ->
   ?precision:[ `F32 | `F64 ] ->
+  ?precision_dt:[ `F32 | `F64 ] ->
+  ?precision_jastrow:[ `F32 | `F64 ] ->
+  ?precision_inv:[ `F32 | `F64 ] ->
   variant:Variant.t ->
   seed:int ->
   System.t ->

@@ -8,23 +8,33 @@ open Oqmc_rng
    wavefunction and Hamiltonian wired together for one build variant, plus
    the particle-by-particle drift-and-diffusion choreography of Alg. 1.
 
-   The functor parameter fixes the storage precision; the [layout]
-   argument picks between the Ref (store-over-compute, packed AoS tables)
-   and Current (SoA, compute-on-the-fly) kernel sets.  The accept
-   choreography is ordered so components read the pre-move rows:
-   wavefunction accepts, then table accepts, then the ParticleSet. *)
+   The functor parameters fix the storage precisions independently:
+   [R] is the walker/positions (working) precision, [D] the SoA
+   distance-table storage precision ([precision_dt]) and [I] the inverse
+   / delayed-update panel storage precision ([precision_inv]) — each
+   O(N²)-class structure narrows on its own while every kernel still
+   accumulates in double.  The Jastrow-coefficient narrowing
+   ([precision_jastrow]) is a runtime choice ([create ~jastrow_f32]),
+   since the 1-D spline tables are plain arrays rounded at build time.
 
-module Make (R : Precision.REAL) = struct
+   The [layout] argument picks between the Ref (store-over-compute,
+   packed AoS tables) and Current (SoA, compute-on-the-fly) kernel sets.
+   The accept choreography is ordered so components read the pre-move
+   rows: wavefunction accepts, then table accepts, then the
+   ParticleSet. *)
+
+module Make (R : Precision.REAL) (D : Precision.REAL) (I : Precision.REAL) =
+struct
   module Ps = Particle_set.Make (R)
   module W = Wfc.Make (R)
   module Twf = Trial_wavefunction.Make (R)
-  module J1 = Jastrow_one.Make (R)
-  module J2 = Jastrow_two.Make (R)
-  module Det = Slater_det.Make (R)
+  module J1 = Jastrow_one.Make (R) (D)
+  module J2 = Jastrow_two.Make (R) (D)
+  module Det = Slater_det.Make (R) (I)
   module AAref = Dt_aa_ref.Make (R)
-  module AAsoa = Dt_aa_soa.Make (R)
+  module AAsoa = Dt_aa_soa.Make (R) (D)
   module ABref = Dt_ab_ref.Make (R)
-  module ABsoa = Dt_ab_soa.Make (R)
+  module ABsoa = Dt_ab_soa.Make (R) (D)
 
   type tables =
     | Store_t of AAref.t * ABref.t option
@@ -251,8 +261,20 @@ module Make (R : Precision.REAL) = struct
         Some ions
 
   let create ?(timers = Timers.null) ?(det_scheme = Det.Sherman_morrison)
-      ~layout ~seed (sys : System.t) : Engine_api.t =
+      ?(jastrow_f32 = false) ~layout ~seed (sys : System.t) : Engine_api.t =
     let sys = System.validate sys in
+    (* precision_jastrow: round every radial-functor control point through
+       f32 storage once, up front; evaluation arithmetic stays double. *)
+    let sys =
+      if not jastrow_f32 then sys
+      else
+        let narrow = Oqmc_spline.Cubic_spline_1d.narrow in
+        {
+          sys with
+          System.j2 = Option.map (Array.map (Array.map narrow)) sys.System.j2;
+          j1 = Option.map (Array.map narrow) sys.System.j1;
+        }
+    in
     let lattice = sys.System.lattice in
     let n_up = sys.System.n_up and n_down = sys.System.n_down in
     let n = n_up + n_down in

@@ -33,7 +33,16 @@ type t = {
   delay : int; (* delayed determinant-update rank; 1 = Sherman–Morrison *)
   precision : [ `F32 | `F64 ] option;
       (* working-precision override; None = variant default *)
-  autotune : bool; (* model-driven crowd/delay/grain selection *)
+  precision_dt : [ `F32 | `F64 ] option;
+      (* SoA distance-table storage; None = follow precision *)
+  precision_jastrow : [ `F32 | `F64 ] option;
+      (* Jastrow radial-spline coefficients; None = follow precision *)
+  precision_inv : [ `F32 | `F64 ] option;
+      (* inverse / delayed-update storage; None = follow precision *)
+  layout : [ `Flat | `Tiled ] option;
+      (* orbital-table layout; None = flat unless the tuner picks tiled *)
+  tile : int; (* tiled-layout orbital tile size; 0 = autotune/default *)
+  autotune : bool; (* model-driven crowd/delay/grain/tile selection *)
   nlpp : bool;
   seed : int;
   checkpoint : string option;
@@ -68,6 +77,11 @@ let default =
     crowd = 1;
     delay = 1;
     precision = None;
+    precision_dt = None;
+    precision_jastrow = None;
+    precision_inv = None;
+    layout = None;
+    tile = 0;
     autotune = false;
     nlpp = false;
     seed = 1;
@@ -108,6 +122,13 @@ let parse_float line v =
   try float_of_string (String.trim v)
   with Failure _ -> fail line "expected a number, got %S" v
 
+let parse_precision line key v =
+  match String.lowercase_ascii v with
+  | "f32" | "single" -> Some `F32
+  | "f64" | "double" -> Some `F64
+  | "" | "default" -> None
+  | other -> fail line "%s must be f32 or f64, got %S" key other
+
 let apply cfg ~line key value =
   match String.lowercase_ascii key with
   | "method" -> { cfg with method_ = String.lowercase_ascii value }
@@ -132,6 +153,25 @@ let apply cfg ~line key value =
       | "f64" | "double" -> { cfg with precision = Some `F64 }
       | "" | "default" -> { cfg with precision = None }
       | other -> fail line "precision must be f32 or f64, got %S" other)
+  | "precision_dt" ->
+      { cfg with precision_dt = parse_precision line "precision_dt" value }
+  | "precision_jastrow" ->
+      {
+        cfg with
+        precision_jastrow = parse_precision line "precision_jastrow" value;
+      }
+  | "precision_inv" ->
+      { cfg with precision_inv = parse_precision line "precision_inv" value }
+  | "layout" -> (
+      match String.lowercase_ascii value with
+      | "flat" -> { cfg with layout = Some `Flat }
+      | "tiled" -> { cfg with layout = Some `Tiled }
+      | "" | "default" -> { cfg with layout = None }
+      | other -> fail line "layout must be flat or tiled, got %S" other)
+  | "tile" ->
+      let v = parse_int line value in
+      if v < 0 then fail line "tile must be >= 0, got %d" v;
+      { cfg with tile = v }
   | "autotune" -> { cfg with autotune = parse_bool line value }
   | "nlpp" -> { cfg with nlpp = parse_bool line value }
   | "seed" -> { cfg with seed = parse_int line value }
@@ -215,11 +255,21 @@ let canonical cfg =
   put "domains" (string_of_int cfg.domains);
   put "crowd" (string_of_int cfg.crowd);
   put "delay" (string_of_int cfg.delay);
-  put "precision"
-    (match cfg.precision with
+  let prec_str = function
     | None -> "default"
     | Some `F32 -> "f32"
-    | Some `F64 -> "f64");
+    | Some `F64 -> "f64"
+  in
+  put "precision" (prec_str cfg.precision);
+  put "precision_dt" (prec_str cfg.precision_dt);
+  put "precision_jastrow" (prec_str cfg.precision_jastrow);
+  put "precision_inv" (prec_str cfg.precision_inv);
+  put "layout"
+    (match cfg.layout with
+    | None -> "default"
+    | Some `Flat -> "flat"
+    | Some `Tiled -> "tiled");
+  put "tile" (string_of_int cfg.tile);
   put "autotune" (string_of_bool cfg.autotune);
   put "nlpp" (string_of_bool cfg.nlpp);
   put "seed" (string_of_int cfg.seed);

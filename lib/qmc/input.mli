@@ -22,9 +22,27 @@ type t = {
       (** [precision = f32|f64] working-precision override (orbital table
           storage + engine arithmetic); [None] keeps the variant's
           default.  Also accepts [single]/[double]. *)
+  precision_dt : [ `F32 | `F64 ] option;
+      (** SoA distance-table storage precision; [None] follows
+          [precision].  Setting f32 explicitly auto-arms the DMC
+          watchdog drift audit. *)
+  precision_jastrow : [ `F32 | `F64 ] option;
+      (** Jastrow radial-spline coefficient precision (coefficients are
+          rounded through f32 storage at build time); [None] follows
+          [precision]. *)
+  precision_inv : [ `F32 | `F64 ] option;
+      (** Inverse-matrix / delayed-update panel storage precision;
+          [None] follows [precision]. *)
+  layout : [ `Flat | `Tiled ] option;
+      (** [layout = flat|tiled] orbital-table layout.  [None] keeps the
+          flat table unless [autotune = true] picks the tiled one. *)
+  tile : int;
+      (** Orbital tile size for [layout = tiled]; 0 (the default) lets
+          the tuner/builder choose.  Values < 0 are rejected. *)
   autotune : bool;
-      (** [autotune = true] lets {!Oqmc_autotune} pick crowd, delay and
-          grain from the roofline/memory model before the run starts *)
+      (** [autotune = true] lets {!Oqmc_autotune} pick crowd, delay,
+          grain and orbital tile from the roofline/memory model before
+          the run starts *)
   nlpp : bool;
   seed : int;
   checkpoint : string option;

@@ -65,6 +65,7 @@ module Make (R : Precision.REAL) = struct
     bsy : float array;
     bsz : float array;
     bslab : float array;
+    bprod : float array;
     outs : vgh_buf array;
   }
 
@@ -118,71 +119,16 @@ module Make (R : Precision.REAL) = struct
 
   let get_base t ~orb ~i ~j ~k = A.get t.coeffs (index t i j k orb)
 
+  (* Construction goes through the layout-shared driver (one copy of the
+     sweep and of the periodic prefilter for both the flat and the tiled
+     layouts — see Bspline_fit). *)
   let fill t f =
-    for i = 0 to t.nx - 1 do
-      for j = 0 to t.ny - 1 do
-        for k = 0 to t.nz - 1 do
-          for orb = 0 to t.n_orb - 1 do
-            set_base t ~orb ~i ~j ~k (f ~orb ~i ~j ~k)
-          done
-        done
-      done
-    done
+    Bspline_fit.fill ~nx:t.nx ~ny:t.ny ~nz:t.nz ~n_orb:t.n_orb ~f
+      ~set:(fun ~orb ~i ~j ~k v -> set_base t ~orb ~i ~j ~k v)
 
-  (* Separable periodic B-spline prefilter: solve the cyclic [1 4 1]/6
-     interpolation system along z, then y, then x, per orbital. *)
   let fit_periodic t ~samples =
-    let nx = t.nx and ny = t.ny and nz = t.nz in
-    let work = Array.init nx (fun _ -> Array.make_matrix ny nz 0.) in
-    let solve_line line =
-      let n = Array.length line in
-      let rhs = Array.map (fun v -> 6. *. v) line in
-      let e = Tridiag.solve_cyclic ~diag:4. ~off:1. rhs in
-      (* c_j = e_{(j-1) mod n} restores the original index convention. *)
-      Array.init n (fun j -> e.((j - 1 + n) mod n))
-    in
-    for orb = 0 to t.n_orb - 1 do
-      for i = 0 to nx - 1 do
-        for j = 0 to ny - 1 do
-          for k = 0 to nz - 1 do
-            work.(i).(j).(k) <- samples ~orb ~ix:i ~iy:j ~iz:k
-          done;
-          let c = solve_line work.(i).(j) in
-          Array.blit c 0 work.(i).(j) 0 nz
-        done
-      done;
-      let line = Array.make ny 0. in
-      for i = 0 to nx - 1 do
-        for k = 0 to nz - 1 do
-          for j = 0 to ny - 1 do
-            line.(j) <- work.(i).(j).(k)
-          done;
-          let c = solve_line line in
-          for j = 0 to ny - 1 do
-            work.(i).(j).(k) <- c.(j)
-          done
-        done
-      done;
-      let linex = Array.make nx 0. in
-      for j = 0 to ny - 1 do
-        for k = 0 to nz - 1 do
-          for i = 0 to nx - 1 do
-            linex.(i) <- work.(i).(j).(k)
-          done;
-          let c = solve_line linex in
-          for i = 0 to nx - 1 do
-            work.(i).(j).(k) <- c.(i)
-          done
-        done
-      done;
-      for i = 0 to nx - 1 do
-        for j = 0 to ny - 1 do
-          for k = 0 to nz - 1 do
-            set_base t ~orb ~i ~j ~k work.(i).(j).(k)
-          done
-        done
-      done
-    done
+    Bspline_fit.fit_periodic ~nx:t.nx ~ny:t.ny ~nz:t.nz ~n_orb:t.n_orb
+      ~samples ~set:(fun ~orb ~i ~j ~k v -> set_base t ~orb ~i ~j ~k v)
 
   let wrap s = s -. Float.of_int (int_of_float (Float.floor s))
 
@@ -327,6 +273,7 @@ module Make (R : Precision.REAL) = struct
       bsy = fa ();
       bsz = fa ();
       bslab = Array.make (64 * t.n_orb) 0.;
+      bprod = Array.make (640 * cap) 0.;
       outs = Array.init cap (fun _ -> make_vgh_buf t);
     }
 
@@ -432,11 +379,14 @@ module Make (R : Precision.REAL) = struct
     w.(off + 2) <- 1. -. (3. *. t);
     w.(off + 3) <- t
 
-  let eval_v_batch t (b : v_batch) ~n ~(u0 : float array) ~(u1 : float array)
-      ~(u2 : float array) =
+  (* Phase 1 of the batched Bspline-v: per-walker stencil origin + value
+     weights into the arena.  Split out so the tiled layout (which shares
+     the grid dimensions across tiles) can stage once and run phase 2 per
+     tile.  [locate] written out so no (int, float) tuple is allocated. *)
+  let stage_v_batch t (b : v_batch) ~n ~(u0 : float array)
+      ~(u1 : float array) ~(u2 : float array) =
     if n < 0 || n > b.vcap then invalid_arg "Bspline3d.eval_v_batch: bad n";
     for s = 0 to n - 1 do
-      (* [locate], written out so no (int, float) tuple is allocated. *)
       let x = wrap u0.(s) *. float_of_int t.nx in
       let ix = int_of_float x in
       let ix = if ix >= t.nx then t.nx - 1 else if ix < 0 then 0 else ix in
@@ -459,35 +409,49 @@ module Make (R : Precision.REAL) = struct
       put_value b.vwx off;
       put_value b.vwy off;
       put_value b.vwz off
-    done;
+    done
+
+  (* Phase 2 for one walker slot: zero, gather and accumulate the orbital
+     segment [orb_off, orb_off + n_orb t) of [out] from this table's
+     coefficients.  With [orb_off = 0] and a full-width table this is
+     exactly the flat kernel; the tiled layout calls it once per tile at
+     the tile's orbital offset, so per orbital the arithmetic —
+     expressions and accumulation order — is identical in both layouts
+     and the double-path results are bit-identical by construction. *)
+  let accum_v_slot t (b : v_batch) ~s ~(out : float array) ~orb_off =
     let norb = t.n_orb in
-    for s = 0 to n - 1 do
-      let out = b.vouts.(s) in
-      Array.fill out 0 norb 0.;
-      gather_coeffs t.coeffs b.vslab ~ix:b.vix.(s) ~iy:b.viy.(s)
-        ~iz:b.viz.(s) ~cy:t.cy ~cz:t.cz ~orb_stride:t.orb_stride ~norb;
-      let slab = b.vslab in
-      let off = 4 * s in
-      for a = 0 to 3 do
-        for bb = 0 to 3 do
-          let wab = b.vwx.(off + a) *. b.vwy.(off + bb) in
-          for c = 0 to 3 do
-            let p = wab *. b.vwz.(off + c) in
-            let cell = ((((a * 4) + bb) * 4) + c) * norb in
-            for m = 0 to norb - 1 do
-              out.(m) <-
-                out.(m) +. (p *. Array.unsafe_get slab (cell + m))
-            done
+    Array.fill out orb_off norb 0.;
+    gather_coeffs t.coeffs b.vslab ~ix:b.vix.(s) ~iy:b.viy.(s)
+      ~iz:b.viz.(s) ~cy:t.cy ~cz:t.cz ~orb_stride:t.orb_stride ~norb;
+    let slab = b.vslab in
+    let off = 4 * s in
+    for a = 0 to 3 do
+      for bb = 0 to 3 do
+        let wab = b.vwx.(off + a) *. b.vwy.(off + bb) in
+        for c = 0 to 3 do
+          let p = wab *. b.vwz.(off + c) in
+          let cell = ((((a * 4) + bb) * 4) + c) * norb in
+          for m = 0 to norb - 1 do
+            out.(orb_off + m) <-
+              out.(orb_off + m) +. (p *. Array.unsafe_get slab (cell + m))
           done
         done
       done
     done
 
-  let eval_vgh_batch t (b : vgh_batch) ~n ~(u0 : float array)
+  let eval_v_batch t (b : v_batch) ~n ~(u0 : float array) ~(u1 : float array)
+      ~(u2 : float array) =
+    stage_v_batch t b ~n ~u0 ~u1 ~u2;
+    for s = 0 to n - 1 do
+      accum_v_slot t b ~s ~out:b.vouts.(s) ~orb_off:0
+    done
+
+  (* Phase 1 of the batched Bspline-vgh: per-walker stencil origin + the
+     nine weight vectors.  [locate] written out so no (int, float) tuples
+     are allocated. *)
+  let stage_vgh_batch t (b : vgh_batch) ~n ~(u0 : float array)
       ~(u1 : float array) ~(u2 : float array) =
     if n < 0 || n > b.cap then invalid_arg "Bspline3d.eval_vgh_batch: bad n";
-    (* Phase 1: per-walker stencil origin + the nine weight vectors.
-       [locate] written out so no (int, float) tuples are allocated. *)
     for s = 0 to n - 1 do
       let x = wrap u0.(s) *. float_of_int t.nx in
       let ix = int_of_float x in
@@ -523,79 +487,319 @@ module Make (R : Precision.REAL) = struct
       put_second b.bsx off;
       put_second b.bsy off;
       put_second b.bsz off
-    done;
-    (* Phase 2: gather each walker's stencil block into the slab, then
-       accumulate into that walker's slot of the arena. *)
+    done
+
+  (* Phase 2 for one walker slot (vgh analogue of [accum_v_slot]): zero,
+     gather, accumulate and metric-scale the orbital segment
+     [orb_off, orb_off + n_orb t) of [buf] from this table. *)
+  let accum_vgh_slot t (b : vgh_batch) ~s ~(buf : vgh_buf) ~orb_off =
     let norb = t.n_orb in
-    for s = 0 to n - 1 do
-      let buf = b.outs.(s) in
-      Array.fill buf.v 0 norb 0.;
-      Array.fill buf.gx 0 norb 0.;
-      Array.fill buf.gy 0 norb 0.;
-      Array.fill buf.gz 0 norb 0.;
-      Array.fill buf.hxx 0 norb 0.;
-      Array.fill buf.hxy 0 norb 0.;
-      Array.fill buf.hxz 0 norb 0.;
-      Array.fill buf.hyy 0 norb 0.;
-      Array.fill buf.hyz 0 norb 0.;
-      Array.fill buf.hzz 0 norb 0.;
-      gather_coeffs t.coeffs b.bslab ~ix:b.bix.(s) ~iy:b.biy.(s)
-        ~iz:b.biz.(s) ~cy:t.cy ~cz:t.cz ~orb_stride:t.orb_stride ~norb;
-      let slab = b.bslab in
-      let off = 4 * s in
-      for a = 0 to 3 do
-        let wxa = b.bwx.(off + a)
-        and dxa = b.bdx.(off + a)
-        and sxa = b.bsx.(off + a) in
-        for bb = 0 to 3 do
-          let wyb = b.bwy.(off + bb)
-          and dyb = b.bdy.(off + bb)
-          and syb = b.bsy.(off + bb) in
-          for c = 0 to 3 do
-            let wzc = b.bwz.(off + c)
-            and dzc = b.bdz.(off + c)
-            and szc = b.bsz.(off + c) in
-            let p_v = wxa *. wyb *. wzc in
-            let p_gx = dxa *. wyb *. wzc in
-            let p_gy = wxa *. dyb *. wzc in
-            let p_gz = wxa *. wyb *. dzc in
-            let p_hxx = sxa *. wyb *. wzc in
-            let p_hxy = dxa *. dyb *. wzc in
-            let p_hxz = dxa *. wyb *. dzc in
-            let p_hyy = wxa *. syb *. wzc in
-            let p_hyz = wxa *. dyb *. dzc in
-            let p_hzz = wxa *. wyb *. szc in
-            let cell = ((((a * 4) + bb) * 4) + c) * norb in
-            for m = 0 to norb - 1 do
-              let cf = Array.unsafe_get slab (cell + m) in
-              buf.v.(m) <- buf.v.(m) +. (p_v *. cf);
-              buf.gx.(m) <- buf.gx.(m) +. (p_gx *. cf);
-              buf.gy.(m) <- buf.gy.(m) +. (p_gy *. cf);
-              buf.gz.(m) <- buf.gz.(m) +. (p_gz *. cf);
-              buf.hxx.(m) <- buf.hxx.(m) +. (p_hxx *. cf);
-              buf.hxy.(m) <- buf.hxy.(m) +. (p_hxy *. cf);
-              buf.hxz.(m) <- buf.hxz.(m) +. (p_hxz *. cf);
-              buf.hyy.(m) <- buf.hyy.(m) +. (p_hyy *. cf);
-              buf.hyz.(m) <- buf.hyz.(m) +. (p_hyz *. cf);
-              buf.hzz.(m) <- buf.hzz.(m) +. (p_hzz *. cf)
-            done
+    Array.fill buf.v orb_off norb 0.;
+    Array.fill buf.gx orb_off norb 0.;
+    Array.fill buf.gy orb_off norb 0.;
+    Array.fill buf.gz orb_off norb 0.;
+    Array.fill buf.hxx orb_off norb 0.;
+    Array.fill buf.hxy orb_off norb 0.;
+    Array.fill buf.hxz orb_off norb 0.;
+    Array.fill buf.hyy orb_off norb 0.;
+    Array.fill buf.hyz orb_off norb 0.;
+    Array.fill buf.hzz orb_off norb 0.;
+    gather_coeffs t.coeffs b.bslab ~ix:b.bix.(s) ~iy:b.biy.(s)
+      ~iz:b.biz.(s) ~cy:t.cy ~cz:t.cz ~orb_stride:t.orb_stride ~norb;
+    let slab = b.bslab in
+    let off = 4 * s in
+    for a = 0 to 3 do
+      let wxa = b.bwx.(off + a)
+      and dxa = b.bdx.(off + a)
+      and sxa = b.bsx.(off + a) in
+      for bb = 0 to 3 do
+        let wyb = b.bwy.(off + bb)
+        and dyb = b.bdy.(off + bb)
+        and syb = b.bsy.(off + bb) in
+        for c = 0 to 3 do
+          let wzc = b.bwz.(off + c)
+          and dzc = b.bdz.(off + c)
+          and szc = b.bsz.(off + c) in
+          let p_v = wxa *. wyb *. wzc in
+          let p_gx = dxa *. wyb *. wzc in
+          let p_gy = wxa *. dyb *. wzc in
+          let p_gz = wxa *. wyb *. dzc in
+          let p_hxx = sxa *. wyb *. wzc in
+          let p_hxy = dxa *. dyb *. wzc in
+          let p_hxz = dxa *. wyb *. dzc in
+          let p_hyy = wxa *. syb *. wzc in
+          let p_hyz = wxa *. dyb *. dzc in
+          let p_hzz = wxa *. wyb *. szc in
+          let cell = ((((a * 4) + bb) * 4) + c) * norb in
+          for m = 0 to norb - 1 do
+            let cf = Array.unsafe_get slab (cell + m) in
+            let q = orb_off + m in
+            buf.v.(q) <- buf.v.(q) +. (p_v *. cf);
+            buf.gx.(q) <- buf.gx.(q) +. (p_gx *. cf);
+            buf.gy.(q) <- buf.gy.(q) +. (p_gy *. cf);
+            buf.gz.(q) <- buf.gz.(q) +. (p_gz *. cf);
+            buf.hxx.(q) <- buf.hxx.(q) +. (p_hxx *. cf);
+            buf.hxy.(q) <- buf.hxy.(q) +. (p_hxy *. cf);
+            buf.hxz.(q) <- buf.hxz.(q) +. (p_hxz *. cf);
+            buf.hyy.(q) <- buf.hyy.(q) +. (p_hyy *. cf);
+            buf.hyz.(q) <- buf.hyz.(q) +. (p_hyz *. cf);
+            buf.hzz.(q) <- buf.hzz.(q) +. (p_hzz *. cf)
           done
         done
-      done;
-      let fx = float_of_int t.nx and fy = float_of_int t.ny in
-      let fz = float_of_int t.nz in
-      for m = 0 to norb - 1 do
-        buf.gx.(m) <- buf.gx.(m) *. fx;
-        buf.gy.(m) <- buf.gy.(m) *. fy;
-        buf.gz.(m) <- buf.gz.(m) *. fz;
-        buf.hxx.(m) <- buf.hxx.(m) *. fx *. fx;
-        buf.hxy.(m) <- buf.hxy.(m) *. fx *. fy;
-        buf.hxz.(m) <- buf.hxz.(m) *. fx *. fz;
-        buf.hyy.(m) <- buf.hyy.(m) *. fy *. fy;
-        buf.hyz.(m) <- buf.hyz.(m) *. fy *. fz;
-        buf.hzz.(m) <- buf.hzz.(m) *. fz *. fz
+      done
+    done;
+    let fx = float_of_int t.nx and fy = float_of_int t.ny in
+    let fz = float_of_int t.nz in
+    for m = orb_off to orb_off + norb - 1 do
+      buf.gx.(m) <- buf.gx.(m) *. fx;
+      buf.gy.(m) <- buf.gy.(m) *. fy;
+      buf.gz.(m) <- buf.gz.(m) *. fz;
+      buf.hxx.(m) <- buf.hxx.(m) *. fx *. fx;
+      buf.hxy.(m) <- buf.hxy.(m) *. fx *. fy;
+      buf.hxz.(m) <- buf.hxz.(m) *. fx *. fz;
+      buf.hyy.(m) <- buf.hyy.(m) *. fy *. fy;
+      buf.hyz.(m) <- buf.hyz.(m) *. fy *. fz;
+      buf.hzz.(m) <- buf.hzz.(m) *. fz *. fz
+    done
+
+  let eval_vgh_batch t (b : vgh_batch) ~n ~(u0 : float array)
+      ~(u1 : float array) ~(u2 : float array) =
+    stage_vgh_batch t b ~n ~u0 ~u1 ~u2;
+    for s = 0 to n - 1 do
+      accum_vgh_slot t b ~s ~buf:b.outs.(s) ~orb_off:0
+    done
+
+  (* ---------- fused phase 2 (tiled layout's accumulators) ----------
+
+     The slab kernels above pay a full write+read copy of every stencil
+     coefficient (64·n_orb doubles per eval) to keep the kind-specialized
+     loads separate from the generic accumulation.  The tiled layout's
+     per-tile blocks are small enough to fuse instead: one monomorphic
+     kernel per storage kind reads the bigarray directly inside the
+     accumulation loop, eliminating the slab traffic entirely.  The
+     coefficients are the same doubles in the same (a,b,c,m) order and
+     the weight products are the same expressions, so results stay
+     bit-identical to the slab kernels (and hence to the scalar ones).
+
+     The ten vgh weight products depend only on the slot, so the tiled
+     driver stages them once per slot ({!stage_vgh_products}) instead of
+     recomputing 64×10 of them for every tile. *)
+
+  (* Products for slot [s] into [b.bprod] at [(s·64 + point)·10 + field],
+     field order v,gx,gy,gz,hxx,hxy,hxz,hyy,hyz,hzz — the exact
+     expressions of [accum_vgh_slot]. *)
+  let stage_vgh_products (b : vgh_batch) ~s =
+    let off = 4 * s in
+    let prod = b.bprod in
+    let q = ref (640 * s) in
+    for a = 0 to 3 do
+      let wxa = b.bwx.(off + a)
+      and dxa = b.bdx.(off + a)
+      and sxa = b.bsx.(off + a) in
+      for bb = 0 to 3 do
+        let wyb = b.bwy.(off + bb)
+        and dyb = b.bdy.(off + bb)
+        and syb = b.bsy.(off + bb) in
+        for c = 0 to 3 do
+          let wzc = b.bwz.(off + c)
+          and dzc = b.bdz.(off + c)
+          and szc = b.bsz.(off + c) in
+          let p = !q in
+          Array.unsafe_set prod p (wxa *. wyb *. wzc);
+          Array.unsafe_set prod (p + 1) (dxa *. wyb *. wzc);
+          Array.unsafe_set prod (p + 2) (wxa *. dyb *. wzc);
+          Array.unsafe_set prod (p + 3) (wxa *. wyb *. dzc);
+          Array.unsafe_set prod (p + 4) (sxa *. wyb *. wzc);
+          Array.unsafe_set prod (p + 5) (dxa *. dyb *. wzc);
+          Array.unsafe_set prod (p + 6) (dxa *. wyb *. dzc);
+          Array.unsafe_set prod (p + 7) (wxa *. syb *. wzc);
+          Array.unsafe_set prod (p + 8) (wxa *. dyb *. dzc);
+          Array.unsafe_set prod (p + 9) (wxa *. wyb *. szc);
+          q := p + 10
+        done
       done
     done
+
+  let accum_vgh_direct_f64
+      (coeffs : (float, Bigarray.float64_elt, Bigarray.c_layout)
+                  Bigarray.Array1.t) (b : vgh_batch) ~s ~(buf : vgh_buf)
+      ~orb_off ~norb ~cy ~cz ~orb_stride =
+    let ix = b.bix.(s) and iy = b.biy.(s) and iz = b.biz.(s) in
+    let prod = b.bprod in
+    let q = ref (640 * s) in
+    for a = 0 to 3 do
+      for bb = 0 to 3 do
+        let row = (((ix + a) * cy) + iy + bb) * cz + iz in
+        for c = 0 to 3 do
+          let p = !q in
+          let p_v = Array.unsafe_get prod p in
+          let p_gx = Array.unsafe_get prod (p + 1) in
+          let p_gy = Array.unsafe_get prod (p + 2) in
+          let p_gz = Array.unsafe_get prod (p + 3) in
+          let p_hxx = Array.unsafe_get prod (p + 4) in
+          let p_hxy = Array.unsafe_get prod (p + 5) in
+          let p_hxz = Array.unsafe_get prod (p + 6) in
+          let p_hyy = Array.unsafe_get prod (p + 7) in
+          let p_hyz = Array.unsafe_get prod (p + 8) in
+          let p_hzz = Array.unsafe_get prod (p + 9) in
+          let base = (row + c) * orb_stride in
+          for m = 0 to norb - 1 do
+            let cf = Bigarray.Array1.unsafe_get coeffs (base + m) in
+            let o = orb_off + m in
+            buf.v.(o) <- buf.v.(o) +. (p_v *. cf);
+            buf.gx.(o) <- buf.gx.(o) +. (p_gx *. cf);
+            buf.gy.(o) <- buf.gy.(o) +. (p_gy *. cf);
+            buf.gz.(o) <- buf.gz.(o) +. (p_gz *. cf);
+            buf.hxx.(o) <- buf.hxx.(o) +. (p_hxx *. cf);
+            buf.hxy.(o) <- buf.hxy.(o) +. (p_hxy *. cf);
+            buf.hxz.(o) <- buf.hxz.(o) +. (p_hxz *. cf);
+            buf.hyy.(o) <- buf.hyy.(o) +. (p_hyy *. cf);
+            buf.hyz.(o) <- buf.hyz.(o) +. (p_hyz *. cf);
+            buf.hzz.(o) <- buf.hzz.(o) +. (p_hzz *. cf)
+          done;
+          q := p + 10
+        done
+      done
+    done
+
+  let accum_vgh_direct_f32
+      (coeffs : (float, Bigarray.float32_elt, Bigarray.c_layout)
+                  Bigarray.Array1.t) (b : vgh_batch) ~s ~(buf : vgh_buf)
+      ~orb_off ~norb ~cy ~cz ~orb_stride =
+    let ix = b.bix.(s) and iy = b.biy.(s) and iz = b.biz.(s) in
+    let prod = b.bprod in
+    let q = ref (640 * s) in
+    for a = 0 to 3 do
+      for bb = 0 to 3 do
+        let row = (((ix + a) * cy) + iy + bb) * cz + iz in
+        for c = 0 to 3 do
+          let p = !q in
+          let p_v = Array.unsafe_get prod p in
+          let p_gx = Array.unsafe_get prod (p + 1) in
+          let p_gy = Array.unsafe_get prod (p + 2) in
+          let p_gz = Array.unsafe_get prod (p + 3) in
+          let p_hxx = Array.unsafe_get prod (p + 4) in
+          let p_hxy = Array.unsafe_get prod (p + 5) in
+          let p_hxz = Array.unsafe_get prod (p + 6) in
+          let p_hyy = Array.unsafe_get prod (p + 7) in
+          let p_hyz = Array.unsafe_get prod (p + 8) in
+          let p_hzz = Array.unsafe_get prod (p + 9) in
+          let base = (row + c) * orb_stride in
+          for m = 0 to norb - 1 do
+            let cf = Bigarray.Array1.unsafe_get coeffs (base + m) in
+            let o = orb_off + m in
+            buf.v.(o) <- buf.v.(o) +. (p_v *. cf);
+            buf.gx.(o) <- buf.gx.(o) +. (p_gx *. cf);
+            buf.gy.(o) <- buf.gy.(o) +. (p_gy *. cf);
+            buf.gz.(o) <- buf.gz.(o) +. (p_gz *. cf);
+            buf.hxx.(o) <- buf.hxx.(o) +. (p_hxx *. cf);
+            buf.hxy.(o) <- buf.hxy.(o) +. (p_hxy *. cf);
+            buf.hxz.(o) <- buf.hxz.(o) +. (p_hxz *. cf);
+            buf.hyy.(o) <- buf.hyy.(o) +. (p_hyy *. cf);
+            buf.hyz.(o) <- buf.hyz.(o) +. (p_hyz *. cf);
+            buf.hzz.(o) <- buf.hzz.(o) +. (p_hzz *. cf)
+          done;
+          q := p + 10
+        done
+      done
+    done
+
+  let accum_vgh_direct :
+      A.t -> vgh_batch -> s:int -> buf:vgh_buf -> orb_off:int -> norb:int ->
+      cy:int -> cz:int -> orb_stride:int -> unit =
+    match R.kind with
+    | Bigarray.Float64 -> accum_vgh_direct_f64
+    | Bigarray.Float32 -> accum_vgh_direct_f32
+
+  (* Fused variant of [accum_vgh_slot]: requires the slot's products to
+     be staged ({!stage_vgh_products}) — the tiled driver stages once per
+     slot and calls this per tile. *)
+  let accum_vgh_slot_fused t (b : vgh_batch) ~s ~(buf : vgh_buf) ~orb_off =
+    let norb = t.n_orb in
+    Array.fill buf.v orb_off norb 0.;
+    Array.fill buf.gx orb_off norb 0.;
+    Array.fill buf.gy orb_off norb 0.;
+    Array.fill buf.gz orb_off norb 0.;
+    Array.fill buf.hxx orb_off norb 0.;
+    Array.fill buf.hxy orb_off norb 0.;
+    Array.fill buf.hxz orb_off norb 0.;
+    Array.fill buf.hyy orb_off norb 0.;
+    Array.fill buf.hyz orb_off norb 0.;
+    Array.fill buf.hzz orb_off norb 0.;
+    accum_vgh_direct t.coeffs b ~s ~buf ~orb_off ~norb ~cy:t.cy ~cz:t.cz
+      ~orb_stride:t.orb_stride;
+    let fx = float_of_int t.nx and fy = float_of_int t.ny in
+    let fz = float_of_int t.nz in
+    for m = orb_off to orb_off + norb - 1 do
+      buf.gx.(m) <- buf.gx.(m) *. fx;
+      buf.gy.(m) <- buf.gy.(m) *. fy;
+      buf.gz.(m) <- buf.gz.(m) *. fz;
+      buf.hxx.(m) <- buf.hxx.(m) *. fx *. fx;
+      buf.hxy.(m) <- buf.hxy.(m) *. fx *. fy;
+      buf.hxz.(m) <- buf.hxz.(m) *. fx *. fz;
+      buf.hyy.(m) <- buf.hyy.(m) *. fy *. fy;
+      buf.hyz.(m) <- buf.hyz.(m) *. fy *. fz;
+      buf.hzz.(m) <- buf.hzz.(m) *. fz *. fz
+    done
+
+  let accum_v_direct_f64
+      (coeffs : (float, Bigarray.float64_elt, Bigarray.c_layout)
+                  Bigarray.Array1.t) (b : v_batch) ~s ~(out : float array)
+      ~orb_off ~norb ~cy ~cz ~orb_stride =
+    let ix = b.vix.(s) and iy = b.viy.(s) and iz = b.viz.(s) in
+    let off = 4 * s in
+    for a = 0 to 3 do
+      for bb = 0 to 3 do
+        let wab = b.vwx.(off + a) *. b.vwy.(off + bb) in
+        let row = (((ix + a) * cy) + iy + bb) * cz + iz in
+        for c = 0 to 3 do
+          let p = wab *. b.vwz.(off + c) in
+          let base = (row + c) * orb_stride in
+          for m = 0 to norb - 1 do
+            let o = orb_off + m in
+            out.(o) <-
+              out.(o) +. (p *. Bigarray.Array1.unsafe_get coeffs (base + m))
+          done
+        done
+      done
+    done
+
+  let accum_v_direct_f32
+      (coeffs : (float, Bigarray.float32_elt, Bigarray.c_layout)
+                  Bigarray.Array1.t) (b : v_batch) ~s ~(out : float array)
+      ~orb_off ~norb ~cy ~cz ~orb_stride =
+    let ix = b.vix.(s) and iy = b.viy.(s) and iz = b.viz.(s) in
+    let off = 4 * s in
+    for a = 0 to 3 do
+      for bb = 0 to 3 do
+        let wab = b.vwx.(off + a) *. b.vwy.(off + bb) in
+        let row = (((ix + a) * cy) + iy + bb) * cz + iz in
+        for c = 0 to 3 do
+          let p = wab *. b.vwz.(off + c) in
+          let base = (row + c) * orb_stride in
+          for m = 0 to norb - 1 do
+            let o = orb_off + m in
+            out.(o) <-
+              out.(o) +. (p *. Bigarray.Array1.unsafe_get coeffs (base + m))
+          done
+        done
+      done
+    done
+
+  let accum_v_direct :
+      A.t -> v_batch -> s:int -> out:float array -> orb_off:int ->
+      norb:int -> cy:int -> cz:int -> orb_stride:int -> unit =
+    match R.kind with
+    | Bigarray.Float64 -> accum_v_direct_f64
+    | Bigarray.Float32 -> accum_v_direct_f32
+
+  (* Fused variant of [accum_v_slot]; the value products are three mults
+     per stencil point, cheap enough to recompute per tile. *)
+  let accum_v_slot_fused t (b : v_batch) ~s ~(out : float array) ~orb_off =
+    let norb = t.n_orb in
+    Array.fill out orb_off norb 0.;
+    accum_v_direct t.coeffs b ~s ~out ~orb_off ~norb ~cy:t.cy ~cz:t.cz
+      ~orb_stride:t.orb_stride
 
   (* Analytic size of a table in bytes for workloads too big to allocate
      (the B-spline column of Table 1). *)

@@ -76,11 +76,13 @@ module Make (R : Precision.REAL) : sig
     bsy : float array;
     bsz : float array;
     bslab : float array;
+    bprod : float array;
     outs : vgh_buf array;
   }
   (** Crowd-sized scratch arena for {!eval_vgh_batch}: per-slot stencil
       origins, flat 1-D weight vectors (offset [4*slot]), a gather slab
-      holding one walker's 4×4×4 coefficient block as unboxed doubles,
+      holding one walker's 4×4×4 coefficient block as unboxed doubles, a
+      staged weight-product buffer ([bprod], used by the fused phase 2),
       and one result buffer per slot.  Allocate once per domain, reuse
       forever. *)
 
@@ -126,6 +128,72 @@ module Make (R : Precision.REAL) : sig
     unit
   (** Batched Bspline-v into [vouts.(0..n-1)]; same contract as
       {!eval_vgh_batch}. *)
+
+  (** {2 Batch phases}
+
+      The batched kernels split into a position-staging phase 1 (stencil
+      origins + 1-D weights, no coefficient traffic) and a per-slot
+      gather/accumulate phase 2.  They are exposed so the tiled layout
+      ({!Bspline3d_tiled}) can stage once per batch and accumulate once
+      per tile into an orbital segment of a full-width buffer — running
+      the very same phase-2 code as the flat layout, which is what makes
+      tiled-vs-flat bit-identity structural rather than coincidental. *)
+
+  val stage_v_batch :
+    t ->
+    v_batch ->
+    n:int ->
+    u0:float array ->
+    u1:float array ->
+    u2:float array ->
+    unit
+  (** Phase 1 of {!eval_v_batch}; only the grid dimensions of [t] are
+      read.  @raise Invalid_argument if [n > cap]. *)
+
+  val stage_vgh_batch :
+    t ->
+    vgh_batch ->
+    n:int ->
+    u0:float array ->
+    u1:float array ->
+    u2:float array ->
+    unit
+  (** Phase 1 of {!eval_vgh_batch}. *)
+
+  val accum_v_slot : t -> v_batch -> s:int -> out:float array -> orb_off:int -> unit
+  (** Phase 2 of {!eval_v_batch} for walker slot [s]: zero, gather and
+      accumulate orbitals [orb_off, orb_off + n_orb t) of [out] from this
+      table.  Requires a staged arena whose slab holds at least
+      [64 * n_orb t] doubles. *)
+
+  val accum_vgh_slot : t -> vgh_batch -> s:int -> buf:vgh_buf -> orb_off:int -> unit
+  (** Phase 2 of {!eval_vgh_batch} for walker slot [s] (vgh analogue of
+      {!accum_v_slot}), including the metric scaling of the segment. *)
+
+  (** {2 Fused phase 2}
+
+      The slab kernels above copy every stencil coefficient through a
+      double slab before accumulating (64·n_orb write+read per eval).
+      The fused variants read the coefficient bigarray directly inside a
+      kind-specialized accumulation loop — same doubles, same (a,b,c,m)
+      order, so the results are bit-identical to the slab kernels.  The
+      tiled layout uses them as its per-tile phase 2: the slab traffic
+      disappears and the ten vgh weight products are staged once per
+      slot instead of recomputed per tile. *)
+
+  val stage_vgh_products : vgh_batch -> s:int -> unit
+  (** Stage the 64×10 vgh weight products for slot [s] into the arena's
+      [bprod] (requires a staged phase 1 for [s]); the exact expressions
+      of {!accum_vgh_slot}. *)
+
+  val accum_vgh_slot_fused :
+    t -> vgh_batch -> s:int -> buf:vgh_buf -> orb_off:int -> unit
+  (** Fused {!accum_vgh_slot}; requires {!stage_vgh_products} for [s]. *)
+
+  val accum_v_slot_fused :
+    t -> v_batch -> s:int -> out:float array -> orb_off:int -> unit
+  (** Fused {!accum_v_slot}; no product staging needed (three mults per
+      stencil point are recomputed in place). *)
 
   val table_bytes :
     nx:int -> ny:int -> nz:int -> n_orb:int -> elt_bytes:int -> int

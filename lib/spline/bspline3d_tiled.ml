@@ -7,11 +7,21 @@ open Oqmc_containers
    tiles (AoS), the inner layout is the SoA multi-spline of {!Bspline3d}
    — an array-of-SoA.
 
-   Why it matters: one monolithic table walks a stride of
-   n_orb × elt_bytes between stencil points, so very large orbital counts
-   blow past the caches; tiles bound that stride and expose an outer loop
-   that parallelizes over threads.  Evaluation results are identical to
-   the untiled table by construction. *)
+   Why it matters: the tile-bounded blocks are small enough that the
+   batched phase 2 can FUSE the coefficient loads into the accumulation
+   ({!Bspline3d.accum_vgh_slot_fused}): coefficients are read directly
+   out of each tile's bigarray instead of being copied through the flat
+   kernel's 64·n_orb-double gather slab, and the ten vgh weight products
+   are staged once per slot instead of recomputed per stencil walk.
+   Tiling also bounds the stride between stencil points and exposes an
+   outer loop that parallelizes over threads.  Evaluation results are
+   identical to the untiled table by construction: phase 1 (stencil
+   locate + 1-D weights) is staged once per batch through the shared
+   {!Bspline3d} arena, and the fused phase 2 consumes the same doubles
+   in the same (a,b,c,m) order as the flat kernels, once per tile at the
+   tile's orbital offset.  Each orbital's 64-point accumulation is
+   independent of the tile partition, so the f64 results are
+   bit-identical to flat. *)
 
 module Make (R : Precision.REAL) = struct
   module B = Bspline3d.Make (R)
@@ -23,6 +33,14 @@ module Make (R : Precision.REAL) = struct
     scratch_v : float array array; (* per-tile value buffers *)
     scratch_vgh : B.vgh_buf array;
   }
+
+  (* The batch arenas are the flat module's: phase-1 staging (origins +
+     weights) is tile-independent, the gather slab is sized for one tile
+     (64 × tile doubles — the cache-blocking that motivates the layout),
+     and the per-slot result buffers span the full orbital range so the
+     SPO layer consumes them exactly like flat arenas. *)
+  type vgh_batch = B.vgh_batch
+  type v_batch = B.v_batch
 
   let create ~nx ~ny ~nz ~n_orb ~tile =
     if tile < 1 then invalid_arg "Bspline3d_tiled.create: tile < 1";
@@ -44,6 +62,7 @@ module Make (R : Precision.REAL) = struct
   let n_orb t = t.n_orb
   let n_tiles t = Array.length t.tiles
   let tile_size t = t.tile
+  let dims t = B.dims t.tiles.(0)
 
   let bytes t = Array.fold_left (fun acc b -> acc + B.bytes b) 0 t.tiles
 
@@ -60,18 +79,19 @@ module Make (R : Precision.REAL) = struct
     let ti, o = locate t orb in
     B.get_base t.tiles.(ti) ~orb:o ~i ~j ~k
 
+  (* Construction goes through the layout-shared driver (Bspline_fit):
+     one copy of the sweep and of the periodic prefilter serves both the
+     flat and the tiled layout, writing through this layout's set_base,
+     so the produced coefficients are identical to a flat table's. *)
   let fill t f =
-    Array.iteri
-      (fun ti b ->
-        B.fill b (fun ~orb ~i ~j ~k -> f ~orb:((ti * t.tile) + orb) ~i ~j ~k))
-      t.tiles
+    let nx, ny, nz = dims t in
+    Bspline_fit.fill ~nx ~ny ~nz ~n_orb:t.n_orb ~f
+      ~set:(fun ~orb ~i ~j ~k v -> set_base t ~orb ~i ~j ~k v)
 
   let fit_periodic t ~samples =
-    Array.iteri
-      (fun ti b ->
-        B.fit_periodic b ~samples:(fun ~orb ~ix ~iy ~iz ->
-            samples ~orb:((ti * t.tile) + orb) ~ix ~iy ~iz))
-      t.tiles
+    let nx, ny, nz = dims t in
+    Bspline_fit.fit_periodic ~nx ~ny ~nz ~n_orb:t.n_orb ~samples
+      ~set:(fun ~orb ~i ~j ~k v -> set_base t ~orb ~i ~j ~k v)
 
   (* Values of all orbitals; the outer tile loop is the unit that a
      task-parallel evaluation distributes over threads. *)
@@ -114,4 +134,49 @@ module Make (R : Precision.REAL) = struct
       hyz = Array.make t.n_orb 0.;
       hzz = Array.make t.n_orb 0.;
     }
+
+  (* ---------- crowd-batched kernels ----------
+
+     Tile 0 is the widest tile, so its arena's gather slab (64 × its
+     orbital count doubles) fits every tile's stencil block; only the
+     per-slot result buffers need replacing with full-width ones. *)
+
+  let make_vgh_batch t ~cap =
+    let b = B.make_vgh_batch t.tiles.(0) ~cap in
+    { b with B.outs = Array.init cap (fun _ -> make_vgh_buf t) }
+
+  let make_v_batch t ~cap =
+    let b = B.make_v_batch t.tiles.(0) ~cap in
+    { b with B.vouts = Array.init cap (fun _ -> Array.make t.n_orb 0.) }
+
+  (* Stage once (every tile shares the grid), then run the FUSED phase 2
+     tile by tile: the fused accumulators read each tile's coefficient
+     block directly out of its bigarray — no gather slab, so the
+     64·n_orb-double write+read copy the flat kernel pays per eval
+     disappears — and the ten vgh weight products are staged once per
+     slot instead of recomputed per tile.  Same doubles in the same
+     order, so f64 results stay bit-identical to the flat layout.  Zero
+     allocation throughout. *)
+  let eval_vgh_batch t (b : vgh_batch) ~n ~(u0 : float array)
+      ~(u1 : float array) ~(u2 : float array) =
+    B.stage_vgh_batch t.tiles.(0) b ~n ~u0 ~u1 ~u2;
+    let nt = Array.length t.tiles in
+    for s = 0 to n - 1 do
+      B.stage_vgh_products b ~s;
+      let buf = b.B.outs.(s) in
+      for ti = 0 to nt - 1 do
+        B.accum_vgh_slot_fused t.tiles.(ti) b ~s ~buf ~orb_off:(ti * t.tile)
+      done
+    done
+
+  let eval_v_batch t (b : v_batch) ~n ~(u0 : float array)
+      ~(u1 : float array) ~(u2 : float array) =
+    B.stage_v_batch t.tiles.(0) b ~n ~u0 ~u1 ~u2;
+    let nt = Array.length t.tiles in
+    for s = 0 to n - 1 do
+      let out = b.B.vouts.(s) in
+      for ti = 0 to nt - 1 do
+        B.accum_v_slot_fused t.tiles.(ti) b ~s ~out ~orb_off:(ti * t.tile)
+      done
+    done
 end

@@ -3,13 +3,25 @@ open Oqmc_containers
 (** Tiled (array-of-SoA) orbital table — the paper's future-work tiling
     proposal.  Orbitals are split into fixed-size tiles, each with its own
     contiguous multi-spline block, bounding the per-stencil stride and
-    exposing a thread-parallel outer loop.  Results are identical to
-    {!Bspline3d}. *)
+    exposing a thread-parallel outer loop.  The batched phase 2 is FUSED
+    (coefficients read straight out of each tile's bigarray, no gather
+    slab, weight products staged once per slot), which is where the
+    layout's measured win over flat comes from.  Results are identical to
+    {!Bspline3d}: the batched kernels stage positions once through the
+    shared flat arena and the fused accumulation consumes the same
+    doubles in the same order as the flat phase 2, so f64 results are
+    bit-identical to the flat layout by construction. *)
 
 module Make (R : Precision.REAL) : sig
   module B : module type of Bspline3d.Make (R)
 
   type t
+
+  type vgh_batch = B.vgh_batch
+  (** The flat module's arenas, with full-width ([n_orb]-long) per-slot
+      result buffers; the fused phase 2 leaves the gather slab unused. *)
+
+  type v_batch = B.v_batch
 
   val create : nx:int -> ny:int -> nz:int -> n_orb:int -> tile:int -> t
   (** @raise Invalid_argument for non-positive sizes. *)
@@ -17,6 +29,7 @@ module Make (R : Precision.REAL) : sig
   val n_orb : t -> int
   val n_tiles : t -> int
   val tile_size : t -> int
+  val dims : t -> int * int * int
   val bytes : t -> int
 
   val set_base : t -> orb:int -> i:int -> j:int -> k:int -> float -> unit
@@ -29,4 +42,35 @@ module Make (R : Precision.REAL) : sig
   val eval_v : t -> u0:float -> u1:float -> u2:float -> float array -> unit
   val eval_vgh : t -> u0:float -> u1:float -> u2:float -> B.vgh_buf -> unit
   val make_vgh_buf : t -> B.vgh_buf
+
+  val make_vgh_batch : t -> cap:int -> vgh_batch
+  (** @raise Invalid_argument if [cap < 1]. *)
+
+  val make_v_batch : t -> cap:int -> v_batch
+
+  val eval_vgh_batch :
+    t ->
+    vgh_batch ->
+    n:int ->
+    u0:float array ->
+    u1:float array ->
+    u2:float array ->
+    unit
+  (** Batched Bspline-vgh: positions are staged once, then the fused
+      per-tile accumulation streams each tile's coefficient block
+      directly from its bigarray.  Results land in [outs.(0..n-1)]
+      across the full orbital range, bit-identical to the flat batched
+      kernel on the double path, with zero allocation.
+      @raise Invalid_argument if [n > cap]. *)
+
+  val eval_v_batch :
+    t ->
+    v_batch ->
+    n:int ->
+    u0:float array ->
+    u1:float array ->
+    u2:float array ->
+    unit
+  (** Batched Bspline-v into [vouts.(0..n-1)]; same contract as
+      {!eval_vgh_batch}. *)
 end

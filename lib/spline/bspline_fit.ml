@@ -1,0 +1,75 @@
+(* Shared coefficient-construction driver for the flat ({!Bspline3d}) and
+   tiled ({!Bspline3d_tiled}) orbital tables.
+
+   Both layouts expose the same base-grid writer [set_base]; everything
+   above that writer — the raw [fill] sweep and the separable periodic
+   B-spline prefilter (cyclic [1 4 1]/6 interpolation solves along z,
+   then y, then x, per orbital) — is layout-independent and lives here
+   exactly once, so the fitting math cannot drift between the two
+   layouts.  The work arrays are plain doubles regardless of the table's
+   storage precision; narrowing happens inside the layout's [set]
+   callback.  This is a cold path (table construction), so the callback
+   indirection costs nothing that matters. *)
+
+let fill ~nx ~ny ~nz ~n_orb ~f ~set =
+  for i = 0 to nx - 1 do
+    for j = 0 to ny - 1 do
+      for k = 0 to nz - 1 do
+        for orb = 0 to n_orb - 1 do
+          set ~orb ~i ~j ~k (f ~orb ~i ~j ~k)
+        done
+      done
+    done
+  done
+
+let fit_periodic ~nx ~ny ~nz ~n_orb ~samples ~set =
+  let work = Array.init nx (fun _ -> Array.make_matrix ny nz 0.) in
+  let solve_line line =
+    let n = Array.length line in
+    let rhs = Array.map (fun v -> 6. *. v) line in
+    let e = Tridiag.solve_cyclic ~diag:4. ~off:1. rhs in
+    (* c_j = e_{(j-1) mod n} restores the original index convention. *)
+    Array.init n (fun j -> e.((j - 1 + n) mod n))
+  in
+  for orb = 0 to n_orb - 1 do
+    for i = 0 to nx - 1 do
+      for j = 0 to ny - 1 do
+        for k = 0 to nz - 1 do
+          work.(i).(j).(k) <- samples ~orb ~ix:i ~iy:j ~iz:k
+        done;
+        let c = solve_line work.(i).(j) in
+        Array.blit c 0 work.(i).(j) 0 nz
+      done
+    done;
+    let line = Array.make ny 0. in
+    for i = 0 to nx - 1 do
+      for k = 0 to nz - 1 do
+        for j = 0 to ny - 1 do
+          line.(j) <- work.(i).(j).(k)
+        done;
+        let c = solve_line line in
+        for j = 0 to ny - 1 do
+          work.(i).(j).(k) <- c.(j)
+        done
+      done
+    done;
+    let linex = Array.make nx 0. in
+    for j = 0 to ny - 1 do
+      for k = 0 to nz - 1 do
+        for i = 0 to nx - 1 do
+          linex.(i) <- work.(i).(j).(k)
+        done;
+        let c = solve_line linex in
+        for i = 0 to nx - 1 do
+          work.(i).(j).(k) <- c.(i)
+        done
+      done
+    done;
+    for i = 0 to nx - 1 do
+      for j = 0 to ny - 1 do
+        for k = 0 to nz - 1 do
+          set ~orb ~i ~j ~k work.(i).(j).(k)
+        done
+      done
+    done
+  done

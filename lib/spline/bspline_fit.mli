@@ -1,0 +1,26 @@
+(** Layout-independent coefficient construction shared by {!Bspline3d}
+    (flat) and {!Bspline3d_tiled}: the raw base-grid sweep and the
+    separable periodic B-spline prefilter exist exactly once, writing
+    through the layout's [set] callback, so the fitting math cannot
+    drift between layouts. *)
+
+val fill :
+  nx:int ->
+  ny:int ->
+  nz:int ->
+  n_orb:int ->
+  f:(orb:int -> i:int -> j:int -> k:int -> float) ->
+  set:(orb:int -> i:int -> j:int -> k:int -> float -> unit) ->
+  unit
+(** Set every base coefficient directly (synthetic tables). *)
+
+val fit_periodic :
+  nx:int ->
+  ny:int ->
+  nz:int ->
+  n_orb:int ->
+  samples:(orb:int -> ix:int -> iy:int -> iz:int -> float) ->
+  set:(orb:int -> i:int -> j:int -> k:int -> float -> unit) ->
+  unit
+(** Prefilter so the spline interpolates the given grid samples
+    (cyclic [1 4 1]/6 tridiagonal solves along z, then y, then x). *)

@@ -2,10 +2,14 @@
 
    This is the radial-functor engine behind the Jastrow factors (Fig. 3 of
    the paper): short coefficient tables, evaluated with value / first /
-   second derivatives, identically zero at and beyond the cutoff.  The
-   coefficient table is tiny (tens of doubles) so it is kept in double
-   precision in every build variant; the mixed-precision savings of the
-   paper live in the O(N²) structures, not here. *)
+   second derivatives, identically zero at and beyond the cutoff.
+
+   Precision: the table is fitted in double; [narrow] rounds every
+   control point through f32 storage (the [precision_jastrow] knob), so
+   an f32-Jastrow build evaluates the same polynomials from narrowed
+   coefficients while all basis arithmetic stays double.  The table is
+   tiny, so the point is drift behaviour and parity with QMCPACK's
+   single-precision Jastrow splines, not memory. *)
 
 type t = {
   coeffs : float array; (* n_intervals + 3 control points *)
@@ -13,6 +17,7 @@ type t = {
   delta : float;
   delta_inv : float;
   n_intervals : int;
+  narrowed : bool; (* coefficients rounded through f32 storage *)
 }
 
 let of_coefficients ~cutoff coeffs =
@@ -22,7 +27,18 @@ let of_coefficients ~cutoff coeffs =
   let n_intervals = m - 3 in
   let delta = cutoff /. float_of_int n_intervals in
   { coeffs = Array.copy coeffs; cutoff; delta; delta_inv = 1. /. delta;
-    n_intervals }
+    n_intervals; narrowed = false }
+
+let narrow t =
+  if t.narrowed then t
+  else
+    {
+      t with
+      coeffs = Array.map Oqmc_containers.Precision.F32.round t.coeffs;
+      narrowed = true;
+    }
+
+let is_narrowed t = t.narrowed
 
 let cutoff t = t.cutoff
 let coefficients t = Array.copy t.coeffs
@@ -253,4 +269,4 @@ let fit ~f ?(deriv0 = None) ?(deriv_cut = Some 0.) ~cutoff ~intervals () =
       b.(n + 2) <- 0.);
   of_coefficients ~cutoff (solve_dense a b)
 
-let bytes t = 8 * Array.length t.coeffs
+let bytes t = (if t.narrowed then 4 else 8) * Array.length t.coeffs

@@ -23,6 +23,13 @@ val fit :
     at 0); [None] selects a natural (zero-curvature) end.  Defaults:
     natural at 0, zero slope at the cutoff. *)
 
+val narrow : t -> t
+(** Round every control point through f32 storage (the
+    [precision_jastrow] knob): evaluations run the same double-precision
+    basis arithmetic over the narrowed coefficients.  Idempotent. *)
+
+val is_narrowed : t -> bool
+
 val cutoff : t -> float
 val coefficients : t -> float array
 val n_intervals : t -> int

@@ -10,14 +10,20 @@ open Oqmc_spline
    (the store-over-compute baseline) over the Ref AB distance table.
 
    [create_opt] keeps 5N per-electron accumulators and recomputes rows
-   from the SoA AB table on the fly. *)
+   from the SoA AB table on the fly.
 
-module Make (R : Precision.REAL) = struct
+   [R] is the walker precision, [D] the SoA distance-table storage
+   precision (the [precision_dt] knob): the opt path reads its rows
+   through [D] while all Jastrow sums accumulate in double.  The Ref
+   baseline stays entirely at [R]. *)
+
+module Make (R : Precision.REAL) (D : Precision.REAL) = struct
   module W = Wfc.Make (R)
   module Ps = W.Ps
   module A = Aligned.Make (R)
   module Dref = Dt_ab_ref.Make (R)
-  module Dsoa = Dt_ab_soa.Make (R)
+  module Dsoa = Dt_ab_soa.Make (R) (D)
+  module Ad = Dsoa.A
 
   type functors = Cubic_spline_1d.t array
   (* indexed by ion species *)
@@ -113,8 +119,8 @@ module Make (R : Precision.REAL) = struct
       run_fn = Array.map (fun (_, _, sp) -> functors.(sp)) runs;
     }
 
-  let fill_row st (dist : A.t) off =
-    A.read_into dist ~pos:off st.mdr ~n:st.ni;
+  let fill_row st (dist : Ad.t) off =
+    Ad.read_into dist ~pos:off st.mdr ~n:st.ni;
     for r = 0 to Array.length st.run_lo - 1 do
       Cubic_spline_1d.evaluate_ufl_row st.run_fn.(r) st.mdr
         ~off:st.run_lo.(r) ~n:st.run_n.(r) ~u:st.un ~f:st.fn_ ~l:st.ln_
@@ -127,10 +133,10 @@ module Make (R : Precision.REAL) = struct
     done;
     !acc
 
-  let store_k st k ~(dx : A.t) ~(dy : A.t) ~(dz : A.t) ~off =
-    A.read_into dx ~pos:off st.mdx ~n:st.ni;
-    A.read_into dy ~pos:off st.mdy ~n:st.ni;
-    A.read_into dz ~pos:off st.mdz ~n:st.ni;
+  let store_k st k ~(dx : Ad.t) ~(dy : Ad.t) ~(dz : Ad.t) ~off =
+    Ad.read_into dx ~pos:off st.mdx ~n:st.ni;
+    Ad.read_into dy ~pos:off st.mdy ~n:st.ni;
+    Ad.read_into dz ~pos:off st.mdz ~n:st.ni;
     let ax = ref 0. and ay = ref 0. and az = ref 0. in
     let su = ref 0. and sl = ref 0. in
     let fn = st.fn_ in
@@ -154,9 +160,9 @@ module Make (R : Precision.REAL) = struct
     for s = 0 to m - 1 do
       let st = sts.(s) in
       fill_row st (Dsoa.temp_dist st.table) 0;
-      A.read_into (Dsoa.temp_dx st.table) ~pos:0 st.mdx ~n:st.ni;
-      A.read_into (Dsoa.temp_dy st.table) ~pos:0 st.mdy ~n:st.ni;
-      A.read_into (Dsoa.temp_dz st.table) ~pos:0 st.mdz ~n:st.ni;
+      Ad.read_into (Dsoa.temp_dx st.table) ~pos:0 st.mdx ~n:st.ni;
+      Ad.read_into (Dsoa.temp_dy st.table) ~pos:0 st.mdy ~n:st.ni;
+      Ad.read_into (Dsoa.temp_dz st.table) ~pos:0 st.mdz ~n:st.ni;
       let ax = ref 0. and ay = ref 0. and az = ref 0. in
       let su = ref 0. in
       let fn = st.fn_ in
@@ -215,9 +221,9 @@ module Make (R : Precision.REAL) = struct
       let tz = Dsoa.temp_dz st.table in
       let fn = st.fn_ in
       for i = 0 to st.ni - 1 do
-        ax := !ax +. (fn.(i) *. A.unsafe_get tx i);
-        ay := !ay +. (fn.(i) *. A.unsafe_get ty i);
-        az := !az +. (fn.(i) *. A.unsafe_get tz i)
+        ax := !ax +. (fn.(i) *. Ad.unsafe_get tx i);
+        ay := !ay +. (fn.(i) *. Ad.unsafe_get ty i);
+        az := !az +. (fn.(i) *. Ad.unsafe_get tz i)
       done;
       (exp (st.vat.(k) -. sum st.un), Vec3.make !ax !ay !az)
     in

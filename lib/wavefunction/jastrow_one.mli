@@ -5,14 +5,18 @@ open Oqmc_spline
 (** One-body Jastrow factor, log ψ = −Σ_{k,I} u_{s(I)}(r_kI), with a
     radial functor per ion species, in the Ref (stored N × N_ion
     matrices) and Current (5N accumulators, compute-on-the-fly)
-    designs. *)
+    designs.
 
-module Make (R : Precision.REAL) : sig
+    [R] is the walker precision, [D] the SoA distance-table storage
+    precision (the [precision_dt] knob) threaded through to the opt
+    path's table reads; sums accumulate in double either way. *)
+
+module Make (R : Precision.REAL) (D : Precision.REAL) : sig
   module W : module type of Wfc.Make (R)
   module Ps = W.Ps
   module A : module type of Aligned.Make (R)
   module Dref : module type of Dt_ab_ref.Make (R)
-  module Dsoa : module type of Dt_ab_soa.Make (R)
+  module Dsoa : module type of Dt_ab_soa.Make (R) (D)
 
   type functors = Cubic_spline_1d.t array
   (** Indexed by ion species. *)

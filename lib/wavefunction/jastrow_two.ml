@@ -21,12 +21,13 @@ open Oqmc_spline
    loops, and acceptance updates the accumulators incrementally.  The
    walker buffer shrinks to 5N scalars. *)
 
-module Make (R : Precision.REAL) = struct
+module Make (R : Precision.REAL) (D : Precision.REAL) = struct
   module W = Wfc.Make (R)
   module Ps = W.Ps
   module A = Aligned.Make (R)
   module Dref = Dt_aa_ref.Make (R)
-  module Dsoa = Dt_aa_soa.Make (R)
+  module Dsoa = Dt_aa_soa.Make (R) (D)
+  module Ad = Dsoa.A
 
   type functors = Cubic_spline_1d.t array array
   (* indexed by [species_i][species_j]; must be symmetric *)
@@ -152,9 +153,9 @@ module Make (R : Precision.REAL) = struct
      one fused spline call per species run, then zero the self entry
      exactly as the scalar branch did (its distance is 0, which the
      spline guard zeroes as well). *)
-  let fill_row_from st k (dist : A.t) off ~u ~f ~l =
+  let fill_row_from st k (dist : Ad.t) off ~u ~f ~l =
     let fk = st.functors.(st.spec.(k)) in
-    A.read_into dist ~pos:off st.mdr ~n:st.n;
+    Ad.read_into dist ~pos:off st.mdr ~n:st.n;
     for r = 0 to Array.length st.run_lo - 1 do
       Cubic_spline_1d.evaluate_ufl_row fk.(st.run_sp.(r)) st.mdr
         ~off:st.run_lo.(r) ~n:st.run_n.(r) ~u ~f ~l
@@ -176,9 +177,9 @@ module Make (R : Precision.REAL) = struct
     let off = k * st.ld in
     fill_row_from st k (Dsoa.dist_data st.table) off ~u:st.un ~f:st.fn_
       ~l:st.ln_;
-    A.read_into (Dsoa.dx_data st.table) ~pos:off st.mox ~n:st.n;
-    A.read_into (Dsoa.dy_data st.table) ~pos:off st.moy ~n:st.n;
-    A.read_into (Dsoa.dz_data st.table) ~pos:off st.moz ~n:st.n;
+    Ad.read_into (Dsoa.dx_data st.table) ~pos:off st.mox ~n:st.n;
+    Ad.read_into (Dsoa.dy_data st.table) ~pos:off st.moy ~n:st.n;
+    Ad.read_into (Dsoa.dz_data st.table) ~pos:off st.moz ~n:st.n;
     let ax = ref 0. and ay = ref 0. and az = ref 0. in
     let al = ref 0. and su = ref 0. in
     let fn = st.fn_ in
@@ -207,12 +208,12 @@ module Make (R : Precision.REAL) = struct
      old/new rows; must run before the table accepts. *)
   let accept_one st k =
     let off = k * st.ld in
-    A.read_into (Dsoa.temp_dx st.table) ~pos:0 st.mtx ~n:st.n;
-    A.read_into (Dsoa.temp_dy st.table) ~pos:0 st.mty ~n:st.n;
-    A.read_into (Dsoa.temp_dz st.table) ~pos:0 st.mtz ~n:st.n;
-    A.read_into (Dsoa.dx_data st.table) ~pos:off st.mox ~n:st.n;
-    A.read_into (Dsoa.dy_data st.table) ~pos:off st.moy ~n:st.n;
-    A.read_into (Dsoa.dz_data st.table) ~pos:off st.moz ~n:st.n;
+    Ad.read_into (Dsoa.temp_dx st.table) ~pos:0 st.mtx ~n:st.n;
+    Ad.read_into (Dsoa.temp_dy st.table) ~pos:0 st.mty ~n:st.n;
+    Ad.read_into (Dsoa.temp_dz st.table) ~pos:0 st.mtz ~n:st.n;
+    Ad.read_into (Dsoa.dx_data st.table) ~pos:off st.mox ~n:st.n;
+    Ad.read_into (Dsoa.dy_data st.table) ~pos:off st.moy ~n:st.n;
+    Ad.read_into (Dsoa.dz_data st.table) ~pos:off st.moz ~n:st.n;
     let ax = ref 0. and ay = ref 0. and az = ref 0. in
     let al = ref 0. and su = ref 0. in
     let fn = st.fn_ and fo = st.fo in
@@ -250,9 +251,9 @@ module Make (R : Precision.REAL) = struct
     for s = 0 to m - 1 do
       let st = sts.(s) in
       compute_rows st k;
-      A.read_into (Dsoa.temp_dx st.table) ~pos:0 st.mtx ~n:st.n;
-      A.read_into (Dsoa.temp_dy st.table) ~pos:0 st.mty ~n:st.n;
-      A.read_into (Dsoa.temp_dz st.table) ~pos:0 st.mtz ~n:st.n;
+      Ad.read_into (Dsoa.temp_dx st.table) ~pos:0 st.mtx ~n:st.n;
+      Ad.read_into (Dsoa.temp_dy st.table) ~pos:0 st.mty ~n:st.n;
+      Ad.read_into (Dsoa.temp_dz st.table) ~pos:0 st.mtz ~n:st.n;
       let ax = ref 0. and ay = ref 0. and az = ref 0. in
       let so = ref 0. and sn = ref 0. in
       let fn = st.fn_ in
@@ -304,9 +305,9 @@ module Make (R : Precision.REAL) = struct
       let tz = Dsoa.temp_dz st.table in
       let fn = st.fn_ in
       for i = 0 to n - 1 do
-        ax := !ax +. (fn.(i) *. A.unsafe_get tx i);
-        ay := !ay +. (fn.(i) *. A.unsafe_get ty i);
-        az := !az +. (fn.(i) *. A.unsafe_get tz i)
+        ax := !ax +. (fn.(i) *. Ad.unsafe_get tx i);
+        ay := !ay +. (fn.(i) *. Ad.unsafe_get ty i);
+        az := !az +. (fn.(i) *. Ad.unsafe_get tz i)
       done;
       (exp (sum st st.uo -. sum st st.un), Vec3.make !ax !ay !az)
     in

@@ -6,14 +6,18 @@ open Oqmc_spline
     radial B-spline functor per spin pair.  Two complete implementations:
     the Ref store-over-compute design (5N² stored scalars, row+column
     updates on acceptance) and the Current compute-on-the-fly design
-    (5N per-electron accumulators, rows recomputed from the SoA table). *)
+    (5N per-electron accumulators, rows recomputed from the SoA table).
 
-module Make (R : Precision.REAL) : sig
+    [R] is the walker precision, [D] the SoA distance-table storage
+    precision (the [precision_dt] knob) threaded through to the opt
+    path's table reads; sums accumulate in double either way. *)
+
+module Make (R : Precision.REAL) (D : Precision.REAL) : sig
   module W : module type of Wfc.Make (R)
   module Ps = W.Ps
   module A : module type of Aligned.Make (R)
   module Dref : module type of Dt_aa_ref.Make (R)
-  module Dsoa : module type of Dt_aa_soa.Make (R)
+  module Dsoa : module type of Dt_aa_soa.Make (R) (D)
 
   type functors = Cubic_spline_1d.t array array
   (** Indexed by [species_i][species_j]; must be symmetric and match the

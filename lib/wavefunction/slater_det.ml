@@ -19,21 +19,31 @@ open Oqmc_linalg
    batched crowd sweeps stay bit-identical to the scalar path by
    construction.
 
-   Kernel timing keys: Bspline-v for value-only SPO evaluation inside
-   [ratio], Bspline-vgh for the SPO part of [ratio_grad], SPO-vgl for the
-   per-electron measurement sweep, DetUpdate for the inverse update.  The
-   crowd entry points are UNtimed: the crowd driver wraps each batched
-   stage in a single timer window per crowd instead of one per walker. *)
+   Kernel timing keys come from the SPO engine ([Spo.v_key] /
+   [Spo.vgh_key], "Bspline-v"/"Bspline-vgh" for the flat table and the
+   "-tiled" variants for the tiled one) for SPO evaluation inside [ratio]
+   and [ratio_grad]; SPO-vgl times the per-electron measurement sweep and
+   DetUpdate the inverse update.  The crowd entry points are UNtimed: the
+   crowd driver wraps each batched stage in a single timer window per
+   crowd instead of one per walker.
 
-module Make (R : Precision.REAL) = struct
+   Two precisions parameterize the state: [R] is the walker/positions
+   precision (particle sets, Wfc interface), [I] the inverse-matrix
+   storage precision — B = M⁻ᵀ, the Slater matrix and the delayed-update
+   panels narrow through [I] while every dot product and update
+   accumulates in double (the precision_inv knob of the mixed-precision
+   scheme).  [evaluate_log]'s full recompute doubles as the periodic
+   refresh that bounds f32 inverse drift. *)
+
+module Make (R : Precision.REAL) (I : Precision.REAL) = struct
   module W = Wfc.Make (R)
   module Ps = W.Ps
-  module A = Aligned.Make (R)
-  module M = Matrix.Make (R)
-  module L = Lu.Make (R)
-  module B = Blas.Make (R)
-  module Sm = Sherman_morrison.Make (R)
-  module Du = Delayed_update.Make (R)
+  module A = Aligned.Make (I)
+  module M = Matrix.Make (I)
+  module L = Lu.Make (I)
+  module B = Blas.Make (I)
+  module Sm = Sherman_morrison.Make (I)
+  module Du = Delayed_update.Make (I)
 
   type scheme = Sherman_morrison | Delayed of int
 
@@ -192,7 +202,7 @@ module Make (R : Precision.REAL) = struct
           st.staged := None;
           s
       | None ->
-          Timers.time timers "Bspline-vgh" (fun () -> eval st.vgl);
+          Timers.time timers spo.Spo.vgh_key (fun () -> eval st.vgl);
           st.vgl
     in
     let load_row_pos ps =
@@ -204,7 +214,7 @@ module Make (R : Precision.REAL) = struct
       flush st;
       let b = Lazy.force st.v_rows in
       load_row_pos ps;
-      Timers.time timers "Bspline-v" (fun () -> b.Spo.vrun st.row_pos n);
+      Timers.time timers spo.Spo.v_key (fun () -> b.Spo.vrun st.row_pos n);
       for i = 0 to n - 1 do
         A.write_from b.Spo.vslots.(i) (M.data st.phim)
           ~pos:(i * M.ld st.phim) ~n
@@ -219,7 +229,7 @@ module Make (R : Precision.REAL) = struct
     let ratio ps k =
       if not (in_group st k) then 1.
       else begin
-        Timers.time timers "Bspline-v" (fun () ->
+        Timers.time timers spo.Spo.v_key (fun () ->
             spo.Spo.eval_v (Ps.active_pos ps) st.vbuf);
         load_psiv st;
         let r =

@@ -4,9 +4,14 @@ open Oqmc_containers
     transposed inverse B = M⁻ᵀ so the PbyP ratio is a contiguous row dot
     (Eq. 6).  Acceptance uses the Sherman–Morrison BLAS2 update or the
     delayed Woodbury scheme of Sec. 8.4; [evaluate_log] is the periodic
-    double-precision recompute that anchors mixed-precision accuracy. *)
+    double-precision recompute that anchors mixed-precision accuracy.
 
-module Make (R : Precision.REAL) : sig
+    [R] is the walker/positions precision, [I] the inverse-matrix storage
+    precision (the [precision_inv] knob): B, the Slater matrix and the
+    delayed-update panel storage narrow through [I] while all dots and
+    updates accumulate in double. *)
+
+module Make (R : Precision.REAL) (I : Precision.REAL) : sig
   module W : module type of Wfc.Make (R)
   module Ps = W.Ps
 
@@ -22,10 +27,11 @@ module Make (R : Precision.REAL) : sig
     Ps.t ->
     W.t
   (** Determinant over electrons [first, first + count); moves of
-      electrons outside the group have ratio 1.  Kernel timing keys:
-      Bspline-v (value-only SPO), Bspline-vgh (SPO with derivatives),
-      SPO-vgl (measurement sweep), DetUpdate (ratio dots and inverse
-      updates).
+      electrons outside the group have ratio 1.  Kernel timing keys: the
+      SPO engine's [v_key] (value-only SPO) and [vgh_key] (SPO with
+      derivatives) — "Bspline-v"/"Bspline-vgh" for the flat table,
+      "-tiled" variants for the tiled one — plus SPO-vgl (measurement
+      sweep) and DetUpdate (ratio dots and inverse updates).
 
       [staged], when supplied, lets a crowd driver hand the determinant
       a pre-computed SPO result for the position the next in-group

@@ -75,14 +75,19 @@ let ion_positions (bx, by, bz) n =
    halves table bytes and bandwidth, per the paper's mixed-precision
    scheme) while the coefficient values themselves are computed in
    double either way.  The functor instantiations are precision-erased by
-   [Spo.t]'s runtime closures, so both produce the same System shape. *)
+   [Spo.t]'s runtime closures, so both produce the same System shape.
+
+   [layout]/[tile] pick the table layout: the tiled (array-of-SoA) table
+   is filled through the same global-orbital [fill] callback, so its
+   coefficients — and therefore every f64 evaluation — are bit-identical
+   to the flat table's. *)
 module Spline_builder (R : Precision.REAL) = struct
   module B = Oqmc_spline.Bspline3d.Make (R)
+  module T = Oqmc_spline.Bspline3d_tiled.Make (R)
   module SpoB = Spo_bspline.Make (R)
 
-  let build ~seed ~grid ~n_spo ~lattice =
+  let coeff_fn ~seed ~grid ~n_spo =
     let nx, ny, nz = grid in
-    let table = B.create ~nx ~ny ~nz ~n_orb:n_spo in
     let rng = Xoshiro.create seed in
     (* Each orbital: a random superposition of a few plane waves evaluated
        on the grid; filling coefficients directly (rather than
@@ -97,32 +102,47 @@ module Spline_builder (R : Precision.REAL) = struct
                 Xoshiro.uniform_range rng ~lo:(-1.) ~hi:1.,
                 Xoshiro.uniform_range rng ~lo:0. ~hi:(2. *. Float.pi) )))
     in
-    B.fill table (fun ~orb ~i ~j ~k ->
-        let x = float_of_int i /. float_of_int nx in
-        let y = float_of_int j /. float_of_int ny in
-        let z = float_of_int k /. float_of_int nz in
-        let acc = ref (if orb = 0 then 1.0 else 0.) in
-        Array.iter
-          (fun (gx, gy, gz, amp, phase) ->
-            acc :=
-              !acc
-              +. amp
-                 *. cos
-                      ((2. *. Float.pi
-                       *. ((gx *. x) +. (gy *. y) +. (gz *. z)))
-                      +. phase))
-          modes.(orb);
-        !acc);
+    fun ~orb ~i ~j ~k ->
+      let x = float_of_int i /. float_of_int nx in
+      let y = float_of_int j /. float_of_int ny in
+      let z = float_of_int k /. float_of_int nz in
+      let acc = ref (if orb = 0 then 1.0 else 0.) in
+      Array.iter
+        (fun (gx, gy, gz, amp, phase) ->
+          acc :=
+            !acc
+            +. amp
+               *. cos
+                    ((2. *. Float.pi
+                     *. ((gx *. x) +. (gy *. y) +. (gz *. z)))
+                    +. phase))
+        modes.(orb);
+      !acc
+
+  let build ~seed ~grid ~n_spo ~lattice =
+    let nx, ny, nz = grid in
+    let table = B.create ~nx ~ny ~nz ~n_orb:n_spo in
+    B.fill table (coeff_fn ~seed ~grid ~n_spo);
     SpoB.create ~table ~lattice
+
+  let build_tiled ~seed ~grid ~n_spo ~tile ~lattice =
+    let nx, ny, nz = grid in
+    let tile = if tile <= 0 then min 32 n_spo else min tile n_spo in
+    let table = T.create ~nx ~ny ~nz ~n_orb:n_spo ~tile in
+    T.fill table (coeff_fn ~seed ~grid ~n_spo);
+    SpoB.create_tiled ~table ~lattice
 end
 
 module Sp32 = Spline_builder (Precision.F32)
 module Sp64 = Spline_builder (Precision.F64)
 
-let synthetic_spo ?(precision = `F32) ~seed ~grid ~n_spo ~lattice () =
-  match precision with
-  | `F32 -> Sp32.build ~seed ~grid ~n_spo ~lattice
-  | `F64 -> Sp64.build ~seed ~grid ~n_spo ~lattice
+let synthetic_spo ?(precision = `F32) ?(layout = `Flat) ?(tile = 0) ~seed
+    ~grid ~n_spo ~lattice () =
+  match (precision, layout) with
+  | `F32, `Flat -> Sp32.build ~seed ~grid ~n_spo ~lattice
+  | `F64, `Flat -> Sp64.build ~seed ~grid ~n_spo ~lattice
+  | `F32, `Tiled -> Sp32.build_tiled ~seed ~grid ~n_spo ~tile ~lattice
+  | `F64, `Tiled -> Sp64.build_tiled ~seed ~grid ~n_spo ~tile ~lattice
 
 (* Gaussian-shell pseudopotential channels per species. *)
 let nlpp_channels (species : Spec.species list) =
@@ -150,7 +170,8 @@ let nlpp_channels (species : Spec.species list) =
 
 (* Build the runnable System for a (possibly scaled) workload. *)
 let system ?(seed = 20170101) ?(with_nlpp = true) ?(with_jastrow = true)
-    ?(precision = `F32) (s : scaled) : System.t =
+    ?(precision = `F32) ?(layout = `Flat) ?(tile = 0) (s : scaled) : System.t
+    =
   let bx, by, bz = s.box in
   let lattice = Lattice.orthorhombic bx by bz in
   let positions = ion_positions s.box s.n_ion in
@@ -173,7 +194,10 @@ let system ?(seed = 20170101) ?(with_nlpp = true) ?(with_jastrow = true)
         })
       species
   in
-  let spo = synthetic_spo ~precision ~seed ~grid:s.grid ~n_spo:s.n_spo ~lattice () in
+  let spo =
+    synthetic_spo ~precision ~layout ~tile ~seed ~grid:s.grid ~n_spo:s.n_spo
+      ~lattice ()
+  in
   let cutoff = Lattice.wigner_seitz_radius lattice in
   let j2 = if with_jastrow then Some (Jastrow_sets.ee_set ~cutoff) else None in
   let j1 =
@@ -198,5 +222,7 @@ let system ?(seed = 20170101) ?(with_nlpp = true) ?(with_jastrow = true)
     }
 
 let make ?(seed = 20170101) ?(with_nlpp = true) ?(with_jastrow = true)
-    ?(reduction = 8) ?(precision = `F32) (spec : Spec.t) : System.t =
-  system ~seed ~with_nlpp ~with_jastrow ~precision (scale spec ~reduction)
+    ?(reduction = 8) ?(precision = `F32) ?(layout = `Flat) ?(tile = 0)
+    (spec : Spec.t) : System.t =
+  system ~seed ~with_nlpp ~with_jastrow ~precision ~layout ~tile
+    (scale spec ~reduction)

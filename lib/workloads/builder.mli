@@ -35,12 +35,20 @@ val system :
   ?with_nlpp:bool ->
   ?with_jastrow:bool ->
   ?precision:[ `F32 | `F64 ] ->
+  ?layout:[ `Flat | `Tiled ] ->
+  ?tile:int ->
   scaled ->
   System.t
 (** [precision] (default [`F32]) selects the storage precision of the
     synthetic B-spline orbital table — coefficient {e values} are
     identical either way ([`F32] rounds them once at store time), so
-    f32-vs-f64 comparisons isolate storage/bandwidth effects. *)
+    f32-vs-f64 comparisons isolate storage/bandwidth effects.
+
+    [layout] (default [`Flat]) selects the orbital-table layout; with
+    [`Tiled], [tile] sets the orbital tile size (0 = a default of
+    [min 32 n_spo]).  Both layouts are filled through the same
+    global-orbital callback, so their coefficients are identical and f64
+    evaluations are bit-identical. *)
 
 val make :
   ?seed:int ->
@@ -48,6 +56,8 @@ val make :
   ?with_jastrow:bool ->
   ?reduction:int ->
   ?precision:[ `F32 | `F64 ] ->
+  ?layout:[ `Flat | `Tiled ] ->
+  ?tile:int ->
   Spec.t ->
   System.t
 (** [scale] + [system]; default reduction 8. *)

@@ -5,9 +5,9 @@ open Oqmc_rng
 module Ps = Particle_set.Make (Precision.F64)
 module AAref = Dt_aa_ref.Make (Precision.F64)
 module AAfwd = Dt_aa_forward.Make (Precision.F64)
-module AAsoa = Dt_aa_soa.Make (Precision.F64)
+module AAsoa = Dt_aa_soa.Make (Precision.F64) (Precision.F64)
 module ABref = Dt_ab_ref.Make (Precision.F64)
-module ABsoa = Dt_ab_soa.Make (Precision.F64)
+module ABsoa = Dt_ab_soa.Make (Precision.F64) (Precision.F64)
 
 let check_bool = Alcotest.(check bool)
 let checkf tol = Alcotest.(check (float tol))
@@ -328,6 +328,71 @@ let test_ab_move_accept () =
       (Lattice.min_image_dist lattice newpos (Ps.get ion_ps i))
       (ABsoa.dist t 2 i)
   done
+
+(* f32 distance-row storage: the rows hold f32-rounded values but every
+   distance is computed in f64 and rounded ONCE at the store, so the
+   drift against the f64 table is bounded by one f32 rounding of the
+   stored value — it never accumulates across a sweep of moves and
+   accepts.  Two sizes shaped like the reduced NiO-32 and graphite
+   electron counts. *)
+module AAsoa32 = Dt_aa_soa.Make (Precision.F64) (Precision.F32)
+module ABsoa32 = Dt_ab_soa.Make (Precision.F64) (Precision.F32)
+
+let test_dt_f32_drift_bounded () =
+  List.iter
+    (fun (n, box, seed) ->
+      let lattice = Lattice.cubic box in
+      let ps, rng = random_ps ~lattice ~seed n in
+      let ion_ps = ions ~lattice in
+      let t64 = AAsoa.create ps and t32 = AAsoa32.create ps in
+      let b64 = ABsoa.create ~sources:ion_ps ps in
+      let b32 = ABsoa32.create ~sources:ion_ps ps in
+      AAsoa.evaluate t64 ps;
+      AAsoa32.evaluate t32 ps;
+      ABsoa.evaluate b64 ps;
+      ABsoa32.evaluate b32 ps;
+      (* Mirrored PbyP sweep with mixed accepts and rejects. *)
+      for k = 0 to n - 1 do
+        let newpos =
+          Vec3.add (Ps.get ps k)
+            (Vec3.make
+               (Xoshiro.gaussian rng *. 0.3)
+               (Xoshiro.gaussian rng *. 0.3)
+               (Xoshiro.gaussian rng *. 0.3))
+        in
+        AAsoa.move t64 ps k newpos;
+        AAsoa32.move t32 ps k newpos;
+        ABsoa.move b64 newpos;
+        ABsoa32.move b32 newpos;
+        if k mod 2 = 0 then begin
+          Ps.propose ps k newpos;
+          Ps.accept ps;
+          AAsoa.accept t64 k;
+          AAsoa32.accept t32 k;
+          ABsoa.accept b64 k;
+          ABsoa32.accept b32 k
+        end
+      done;
+      AAsoa.evaluate t64 ps;
+      AAsoa32.evaluate t32 ps;
+      ABsoa.evaluate b64 ps;
+      ABsoa32.evaluate b32 ps;
+      (* One f32 rounding: relative 2^-24, so absolute ~d · 6e-8; a
+         box-scaled absolute bound with slack covers it. *)
+      let bound = 1e-5 *. box in
+      for i = 0 to n - 1 do
+        for j = 0 to n - 1 do
+          if i <> j then
+            check_bool "AA f32 drift bounded" true
+              (abs_float (AAsoa.dist t64 i j -. AAsoa32.dist t32 i j)
+              <= bound)
+        done;
+        for s = 0 to 3 do
+          check_bool "AB f32 drift bounded" true
+            (abs_float (ABsoa.dist b64 i s -. ABsoa32.dist b32 i s) <= bound)
+        done
+      done)
+    [ (48, 7.9, 41); (32, 6.3, 42) ]
 
 let test_tables_general_lattice () =
   (* Hexagonal cell exercises the general minimum-image path. *)
@@ -678,6 +743,8 @@ let () =
             test_aa_soa_row_fresh_on_move;
           Alcotest.test_case "AB layouts agree" `Quick test_ab_tables_agree;
           Alcotest.test_case "AB move/accept" `Quick test_ab_move_accept;
+          Alcotest.test_case "f32 rows drift bounded" `Quick
+            test_dt_f32_drift_bounded;
           Alcotest.test_case "general lattice" `Quick
             test_tables_general_lattice;
           Alcotest.test_case "memory scaling" `Quick test_aa_memory_scaling;

@@ -17,6 +17,7 @@ let costs layout elt n ni ~has_pp =
       layout;
       acceptance = 0.5;
       nlpp_evals = Opcount.nlpp_evals_estimate ~n ~has_pp;
+      tile = 0;
     }
 
 let speedup machine (n, ni, has_pp) =

@@ -342,6 +342,63 @@ let test_dmc_population_control () =
   check_bool "acceptance high at small tau" true (res.Dmc.acceptance > 0.8);
   check_bool "comm accounting active" true (res.Dmc.comm_messages >= 0)
 
+let test_tiled_vs_flat_bit_identical () =
+  (* The tiled orbital layout is a storage layout, not a physics or even
+     a rounding knob: at f64 the fused tiled kernels consume the same
+     doubles in the same order as the flat ones, so a full crowd-batched
+     VMC and a DMC with delayed updates (delay > 1) must produce EXACTLY
+     the same numbers — bit-identical energies, not statistically
+     compatible ones. *)
+  let sys layout =
+    Builder.make ~seed:7 ~with_nlpp:false ~reduction:32 ~precision:`F64
+      ~layout ~tile:5 Spec.nio32
+  in
+  let vmc layout =
+    Vmc.run ~crowd:4
+      ~factory:
+        (Build.factory ~variant:Variant.Current_f64 ~precision:`F64 ~seed:21
+           (sys layout))
+      {
+        Vmc.default_params with
+        Vmc.n_walkers = 4;
+        warmup = 3;
+        blocks = 2;
+        steps_per_block = 4;
+        tau = 0.05;
+        seed = 22;
+      }
+  in
+  let v_flat = vmc `Flat and v_tiled = vmc `Tiled in
+  check_bool
+    (Printf.sprintf "VMC tiled %.17g = flat %.17g" v_tiled.Vmc.energy
+       v_flat.Vmc.energy)
+    true
+    (v_tiled.Vmc.energy = v_flat.Vmc.energy);
+  check_bool "VMC variance bit-identical" true
+    (v_tiled.Vmc.variance = v_flat.Vmc.variance);
+  let dmc layout =
+    Dmc.run ~crowd:4
+      ~factory:
+        (Build.factory ~variant:Variant.Current_f64 ~precision:`F64 ~delay:3
+           ~seed:31 (sys layout))
+      {
+        Dmc.default_params with
+        Dmc.target_walkers = 6;
+        warmup = 3;
+        generations = 8;
+        tau = 0.02;
+        seed = 32;
+      }
+  in
+  let d_flat = dmc `Flat and d_tiled = dmc `Tiled in
+  check_bool
+    (Printf.sprintf "DMC tiled %.17g = flat %.17g" d_tiled.Dmc.energy
+       d_flat.Dmc.energy)
+    true
+    (d_tiled.Dmc.energy = d_flat.Dmc.energy);
+  check_bool "DMC population bit-identical" true
+    (d_tiled.Dmc.mean_population = d_flat.Dmc.mean_population)
+
 let test_dmc_f32_vs_f64_agree () =
   (* Mixed precision is a storage knob, not a physics knob: a short DMC
      with f32 tables and walker state must land on the f64 energy within
@@ -562,6 +619,8 @@ let () =
             test_dmc_population_control;
           Alcotest.test_case "f32 vs f64 energy" `Quick
             test_dmc_f32_vs_f64_agree;
+          Alcotest.test_case "tiled vs flat bit-identical" `Quick
+            test_tiled_vs_flat_bit_identical;
         ] );
       ( "workloads",
         [

@@ -92,6 +92,37 @@ let test_spline1d_invalid () =
     (Invalid_argument "Cubic_spline_1d: need at least 4 coefficients")
     (fun () -> ignore (Cubic_spline_1d.of_coefficients ~cutoff:1. [| 1.; 2. |]))
 
+let test_spline1d_narrow () =
+  (* narrow rounds every control point once through f32 storage
+     (the precision_jastrow knob): idempotent, halves the footprint,
+     and since the cubic basis weights are a partition of unity the
+     evaluated values move by at most one f32 rounding of the largest
+     coefficient. *)
+  let f r = -0.3 *. exp (-1.7 *. r) in
+  let s = Cubic_spline_1d.fit ~f ~cutoff:3. ~intervals:24 () in
+  check_bool "fresh table is wide" false (Cubic_spline_1d.is_narrowed s);
+  let n1 = Cubic_spline_1d.narrow s in
+  let n2 = Cubic_spline_1d.narrow n1 in
+  check_bool "narrowed" true (Cubic_spline_1d.is_narrowed n1);
+  check_bool "idempotent" true (n1 == n2);
+  check_bool "wide table untouched" false (Cubic_spline_1d.is_narrowed s);
+  Alcotest.(check int) "bytes halve"
+    (Cubic_spline_1d.bytes s / 2)
+    (Cubic_spline_1d.bytes n1);
+  let cmax =
+    Array.fold_left
+      (fun a c -> Float.max a (abs_float c))
+      0.
+      (Cubic_spline_1d.coefficients s)
+  in
+  let bound = cmax *. 1.2e-7 in
+  List.iter
+    (fun r ->
+      let v = Cubic_spline_1d.evaluate s r in
+      let vn = Cubic_spline_1d.evaluate n1 r in
+      check_bool "eval drift bounded" true (abs_float (v -. vn) <= bound))
+    [ 0.; 0.2; 0.77; 1.3; 2.1; 2.9 ]
+
 (* ---------- tridiag ---------- *)
 
 let test_tridiag_simple () =
@@ -284,6 +315,53 @@ let test_tiled_matches_untiled () =
         [ (0.1, 0.5, 0.9); (0.77, 0.2, 0.41) ])
     [ 1; 3; 4; 10; 16 ]
 
+(* The batched crowd path: tiled must be BIT-identical to flat at f64 —
+   exact float equality, not a tolerance — because the fused tiled
+   phase 2 consumes the same doubles in the same order as the flat
+   kernels.  This is the production path (oqmc_run's layout=tiled). *)
+let test_tiled_batch_bit_identical () =
+  let nx = 8 and n_orb = 10 and cap = 5 in
+  let rng = Oqmc_rng.Xoshiro.create 77 in
+  let vals = Array.init (nx * nx * nx * n_orb) (fun _ ->
+      Oqmc_rng.Xoshiro.uniform_range rng ~lo:(-1.) ~hi:1.)
+  in
+  let idx ~orb ~i ~j ~k = ((((i * nx) + j) * nx) + k) * n_orb + orb in
+  let plain = B3_64.create ~nx ~ny:nx ~nz:nx ~n_orb in
+  B3_64.fill plain (fun ~orb ~i ~j ~k -> vals.(idx ~orb ~i ~j ~k));
+  let u0 = Array.init cap (fun _ -> Oqmc_rng.Xoshiro.uniform rng) in
+  let u1 = Array.init cap (fun _ -> Oqmc_rng.Xoshiro.uniform rng) in
+  let u2 = Array.init cap (fun _ -> Oqmc_rng.Xoshiro.uniform rng) in
+  let fb = B3_64.make_vgh_batch plain ~cap in
+  let fv = B3_64.make_v_batch plain ~cap in
+  B3_64.eval_vgh_batch plain fb ~n:cap ~u0 ~u1 ~u2;
+  B3_64.eval_v_batch plain fv ~n:cap ~u0 ~u1 ~u2;
+  List.iter
+    (fun tile ->
+      let tiled = B3T.create ~nx ~ny:nx ~nz:nx ~n_orb ~tile in
+      B3T.fill tiled (fun ~orb ~i ~j ~k -> vals.(idx ~orb ~i ~j ~k));
+      let tb = B3T.make_vgh_batch tiled ~cap in
+      let tv = B3T.make_v_batch tiled ~cap in
+      B3T.eval_vgh_batch tiled tb ~n:cap ~u0 ~u1 ~u2;
+      B3T.eval_v_batch tiled tv ~n:cap ~u0 ~u1 ~u2;
+      for s = 0 to cap - 1 do
+        let f = fb.B3_64.outs.(s) and t = tb.B3T.B.outs.(s) in
+        for m = 0 to n_orb - 1 do
+          check_bool "batch v bit-identical" true
+            (fv.B3_64.vouts.(s).(m) = tv.B3T.B.vouts.(s).(m));
+          List.iter2
+            (fun a b -> check_bool "batch vgh bit-identical" true (a = b))
+            [ f.B3_64.v.(m); f.B3_64.gx.(m); f.B3_64.gy.(m);
+              f.B3_64.gz.(m); f.B3_64.hxx.(m); f.B3_64.hxy.(m);
+              f.B3_64.hxz.(m); f.B3_64.hyy.(m); f.B3_64.hyz.(m);
+              f.B3_64.hzz.(m) ]
+            [ t.B3_64.v.(m); t.B3_64.gx.(m); t.B3_64.gy.(m);
+              t.B3_64.gz.(m); t.B3_64.hxx.(m); t.B3_64.hxy.(m);
+              t.B3_64.hxz.(m); t.B3_64.hyy.(m); t.B3_64.hyz.(m);
+              t.B3_64.hzz.(m) ]
+        done
+      done)
+    [ 1; 3; 4; 10; 16 ]
+
 let test_tiled_shapes () =
   let t = B3T.create ~nx:8 ~ny:8 ~nz:8 ~n_orb:10 ~tile:4 in
   Alcotest.(check int) "tiles" 3 (B3T.n_tiles t);
@@ -296,6 +374,55 @@ let prop_partition_of_unity =
   QCheck.Test.make ~name:"basis partition of unity" ~count:500
     QCheck.(float_range 0. 0.999999)
     (fun t -> abs_float (Bspline_basis.sum (Bspline_basis.value t) -. 1.) < 1e-12)
+
+(* Random tile sizes never change the batched results: exact equality
+   against the flat table at every orbital, for both eval_v and
+   eval_vgh.  Complements the fixed-tile bit-identity test with
+   arbitrary (tile, position) draws. *)
+let prop_tile_invariant =
+  let nx = 6 and n_orb = 7 in
+  let rng = Oqmc_rng.Xoshiro.create 91 in
+  let vals = Array.init (nx * nx * nx * n_orb) (fun _ ->
+      Oqmc_rng.Xoshiro.uniform_range rng ~lo:(-1.) ~hi:1.)
+  in
+  let idx ~orb ~i ~j ~k = ((((i * nx) + j) * nx) + k) * n_orb + orb in
+  let plain = B3_64.create ~nx ~ny:nx ~nz:nx ~n_orb in
+  B3_64.fill plain (fun ~orb ~i ~j ~k -> vals.(idx ~orb ~i ~j ~k));
+  QCheck.Test.make ~name:"tile size never changes batched results" ~count:30
+    QCheck.(
+      pair (int_range 1 12)
+        (triple (float_range 0. 0.999) (float_range 0. 0.999)
+           (float_range 0. 0.999)))
+    (fun (tile, (x, y, z)) ->
+      let tiled = B3T.create ~nx ~ny:nx ~nz:nx ~n_orb ~tile in
+      B3T.fill tiled (fun ~orb ~i ~j ~k -> vals.(idx ~orb ~i ~j ~k));
+      let u0 = [| x |] and u1 = [| y |] and u2 = [| z |] in
+      let fb = B3_64.make_vgh_batch plain ~cap:1 in
+      let fv = B3_64.make_v_batch plain ~cap:1 in
+      let tb = B3T.make_vgh_batch tiled ~cap:1 in
+      let tv = B3T.make_v_batch tiled ~cap:1 in
+      B3_64.eval_vgh_batch plain fb ~n:1 ~u0 ~u1 ~u2;
+      B3_64.eval_v_batch plain fv ~n:1 ~u0 ~u1 ~u2;
+      B3T.eval_vgh_batch tiled tb ~n:1 ~u0 ~u1 ~u2;
+      B3T.eval_v_batch tiled tv ~n:1 ~u0 ~u1 ~u2;
+      let ok = ref true in
+      let f = fb.B3_64.outs.(0) and t = tb.B3_64.outs.(0) in
+      for m = 0 to n_orb - 1 do
+        if fv.B3_64.vouts.(0).(m) <> tv.B3_64.vouts.(0).(m) then ok := false;
+        if
+          f.B3_64.v.(m) <> t.B3_64.v.(m)
+          || f.B3_64.gx.(m) <> t.B3_64.gx.(m)
+          || f.B3_64.gy.(m) <> t.B3_64.gy.(m)
+          || f.B3_64.gz.(m) <> t.B3_64.gz.(m)
+          || f.B3_64.hxx.(m) <> t.B3_64.hxx.(m)
+          || f.B3_64.hxy.(m) <> t.B3_64.hxy.(m)
+          || f.B3_64.hxz.(m) <> t.B3_64.hxz.(m)
+          || f.B3_64.hyy.(m) <> t.B3_64.hyy.(m)
+          || f.B3_64.hyz.(m) <> t.B3_64.hyz.(m)
+          || f.B3_64.hzz.(m) <> t.B3_64.hzz.(m)
+        then ok := false
+      done;
+      !ok)
 
 let prop_spline_zero_outside =
   QCheck.Test.make ~name:"1d spline zero outside cutoff" ~count:200
@@ -325,6 +452,8 @@ let () =
           Alcotest.test_case "cusp" `Quick test_spline1d_cusp;
           Alcotest.test_case "vgl fd" `Quick test_spline1d_vgl_fd;
           Alcotest.test_case "invalid" `Quick test_spline1d_invalid;
+          Alcotest.test_case "narrow (f32 coefficients)" `Quick
+            test_spline1d_narrow;
         ] );
       ( "tridiag",
         [
@@ -341,7 +470,14 @@ let () =
           Alcotest.test_case "table bytes" `Quick test_bspline3d_table_bytes;
           Alcotest.test_case "tiled matches untiled" `Quick
             test_tiled_matches_untiled;
+          Alcotest.test_case "tiled batch bit-identical" `Quick
+            test_tiled_batch_bit_identical;
           Alcotest.test_case "tiled shapes" `Quick test_tiled_shapes;
         ] );
-      ("properties", qt [ prop_partition_of_unity; prop_spline_zero_outside ]);
+      ( "properties",
+        qt
+          [
+            prop_partition_of_unity; prop_spline_zero_outside;
+            prop_tile_invariant;
+          ] );
     ]

@@ -12,12 +12,12 @@ module P = Precision.F64
 module Ps = Particle_set.Make (P)
 module W = Wfc.Make (P)
 module AAref = Dt_aa_ref.Make (P)
-module AAsoa = Dt_aa_soa.Make (P)
+module AAsoa = Dt_aa_soa.Make (P) (P)
 module ABref = Dt_ab_ref.Make (P)
-module ABsoa = Dt_ab_soa.Make (P)
-module J2 = Jastrow_two.Make (P)
-module J1 = Jastrow_one.Make (P)
-module Det = Slater_det.Make (P)
+module ABsoa = Dt_ab_soa.Make (P) (P)
+module J2 = Jastrow_two.Make (P) (P)
+module J1 = Jastrow_one.Make (P) (P)
+module Det = Slater_det.Make (P) (P)
 module Twf = Trial_wavefunction.Make (P)
 
 let checkf tol = Alcotest.(check (float tol))
@@ -756,6 +756,150 @@ let test_det_delayed_k_sweep () =
         (d.W.evaluate_log ps) !log_running)
     [ 1; 2; 4; 8 ]
 
+(* ---------- mixed-precision drift bounds ---------- *)
+
+module J2_32 = Jastrow_two.Make (P) (Precision.F32)
+module J1_32 = Jastrow_one.Make (P) (Precision.F32)
+module Det32 = Slater_det.Make (P) (Precision.F32)
+
+(* f32 distance rows + f32-narrowed spline coefficients (the
+   precision_dt and precision_jastrow knobs together) against the pure
+   f64 components over a mirrored PbyP sweep.  Storage rounds once per
+   element while every sum stays double, so log and ratio drift stay
+   within a few f32 roundings of the pair terms; the bound here is the
+   measured envelope that the production watchdog audit arms against. *)
+let test_jastrow_f32_drift () =
+  let n = 10 in
+  let ps64, _ = electrons ~seed:81 n in
+  let ps32, rng = electrons ~seed:81 n in
+  let io64 = ions () and io32 = ions () in
+  let t64 = AAsoa.create ps64 and t32 = J2_32.Dsoa.create ps32 in
+  AAsoa.evaluate t64 ps64;
+  J2_32.Dsoa.evaluate t32 ps32;
+  let ab64 = ABsoa.create ~sources:io64 ps64 in
+  let ab32 = J1_32.Dsoa.create ~sources:io32 ps32 in
+  ABsoa.evaluate ab64 ps64;
+  J1_32.Dsoa.evaluate ab32 ps32;
+  let narrow = Oqmc_spline.Cubic_spline_1d.narrow in
+  let j2_64 = J2.create_opt ~table:t64 ~functors:functors2 ps64 in
+  let j2_32 =
+    J2_32.create_opt ~table:t32
+      ~functors:(Array.map (Array.map narrow) functors2)
+      ps32
+  in
+  let j1_64 = J1.create_opt ~table:ab64 ~functors:functors1 ~ions:io64 ps64 in
+  let j1_32 =
+    J1_32.create_opt ~table:ab32
+      ~functors:(Array.map narrow functors1)
+      ~ions:io32 ps32
+  in
+  let tol = 1e-4 in
+  checkf tol "j2 initial log" (j2_64.W.evaluate_log ps64)
+    (j2_32.W.evaluate_log ps32);
+  checkf tol "j1 initial log" (j1_64.W.evaluate_log ps64)
+    (j1_32.W.evaluate_log ps32);
+  for k = 0 to n - 1 do
+    let np =
+      Vec3.add (Ps.get ps64 k)
+        (Vec3.make
+           (Xoshiro.gaussian rng *. 0.3)
+           (Xoshiro.gaussian rng *. 0.3)
+           (Xoshiro.gaussian rng *. 0.3))
+    in
+    AAsoa.prepare t64 ps64 k;
+    J2_32.Dsoa.prepare t32 ps32 k;
+    Ps.propose ps64 k np;
+    Ps.propose ps32 k np;
+    AAsoa.move t64 ps64 k np;
+    J2_32.Dsoa.move t32 ps32 k np;
+    ABsoa.move ab64 np;
+    J1_32.Dsoa.move ab32 np;
+    checkf tol "j2 ratio" (j2_64.W.ratio ps64 k) (j2_32.W.ratio ps32 k);
+    checkf tol "j1 ratio" (j1_64.W.ratio ps64 k) (j1_32.W.ratio ps32 k);
+    if k mod 2 = 0 then begin
+      j2_64.W.accept ps64 k;
+      j2_32.W.accept ps32 k;
+      j1_64.W.accept ps64 k;
+      j1_32.W.accept ps32 k;
+      AAsoa.accept t64 k;
+      J2_32.Dsoa.accept t32 k;
+      ABsoa.accept ab64 k;
+      J1_32.Dsoa.accept ab32 k;
+      Ps.accept ps64;
+      Ps.accept ps32
+    end
+    else begin
+      j2_64.W.reject ps64 k;
+      j2_32.W.reject ps32 k;
+      j1_64.W.reject ps64 k;
+      j1_32.W.reject ps32 k;
+      Ps.reject ps64;
+      Ps.reject ps32
+    end
+  done;
+  checkf tol "j2 final log" (j2_64.W.evaluate_log ps64)
+    (j2_32.W.evaluate_log ps32);
+  checkf tol "j1 final log" (j1_64.W.evaluate_log ps64)
+    (j1_32.W.evaluate_log ps32)
+
+(* f32 inverse/panel storage (the precision_inv knob) against the f64
+   determinant over a mirrored accept/reject sweep, for both the
+   Sherman-Morrison and the delayed scheme: B, the Slater matrix and
+   the delayed panels narrow while every dot and update accumulates in
+   double, so PbyP ratios track within a small multiple of f32 epsilon
+   and the double-precision recompute anchors the final log. *)
+let test_det_f32_inverse_drift () =
+  List.iter
+    (fun kd ->
+      let ps64, rng = electrons ~seed:(90 + kd) 8 in
+      let ps32, _ = electrons ~seed:(90 + kd) 8 in
+      let spo = Spo_analytic.plane_waves ~lattice ~n_orb:4 in
+      let scheme64 =
+        if kd = 1 then Det.Sherman_morrison else Det.Delayed kd
+      in
+      let scheme32 =
+        if kd = 1 then Det32.Sherman_morrison else Det32.Delayed kd
+      in
+      let d64 = Det.create ~scheme:scheme64 ~spo ~first:0 ~count:4 ps64 in
+      let d32 = Det32.create ~scheme:scheme32 ~spo ~first:0 ~count:4 ps32 in
+      ignore (d64.W.evaluate_log ps64);
+      ignore (d32.W.evaluate_log ps32);
+      for _sweep = 1 to 3 do
+        for k = 0 to 3 do
+          let np =
+            Vec3.add (Ps.get ps64 k)
+              (Vec3.make
+                 (Xoshiro.gaussian rng *. 0.3)
+                 (Xoshiro.gaussian rng *. 0.3)
+                 (Xoshiro.gaussian rng *. 0.3))
+          in
+          Ps.propose ps64 k np;
+          Ps.propose ps32 k np;
+          let r64 = d64.W.ratio ps64 k and r32 = d32.W.ratio ps32 k in
+          check_bool
+            (Printf.sprintf "delay %d ratio drift" kd)
+            true
+            (abs_float (r64 -. r32) <= 1e-4 *. (1. +. abs_float r64));
+          if abs_float r64 > 0.3 then begin
+            d64.W.accept ps64 k;
+            d32.W.accept ps32 k;
+            Ps.accept ps64;
+            Ps.accept ps32
+          end
+          else begin
+            d64.W.reject ps64 k;
+            d32.W.reject ps32 k;
+            Ps.reject ps64;
+            Ps.reject ps32
+          end
+        done
+      done;
+      checkf 1e-4
+        (Printf.sprintf "delay %d final log drift" kd)
+        (d64.W.evaluate_log ps64)
+        (d32.W.evaluate_log ps32))
+    [ 1; 3 ]
+
 (* ---------- TrialWaveFunction composition ---------- *)
 
 let test_twf_product () =
@@ -830,6 +974,13 @@ let () =
             test_det_batch_identity_sm;
           Alcotest.test_case "det batch bit-identical (delayed)" `Quick
             test_det_batch_identity_delayed;
+        ] );
+      ( "mixed_precision",
+        [
+          Alcotest.test_case "jastrow f32 drift bounded" `Quick
+            test_jastrow_f32_drift;
+          Alcotest.test_case "inverse f32 drift bounded" `Quick
+            test_det_f32_inverse_drift;
         ] );
       ("twf", [ Alcotest.test_case "product" `Quick test_twf_product ]);
     ]
